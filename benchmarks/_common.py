@@ -1,0 +1,58 @@
+"""Shared benchmark infrastructure.
+
+Every ``bench_figXX.py`` regenerates the data behind one figure of the
+paper's evaluation section and records the series table under
+``benchmarks/results/`` so EXPERIMENTS.md can be checked against real
+artefacts.  Shape assertions encode the paper's qualitative claims; the
+benchmark timing itself measures the full experiment pipeline.
+
+Scale selection: set ``REPRO_BENCH_SCALE`` to ``tiny`` (default, seconds
+per figure), ``small`` (minutes) or ``paper`` (hours, the full-size
+sweeps of Section 6).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Callable
+
+from repro.experiments import (
+    FigureResult,
+    TraceFigureResult,
+    render_figure,
+    render_trace_figure,
+    run_figure,
+)
+
+#: Directory where bench tables are written.
+RESULTS_DIR = Path(__file__).parent / "results"
+
+BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "tiny")
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "1"))
+
+
+def run_and_record(name: str) -> FigureResult | TraceFigureResult:
+    """Run one figure at the bench scale and persist its table."""
+    result = run_figure(name, scale=BENCH_SCALE, seed=BENCH_SEED)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    if isinstance(result, TraceFigureResult):
+        text = render_trace_figure(result)
+    else:
+        text = render_figure(result)
+    path = RESULTS_DIR / f"{name}_{BENCH_SCALE}.txt"
+    path.write_text(text + "\n")
+    return result
+
+
+def bench_figure(benchmark, name: str) -> FigureResult | TraceFigureResult:
+    """Benchmark one full figure regeneration (single round)."""
+    return benchmark.pedantic(
+        run_and_record, args=(name,), iterations=1, rounds=1
+    )
+
+
+def series_mean(result: FigureResult, key: str) -> float:
+    """Average normalised value of a series across the sweep."""
+    values = result.normalized[key]
+    return sum(values) / len(values)

@@ -1,0 +1,75 @@
+"""Ablation: checkpoint-period strategy (DESIGN.md design choice S5).
+
+The paper fixes Young's first-order period (Eq. 1).  This ablation swaps
+it for Daly's higher-order refinement and for deliberately mis-tuned
+fixed periods, holding everything else constant.
+
+Expected shape: Young ~ Daly (C << mu in the paper's regime — the
+higher-order terms are negligible) and both clearly beat a period that is
+far too short (checkpoint thrash) or far too long (too much lost work).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Cluster, Simulator, uniform_pack
+from repro.resilience import (
+    DalyStrategy,
+    ExpectedTimeModel,
+    FixedPeriodStrategy,
+    ResilienceModel,
+    YoungStrategy,
+)
+
+from _common import RESULTS_DIR, BENCH_SEED
+
+REPLICATES = 5
+
+
+def _mean_makespan(pack, cluster, resilience) -> float:
+    makespans = []
+    for seed in range(REPLICATES):
+        model = ExpectedTimeModel(pack, cluster, resilience=resilience)
+        result = Simulator(
+            pack,
+            cluster,
+            "ig-el",
+            seed=BENCH_SEED + seed,
+            resilience=resilience,
+            model=model,
+        ).run()
+        makespans.append(result.makespan)
+    return float(np.mean(makespans))
+
+
+def run_ablation() -> dict[str, float]:
+    pack = uniform_pack(8, m_inf=10_000, m_sup=40_000, seed=BENCH_SEED)
+    cluster = Cluster.with_mtbf_years(32, mtbf_years=0.05)
+    strategies = {
+        "young": YoungStrategy(),
+        "daly": DalyStrategy(),
+        "fixed-short": FixedPeriodStrategy(600.0),
+        "fixed-long": FixedPeriodStrategy(400_000.0),
+    }
+    return {
+        name: _mean_makespan(pack, cluster, ResilienceModel(cluster, strategy))
+        for name, strategy in strategies.items()
+    }
+
+
+def test_checkpoint_strategy_ablation(benchmark):
+    means = benchmark.pedantic(run_ablation, iterations=1, rounds=1)
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    lines = [f"{name}: {value:.6g}s" for name, value in means.items()]
+    (RESULTS_DIR / "ablation_checkpoint_strategy.txt").write_text(
+        "\n".join(lines) + "\n"
+    )
+
+    # Young and Daly agree within a few percent in the C << mu regime.
+    assert abs(means["young"] - means["daly"]) / means["young"] < 0.05
+    # Mis-tuned periods lose: thrash on the short side...
+    assert means["fixed-short"] > 1.2 * means["young"]
+    # ...and excessive rollback on the long side.
+    assert means["fixed-long"] > means["young"]

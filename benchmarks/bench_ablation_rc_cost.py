@@ -1,0 +1,74 @@
+"""Ablation: redistribution-cost weight (DESIGN.md design choice S7).
+
+The paper charges every processor move ``RC_i^{j->k}`` (Eq. 9) and only
+redistributes when the move pays for itself.  This ablation scales the
+cost the heuristics see: ``rc_factor = 0`` makes moves free (an upper
+bound on what redistribution could achieve), 1 is the paper's model, and
+a large factor effectively disables redistribution.
+
+Expected shape: makespan is non-decreasing in the cost factor, the
+number of performed redistributions non-increasing, and the heavily
+penalised variant converges to the no-redistribution baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Cluster, Simulator, uniform_pack
+from repro.resilience import ExpectedTimeModel
+
+from _common import RESULTS_DIR, BENCH_SEED
+
+REPLICATES = 5
+FACTORS = (0.0, 1.0, 100.0)
+
+
+def run_ablation() -> dict:
+    pack = uniform_pack(8, m_inf=10_000, m_sup=40_000, seed=BENCH_SEED)
+    cluster = Cluster.with_mtbf_years(24, mtbf_years=0.08)
+    outcome: dict = {"makespan": {}, "redistributions": {}}
+    for factor in FACTORS:
+        makespans, moves = [], []
+        for seed in range(REPLICATES):
+            model = ExpectedTimeModel(pack, cluster, rc_factor=factor)
+            result = Simulator(
+                pack, cluster, "ig-el", seed=BENCH_SEED + seed, model=model
+            ).run()
+            makespans.append(result.makespan)
+            moves.append(result.redistributions)
+        outcome["makespan"][factor] = float(np.mean(makespans))
+        outcome["redistributions"][factor] = float(np.mean(moves))
+    baseline = []
+    for seed in range(REPLICATES):
+        result = Simulator(
+            pack, cluster, "no-redistribution", seed=BENCH_SEED + seed
+        ).run()
+        baseline.append(result.makespan)
+    outcome["baseline"] = float(np.mean(baseline))
+    return outcome
+
+
+def test_rc_cost_ablation(benchmark):
+    outcome = benchmark.pedantic(run_ablation, iterations=1, rounds=1)
+    makespan = outcome["makespan"]
+    moves = outcome["redistributions"]
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    lines = [
+        f"rc_factor={factor:g}: makespan={makespan[factor]:.6g}s "
+        f"redistributions={moves[factor]:.1f}"
+        for factor in FACTORS
+    ] + [f"no-redistribution baseline: {outcome['baseline']:.6g}s"]
+    (RESULTS_DIR / "ablation_rc_cost.txt").write_text("\n".join(lines) + "\n")
+
+    # costlier moves => fewer of them
+    assert moves[0.0] >= moves[1.0] >= moves[100.0]
+    # free redistribution cannot lose to the paper's model (same moves
+    # considered, zero price) within noise
+    assert makespan[0.0] <= makespan[1.0] * 1.02
+    # the penalised variant approaches (and never beats by much) the
+    # no-redistribution baseline
+    assert makespan[100.0] <= outcome["baseline"] * 1.02
+    # paper's model still clearly beats no redistribution
+    assert makespan[1.0] < outcome["baseline"]

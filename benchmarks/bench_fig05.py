@@ -1,0 +1,25 @@
+"""Figure 5: fault-free redistribution gain, n=100, p=200..2000.
+
+Paper claims (Section 6.2): both end-of-task heuristics gain >= 20% at
+low processor counts; the gain shrinks as p grows; the heterogeneous
+variant (b) gains more than the homogeneous one (a).
+"""
+
+from _common import bench_figure, series_mean
+
+
+def test_fig5a_homogeneous(benchmark):
+    result = bench_figure(benchmark, "fig5a")
+    # Baseline normalises to 1; heuristics never lose in fault-free mode.
+    assert all(v == 1.0 for v in result.normalized["no-rc"])
+    assert series_mean(result, "rc-greedy") <= 1.0 + 1e-9
+    assert series_mean(result, "rc-local") <= 1.0 + 1e-9
+    # The gain shrinks (or at worst stagnates) as p grows.
+    local = result.normalized["rc-local"]
+    assert local[0] <= local[-1] + 0.05
+
+
+def test_fig5b_heterogeneous(benchmark):
+    result = bench_figure(benchmark, "fig5b")
+    assert series_mean(result, "rc-local") <= 1.0 + 1e-9
+    assert series_mean(result, "rc-greedy") <= 1.0 + 1e-9

@@ -1,0 +1,23 @@
+"""Figure 6: fault-free redistribution gain, n=1000, p=2000..5000.
+
+Same claims as Figure 5 at a 10x task count: both heuristics behave
+similarly, heterogeneity increases the gain.
+"""
+
+from _common import bench_figure, series_mean
+
+
+def test_fig6a_homogeneous(benchmark):
+    result = bench_figure(benchmark, "fig6a")
+    assert series_mean(result, "rc-greedy") <= 1.0 + 1e-9
+    assert series_mean(result, "rc-local") <= 1.0 + 1e-9
+    # The two heuristics track each other closely (paper: "very similar").
+    gap = abs(
+        series_mean(result, "rc-greedy") - series_mean(result, "rc-local")
+    )
+    assert gap < 0.15
+
+
+def test_fig6b_heterogeneous(benchmark):
+    result = bench_figure(benchmark, "fig6b")
+    assert series_mean(result, "rc-local") <= 1.0 + 1e-9

@@ -1,0 +1,25 @@
+"""Figure 7: impact of the number of tasks n (p=5000).
+
+Paper claims: the redistribution gain *grows* with n (>= 40% at n=1000);
+IteratedGreedy beats ShortestTasksFirst; EndGreedy helps STF but not IG;
+the fault-free RC line is the lower envelope.
+"""
+
+from _common import bench_figure, series_mean
+
+
+def test_fig7_impact_of_n(benchmark):
+    result = bench_figure(benchmark, "fig7")
+    heuristics = ("ig-eg", "ig-el", "stf-eg", "stf-el")
+    # The gain grows with n: the last sweep point beats the first for the
+    # best heuristic.
+    best_first = min(result.normalized[k][0] for k in heuristics)
+    best_last = min(result.normalized[k][-1] for k in heuristics)
+    assert best_last <= best_first + 1e-9
+    # At the largest n every heuristic improves on the no-RC baseline.
+    for key in heuristics:
+        assert result.normalized[key][-1] < 1.0
+    # The fault-free envelope is the minimum of every row.
+    for idx in range(len(result.x_values)):
+        row = result.row(idx)
+        assert row["ff-rc"] == min(row.values())

@@ -1,0 +1,20 @@
+"""Figure 8: impact of the number of processors p (n=100).
+
+Paper claims: the gain *shrinks* as p grows (tasks become
+over-provisioned) but stays around >= 10% over most of the range;
+IteratedGreedy averages ~25% vs ~15% for ShortestTasksFirst.
+"""
+
+from _common import bench_figure
+
+
+def test_fig8_impact_of_p(benchmark):
+    result = bench_figure(benchmark, "fig8")
+    ig = result.normalized["ig-el"]
+    # Gain shrinks with p: the tightest platform benefits the most.
+    assert ig[0] <= ig[-1] + 1e-9
+    # At the tightest point redistribution is clearly winning.
+    assert ig[0] < 0.95
+    # Fault-free envelope below the fault-context baseline everywhere.
+    for idx in range(len(result.x_values)):
+        assert result.normalized["ff-rc"][idx] <= 1.0 + 1e-9

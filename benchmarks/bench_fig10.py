@@ -1,0 +1,18 @@
+"""Figure 10: impact of the MTBF (n=100, p=1000).
+
+Paper claims: performance of all heuristics degrades as the MTBF drops;
+at comfortable MTBFs the heuristics keep a clear gain over no-RC.
+"""
+
+from _common import bench_figure
+
+
+def test_fig10_mtbf_sweep(benchmark):
+    result = bench_figure(benchmark, "fig10")
+    ig = result.normalized["ig-el"]
+    # Highest MTBF (last sweep point) performs at least as well as the
+    # most failure-ridden point.
+    assert ig[-1] <= ig[0] + 0.05
+    # With a healthy MTBF the heuristics beat the baseline.
+    assert ig[-1] < 1.0
+    assert result.normalized["stf-el"][-1] < 1.0

@@ -1,0 +1,21 @@
+"""Figure 12: impact of the checkpointing cost (n=100, p=1000).
+
+Paper claims: as the unit checkpoint cost c decreases, overall
+performance improves and the gap between the fault context and the
+fault-free context narrows.
+"""
+
+from _common import bench_figure
+
+
+def test_fig12_checkpoint_cost_sweep(benchmark):
+    result = bench_figure(benchmark, "fig12")
+    ig = result.normalized["ig-el"]
+    ff = result.normalized["ff-rc"]
+    # Gap between the fault-context heuristic and the fault-free best
+    # case narrows as c decreases (first sweep point = cheapest).
+    cheap_gap = ig[0] - ff[0]
+    costly_gap = ig[-1] - ff[-1]
+    assert cheap_gap <= costly_gap + 0.05
+    # Redistribution wins at every cost level.
+    assert all(v < 1.05 for v in ig)

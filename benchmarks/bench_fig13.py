@@ -1,0 +1,25 @@
+"""Figure 13: MTBF sweep at three checkpoint costs (c = 1, 0.1, 0.01).
+
+Paper claims: cheaper checkpoints lift every curve (less lost work per
+failure), shrinking the gap to the fault-free context across the whole
+MTBF range.
+"""
+
+from _common import bench_figure, series_mean
+
+
+def test_fig13a_cost_1(benchmark):
+    result = bench_figure(benchmark, "fig13a")
+    assert series_mean(result, "ff-rc") <= 1.0
+
+
+def test_fig13b_cost_01(benchmark):
+    result = bench_figure(benchmark, "fig13b")
+    assert series_mean(result, "ff-rc") <= 1.0
+
+
+def test_fig13c_cost_001(benchmark):
+    result = bench_figure(benchmark, "fig13c")
+    # At c=0.01 checkpoints are nearly free: the heuristics sit very close
+    # to (or below) the fault-free line of the c=1 panel.
+    assert series_mean(result, "ig-el") <= 1.05

@@ -1,0 +1,19 @@
+"""Figure 14: impact of the sequential fraction f (n=100, p=1000).
+
+Paper claims: the more parallel the tasks (small f), the more effective
+redistribution is; at f=0.5 extra processors barely help, so the curves
+collapse toward the no-RC baseline.
+"""
+
+from _common import bench_figure
+
+
+def test_fig14_sequential_fraction_sweep(benchmark):
+    result = bench_figure(benchmark, "fig14")
+    ig = result.normalized["ig-el"]
+    # Fully parallel tasks benefit at least as much as mostly-sequential
+    # ones (first sweep point is f=0).
+    assert ig[0] <= ig[-1] + 0.05
+    # The fault-free envelope keeps the same ordering.
+    ff = result.normalized["ff-rc"]
+    assert ff[0] <= ff[-1] + 0.05

@@ -1,0 +1,82 @@
+"""Micro-benchmarks of the library's hot paths.
+
+Not tied to a paper figure; these track the cost of the building blocks
+the experiment pipeline leans on (profile evaluation dominates — see the
+performance notes in DESIGN.md).
+"""
+
+import numpy as np
+
+from repro.cluster import Cluster
+from repro.core import optimal_schedule, redistribution_cost_vector
+from repro.core.heuristics import greedy_rebuild
+from repro.core.state import TaskRuntime
+from repro.resilience import ExpectedTimeModel
+from repro.simulation import simulate
+from repro.tasks import uniform_pack
+
+PACK = uniform_pack(50, m_inf=6000, m_sup=10000, seed=0)
+CLUSTER = Cluster.with_mtbf_years(400, 0.02)
+
+
+def fresh_model() -> ExpectedTimeModel:
+    return ExpectedTimeModel(PACK, CLUSTER)
+
+
+def test_profile_evaluation(benchmark):
+    """One vectorised t^R profile over the full even-j grid (cache miss)."""
+    model = fresh_model()
+    model.profile(0, 1.0)  # warm the per-task grid
+    counter = iter(range(10**9))
+
+    def evaluate():
+        # distinct alpha every call -> forced cache miss
+        return model.profile(0, 0.5 + next(counter) * 1e-9)
+
+    benchmark(evaluate)
+
+
+def test_profile_cache_hit(benchmark):
+    model = fresh_model()
+    model.profile(0, 1.0)
+    benchmark(lambda: model.profile(0, 1.0))
+
+
+def test_optimal_schedule(benchmark):
+    """Algorithm 1 on 50 tasks / 400 processors."""
+    model = fresh_model()
+    model.profile(0, 1.0)
+    benchmark(lambda: optimal_schedule(model, 400))
+
+
+def test_redistribution_cost_vector(benchmark):
+    targets = np.arange(2, 401, 2)
+    benchmark(lambda: redistribution_cost_vector(1e6, 10, targets))
+
+
+def test_greedy_rebuild(benchmark):
+    """One IteratedGreedy-style rebuild of the whole pack."""
+    model = fresh_model()
+    sigma = optimal_schedule(model, 400)
+
+    def rebuild():
+        runtimes = []
+        for i, spec in enumerate(PACK):
+            rt = TaskRuntime(spec)
+            rt.assign(sigma[i])
+            rt.t_expected = model.expected_time(i, sigma[i], 1.0)
+            runtimes.append(rt)
+        t = min(rt.t_expected for rt in runtimes) * 0.5
+        return greedy_rebuild(model, t, runtimes, 400)
+
+    benchmark(rebuild)
+
+
+def test_full_simulation(benchmark):
+    """End-to-end run: 50 tasks, 400 processors, failures + IG-EL."""
+    model = fresh_model()
+    benchmark.pedantic(
+        lambda: simulate(PACK, CLUSTER, "ig-el", seed=3, model=model),
+        iterations=1,
+        rounds=3,
+    )

@@ -1,0 +1,61 @@
+"""Extension bench: competitive ratios of the online heuristics.
+
+Section 7 asks about the competitiveness of the online redistribution
+algorithms.  This bench measures upper bounds on the empirical ratios:
+simulated makespan over a certified per-run lower bound (area +
+critical-path + failure surcharge), across paired replicates.
+
+Expected shape: every ratio is >= 1 (the bound is sound); redistribution
+policies achieve smaller ratios than no-redistribution; all ratios stay
+within small constant factors (the heuristics are near-optimal in this
+regime, not pathological).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Cluster, simulate, uniform_pack
+from repro.theory.online import competitive_report
+
+from _common import RESULTS_DIR, BENCH_SEED
+
+POLICIES = ("no-redistribution", "ig-eg", "ig-el", "stf-eg", "stf-el")
+REPLICATES = 6
+
+
+def run_ratios() -> dict[str, list[float]]:
+    cluster = Cluster.with_mtbf_years(24, mtbf_years=0.1)
+    ratios: dict[str, list[float]] = {name: [] for name in POLICIES}
+    for replicate in range(REPLICATES):
+        pack = uniform_pack(
+            8, m_inf=8_000, m_sup=30_000, seed=BENCH_SEED + replicate
+        )
+        results = [
+            simulate(pack, cluster, name, seed=replicate) for name in POLICIES
+        ]
+        report = competitive_report(pack, cluster, results)
+        for name in POLICIES:
+            ratios[name].append(report.ratios[name])
+    return ratios
+
+
+def test_competitive_ratios(benchmark):
+    ratios = benchmark.pedantic(run_ratios, iterations=1, rounds=1)
+    means = {name: float(np.mean(values)) for name, values in ratios.items()}
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    lines = [
+        f"{name}: mean ratio {means[name]:.4f} "
+        f"(min {min(ratios[name]):.4f}, max {max(ratios[name]):.4f})"
+        for name in POLICIES
+    ]
+    (RESULTS_DIR / "competitive_ratios.txt").write_text("\n".join(lines) + "\n")
+
+    # soundness: no run beats its certified lower bound
+    assert all(r >= 1.0 for values in ratios.values() for r in values)
+    # redistribution improves the empirical competitiveness
+    for name in ("ig-eg", "ig-el", "stf-eg", "stf-el"):
+        assert means[name] <= means["no-redistribution"] + 1e-9
+    # nothing pathological: single-digit constants in this regime
+    assert all(mean < 5.0 for mean in means.values())

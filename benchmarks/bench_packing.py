@@ -1,0 +1,77 @@
+"""Extension bench: multi-pack partitioning (future work of Section 7).
+
+A campaign larger than the platform's buddy capacity must be split into
+consecutive packs.  This bench compares the partitioning algorithms'
+simulated total makespans and checks the pricing oracle's choice is
+competitive.
+
+Expected shape: the DP split is at least as good as first-fit on the
+oracle's estimate; all algorithms' simulated totals are within a modest
+factor of the best; the oracle's preferred partition simulates within a
+few percent of the simulated best.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Cluster, uniform_pack
+from repro.packing import (
+    MultiPackScheduler,
+    PackCostOracle,
+    dp_contiguous,
+    first_fit_capacity,
+    fixed_k_lpt,
+)
+
+from _common import RESULTS_DIR, BENCH_SEED
+
+REPLICATES = 4
+
+
+def run_comparison() -> dict:
+    pack = uniform_pack(14, m_inf=5_000, m_sup=40_000, seed=BENCH_SEED)
+    cluster = Cluster.with_mtbf_years(12, mtbf_years=0.5)
+    oracle = PackCostOracle(pack, cluster)
+    partitions = {
+        "first-fit": first_fit_capacity(oracle),
+        "lpt-k3": fixed_k_lpt(oracle, 3),
+        "dp-k3": dp_contiguous(oracle, 3),
+        "dp-k4": dp_contiguous(oracle, 4),
+    }
+    outcome: dict = {"estimated": {}, "simulated": {}}
+    for name, partition in partitions.items():
+        outcome["estimated"][name] = partition.estimated_total
+        totals = [
+            MultiPackScheduler(
+                pack, cluster, "ig-el", partition, seed=BENCH_SEED + seed
+            ).run().total_makespan
+            for seed in range(REPLICATES)
+        ]
+        outcome["simulated"][name] = float(np.mean(totals))
+    return outcome
+
+
+def test_packing_algorithms(benchmark):
+    outcome = benchmark.pedantic(run_comparison, iterations=1, rounds=1)
+    estimated, simulated = outcome["estimated"], outcome["simulated"]
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    lines = [
+        f"{name}: estimated={estimated[name]:.6g}s "
+        f"simulated={simulated[name]:.6g}s"
+        for name in estimated
+    ]
+    (RESULTS_DIR / "packing_comparison.txt").write_text("\n".join(lines) + "\n")
+
+    # the k=3 DP optimises exactly what the oracle measures, over a
+    # superset of first-fit's contiguous candidates at equal pack count
+    assert estimated["dp-k3"] <= estimated["first-fit"] + 1e-6
+    # more packs allowed => DP estimate can only improve
+    assert estimated["dp-k4"] <= estimated["dp-k3"] + 1e-6
+    # every heuristic lands in the same ballpark under simulation
+    best = min(simulated.values())
+    assert all(value <= 1.35 * best for value in simulated.values())
+    # the oracle's pick is competitive when executed
+    oracle_pick = min(estimated, key=estimated.get)
+    assert simulated[oracle_pick] <= 1.15 * best

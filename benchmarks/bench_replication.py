@@ -1,0 +1,77 @@
+"""Extension bench: checkpointing vs process replication (Section 2.2).
+
+Prices one task's expected completion under the paper's buddy
+checkpointing and under full process replication across per-processor
+MTBFs, locating the crossover.
+
+Expected shape: checkpointing wins on reliable platforms (replication
+wastes half the processors), replication wins on hostile ones (its
+interruption process is ~MNFTI times rarer), and the crossover MTBF
+moves *up* with the allocation size — the classic exascale argument.
+"""
+
+from __future__ import annotations
+
+from repro import Cluster, uniform_pack
+from repro.resilience import (
+    ExpectedTimeModel,
+    ReplicatedExpectedTimeModel,
+    crossover_mtbf,
+    mnfti,
+)
+from repro.units import SECONDS_PER_YEAR
+
+from _common import RESULTS_DIR, BENCH_SEED
+
+MTBF_YEARS_GRID = (0.003, 0.01, 0.03, 0.1, 0.3, 1.0)
+
+
+def run_comparison() -> dict:
+    pack = uniform_pack(1, m_inf=100_000, m_sup=100_000, seed=BENCH_SEED)
+    j = 64
+    outcome: dict = {"plain": {}, "replicated": {}, "crossover": {}}
+    for mtbf_years in MTBF_YEARS_GRID:
+        cluster = Cluster.with_mtbf_years(j, mtbf_years=mtbf_years)
+        outcome["plain"][mtbf_years] = ExpectedTimeModel(
+            pack, cluster
+        ).expected_time(0, j, 1.0)
+        outcome["replicated"][mtbf_years] = ReplicatedExpectedTimeModel(
+            pack, cluster
+        ).expected_time(0, j, 1.0)
+    for j_cross in (16, 32, 64):
+        outcome["crossover"][j_cross] = crossover_mtbf(pack, 0, j_cross)
+    return outcome
+
+
+def test_replication_crossover(benchmark):
+    outcome = benchmark.pedantic(run_comparison, iterations=1, rounds=1)
+    plain, replicated = outcome["plain"], outcome["replicated"]
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    lines = [
+        f"mtbf={m:g}y: checkpointing={plain[m]:.6g}s "
+        f"replication={replicated[m]:.6g}s "
+        f"winner={'replication' if replicated[m] < plain[m] else 'checkpointing'}"
+        for m in MTBF_YEARS_GRID
+    ]
+    for j_cross, crossover in outcome["crossover"].items():
+        value = (
+            f"{crossover / SECONDS_PER_YEAR:.4g}y"
+            if crossover is not None
+            else "none"
+        )
+        lines.append(f"crossover j={j_cross}: {value}")
+    (RESULTS_DIR / "replication_crossover.txt").write_text(
+        "\n".join(lines) + "\n"
+    )
+
+    # hostile end: replication wins
+    assert replicated[MTBF_YEARS_GRID[0]] < plain[MTBF_YEARS_GRID[0]]
+    # reliable end: checkpointing wins
+    assert plain[MTBF_YEARS_GRID[-1]] < replicated[MTBF_YEARS_GRID[-1]]
+    # crossover exists in range and moves up with the allocation
+    crossovers = outcome["crossover"]
+    assert all(value is not None for value in crossovers.values())
+    assert crossovers[16] < crossovers[32] < crossovers[64]
+    # sanity: MNFTI grows with the pair count (drives the whole effect)
+    assert mnfti(32) > mnfti(8) > mnfti(1)

@@ -1,0 +1,90 @@
+"""Extension bench: silent errors with verification (future work, §7).
+
+Prices one task under the verified-checkpointing pattern as the silent
+error rate grows, and validates the closed form against the Monte-Carlo
+sampler at one hostile operating point.
+
+Expected shape: higher silent rates shorten the optimal pattern, raise
+the verification overhead, and inflate the expected completion time;
+the analytic pattern model agrees with simulation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Cluster, uniform_pack
+from repro.resilience import (
+    SilentErrorConfig,
+    SilentErrorModel,
+    simulate_silent_execution,
+)
+from repro.units import years
+
+from _common import RESULTS_DIR, BENCH_SEED
+
+SILENT_MTBF_YEARS = (10.0, 1.0, 0.1, 0.02)
+
+
+def run_study() -> dict:
+    pack = uniform_pack(1, m_inf=50_000, m_sup=50_000, seed=BENCH_SEED)
+    cluster = Cluster.with_mtbf_years(16, mtbf_years=0.1)
+    j = 8
+    outcome: dict = {"work": {}, "overhead": {}, "expected": {}}
+    for mtbf in SILENT_MTBF_YEARS:
+        model = SilentErrorModel(
+            pack,
+            cluster,
+            SilentErrorConfig(
+                silent_rate=1.0 / years(mtbf), verification_unit_cost=0.1
+            ),
+        )
+        outcome["work"][mtbf] = model.optimal_work(0, j)
+        outcome["overhead"][mtbf] = model.verification_overhead(0, j)
+        outcome["expected"][mtbf] = model.expected_time(0, j, 1.0)
+
+    # Monte-Carlo agreement at the most hostile point
+    hostile = SilentErrorModel(
+        pack,
+        cluster,
+        SilentErrorConfig(
+            silent_rate=1.0 / years(SILENT_MTBF_YEARS[-1]),
+            verification_unit_cost=0.1,
+        ),
+    )
+    rng = np.random.default_rng(BENCH_SEED)
+    samples = np.array(
+        [simulate_silent_execution(hostile, 0, j, rng=rng) for _ in range(120)]
+    )
+    outcome["mc_mean"] = float(samples.mean())
+    outcome["mc_stderr"] = float(samples.std(ddof=1) / np.sqrt(samples.size))
+    outcome["mc_predicted"] = hostile.expected_time(0, j, 1.0)
+    return outcome
+
+
+def test_silent_error_study(benchmark):
+    outcome = benchmark.pedantic(run_study, iterations=1, rounds=1)
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    lines = [
+        f"silent mtbf={mtbf:g}y: w*={outcome['work'][mtbf]:.6g}s "
+        f"verify-overhead={outcome['overhead'][mtbf]:.3%} "
+        f"E[time]={outcome['expected'][mtbf]:.6g}s"
+        for mtbf in SILENT_MTBF_YEARS
+    ]
+    lines.append(
+        f"monte-carlo: mean={outcome['mc_mean']:.6g}s "
+        f"predicted={outcome['mc_predicted']:.6g}s "
+        f"(stderr {outcome['mc_stderr']:.3g}s)"
+    )
+    (RESULTS_DIR / "silent_errors.txt").write_text("\n".join(lines) + "\n")
+
+    mtbfs = SILENT_MTBF_YEARS
+    # more silent errors => shorter patterns, more verification, more time
+    for a, b in zip(mtbfs, mtbfs[1:]):  # a more reliable than b
+        assert outcome["work"][a] >= outcome["work"][b]
+        assert outcome["overhead"][a] <= outcome["overhead"][b]
+        assert outcome["expected"][a] <= outcome["expected"][b]
+    # closed form within 5 sigma + 5% of the sampled mean
+    tolerance = 5 * outcome["mc_stderr"] + 0.05 * outcome["mc_predicted"]
+    assert abs(outcome["mc_mean"] - outcome["mc_predicted"]) < tolerance

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Batch campaign: online batching vs clairvoyant packing.
+
+Section 2.3 of the paper frames pack co-scheduling as the *static*
+counterpart of batch scheduling.  Here a campaign of 12 jobs arrives as
+a Poisson stream at a 6-buddy-pair cluster and is executed three ways:
+
+1. **online, batch-per-drain** — the related-work regime: whenever the
+   platform drains, every released job forms the next batch;
+2. **online, bounded batches** — classic batch schedulers' cap;
+3. **clairvoyant packing** — all jobs known at time 0 (ignore releases),
+   partitioned offline with the DP of `repro.packing` (the lower-bound
+   regime the paper's one-pack scheduling represents).
+
+The run reports makespan and the *user-facing* metrics that distinguish
+the regimes: waiting and response times.
+
+Run:  python examples/batch_campaign.py
+"""
+
+from __future__ import annotations
+
+from repro import Cluster
+from repro.batch import OnlineBatchScheduler, poisson_stream
+from repro.experiments import render_table
+from repro.packing import MultiPackScheduler, PackCostOracle, dp_contiguous
+from repro.tasks import Pack
+from dataclasses import replace as dc_replace
+
+cluster = Cluster.with_mtbf_years(12, mtbf_years=0.5)
+jobs = poisson_stream(
+    12, mean_interarrival=30_000.0, m_inf=5_000, m_sup=40_000, seed=99
+)
+print(
+    f"campaign: {len(jobs)} jobs over "
+    f"{jobs[-1].release:.4g}s of submissions on {cluster}\n"
+)
+
+rows = []
+
+# -- 1 & 2: online batching ------------------------------------------------
+for label, kwargs in (
+    ("batch per drain", dict(batch_policy="all")),
+    ("batches of 3", dict(batch_policy="fixed", batch_size=3)),
+):
+    outcome = OnlineBatchScheduler(
+        jobs, cluster, "ig-el", seed=5, **kwargs
+    ).run()
+    metrics = outcome.metrics
+    assert metrics is not None
+    rows.append(
+        [
+            label,
+            str(outcome.batch_count),
+            f"{outcome.makespan:.5g}s",
+            f"{metrics.mean_waiting:.4g}s",
+            f"{metrics.mean_response:.4g}s",
+        ]
+    )
+
+# -- 3: clairvoyant packing (release times ignored) --------------------------
+pack = Pack(
+    [dc_replace(job.task, index=i) for i, job in enumerate(jobs)]
+)
+oracle = PackCostOracle(pack, cluster)
+partition = dp_contiguous(oracle, 3)
+clairvoyant = MultiPackScheduler(
+    pack, cluster, "ig-el", partition, seed=5
+).run()
+rows.append(
+    [
+        "clairvoyant DP k=3",
+        str(partition.k),
+        f"{clairvoyant.total_makespan:.5g}s",
+        "n/a (ignores releases)",
+        "n/a",
+    ]
+)
+
+print(
+    render_table(
+        ["scheduler", "#batches", "makespan", "mean wait", "mean response"],
+        rows,
+    )
+)
+
+print(
+    "\nreading: the online scheduler pays for not knowing the future —"
+    "\nit may idle before late arrivals and cannot co-locate jobs across"
+    "\nrelease gaps.  In this drain-and-refill model, capping the batch"
+    "\nsize *excludes* released jobs from the running batch, so bounded"
+    "\nbatches fragment the schedule and inflate queue times; the cap"
+    "\nonly pays off for schedulers that can launch work before the"
+    "\nplatform drains, which packs (by design) do not."
+)

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Multi-pack scheduling: when the workload does not fit in one pack.
+
+The paper schedules one pack and leaves partitioning into consecutive
+packs as future work.  Here a 14-task campaign must run on a platform
+whose buddy pairs can host at most 6 tasks at once, so packing is
+mandatory.  The script compares the partitioning algorithms' estimated
+costs, executes the best candidates through the fault-injection
+simulator, and shows that the pricing oracle ranks partitions correctly.
+
+Run:  python examples/multi_pack_scheduling.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Cluster, uniform_pack
+from repro.experiments import render_table
+from repro.packing import (
+    MultiPackScheduler,
+    PackCostOracle,
+    dp_contiguous,
+    first_fit_capacity,
+    fixed_k_lpt,
+)
+
+pack = uniform_pack(14, m_inf=5_000, m_sup=60_000, seed=77)
+cluster = Cluster.with_mtbf_years(12, mtbf_years=0.5)  # 6 buddy pairs
+oracle = PackCostOracle(pack, cluster)
+
+print(
+    f"campaign: {pack.n} tasks on {cluster} — at most "
+    f"{oracle.max_group_size} tasks per pack, so one pack is infeasible\n"
+)
+
+# -- candidate partitions ---------------------------------------------------
+candidates = {
+    "first-fit (min #packs)": first_fit_capacity(oracle),
+    "LPT k=3": fixed_k_lpt(oracle, 3),
+    "LPT k=4": fixed_k_lpt(oracle, 4),
+    "DP k=3": dp_contiguous(oracle, 3),
+    "DP k=4": dp_contiguous(oracle, 4),
+}
+
+rows = [
+    [
+        name,
+        str(partition.k),
+        ",".join(str(len(g)) for g in partition.groups),
+        f"{partition.estimated_total:.5g}s",
+    ]
+    for name, partition in candidates.items()
+]
+print(render_table(["algorithm", "#packs", "pack sizes", "estimated total"], rows))
+
+# -- execute the two extremes through the simulator --------------------------
+print("\nsimulated totals (5 replicates, ig-el inside each pack):\n")
+rows = []
+estimated, simulated = [], []
+for name, partition in candidates.items():
+    totals = [
+        MultiPackScheduler(
+            pack, cluster, "ig-el", partition, seed=seed
+        ).run().total_makespan
+        for seed in range(5)
+    ]
+    estimated.append(partition.estimated_total)
+    simulated.append(float(np.mean(totals)))
+    rows.append(
+        [
+            name,
+            f"{partition.estimated_total:.5g}s",
+            f"{np.mean(totals):.5g}s",
+        ]
+    )
+print(render_table(["algorithm", "oracle estimate", "simulated mean"], rows))
+
+# rank correlation between the pricing oracle and reality
+from scipy.stats import spearmanr
+
+correlation = spearmanr(estimated, simulated).statistic
+best = list(candidates)[int(np.argmin(simulated))]
+oracle_pick = list(candidates)[int(np.argmin(estimated))]
+gap = simulated[int(np.argmin(estimated))] / min(simulated) - 1.0
+print(
+    f"\nbest partition by simulation: {best}"
+    f"\noracle's pick: {oracle_pick} "
+    f"(simulates within {gap:.1%} of the true best)"
+    f"\nSpearman rank correlation oracle vs simulation: {correlation:.2f}"
+    "\n(the oracle prices packs *without* redistribution, so simulated"
+    "\ntotals land below the estimates; near-tied candidates can swap"
+    "\nranks, but the oracle's pick stays close to the simulated best)"
+)

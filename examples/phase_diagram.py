@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Phase diagram: where does redistribution pay off?
+
+Sweeps the two resilience knobs jointly — per-processor MTBF and
+checkpoint unit cost — and maps the redistribution gain (1 − normalised
+makespan of ig-el) over the plane, with a paired significance test per
+cell.  The result is the operating-region picture a platform owner
+actually needs: *in which corner of (reliability × checkpoint price) is
+the redistribution machinery worth running?*
+
+Run:  python examples/phase_diagram.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import Cluster, simulate, uniform_pack
+from repro.analysis import paired_comparison
+from repro.viz import heatmap
+
+MTBF_YEARS = [0.01, 0.05, 0.25]       # hostile -> reliable
+UNIT_COSTS = [0.01, 0.1, 1.0]         # cheap -> expensive checkpoints
+REPLICATES = 5
+N_TASKS, P = 8, 24
+
+gain = np.zeros((len(MTBF_YEARS), len(UNIT_COSTS)))
+significant = np.zeros_like(gain, dtype=bool)
+
+for r, mtbf in enumerate(MTBF_YEARS):
+    for c, unit_cost in enumerate(UNIT_COSTS):
+        cluster = Cluster.with_mtbf_years(P, mtbf_years=mtbf)
+        with_rc, without_rc = [], []
+        for seed in range(REPLICATES):
+            pack = uniform_pack(
+                N_TASKS,
+                m_inf=8_000,
+                m_sup=30_000,
+                checkpoint_unit_cost=unit_cost,
+                seed=1000 + seed,
+            )
+            with_rc.append(
+                simulate(pack, cluster, "ig-el", seed=seed).makespan
+            )
+            without_rc.append(
+                simulate(
+                    pack, cluster, "no-redistribution", seed=seed
+                ).makespan
+            )
+        comparison = paired_comparison(with_rc, without_rc, seed=7)
+        gain[r, c] = 1.0 - comparison.mean_ratio
+        significant[r, c] = comparison.significant
+
+print(
+    heatmap(
+        gain,
+        x_labels=[f"c={c:g}" for c in UNIT_COSTS],
+        y_labels=[f"{m:g}y" for m in MTBF_YEARS],
+        title=(
+            f"redistribution gain of ig-el vs no-RC "
+            f"(n={N_TASKS}, p={P}, {REPLICATES} paired replicates)"
+        ),
+        x_name="checkpoint unit cost",
+        y_name="per-processor MTBF",
+        precision=3,
+    )
+)
+
+decided = [
+    f"  MTBF={MTBF_YEARS[r]:g}y, c={UNIT_COSTS[c]:g}: "
+    f"gain {gain[r, c]:+.1%}"
+    + ("  (sign-test significant)" if significant[r, c] else "")
+    for r in range(len(MTBF_YEARS))
+    for c in range(len(UNIT_COSTS))
+]
+print("\nper-cell paired comparisons:")
+print("\n".join(decided))
+
+# which axis moves the gain more?
+cost_effect = float(np.mean(gain[:, -1] - gain[:, 0]))
+mtbf_effect = float(np.mean(gain[0, :] - gain[-1, :]))
+print(
+    f"\naxis effects: going cheap->expensive checkpoints moves the gain by "
+    f"{cost_effect:+.1%} on average;\n"
+    f"going reliable->hostile MTBF moves it by {mtbf_effect:+.1%}."
+)
+print(
+    "reading the plane: expensive checkpoints amplify every failure's"
+    "\nimbalance, so rebalancing buys the most there; with cheap"
+    "\ncheckpoints the baseline loses little per failure and the plane"
+    "\nflattens."
+)

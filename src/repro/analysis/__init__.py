@@ -1,0 +1,14 @@
+"""Analysis utilities: replicate statistics and paired comparisons."""
+
+from .compare import PairedComparison, bootstrap_ci, paired_comparison
+from .stats import SeriesStats, describe, normalize_by, paired_gain
+
+__all__ = [
+    "SeriesStats",
+    "describe",
+    "normalize_by",
+    "paired_gain",
+    "PairedComparison",
+    "bootstrap_ci",
+    "paired_comparison",
+]

@@ -1,0 +1,75 @@
+"""Statistics over replicated simulations."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["SeriesStats", "describe", "normalize_by", "paired_gain"]
+
+
+@dataclass(frozen=True)
+class SeriesStats:
+    """Summary statistics of one series of makespans."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    ci_half_width: float  #: ~95% normal-approximation half width
+
+    def ci(self) -> tuple[float, float]:
+        """95% confidence interval for the mean."""
+        return (self.mean - self.ci_half_width, self.mean + self.ci_half_width)
+
+
+def describe(values: Sequence[float]) -> SeriesStats:
+    """Summary statistics with a normal-approximation 95% CI."""
+    array = np.asarray(values, dtype=float)
+    if array.size == 0:
+        raise ConfigurationError("cannot describe an empty series")
+    std = float(array.std(ddof=1)) if array.size > 1 else 0.0
+    half = 1.96 * std / math.sqrt(array.size) if array.size > 1 else 0.0
+    return SeriesStats(
+        count=int(array.size),
+        mean=float(array.mean()),
+        std=std,
+        minimum=float(array.min()),
+        maximum=float(array.max()),
+        ci_half_width=half,
+    )
+
+
+def normalize_by(
+    values: Sequence[float], baseline: Sequence[float]
+) -> float:
+    """Paper normalisation: ratio of mean makespans (Section 6.2)."""
+    baseline_mean = float(np.asarray(baseline, dtype=float).mean())
+    if baseline_mean <= 0:
+        raise ConfigurationError("baseline mean must be positive")
+    return float(np.asarray(values, dtype=float).mean()) / baseline_mean
+
+
+def paired_gain(
+    values: Sequence[float], baseline: Sequence[float]
+) -> SeriesStats:
+    """Statistics of the per-replicate ratios (paired design).
+
+    Complements the paper's ratio-of-means with a distribution over the
+    paired ratios, exposing run-to-run variability.
+    """
+    v = np.asarray(values, dtype=float)
+    b = np.asarray(baseline, dtype=float)
+    if v.shape != b.shape:
+        raise ConfigurationError(
+            f"paired series must have equal lengths: {v.shape} vs {b.shape}"
+        )
+    if np.any(b <= 0):
+        raise ConfigurationError("baseline values must be positive")
+    return describe(v / b)

@@ -1,0 +1,41 @@
+"""Online batch scheduling — the dynamic counterpart of packs.
+
+Section 2.3 situates the paper's *static* pack co-scheduling against
+*batch scheduling*, "where jobs are dynamically partitioned into batches
+as they are submitted to the system".  This package implements that
+counterpart so the two regimes can be compared on the same substrate:
+
+* :mod:`repro.batch.jobs` — jobs (a task plus a release time), arrival
+  processes (Poisson and deterministic traces) and per-job metrics;
+* :mod:`repro.batch.scheduler` — :class:`OnlineBatchScheduler`: when the
+  platform goes idle, the queue of released jobs is formed into the next
+  batch (capacity-capped), scheduled with Algorithm 1 and executed
+  through the fault-injection simulator with any redistribution policy.
+
+The comparison to the static side is deliberate: with all release times
+at zero and one batch, the scheduler degenerates to the paper's single
+pack; with the clairvoyant partitions of :mod:`repro.packing` it shows
+what knowing the future buys.
+"""
+
+from __future__ import annotations
+
+from .jobs import (
+    CampaignMetrics,
+    Job,
+    JobMetrics,
+    poisson_stream,
+    stream_from_sizes,
+)
+from .scheduler import BatchResult, BatchRun, OnlineBatchScheduler
+
+__all__ = [
+    "Job",
+    "JobMetrics",
+    "CampaignMetrics",
+    "poisson_stream",
+    "stream_from_sizes",
+    "OnlineBatchScheduler",
+    "BatchResult",
+    "BatchRun",
+]

@@ -1,0 +1,441 @@
+"""Command-line interface.
+
+::
+
+    repro-cosched figures                      # list reproducible figures
+    repro-cosched run fig7 --scale small       # regenerate one figure
+    repro-cosched run fig8 --plot --csv out.csv --json out.json
+    repro-cosched simulate --n 20 --p 100 --policy ig-el --mtbf-years 10
+    repro-cosched simulate --gantt --trace-csv events.csv
+    repro-cosched policies                     # list scheduling policies
+    repro-cosched pack --n 14 --p 12 --k 3     # multi-pack partitioning
+    repro-cosched batch --n 10 --p 12          # online batch campaign
+    repro-cosched validate --n 4 --p 16        # check Eq. (4) vs Monte-Carlo
+    repro-cosched ratios --n 8 --p 24          # competitive ratios
+
+The same entry point is reachable as ``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from . import __version__
+from .cluster import Cluster
+from .core.policy import PAPER_POLICY_LABELS, POLICIES
+from .experiments import (
+    FIGURES,
+    SCALES,
+    TraceFigureResult,
+    list_figures,
+    render_figure,
+    render_trace_figure,
+    run_figure,
+)
+from .simulation import Simulator, simulate
+from .tasks import uniform_pack
+from .units import to_days
+
+__all__ = ["main", "build_parser"]
+
+
+def _add_workload_arguments(
+    parser: argparse.ArgumentParser,
+    *,
+    n: int = 10,
+    p: int = 100,
+    mtbf_years: float = 100.0,
+) -> None:
+    """Shared workload/platform knobs (simulate, pack, validate, ratios)."""
+    parser.add_argument("--n", type=int, default=n, help="number of tasks")
+    parser.add_argument(
+        "--p", type=int, default=p, help="number of processors"
+    )
+    parser.add_argument("--mtbf-years", type=float, default=mtbf_years)
+    parser.add_argument("--downtime", type=float, default=60.0)
+    parser.add_argument("--m-inf", type=float, default=15_000.0)
+    parser.add_argument("--m-sup", type=float, default=25_000.0)
+    parser.add_argument("--checkpoint-unit-cost", type=float, default=1.0)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro-cosched",
+        description=(
+            "Resilient application co-scheduling with processor "
+            "redistribution (Benoit, Pottier, Robert) - reproduction toolkit"
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("figures", help="list the reproducible figures")
+    commands.add_parser("policies", help="list the scheduling policies")
+
+    run = commands.add_parser("run", help="regenerate one figure's data")
+    run.add_argument("figure", choices=sorted(FIGURES))
+    run.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default="small",
+        help="scaling preset (default: small)",
+    )
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--precision", type=int, default=3, help="digits in the tables"
+    )
+    run.add_argument(
+        "--plot", action="store_true", help="also draw an ASCII chart"
+    )
+    run.add_argument("--csv", metavar="PATH", help="export the series as CSV")
+    run.add_argument("--json", metavar="PATH", help="export the data as JSON")
+
+    sim = commands.add_parser("simulate", help="run one simulation")
+    _add_workload_arguments(sim)
+    sim.add_argument("--policy", choices=sorted(POLICIES), default="ig-el")
+    sim.add_argument(
+        "--fault-free", action="store_true", help="disable fault injection"
+    )
+    sim.add_argument(
+        "--gantt", action="store_true", help="draw the allocation Gantt"
+    )
+    sim.add_argument(
+        "--json", metavar="PATH", help="export the result (trace included)"
+    )
+    sim.add_argument(
+        "--trace-csv", metavar="PATH", help="export the event log as CSV"
+    )
+
+    pack_cmd = commands.add_parser(
+        "pack", help="partition a task set into consecutive packs"
+    )
+    _add_workload_arguments(pack_cmd, n=14, p=12, mtbf_years=0.5)
+    pack_cmd.add_argument(
+        "--k", type=int, default=3, help="pack count for LPT/DP"
+    )
+    pack_cmd.add_argument(
+        "--policy", choices=sorted(POLICIES), default="ig-el"
+    )
+    pack_cmd.add_argument(
+        "--execute",
+        action="store_true",
+        help="run the best partition through the simulator",
+    )
+
+    batch = commands.add_parser(
+        "batch", help="run a Poisson job campaign through batch scheduling"
+    )
+    _add_workload_arguments(batch, n=10, p=12, mtbf_years=0.5)
+    batch.add_argument(
+        "--policy", choices=sorted(POLICIES), default="ig-el"
+    )
+    batch.add_argument(
+        "--mean-interarrival",
+        type=float,
+        default=30_000.0,
+        help="mean job inter-arrival time in seconds",
+    )
+    batch.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help="cap jobs per batch (default: fill the platform)",
+    )
+
+    val = commands.add_parser(
+        "validate", help="validate Eq. (4) and the simulator consistency"
+    )
+    _add_workload_arguments(val, n=4, p=16, mtbf_years=0.05)
+    val.add_argument(
+        "--samples", type=int, default=200, help="Monte-Carlo sample count"
+    )
+
+    ratios = commands.add_parser(
+        "ratios", help="competitive ratios against certified lower bounds"
+    )
+    _add_workload_arguments(ratios, n=8, p=24, mtbf_years=0.1)
+
+    compare = commands.add_parser(
+        "compare",
+        help="paired-replicate policy comparison with significance",
+    )
+    _add_workload_arguments(compare, n=6, p=16, mtbf_years=0.02)
+    compare.add_argument(
+        "--replicates", type=int, default=5, help="paired replicates"
+    )
+    compare.add_argument(
+        "--policies",
+        nargs="+",
+        default=["ig-eg", "ig-el", "stf-eg", "stf-el"],
+        choices=sorted(POLICIES),
+    )
+    compare.add_argument(
+        "--fault-free", action="store_true", help="compare without failures"
+    )
+    return parser
+
+
+def _cmd_figures() -> int:
+    for name in list_figures():
+        print(f"{name:8s} {FIGURES[name].title}")
+    return 0
+
+
+def _cmd_policies() -> int:
+    for name in sorted(POLICIES):
+        print(f"{name:18s} {PAPER_POLICY_LABELS.get(name, '')}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    result = run_figure(args.figure, scale=args.scale, seed=args.seed)
+    if isinstance(result, TraceFigureResult):
+        print(render_trace_figure(result, precision=args.precision))
+        if args.plot:
+            from .viz import plot_trace_figure
+
+            print()
+            print(plot_trace_figure(result))
+        if args.csv or args.json:
+            print(
+                "note: --csv/--json exports apply to sweep figures only",
+                file=sys.stderr,
+            )
+        return 0
+    print(render_figure(result, precision=args.precision))
+    if args.plot:
+        from .viz import plot_figure
+
+        print()
+        print(plot_figure(result))
+    if args.csv:
+        from .io import write_figure_csv
+
+        write_figure_csv(result, args.csv)
+        print(f"series written to {args.csv}")
+    if args.json:
+        from .io import save_figure
+
+        save_figure(result, args.json)
+        print(f"figure data written to {args.json}")
+    return 0
+
+
+def _build_workload(args: argparse.Namespace):
+    pack = uniform_pack(
+        args.n,
+        m_inf=args.m_inf,
+        m_sup=args.m_sup,
+        checkpoint_unit_cost=args.checkpoint_unit_cost,
+        seed=args.seed,
+    )
+    cluster = Cluster.with_mtbf_years(args.p, args.mtbf_years, args.downtime)
+    return pack, cluster
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    pack, cluster = _build_workload(args)
+    needs_trace = args.gantt or args.json or args.trace_csv
+    result = Simulator(
+        pack,
+        cluster,
+        args.policy,
+        seed=args.seed,
+        inject_faults=not args.fault_free,
+        record_trace=bool(needs_trace),
+    ).run()
+    print(result.summary())
+    print(
+        f"makespan: {result.makespan:.6g} s "
+        f"({to_days(result.makespan):.2f} days)"
+    )
+    if args.gantt:
+        from .viz import gantt_chart
+
+        print()
+        print(gantt_chart(result))
+    if args.json:
+        from .io import save_result
+
+        save_result(result, args.json)
+        print(f"result written to {args.json}")
+    if args.trace_csv:
+        from .io import write_trace_csv
+
+        assert result.trace is not None
+        write_trace_csv(result.trace, args.trace_csv)
+        print(f"event log written to {args.trace_csv}")
+    return 0
+
+
+def _cmd_pack(args: argparse.Namespace) -> int:
+    from .packing import (
+        MultiPackScheduler,
+        PackCostOracle,
+        dp_contiguous,
+        first_fit_capacity,
+        fixed_k_lpt,
+        one_pack,
+    )
+
+    pack, cluster = _build_workload(args)
+    oracle = PackCostOracle(pack, cluster)
+    candidates = {}
+    if args.n <= oracle.max_group_size:
+        candidates["one-pack"] = one_pack(oracle)
+    candidates["first-fit"] = first_fit_capacity(oracle)
+    if args.k <= args.n:
+        candidates[f"lpt-k{args.k}"] = fixed_k_lpt(oracle, args.k)
+        candidates[f"dp-k{args.k}"] = dp_contiguous(oracle, args.k)
+
+    for name, partition in candidates.items():
+        print(f"{name:12s} {partition.describe()}")
+    best_name = min(candidates, key=lambda k: candidates[k].estimated_total)
+    print(f"\noracle's choice: {best_name}")
+
+    if args.execute:
+        outcome = MultiPackScheduler(
+            pack, cluster, args.policy, candidates[best_name], seed=args.seed
+        ).run()
+        print(outcome.summary())
+    return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from .batch import OnlineBatchScheduler, poisson_stream
+
+    jobs = poisson_stream(
+        args.n,
+        args.mean_interarrival,
+        m_inf=args.m_inf,
+        m_sup=args.m_sup,
+        checkpoint_unit_cost=args.checkpoint_unit_cost,
+        seed=args.seed,
+    )
+    cluster = Cluster.with_mtbf_years(args.p, args.mtbf_years, args.downtime)
+    kwargs = {}
+    if args.batch_size is not None:
+        kwargs = {"batch_policy": "fixed", "batch_size": args.batch_size}
+    outcome = OnlineBatchScheduler(
+        jobs, cluster, args.policy, seed=args.seed, **kwargs
+    ).run()
+    print(outcome.summary())
+    for run in outcome.batches:
+        ids = ",".join(f"J{j}" for j in run.job_ids)
+        print(
+            f"  batch {run.position}: start={run.start:.6g}s "
+            f"makespan={run.result.makespan:.6g}s jobs=[{ids}]"
+        )
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from .resilience import ExpectedTimeModel
+    from .validation import (
+        check_envelope_assumptions,
+        check_fault_free_projection,
+        validate_expected_time,
+    )
+
+    pack, cluster = _build_workload(args)
+    print(check_fault_free_projection(pack, cluster, seed=args.seed).describe())
+    print(check_envelope_assumptions(pack, cluster).describe())
+    model = ExpectedTimeModel(pack, cluster)
+    failed = 0
+    for i in range(min(args.n, 3)):
+        j = min(4, 2 * (cluster.processors // (2 * args.n)) * 2) or 2
+        report = validate_expected_time(
+            model, i, max(2, j), samples=args.samples, seed=args.seed
+        )
+        print(f"Eq.(4) task {i}: {report.describe()}")
+        failed += not report.passed
+    return 1 if failed else 0
+
+
+def _cmd_ratios(args: argparse.Namespace) -> int:
+    from .theory.online import competitive_report
+
+    pack, cluster = _build_workload(args)
+    results = [
+        simulate(pack, cluster, name, seed=args.seed)
+        for name in ("no-redistribution", "ig-eg", "ig-el", "stf-eg", "stf-el")
+    ]
+    report = competitive_report(pack, cluster, results)
+    print(report.render())
+    print(f"\nbest policy: {report.best_policy()}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from .experiments import ScenarioConfig, compare_policies
+
+    config = ScenarioConfig(
+        n=args.n,
+        p=args.p,
+        m_inf=args.m_inf,
+        m_sup=args.m_sup,
+        checkpoint_unit_cost=args.checkpoint_unit_cost,
+        mtbf_years=args.mtbf_years,
+        downtime=args.downtime,
+        replicates=args.replicates,
+    )
+    outcome = compare_policies(
+        config,
+        policies=args.policies,
+        faults=not args.fault_free,
+        seed=args.seed,
+    )
+    print(outcome.render())
+    print(f"\nbest policy: {outcome.best_policy()}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point (returns the process exit code)."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _dispatch(parser, args)
+    except BrokenPipeError:
+        # stdout was closed early (e.g. `repro-cosched figures | head`);
+        # suppress the traceback and exit like a well-behaved filter
+        import os
+
+        try:
+            sys.stdout.close()
+        except BrokenPipeError:
+            pass
+        os._exit(0)
+
+
+def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    if args.command == "figures":
+        return _cmd_figures()
+    if args.command == "policies":
+        return _cmd_policies()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "pack":
+        return _cmd_pack(args)
+    if args.command == "batch":
+        return _cmd_batch(args)
+    if args.command == "validate":
+        return _cmd_validate(args)
+    if args.command == "ratios":
+        return _cmd_ratios(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,6 @@
+"""Platform substrate: cluster description and processor bookkeeping."""
+
+from .cluster import Cluster, DEFAULT_DOWNTIME, DEFAULT_MTBF_YEARS
+from .processors import ProcessorMap
+
+__all__ = ["Cluster", "DEFAULT_DOWNTIME", "DEFAULT_MTBF_YEARS", "ProcessorMap"]

@@ -1,0 +1,109 @@
+"""Platform model (Section 3.1).
+
+A :class:`Cluster` is a set of ``p`` identical processors, each with an
+individual MTBF ``mu`` (exponential fail-stop arrivals of rate
+``lambda = 1/mu``), a platform-wide downtime ``D`` paid after every
+failure, and buddy pairing for the double-checkpointing scheme (which
+forces every allocation to be even).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import CapacityError, ConfigurationError
+from ..units import SECONDS_PER_YEAR, years
+
+__all__ = ["Cluster", "DEFAULT_DOWNTIME", "DEFAULT_MTBF_YEARS"]
+
+#: Default per-processor MTBF (Section 6.1: "fixed to 100 years").
+DEFAULT_MTBF_YEARS: float = 100.0
+#: Default downtime in seconds.  The paper leaves ``D`` platform-dependent
+#: and unspecified; 60 s follows the double-checkpointing literature
+#: (Dongarra, Herault, Robert 2014).  See DESIGN.md section 3.
+DEFAULT_DOWNTIME: float = 60.0
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """Immutable description of the execution platform.
+
+    Attributes
+    ----------
+    processors:
+        Platform size ``p``.  Must be an even number >= 2 because the
+        buddy-checkpointing scheme consumes processors in pairs.
+    mtbf:
+        Per-processor mean time between failures ``mu`` in **seconds**.
+    downtime:
+        Downtime ``D`` (seconds) between a failure and the start of the
+        recovery; platform-dependent, application-independent.
+    """
+
+    processors: int
+    mtbf: float = DEFAULT_MTBF_YEARS * SECONDS_PER_YEAR
+    downtime: float = DEFAULT_DOWNTIME
+
+    def __post_init__(self) -> None:
+        if self.processors < 2:
+            raise ConfigurationError(
+                f"a cluster needs at least 2 processors, got {self.processors}"
+            )
+        if self.processors % 2 != 0:
+            raise ConfigurationError(
+                "the double-checkpointing scheme pairs processors: "
+                f"p must be even, got {self.processors}"
+            )
+        if self.mtbf <= 0:
+            raise ConfigurationError(f"MTBF must be positive, got {self.mtbf}")
+        if self.downtime < 0:
+            raise ConfigurationError(
+                f"downtime must be non-negative, got {self.downtime}"
+            )
+
+    @classmethod
+    def with_mtbf_years(
+        cls,
+        processors: int,
+        mtbf_years: float = DEFAULT_MTBF_YEARS,
+        downtime: float = DEFAULT_DOWNTIME,
+    ) -> "Cluster":
+        """Build a cluster with the MTBF expressed in years (paper units)."""
+        return cls(processors=processors, mtbf=years(mtbf_years), downtime=downtime)
+
+    @property
+    def failure_rate(self) -> float:
+        """Per-processor failure rate ``lambda = 1 / mu``."""
+        return 1.0 / self.mtbf
+
+    @property
+    def platform_failure_rate(self) -> float:
+        """Aggregate rate ``p * lambda`` (a failure every ``mu/p`` on average)."""
+        return self.processors / self.mtbf
+
+    def task_mtbf(self, j: int) -> float:
+        """MTBF of a task running on ``j`` processors: ``mu_{i,j} = mu / j``.
+
+        See Section 3.1 and [Herault & Robert 2015] for the proof that the
+        MTBF of a group of ``j`` processors is ``mu/j``.
+        """
+        if j < 1:
+            raise CapacityError(f"task processor count must be >= 1, got {j}")
+        if j > self.processors:
+            raise CapacityError(
+                f"task cannot use {j} processors on a {self.processors}-proc cluster"
+            )
+        return self.mtbf / j
+
+    def validate_allocation_total(self, total: int) -> None:
+        """Raise :class:`CapacityError` if ``total`` exceeds the platform."""
+        if total > self.processors:
+            raise CapacityError(
+                f"allocation total {total} exceeds platform size {self.processors}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Cluster(p={self.processors}, mtbf={self.mtbf / SECONDS_PER_YEAR:.1f}y,"
+            f" D={self.downtime:g}s)"
+        )

@@ -1,0 +1,160 @@
+"""Constructive bipartite edge colouring.
+
+Section 3.3.1 reduces redistribution-round counting to edge colouring of
+the bipartite transfer graph and invokes König's theorem
+(``chi'(G) = Delta(G)`` for bipartite ``G``).  The paper only needs the
+*count*; we additionally build an explicit optimal colouring, which
+
+* validates the round formulas of :mod:`repro.core.redistribution` in the
+  test suite, and
+* yields an actual per-round transfer plan (sender, receiver) that a real
+  runtime could execute.
+
+Two constructions are provided: a closed-form Latin-square schedule for
+the complete bipartite graphs produced by redistribution, and the general
+alternating-path (Vizing-for-bipartite) algorithm for arbitrary bipartite
+multidegree-1 graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..exceptions import ConfigurationError
+
+__all__ = [
+    "complete_bipartite_coloring",
+    "bipartite_edge_coloring",
+    "transfer_schedule",
+    "validate_coloring",
+]
+
+Edge = Tuple[int, int]
+
+
+def complete_bipartite_coloring(a: int, b: int) -> List[List[Edge]]:
+    """Optimal edge colouring of ``K_{a,b}`` into ``max(a, b)`` rounds.
+
+    Edge ``(s, r)`` with ``s in [0,a)`` and ``r in [0,b)`` goes to round
+    ``(s + r) mod max(a, b)``.  Within a round no two edges share an
+    endpoint: two edges sharing ``s`` differ in ``r`` (mod ``max >= b``),
+    and symmetrically for ``r``.
+    """
+    if a < 1 or b < 1:
+        raise ConfigurationError("both sides of K_{a,b} must be non-empty")
+    n_rounds = max(a, b)
+    rounds: List[List[Edge]] = [[] for _ in range(n_rounds)]
+    for s in range(a):
+        for r in range(b):
+            rounds[(s + r) % n_rounds].append((s, r))
+    return rounds
+
+
+def bipartite_edge_coloring(
+    left: int, right: int, edges: Sequence[Edge]
+) -> Dict[Edge, int]:
+    """Colour an arbitrary bipartite graph with ``Delta`` colours.
+
+    Classic alternating-path algorithm: insert edges one by one; if the two
+    endpoints have no common free colour, flip a two-colour alternating
+    path from the right endpoint to make one available.  Runs in
+    ``O(E * V)``.
+
+    Parameters
+    ----------
+    left, right:
+        Sizes of the two vertex classes (ids ``0..left-1`` / ``0..right-1``).
+    edges:
+        Simple edges ``(u, v)`` with ``u`` in the left class, ``v`` right.
+
+    Returns
+    -------
+    dict mapping each edge to its colour ``0..Delta-1``.
+    """
+    degree_left = [0] * left
+    degree_right = [0] * right
+    for u, v in edges:
+        if not (0 <= u < left and 0 <= v < right):
+            raise ConfigurationError(f"edge {(u, v)} out of range")
+        degree_left[u] += 1
+        degree_right[v] += 1
+    if not edges:
+        return {}
+    delta = max(max(degree_left, default=0), max(degree_right, default=0))
+
+    # colour_at_left[u][c] = right endpoint of the c-coloured edge at u
+    colour_at_left: List[Dict[int, int]] = [dict() for _ in range(left)]
+    colour_at_right: List[Dict[int, int]] = [dict() for _ in range(right)]
+    colouring: Dict[Edge, int] = {}
+
+    def free_colour(used: Dict[int, int]) -> int:
+        for colour in range(delta):
+            if colour not in used:
+                return colour
+        raise AssertionError("no free colour below Delta; algorithm bug")
+
+    for u, v in edges:
+        cu = free_colour(colour_at_left[u])
+        cv = free_colour(colour_at_right[v])
+        if cu != cv:
+            # Flip the alternating (cu, cv)-path starting at v so cu
+            # becomes free at v.  The path is *traced read-only first*:
+            # flipping while walking corrupts the very records the walk
+            # reads next (the recoloured edge claims the colour slot the
+            # continuation edge still occupies), which can turn the walk
+            # into an endless ping-pong between two vertices.
+            path: List[Tuple[int, int, int]] = []  # (left, right, colour)
+            x, colour, side_right = v, cu, True
+            while True:
+                table = colour_at_right[x] if side_right else colour_at_left[x]
+                if colour not in table:
+                    break
+                y = table[colour]
+                path.append((y, x, colour) if side_right else (x, y, colour))
+                x = y
+                colour = cv if colour == cu else cu
+                side_right = not side_right
+            # v has no cv edge, so its (cu, cv)-component is a simple
+            # path: every vertex is visited once and the trace terminates.
+            for a, b, old in path:
+                del colour_at_left[a][old]
+                del colour_at_right[b][old]
+            for a, b, old in path:
+                new = cv if old == cu else cu
+                colour_at_left[a][new] = b
+                colour_at_right[b][new] = a
+                colouring[(a, b)] = new
+        colour_at_left[u][cu] = v
+        colour_at_right[v][cu] = u
+        colouring[(u, v)] = cu
+    return colouring
+
+
+def transfer_schedule(j: int, k: int) -> List[List[Edge]]:
+    """Per-round transfer plan for a redistribution from ``j`` to ``k`` procs.
+
+    Growing: old processors ``0..j-1`` each send to the ``k - j``
+    newcomers.  Shrinking: the ``j - k`` leavers each send to the ``k``
+    stayers.  ``j == k`` yields an empty schedule.  The number of rounds
+    always equals :func:`repro.core.redistribution.redistribution_rounds`.
+    """
+    if j < 1 or k < 1:
+        raise ConfigurationError("processor counts must be >= 1")
+    if j == k:
+        return []
+    if k > j:
+        return complete_bipartite_coloring(j, k - j)
+    return complete_bipartite_coloring(j - k, k)
+
+
+def validate_coloring(rounds: Iterable[Iterable[Edge]]) -> bool:
+    """Check that no endpoint repeats inside any round (proper colouring)."""
+    for round_edges in rounds:
+        senders: set[int] = set()
+        receivers: set[int] = set()
+        for s, r in round_edges:
+            if s in senders or r in receivers:
+                return False
+            senders.add(s)
+            receivers.add(r)
+    return True

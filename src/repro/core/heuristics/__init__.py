@@ -1,0 +1,29 @@
+"""The paper's redistribution heuristics (Section 5)."""
+
+from .base import (
+    CompletionHeuristic,
+    FailureHeuristic,
+    apply_move,
+    candidate_finish_time,
+    candidate_finish_times,
+    faulty_stall,
+    remaining_at,
+)
+from .end_local import EndLocal
+from .iterated_greedy import EndGreedy, IteratedGreedy, greedy_rebuild
+from .stf import ShortestTasksFirst
+
+__all__ = [
+    "CompletionHeuristic",
+    "FailureHeuristic",
+    "apply_move",
+    "candidate_finish_time",
+    "candidate_finish_times",
+    "faulty_stall",
+    "remaining_at",
+    "EndLocal",
+    "EndGreedy",
+    "IteratedGreedy",
+    "greedy_rebuild",
+    "ShortestTasksFirst",
+]

@@ -1,0 +1,159 @@
+"""``IteratedGreedy`` — Algorithm 5 (Section 5.3) and its task-end variant.
+
+At each rebalancing point the whole schedule is rebuilt from scratch with
+the greedy of Algorithm 1, but candidate finish times now charge the
+redistribution cost from the task's *current* allocation ``sigma_init`` to
+the candidate one — with a special case: if a task ends up exactly at
+``sigma_init`` it simply keeps running, so no cost is charged and its
+original bookkeeping (``alpha`` at ``tlastR``) is preserved (Algorithm 5,
+lines 16 and 23).
+
+``EndGreedy`` (Section 5.2) is the same rebuild triggered at task
+terminations, without a faulty task.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ...exceptions import CapacityError
+from ...resilience.expected_time import ExpectedTimeModel
+from ..state import TaskRuntime
+from .base import (
+    CompletionHeuristic,
+    FailureHeuristic,
+    apply_move,
+    candidate_finish_times,
+    faulty_stall,
+    remaining_at,
+)
+
+__all__ = ["IteratedGreedy", "EndGreedy", "greedy_rebuild"]
+
+
+def greedy_rebuild(
+    model: ExpectedTimeModel,
+    t: float,
+    tasks: Sequence[TaskRuntime],
+    capacity: int,
+    faulty: Optional[int] = None,
+) -> List[int]:
+    """Rebuild the allocation of ``tasks`` over ``capacity`` processors.
+
+    Core of Algorithm 5.  ``capacity`` counts every processor usable by
+    the listed tasks (their current holdings plus the free pool).  The
+    runtimes are mutated in place; returns the indices whose allocation
+    changed.
+    """
+    if not tasks:
+        return []
+    n = len(tasks)
+    if capacity < 2 * n:
+        raise CapacityError(
+            f"greedy rebuild needs capacity >= 2n: capacity={capacity}, n={n}"
+        )
+    by_index: Dict[int, TaskRuntime] = {rt.index: rt for rt in tasks}
+    sigma_init: Dict[int, int] = {rt.index: rt.sigma for rt in tasks}
+    stall: Dict[int, float] = {}
+    alpha_t: Dict[int, float] = {}
+    for rt in tasks:
+        i = rt.index
+        if i == faulty:
+            # Already rolled back to the last checkpoint by the skeleton.
+            alpha_t[i] = rt.alpha
+            stall[i] = faulty_stall(rt, t)
+        else:
+            alpha_t[i] = remaining_at(model, rt, t)
+            stall[i] = 0.0
+
+    def finish(i: int, k: int) -> float:
+        """Expected finish if task ``i`` ends the rebuild on ``k`` procs."""
+        rt = by_index[i]
+        if k == sigma_init[i]:
+            # Line 16/23: unchanged allocation, the task just keeps going.
+            return rt.t_last + model.expected_time(i, k, rt.alpha)
+        return float(
+            candidate_finish_times(
+                model, i, sigma_init[i], alpha_t[i], t, stall[i],
+                np.array([k], dtype=int),
+            )[0]
+        )
+
+    sigma: Dict[int, int] = {rt.index: 2 for rt in tasks}
+    expected: Dict[int, float] = {i: finish(i, 2) for i in sigma}
+    heap = [(-expected[i], i) for i in sigma]
+    heapq.heapify(heap)
+    available = capacity - 2 * n
+
+    while available >= 2 and heap:
+        _, i = heapq.heappop(heap)
+        p_max = sigma[i] + available
+        targets = np.arange(sigma[i] + 2, p_max + 1, 2, dtype=int)
+        finishes = candidate_finish_times(
+            model, i, sigma_init[i], alpha_t[i], t, stall[i], targets
+        )
+        if targets.size:
+            # Patch the no-redistribution candidate if it is in range.
+            where_init = np.nonzero(targets == sigma_init[i])[0]
+            if where_init.size:
+                finishes[where_init[0]] = finish(i, sigma_init[i])
+        if finishes.size and bool(np.any(finishes < expected[i])):
+            sigma[i] += 2
+            expected[i] = finish(i, sigma[i])
+            heapq.heappush(heap, (-expected[i], i))
+            available -= 2
+        else:
+            # Algorithm 5 line 30: the longest task cannot improve — stop.
+            available = 0
+
+    changed: List[int] = []
+    for i, rt in by_index.items():
+        if sigma[i] != sigma_init[i]:
+            apply_move(
+                model, rt, t, stall[i], sigma_init[i], sigma[i], alpha_t[i]
+            )
+            changed.append(i)
+        else:
+            # Untouched: restore the expected finish from live bookkeeping.
+            rt.t_expected = rt.t_last + model.expected_time(
+                i, rt.sigma, rt.alpha
+            )
+    return changed
+
+
+class IteratedGreedy(FailureHeuristic):
+    """Failure-time full rebuild (Algorithm 5)."""
+
+    name = "iterated-greedy"
+
+    def apply(
+        self,
+        model: ExpectedTimeModel,
+        t: float,
+        tasks: Sequence[TaskRuntime],
+        free: int,
+        faulty: int,
+    ) -> List[int]:
+        capacity = free + sum(rt.sigma for rt in tasks)
+        return greedy_rebuild(model, t, tasks, capacity, faulty=faulty)
+
+
+class EndGreedy(CompletionHeuristic):
+    """Task-end full rebuild (Section 5.2, "EndGreedy")."""
+
+    name = "end-greedy"
+
+    def apply(
+        self,
+        model: ExpectedTimeModel,
+        t: float,
+        tasks: Sequence[TaskRuntime],
+        free: int,
+    ) -> List[int]:
+        if not tasks:
+            return []
+        capacity = free + sum(rt.sigma for rt in tasks)
+        return greedy_rebuild(model, t, tasks, capacity, faulty=None)

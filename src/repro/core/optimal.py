@@ -1,0 +1,87 @@
+"""Optimal schedule without redistribution (Section 4.1, Algorithm 1).
+
+Greedy pair-wise allocation: start every task at 2 processors and, while
+processors remain, give one buddy pair to the task with the largest
+expected execution time ``t^R_{i,sigma(i)}(1)`` — but only if even granting
+it *all* remaining processors would strictly improve it (Algorithm 1,
+line 9).  Otherwise the remaining processors are deliberately kept free
+for later redistribution.  Theorem 1 proves this minimises the expected
+makespan when no redistribution is allowed; the complexity is
+``O(p log n)``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Optional, Sequence
+
+from ..exceptions import CapacityError
+from ..resilience.expected_time import ExpectedTimeModel
+
+__all__ = ["optimal_schedule", "expected_makespan"]
+
+
+def optimal_schedule(
+    model: ExpectedTimeModel,
+    p: int,
+    indices: Optional[Sequence[int]] = None,
+    alpha: float = 1.0,
+) -> Dict[int, int]:
+    """Algorithm 1: optimal no-redistribution allocation.
+
+    Parameters
+    ----------
+    model:
+        Expected-time model for the pack (supplies ``t^R_{i,j}(alpha)``).
+    p:
+        Processors available to this pack.
+    indices:
+        Task subset to schedule (defaults to the whole pack).
+    alpha:
+        Remaining work fraction used for every task (1 at pack start).
+
+    Returns
+    -------
+    dict mapping task index to its (even) processor count.
+
+    Raises
+    ------
+    CapacityError
+        If ``p < 2 n`` — the buddy scheme needs one pair per task.
+    """
+    if indices is None:
+        indices = range(len(model.pack))
+    indices = list(indices)
+    n = len(indices)
+    if p < 2 * n:
+        raise CapacityError(
+            f"Algorithm 1 needs p >= 2n: p={p}, n={n} "
+            "(each task requires one buddy pair)"
+        )
+    sigma: Dict[int, int] = {i: 2 for i in indices}
+    available = p - 2 * n
+
+    # Max-heap on expected time; ties broken by task index for determinism.
+    heap = [(-model.expected_time(i, 2, alpha), i) for i in indices]
+    heapq.heapify(heap)
+
+    while available >= 2 and heap:
+        neg_current, i = heapq.heappop(heap)
+        current = -neg_current
+        p_max = sigma[i] + available
+        # Line 9: can the longest task still be improved at all?
+        if current > model.expected_time(i, p_max, alpha):
+            sigma[i] += 2
+            available -= 2
+            heapq.heappush(heap, (-model.expected_time(i, sigma[i], alpha), i))
+        else:
+            # No task can improve the makespan further: keep the rest free.
+            available = 0
+    return sigma
+
+
+def expected_makespan(
+    model: ExpectedTimeModel, sigma: Dict[int, int], alpha: float = 1.0
+) -> float:
+    """Expected makespan ``max_i t^R_{i,sigma(i)}(alpha)`` of an allocation."""
+    return max(model.expected_time(i, j, alpha) for i, j in sigma.items())

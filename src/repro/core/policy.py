@@ -1,0 +1,84 @@
+"""Scheduling policies: (completion heuristic, failure heuristic) pairs.
+
+Section 6.2 evaluates four combinations — ``IteratedGreedy-EndGreedy``,
+``IteratedGreedy-EndLocal``, ``ShortestTasksFirst-EndGreedy`` and
+``ShortestTasksFirst-EndLocal`` — plus the no-redistribution baseline and,
+in the fault-free figures (5-6), the two end-of-task heuristics alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..exceptions import ConfigurationError
+from .heuristics.base import CompletionHeuristic, FailureHeuristic
+from .heuristics.end_local import EndLocal
+from .heuristics.iterated_greedy import EndGreedy, IteratedGreedy
+from .heuristics.stf import ShortestTasksFirst
+
+__all__ = ["Policy", "POLICIES", "get_policy", "PAPER_POLICY_LABELS"]
+
+
+@dataclass(frozen=True)
+class Policy:
+    """A named pair of redistribution heuristics.
+
+    Either member may be ``None`` (no redistribution at that event kind).
+    """
+
+    name: str
+    completion: Optional[CompletionHeuristic] = None
+    failure: Optional[FailureHeuristic] = None
+
+    @property
+    def redistributes(self) -> bool:
+        """True if the policy performs any redistribution at all."""
+        return self.completion is not None or self.failure is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        comp = self.completion.name if self.completion else "none"
+        fail = self.failure.name if self.failure else "none"
+        return f"Policy({self.name!r}, end={comp}, failure={fail})"
+
+
+def _build_policies() -> Dict[str, Policy]:
+    return {
+        "no-redistribution": Policy("no-redistribution"),
+        "ig-eg": Policy("ig-eg", EndGreedy(), IteratedGreedy()),
+        "ig-el": Policy("ig-el", EndLocal(), IteratedGreedy()),
+        "stf-eg": Policy("stf-eg", EndGreedy(), ShortestTasksFirst()),
+        "stf-el": Policy("stf-el", EndLocal(), ShortestTasksFirst()),
+        "end-local": Policy("end-local", EndLocal(), None),
+        "end-greedy": Policy("end-greedy", EndGreedy(), None),
+    }
+
+
+#: All built-in policies, keyed by short name.
+POLICIES: Dict[str, Policy] = _build_policies()
+
+#: Mapping from short names to the labels used in the paper's figures.
+PAPER_POLICY_LABELS: Dict[str, str] = {
+    "no-redistribution": "Without RC",
+    "ig-eg": "IteratedGreedy-EndGreedy",
+    "ig-el": "IteratedGreedy-EndLocal",
+    "stf-eg": "ShortestTasksFirst-EndGreedy",
+    "stf-el": "ShortestTasksFirst-EndLocal",
+    "end-local": "With RC (local decisions)",
+    "end-greedy": "With RC (greedy)",
+}
+
+
+def get_policy(name: str) -> Policy:
+    """Look up a policy by its short name.
+
+    >>> get_policy("ig-el").failure.name
+    'iterated-greedy'
+    """
+    try:
+        return POLICIES[name]
+    except KeyError:
+        known = ", ".join(sorted(POLICIES))
+        raise ConfigurationError(
+            f"unknown policy {name!r}; known policies: {known}"
+        ) from None

@@ -1,0 +1,113 @@
+"""Deterministic progress accounting between events (Section 3.3.2).
+
+Between two scheduler events, a task on ``j`` processors alternates
+``tau - C`` of useful work with a checkpoint of length ``C``.  The paper
+measures elapsed progress in two ways:
+
+* **elapsed** (task still running at ``t``): the work fraction is
+  ``(t - tlastR - N C) / t_ff`` with ``N = floor((t - tlastR)/tau)``
+  completed checkpoints — clock time minus checkpoint overhead;
+* **checkpointed** (a failure at ``t`` rolls back to the last
+  checkpoint): only the ``N`` full periods survive, giving
+  ``N (tau - C) / t_ff``.
+
+The third quantity is the *projected finish*: the deterministic
+fault-free completion ``tlastR + alpha t_ff + N^ff(alpha) C`` used by the
+simulator as the completion event time.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..resilience.expected_time import ExpectedTimeModel, checkpoint_count
+
+__all__ = [
+    "elapsed_work_fraction",
+    "checkpointed_work_fraction",
+    "projected_finish",
+    "remaining_after_elapsed",
+    "remaining_after_failure",
+]
+
+
+def elapsed_work_fraction(
+    t: float, t_last: float, t_ff: float, tau: float, cost: float
+) -> float:
+    """Work fraction accomplished between ``t_last`` and ``t`` (no failure).
+
+    Clamped below at 0 (``t`` may precede ``t_last`` while a task is busy
+    recovering or redistributing).
+    """
+    elapsed = t - t_last
+    if elapsed <= 0.0:
+        return 0.0
+    n_ckpt = math.floor(elapsed / tau)
+    useful = elapsed - n_ckpt * cost
+    return max(0.0, useful / t_ff)
+
+
+def checkpointed_work_fraction(
+    t: float, t_last: float, t_ff: float, tau: float, cost: float
+) -> float:
+    """Work fraction surviving a failure at ``t`` (last checkpoint wins)."""
+    elapsed = t - t_last
+    if elapsed <= 0.0:
+        return 0.0
+    n_ckpt = math.floor(elapsed / tau)
+    return max(0.0, n_ckpt * (tau - cost) / t_ff)
+
+
+def projected_finish(
+    t_last: float, alpha: float, t_ff: float, tau: float, cost: float
+) -> float:
+    """Deterministic fault-free completion time of the remaining work.
+
+    ``t_last + alpha t_ff + N^ff(alpha) C`` — the remaining work plus the
+    checkpoints interleaved with it (Eq. 2).  When the remaining work is an
+    exact multiple of the period the trailing checkpoint is not needed and
+    is elided.
+    """
+    if alpha <= 0.0:
+        return t_last
+    work = alpha * t_ff
+    n_ff = checkpoint_count(alpha, t_ff, tau, cost)
+    # Exact multiple: the final checkpoint after the last period is useless.
+    if n_ff > 0 and math.isclose(work, n_ff * (tau - cost), rel_tol=0.0, abs_tol=1e-9):
+        n_ff -= 1
+    return t_last + work + n_ff * cost
+
+
+def remaining_after_elapsed(
+    model: ExpectedTimeModel, i: int, j: int, alpha: float, t: float, t_last: float
+) -> float:
+    """New remaining fraction of task ``i`` after running until ``t``.
+
+    Uses the per-(task, j) grid of ``model`` for ``t_ff``/``tau``/``C``;
+    the result is clamped to ``[0, alpha]``.
+    """
+    grid = model.grid(i)
+    slot = grid.slot(j)
+    done = elapsed_work_fraction(
+        t, t_last, float(grid.t_ff[slot]), float(grid.tau[slot]), float(grid.cost[slot])
+    )
+    # The paper's fraction formula treats an in-progress checkpoint as work
+    # (it only subtracts *completed* checkpoints), so near the task's end
+    # `done` may overshoot `alpha` by up to C/t_ff.  Clamp, as the paper
+    # implicitly does.
+    return min(alpha, max(0.0, alpha - done))
+
+
+def remaining_after_failure(
+    model: ExpectedTimeModel, i: int, j: int, alpha: float, t: float, t_last: float
+) -> float:
+    """New remaining fraction of task ``i`` after a failure at ``t``.
+
+    Only work up to the last completed checkpoint survives (Alg. 2 line 24).
+    """
+    grid = model.grid(i)
+    slot = grid.slot(j)
+    done = checkpointed_work_fraction(
+        t, t_last, float(grid.t_ff[slot]), float(grid.tau[slot]), float(grid.cost[slot])
+    )
+    return min(alpha, max(0.0, alpha - done))

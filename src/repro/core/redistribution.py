@@ -1,0 +1,91 @@
+"""Redistribution cost model (Section 3.3).
+
+Moving a task from ``j`` to ``k`` processors repartitions its ``m_i`` data
+items.  The exchange is organised in *rounds*: each round is a perfect
+parallel dispatch, i.e. a matching in the bipartite transfer graph, and by
+König's theorem the minimum number of rounds equals the maximum degree of
+that graph (Section 3.3.1, Fig. 3).
+
+* Growing (``k > j``): every old processor sends to every one of the
+  ``q = k - j`` newcomers, so the graph is ``K_{j,q}`` and the round count
+  is ``max(j, k - j)`` (Eq. 7).
+* General (grow or shrink, Eq. 9): ``max(min(j, k), |k - j|)``.
+
+Each transfer carries ``1/(k j)`` of the data per edge; one round therefore
+costs ``m_i / (k j)`` and the total redistribution cost is
+
+.. math:: RC_i^{j \\to k} = \\max(\\min(j,k), |k-j|) \\cdot
+          \\frac{1}{k} \\cdot \\frac{m_i}{j}.
+
+All functions are vectorised over ``k`` so the heuristics can score every
+candidate allocation in one shot.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from ..exceptions import CapacityError
+
+__all__ = [
+    "redistribution_rounds",
+    "redistribution_cost",
+    "redistribution_cost_vector",
+    "transfer_volume_per_round",
+]
+
+ArrayLike = Union[int, float, np.ndarray]
+
+
+def _validate_counts(j: int, k: ArrayLike) -> np.ndarray:
+    if j < 1:
+        raise CapacityError(f"source processor count must be >= 1, got {j}")
+    k_arr = np.asarray(k)
+    if np.any(k_arr < 1):
+        raise CapacityError("target processor count must be >= 1")
+    return k_arr.astype(float)
+
+
+def redistribution_rounds(j: int, k: ArrayLike) -> ArrayLike:
+    """Number of communication rounds ``max(min(j,k), |k-j|)`` (Eqs. 7/9).
+
+    For a pure growth this equals the edge-chromatic number
+    ``chi'(K_{j, k-j}) = max(j, k-j)`` of the transfer graph; the general
+    form also covers shrinking, and is 0 when ``k == j`` (nothing moves).
+    """
+    k_arr = _validate_counts(j, k)
+    rounds = np.where(
+        k_arr == j, 0.0, np.maximum(np.minimum(j, k_arr), np.abs(k_arr - j))
+    )
+    if np.ndim(k) == 0:
+        return int(rounds)
+    return rounds.astype(int)
+
+
+def transfer_volume_per_round(m: float, j: int, k: ArrayLike) -> ArrayLike:
+    """Data moved by one processor in one round: ``m / (k j)``."""
+    k_arr = _validate_counts(j, k)
+    result = m / (k_arr * j)
+    return float(result) if np.ndim(k) == 0 else result
+
+
+def redistribution_cost(m: float, j: int, k: int) -> float:
+    """``RC_i^{j->k}`` for a task with ``m`` data items (scalar form).
+
+    Returns 0 when ``k == j`` (the paper only charges actual moves).
+    """
+    if k == j:
+        return 0.0
+    rounds = redistribution_rounds(j, k)
+    return float(rounds) * (1.0 / k) * (m / j)
+
+
+def redistribution_cost_vector(m: float, j: int, k: np.ndarray) -> np.ndarray:
+    """``RC_i^{j->k}`` for every target count in ``k`` (vectorised)."""
+    k_arr = _validate_counts(j, k)
+    rounds = np.where(
+        k_arr == j, 0.0, np.maximum(np.minimum(j, k_arr), np.abs(k_arr - j))
+    )
+    return rounds * (m / j) / k_arr

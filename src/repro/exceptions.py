@@ -1,0 +1,39 @@
+"""Exception hierarchy for :mod:`repro`.
+
+All library errors derive from :class:`ReproError` so downstream users can
+catch a single base class.  Errors raised during input validation use
+:class:`ConfigurationError`; violations of platform capacity (more
+processors requested than exist, odd allocations, ...) use
+:class:`CapacityError`; inconsistencies detected while a simulation is
+running use :class:`SimulationError`.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "CapacityError",
+    "SimulationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """Invalid user-supplied parameter (negative sizes, bad sweeps, ...)."""
+
+
+class CapacityError(ReproError, ValueError):
+    """A processor-allocation invariant was violated.
+
+    The paper requires every running task to hold an even number of
+    processors (buddy checkpointing, Section 3.1), at least two, and the
+    pack-wide total to stay within the platform size ``p``.
+    """
+
+
+class SimulationError(ReproError, RuntimeError):
+    """Internal inconsistency detected by the discrete-event simulator."""

@@ -1,0 +1,135 @@
+"""One-call policy comparisons on a fixed scenario.
+
+The evaluation protocol of Section 6.2 — paired replicates, ratio
+normalisation by the no-redistribution baseline — is needed by anyone
+who wants to answer *"which policy should I run here?"*.  This module
+packages it:
+
+>>> from repro.experiments import compare_policies  # doctest: +SKIP
+>>> outcome = compare_policies(config, policies=["ig-el", "stf-el"])
+
+returns per-policy normalised means, bootstrap confidence intervals and
+exact sign-test significance against the baseline, with a rendered
+table.  Replicates are paired exactly as in
+:func:`repro.experiments.runner.run_scenario`: every policy sees the
+same workloads and the same failure times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..analysis import PairedComparison, paired_comparison
+from ..core.policy import PAPER_POLICY_LABELS, POLICIES
+from ..exceptions import ConfigurationError
+from .config import ScenarioConfig
+from .runner import Series, run_scenario
+from .tables import render_table
+
+__all__ = ["PolicyComparison", "compare_policies"]
+
+#: The heuristic combinations of Section 6.2.
+DEFAULT_POLICIES = ("ig-eg", "ig-el", "stf-eg", "stf-el")
+
+
+@dataclass
+class PolicyComparison:
+    """Paired-replicate comparison of several policies vs a baseline."""
+
+    config: ScenarioConfig
+    baseline: str
+    makespans: Dict[str, np.ndarray]
+    comparisons: Dict[str, PairedComparison] = field(default_factory=dict)
+
+    @property
+    def policies(self) -> List[str]:
+        """Compared policies (baseline excluded)."""
+        return list(self.comparisons)
+
+    def best_policy(self) -> str:
+        """Policy with the smallest mean ratio vs the baseline."""
+        return min(
+            self.comparisons,
+            key=lambda name: self.comparisons[name].mean_ratio,
+        )
+
+    def render(self) -> str:
+        """Paper-style table: normalised mean, CI, wins, significance."""
+        headers = ["policy", "ratio vs baseline", "95% CI", "wins", "sign-test p"]
+        rows: List[List[str]] = [
+            [self.baseline, "1.0000", "-", "-", "-"]
+        ]
+        for name, cmp in self.comparisons.items():
+            rows.append(
+                [
+                    name,
+                    f"{cmp.mean_ratio:.4f}",
+                    f"[{cmp.ci_low:.4f}, {cmp.ci_high:.4f}]",
+                    f"{cmp.wins}/{cmp.n}",
+                    f"{cmp.p_value:.3g}" + (" *" if cmp.significant else ""),
+                ]
+            )
+        title = (
+            f"policy comparison vs {self.baseline!r} "
+            f"({self.config.replicates} paired replicates; "
+            f"{self.config.describe()})"
+        )
+        return title + "\n" + render_table(headers, rows)
+
+
+def compare_policies(
+    config: ScenarioConfig,
+    *,
+    policies: Sequence[str] = DEFAULT_POLICIES,
+    baseline: str = "no-redistribution",
+    faults: bool = True,
+    seed: int = 0,
+    bootstrap_seed: int = 0,
+) -> PolicyComparison:
+    """Run a paired comparison of ``policies`` against ``baseline``.
+
+    Parameters
+    ----------
+    config:
+        The scenario (its ``replicates`` field sets the pairing depth;
+        use at least ~5 for meaningful sign tests).
+    policies:
+        Candidate policy names (must be registered; baseline excluded
+        automatically if listed).
+    faults:
+        ``False`` compares in the fault-free context.
+    seed:
+        Replicate seed (workloads + failure draws).
+    """
+    candidates = [name for name in policies if name != baseline]
+    if not candidates:
+        raise ConfigurationError("at least one non-baseline policy is needed")
+    for name in list(candidates) + [baseline]:
+        if name not in POLICIES:
+            known = ", ".join(sorted(POLICIES))
+            raise ConfigurationError(
+                f"unknown policy {name!r}; known policies: {known}"
+            )
+    series = [Series("baseline", baseline, baseline, faults)] + [
+        Series(name, PAPER_POLICY_LABELS.get(name, name), name, faults)
+        for name in candidates
+    ]
+    outcome = run_scenario(config, series, seed=seed, baseline_key="baseline")
+    baseline_makespans = outcome.makespans["baseline"]
+    comparisons = {
+        name: paired_comparison(
+            outcome.makespans[name], baseline_makespans, seed=bootstrap_seed
+        )
+        for name in candidates
+    }
+    makespans = {baseline: baseline_makespans}
+    makespans.update({name: outcome.makespans[name] for name in candidates})
+    return PolicyComparison(
+        config=config,
+        baseline=baseline,
+        makespans=makespans,
+        comparisons=comparisons,
+    )

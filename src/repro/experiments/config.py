@@ -1,0 +1,194 @@
+"""Experiment scenarios and scaling presets.
+
+A :class:`ScenarioConfig` captures every knob of Section 6.1 with the
+paper's defaults.  Because the paper's full-scale runs (up to n=1000,
+p=5000, 50 replicates) take minutes in pure Python, a :class:`Scale`
+preset can shrink a scenario while preserving its *shape*: task count,
+processor count and problem sizes shrink together, and the MTBF shrinks
+proportionally to task duration and platform size so the expected number
+of failures per run is preserved.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+from ..cluster import Cluster, DEFAULT_DOWNTIME
+from ..exceptions import ConfigurationError
+from ..tasks import (
+    PAPER_M_INF,
+    PAPER_M_SUP,
+    Pack,
+    PaperSyntheticProfile,
+    WorkloadGenerator,
+)
+
+__all__ = ["ScenarioConfig", "Scale", "SCALES", "get_scale"]
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """One simulation scenario (Section 6.1 parameters).
+
+    Attributes
+    ----------
+    n, p:
+        Pack size and platform size.
+    m_inf, m_sup:
+        Uniform task-size bounds.
+    checkpoint_unit_cost:
+        ``c`` in ``C_i = c * m_i`` (Figs. 12-13 sweep it).
+    seq_fraction:
+        ``f`` of Eq. (10) (Fig. 14 sweeps it).
+    mtbf_years:
+        Per-processor MTBF (Figs. 10, 11, 13 sweep it).
+    downtime:
+        Platform downtime ``D`` in seconds.
+    replicates:
+        Runs averaged per data point (paper: 50).
+    """
+
+    n: int = 100
+    p: int = 1000
+    m_inf: float = PAPER_M_INF
+    m_sup: float = PAPER_M_SUP
+    checkpoint_unit_cost: float = 1.0
+    seq_fraction: float = 0.08
+    mtbf_years: float = 100.0
+    downtime: float = DEFAULT_DOWNTIME
+    replicates: int = 50
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ConfigurationError(f"n must be >= 1, got {self.n}")
+        if self.p < 2 * self.n:
+            raise ConfigurationError(
+                f"p must be >= 2n (buddy pairs): n={self.n}, p={self.p}"
+            )
+        if self.replicates < 1:
+            raise ConfigurationError("replicates must be >= 1")
+        if not 0.0 <= self.seq_fraction <= 1.0:
+            raise ConfigurationError("seq_fraction must be in [0, 1]")
+        if self.mtbf_years <= 0:
+            raise ConfigurationError("mtbf_years must be positive")
+
+    # -- builders -----------------------------------------------------------
+    def build_cluster(self) -> Cluster:
+        """The platform for this scenario."""
+        return Cluster.with_mtbf_years(self.p, self.mtbf_years, self.downtime)
+
+    def build_pack(self, seed: int) -> Pack:
+        """Draw the workload for one replicate."""
+        generator = WorkloadGenerator(
+            m_inf=self.m_inf,
+            m_sup=self.m_sup,
+            checkpoint_unit_cost=self.checkpoint_unit_cost,
+            profile=PaperSyntheticProfile(seq_fraction=self.seq_fraction),
+        )
+        return generator.generate(self.n, seed=seed)
+
+    def describe(self) -> str:
+        """Compact parameter string for tables and logs."""
+        return (
+            f"n={self.n} p={self.p} m=[{self.m_inf:g},{self.m_sup:g}] "
+            f"c={self.checkpoint_unit_cost:g} f={self.seq_fraction:g} "
+            f"mtbf={self.mtbf_years:g}y reps={self.replicates}"
+        )
+
+
+def _even(value: float, minimum: int = 2) -> int:
+    """Round to the nearest even integer >= minimum."""
+    candidate = max(minimum, int(round(value / 2.0)) * 2)
+    return candidate
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Shrinks a paper-scale scenario while preserving its shape.
+
+    ``size_factor`` scales the problem sizes; the MTBF is rescaled by
+    ``(duration ratio) * (processor ratio)`` so the expected failure count
+    per run stays comparable to the paper's (see DESIGN.md).
+    """
+
+    name: str
+    task_factor: float = 1.0
+    proc_factor: float = 1.0
+    size_factor: float = 1.0
+    replicates: int = 50
+    sweep_points: Optional[int] = None
+
+    def apply(self, config: ScenarioConfig) -> ScenarioConfig:
+        """Scaled copy of ``config``."""
+        if self.name == "paper":
+            return replace(config, replicates=self.replicates)
+        n = max(3, int(round(config.n * self.task_factor)))
+        p = _even(config.p * self.proc_factor, minimum=2 * n + 2)
+        m_inf = max(64.0, config.m_inf * self.size_factor)
+        m_sup = max(m_inf, config.m_sup * self.size_factor)
+        duration_ratio = (m_sup * math.log2(m_sup)) / (
+            config.m_sup * math.log2(config.m_sup)
+        )
+        # Use the preset's nominal processor factor — NOT the per-config
+        # ratio — so that sweeps over p keep the paper's "more processors,
+        # more failures" physics while the absolute failure count per run
+        # stays comparable to the paper's.
+        mtbf_years = config.mtbf_years * duration_ratio * self.proc_factor
+        return replace(
+            config,
+            n=n,
+            p=p,
+            m_inf=m_inf,
+            m_sup=m_sup,
+            mtbf_years=mtbf_years,
+            replicates=self.replicates,
+        )
+
+    def subsample(self, values: list) -> list:
+        """Keep at most ``sweep_points`` evenly spaced sweep values."""
+        if self.sweep_points is None or len(values) <= self.sweep_points:
+            return list(values)
+        if self.sweep_points == 1:
+            return [values[-1]]
+        step = (len(values) - 1) / (self.sweep_points - 1)
+        picked = [values[int(round(i * step))] for i in range(self.sweep_points)]
+        seen: list = []
+        for value in picked:
+            if value not in seen:
+                seen.append(value)
+        return seen
+
+
+#: Built-in scaling presets.
+SCALES: Dict[str, Scale] = {
+    "paper": Scale("paper", replicates=50),
+    "small": Scale(
+        "small",
+        task_factor=0.2,
+        proc_factor=0.2,
+        size_factor=0.01,
+        replicates=5,
+        sweep_points=5,
+    ),
+    "tiny": Scale(
+        "tiny",
+        task_factor=0.08,
+        proc_factor=0.08,
+        size_factor=0.004,
+        replicates=2,
+        sweep_points=3,
+    ),
+}
+
+
+def get_scale(name: str) -> Scale:
+    """Look up a scaling preset by name."""
+    try:
+        return SCALES[name]
+    except KeyError:
+        known = ", ".join(sorted(SCALES))
+        raise ConfigurationError(
+            f"unknown scale {name!r}; known scales: {known}"
+        ) from None

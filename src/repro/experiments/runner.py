@@ -1,0 +1,143 @@
+"""Replicated scenario execution and normalisation (Section 6.2).
+
+The paper's protocol: run each heuristic ``x = 50`` times, average the
+makespans, and normalise by the makespan in a fault context without
+redistribution (the expected worst case).  Replicates are *paired*: for a
+given replicate index every series sees the same workload draw and the
+same per-processor failure times (common random numbers), which is what
+makes per-point comparisons meaningful at modest replicate counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..resilience.expected_time import ExpectedTimeModel
+from ..rng import derive_seed_sequence
+from ..simulation import SimulationResult, Simulator
+from .config import ScenarioConfig
+
+__all__ = [
+    "Series",
+    "ScenarioResult",
+    "run_scenario",
+    "FAULT_SERIES",
+    "FAULT_FREE_SERIES",
+]
+
+
+@dataclass(frozen=True)
+class Series:
+    """One curve of a figure: a policy in a fault or fault-free context."""
+
+    key: str
+    label: str
+    policy: str
+    faults: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.key:
+            raise ConfigurationError("series key must be non-empty")
+
+
+#: The six curves of Figs. 7, 8, 10-14.
+FAULT_SERIES: tuple[Series, ...] = (
+    Series("no-rc", "Fault context without RC", "no-redistribution", True),
+    Series("ig-eg", "IteratedGreedy-EndGreedy", "ig-eg", True),
+    Series("ig-el", "IteratedGreedy-EndLocal", "ig-el", True),
+    Series("stf-eg", "ShortestTasksFirst-EndGreedy", "stf-eg", True),
+    Series("stf-el", "ShortestTasksFirst-EndLocal", "stf-el", True),
+    Series("ff-rc", "Fault-free context with RC (local)", "end-local", False),
+)
+
+#: The three curves of Figs. 5 and 6 (fault-free study).
+FAULT_FREE_SERIES: tuple[Series, ...] = (
+    Series("no-rc", "Without RC", "no-redistribution", False),
+    Series("rc-greedy", "With RC (greedy)", "end-greedy", False),
+    Series("rc-local", "With RC (local decisions)", "end-local", False),
+)
+
+
+@dataclass
+class ScenarioResult:
+    """All replicate makespans of one scenario, per series."""
+
+    config: ScenarioConfig
+    makespans: Dict[str, np.ndarray]
+    results: Dict[str, List[SimulationResult]] = field(default_factory=dict)
+    baseline_key: str = "no-rc"
+
+    def mean(self, key: str) -> float:
+        """Mean makespan of a series (seconds)."""
+        return float(self.makespans[key].mean())
+
+    def normalized(self, key: str) -> float:
+        """Mean makespan divided by the baseline's mean makespan."""
+        return self.mean(key) / self.mean(self.baseline_key)
+
+    def normalized_row(self) -> Dict[str, float]:
+        """Normalised value for every series."""
+        return {key: self.normalized(key) for key in self.makespans}
+
+
+def _replicate_seed(base_seed: int, replicate: int) -> int:
+    """Stable derived seed for one replicate."""
+    sequence = derive_seed_sequence(base_seed, "replicate", replicate)
+    return int(sequence.generate_state(1, np.uint32)[0])
+
+
+def run_scenario(
+    config: ScenarioConfig,
+    series: Sequence[Series] = FAULT_SERIES,
+    *,
+    seed: int = 0,
+    baseline_key: str = "no-rc",
+    keep_results: bool = False,
+) -> ScenarioResult:
+    """Run every series of a scenario over paired replicates.
+
+    For each replicate one pack is drawn and one
+    :class:`ExpectedTimeModel` is built, then shared by all series (its
+    profile cache is keyed by exact ``(task, alpha)`` values, which is
+    safe across policies).  Fault times depend only on the replicate seed,
+    not on the policy.
+    """
+    keys = [s.key for s in series]
+    if len(set(keys)) != len(keys):
+        raise ConfigurationError(f"duplicate series keys: {keys}")
+    if baseline_key not in keys:
+        raise ConfigurationError(
+            f"baseline series {baseline_key!r} missing from {keys}"
+        )
+    makespans: Dict[str, List[float]] = {key: [] for key in keys}
+    kept: Dict[str, List[SimulationResult]] = {key: [] for key in keys}
+    cluster = config.build_cluster()
+
+    for replicate in range(config.replicates):
+        rep_seed = _replicate_seed(seed, replicate)
+        pack = config.build_pack(rep_seed)
+        model = ExpectedTimeModel(pack, cluster)
+        for spec in series:
+            simulator = Simulator(
+                pack,
+                cluster,
+                spec.policy,
+                seed=rep_seed,
+                inject_faults=spec.faults,
+                model=model,
+            )
+            result = simulator.run()
+            makespans[spec.key].append(result.makespan)
+            if keep_results:
+                kept[spec.key].append(result)
+
+    return ScenarioResult(
+        config=config,
+        makespans={key: np.asarray(values) for key, values in makespans.items()},
+        results=kept if keep_results else {},
+        baseline_key=baseline_key,
+    )

@@ -1,0 +1,75 @@
+"""ASCII / markdown rendering of figure data.
+
+The paper's figures are line plots; in a text environment we print the
+underlying series as tables — one row per sweep point, one column per
+curve, values normalised by the no-redistribution fault-context makespan
+exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from .figures import FigureResult, TraceFigureResult
+
+__all__ = ["render_figure", "render_trace_figure", "render_table"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[str]],
+) -> str:
+    """Simple fixed-width table with a header rule."""
+    columns = [list(column) for column in zip(headers, *rows)]
+    widths = [max(len(cell) for cell in column) for column in columns]
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+    lines = [fmt(headers), fmt(["-" * width for width in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def render_figure(result: FigureResult, precision: int = 3) -> str:
+    """Render a sweep figure as a normalised table (paper presentation)."""
+    keys = result.series_keys()
+    headers = [result.x_name] + [result.labels[key] for key in keys]
+    rows: List[List[str]] = []
+    for index, x in enumerate(result.x_values):
+        row = [f"{x:g}"]
+        row.extend(
+            f"{result.normalized[key][index]:.{precision}f}" for key in keys
+        )
+        rows.append(row)
+    header = f"{result.figure}: {result.title}\n"
+    if result.descriptions:
+        header += f"  [{result.descriptions[0]}" + (
+            " ...]" if len(result.descriptions) > 1 else "]"
+        ) + "\n"
+    note = "\n(values normalised by the first series' mean makespan)"
+    return header + render_table(headers, rows) + note
+
+
+def render_trace_figure(result: TraceFigureResult, precision: int = 4) -> str:
+    """Render Fig. 9: per-policy failure-time snapshots."""
+    blocks = [f"{result.figure}: {result.title}"]
+    if result.descriptions:
+        blocks.append(f"  [{result.descriptions[0]}]")
+    for key, label in result.labels.items():
+        data = result.series[key]
+        times = data["failure_times"]
+        makespan = data["makespan"]
+        std = data["sigma_std"]
+        headers = ["failure date (s)", "makespan (s)", "stddev #procs"]
+        rows = [
+            [f"{t:.6g}", f"{m:.6g}", f"{s:.{precision}g}"]
+            for t, m, s in zip(times, makespan, std)
+        ]
+        final = result.final_makespans[key]
+        blocks.append(
+            f"\n{label} (final makespan {final:.6g} s, "
+            f"{len(times)} failures handled)\n"
+            + (render_table(headers, rows) if rows else "  (no failures)")
+        )
+    return "\n".join(blocks)

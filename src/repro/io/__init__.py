@@ -1,0 +1,52 @@
+"""Serialisation of simulation and experiment artefacts.
+
+Simulation results, traces and figure data are plain dataclasses; this
+package gives them stable on-disk forms so experiments can be archived,
+diffed and re-rendered without re-running:
+
+* :mod:`repro.io.json_io` — lossless JSON round-trips for
+  :class:`~repro.simulation.result.SimulationResult` (including traces)
+  and :class:`~repro.experiments.figures.FigureResult`;
+* :mod:`repro.io.csv_io` — flat CSV exports of figure series and trace
+  event logs for spreadsheet / pandas consumption.
+
+All writers take either a path or a file-like object; all readers verify
+a format version so stale archives fail loudly instead of silently
+mis-parsing.
+"""
+
+from __future__ import annotations
+
+from .csv_io import (
+    figure_to_csv,
+    trace_events_to_csv,
+    write_figure_csv,
+    write_trace_csv,
+)
+from .json_io import (
+    FORMAT_VERSION,
+    figure_from_json,
+    figure_to_json,
+    load_figure,
+    load_result,
+    result_from_json,
+    result_to_json,
+    save_figure,
+    save_result,
+)
+
+__all__ = [
+    "FORMAT_VERSION",
+    "result_to_json",
+    "result_from_json",
+    "save_result",
+    "load_result",
+    "figure_to_json",
+    "figure_from_json",
+    "save_figure",
+    "load_figure",
+    "figure_to_csv",
+    "write_figure_csv",
+    "trace_events_to_csv",
+    "write_trace_csv",
+]

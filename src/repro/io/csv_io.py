@@ -1,0 +1,81 @@
+"""Flat CSV exports for spreadsheets and pandas.
+
+Two layouts:
+
+* **figure CSV** — one row per sweep point; columns are the x variable
+  followed by ``<key>_normalized`` and ``<key>_mean`` per series.  This is
+  the table a plotting script would consume to redraw a paper figure.
+* **trace CSV** — one row per simulator event (``time,kind,task,detail``),
+  the long format used for post-hoc event analysis.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import IO, List, Union
+
+from ..exceptions import ConfigurationError
+from ..experiments.figures import FigureResult
+from ..simulation.trace import Trace
+
+__all__ = [
+    "figure_to_csv",
+    "write_figure_csv",
+    "trace_events_to_csv",
+    "write_trace_csv",
+]
+
+PathOrFile = Union[str, Path, IO[str]]
+
+
+def figure_to_csv(result: FigureResult) -> str:
+    """Render a figure sweep as CSV text (header + one row per point)."""
+    keys = result.series_keys()
+    for key in keys:
+        if len(result.normalized[key]) != len(result.x_values):
+            raise ConfigurationError(
+                f"series {key!r} length does not match the sweep"
+            )
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    header: List[str] = [result.x_name]
+    for key in keys:
+        header.append(f"{key}_normalized")
+        header.append(f"{key}_mean")
+    writer.writerow(header)
+    for index, x in enumerate(result.x_values):
+        row: List[object] = [x]
+        for key in keys:
+            row.append(result.normalized[key][index])
+            row.append(result.means[key][index])
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def trace_events_to_csv(trace: Trace) -> str:
+    """Render a trace event log as CSV text."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(["time", "kind", "task", "detail"])
+    for event in trace.events:
+        writer.writerow([event.time, event.kind.value, event.task, event.detail])
+    return buffer.getvalue()
+
+
+def _write(target: PathOrFile, text: str) -> None:
+    if hasattr(target, "write"):
+        target.write(text)  # type: ignore[union-attr]
+    else:
+        Path(target).write_text(text)  # type: ignore[arg-type]
+
+
+def write_figure_csv(result: FigureResult, target: PathOrFile) -> None:
+    """Write the figure CSV to a path or file object."""
+    _write(target, figure_to_csv(result))
+
+
+def write_trace_csv(trace: Trace, target: PathOrFile) -> None:
+    """Write the trace CSV to a path or file object."""
+    _write(target, trace_events_to_csv(trace))

@@ -1,0 +1,248 @@
+"""Lossless JSON round-trips for results and figure data.
+
+Every document carries ``{"format": FORMAT_VERSION, "kind": ...}``; the
+loaders check both fields, so mixing artefact kinds or reading an archive
+written by an incompatible version raises
+:class:`~repro.exceptions.ConfigurationError` instead of producing a
+half-parsed object.
+
+NumPy arrays are serialised as plain lists; round-tripped results compare
+equal on every field the test suite checks (floats survive exactly thanks
+to ``repr``-based JSON float formatting).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, IO, Union
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..experiments.figures import FigureResult
+from ..simulation.result import SimulationResult
+from ..simulation.trace import EventKind, Trace, TraceEvent
+
+__all__ = [
+    "FORMAT_VERSION",
+    "result_to_json",
+    "result_from_json",
+    "save_result",
+    "load_result",
+    "figure_to_json",
+    "figure_from_json",
+    "save_figure",
+    "load_figure",
+]
+
+#: Bumped on any breaking change to the document layouts below.
+FORMAT_VERSION: int = 1
+
+PathOrFile = Union[str, Path, IO[str]]
+
+
+def _check_envelope(document: Dict[str, Any], kind: str) -> None:
+    if not isinstance(document, dict):
+        raise ConfigurationError(f"expected a JSON object, got {type(document)}")
+    version = document.get("format")
+    if version != FORMAT_VERSION:
+        raise ConfigurationError(
+            f"unsupported format version {version!r}; "
+            f"this build reads version {FORMAT_VERSION}"
+        )
+    actual = document.get("kind")
+    if actual != kind:
+        raise ConfigurationError(
+            f"expected a {kind!r} document, found {actual!r}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# traces
+
+def _trace_to_dict(trace: Trace) -> Dict[str, Any]:
+    return {
+        "events": [
+            {
+                "time": event.time,
+                "kind": event.kind.value,
+                "task": event.task,
+                "detail": event.detail,
+            }
+            for event in trace.events
+        ],
+        "failure_times": list(trace.failure_times),
+        "makespan_after_failure": list(trace.makespan_after_failure),
+        "sigma_std_after_failure": list(trace.sigma_std_after_failure),
+    }
+
+
+def _trace_from_dict(payload: Dict[str, Any]) -> Trace:
+    try:
+        events = [
+            TraceEvent(
+                time=float(e["time"]),
+                kind=EventKind(e["kind"]),
+                task=int(e["task"]),
+                detail=str(e.get("detail", "")),
+            )
+            for e in payload["events"]
+        ]
+    except (KeyError, ValueError) as exc:
+        raise ConfigurationError(f"malformed trace payload: {exc}") from exc
+    return Trace(
+        events=events,
+        failure_times=[float(v) for v in payload.get("failure_times", [])],
+        makespan_after_failure=[
+            float(v) for v in payload.get("makespan_after_failure", [])
+        ],
+        sigma_std_after_failure=[
+            float(v) for v in payload.get("sigma_std_after_failure", [])
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# simulation results
+
+def result_to_json(result: SimulationResult) -> str:
+    """Serialise a :class:`SimulationResult` (trace included if present)."""
+    document: Dict[str, Any] = {
+        "format": FORMAT_VERSION,
+        "kind": "simulation-result",
+        "policy": result.policy,
+        "makespan": result.makespan,
+        "completion_times": np.asarray(result.completion_times).tolist(),
+        "initial_sigma": {str(k): int(v) for k, v in result.initial_sigma.items()},
+        "failures_effective": result.failures_effective,
+        "failures_idle": result.failures_idle,
+        "failures_masked": result.failures_masked,
+        "redistributions": result.redistributions,
+        "events": result.events,
+        "seed": result.seed,
+        "trace": _trace_to_dict(result.trace) if result.trace is not None else None,
+    }
+    return json.dumps(document, indent=2)
+
+
+def result_from_json(text: str) -> SimulationResult:
+    """Parse a document produced by :func:`result_to_json`."""
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"invalid JSON: {exc}") from exc
+    _check_envelope(document, "simulation-result")
+    try:
+        trace_payload = document["trace"]
+        return SimulationResult(
+            policy=str(document["policy"]),
+            makespan=float(document["makespan"]),
+            completion_times=np.asarray(
+                document["completion_times"], dtype=float
+            ),
+            initial_sigma={
+                int(k): int(v) for k, v in document["initial_sigma"].items()
+            },
+            failures_effective=int(document["failures_effective"]),
+            failures_idle=int(document["failures_idle"]),
+            failures_masked=int(document["failures_masked"]),
+            redistributions=int(document["redistributions"]),
+            events=int(document["events"]),
+            seed=int(document["seed"]),
+            trace=(
+                _trace_from_dict(trace_payload)
+                if trace_payload is not None
+                else None
+            ),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ConfigurationError(
+            f"malformed simulation-result document: {exc}"
+        ) from exc
+
+
+# ---------------------------------------------------------------------------
+# figure results
+
+def figure_to_json(result: FigureResult) -> str:
+    """Serialise a :class:`FigureResult` sweep."""
+    document: Dict[str, Any] = {
+        "format": FORMAT_VERSION,
+        "kind": "figure-result",
+        "figure": result.figure,
+        "title": result.title,
+        "x_name": result.x_name,
+        "x_values": list(result.x_values),
+        "labels": dict(result.labels),
+        "normalized": {k: list(v) for k, v in result.normalized.items()},
+        "means": {k: list(v) for k, v in result.means.items()},
+        "descriptions": list(result.descriptions),
+    }
+    return json.dumps(document, indent=2)
+
+
+def figure_from_json(text: str) -> FigureResult:
+    """Parse a document produced by :func:`figure_to_json`."""
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"invalid JSON: {exc}") from exc
+    _check_envelope(document, "figure-result")
+    try:
+        return FigureResult(
+            figure=str(document["figure"]),
+            title=str(document["title"]),
+            x_name=str(document["x_name"]),
+            x_values=[float(x) for x in document["x_values"]],
+            labels={str(k): str(v) for k, v in document["labels"].items()},
+            normalized={
+                str(k): [float(x) for x in v]
+                for k, v in document["normalized"].items()
+            },
+            means={
+                str(k): [float(x) for x in v]
+                for k, v in document["means"].items()
+            },
+            descriptions=[str(d) for d in document.get("descriptions", [])],
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ConfigurationError(
+            f"malformed figure-result document: {exc}"
+        ) from exc
+
+
+# ---------------------------------------------------------------------------
+# path/file helpers
+
+def _write(target: PathOrFile, text: str) -> None:
+    if hasattr(target, "write"):
+        target.write(text)  # type: ignore[union-attr]
+    else:
+        Path(target).write_text(text)  # type: ignore[arg-type]
+
+
+def _read(source: PathOrFile) -> str:
+    if hasattr(source, "read"):
+        return source.read()  # type: ignore[union-attr]
+    return Path(source).read_text()  # type: ignore[arg-type]
+
+
+def save_result(result: SimulationResult, target: PathOrFile) -> None:
+    """Write a simulation result to a path or file object."""
+    _write(target, result_to_json(result))
+
+
+def load_result(source: PathOrFile) -> SimulationResult:
+    """Read a simulation result from a path or file object."""
+    return result_from_json(_read(source))
+
+
+def save_figure(result: FigureResult, target: PathOrFile) -> None:
+    """Write a figure result to a path or file object."""
+    _write(target, figure_to_json(result))
+
+
+def load_figure(source: PathOrFile) -> FigureResult:
+    """Read a figure result from a path or file object."""
+    return figure_from_json(_read(source))

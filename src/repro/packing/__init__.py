@@ -1,0 +1,46 @@
+"""Multi-pack partitioning and sequential pack execution.
+
+The paper schedules a *single* pack and explicitly leaves "partitioning
+the tasks into several consecutive packs" as future work (Section 7); its
+companion co-scheduling papers (Aupy et al. [3]) study exactly that
+partitioning in a fault-free setting.  This package closes the loop:
+
+* :mod:`repro.packing.cost` — a memoised cost oracle pricing a candidate
+  pack with Algorithm 1 (the optimal no-redistribution allocation) on the
+  resilient expected times ``t^R``;
+* :mod:`repro.packing.partition` — partitioning algorithms: the one-pack
+  baseline, capacity-driven first-fit-decreasing, k-way LPT balancing, a
+  contiguous dynamic program and exhaustive search for tiny instances;
+* :mod:`repro.packing.scheduler` — :class:`MultiPackScheduler`, which
+  runs the packs of a partition back-to-back through the fault-injection
+  simulator and aggregates the total makespan.
+
+The partitioning problem inherits the NP-completeness of Theorem 2, so
+everything beyond the exhaustive baseline is heuristic.
+"""
+
+from __future__ import annotations
+
+from .cost import PackCostOracle
+from .partition import (
+    Partition,
+    dp_contiguous,
+    exhaustive_optimal,
+    first_fit_capacity,
+    fixed_k_lpt,
+    one_pack,
+)
+from .scheduler import MultiPackResult, MultiPackScheduler, PackRunResult
+
+__all__ = [
+    "PackCostOracle",
+    "Partition",
+    "one_pack",
+    "first_fit_capacity",
+    "fixed_k_lpt",
+    "dp_contiguous",
+    "exhaustive_optimal",
+    "MultiPackScheduler",
+    "MultiPackResult",
+    "PackRunResult",
+]

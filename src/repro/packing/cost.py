@@ -1,0 +1,122 @@
+"""Pack cost oracle for the partitioning algorithms.
+
+The cost of executing a group of tasks as one pack on ``p`` processors is
+the expected makespan of Algorithm 1's optimal no-redistribution schedule
+restricted to that group — the same objective the paper's Theorem 1
+minimises for a single pack.  The oracle reuses one
+:class:`~repro.resilience.expected_time.ExpectedTimeModel` for the whole
+task set (Algorithm 1 accepts a task subset), and memoises per group
+because partitioning algorithms re-price the same groups repeatedly (the
+dynamic program prices every contiguous segment, the exhaustive search
+every subset).
+
+A cheap *surrogate* load — the sum of sequential times — is also exposed;
+the list-scheduling heuristics use it to steer assignment before the
+exact oracle prices the final partition.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Sequence
+
+from ..cluster import Cluster
+from ..core.optimal import expected_makespan, optimal_schedule
+from ..exceptions import CapacityError, ConfigurationError
+from ..resilience.checkpoint import ResilienceModel
+from ..resilience.expected_time import ExpectedTimeModel
+from ..tasks import Pack
+
+__all__ = ["PackCostOracle"]
+
+
+class PackCostOracle:
+    """Prices candidate packs of a fixed task set on a fixed platform.
+
+    Parameters
+    ----------
+    pack:
+        The full task set being partitioned (groups refer to its indices).
+    cluster:
+        The platform every pack will run on (all ``p`` processors are
+        available to each pack because packs execute sequentially).
+    resilience:
+        Optional checkpoint-strategy override (defaults to Young).
+    model:
+        Optional pre-built expected-time model to share with a simulator.
+    """
+
+    def __init__(
+        self,
+        pack: Pack,
+        cluster: Cluster,
+        resilience: Optional[ResilienceModel] = None,
+        model: Optional[ExpectedTimeModel] = None,
+    ):
+        self.pack = pack
+        self.cluster = cluster
+        self.model = (
+            model
+            if model is not None
+            else ExpectedTimeModel(pack, cluster, resilience=resilience)
+        )
+        self._cost_cache: Dict[FrozenSet[int], float] = {}
+        self._sequential = [task.sequential_time() for task in pack]
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of tasks in the underlying set."""
+        return len(self.pack)
+
+    @property
+    def max_group_size(self) -> int:
+        """Largest group one pack can hold: each task needs a buddy pair."""
+        return self.cluster.processors // 2
+
+    def _validate_group(self, group: Sequence[int]) -> FrozenSet[int]:
+        key = frozenset(group)
+        if not key:
+            raise ConfigurationError("a pack group must be non-empty")
+        if len(key) != len(group):
+            raise ConfigurationError(f"duplicate task indices in group {group}")
+        for i in key:
+            if not 0 <= i < self.n:
+                raise ConfigurationError(
+                    f"task index {i} out of range for a {self.n}-task set"
+                )
+        if len(key) > self.max_group_size:
+            raise CapacityError(
+                f"group of {len(key)} tasks exceeds the platform capacity "
+                f"({self.max_group_size} buddy pairs)"
+            )
+        return key
+
+    # ------------------------------------------------------------------
+    def cost(self, group: Sequence[int]) -> float:
+        """Expected pack makespan of ``group`` under Algorithm 1."""
+        key = self._validate_group(group)
+        cached = self._cost_cache.get(key)
+        if cached is not None:
+            return cached
+        sigma = optimal_schedule(
+            self.model, self.cluster.processors, indices=sorted(key)
+        )
+        value = expected_makespan(self.model, sigma)
+        self._cost_cache[key] = value
+        return value
+
+    def total_cost(self, groups: Sequence[Sequence[int]]) -> float:
+        """Sum of pack costs — packs execute sequentially."""
+        return sum(self.cost(group) for group in groups)
+
+    def sequential_load(self, group: Sequence[int]) -> float:
+        """Surrogate load: total sequential time of the group."""
+        return sum(self._sequential[i] for i in group)
+
+    def sequential_time(self, i: int) -> float:
+        """Sequential time of one task (sorting key for the heuristics)."""
+        return self._sequential[i]
+
+    def cache_info(self) -> Dict[str, int]:
+        """Oracle memoisation statistics (diagnostics)."""
+        return {"entries": len(self._cost_cache)}

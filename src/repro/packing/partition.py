@@ -1,0 +1,339 @@
+"""Pack-partitioning algorithms.
+
+A :class:`Partition` splits the task indices ``0..n-1`` into ordered
+groups; each group becomes one pack, and packs run sequentially.  The
+objective is the total expected makespan — the sum of per-pack Algorithm 1
+makespans priced by :class:`~repro.packing.cost.PackCostOracle`.
+
+The problem is NP-hard (it contains the single-pack allocation problem of
+Theorem 2, and k-way partitioning of sequential loads is already
+3-Partition), hence a ladder of algorithms:
+
+========================  =========================================
+:func:`one_pack`          everything together (the paper's setting)
+:func:`first_fit_capacity`  fewest packs that satisfy ``2n <= p``
+:func:`fixed_k_lpt`       k-way LPT balancing on a surrogate load
+:func:`dp_contiguous`     optimal contiguous split of the size-sorted
+                          order (O(n^2 k) oracle calls)
+:func:`exhaustive_optimal`  true optimum by set-partition enumeration
+                          (tiny n only)
+========================  =========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..exceptions import CapacityError, ConfigurationError
+from .cost import PackCostOracle
+
+__all__ = [
+    "Partition",
+    "one_pack",
+    "first_fit_capacity",
+    "fixed_k_lpt",
+    "dp_contiguous",
+    "exhaustive_optimal",
+]
+
+#: Safety cap for :func:`exhaustive_optimal` (Bell(10) = 115 975 partitions).
+MAX_EXHAUSTIVE_TASKS = 10
+
+
+@dataclass(frozen=True)
+class Partition:
+    """An ordered split of task indices into packs.
+
+    Attributes
+    ----------
+    groups:
+        Tuple of task-index tuples; packs execute in this order.
+    algorithm:
+        Name of the producing algorithm (for tables and traces).
+    estimated_costs:
+        Per-pack expected makespans from the pricing oracle (empty if the
+        partition was built without one).
+    """
+
+    groups: Tuple[Tuple[int, ...], ...]
+    algorithm: str = "manual"
+    estimated_costs: Tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.groups:
+            raise ConfigurationError("a partition needs at least one group")
+        seen: set[int] = set()
+        for group in self.groups:
+            if not group:
+                raise ConfigurationError("partition groups must be non-empty")
+            for index in group:
+                if index in seen:
+                    raise ConfigurationError(
+                        f"task {index} appears in multiple groups"
+                    )
+                seen.add(index)
+        if self.estimated_costs and len(self.estimated_costs) != len(self.groups):
+            raise ConfigurationError(
+                "estimated_costs length must match the group count"
+            )
+
+    @property
+    def k(self) -> int:
+        """Number of packs."""
+        return len(self.groups)
+
+    @property
+    def n(self) -> int:
+        """Number of tasks covered."""
+        return sum(len(group) for group in self.groups)
+
+    @property
+    def estimated_total(self) -> float:
+        """Sum of the per-pack cost estimates."""
+        if not self.estimated_costs:
+            raise ConfigurationError("partition carries no cost estimates")
+        return float(sum(self.estimated_costs))
+
+    def validate_complete(self, n: int) -> None:
+        """Check the partition covers exactly the indices ``0..n-1``."""
+        covered = {index for group in self.groups for index in group}
+        expected = set(range(n))
+        if covered != expected:
+            missing = sorted(expected - covered)
+            extra = sorted(covered - expected)
+            raise ConfigurationError(
+                f"partition does not cover 0..{n - 1}: "
+                f"missing={missing}, extra={extra}"
+            )
+
+    def validate_capacity(self, p: int) -> None:
+        """Check every pack fits on ``p`` processors (buddy pairs)."""
+        for position, group in enumerate(self.groups):
+            if 2 * len(group) > p:
+                raise CapacityError(
+                    f"pack {position} holds {len(group)} tasks but p={p} "
+                    f"supports at most {p // 2}"
+                )
+
+    def describe(self) -> str:
+        """Compact human-readable digest."""
+        sizes = ",".join(str(len(group)) for group in self.groups)
+        text = f"{self.algorithm}: k={self.k} sizes=[{sizes}]"
+        if self.estimated_costs:
+            text += f" est_total={self.estimated_total:.6g}s"
+        return text
+
+
+def _with_costs(
+    groups: Sequence[Sequence[int]], oracle: PackCostOracle, algorithm: str
+) -> Partition:
+    ordered = tuple(tuple(sorted(group)) for group in groups)
+    costs = tuple(oracle.cost(group) for group in ordered)
+    return Partition(groups=ordered, algorithm=algorithm, estimated_costs=costs)
+
+
+# ---------------------------------------------------------------------------
+# baselines
+
+def one_pack(oracle: PackCostOracle) -> Partition:
+    """Everything in a single pack (the paper's operating point).
+
+    Raises :class:`CapacityError` when ``2n > p``.
+    """
+    return _with_costs([list(range(oracle.n))], oracle, "one-pack")
+
+
+def first_fit_capacity(
+    oracle: PackCostOracle, max_group_size: Optional[int] = None
+) -> Partition:
+    """First-fit decreasing on the surrogate load, capacity-bounded.
+
+    Tasks are taken in non-increasing sequential time; each goes to the
+    first pack with spare capacity.  Produces the minimum number of packs
+    ``ceil(n / (p // 2))`` and is the natural fallback when the task set
+    simply does not fit in one pack.
+    """
+    capacity = oracle.max_group_size if max_group_size is None else int(max_group_size)
+    if capacity < 1:
+        raise ConfigurationError("max_group_size must be >= 1")
+    order = sorted(
+        range(oracle.n), key=lambda i: (-oracle.sequential_time(i), i)
+    )
+    groups: List[List[int]] = []
+    for index in order:
+        for group in groups:
+            if len(group) < capacity:
+                group.append(index)
+                break
+        else:
+            groups.append([index])
+    return _with_costs(groups, oracle, "first-fit")
+
+
+def fixed_k_lpt(oracle: PackCostOracle, k: int) -> Partition:
+    """k-way LPT: longest task first, to the least-loaded feasible pack.
+
+    The load is the surrogate (sum of sequential times), so assignment is
+    O(n log n + n k); only the final partition is priced exactly.
+    """
+    if k < 1:
+        raise ConfigurationError(f"pack count k must be >= 1, got {k}")
+    if k > oracle.n:
+        raise ConfigurationError(
+            f"cannot split {oracle.n} tasks into {k} non-empty packs"
+        )
+    capacity = oracle.max_group_size
+    if oracle.n > k * capacity:
+        raise CapacityError(
+            f"{oracle.n} tasks cannot fit in {k} packs of at most "
+            f"{capacity} tasks"
+        )
+    order = sorted(
+        range(oracle.n), key=lambda i: (-oracle.sequential_time(i), i)
+    )
+    groups: List[List[int]] = [[] for _ in range(k)]
+    loads = [0.0] * k
+    for index in order:
+        feasible = [g for g in range(k) if len(groups[g]) < capacity]
+        # prefer an empty feasible pack while some are empty (k non-empty
+        # packs are required), otherwise the least-loaded feasible pack
+        empty = [g for g in feasible if not groups[g]]
+        remaining = sum(1 for g in range(k) if not groups[g])
+        unassigned = oracle.n - sum(len(g) for g in groups)
+        if empty and remaining >= unassigned:
+            target = empty[0]
+        else:
+            target = min(feasible, key=lambda g: (loads[g], g))
+        groups[target].append(index)
+        loads[target] += oracle.sequential_time(index)
+    return _with_costs(groups, oracle, f"lpt-k{k}")
+
+
+# ---------------------------------------------------------------------------
+# contiguous dynamic program
+
+def dp_contiguous(oracle: PackCostOracle, k: int) -> Partition:
+    """Optimal split of the size-sorted order into at most ``k`` segments.
+
+    Restricting packs to be contiguous in non-increasing sequential-time
+    order turns the search into a classical interval dynamic program:
+    ``best[j][m]`` is the cheapest cost of packing the first ``j`` sorted
+    tasks into ``m`` packs.  The restriction loses generality (the true
+    optimum may interleave sizes) but keeps the oracle-call count at
+    O(n^2 k) and is a strong heuristic when pack cost grows with the
+    longest member — which Algorithm 1 guarantees here.
+    """
+    if k < 1:
+        raise ConfigurationError(f"pack count k must be >= 1, got {k}")
+    n = oracle.n
+    k = min(k, n)
+    order = sorted(range(n), key=lambda i: (-oracle.sequential_time(i), i))
+    capacity = oracle.max_group_size
+    if n > k * capacity:
+        raise CapacityError(
+            f"{n} tasks cannot fit in {k} packs of at most {capacity} tasks"
+        )
+
+    segment_cost: dict[tuple[int, int], float] = {}
+
+    def cost(start: int, end: int) -> float:
+        """Price the segment ``order[start:end]`` (memoised)."""
+        key = (start, end)
+        value = segment_cost.get(key)
+        if value is None:
+            value = oracle.cost(order[start:end])
+            segment_cost[key] = value
+        return value
+
+    infinity = float("inf")
+    best = [[infinity] * (k + 1) for _ in range(n + 1)]
+    choice = [[-1] * (k + 1) for _ in range(n + 1)]
+    best[0][0] = 0.0
+    for j in range(1, n + 1):
+        for m in range(1, min(k, j) + 1):
+            lo = max(m - 1, j - capacity)
+            for split in range(lo, j):
+                if best[split][m - 1] == infinity:
+                    continue
+                candidate = best[split][m - 1] + cost(split, j)
+                if candidate < best[j][m]:
+                    best[j][m] = candidate
+                    choice[j][m] = split
+    m_best = min(range(1, k + 1), key=lambda m: best[n][m])
+    if best[n][m_best] == infinity:  # pragma: no cover - guarded above
+        raise CapacityError("no feasible contiguous partition")
+
+    groups: List[List[int]] = []
+    j, m = n, m_best
+    while m > 0:
+        split = choice[j][m]
+        groups.append(order[split:j])
+        j, m = split, m - 1
+    groups.reverse()
+    return _with_costs(groups, oracle, f"dp-k{k}")
+
+
+# ---------------------------------------------------------------------------
+# exhaustive search (tiny n)
+
+def _set_partitions(n: int) -> Iterator[List[List[int]]]:
+    """All set partitions of ``range(n)`` via restricted growth strings."""
+    codes = [0] * n
+    maxima = [0] * n
+    while True:
+        groups: List[List[int]] = [[] for _ in range(max(codes) + 1)]
+        for index, code in enumerate(codes):
+            groups[code].append(index)
+        yield groups
+        # next restricted growth string
+        position = n - 1
+        while position > 0 and codes[position] > maxima[position - 1]:
+            position -= 1
+        if position == 0:
+            return
+        codes[position] += 1
+        maxima[position] = max(maxima[position - 1], codes[position])
+        for rest in range(position + 1, n):
+            codes[rest] = 0
+            maxima[rest] = maxima[position]
+
+
+def exhaustive_optimal(
+    oracle: PackCostOracle, k_max: Optional[int] = None
+) -> Partition:
+    """True optimal partition by enumeration (``n <= 10``).
+
+    Enumerates every set partition (optionally with at most ``k_max``
+    groups), pricing each group once thanks to the oracle's memoisation
+    (at most ``2^n`` distinct groups exist).
+    """
+    n = oracle.n
+    if n > MAX_EXHAUSTIVE_TASKS:
+        raise ConfigurationError(
+            f"exhaustive search is capped at {MAX_EXHAUSTIVE_TASKS} tasks "
+            f"(got {n}); use dp_contiguous or fixed_k_lpt instead"
+        )
+    capacity = oracle.max_group_size
+    best_groups: Optional[List[List[int]]] = None
+    best_cost = float("inf")
+    for groups in _set_partitions(n):
+        if k_max is not None and len(groups) > k_max:
+            continue
+        if any(len(group) > capacity for group in groups):
+            continue
+        total = 0.0
+        feasible = True
+        for group in groups:
+            total += oracle.cost(group)
+            if total >= best_cost:
+                feasible = False
+                break
+        if feasible and total < best_cost:
+            best_cost = total
+            best_groups = [list(group) for group in groups]
+    if best_groups is None:
+        raise CapacityError(
+            "no feasible partition exists under the capacity constraint"
+        )
+    return _with_costs(best_groups, oracle, "exhaustive")

@@ -1,0 +1,182 @@
+"""Checkpointing model (Sections 2.2 and 3.1).
+
+The paper uses the in-memory *double checkpointing* (buddy) protocol
+[13, 14]: processors are paired, each checkpoint is mirrored on the buddy,
+and the recovery cost equals the checkpoint cost, ``R_{i,j} = C_{i,j}``.
+The per-processor checkpoint cost divides the sequential cost evenly:
+``C_{i,j} = C_i / j``.
+
+The checkpoint *period* is a pluggable strategy.  The paper applies
+Young's first-order formula (Eq. 1):
+
+.. math:: \\tau_{i,j} = \\sqrt{2 \\mu_{i,j} C_{i,j}} + C_{i,j},
+
+valid when ``C_{i,j} << mu_{i,j}``.  Daly's higher-order refinement and a
+fixed period are offered as drop-in alternatives for ablation studies.
+``tau`` always denotes the **full** period: ``tau - C`` of useful work
+followed by a checkpoint of length ``C``.
+
+:class:`ResilienceModel` bundles a cluster with a strategy and provides
+the per-(task, j) quantities every other module consumes.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Union
+
+import numpy as np
+
+from ..cluster import Cluster
+from ..exceptions import CapacityError, ConfigurationError
+from ..tasks import TaskSpec
+
+__all__ = [
+    "CheckpointStrategy",
+    "YoungStrategy",
+    "DalyStrategy",
+    "FixedPeriodStrategy",
+    "ResilienceModel",
+]
+
+ArrayLike = Union[float, np.ndarray]
+
+
+class CheckpointStrategy(ABC):
+    """Maps (task MTBF, checkpoint cost) to a checkpointing period."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def period(self, mtbf: ArrayLike, cost: ArrayLike) -> ArrayLike:
+        """Full period ``tau`` (work + checkpoint) — vectorised."""
+
+    def waste_fraction(self, mtbf: ArrayLike, cost: ArrayLike) -> ArrayLike:
+        """Fault-free overhead fraction ``C / tau``."""
+        return np.asarray(cost) / self.period(mtbf, cost)
+
+
+class YoungStrategy(CheckpointStrategy):
+    """Young's first-order optimum (Eq. 1): ``sqrt(2 mu C) + C``."""
+
+    name = "young"
+
+    def period(self, mtbf: ArrayLike, cost: ArrayLike) -> ArrayLike:
+        mtbf_arr = np.asarray(mtbf, dtype=float)
+        cost_arr = np.asarray(cost, dtype=float)
+        if np.any(mtbf_arr <= 0):
+            raise ConfigurationError("MTBF must be positive")
+        if np.any(cost_arr < 0):
+            raise ConfigurationError("checkpoint cost must be non-negative")
+        result = np.sqrt(2.0 * mtbf_arr * cost_arr) + cost_arr
+        if np.ndim(mtbf) == 0 and np.ndim(cost) == 0:
+            return float(result)
+        return result
+
+
+class DalyStrategy(CheckpointStrategy):
+    """Daly's higher-order estimate [6].
+
+    For ``C < 2 mu`` the optimal useful-work length is
+
+    .. math::
+        w = \\sqrt{2 C \\mu}\\,\\Big(1 + \\tfrac13\\sqrt{C/(2\\mu)}
+            + \\tfrac19\\,C/(2\\mu)\\Big) - C,
+
+    and ``tau = w + C``; otherwise ``tau = mu + C`` (checkpoint as often
+    as the platform survives).
+    """
+
+    name = "daly"
+
+    def period(self, mtbf: ArrayLike, cost: ArrayLike) -> ArrayLike:
+        mtbf_arr = np.asarray(mtbf, dtype=float)
+        cost_arr = np.asarray(cost, dtype=float)
+        if np.any(mtbf_arr <= 0):
+            raise ConfigurationError("MTBF must be positive")
+        if np.any(cost_arr < 0):
+            raise ConfigurationError("checkpoint cost must be non-negative")
+        ratio = cost_arr / (2.0 * mtbf_arr)
+        base = np.sqrt(2.0 * cost_arr * mtbf_arr)
+        refined = base * (1.0 + np.sqrt(ratio) / 3.0 + ratio / 9.0)
+        tau = np.where(cost_arr < 2.0 * mtbf_arr, refined, mtbf_arr + cost_arr)
+        # Guarantee a strictly positive work segment even at degenerate inputs.
+        tau = np.maximum(tau, cost_arr * (1.0 + 1e-9))
+        if np.ndim(mtbf) == 0 and np.ndim(cost) == 0:
+            return float(tau)
+        return tau
+
+
+class FixedPeriodStrategy(CheckpointStrategy):
+    """Constant useful-work length ``w``: ``tau = w + C`` (ablation baseline)."""
+
+    name = "fixed"
+
+    def __init__(self, work_per_period: float):
+        if work_per_period <= 0:
+            raise ConfigurationError("work per period must be positive")
+        self.work_per_period = float(work_per_period)
+
+    def period(self, mtbf: ArrayLike, cost: ArrayLike) -> ArrayLike:
+        cost_arr = np.asarray(cost, dtype=float)
+        result = self.work_per_period + cost_arr
+        if np.ndim(cost) == 0:
+            return float(result)
+        return result
+
+
+class ResilienceModel:
+    """Per-(task, processor-count) resilience quantities.
+
+    Exposes the paper's notation directly: ``cost`` is ``C_{i,j}``,
+    ``recovery`` is ``R_{i,j}``, ``period`` is ``tau_{i,j}``,
+    ``task_lambda`` is ``lambda * j`` and ``downtime`` is ``D``.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        strategy: CheckpointStrategy | None = None,
+    ):
+        self.cluster = cluster
+        self.strategy = strategy if strategy is not None else YoungStrategy()
+
+    # -- scalar / vector accessors (j may be an even-int array) --------------
+    def cost(self, task: TaskSpec, j: ArrayLike) -> ArrayLike:
+        """Checkpoint cost ``C_{i,j} = C_i / j``."""
+        self._check_j(j)
+        result = task.checkpoint_cost / np.asarray(j, dtype=float)
+        return float(result) if np.ndim(j) == 0 else result
+
+    def recovery(self, task: TaskSpec, j: ArrayLike) -> ArrayLike:
+        """Recovery cost ``R_{i,j} = C_{i,j}`` (buddy protocol)."""
+        return self.cost(task, j)
+
+    def period(self, task: TaskSpec, j: ArrayLike) -> ArrayLike:
+        """Checkpoint period ``tau_{i,j}`` per the configured strategy."""
+        self._check_j(j)
+        j_arr = np.asarray(j, dtype=float)
+        return self.strategy.period(self.cluster.mtbf / j_arr, self.cost(task, j))
+
+    def task_lambda(self, j: ArrayLike) -> ArrayLike:
+        """Failure rate of a ``j``-processor task: ``lambda j = j / mu``."""
+        self._check_j(j)
+        result = np.asarray(j, dtype=float) / self.cluster.mtbf
+        return float(result) if np.ndim(j) == 0 else result
+
+    @property
+    def downtime(self) -> float:
+        """Platform downtime ``D``."""
+        return self.cluster.downtime
+
+    def restart_overhead(self, task: TaskSpec, j: int) -> float:
+        """Total post-failure stall ``D + R_{i,j}`` for a ``j``-proc task."""
+        return self.downtime + float(self.recovery(task, j))
+
+    @staticmethod
+    def _check_j(j: ArrayLike) -> None:
+        if np.any(np.asarray(j) < 1):
+            raise CapacityError("processor count must be >= 1")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ResilienceModel({self.cluster!r}, strategy={self.strategy.name})"

@@ -1,0 +1,177 @@
+"""Failure inter-arrival distributions.
+
+The paper drives its fault simulator "with an exponential law of parameter
+lambda" (Section 6.1); :class:`ExponentialFaults` is therefore the default
+everywhere.  Weibull and log-normal generators — the two families used by
+the checkpointing literature the paper builds on ([20, 21]) — and a trace
+replayer are provided for sensitivity extensions.
+
+All distributions expose the *mean* inter-arrival time (the per-processor
+MTBF) as their primary parameter so they can be swapped without retuning.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+__all__ = [
+    "FaultDistribution",
+    "ExponentialFaults",
+    "WeibullFaults",
+    "LogNormalFaults",
+    "TraceFaults",
+]
+
+
+class FaultDistribution(ABC):
+    """A distribution of failure inter-arrival times on one processor."""
+
+    @abstractmethod
+    def sample(self, rng: np.random.Generator, proc: int) -> float:
+        """Draw the next inter-arrival time (seconds) for processor ``proc``."""
+
+    @abstractmethod
+    def mean(self) -> float:
+        """Mean inter-arrival time (the per-processor MTBF)."""
+
+    def sample_initial(self, rng: np.random.Generator, p: int) -> np.ndarray:
+        """Vector of first arrival times for processors ``0..p-1``.
+
+        Default: one i.i.d. draw per processor.  Subclasses may override
+        (e.g. trace replay uses the recorded first events).
+        """
+        return np.array([self.sample(rng, proc) for proc in range(p)], dtype=float)
+
+
+class ExponentialFaults(FaultDistribution):
+    """Memoryless fail-stop arrivals: ``Exp(lambda)`` with ``lambda = 1/mtbf``."""
+
+    def __init__(self, mtbf: float):
+        if mtbf <= 0:
+            raise ConfigurationError(f"MTBF must be positive, got {mtbf}")
+        self.mtbf = float(mtbf)
+
+    def sample(self, rng: np.random.Generator, proc: int) -> float:
+        return float(rng.exponential(self.mtbf))
+
+    def sample_initial(self, rng: np.random.Generator, p: int) -> np.ndarray:
+        return rng.exponential(self.mtbf, size=p)
+
+    def mean(self) -> float:
+        return self.mtbf
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ExponentialFaults(mtbf={self.mtbf:g})"
+
+
+class WeibullFaults(FaultDistribution):
+    """Weibull arrivals parameterised by mean and shape.
+
+    ``shape < 1`` gives the infant-mortality behaviour observed on real
+    HPC failure logs; ``shape = 1`` degenerates to the exponential law.
+    The scale is derived from the requested mean:
+    ``scale = mean / Gamma(1 + 1/shape)``.
+    """
+
+    def __init__(self, mtbf: float, shape: float = 0.7):
+        if mtbf <= 0:
+            raise ConfigurationError(f"MTBF must be positive, got {mtbf}")
+        if shape <= 0:
+            raise ConfigurationError(f"Weibull shape must be positive, got {shape}")
+        self.mtbf = float(mtbf)
+        self.shape = float(shape)
+        self.scale = self.mtbf / math.gamma(1.0 + 1.0 / self.shape)
+
+    def sample(self, rng: np.random.Generator, proc: int) -> float:
+        return float(self.scale * rng.weibull(self.shape))
+
+    def sample_initial(self, rng: np.random.Generator, p: int) -> np.ndarray:
+        return self.scale * rng.weibull(self.shape, size=p)
+
+    def mean(self) -> float:
+        return self.mtbf
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"WeibullFaults(mtbf={self.mtbf:g}, shape={self.shape:g})"
+
+
+class LogNormalFaults(FaultDistribution):
+    """Log-normal arrivals parameterised by mean and log-space sigma."""
+
+    def __init__(self, mtbf: float, sigma: float = 1.0):
+        if mtbf <= 0:
+            raise ConfigurationError(f"MTBF must be positive, got {mtbf}")
+        if sigma <= 0:
+            raise ConfigurationError(f"sigma must be positive, got {sigma}")
+        self.mtbf = float(mtbf)
+        self.sigma = float(sigma)
+        # E[X] = exp(mu + sigma^2/2)  =>  mu = ln(mean) - sigma^2/2
+        self.mu_log = math.log(self.mtbf) - 0.5 * self.sigma**2
+
+    def sample(self, rng: np.random.Generator, proc: int) -> float:
+        return float(rng.lognormal(self.mu_log, self.sigma))
+
+    def sample_initial(self, rng: np.random.Generator, p: int) -> np.ndarray:
+        return rng.lognormal(self.mu_log, self.sigma, size=p)
+
+    def mean(self) -> float:
+        return self.mtbf
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LogNormalFaults(mtbf={self.mtbf:g}, sigma={self.sigma:g})"
+
+
+class TraceFaults(FaultDistribution):
+    """Replays recorded per-processor failure timestamps.
+
+    ``traces[proc]`` is the increasing list of absolute failure times for
+    that processor; once a trace is exhausted the processor never fails
+    again.  Useful to re-run a simulation against a captured failure log.
+    """
+
+    def __init__(self, traces: Sequence[Sequence[float]]):
+        self._traces = [list(map(float, trace)) for trace in traces]
+        for proc, trace in enumerate(self._traces):
+            if any(b <= a for a, b in zip(trace, trace[1:])):
+                raise ConfigurationError(
+                    f"trace for processor {proc} is not strictly increasing"
+                )
+        self._cursor = [0] * len(self._traces)
+        arrivals = [t for trace in self._traces for t in trace]
+        gaps: list[float] = []
+        for trace in self._traces:
+            gaps.extend(np.diff(trace))
+        self._mean = float(np.mean(gaps)) if gaps else math.inf
+        self._n_events = len(arrivals)
+
+    def sample(self, rng: np.random.Generator, proc: int) -> float:
+        """Inter-arrival to the next recorded event for ``proc``."""
+        if proc >= len(self._traces):
+            return math.inf
+        trace = self._traces[proc]
+        cursor = self._cursor[proc]
+        if cursor >= len(trace):
+            return math.inf
+        previous = trace[cursor - 1] if cursor > 0 else 0.0
+        self._cursor[proc] = cursor + 1
+        return trace[cursor] - previous
+
+    def sample_initial(self, rng: np.random.Generator, p: int) -> np.ndarray:
+        first = np.full(p, math.inf)
+        for proc in range(min(p, len(self._traces))):
+            if self._traces[proc]:
+                first[proc] = self._traces[proc][0]
+                self._cursor[proc] = 1
+        return first
+
+    def mean(self) -> float:
+        return self._mean
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TraceFaults(processors={len(self._traces)}, events={self._n_events})"

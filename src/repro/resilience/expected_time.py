@@ -1,0 +1,282 @@
+"""Expected completion times under failures (Section 3.2).
+
+For a task ``T_i`` executing a remaining work fraction ``alpha`` on ``j``
+processors with periodic checkpointing, the paper derives (Eqs. 2-4):
+
+.. math::
+
+    N^{ff}_{i,j}(\\alpha) =
+        \\Big\\lfloor \\frac{\\alpha t_{i,j}}{\\tau_{i,j} - C_{i,j}}
+        \\Big\\rfloor,
+    \\qquad
+    \\tau_{last} = \\alpha t_{i,j} - N^{ff}_{i,j}(\\alpha)
+                   (\\tau_{i,j} - C_{i,j}),
+
+.. math::
+
+    t^R_{i,j}(\\alpha) = e^{\\lambda j R_{i,j}}
+        \\Big(\\frac{1}{\\lambda j} + D\\Big)
+        \\Big( N^{ff}_{i,j}(\\alpha)\\,(e^{\\lambda j \\tau_{i,j}} - 1)
+             + (e^{\\lambda j \\tau_{last}} - 1) \\Big).
+
+Adding processors raises the failure rate, so ``t^R`` is not monotone in
+``j``; Eq. (6) replaces it by its running minimum over even ``j`` (the
+"threshold" envelope), restoring assumption (5).
+
+The whole grid over even ``j`` is evaluated at once with NumPy (the
+envelope needs the prefix minimum anyway) and cached per ``(task, alpha)``
+— the scheduling heuristics probe many candidate ``j`` for the same
+``alpha``, so the hit rate is high.  This is the hot path of the library;
+see the performance notes in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..cluster import Cluster
+from ..exceptions import CapacityError, ConfigurationError
+from ..tasks import Pack
+from .checkpoint import ResilienceModel
+
+__all__ = ["ExpectedTimeModel", "TaskGrid", "checkpoint_count", "last_period"]
+
+
+def checkpoint_count(alpha: float, t_ff: float, tau: float, cost: float) -> int:
+    """``N^ff_{i,j}(alpha)`` — Eq. (2), scalar form."""
+    if alpha <= 0.0:
+        return 0
+    work = tau - cost
+    if work <= 0:
+        raise ConfigurationError("checkpoint period must exceed checkpoint cost")
+    return int(math.floor(alpha * t_ff / work))
+
+
+def last_period(alpha: float, t_ff: float, tau: float, cost: float) -> float:
+    """``tau_last`` — Eq. (3), scalar form."""
+    n_ff = checkpoint_count(alpha, t_ff, tau, cost)
+    return alpha * t_ff - n_ff * (tau - cost)
+
+
+@dataclass(frozen=True)
+class TaskGrid:
+    """Precomputed per-task arrays over the even-``j`` grid.
+
+    ``index k`` corresponds to ``j = 2 (k + 1)``.
+    """
+
+    j: np.ndarray          #: even processor counts 2, 4, ..., j_max
+    t_ff: np.ndarray       #: fault-free times t_{i,j}
+    cost: np.ndarray       #: checkpoint costs C_{i,j}
+    tau: np.ndarray        #: checkpoint periods tau_{i,j}
+    lam: np.ndarray        #: task failure rates lambda * j
+    prefactor: np.ndarray  #: e^{lambda j R} (1/(lambda j) + D)
+    exp_period: np.ndarray  #: e^{lambda j tau} - 1
+    work_per_period: np.ndarray  #: tau - C
+
+    def slot(self, j: int) -> int:
+        """Grid index of an even processor count ``j``."""
+        if j < 2 or j % 2 != 0:
+            raise CapacityError(f"j must be an even count >= 2, got {j}")
+        slot = j // 2 - 1
+        if slot >= len(self.j):
+            raise CapacityError(
+                f"j={j} exceeds the grid maximum {int(self.j[-1])}"
+            )
+        return slot
+
+
+class ExpectedTimeModel:
+    """Vectorised evaluator of ``t^R_{i,j}(alpha)`` with the Eq. (6) envelope.
+
+    Parameters
+    ----------
+    pack:
+        The co-scheduled tasks.
+    cluster:
+        Platform (supplies ``mu`` and ``D``).
+    resilience:
+        Optional pre-built :class:`ResilienceModel` (defaults to Young).
+    max_procs:
+        Largest ``j`` in the grid (defaults to ``cluster.processors``).
+    cache_size:
+        Number of ``(task, alpha)`` profiles kept alive (FIFO eviction).
+    rc_factor:
+        Multiplier on every redistribution cost ``RC_i^{j->k}`` seen by
+        the heuristics (ablation knob: 0 makes redistribution free, large
+        values discourage it).  The paper's model is ``rc_factor = 1``.
+    """
+
+    def __init__(
+        self,
+        pack: Pack,
+        cluster: Cluster,
+        resilience: Optional[ResilienceModel] = None,
+        max_procs: Optional[int] = None,
+        cache_size: int = 4096,
+        rc_factor: float = 1.0,
+    ):
+        if rc_factor < 0:
+            raise ConfigurationError("rc_factor must be non-negative")
+        self.pack = pack
+        self.cluster = cluster
+        self.rc_factor = float(rc_factor)
+        self.resilience = (
+            resilience if resilience is not None else ResilienceModel(cluster)
+        )
+        j_max = cluster.processors if max_procs is None else int(max_procs)
+        if j_max < 2:
+            raise ConfigurationError("max_procs must be >= 2")
+        if j_max % 2 != 0:
+            j_max -= 1
+        self._j_grid = np.arange(2, j_max + 1, 2, dtype=float)
+        self._grids: dict[int, TaskGrid] = {}
+        self._profile_cache: OrderedDict[tuple[int, float], np.ndarray] = (
+            OrderedDict()
+        )
+        self._cache_size = int(cache_size)
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # -- grids ----------------------------------------------------------------
+    @property
+    def j_grid(self) -> np.ndarray:
+        """The even processor-count grid (shared by all tasks)."""
+        return self._j_grid
+
+    def grid(self, i: int) -> TaskGrid:
+        """Per-task constant arrays, built lazily and kept for the run."""
+        cached = self._grids.get(i)
+        if cached is not None:
+            return cached
+        task = self.pack[i]
+        j = self._j_grid
+        t_ff = np.asarray(task.fault_free_time(j), dtype=float)
+        cost = np.asarray(self.resilience.cost(task, j), dtype=float)
+        tau = np.asarray(self.resilience.period(task, j), dtype=float)
+        lam = np.asarray(self.resilience.task_lambda(j), dtype=float)
+        recovery = cost  # buddy protocol: R = C
+        with np.errstate(over="ignore"):
+            # exp overflow -> inf: the expected time legitimately diverges
+            # on hopeless (MTBF << period) configurations
+            prefactor = np.exp(lam * recovery) * (
+                1.0 / lam + self.cluster.downtime
+            )
+            exp_period = np.expm1(lam * tau)
+        work_per_period = tau - cost
+        if np.any(work_per_period <= 0):
+            raise ConfigurationError(
+                f"task {i}: checkpoint period does not exceed its cost; "
+                "the checkpoint strategy is inconsistent"
+            )
+        grid = TaskGrid(
+            j=j,
+            t_ff=t_ff,
+            cost=cost,
+            tau=tau,
+            lam=lam,
+            prefactor=prefactor,
+            exp_period=exp_period,
+            work_per_period=work_per_period,
+        )
+        self._grids[i] = grid
+        return grid
+
+    # -- profiles --------------------------------------------------------------
+    def profile(self, i: int, alpha: float = 1.0) -> np.ndarray:
+        """Envelope ``t^R_{i,j}(alpha)`` for every even ``j`` in the grid.
+
+        Returns the Eq. (6) running minimum, so the result is non-increasing
+        in ``j`` (assumption (5) holds by construction).
+        """
+        if alpha < 0.0 or alpha > 1.0 + 1e-12:
+            raise ConfigurationError(f"alpha must be in [0, 1], got {alpha}")
+        key = (i, float(alpha))
+        cached = self._profile_cache.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            self._profile_cache.move_to_end(key)
+            return cached
+        self.cache_misses += 1
+        grid = self.grid(i)
+        raw = self.raw_profile(i, alpha, grid)
+        envelope = np.minimum.accumulate(raw)
+        envelope.setflags(write=False)
+        self._profile_cache[key] = envelope
+        if len(self._profile_cache) > self._cache_size:
+            self._profile_cache.popitem(last=False)
+        return envelope
+
+    def raw_profile(
+        self, i: int, alpha: float, grid: Optional[TaskGrid] = None
+    ) -> np.ndarray:
+        """Eq. (4) without the envelope (exposed for tests/diagnostics)."""
+        if grid is None:
+            grid = self.grid(i)
+        if alpha <= 0.0:
+            return np.zeros_like(grid.t_ff)
+        work = alpha * grid.t_ff
+        n_ff = np.floor(work / grid.work_per_period)
+        tau_last = work - n_ff * grid.work_per_period
+        with np.errstate(over="ignore"):
+            return grid.prefactor * (
+                n_ff * grid.exp_period + np.expm1(grid.lam * tau_last)
+            )
+
+    # -- scalar accessors --------------------------------------------------------
+    def expected_time(self, i: int, j: int, alpha: float = 1.0) -> float:
+        """``t^R_{i,j}(alpha)`` with the envelope applied (Eq. 6)."""
+        grid = self.grid(i)
+        return float(self.profile(i, alpha)[grid.slot(j)])
+
+    def fault_free_time(self, i: int, j: int) -> float:
+        """``t_{i,j}`` — fault-free time from the precomputed grid."""
+        grid = self.grid(i)
+        return float(grid.t_ff[grid.slot(j)])
+
+    def checkpoint_cost(self, i: int, j: int) -> float:
+        """``C_{i,j}``."""
+        grid = self.grid(i)
+        return float(grid.cost[grid.slot(j)])
+
+    def period(self, i: int, j: int) -> float:
+        """``tau_{i,j}``."""
+        grid = self.grid(i)
+        return float(grid.tau[grid.slot(j)])
+
+    def recovery(self, i: int, j: int) -> float:
+        """``R_{i,j} = C_{i,j}``."""
+        return self.checkpoint_cost(i, j)
+
+    @property
+    def downtime(self) -> float:
+        """Platform downtime ``D``."""
+        return self.cluster.downtime
+
+    def restart_overhead(self, i: int, j: int) -> float:
+        """``D + R_{i,j}`` — stall paid by the struck task."""
+        return self.downtime + self.recovery(i, j)
+
+    def threshold(self, i: int, alpha: float = 1.0) -> int:
+        """Smallest ``j`` achieving the minimum of the envelope.
+
+        Beyond this count, extra processors no longer reduce the expected
+        time (Section 3.2's "threshold").
+        """
+        envelope = self.profile(i, alpha)
+        best = int(np.argmin(envelope))
+        # argmin returns the first occurrence = smallest such j
+        return int(self._j_grid[best])
+
+    def cache_info(self) -> dict[str, int]:
+        """Cache statistics (diagnostics)."""
+        return {
+            "hits": self.cache_hits,
+            "misses": self.cache_misses,
+            "entries": len(self._profile_cache),
+        }

@@ -1,0 +1,290 @@
+"""Process replication as an alternative resilience mechanism.
+
+The related-work section (2.2) contrasts checkpointing with *process
+replication* (RedMPI [12]): every logical process runs twice, a failure
+killing one replica is masked, and the application is only interrupted
+when **both** replicas of some process have died.  This module provides
+the standard analytic machinery (Ferreira et al.; Hérault & Robert [16])
+so replication can be compared quantitatively against the paper's buddy
+checkpointing:
+
+* :func:`mnfti` — Mean Number of Failures To Interruption for ``n_r``
+  replica pairs, by the exact recursion over degraded pairs, plus its
+  :func:`mnfti_asymptotic` birthday-paradox approximation;
+* :func:`mtti` — Mean Time To Interruption of a ``j``-processor run;
+* :class:`ReplicatedExpectedTimeModel` — the analogue of
+  :class:`~repro.resilience.expected_time.ExpectedTimeModel` when a task
+  duplicates every process: ``j`` physical processors provide ``j/2``
+  logical ones, failures follow the much rarer interruption process, and
+  periodic checkpoints (Young period at the interruption MTBF) guard
+  against interruptions;
+* :func:`crossover_mtbf` — the per-processor MTBF below which replication
+  beats plain checkpointed execution for a given task and allocation.
+
+Replication trades *throughput* (half the processors do redundant work)
+for *failure rarity* (interruptions need two hits on the same pair); the
+crossover therefore moves toward replication as platforms grow less
+reliable — the qualitative claim this module's benchmark checks.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Union
+
+import numpy as np
+
+from ..cluster import Cluster
+from ..exceptions import CapacityError, ConfigurationError
+from ..tasks import Pack
+from .checkpoint import CheckpointStrategy, YoungStrategy
+from .expected_time import ExpectedTimeModel
+
+__all__ = [
+    "mnfti",
+    "mnfti_asymptotic",
+    "mtti",
+    "ReplicatedExpectedTimeModel",
+    "crossover_mtbf",
+]
+
+ArrayLike = Union[int, float, np.ndarray]
+
+
+def mnfti(pairs: int) -> float:
+    """Mean Number of Failures To Interruption for ``pairs`` replica pairs.
+
+    Exact recursion on the number of degraded pairs ``d`` (pairs that
+    already lost one replica).  Failures strike alive processors uniformly
+    at random; from state ``d`` the next failure interrupts with
+    probability ``d / (2 n_r - d)`` (it hits the survivor of a degraded
+    pair) and otherwise degrades a fresh pair:
+
+    .. math::
+
+        E(d) = 1 + \\frac{2 (n_r - d)}{2 n_r - d}\\, E(d + 1),
+        \\qquad E(n_r) = 1,
+
+    and ``MNFTI = E(0)``.
+
+    >>> mnfti(1)
+    2.0
+    """
+    if pairs < 1:
+        raise ConfigurationError(f"pairs must be >= 1, got {pairs}")
+    expected = 1.0  # E(n_r): every survivor belongs to a degraded pair
+    for d in range(pairs - 1, -1, -1):
+        survive = 2.0 * (pairs - d) / (2.0 * pairs - d)
+        expected = 1.0 + survive * expected
+    return expected
+
+
+def mnfti_asymptotic(pairs: int) -> float:
+    """Birthday-paradox approximation ``sqrt(pi n_r)`` of :func:`mnfti`.
+
+    Accurate to a few percent beyond ~50 pairs; exposed so tests and
+    benchmarks can check the exact recursion's asymptotics.
+    """
+    if pairs < 1:
+        raise ConfigurationError(f"pairs must be >= 1, got {pairs}")
+    return math.sqrt(math.pi * pairs)
+
+
+def mtti(cluster: Cluster, j: int) -> float:
+    """Mean Time To Interruption of a replicated ``j``-processor task.
+
+    ``j`` physical processors host ``j/2`` replica pairs; failures arrive
+    with the task MTBF ``mu/j`` and only every :func:`mnfti`-th failure
+    (on average) interrupts, hence ``MTTI = MNFTI(j/2) * mu / j``.
+    """
+    if j < 2 or j % 2 != 0:
+        raise CapacityError(f"replication needs an even j >= 2, got {j}")
+    return mnfti(j // 2) * cluster.mtbf / j
+
+
+class ReplicatedExpectedTimeModel:
+    """Expected completion times when tasks duplicate every process.
+
+    Mirrors the public surface of
+    :class:`~repro.resilience.expected_time.ExpectedTimeModel` (``profile``,
+    ``expected_time``, ``threshold``) with replication semantics:
+
+    * ``j`` physical processors execute the task at the *speed of j/2*
+      (every process is doubled);
+    * the failure process is the interruption process of rate
+      ``1 / MTTI(j)``;
+    * checkpoints are still taken (an interruption rolls back to the last
+      checkpoint) with the configured strategy's period evaluated at the
+      interruption MTBF — the standard replication+checkpointing combo;
+    * checkpoint, recovery and downtime semantics are unchanged
+      (``R = C``, downtime ``D``).
+
+    The same Eq. (4) machinery applies with ``lambda j -> 1/MTTI(j)`` and
+    ``t_{i,j} -> t_{i, j/2}``; the Eq. (6) prefix-minimum envelope is
+    applied identically.
+    """
+
+    def __init__(
+        self,
+        pack: Pack,
+        cluster: Cluster,
+        strategy: Optional[CheckpointStrategy] = None,
+        max_procs: Optional[int] = None,
+    ):
+        self.pack = pack
+        self.cluster = cluster
+        self.strategy = strategy if strategy is not None else YoungStrategy()
+        j_max = cluster.processors if max_procs is None else int(max_procs)
+        if j_max < 2:
+            raise ConfigurationError("max_procs must be >= 2")
+        if j_max % 2 != 0:
+            j_max -= 1
+        self._j_grid = np.arange(2, j_max + 1, 2, dtype=float)
+        #: interruption rates 1/MTTI(j) for every even j
+        pairs = (self._j_grid / 2).astype(int)
+        mnfti_values = np.array([mnfti(int(k)) for k in pairs])
+        self._lam = self._j_grid / (cluster.mtbf * mnfti_values)
+        self._profiles: dict[tuple[int, float], np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def j_grid(self) -> np.ndarray:
+        """Even physical processor counts."""
+        return self._j_grid
+
+    def _slot(self, j: int) -> int:
+        if j < 2 or j % 2 != 0:
+            raise CapacityError(f"j must be an even count >= 2, got {j}")
+        slot = j // 2 - 1
+        if slot >= self._j_grid.size:
+            raise CapacityError(
+                f"j={j} exceeds the grid maximum {int(self._j_grid[-1])}"
+            )
+        return slot
+
+    def fault_free_time(self, i: int, j: int) -> float:
+        """Fault-free time at ``j`` physical processors: ``t_{i, j/2}``."""
+        slot = self._slot(j)
+        logical = max(1, int(self._j_grid[slot]) // 2)
+        return float(self.pack[i].fault_free_time(logical))
+
+    def checkpoint_cost(self, i: int, j: int) -> float:
+        """``C_i / (j/2)`` — checkpoints are written by logical processes."""
+        slot = self._slot(j)
+        logical = max(1, int(self._j_grid[slot]) // 2)
+        return self.pack[i].checkpoint_cost / logical
+
+    def period(self, i: int, j: int) -> float:
+        """Checkpoint period at the interruption MTBF."""
+        slot = self._slot(j)
+        mtbf_interruption = 1.0 / self._lam[slot]
+        return float(
+            self.strategy.period(mtbf_interruption, self.checkpoint_cost(i, j))
+        )
+
+    def profile(self, i: int, alpha: float = 1.0) -> np.ndarray:
+        """Envelope of expected times over the even-``j`` grid."""
+        if alpha < 0.0 or alpha > 1.0 + 1e-12:
+            raise ConfigurationError(f"alpha must be in [0, 1], got {alpha}")
+        key = (i, float(alpha))
+        cached = self._profiles.get(key)
+        if cached is not None:
+            return cached
+        task = self.pack[i]
+        logical = np.maximum(1, (self._j_grid / 2).astype(int))
+        t_ff = np.asarray(task.fault_free_time(logical), dtype=float)
+        cost = task.checkpoint_cost / logical
+        mtbf_interruption = 1.0 / self._lam
+        tau = np.asarray(
+            self.strategy.period(mtbf_interruption, cost), dtype=float
+        )
+        work_per_period = tau - cost
+        if np.any(work_per_period <= 0):
+            raise ConfigurationError(
+                "replicated checkpoint period does not exceed its cost"
+            )
+        if alpha <= 0.0:
+            raw = np.zeros_like(t_ff)
+        else:
+            work = alpha * t_ff
+            n_ff = np.floor(work / work_per_period)
+            tau_last = work - n_ff * work_per_period
+            with np.errstate(over="ignore"):
+                # inf on hopeless configurations is the correct answer
+                prefactor = np.exp(self._lam * cost) * (
+                    1.0 / self._lam + self.cluster.downtime
+                )
+                raw = prefactor * (
+                    n_ff * np.expm1(self._lam * tau)
+                    + np.expm1(self._lam * tau_last)
+                )
+        envelope = np.minimum.accumulate(raw)
+        envelope.setflags(write=False)
+        self._profiles[key] = envelope
+        return envelope
+
+    def expected_time(self, i: int, j: int, alpha: float = 1.0) -> float:
+        """Expected time of task ``i`` on ``j`` physical processors."""
+        return float(self.profile(i, alpha)[self._slot(j)])
+
+    def threshold(self, i: int, alpha: float = 1.0) -> int:
+        """Smallest ``j`` attaining the envelope minimum."""
+        envelope = self.profile(i, alpha)
+        return int(self._j_grid[int(np.argmin(envelope))])
+
+
+def crossover_mtbf(
+    pack: Pack,
+    i: int,
+    j: int,
+    *,
+    processors: Optional[int] = None,
+    downtime: float = 60.0,
+    strategy: Optional[CheckpointStrategy] = None,
+    mtbf_low: float = 60.0,
+    mtbf_high: float = 100.0 * 365.25 * 86400.0,
+    tolerance: float = 1e-3,
+) -> Optional[float]:
+    """Per-processor MTBF at which replication starts to beat checkpointing.
+
+    Compares the plain checkpointed expected time with the replicated one
+    for task ``i`` on ``j`` processors as a function of the per-processor
+    MTBF, and bisects for the crossover.  Returns ``None`` when one
+    mechanism dominates over the whole ``[mtbf_low, mtbf_high]`` range
+    (replication everywhere for terrible platforms, checkpointing
+    everywhere for reliable ones).
+
+    Replication is the rare-failure loser (it wastes half the platform)
+    and the frequent-failure winner — the advantage function is monotone
+    in the MTBF, which is what makes bisection valid.
+    """
+    if j < 2 or j % 2 != 0:
+        raise CapacityError(f"j must be an even count >= 2, got {j}")
+    p = processors if processors is not None else j
+    if mtbf_low >= mtbf_high:
+        raise ConfigurationError("mtbf_low must be below mtbf_high")
+
+    def advantage(mtbf: float) -> float:
+        """positive when replication wins at this MTBF"""
+        cluster = Cluster(processors=p, mtbf=mtbf, downtime=downtime)
+        plain = ExpectedTimeModel(pack, cluster, max_procs=j)
+        replicated = ReplicatedExpectedTimeModel(
+            pack, cluster, strategy=strategy, max_procs=j
+        )
+        return plain.expected_time(i, j, 1.0) - replicated.expected_time(
+            i, j, 1.0
+        )
+
+    low, high = mtbf_low, mtbf_high
+    adv_low, adv_high = advantage(low), advantage(high)
+    if adv_low <= 0:  # checkpointing already wins on the worst platform
+        return None
+    if adv_high > 0:  # replication wins even on the best platform
+        return None
+    while (high - low) > tolerance * low:
+        mid = math.sqrt(low * high)  # geometric bisection over decades
+        if advantage(mid) > 0:
+            low = mid
+        else:
+            high = mid
+    return math.sqrt(low * high)

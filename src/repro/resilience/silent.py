@@ -1,0 +1,346 @@
+"""Silent errors with verification — the paper's future-work extension.
+
+Section 7 closes with: *"It would also be interesting to deal not only
+with fail-stop errors, but also with silent errors.  This would require
+to add verification mechanisms to detect such errors."*  This module
+implements that extension analytically, following the standard
+verified-checkpointing pattern of the silent-error literature (e.g.
+Benoit, Cavelan, Robert et al.):
+
+* computation proceeds in **patterns** ``w`` work + ``V`` verification +
+  ``C`` checkpoint;
+* *fail-stop* errors (rate ``lambda_f`` per processor) are detected
+  instantly and roll back to the last checkpoint, exactly as in the
+  paper;
+* *silent* errors (rate ``lambda_s`` per processor) corrupt the data
+  without any signal and are only caught by the verification at the end
+  of the pattern, which then rolls back and re-executes the whole
+  pattern.  Because the verification runs *before* the checkpoint, every
+  stored checkpoint is guaranteed valid.
+
+Expected time of one pattern of length ``T = w + V + C`` under both error
+sources (``Λ_f = j λ_f``, ``Λ_s = j λ_s``):
+
+.. math::
+
+    E_{fs}(T) = e^{Λ_f R}\\Big(\\tfrac{1}{Λ_f} + D\\Big)(e^{Λ_f T} - 1),
+    \\qquad
+    p_s = 1 - e^{-Λ_s w},
+
+.. math::
+
+    E(pattern) = \\frac{E_{fs}(T) + p_s R}{1 - p_s},
+
+the geometric-retry closure over silent corruptions.  The first-order
+optimal work length generalises Young's formula to
+``w^* = sqrt((V + C) / (Λ_f / 2 + Λ_s))``; :meth:`SilentErrorModel.optimal_work`
+refines it numerically.
+
+:func:`simulate_silent_execution` is a faithful Monte-Carlo sampler of
+the same process, used by the validation suite to check the closed form.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+from scipy.optimize import minimize_scalar
+
+from ..cluster import Cluster
+from ..exceptions import CapacityError, ConfigurationError
+from ..tasks import Pack
+
+__all__ = [
+    "SilentErrorConfig",
+    "SilentErrorModel",
+    "simulate_silent_execution",
+]
+
+
+@dataclass(frozen=True)
+class SilentErrorConfig:
+    """Parameters of the silent-error extension.
+
+    Attributes
+    ----------
+    silent_rate:
+        Per-processor silent-error rate ``lambda_s`` (errors/second).
+        Platform studies place it at the same order of magnitude as the
+        fail-stop rate.
+    verification_unit_cost:
+        The constant ``v`` in ``V_i = v * m_i``: verification touches the
+        whole memory footprint, like a checkpoint, so it scales the same
+        way (``V_{i,j} = V_i / j``).
+    """
+
+    silent_rate: float
+    verification_unit_cost: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.silent_rate < 0:
+            raise ConfigurationError("silent_rate must be non-negative")
+        if self.verification_unit_cost < 0:
+            raise ConfigurationError(
+                "verification_unit_cost must be non-negative"
+            )
+
+
+class SilentErrorModel:
+    """Expected completion times under fail-stop *and* silent errors.
+
+    Mirrors the accessor surface of
+    :class:`~repro.resilience.expected_time.ExpectedTimeModel` (``profile``
+    over the even-``j`` grid with the Eq. (6) envelope, scalar
+    ``expected_time``) so downstream tooling can swap the models.
+
+    Parameters
+    ----------
+    pack, cluster:
+        As elsewhere; the cluster supplies the fail-stop rate and ``D``.
+    config:
+        Silent-error rate and verification cost model.
+    """
+
+    def __init__(
+        self,
+        pack: Pack,
+        cluster: Cluster,
+        config: SilentErrorConfig,
+        max_procs: Optional[int] = None,
+    ):
+        self.pack = pack
+        self.cluster = cluster
+        self.config = config
+        j_max = cluster.processors if max_procs is None else int(max_procs)
+        if j_max < 2:
+            raise ConfigurationError("max_procs must be >= 2")
+        if j_max % 2 != 0:
+            j_max -= 1
+        self._j_grid = np.arange(2, j_max + 1, 2, dtype=float)
+        self._work_cache: dict[tuple[int, int], float] = {}
+        self._profiles: dict[tuple[int, float], np.ndarray] = {}
+
+    # -- per-(task, j) primitives -----------------------------------------
+    @property
+    def j_grid(self) -> np.ndarray:
+        """Even processor counts."""
+        return self._j_grid
+
+    def _slot(self, j: int) -> int:
+        if j < 2 or j % 2 != 0:
+            raise CapacityError(f"j must be an even count >= 2, got {j}")
+        slot = j // 2 - 1
+        if slot >= self._j_grid.size:
+            raise CapacityError(
+                f"j={j} exceeds the grid maximum {int(self._j_grid[-1])}"
+            )
+        return slot
+
+    def checkpoint_cost(self, i: int, j: int) -> float:
+        """``C_{i,j} = C_i / j``."""
+        self._slot(j)
+        return self.pack[i].checkpoint_cost / j
+
+    def verification_cost(self, i: int, j: int) -> float:
+        """``V_{i,j} = v m_i / j``."""
+        self._slot(j)
+        return self.config.verification_unit_cost * self.pack[i].size / j
+
+    def failstop_rate(self, j: int) -> float:
+        """``Λ_f = j / mu``."""
+        return j / self.cluster.mtbf
+
+    def silent_rate(self, j: int) -> float:
+        """``Λ_s = j lambda_s``."""
+        return j * self.config.silent_rate
+
+    # -- pattern machinery --------------------------------------------------
+    def pattern_time(self, i: int, j: int, work: float) -> float:
+        """Expected wall-clock time of one ``w + V + C`` pattern.
+
+        ``inf`` when silent errors make the pattern unwinnable
+        (``p_s -> 1``) — longer patterns always retry forever at some
+        point, which is what bounds the optimal work length.
+        """
+        if work <= 0:
+            raise ConfigurationError("pattern work length must be positive")
+        cost = self.checkpoint_cost(i, j)
+        verification = self.verification_cost(i, j)
+        total = work + verification + cost
+        lam_f = self.failstop_rate(j)
+        lam_s = self.silent_rate(j)
+        recovery = cost  # buddy protocol: R = C
+        with np.errstate(over="ignore"):
+            e_failstop = (
+                math.exp(min(lam_f * recovery, 700.0))
+                * (1.0 / lam_f + self.cluster.downtime)
+                * math.expm1(min(lam_f * total, 700.0))
+            )
+        p_silent = -math.expm1(-lam_s * work)
+        if p_silent >= 1.0:
+            return math.inf
+        return (e_failstop + p_silent * recovery) / (1.0 - p_silent)
+
+    def first_order_work(self, i: int, j: int) -> float:
+        """Generalised Young work length ``sqrt((V+C)/(Λ_f/2 + Λ_s))``."""
+        rate = self.failstop_rate(j) / 2.0 + self.silent_rate(j)
+        if rate <= 0:
+            raise ConfigurationError(
+                "at least one error rate must be positive"
+            )
+        overhead = self.checkpoint_cost(i, j) + self.verification_cost(i, j)
+        return math.sqrt(overhead / rate)
+
+    def optimal_work(self, i: int, j: int) -> float:
+        """Numerically optimal work length (per-pattern efficiency).
+
+        Minimises ``pattern_time / work`` — the expected cost per unit of
+        useful work — starting from the first-order guess.  Memoised per
+        ``(task, j)``.
+        """
+        key = (i, j)
+        cached = self._work_cache.get(key)
+        if cached is not None:
+            return cached
+        guess = self.first_order_work(i, j)
+
+        def efficiency(log_work: float) -> float:
+            work = math.exp(log_work)
+            value = self.pattern_time(i, j, work) / work
+            return value if math.isfinite(value) else 1e300
+
+        result = minimize_scalar(
+            efficiency,
+            bracket=(math.log(guess / 8.0), math.log(guess), math.log(guess * 8.0)),
+            method="brent",
+            options={"xtol": 1e-6},
+        )
+        work = float(math.exp(result.x))
+        self._work_cache[key] = work
+        return work
+
+    # -- totals ---------------------------------------------------------------
+    def expected_time(
+        self,
+        i: int,
+        j: int,
+        alpha: float = 1.0,
+        work: Optional[float] = None,
+    ) -> float:
+        """Expected time to complete a fraction ``alpha`` of task ``i``.
+
+        Splits ``alpha t_{i,j}`` into full patterns of the (optimal unless
+        given) work length plus one final partial pattern, mirroring
+        Eqs. (2)-(4).
+        """
+        if alpha < 0.0 or alpha > 1.0 + 1e-12:
+            raise ConfigurationError(f"alpha must be in [0, 1], got {alpha}")
+        if alpha == 0.0:
+            return 0.0
+        slot = self._slot(j)
+        t_ff = float(self.pack[i].fault_free_time(int(self._j_grid[slot])))
+        target = alpha * t_ff
+        work_length = self.optimal_work(i, j) if work is None else float(work)
+        if work_length <= 0:
+            raise ConfigurationError("work length must be positive")
+        n_full = int(math.floor(target / work_length))
+        remainder = target - n_full * work_length
+        total = n_full * self.pattern_time(i, j, work_length)
+        if remainder > 0:
+            total += self.pattern_time(i, j, remainder)
+        return total
+
+    def profile(self, i: int, alpha: float = 1.0) -> np.ndarray:
+        """Expected-time envelope over the even-``j`` grid (Eq. 6 analogue)."""
+        key = (i, float(alpha))
+        cached = self._profiles.get(key)
+        if cached is not None:
+            return cached
+        raw = np.array(
+            [
+                self.expected_time(i, int(j), alpha)
+                for j in self._j_grid.astype(int)
+            ]
+        )
+        envelope = np.minimum.accumulate(raw)
+        envelope.setflags(write=False)
+        self._profiles[key] = envelope
+        return envelope
+
+    def threshold(self, i: int, alpha: float = 1.0) -> int:
+        """Smallest ``j`` attaining the envelope minimum."""
+        envelope = self.profile(i, alpha)
+        return int(self._j_grid[int(np.argmin(envelope))])
+
+    def verification_overhead(self, i: int, j: int) -> float:
+        """Fault-free fraction of time spent verifying, at the optimal work."""
+        work = self.optimal_work(i, j)
+        verification = self.verification_cost(i, j)
+        cost = self.checkpoint_cost(i, j)
+        return verification / (work + verification + cost)
+
+
+def simulate_silent_execution(
+    model: SilentErrorModel,
+    i: int,
+    j: int,
+    *,
+    alpha: float = 1.0,
+    work: Optional[float] = None,
+    rng: Optional[np.random.Generator] = None,
+    max_events: int = 10_000_000,
+) -> float:
+    """Monte-Carlo sample of one execution under both error sources.
+
+    Replays the exact process the closed form models: patterns of work
+    are attempted; fail-stop arrivals (exponential, rate ``Λ_f``) abort
+    the attempt with rollback ``D + R``; silent arrivals during the work
+    segment (rate ``Λ_s``) let the pattern *finish* and then force a
+    rollback ``R`` plus full retry.  Returns the total wall-clock time.
+
+    ``max_events`` guards against unwinnable configurations.
+    """
+    if rng is None:
+        rng = np.random.default_rng()
+    slot = model._slot(j)
+    t_ff = float(model.pack[i].fault_free_time(int(model.j_grid[slot])))
+    target = alpha * t_ff
+    work_length = model.optimal_work(i, j) if work is None else float(work)
+    cost = model.checkpoint_cost(i, j)
+    verification = model.verification_cost(i, j)
+    recovery = cost
+    downtime = model.cluster.downtime
+    lam_f = model.failstop_rate(j)
+    lam_s = model.silent_rate(j)
+
+    clock = 0.0
+    done = 0.0
+    events = 0
+    while done < target - 1e-12:
+        segment = min(work_length, target - done)
+        pattern = segment + verification + cost
+        # attempt the pattern until no fail-stop error interrupts it
+        while True:
+            events += 1
+            if events > max_events:
+                raise ConfigurationError(
+                    "simulation exceeded max_events; the configuration "
+                    "is likely unwinnable"
+                )
+            arrival = rng.exponential(1.0 / lam_f) if lam_f > 0 else math.inf
+            if arrival >= pattern:
+                clock += pattern
+                break
+            clock += arrival + downtime + recovery
+        # pattern completed fail-stop-wise; silent corruption?
+        corrupted = (
+            lam_s > 0 and rng.exponential(1.0 / lam_s) < segment
+        )
+        if corrupted:
+            clock += recovery  # rollback, retry the same segment
+        else:
+            done += segment
+    return clock

@@ -1,0 +1,15 @@
+"""Discrete-event fault simulator (Algorithm 2)."""
+
+from .result import SimulationResult
+from .simulator import Simulator, simulate
+from .trace import EventKind, Trace, TraceEvent, TraceRecorder
+
+__all__ = [
+    "SimulationResult",
+    "Simulator",
+    "simulate",
+    "EventKind",
+    "Trace",
+    "TraceEvent",
+    "TraceRecorder",
+]

@@ -1,0 +1,53 @@
+"""Simulation results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from .trace import Trace
+
+__all__ = ["SimulationResult"]
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulated pack execution.
+
+    ``makespan`` is the completion time of the last task — the quantity
+    every figure of the paper reports (averaged over replicates and
+    normalised by the no-redistribution fault-context makespan).
+    """
+
+    policy: str
+    makespan: float
+    completion_times: np.ndarray
+    initial_sigma: Dict[int, int]
+    failures_effective: int = 0
+    failures_idle: int = 0
+    failures_masked: int = 0
+    redistributions: int = 0
+    events: int = 0
+    seed: int = 0
+    trace: Optional[Trace] = None
+
+    @property
+    def n(self) -> int:
+        """Number of tasks."""
+        return int(self.completion_times.size)
+
+    @property
+    def failures_total(self) -> int:
+        """All failure arrivals observed before the makespan."""
+        return self.failures_effective + self.failures_idle + self.failures_masked
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        return (
+            f"{self.policy}: makespan={self.makespan:.6g}s "
+            f"(n={self.n}, failures={self.failures_effective}"
+            f"+{self.failures_masked}m+{self.failures_idle}i, "
+            f"redistributions={self.redistributions})"
+        )

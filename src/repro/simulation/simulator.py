@@ -1,0 +1,372 @@
+"""Fault-injection discrete-event simulator (Algorithm 2, Section 5.1).
+
+The simulator advances through two kinds of events:
+
+* **task completions** — deterministic fault-free projections
+  ``tlastR + alpha t_ff + N^ff C`` of each running task, pre-empted by
+  failures (DESIGN.md interpretation 3);
+* **processor failures** — drawn by the per-processor fault injector.
+
+On a completion the released processors are redistributed by the policy's
+*completion heuristic* (Alg. 2 line 20).  On a failure the struck task is
+rolled back to its last checkpoint and pays ``D + R`` (lines 23-26); tasks
+projected to finish before the struck task resumes are released early
+(line 28); and if the struck task became the longest one the policy's
+*failure heuristic* rebalances the pack (lines 30-31).  Tasks still busy
+recovering or redistributing are excluded from rebalancing (line 15).
+
+Failures hitting an idle processor, or a task inside its blackout window
+(downtime/recovery/redistribution — Section 6.1), are recorded but have no
+effect.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..cluster import Cluster, ProcessorMap
+from ..core.optimal import optimal_schedule
+from ..core.policy import Policy, get_policy
+from ..core.progress import projected_finish, remaining_after_failure
+from ..core.state import TaskRuntime
+from ..exceptions import SimulationError
+from ..resilience.checkpoint import ResilienceModel
+from ..resilience.distributions import ExponentialFaults, FaultDistribution
+from ..resilience.expected_time import ExpectedTimeModel
+from ..resilience.faults import FaultInjector, NullFaultInjector
+from ..rng import derive_rng
+from ..tasks import Pack
+from .result import SimulationResult
+from .trace import EventKind, NullRecorder, TraceRecorder
+
+__all__ = ["Simulator", "simulate"]
+
+
+class Simulator:
+    """One pack execution on a failure-prone platform.
+
+    Parameters
+    ----------
+    pack:
+        The tasks to co-schedule.
+    cluster:
+        The platform.
+    policy:
+        A :class:`~repro.core.policy.Policy` or its short name
+        (``"ig-el"``, ``"no-redistribution"``, ...).
+    seed:
+        Replicate seed; fault times derive from ``(seed, "faults")`` so
+        different policies see identical failures (common random numbers).
+    inject_faults:
+        ``False`` gives the paper's *fault-free context* (checkpointing
+        overhead is kept — DESIGN.md interpretation 6).
+    fault_distribution:
+        Defaults to the paper's exponential law at the cluster MTBF.
+    model:
+        Optional pre-built :class:`ExpectedTimeModel` (shared across
+        replicates of the same pack to amortise the grids).
+    record_trace:
+        Capture the Fig. 9 series and a full event log.
+    """
+
+    def __init__(
+        self,
+        pack: Pack,
+        cluster: Cluster,
+        policy: Policy | str = "no-redistribution",
+        *,
+        seed: int = 0,
+        inject_faults: bool = True,
+        fault_distribution: Optional[FaultDistribution] = None,
+        resilience: Optional[ResilienceModel] = None,
+        model: Optional[ExpectedTimeModel] = None,
+        record_trace: bool = False,
+        strict: bool = False,
+    ):
+        self.pack = pack
+        self.cluster = cluster
+        self.policy = get_policy(policy) if isinstance(policy, str) else policy
+        self.seed = int(seed)
+        self.inject_faults = bool(inject_faults)
+        self.model = (
+            model
+            if model is not None
+            else ExpectedTimeModel(pack, cluster, resilience=resilience)
+        )
+        self._distribution = (
+            fault_distribution
+            if fault_distribution is not None
+            else ExponentialFaults(cluster.mtbf)
+        )
+        self._recorder = TraceRecorder() if record_trace else NullRecorder()
+        self._strict = bool(strict)
+
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        """Execute the pack to completion and return the result."""
+        pack, cluster, model = self.pack, self.cluster, self.model
+        n, p = len(pack), cluster.processors
+
+        runtimes = [TaskRuntime(spec) for spec in pack]
+        sigma0 = optimal_schedule(model, p)
+        procs = ProcessorMap(p)
+        for i, count in sigma0.items():
+            runtimes[i].assign(count)
+            runtimes[i].t_expected = model.expected_time(i, count, 1.0)
+            procs.acquire(i, count)
+
+        if self.inject_faults:
+            injector: FaultInjector | NullFaultInjector = FaultInjector(
+                p, self._distribution, derive_rng(self.seed, "faults")
+            )
+        else:
+            injector = NullFaultInjector()
+
+        finish: Dict[int, float] = {
+            i: self._projected(runtimes[i]) for i in range(n)
+        }
+        released_early: set[int] = set()
+        counters = {"effective": 0, "idle": 0, "masked": 0, "events": 0}
+
+        remaining = n
+        while remaining > 0:
+            t_comp, i_comp = math.inf, -1
+            for i, rt in enumerate(runtimes):
+                if not rt.completed and finish[i] < t_comp:
+                    t_comp, i_comp = finish[i], i
+            t_fail, _ = injector.peek()
+            if t_comp == math.inf and t_fail == math.inf:
+                raise SimulationError("no events left but tasks remain")
+            counters["events"] += 1
+
+            if t_comp <= t_fail:
+                self._handle_completion(
+                    t_comp, i_comp, runtimes, procs, finish, released_early
+                )
+                remaining -= 1
+            else:
+                t_fail, proc = injector.pop()
+                self._handle_failure(
+                    t_fail, proc, runtimes, procs, finish,
+                    released_early, counters,
+                )
+            if self._strict:
+                procs.validate()
+
+        completion_times = np.array(
+            [rt.completion_time for rt in runtimes], dtype=float
+        )
+        return SimulationResult(
+            policy=self.policy.name,
+            makespan=float(completion_times.max()),
+            completion_times=completion_times,
+            initial_sigma=sigma0,
+            failures_effective=counters["effective"],
+            failures_idle=counters["idle"],
+            failures_masked=counters["masked"],
+            redistributions=sum(rt.redistributions for rt in runtimes),
+            events=counters["events"],
+            seed=self.seed,
+            trace=self._recorder.trace if self._recorder.enabled else None,
+        )
+
+    # ------------------------------------------------------------------
+    def _projected(self, rt: TaskRuntime) -> float:
+        """Deterministic fault-free completion of ``rt``'s remaining work."""
+        grid = self.model.grid(rt.index)
+        slot = grid.slot(rt.sigma)
+        return projected_finish(
+            rt.t_last,
+            rt.alpha,
+            float(grid.t_ff[slot]),
+            float(grid.tau[slot]),
+            float(grid.cost[slot]),
+        )
+
+    def _active_for_redistribution(
+        self,
+        t: float,
+        runtimes: List[TaskRuntime],
+        released_early: set[int],
+        include: Optional[int] = None,
+    ) -> List[TaskRuntime]:
+        """Alg. 2 line 15: active tasks not busy at ``t`` (plus ``include``)."""
+        selected = []
+        for rt in runtimes:
+            if rt.completed or rt.index in released_early:
+                continue
+            if rt.index == include or not rt.busy_at(t):
+                selected.append(rt)
+        return selected
+
+    def _sync_and_reproject(
+        self,
+        t: float,
+        changed: List[int],
+        runtimes: List[TaskRuntime],
+        procs: ProcessorMap,
+        finish: Dict[int, float],
+    ) -> None:
+        """Apply heuristic decisions to the processor map and projections."""
+        if not changed:
+            return
+        procs.apply_counts({i: runtimes[i].sigma for i in changed})
+        for i in changed:
+            rt = runtimes[i]
+            finish[i] = self._projected(rt)
+            self._recorder.event(
+                t, EventKind.REDISTRIBUTION, i, f"sigma={rt.sigma}"
+            )
+
+    def _handle_completion(
+        self,
+        t: float,
+        e: int,
+        runtimes: List[TaskRuntime],
+        procs: ProcessorMap,
+        finish: Dict[int, float],
+        released_early: set[int],
+    ) -> None:
+        rt_e = runtimes[e]
+        was_released = e in released_early
+        rt_e.mark_completed(t)
+        if not was_released:
+            procs.release(e)
+        else:
+            released_early.discard(e)
+        self._recorder.event(t, EventKind.COMPLETION, e)
+        # Early-released tasks were already removed from consideration when
+        # the failure that released them was handled (Alg. 2 line 28);
+        # their physical completion triggers no further redistribution.
+        if was_released or self.policy.completion is None:
+            return
+        tasks = self._active_for_redistribution(t, runtimes, released_early)
+        if not tasks:
+            return
+        changed = self.policy.completion.apply(
+            self.model, t, tasks, procs.free_count
+        )
+        self._sync_and_reproject(t, changed, runtimes, procs, finish)
+
+    def _handle_failure(
+        self,
+        t: float,
+        proc: int,
+        runtimes: List[TaskRuntime],
+        procs: ProcessorMap,
+        finish: Dict[int, float],
+        released_early: set[int],
+        counters: Dict[str, int],
+    ) -> None:
+        owner = procs.owner_of(proc)
+        if owner is None or runtimes[owner].completed:
+            counters["idle"] += 1
+            self._recorder.event(t, EventKind.FAILURE_IDLE, detail=f"proc={proc}")
+            return
+        rt_f = runtimes[owner]
+        if rt_f.busy_at(t) or owner in released_early:
+            # Section 6.1: no failures during downtime/recovery/redistribution.
+            counters["masked"] += 1
+            self._recorder.event(
+                t, EventKind.FAILURE_MASKED, owner, f"proc={proc}"
+            )
+            return
+
+        counters["effective"] += 1
+        f = owner
+        j = rt_f.sigma
+        # Alg. 2 lines 23-26: roll back to the last checkpoint, pay D + R.
+        lost_before = rt_f.alpha
+        rt_f.alpha = remaining_after_failure(
+            self.model, f, j, rt_f.alpha, t, rt_f.t_last
+        )
+        rt_f.rework += rt_f.alpha - lost_before  # <= 0 contribution
+        rt_f.failures += 1
+        rt_f.t_last = t + self.model.restart_overhead(f, j)
+        rt_f.t_expected = rt_f.t_last + self.model.expected_time(
+            f, j, rt_f.alpha
+        )
+        finish[f] = self._projected(rt_f)
+        self._recorder.event(t, EventKind.FAILURE, f, f"proc={proc}")
+
+        # Alg. 2 line 28: tasks projected to end before the struck task
+        # resumes release their processors for the rebalancing below.
+        for rt in runtimes:
+            i = rt.index
+            if (
+                not rt.completed
+                and i != f
+                and i not in released_early
+                and finish[i] < rt_f.t_last
+            ):
+                released_early.add(i)
+                procs.release(i)
+                self._recorder.event(t, EventKind.EARLY_RELEASE, i)
+
+        # Alg. 2 line 30: rebalance only if the struck task is the longest.
+        if self.policy.failure is not None and self._is_longest(
+            rt_f, runtimes, released_early
+        ):
+            tasks = self._active_for_redistribution(
+                t, runtimes, released_early, include=f
+            )
+            if len(tasks) > 1 or (tasks and procs.free_count >= 2):
+                changed = self.policy.failure.apply(
+                    self.model, t, tasks, procs.free_count, f
+                )
+                self._sync_and_reproject(t, changed, runtimes, procs, finish)
+
+        if self._recorder.enabled:
+            self._failure_snapshot(t, runtimes, finish)
+
+    @staticmethod
+    def _is_longest(
+        rt_f: TaskRuntime,
+        runtimes: List[TaskRuntime],
+        released_early: set[int],
+    ) -> bool:
+        for rt in runtimes:
+            if rt.completed or rt.index in released_early:
+                continue
+            if rt.t_expected > rt_f.t_expected:
+                return False
+        return True
+
+    def _failure_snapshot(
+        self,
+        t: float,
+        runtimes: List[TaskRuntime],
+        finish: Dict[int, float],
+    ) -> None:
+        """Record the Fig. 9 series after a handled failure."""
+        projected = [
+            rt.completion_time if rt.completed else finish[rt.index]
+            for rt in runtimes
+        ]
+        sigmas = [rt.sigma for rt in runtimes if not rt.completed]
+        sigma_std = float(np.std(sigmas)) if sigmas else 0.0
+        self._recorder.failure_snapshot(t, float(max(projected)), sigma_std)
+
+
+def simulate(
+    pack: Pack,
+    cluster: Cluster,
+    policy: Policy | str,
+    *,
+    seed: int = 0,
+    inject_faults: bool = True,
+    **kwargs,
+) -> SimulationResult:
+    """Convenience wrapper: build a :class:`Simulator` and run it."""
+    simulator = Simulator(
+        pack,
+        cluster,
+        policy,
+        seed=seed,
+        inject_faults=inject_faults,
+        **kwargs,
+    )
+    return simulator.run()

@@ -1,0 +1,110 @@
+"""Execution traces.
+
+Fig. 9 of the paper inspects a *single* run: (a) the projected makespan
+after each handled failure and (b) the standard deviation of the per-task
+processor counts at the same instants.  :class:`TraceRecorder` captures
+exactly those series plus a full event log usable for debugging and the
+examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["EventKind", "TraceEvent", "Trace", "TraceRecorder", "NullRecorder"]
+
+
+class EventKind(str, Enum):
+    """Kinds of simulator events recorded in traces."""
+
+    COMPLETION = "completion"
+    FAILURE = "failure"
+    FAILURE_IDLE = "failure-idle"
+    FAILURE_MASKED = "failure-masked"
+    REDISTRIBUTION = "redistribution"
+    EARLY_RELEASE = "early-release"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One simulator event.
+
+    ``task`` is -1 for platform-level events (idle failures); ``detail``
+    carries kind-specific payload (processor id, sigma transition, ...).
+    """
+
+    time: float
+    kind: EventKind
+    task: int = -1
+    detail: str = ""
+
+
+@dataclass
+class Trace:
+    """Recorded series of one simulation run."""
+
+    events: List[TraceEvent] = field(default_factory=list)
+    #: times of handled (effective) failures
+    failure_times: List[float] = field(default_factory=list)
+    #: projected makespan right after each handled failure (Fig. 9a)
+    makespan_after_failure: List[float] = field(default_factory=list)
+    #: std-dev of active tasks' processor counts after each failure (Fig. 9b)
+    sigma_std_after_failure: List[float] = field(default_factory=list)
+
+    def failures(self) -> List[TraceEvent]:
+        """All effective failure events."""
+        return [e for e in self.events if e.kind is EventKind.FAILURE]
+
+    def redistributions(self) -> List[TraceEvent]:
+        """All redistribution events."""
+        return [e for e in self.events if e.kind is EventKind.REDISTRIBUTION]
+
+    def as_arrays(self) -> dict[str, np.ndarray]:
+        """The Fig. 9 series as NumPy arrays."""
+        return {
+            "failure_times": np.asarray(self.failure_times),
+            "makespan": np.asarray(self.makespan_after_failure),
+            "sigma_std": np.asarray(self.sigma_std_after_failure),
+        }
+
+
+class TraceRecorder:
+    """Accumulates a :class:`Trace` during a run."""
+
+    def __init__(self) -> None:
+        self.trace = Trace()
+
+    enabled = True
+
+    def event(
+        self, time: float, kind: EventKind, task: int = -1, detail: str = ""
+    ) -> None:
+        self.trace.events.append(TraceEvent(time, kind, task, detail))
+
+    def failure_snapshot(
+        self, time: float, makespan: float, sigma_std: float
+    ) -> None:
+        self.trace.failure_times.append(time)
+        self.trace.makespan_after_failure.append(makespan)
+        self.trace.sigma_std_after_failure.append(sigma_std)
+
+
+class NullRecorder:
+    """No-op recorder used when tracing is disabled (the common case)."""
+
+    trace: Optional[Trace] = None
+    enabled = False
+
+    def event(
+        self, time: float, kind: EventKind, task: int = -1, detail: str = ""
+    ) -> None:  # pragma: no cover - trivial
+        pass
+
+    def failure_snapshot(
+        self, time: float, makespan: float, sigma_std: float
+    ) -> None:  # pragma: no cover - trivial
+        pass

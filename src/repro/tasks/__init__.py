@@ -1,0 +1,47 @@
+"""Task model substrate: speedup profiles, task specs, workload generation."""
+
+from .speedup import (
+    AmdahlProfile,
+    GustafsonProfile,
+    PaperSyntheticProfile,
+    PowerLawProfile,
+    PROFILE_REGISTRY,
+    SpeedupProfile,
+    check_non_decreasing_work,
+    check_non_increasing_time,
+    get_profile,
+)
+from .miniapps import MINIAPPS, MiniAppProfile, miniapp_names, miniapp_pack
+from .task import Pack, TaskSpec
+from .workload import (
+    PAPER_M_INF,
+    PAPER_M_INF_HETEROGENEOUS,
+    PAPER_M_SUP,
+    WorkloadGenerator,
+    homogeneous_pack,
+    uniform_pack,
+)
+
+__all__ = [
+    "AmdahlProfile",
+    "GustafsonProfile",
+    "PaperSyntheticProfile",
+    "PowerLawProfile",
+    "PROFILE_REGISTRY",
+    "SpeedupProfile",
+    "check_non_decreasing_work",
+    "check_non_increasing_time",
+    "get_profile",
+    "MINIAPPS",
+    "MiniAppProfile",
+    "miniapp_names",
+    "miniapp_pack",
+    "Pack",
+    "TaskSpec",
+    "PAPER_M_INF",
+    "PAPER_M_INF_HETEROGENEOUS",
+    "PAPER_M_SUP",
+    "WorkloadGenerator",
+    "homogeneous_pack",
+    "uniform_pack",
+]

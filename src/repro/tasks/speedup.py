@@ -1,0 +1,261 @@
+"""Parallel speedup profiles ``t(m, q)``.
+
+The paper assumes the speedup profile of every application is known before
+execution (Section 1) and evaluates everything on the synthetic profile of
+Section 6.1, Eq. (10):
+
+.. math::
+
+    t(m, 1) = 2\\,m \\log_2 m,\\qquad
+    t(m, q) = f\\,t(m,1) + (1-f)\\,\\frac{t(m,1)}{q}
+              + \\frac{m}{q}\\,\\log_2 m,
+
+where ``f`` is the sequential fraction (default ``0.08``) and the last term
+models communication/synchronisation overhead.
+
+This module implements that profile (:class:`PaperSyntheticProfile`) plus
+the classical alternatives the related-work section situates it against
+(Amdahl, Gustafson, power-law), all behind a common :class:`SpeedupProfile`
+interface so the scheduler and simulator are profile-agnostic.  Profiles
+must be *non-increasing in q* and have *non-decreasing work* ``q * t(m,q)``
+(the two standard assumptions of Section 3.2); helpers are provided to
+check both on a grid.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Union
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+__all__ = [
+    "SpeedupProfile",
+    "PaperSyntheticProfile",
+    "AmdahlProfile",
+    "GustafsonProfile",
+    "PowerLawProfile",
+    "PROFILE_REGISTRY",
+    "get_profile",
+    "check_non_increasing_time",
+    "check_non_decreasing_work",
+]
+
+ArrayLike = Union[int, float, np.ndarray]
+
+
+class SpeedupProfile(ABC):
+    """Abstract parallel execution-time profile ``t(m, q)``.
+
+    ``m`` is the problem size (number of data items) and ``q >= 1`` the
+    number of processors.  Implementations must be vectorised over ``q``:
+    passing a NumPy integer array returns the element-wise times.
+    """
+
+    #: short identifier used by :data:`PROFILE_REGISTRY` and the CLI
+    name: str = "abstract"
+
+    @abstractmethod
+    def time(self, m: float, q: ArrayLike) -> ArrayLike:
+        """Fault-free execution time of a size-``m`` task on ``q`` procs."""
+
+    def sequential_time(self, m: float) -> float:
+        """``t(m, 1)`` — convenience wrapper."""
+        return float(self.time(m, 1))
+
+    def work(self, m: float, q: ArrayLike) -> ArrayLike:
+        """Total work ``q * t(m, q)`` (processor-seconds)."""
+        q_arr = np.asarray(q, dtype=float)
+        return q_arr * self.time(m, q)
+
+    def speedup(self, m: float, q: ArrayLike) -> ArrayLike:
+        """Speedup ``t(m,1) / t(m,q)``."""
+        return self.sequential_time(m) / self.time(m, q)
+
+    @staticmethod
+    def _validate_inputs(m: float, q: ArrayLike) -> np.ndarray:
+        if m <= 0:
+            raise ConfigurationError(f"problem size must be positive, got {m}")
+        q_arr = np.asarray(q, dtype=float)
+        if np.any(q_arr < 1):
+            raise ConfigurationError("processor count q must be >= 1")
+        return q_arr
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class PaperSyntheticProfile(SpeedupProfile):
+    """The synthetic profile of Section 6.1, Eq. (10).
+
+    Parameters
+    ----------
+    seq_fraction:
+        The sequential fraction ``f`` of Eq. (10).  The paper fixes
+        ``f = 0.08`` for all experiments except Fig. 14 where it sweeps
+        ``f`` in ``[0, 0.5]``.
+    comm_factor:
+        Multiplier on the ``(m/q) log2 m`` communication term.  The paper
+        uses 1; exposed so ablations can weaken/strengthen the overhead.
+    """
+
+    name = "paper"
+
+    def __init__(self, seq_fraction: float = 0.08, comm_factor: float = 1.0):
+        if not 0.0 <= seq_fraction <= 1.0:
+            raise ConfigurationError(
+                f"sequential fraction must be in [0, 1], got {seq_fraction}"
+            )
+        if comm_factor < 0:
+            raise ConfigurationError("comm_factor must be non-negative")
+        self.seq_fraction = float(seq_fraction)
+        self.comm_factor = float(comm_factor)
+
+    def time(self, m: float, q: ArrayLike) -> ArrayLike:
+        q_arr = self._validate_inputs(m, q)
+        log_m = math.log2(m) if m > 1 else 0.0
+        t1 = 2.0 * m * log_m
+        f = self.seq_fraction
+        result = f * t1 + (1.0 - f) * t1 / q_arr
+        result = result + self.comm_factor * (m / q_arr) * log_m
+        if np.ndim(q) == 0:
+            return float(result)
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PaperSyntheticProfile(seq_fraction={self.seq_fraction}, "
+            f"comm_factor={self.comm_factor})"
+        )
+
+
+class AmdahlProfile(SpeedupProfile):
+    """Amdahl's law: ``t(m,q) = t(m,1) * (f + (1-f)/q)``.
+
+    The sequential time defaults to the paper's ``2 m log2 m`` so the two
+    profiles are directly comparable at ``q = 1``.
+    """
+
+    name = "amdahl"
+
+    def __init__(self, seq_fraction: float = 0.08):
+        if not 0.0 <= seq_fraction <= 1.0:
+            raise ConfigurationError(
+                f"sequential fraction must be in [0, 1], got {seq_fraction}"
+            )
+        self.seq_fraction = float(seq_fraction)
+
+    def time(self, m: float, q: ArrayLike) -> ArrayLike:
+        q_arr = self._validate_inputs(m, q)
+        log_m = math.log2(m) if m > 1 else 0.0
+        t1 = 2.0 * m * log_m
+        f = self.seq_fraction
+        result = t1 * (f + (1.0 - f) / q_arr)
+        if np.ndim(q) == 0:
+            return float(result)
+        return result
+
+
+class GustafsonProfile(SpeedupProfile):
+    """Gustafson-style profile with scaled speedup ``f + (1-f)*q``.
+
+    Execution time on ``q`` processors is ``t(m,1) / (f + (1-f) q)``; work
+    grows mildly with ``q`` through a linear overhead term ``beta * q`` so
+    the non-decreasing-work assumption holds strictly.
+    """
+
+    name = "gustafson"
+
+    def __init__(self, seq_fraction: float = 0.08, beta: float = 0.0):
+        if not 0.0 <= seq_fraction <= 1.0:
+            raise ConfigurationError(
+                f"sequential fraction must be in [0, 1], got {seq_fraction}"
+            )
+        if beta < 0:
+            raise ConfigurationError("beta must be non-negative")
+        self.seq_fraction = float(seq_fraction)
+        self.beta = float(beta)
+
+    def time(self, m: float, q: ArrayLike) -> ArrayLike:
+        q_arr = self._validate_inputs(m, q)
+        log_m = math.log2(m) if m > 1 else 0.0
+        t1 = 2.0 * m * log_m
+        f = self.seq_fraction
+        result = t1 / (f + (1.0 - f) * q_arr) + self.beta * q_arr
+        if np.ndim(q) == 0:
+            return float(result)
+        return result
+
+
+class PowerLawProfile(SpeedupProfile):
+    """Power-law profile ``t(m,q) = t(m,1) / q**sigma`` with ``0 < sigma <= 1``.
+
+    ``sigma = 1`` is perfect parallelism; smaller values model
+    communication-bound codes.  Common in co-scheduling studies (e.g. the
+    speedup-aware co-schedules of Shantharam et al. cited as [2]).
+    """
+
+    name = "powerlaw"
+
+    def __init__(self, sigma: float = 0.9):
+        if not 0.0 < sigma <= 1.0:
+            raise ConfigurationError(f"sigma must be in (0, 1], got {sigma}")
+        self.sigma = float(sigma)
+
+    def time(self, m: float, q: ArrayLike) -> ArrayLike:
+        q_arr = self._validate_inputs(m, q)
+        log_m = math.log2(m) if m > 1 else 0.0
+        t1 = 2.0 * m * log_m
+        result = t1 / q_arr**self.sigma
+        if np.ndim(q) == 0:
+            return float(result)
+        return result
+
+
+#: Registry of profile factories keyed by ``SpeedupProfile.name``.
+PROFILE_REGISTRY: dict[str, type[SpeedupProfile]] = {
+    cls.name: cls
+    for cls in (
+        PaperSyntheticProfile,
+        AmdahlProfile,
+        GustafsonProfile,
+        PowerLawProfile,
+    )
+}
+
+
+def get_profile(name: str, **kwargs: float) -> SpeedupProfile:
+    """Instantiate a registered profile by name.
+
+    >>> get_profile("paper", seq_fraction=0.1).seq_fraction
+    0.1
+    """
+    try:
+        cls = PROFILE_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(PROFILE_REGISTRY))
+        raise ConfigurationError(
+            f"unknown speedup profile {name!r}; known profiles: {known}"
+        ) from None
+    return cls(**kwargs)
+
+
+def check_non_increasing_time(
+    profile: SpeedupProfile, m: float, max_q: int
+) -> bool:
+    """True iff ``t(m, q)`` is non-increasing for ``q in 1..max_q``."""
+    q = np.arange(1, max_q + 1)
+    t = np.asarray(profile.time(m, q))
+    return bool(np.all(np.diff(t) <= 1e-9 * t[:-1]))
+
+
+def check_non_decreasing_work(
+    profile: SpeedupProfile, m: float, max_q: int
+) -> bool:
+    """True iff ``q * t(m, q)`` is non-decreasing for ``q in 1..max_q``."""
+    q = np.arange(1, max_q + 1)
+    w = np.asarray(profile.work(m, q))
+    return bool(np.all(np.diff(w) >= -1e-9 * w[:-1]))

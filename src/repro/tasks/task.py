@@ -1,0 +1,134 @@
+"""Task specifications and packs.
+
+A *pack* (Section 3) is a set of ``n`` independent malleable tasks
+``{T_1, ..., T_n}`` started simultaneously on ``p`` processors.  Each task
+carries its problem size ``m_i`` (number of data items, which also drives
+the redistribution volume of Eq. (7)/(9)), its sequential checkpoint cost
+``C_i`` (Section 3.1: ``C_{i,j} = C_i / j``), and a speedup profile giving
+its fault-free time ``t_{i,j}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence, Union
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .speedup import PaperSyntheticProfile, SpeedupProfile
+
+__all__ = ["TaskSpec", "Pack"]
+
+ArrayLike = Union[int, float, np.ndarray]
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """Immutable description of one malleable task.
+
+    Attributes
+    ----------
+    index:
+        Position of the task inside its pack (0-based).  Used as the key
+        everywhere (allocations, runtimes, traces).
+    size:
+        Problem size ``m_i`` — doubles as the redistribution data volume.
+    checkpoint_cost:
+        Sequential checkpoint time ``C_i`` (seconds); the per-processor
+        cost on ``j`` processors is ``C_i / j``.  The paper sets
+        ``C_i = c * m_i`` with ``c = 1`` by default.
+    profile:
+        Speedup profile supplying ``t(m_i, q)``.
+    name:
+        Optional human-readable label.
+    """
+
+    index: int
+    size: float
+    checkpoint_cost: float
+    profile: SpeedupProfile = field(default_factory=PaperSyntheticProfile)
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ConfigurationError(f"task index must be >= 0, got {self.index}")
+        if self.size <= 0:
+            raise ConfigurationError(f"task size must be positive, got {self.size}")
+        if self.checkpoint_cost < 0:
+            raise ConfigurationError(
+                f"checkpoint cost must be non-negative, got {self.checkpoint_cost}"
+            )
+        if not self.name:
+            object.__setattr__(self, "name", f"T{self.index + 1}")
+
+    def fault_free_time(self, q: ArrayLike) -> ArrayLike:
+        """``t_{i,q}`` — fault-free time on ``q`` processors (Eq. 10)."""
+        return self.profile.time(self.size, q)
+
+    def sequential_time(self) -> float:
+        """``t_{i,1}``."""
+        return self.profile.sequential_time(self.size)
+
+    def checkpoint_cost_on(self, q: int) -> float:
+        """``C_{i,q} = C_i / q`` (Section 3.1)."""
+        if q < 1:
+            raise ConfigurationError("q must be >= 1")
+        return self.checkpoint_cost / q
+
+
+class Pack(Sequence[TaskSpec]):
+    """An ordered collection of tasks co-scheduled as a single pack.
+
+    The pack validates that task indices are exactly ``0..n-1`` so that
+    array-based bookkeeping in the scheduler and simulator is safe.
+    """
+
+    def __init__(self, tasks: Sequence[TaskSpec]):
+        tasks = list(tasks)
+        if not tasks:
+            raise ConfigurationError("a pack must contain at least one task")
+        for position, task in enumerate(tasks):
+            if task.index != position:
+                raise ConfigurationError(
+                    f"task at position {position} has index {task.index}; "
+                    "pack tasks must be indexed 0..n-1 in order"
+                )
+        self._tasks: tuple[TaskSpec, ...] = tuple(tasks)
+
+    # -- Sequence protocol -------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __getitem__(self, item):  # type: ignore[override]
+        return self._tasks[item]
+
+    def __iter__(self) -> Iterator[TaskSpec]:
+        return iter(self._tasks)
+
+    # -- convenience -------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of tasks in the pack."""
+        return len(self._tasks)
+
+    @property
+    def sizes(self) -> np.ndarray:
+        """Vector of problem sizes ``m_i``."""
+        return np.array([t.size for t in self._tasks], dtype=float)
+
+    @property
+    def checkpoint_costs(self) -> np.ndarray:
+        """Vector of sequential checkpoint costs ``C_i``."""
+        return np.array([t.checkpoint_cost for t in self._tasks], dtype=float)
+
+    def fault_free_times(self, q: int) -> np.ndarray:
+        """Vector of ``t_{i,q}`` for every task at a common ``q``."""
+        return np.array([t.fault_free_time(q) for t in self._tasks], dtype=float)
+
+    def total_sequential_work(self) -> float:
+        """Sum of sequential times — a crude lower-bound scale for makespan."""
+        return float(sum(t.sequential_time() for t in self._tasks))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Pack(n={self.n})"

@@ -1,0 +1,143 @@
+"""Synthetic workload generation (Section 6.1).
+
+The paper assigns each task a random size ``m_i ~ U[m_inf, m_sup]``.  With
+``m_inf = 1_500_000`` close to ``m_sup = 2_500_000`` the pack is fairly
+*homogeneous*; dropping ``m_inf`` to ``1500`` makes it strongly
+*heterogeneous* (Figs. 5b, 6b).  Checkpoint costs are proportional to the
+memory footprint: ``C_i = c * m_i`` with unit cost ``c`` (default 1,
+swept in Figs. 12-13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..rng import derive_rng
+from .speedup import PaperSyntheticProfile, SpeedupProfile
+from .task import Pack, TaskSpec
+
+__all__ = [
+    "WorkloadGenerator",
+    "uniform_pack",
+    "homogeneous_pack",
+    "PAPER_M_INF",
+    "PAPER_M_SUP",
+    "PAPER_M_INF_HETEROGENEOUS",
+]
+
+#: Defaults of Section 6.1.
+PAPER_M_INF: float = 1_500_000.0
+PAPER_M_SUP: float = 2_500_000.0
+#: Heterogeneous variant used in Figs. 5b and 6b.
+PAPER_M_INF_HETEROGENEOUS: float = 1500.0
+
+
+@dataclass(frozen=True)
+class WorkloadGenerator:
+    """Draws packs of tasks with uniformly distributed sizes.
+
+    Parameters mirror Section 6.1; every field has the paper's default.
+
+    Attributes
+    ----------
+    m_inf, m_sup:
+        Bounds of the uniform size distribution.
+    checkpoint_unit_cost:
+        The constant ``c`` in ``C_i = c * m_i`` (time to checkpoint one
+        data unit).
+    profile:
+        Speedup profile shared by all generated tasks.
+    """
+
+    m_inf: float = PAPER_M_INF
+    m_sup: float = PAPER_M_SUP
+    checkpoint_unit_cost: float = 1.0
+    profile: SpeedupProfile = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.profile is None:
+            object.__setattr__(self, "profile", PaperSyntheticProfile())
+        if self.m_inf <= 0 or self.m_sup <= 0:
+            raise ConfigurationError("size bounds must be positive")
+        if self.m_inf > self.m_sup:
+            raise ConfigurationError(
+                f"m_inf ({self.m_inf}) must not exceed m_sup ({self.m_sup})"
+            )
+        if self.checkpoint_unit_cost < 0:
+            raise ConfigurationError("checkpoint unit cost must be >= 0")
+
+    def with_unit_cost(self, c: float) -> "WorkloadGenerator":
+        """Copy of this generator with a different checkpoint unit cost."""
+        return replace(self, checkpoint_unit_cost=c)
+
+    def with_profile(self, profile: SpeedupProfile) -> "WorkloadGenerator":
+        """Copy of this generator with a different speedup profile."""
+        return replace(self, profile=profile)
+
+    def generate(
+        self, n: int, rng: Optional[np.random.Generator] = None, seed: int = 0
+    ) -> Pack:
+        """Draw a pack of ``n`` tasks.
+
+        Either pass an explicit ``rng`` or a ``seed`` (keyed under
+        ``"workload"`` so it never collides with fault-injection streams).
+        """
+        if n < 1:
+            raise ConfigurationError(f"pack size must be >= 1, got {n}")
+        if rng is None:
+            rng = derive_rng(seed, "workload")
+        sizes = rng.uniform(self.m_inf, self.m_sup, size=n)
+        return self.from_sizes(sizes)
+
+    def from_sizes(self, sizes: Sequence[float]) -> Pack:
+        """Build a pack from explicit sizes (deterministic workloads)."""
+        tasks = [
+            TaskSpec(
+                index=i,
+                size=float(m),
+                checkpoint_cost=self.checkpoint_unit_cost * float(m),
+                profile=self.profile,
+            )
+            for i, m in enumerate(sizes)
+        ]
+        return Pack(tasks)
+
+
+def uniform_pack(
+    n: int,
+    *,
+    m_inf: float = PAPER_M_INF,
+    m_sup: float = PAPER_M_SUP,
+    checkpoint_unit_cost: float = 1.0,
+    profile: Optional[SpeedupProfile] = None,
+    seed: int = 0,
+) -> Pack:
+    """One-shot helper: draw a pack with the paper's uniform-size model."""
+    generator = WorkloadGenerator(
+        m_inf=m_inf,
+        m_sup=m_sup,
+        checkpoint_unit_cost=checkpoint_unit_cost,
+        profile=profile,  # type: ignore[arg-type]
+    )
+    return generator.generate(n, seed=seed)
+
+
+def homogeneous_pack(
+    n: int,
+    size: float,
+    *,
+    checkpoint_unit_cost: float = 1.0,
+    profile: Optional[SpeedupProfile] = None,
+) -> Pack:
+    """Pack of ``n`` identical tasks (useful for analytical sanity checks)."""
+    generator = WorkloadGenerator(
+        m_inf=size,
+        m_sup=size,
+        checkpoint_unit_cost=checkpoint_unit_cost,
+        profile=profile,  # type: ignore[arg-type]
+    )
+    return generator.from_sizes([size] * n)

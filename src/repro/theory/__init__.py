@@ -1,0 +1,48 @@
+"""Complexity-theory artefacts: Theorem 1 exact solvers, Theorem 2 reduction."""
+
+from .exact import brute_force_moldable, exact_no_redistribution
+from .online import (
+    CompetitiveReport,
+    LowerBound,
+    competitive_ratio,
+    competitive_report,
+    failure_aware_lower_bound,
+    fault_free_lower_bound,
+)
+from .reduction import (
+    MalleableTaskTable,
+    ReducedInstance,
+    ScheduleStep,
+    build_reduction,
+    decide_reduced_instance,
+    schedule_from_certificate,
+    verify_schedule,
+)
+from .three_partition import (
+    ThreePartitionInstance,
+    random_no_instance,
+    random_yes_instance,
+    solve_three_partition,
+)
+
+__all__ = [
+    "brute_force_moldable",
+    "exact_no_redistribution",
+    "CompetitiveReport",
+    "LowerBound",
+    "competitive_ratio",
+    "competitive_report",
+    "failure_aware_lower_bound",
+    "fault_free_lower_bound",
+    "MalleableTaskTable",
+    "ReducedInstance",
+    "ScheduleStep",
+    "build_reduction",
+    "decide_reduced_instance",
+    "schedule_from_certificate",
+    "verify_schedule",
+    "ThreePartitionInstance",
+    "random_no_instance",
+    "random_yes_instance",
+    "solve_three_partition",
+]

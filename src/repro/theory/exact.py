@@ -1,0 +1,141 @@
+"""Exact solvers for small instances.
+
+Two tools back the complexity results of Section 4:
+
+* :func:`exact_no_redistribution` — the *polynomial* exact optimum for
+  the no-redistribution problem (Theorem 1), implemented independently of
+  Algorithm 1 via feasibility bisection: a makespan ``T`` is feasible iff
+  ``sum_i minprocs_i(T) <= p`` where ``minprocs_i(T)`` is the smallest
+  even count whose expected time is ``<= T``.  The test suite checks
+  Algorithm 1 against it.
+
+* :func:`brute_force_moldable` — exhaustive enumeration over even
+  allocations for tiny packs, a second independent witness.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import CapacityError, ConfigurationError
+from ..resilience.expected_time import ExpectedTimeModel
+
+__all__ = ["exact_no_redistribution", "brute_force_moldable"]
+
+
+def _min_procs_for(
+    profile: np.ndarray, j_grid: np.ndarray, target: float
+) -> Optional[int]:
+    """Smallest even ``j`` with envelope time ``<= target`` (or ``None``)."""
+    mask = profile <= target
+    if not bool(mask.any()):
+        return None
+    return int(j_grid[int(np.argmax(mask))])
+
+
+def exact_no_redistribution(
+    model: ExpectedTimeModel,
+    p: int,
+    indices: Optional[Sequence[int]] = None,
+    alpha: float = 1.0,
+) -> Tuple[Dict[int, int], float]:
+    """Exact minimal expected makespan without redistribution.
+
+    Bisection over the finite candidate set of envelope values: the
+    optimal makespan is one of the ``t^R_{i,j}(alpha)`` values, and
+    feasibility of a candidate ``T`` is checked by summing per-task
+    minimal processor counts.  Complexity ``O(n p log(n p))``.
+
+    Returns ``(allocation, makespan)``.
+    """
+    if indices is None:
+        indices = range(len(model.pack))
+    indices = list(indices)
+    n = len(indices)
+    if p < 2 * n:
+        raise CapacityError(f"need p >= 2n: p={p}, n={n}")
+    j_grid = model.j_grid[model.j_grid <= p]
+    if j_grid.size == 0:
+        raise CapacityError("platform grid empty")
+    profiles = {i: model.profile(i, alpha)[: j_grid.size] for i in indices}
+
+    candidates = np.unique(
+        np.concatenate([profiles[i] for i in indices])
+    )
+
+    def feasible(target: float) -> Optional[Dict[int, int]]:
+        allocation: Dict[int, int] = {}
+        total = 0
+        for i in indices:
+            j = _min_procs_for(profiles[i], j_grid, target)
+            if j is None:
+                return None
+            allocation[i] = j
+            total += j
+            if total > p:
+                return None
+        return allocation
+
+    lo, hi = 0, len(candidates) - 1
+    if feasible(float(candidates[hi])) is None:
+        raise CapacityError(
+            "instance infeasible even at the largest candidate makespan"
+        )
+    best: Optional[Dict[int, int]] = None
+    while lo <= hi:
+        mid = (lo + hi) // 2
+        allocation = feasible(float(candidates[mid]))
+        if allocation is not None:
+            best = allocation
+            hi = mid - 1
+        else:
+            lo = mid + 1
+    assert best is not None
+    makespan = max(
+        float(profiles[i][int(best[i]) // 2 - 1]) for i in indices
+    )
+    return best, makespan
+
+
+def brute_force_moldable(
+    model: ExpectedTimeModel,
+    p: int,
+    indices: Optional[Sequence[int]] = None,
+    alpha: float = 1.0,
+    max_states: int = 2_000_000,
+) -> Tuple[Dict[int, int], float]:
+    """Exhaustive minimal expected makespan over even allocations.
+
+    Enumerates every assignment of even counts summing to ``<= p``
+    (meet-in-the-middle-free, intended for ``n <= 6`` and small ``p``).
+    """
+    if indices is None:
+        indices = range(len(model.pack))
+    indices = list(indices)
+    n = len(indices)
+    if p < 2 * n:
+        raise CapacityError(f"need p >= 2n: p={p}, n={n}")
+    max_each = p - 2 * (n - 1)
+    choices = [range(2, max_each + 1, 2)] * n
+    states = math.prod(len(c) for c in choices)
+    if states > max_states:
+        raise ConfigurationError(
+            f"{states} allocations exceed max_states={max_states}"
+        )
+    best_alloc: Optional[Dict[int, int]] = None
+    best_makespan = math.inf
+    for combo in itertools.product(*choices):
+        if sum(combo) > p:
+            continue
+        makespan = max(
+            model.expected_time(i, j, alpha) for i, j in zip(indices, combo)
+        )
+        if makespan < best_makespan:
+            best_makespan = makespan
+            best_alloc = dict(zip(indices, combo))
+    assert best_alloc is not None
+    return best_alloc, best_makespan

@@ -1,0 +1,220 @@
+"""Competitive analysis of the online redistribution heuristics.
+
+The paper's future work (Section 7) asks for "the complexity of the
+online redistribution algorithms in terms of competitiveness".  This
+module provides the measurement side of that programme: certified
+*lower bounds* on the achievable makespan, and the *competitive ratio*
+of a simulated policy against them.
+
+Two classical bounds apply to any schedule of a pack (malleable tasks,
+non-increasing times, non-decreasing work — Section 3.2's assumptions):
+
+* **area bound** — total work divided by the platform width.  The work of
+  task ``i`` on ``j`` processors is ``j * t_{i,j}``, non-decreasing in
+  ``j``, so its *minimum* over the allowed counts lower-bounds the
+  processor-seconds the task must consume; summing and dividing by ``p``
+  bounds the makespan:
+  ``LB_area = (1/p) Σ_i min_j (j t_{i,j})``;
+* **critical-path bound** — no task can finish before its own best time:
+  ``LB_path = max_i min_j t_{i,j}``.
+
+Both are *fault-free* bounds, hence also valid under failures (failures
+only add work), and valid whether or not redistribution is allowed — so
+ratios computed against them upper-bound the true competitive ratio.
+:func:`failure_aware_lower_bound` optionally strengthens the area bound
+with the work provably destroyed by each effective failure (downtime and
+recovery on the struck task's processors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Sequence
+
+import numpy as np
+
+from ..cluster import Cluster
+from ..exceptions import ConfigurationError
+from ..simulation.result import SimulationResult
+from ..tasks import Pack
+
+__all__ = [
+    "LowerBound",
+    "fault_free_lower_bound",
+    "failure_aware_lower_bound",
+    "competitive_ratio",
+    "CompetitiveReport",
+    "competitive_report",
+]
+
+
+@dataclass(frozen=True)
+class LowerBound:
+    """A certified makespan lower bound and its constituents."""
+
+    value: float
+    area_bound: float
+    critical_path_bound: float
+    failure_surcharge: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.value < max(self.area_bound, self.critical_path_bound) - 1e-9:
+            raise ConfigurationError(
+                "lower bound value below one of its constituents"
+            )
+
+    def describe(self) -> str:
+        """Human-readable decomposition."""
+        parts = [
+            f"LB={self.value:.6g}s",
+            f"area={self.area_bound:.6g}s",
+            f"path={self.critical_path_bound:.6g}s",
+        ]
+        if self.failure_surcharge > 0:
+            parts.append(f"failure-surcharge={self.failure_surcharge:.6g}s")
+        return " ".join(parts)
+
+
+def _per_task_bounds(
+    pack: Pack, p: int, even_only: bool = True
+) -> tuple[np.ndarray, np.ndarray]:
+    """(min work, min time) per task over the admissible processor counts."""
+    if p < 2:
+        raise ConfigurationError(f"platform must have >= 2 processors, got {p}")
+    counts = np.arange(2, p + 1, 2) if even_only else np.arange(1, p + 1)
+    min_work = np.empty(len(pack))
+    min_time = np.empty(len(pack))
+    for i, task in enumerate(pack):
+        times = np.asarray(task.fault_free_time(counts), dtype=float)
+        min_work[i] = float(np.min(counts * times))
+        min_time[i] = float(np.min(times))
+    return min_work, min_time
+
+
+def fault_free_lower_bound(
+    pack: Pack, p: int, *, even_only: bool = True
+) -> LowerBound:
+    """Max of the area and critical-path bounds (fault-free, RC-free).
+
+    ``even_only`` restricts allocations to buddy pairs, matching the
+    paper's setting; pass ``False`` for the unrestricted malleable bound.
+    """
+    min_work, min_time = _per_task_bounds(pack, p, even_only)
+    area = float(min_work.sum() / p)
+    path = float(min_time.max())
+    return LowerBound(
+        value=max(area, path), area_bound=area, critical_path_bound=path
+    )
+
+
+def failure_aware_lower_bound(
+    pack: Pack,
+    cluster: Cluster,
+    result: SimulationResult,
+    *,
+    even_only: bool = True,
+) -> LowerBound:
+    """Area bound strengthened with the observed failures' dead time.
+
+    Every effective failure provably costs at least ``D + R_{i,2}``
+    wall-clock on the struck task — using the *cheapest possible*
+    recovery (largest admissible allocation would make ``R`` smaller but
+    recovery is ``C_i/j`` with ``j`` the count *at the failure*, unknown
+    here, so the bound conservatively uses the maximum count ``p``).
+    The surcharge is the total dead processor-time divided by ``p``:
+    at least the pair of the struck task idles through ``D + R``.
+
+    The bound stays valid for *this* failure realisation only — it is a
+    per-run clairvoyant bound, the correct denominator for an
+    (instance-wise) competitive ratio.
+    """
+    base = fault_free_lower_bound(pack, cluster.processors, even_only=even_only)
+    cheapest_recovery = min(
+        task.checkpoint_cost / cluster.processors for task in pack
+    )
+    dead_time_per_failure = cluster.downtime + cheapest_recovery
+    # 2 processors (one buddy pair) provably stall per failure
+    surcharge = (
+        result.failures_effective
+        * dead_time_per_failure
+        * 2.0
+        / cluster.processors
+    )
+    return LowerBound(
+        value=max(base.area_bound + surcharge, base.critical_path_bound),
+        area_bound=base.area_bound,
+        critical_path_bound=base.critical_path_bound,
+        failure_surcharge=surcharge,
+    )
+
+
+def competitive_ratio(
+    result: SimulationResult, bound: LowerBound
+) -> float:
+    """Makespan over lower bound — an upper bound on the true ratio."""
+    if bound.value <= 0:
+        raise ConfigurationError("lower bound must be positive")
+    if result.makespan < bound.value - 1e-6 * bound.value:
+        raise ConfigurationError(
+            f"makespan {result.makespan:.6g} is below the certified lower "
+            f"bound {bound.value:.6g}; the bound computation does not match "
+            "this simulation's pack/platform"
+        )
+    return result.makespan / bound.value
+
+
+@dataclass
+class CompetitiveReport:
+    """Per-policy competitive ratios for one (pack, platform, seed) run."""
+
+    bound: LowerBound
+    ratios: Dict[str, float]
+    makespans: Dict[str, float]
+
+    def best_policy(self) -> str:
+        """Policy with the smallest ratio."""
+        return min(self.ratios, key=self.ratios.get)  # type: ignore[arg-type]
+
+    def render(self) -> str:
+        """Small table sorted by ratio."""
+        lines = [self.bound.describe()]
+        width = max(len(name) for name in self.ratios)
+        for name in sorted(self.ratios, key=self.ratios.get):  # type: ignore[arg-type]
+            lines.append(
+                f"  {name.ljust(width)}  ratio={self.ratios[name]:.4f}  "
+                f"makespan={self.makespans[name]:.6g}s"
+            )
+        return "\n".join(lines)
+
+
+def competitive_report(
+    pack: Pack,
+    cluster: Cluster,
+    results: Iterable[SimulationResult],
+    *,
+    failure_aware: bool = True,
+) -> CompetitiveReport:
+    """Compare several policies' runs against one certified bound.
+
+    All results must come from the same pack/platform/seed (paired runs);
+    the failure-aware surcharge uses the *minimum* observed failure count
+    so the bound stays valid for every run in the set.
+    """
+    results = list(results)
+    if not results:
+        raise ConfigurationError("at least one result is required")
+    if failure_aware:
+        reference = min(results, key=lambda r: r.failures_effective)
+        bound = failure_aware_lower_bound(pack, cluster, reference)
+    else:
+        bound = fault_free_lower_bound(pack, cluster.processors)
+    ratios: Dict[str, float] = {}
+    makespans: Dict[str, float] = {}
+    for result in results:
+        if result.policy in ratios:
+            raise ConfigurationError(
+                f"duplicate policy {result.policy!r} in the result set"
+            )
+        ratios[result.policy] = competitive_ratio(result, bound)
+        makespans[result.policy] = result.makespan
+    return CompetitiveReport(bound=bound, ratios=ratios, makespans=makespans)

@@ -1,0 +1,214 @@
+"""The Theorem 2 reduction: 3-Partition -> redistribution scheduling.
+
+Section 4.2 proves that minimising the makespan *with* redistribution is
+strongly NP-complete even with free redistributions and no failures.  From
+a 3-Partition instance ``I1`` (``B``, ``a_1..a_3m``) it builds a pack
+``I2`` of ``n = 4m`` tasks on ``n`` processors with the execution-time
+tables
+
+* small tasks ``i = 1..3m``:  ``t_{i,1} = a_i`` and ``t_{i,j} = 3 a_i / 4``
+  for ``j > 1`` (parallelising them *loses* work);
+* large tasks ``i = 3m+1..4m``:  ``t_{i,j} = (4D - B)/j`` for ``j <= 4``
+  and ``t_{i,j} = 2(4D - B)/9`` for ``j > 4``,
+
+with deadline ``D = max_i a_i + 1``.  ``I2`` admits a schedule of makespan
+``<= D`` iff ``I1`` is a YES instance.
+
+This module materialises the reduction, builds the witness schedule from a
+3-Partition certificate (Fig. 4 of the paper), verifies schedules against
+the semantics of the reduction (redistribution only at task completions,
+zero cost), and decides reduced instances exactly via the equivalence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..exceptions import ConfigurationError
+from .three_partition import ThreePartitionInstance, solve_three_partition
+
+__all__ = [
+    "MalleableTaskTable",
+    "ReducedInstance",
+    "ScheduleStep",
+    "build_reduction",
+    "schedule_from_certificate",
+    "verify_schedule",
+    "decide_reduced_instance",
+]
+
+
+@dataclass(frozen=True)
+class MalleableTaskTable:
+    """Explicit execution-time table ``t_{i,j}`` of one malleable task."""
+
+    times: Tuple[Fraction, ...]  #: times[j-1] = t(j) for j = 1..p
+
+    def time(self, j: int) -> Fraction:
+        if not 1 <= j <= len(self.times):
+            raise ConfigurationError(f"j={j} outside 1..{len(self.times)}")
+        return self.times[j - 1]
+
+    def work(self, j: int) -> Fraction:
+        """Total work ``j * t(j)``."""
+        return j * self.time(j)
+
+
+@dataclass(frozen=True)
+class ReducedInstance:
+    """The scheduling instance ``I2`` produced by the reduction."""
+
+    source: ThreePartitionInstance
+    tasks: Tuple[MalleableTaskTable, ...]
+    processors: int
+    deadline: Fraction
+
+    @property
+    def n(self) -> int:
+        return len(self.tasks)
+
+    @property
+    def m(self) -> int:
+        return self.source.m
+
+    def small_indices(self) -> range:
+        """Indices of the 3m small tasks."""
+        return range(3 * self.m)
+
+    def large_indices(self) -> range:
+        """Indices of the m large tasks."""
+        return range(3 * self.m, 4 * self.m)
+
+
+@dataclass(frozen=True)
+class ScheduleStep:
+    """A constant-allocation interval of a malleable schedule.
+
+    ``allocation[i]`` is the processor count of task ``i`` during
+    ``[start, end)``; redistribution is free and instantaneous at step
+    boundaries (the Theorem 2 setting).
+    """
+
+    start: Fraction
+    end: Fraction
+    allocation: Dict[int, int]
+
+
+def build_reduction(instance: ThreePartitionInstance) -> ReducedInstance:
+    """Materialise ``I2`` from a 3-Partition instance ``I1``."""
+    m = instance.m
+    n = 4 * m
+    deadline = Fraction(max(instance.values) + 1)
+    big_work = 4 * deadline - instance.B  # total work of a large task
+    if big_work <= deadline:
+        raise ConfigurationError(
+            "degenerate reduction: 4D - B <= D; the instance violates "
+            "the 3-Partition bounds"
+        )
+    tables: List[MalleableTaskTable] = []
+    for a in instance.values:  # 3m small tasks
+        times = [Fraction(a)] + [Fraction(3 * a, 4)] * (n - 1)
+        tables.append(MalleableTaskTable(tuple(times)))
+    for _ in range(m):  # m large tasks
+        times = [big_work / j for j in range(1, 5)]
+        times += [Fraction(2, 9) * big_work] * (n - 4)
+        tables.append(MalleableTaskTable(tuple(times)))
+    return ReducedInstance(
+        source=instance,
+        tasks=tuple(tables),
+        processors=n,
+        deadline=deadline,
+    )
+
+
+def schedule_from_certificate(
+    reduced: ReducedInstance, triples: Sequence[Sequence[int]]
+) -> List[ScheduleStep]:
+    """Witness schedule of makespan ``D`` from a 3-Partition certificate.
+
+    Every task starts on one processor; when small task ``i`` (a member of
+    triple ``k``) completes at ``a_i``, its processor moves to large task
+    ``3m + k`` (Fig. 4).  The schedule is returned as maximal
+    constant-allocation steps.
+    """
+    if not reduced.source.verify_partition(triples):
+        raise ConfigurationError("invalid 3-Partition certificate")
+    m = reduced.m
+    values = reduced.source.values
+
+    # Completion time of each small task is its sequential time a_i; build
+    # the event list of processor hand-offs.
+    owner_large: Dict[int, int] = {}
+    for k, triple in enumerate(triples):
+        for i in triple:
+            owner_large[i] = 3 * m + k
+
+    events = sorted({Fraction(values[i]) for i in range(3 * m)})
+    boundaries = [Fraction(0)] + events + [reduced.deadline]
+    steps: List[ScheduleStep] = []
+    for start, end in zip(boundaries[:-1], boundaries[1:]):
+        if start == end:
+            continue
+        allocation: Dict[int, int] = {}
+        for i in range(3 * m):
+            if Fraction(values[i]) > start:
+                allocation[i] = 1
+        for k in range(m):
+            large = 3 * m + k
+            donated = sum(
+                1
+                for i in triples[k]
+                if Fraction(values[i]) <= start
+            )
+            allocation[large] = 1 + donated
+        steps.append(ScheduleStep(start, end, allocation))
+    return steps
+
+
+def verify_schedule(
+    reduced: ReducedInstance,
+    steps: Sequence[ScheduleStep],
+    deadline: Optional[Fraction] = None,
+) -> bool:
+    """Check a malleable schedule against the reduction semantics.
+
+    Requirements: steps tile ``[0, makespan)`` contiguously; at most
+    ``n`` processors in use at any time; a task's allocation only changes
+    at step boundaries; every task accumulates work fraction exactly 1
+    (work is normalised per allocation: running ``dt`` on ``j``
+    processors completes ``dt / t_{i,j}`` of the task); everything ends by
+    ``deadline`` (default: the reduction's).
+    """
+    if deadline is None:
+        deadline = reduced.deadline
+    if not steps:
+        return False
+    previous_end = Fraction(0)
+    fractions = [Fraction(0)] * reduced.n
+    for step in steps:
+        if step.start != previous_end or step.end <= step.start:
+            return False
+        previous_end = step.end
+        if step.end > deadline:
+            return False
+        total = sum(step.allocation.values())
+        if total > reduced.processors:
+            return False
+        for i, j in step.allocation.items():
+            if j < 1:
+                return False
+            duration = step.end - step.start
+            fractions[i] += duration / reduced.tasks[i].time(j)
+    return all(fraction >= 1 for fraction in fractions)
+
+
+def decide_reduced_instance(reduced: ReducedInstance) -> bool:
+    """Exact decision for ``I2`` via the Theorem 2 equivalence.
+
+    The paper proves ``I2`` admits a schedule of makespan ``<= D`` iff the
+    source 3-Partition instance is a YES instance, so deciding ``I2``
+    reduces back to the (exponential, small-m) exact 3-Partition solver.
+    """
+    return solve_three_partition(reduced.source) is not None

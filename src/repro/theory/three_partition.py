@@ -1,0 +1,168 @@
+"""3-Partition instances (Garey & Johnson [19]).
+
+An instance is an integer ``B`` and ``3m`` integers ``a_1..a_3m`` with
+``B/4 < a_i < B/2`` and ``sum a_i = m B``; the question is whether they
+split into ``m`` triples each summing exactly to ``B``.  This is the
+strongly NP-complete problem Theorem 2 reduces from.
+
+Besides the instance representation this module provides an exact
+backtracking decision procedure (fine for the small ``m`` used in tests)
+and generators of random YES instances (built from a hidden partition)
+and NO instances.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+__all__ = [
+    "ThreePartitionInstance",
+    "solve_three_partition",
+    "random_yes_instance",
+    "random_no_instance",
+]
+
+
+@dataclass(frozen=True)
+class ThreePartitionInstance:
+    """A (validated) 3-Partition instance."""
+
+    values: Tuple[int, ...]
+    B: int
+
+    def __post_init__(self) -> None:
+        if len(self.values) % 3 != 0 or not self.values:
+            raise ConfigurationError(
+                f"need 3m values, got {len(self.values)}"
+            )
+        if self.B <= 0:
+            raise ConfigurationError("B must be positive")
+        if sum(self.values) != self.m * self.B:
+            raise ConfigurationError(
+                f"values must sum to m*B = {self.m * self.B}, got {sum(self.values)}"
+            )
+        for value in self.values:
+            if not self.B / 4 < value < self.B / 2:
+                raise ConfigurationError(
+                    f"value {value} violates B/4 < a_i < B/2 (B={self.B})"
+                )
+
+    @property
+    def m(self) -> int:
+        """Number of triples."""
+        return len(self.values) // 3
+
+    def verify_partition(self, triples: Sequence[Sequence[int]]) -> bool:
+        """Check a proposed partition (indices into ``values``)."""
+        flat = [index for triple in triples for index in triple]
+        if sorted(flat) != list(range(len(self.values))):
+            return False
+        return all(
+            len(triple) == 3
+            and sum(self.values[index] for index in triple) == self.B
+            for triple in triples
+        )
+
+
+def solve_three_partition(
+    instance: ThreePartitionInstance,
+) -> Optional[List[Tuple[int, int, int]]]:
+    """Exact backtracking solver; returns the triples or ``None``.
+
+    Exponential in ``m`` — intended for the small instances exercised by
+    the Theorem 2 tests (m <= 5 runs instantly).
+    """
+    n = len(instance.values)
+    used = [False] * n
+    triples: List[Tuple[int, int, int]] = []
+
+    def backtrack() -> bool:
+        first = next((i for i in range(n) if not used[i]), None)
+        if first is None:
+            return True
+        used[first] = True
+        remaining = [i for i in range(n) if not used[i]]
+        for j_pos, j in enumerate(remaining):
+            partial = instance.values[first] + instance.values[j]
+            if partial >= instance.B:
+                continue
+            needed = instance.B - partial
+            for k in remaining[j_pos + 1:]:
+                if instance.values[k] != needed:
+                    continue
+                used[j] = used[k] = True
+                triples.append((first, j, k))
+                if backtrack():
+                    return True
+                triples.pop()
+                used[j] = used[k] = False
+        used[first] = False
+        return False
+
+    if backtrack():
+        return list(triples)
+    return None
+
+
+def random_yes_instance(
+    m: int, rng: np.random.Generator, base: int = 100
+) -> ThreePartitionInstance:
+    """YES instance built from a hidden partition.
+
+    Each triple is ``(base+d1, base+d2, base+d3)`` with ``d1+d2+d3 = 0``
+    and deviations small enough to respect ``B/4 < a_i < B/2`` with
+    ``B = 3*base``.
+    """
+    if m < 1:
+        raise ConfigurationError("m must be >= 1")
+    B = 3 * base
+    max_dev = max(1, base // 5)  # keeps values well inside (B/4, B/2)
+    values: List[int] = []
+    for _ in range(m):
+        # draw d1 freely, then d2 so that d3 = -(d1+d2) also stays within
+        # [-max_dev, max_dev] — otherwise the third value can escape the
+        # 3-Partition bounds B/4 < a_i < B/2
+        d1 = int(rng.integers(-max_dev, max_dev + 1))
+        d2_low = max(-max_dev, -max_dev - d1)
+        d2_high = min(max_dev, max_dev - d1)
+        d2 = int(rng.integers(d2_low, d2_high + 1))
+        d3 = -(d1 + d2)
+        values.extend([base + d1, base + d2, base + d3])
+    order = rng.permutation(len(values))
+    return ThreePartitionInstance(
+        values=tuple(int(values[i]) for i in order), B=B
+    )
+
+
+def random_no_instance(
+    m: int, rng: np.random.Generator, base: int = 100
+) -> ThreePartitionInstance:
+    """NO instance (verified by the exact solver).
+
+    Perturbs YES instances until one becomes infeasible while still
+    meeting the 3-Partition well-formedness constraints; falls back to a
+    deterministic construction if sampling fails.
+    """
+    for _ in range(200):
+        candidate = random_yes_instance(m, rng, base=base)
+        values = list(candidate.values)
+        # Move one unit between two values: the sum is preserved but the
+        # multiset usually stops partitioning.
+        i, j = rng.choice(len(values), size=2, replace=False)
+        values[i] += 1
+        values[j] -= 1
+        try:
+            perturbed = ThreePartitionInstance(tuple(values), candidate.B)
+        except ConfigurationError:
+            continue
+        if solve_three_partition(perturbed) is None:
+            return perturbed
+    raise ConfigurationError(
+        f"could not find a NO instance for m={m}; try another seed"
+    )

@@ -1,0 +1,50 @@
+"""Time-unit helpers.
+
+The paper mixes units: task lengths are reported in seconds and days
+(Fig. 9), processor MTBFs in years (5 to 125 years).  Internally the whole
+library works in **seconds**; these helpers perform the conversions at the
+API boundary.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SECONDS_PER_HOUR",
+    "SECONDS_PER_DAY",
+    "SECONDS_PER_YEAR",
+    "years",
+    "days",
+    "hours",
+    "to_years",
+    "to_days",
+]
+
+SECONDS_PER_HOUR: float = 3600.0
+SECONDS_PER_DAY: float = 24.0 * SECONDS_PER_HOUR
+#: Julian-ish year used throughout the resilience literature (365 days).
+SECONDS_PER_YEAR: float = 365.0 * SECONDS_PER_DAY
+
+
+def years(value: float) -> float:
+    """Convert a duration expressed in years to seconds."""
+    return value * SECONDS_PER_YEAR
+
+
+def days(value: float) -> float:
+    """Convert a duration expressed in days to seconds."""
+    return value * SECONDS_PER_DAY
+
+
+def hours(value: float) -> float:
+    """Convert a duration expressed in hours to seconds."""
+    return value * SECONDS_PER_HOUR
+
+
+def to_years(seconds: float) -> float:
+    """Convert a duration expressed in seconds to years."""
+    return seconds / SECONDS_PER_YEAR
+
+
+def to_days(seconds: float) -> float:
+    """Convert a duration expressed in seconds to days."""
+    return seconds / SECONDS_PER_DAY

@@ -1,0 +1,41 @@
+"""Validation of the analytic expected-time machinery.
+
+Eq. (4) is the load-bearing formula of the whole library — every
+scheduling decision ranks allocations by it.  This package checks it
+against ground truth:
+
+* :mod:`repro.validation.monte_carlo` — an independent event-level
+  sampler of the exact renewal process Eq. (4) models (periods, failures,
+  downtime, recovery), with statistical comparison of the empirical mean
+  against the closed form;
+* :mod:`repro.validation.consistency` — deterministic cross-checks:
+  fault-free simulations must land exactly on the analytic projection,
+  and model envelopes must satisfy the Section 3.2 assumptions.
+
+Both are usable as a library (returning structured reports) and are
+exercised by the test suite.
+"""
+
+from __future__ import annotations
+
+from .consistency import (
+    ConsistencyReport,
+    check_envelope_assumptions,
+    check_fault_free_projection,
+)
+from .monte_carlo import (
+    ValidationReport,
+    sample_completion_time,
+    sample_period_time,
+    validate_expected_time,
+)
+
+__all__ = [
+    "ValidationReport",
+    "sample_period_time",
+    "sample_completion_time",
+    "validate_expected_time",
+    "ConsistencyReport",
+    "check_fault_free_projection",
+    "check_envelope_assumptions",
+]

@@ -1,0 +1,41 @@
+"""Terminal visualisation of simulation and experiment artefacts.
+
+The paper presents its evaluation as line plots (Figs. 5-14).  This
+package renders the same artefacts in a text environment:
+
+* :mod:`repro.viz.ascii_chart` — multi-series line charts, histograms and
+  sparklines drawn on a character canvas;
+* :mod:`repro.viz.gantt` — per-task allocation timelines (Gantt-style)
+  reconstructed from simulation traces;
+* :mod:`repro.viz.figure_plots` — one-call adapters turning
+  :class:`~repro.experiments.figures.FigureResult` /
+  :class:`~repro.experiments.figures.TraceFigureResult` into charts.
+
+Everything is pure text: no plotting backend is required, so the charts
+work over SSH, in CI logs and in the examples.
+"""
+
+from __future__ import annotations
+
+from .ascii_chart import (
+    Canvas,
+    histogram,
+    line_chart,
+    sparkline,
+)
+from .figure_plots import plot_figure, plot_trace_figure
+from .gantt import AllocationTimeline, gantt_chart, reconstruct_timelines
+from .heatmap import heatmap
+
+__all__ = [
+    "Canvas",
+    "line_chart",
+    "histogram",
+    "sparkline",
+    "heatmap",
+    "plot_figure",
+    "plot_trace_figure",
+    "AllocationTimeline",
+    "reconstruct_timelines",
+    "gantt_chart",
+]

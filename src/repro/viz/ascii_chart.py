@@ -1,0 +1,318 @@
+"""Character-canvas charts.
+
+A :class:`Canvas` is a fixed-size grid of characters with a data-space to
+cell-space transform.  :func:`line_chart` plots one or more ``(x, y)``
+series with per-series markers, axes, tick labels and a legend;
+:func:`histogram` bins one sample; :func:`sparkline` compresses one series
+into a single line of block characters.
+
+The renderers only assume a monospaced font.  They are deliberately free
+of any terminal-control sequences so the output can be written to files
+(the benchmark harness persists charts next to its tables).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["Canvas", "line_chart", "histogram", "sparkline", "SERIES_MARKERS"]
+
+#: Default cycle of per-series markers (chosen to stay distinguishable
+#: when two curves overlap: the later series overwrites the earlier one).
+SERIES_MARKERS: str = "ox+*#@%&"
+
+#: Eight vertical block characters used by :func:`sparkline`.
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def _nice_ticks(lo: float, hi: float, count: int) -> List[float]:
+    """Round tick positions covering ``[lo, hi]`` (1-2-5 progression)."""
+    if count < 2:
+        raise ConfigurationError("at least two ticks are required")
+    if not math.isfinite(lo) or not math.isfinite(hi):
+        raise ConfigurationError("tick range must be finite")
+    if hi <= lo:
+        hi = lo + max(abs(lo), 1.0) * 1e-3
+    raw_step = (hi - lo) / (count - 1)
+    magnitude = 10.0 ** math.floor(math.log10(raw_step))
+    for factor in (1.0, 2.0, 2.5, 5.0, 10.0):
+        step = factor * magnitude
+        if step >= raw_step:
+            break
+    first = math.floor(lo / step) * step
+    ticks = []
+    value = first
+    while value < hi + 0.5 * step:
+        if value >= lo - 0.5 * step:
+            ticks.append(round(value, 12))
+        value += step
+    return ticks if len(ticks) >= 2 else [lo, hi]
+
+
+def _format_tick(value: float) -> str:
+    """Compact tick label (trims trailing zeros, switches to sci-notation)."""
+    if value == 0:
+        return "0"
+    if abs(value) >= 1e5 or abs(value) < 1e-3:
+        return f"{value:.2g}"
+    text = f"{value:.4g}"
+    return text
+
+
+@dataclass
+class Canvas:
+    """A character grid with a linear data-space transform.
+
+    Parameters
+    ----------
+    width, height:
+        Plot-area size in characters (excluding axes and labels).
+    x_min, x_max, y_min, y_max:
+        Data-space bounds mapped onto the grid.
+    """
+
+    width: int
+    height: int
+    x_min: float
+    x_max: float
+    y_min: float
+    y_max: float
+    cells: List[List[str]] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.width < 8 or self.height < 4:
+            raise ConfigurationError(
+                f"canvas must be at least 8x4, got {self.width}x{self.height}"
+            )
+        if not (self.x_max > self.x_min and self.y_max > self.y_min):
+            raise ConfigurationError("canvas bounds must be non-degenerate")
+        self.cells = [[" "] * self.width for _ in range(self.height)]
+
+    # -- transforms -------------------------------------------------------
+    def col_of(self, x: float) -> int:
+        """Column index of data ``x`` (clamped to the grid)."""
+        frac = (x - self.x_min) / (self.x_max - self.x_min)
+        return min(self.width - 1, max(0, int(round(frac * (self.width - 1)))))
+
+    def row_of(self, y: float) -> int:
+        """Row index of data ``y`` (row 0 is the *top* of the grid)."""
+        frac = (y - self.y_min) / (self.y_max - self.y_min)
+        level = min(self.height - 1, max(0, int(round(frac * (self.height - 1)))))
+        return self.height - 1 - level
+
+    # -- drawing ----------------------------------------------------------
+    def put(self, x: float, y: float, marker: str) -> None:
+        """Place ``marker`` at data coordinates (clamped)."""
+        self.cells[self.row_of(y)][self.col_of(x)] = marker
+
+    def segment(self, x0: float, y0: float, x1: float, y1: float, marker: str) -> None:
+        """Draw a line segment in data space (dense column-major walk)."""
+        c0, c1 = self.col_of(x0), self.col_of(x1)
+        if c0 > c1:
+            c0, c1, x0, x1, y0, y1 = c1, c0, x1, x0, y1, y0
+        steps = max(c1 - c0, 1) * 2
+        for step in range(steps + 1):
+            t = step / steps
+            self.put(x0 + t * (x1 - x0), y0 + t * (y1 - y0), marker)
+
+    def render(self) -> List[str]:
+        """Rows of the plot area as strings."""
+        return ["".join(row) for row in self.cells]
+
+
+def _axis_frame(
+    canvas: Canvas,
+    x_ticks: Sequence[float],
+    y_ticks: Sequence[float],
+    x_label: str,
+    y_label: str,
+) -> List[str]:
+    """Wrap the canvas with y labels, a left axis and an x tick ruler."""
+    y_tick_rows = {canvas.row_of(tick): tick for tick in y_ticks}
+    label_width = max(
+        (len(_format_tick(t)) for t in y_tick_rows.values()), default=1
+    )
+    lines: List[str] = []
+    if y_label:
+        lines.append(" " * (label_width + 2) + y_label)
+    for row_index, row in enumerate(canvas.render()):
+        tick = y_tick_rows.get(row_index)
+        prefix = (
+            _format_tick(tick).rjust(label_width) + " ┤"
+            if tick is not None
+            else " " * label_width + " │"
+        )
+        lines.append(prefix + row)
+    # x axis ruler with tick marks
+    ruler = [" "] * canvas.width
+    for tick in x_ticks:
+        ruler[canvas.col_of(tick)] = "┬"
+    lines.append(" " * label_width + " └" + "".join(ruler).replace(" ", "─"))
+    # x tick labels, greedily left-to-right without overlap
+    labels_row = [" "] * (canvas.width + label_width + 2)
+    for tick in x_ticks:
+        text = _format_tick(tick)
+        start = label_width + 2 + canvas.col_of(tick) - len(text) // 2
+        start = max(0, min(start, len(labels_row) - len(text)))
+        if all(c == " " for c in labels_row[max(0, start - 1): start + len(text) + 1]):
+            labels_row[start: start + len(text)] = list(text)
+    lines.append("".join(labels_row).rstrip())
+    if x_label:
+        pad = label_width + 2 + (canvas.width - len(x_label)) // 2
+        lines.append(" " * max(0, pad) + x_label)
+    return lines
+
+
+def line_chart(
+    series: Mapping[str, Tuple[Sequence[float], Sequence[float]]],
+    *,
+    width: int = 72,
+    height: int = 18,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+    y_min: Optional[float] = None,
+    y_max: Optional[float] = None,
+    markers: str = SERIES_MARKERS,
+    connect: bool = True,
+) -> str:
+    """Render a multi-series line chart.
+
+    Parameters
+    ----------
+    series:
+        Mapping ``label -> (x_values, y_values)``.  Series are drawn in
+        insertion order; later series overwrite earlier cells.
+    width, height:
+        Plot-area size in characters.
+    y_min, y_max:
+        Optional data-space clamps (default: data range with 5% margin).
+    markers:
+        Marker cycle; series ``i`` uses ``markers[i % len(markers)]``.
+    connect:
+        Draw segments between consecutive points (otherwise scatter).
+
+    Returns the chart as a multi-line string ending with a legend.
+
+    >>> chart = line_chart({"f": ([0, 1, 2], [0.0, 1.0, 0.5])}, width=20, height=6)
+    >>> "f" in chart
+    True
+    """
+    if not series:
+        raise ConfigurationError("line_chart needs at least one series")
+    xs_all: List[float] = []
+    ys_all: List[float] = []
+    cleaned: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+    for label, (xs, ys) in series.items():
+        x_arr = np.asarray(xs, dtype=float)
+        y_arr = np.asarray(ys, dtype=float)
+        if x_arr.shape != y_arr.shape:
+            raise ConfigurationError(
+                f"series {label!r}: x and y lengths differ "
+                f"({x_arr.size} vs {y_arr.size})"
+            )
+        keep = np.isfinite(x_arr) & np.isfinite(y_arr)
+        x_arr, y_arr = x_arr[keep], y_arr[keep]
+        if x_arr.size == 0:
+            continue
+        cleaned[label] = (x_arr, y_arr)
+        xs_all.extend(x_arr.tolist())
+        ys_all.extend(y_arr.tolist())
+    if not cleaned:
+        raise ConfigurationError("all series are empty or non-finite")
+
+    x_lo, x_hi = min(xs_all), max(xs_all)
+    if x_hi <= x_lo:
+        x_hi = x_lo + max(abs(x_lo), 1.0) * 1e-3
+    data_lo, data_hi = min(ys_all), max(ys_all)
+    margin = 0.05 * (data_hi - data_lo or max(abs(data_lo), 1.0))
+    y_lo = data_lo - margin if y_min is None else float(y_min)
+    y_hi = data_hi + margin if y_max is None else float(y_max)
+    if y_hi <= y_lo:
+        y_hi = y_lo + max(abs(y_lo), 1.0) * 1e-3
+
+    canvas = Canvas(width, height, x_lo, x_hi, y_lo, y_hi)
+    legend: List[str] = []
+    for index, (label, (x_arr, y_arr)) in enumerate(cleaned.items()):
+        marker = markers[index % len(markers)]
+        order = np.argsort(x_arr, kind="stable")
+        x_arr, y_arr = x_arr[order], y_arr[order]
+        if connect and x_arr.size > 1:
+            for k in range(x_arr.size - 1):
+                canvas.segment(
+                    x_arr[k], y_arr[k], x_arr[k + 1], y_arr[k + 1], marker
+                )
+        for x, y in zip(x_arr, y_arr):
+            canvas.put(x, y, marker)
+        legend.append(f"{marker} {label}")
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.extend(
+        _axis_frame(
+            canvas,
+            _nice_ticks(x_lo, x_hi, 6),
+            _nice_ticks(y_lo, y_hi, 5),
+            x_label,
+            y_label,
+        )
+    )
+    lines.append("legend: " + "   ".join(legend))
+    return "\n".join(lines)
+
+
+def histogram(
+    values: Sequence[float],
+    *,
+    bins: int = 20,
+    width: int = 50,
+    title: str = "",
+) -> str:
+    """Horizontal-bar histogram of one sample.
+
+    Each row shows the bin interval, a bar scaled to the largest count,
+    and the count itself.
+    """
+    data = np.asarray(values, dtype=float)
+    data = data[np.isfinite(data)]
+    if data.size == 0:
+        raise ConfigurationError("histogram needs at least one finite value")
+    if bins < 1:
+        raise ConfigurationError("bins must be >= 1")
+    counts, edges = np.histogram(data, bins=bins)
+    peak = counts.max() if counts.max() > 0 else 1
+    lines: List[str] = [title] if title else []
+    label_width = max(
+        len(f"[{_format_tick(edges[i])}, {_format_tick(edges[i + 1])})")
+        for i in range(len(counts))
+    )
+    for i, count in enumerate(counts):
+        closing = ")" if i < len(counts) - 1 else "]"
+        interval = f"[{_format_tick(edges[i])}, {_format_tick(edges[i + 1])}{closing}"
+        bar = "█" * int(round(width * count / peak))
+        lines.append(f"{interval.rjust(label_width)} {bar} {count}")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line block-character rendering of a series.
+
+    >>> sparkline([0, 1, 2, 3])
+    '▁▃▆█'
+    """
+    data = np.asarray(values, dtype=float)
+    data = data[np.isfinite(data)]
+    if data.size == 0:
+        return ""
+    lo, hi = float(data.min()), float(data.max())
+    if hi <= lo:
+        return _SPARK_LEVELS[0] * data.size
+    scaled = (data - lo) / (hi - lo) * (len(_SPARK_LEVELS) - 1)
+    return "".join(_SPARK_LEVELS[int(round(s))] for s in scaled)

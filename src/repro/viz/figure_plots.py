@@ -1,0 +1,101 @@
+"""One-call chart adapters for experiment results.
+
+``plot_figure`` turns a :class:`~repro.experiments.figures.FigureResult`
+into the paper's normalised line plot; ``plot_trace_figure`` renders the
+two panels of Fig. 9 (makespan after each failure, and the std-dev of the
+per-task processor counts).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from ..experiments.figures import FigureResult, TraceFigureResult
+from .ascii_chart import line_chart
+
+__all__ = ["plot_figure", "plot_trace_figure"]
+
+
+def plot_figure(
+    result: FigureResult,
+    *,
+    width: int = 72,
+    height: int = 18,
+    normalized: bool = True,
+) -> str:
+    """Chart a sweep figure (normalised like the paper by default).
+
+    The y-axis is anchored at [0.45, 1.05] in normalised mode, matching
+    the paper's fixed [0.5, 1] frame, unless the data escapes that range.
+    """
+    data = result.normalized if normalized else result.means
+    series: Dict[str, Tuple[Sequence[float], Sequence[float]]] = {
+        result.labels[key]: (result.x_values, values)
+        for key, values in data.items()
+    }
+    y_values = [v for values in data.values() for v in values]
+    y_min = y_max = None
+    if normalized and y_values:
+        if min(y_values) >= 0.45 and max(y_values) <= 1.1:
+            y_min, y_max = 0.45, 1.1
+    return line_chart(
+        series,
+        width=width,
+        height=height,
+        title=f"{result.figure}: {result.title}",
+        x_label=result.x_name,
+        y_label="normalized execution time" if normalized else "makespan (s)",
+        y_min=y_min,
+        y_max=y_max,
+    )
+
+
+def plot_trace_figure(
+    result: TraceFigureResult,
+    *,
+    width: int = 72,
+    height: int = 14,
+) -> str:
+    """Chart the two Fig. 9 panels from a traced single run."""
+    makespan_series: Dict[str, Tuple[Sequence[float], Sequence[float]]] = {}
+    std_series: Dict[str, Tuple[Sequence[float], Sequence[float]]] = {}
+    for key, label in result.labels.items():
+        data = result.series[key]
+        times = data["failure_times"]
+        if times.size == 0:
+            continue
+        makespan_series[label] = (times, data["makespan"])
+        std_series[label] = (times, data["sigma_std"])
+    blocks = []
+    if makespan_series:
+        blocks.append(
+            line_chart(
+                makespan_series,
+                width=width,
+                height=height,
+                title=f"{result.figure}a: makespan after each handled failure",
+                x_label="failure date (s)",
+                y_label="projected makespan (s)",
+            )
+        )
+        blocks.append(
+            line_chart(
+                std_series,
+                width=width,
+                height=height,
+                title=f"{result.figure}b: stddev of per-task processor counts",
+                x_label="failure date (s)",
+                y_label="stddev #procs",
+            )
+        )
+    else:
+        blocks.append(
+            f"{result.figure}: no failures were handled in this run "
+            "(nothing to plot)"
+        )
+    finals = ", ".join(
+        f"{label}: {result.final_makespans[key]:.6g}s"
+        for key, label in result.labels.items()
+    )
+    blocks.append(f"final makespans — {finals}")
+    return "\n\n".join(blocks)

@@ -1,0 +1,199 @@
+"""Gantt-style allocation timelines from simulation traces.
+
+The simulator's trace records every allocation change (initial schedule,
+redistributions, completions, failures).  :func:`reconstruct_timelines`
+replays those events into one :class:`AllocationTimeline` per task —
+piecewise-constant ``sigma(t)`` — and :func:`gantt_chart` renders the set
+as a text chart: one row per task, column = time bucket, cell brightness
+= processor count, with failure and redistribution markers overlaid.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..exceptions import ConfigurationError
+from ..simulation.result import SimulationResult
+from ..simulation.trace import EventKind, Trace
+
+__all__ = ["AllocationTimeline", "reconstruct_timelines", "gantt_chart"]
+
+#: Cell shades from "few processors" to "many" (quartiles of the max).
+_SHADES = "░▒▓█"
+_FAILURE_MARK = "X"
+_REDISTRIBUTION_MARK = "R"
+
+
+@dataclass
+class AllocationTimeline:
+    """Piecewise-constant processor count of one task.
+
+    ``times[k]`` is the instant at which the allocation becomes
+    ``sigmas[k]``; the last segment extends to the task's completion.
+    """
+
+    task: int
+    times: List[float] = field(default_factory=list)
+    sigmas: List[int] = field(default_factory=list)
+    completion: float = float("nan")
+    failure_times: List[float] = field(default_factory=list)
+    redistribution_times: List[float] = field(default_factory=list)
+
+    def sigma_at(self, t: float) -> int:
+        """Allocation in force at time ``t`` (0 before start / after end)."""
+        if not self.times or t < self.times[0]:
+            return 0
+        if self.completion == self.completion and t >= self.completion:
+            return 0  # NaN-safe: completed tasks hold no processors
+        slot = bisect_right(self.times, t) - 1
+        return self.sigmas[slot]
+
+    def change_points(self) -> List[float]:
+        """All instants at which the allocation changes."""
+        points = list(self.times)
+        if self.completion == self.completion:
+            points.append(self.completion)
+        return points
+
+
+def _parse_sigma(detail: str) -> Optional[int]:
+    """Extract the new allocation from a ``sigma=K`` event detail."""
+    for token in detail.split(","):
+        token = token.strip()
+        if token.startswith("sigma="):
+            try:
+                return int(token[len("sigma="):])
+            except ValueError:
+                return None
+    return None
+
+
+def reconstruct_timelines(
+    result: SimulationResult,
+    trace: Optional[Trace] = None,
+) -> Dict[int, AllocationTimeline]:
+    """Replay a trace into per-task allocation timelines.
+
+    Parameters
+    ----------
+    result:
+        The simulation outcome; supplies the initial schedule and, if
+        ``trace`` is omitted, the recorded trace.
+    trace:
+        Explicit trace (useful when the result was deserialised without
+        one).
+
+    Raises
+    ------
+    ConfigurationError
+        If no trace is available (the simulation must be run with
+        ``record_trace=True``).
+    """
+    trace = trace if trace is not None else result.trace
+    if trace is None:
+        raise ConfigurationError(
+            "no trace available; run the simulation with record_trace=True"
+        )
+    timelines: Dict[int, AllocationTimeline] = {}
+    for task, sigma in result.initial_sigma.items():
+        timeline = AllocationTimeline(task=task)
+        timeline.times.append(0.0)
+        timeline.sigmas.append(int(sigma))
+        timelines[task] = timeline
+
+    for event in trace.events:
+        if event.task < 0:
+            continue
+        timeline = timelines.get(event.task)
+        if timeline is None:  # task never scheduled (defensive)
+            continue
+        if event.kind is EventKind.REDISTRIBUTION:
+            sigma = _parse_sigma(event.detail)
+            if sigma is not None and sigma != timeline.sigmas[-1]:
+                timeline.times.append(event.time)
+                timeline.sigmas.append(sigma)
+            timeline.redistribution_times.append(event.time)
+        elif event.kind is EventKind.FAILURE:
+            timeline.failure_times.append(event.time)
+        elif event.kind is EventKind.COMPLETION:
+            timeline.completion = event.time
+        elif event.kind is EventKind.EARLY_RELEASE:
+            # processors are freed although the task logically continues;
+            # reflect the release in the drawn occupancy
+            if timeline.sigmas[-1] != 0:
+                timeline.times.append(event.time)
+                timeline.sigmas.append(0)
+    return timelines
+
+
+def gantt_chart(
+    result: SimulationResult,
+    *,
+    trace: Optional[Trace] = None,
+    width: int = 80,
+    max_tasks: int = 40,
+    show_markers: bool = True,
+) -> str:
+    """Render per-task allocation timelines as a text Gantt chart.
+
+    Each row is one task; time runs left to right over ``width`` buckets
+    covering ``[0, makespan]``.  Cell shade encodes the processor count
+    (quartiles of the pack-wide maximum); ``X`` marks a failure, ``R`` a
+    redistribution within the bucket (failures win ties).
+
+    Parameters
+    ----------
+    max_tasks:
+        Rows beyond this count are summarised in a footer (keeps charts
+        readable for n=1000 packs).
+    """
+    if width < 10:
+        raise ConfigurationError("gantt width must be >= 10")
+    timelines = reconstruct_timelines(result, trace)
+    makespan = result.makespan
+    if makespan <= 0:
+        raise ConfigurationError("makespan must be positive to draw a Gantt")
+    sigma_peak = max(
+        (max(t.sigmas) for t in timelines.values() if t.sigmas), default=1
+    )
+    bucket = makespan / width
+
+    def shade(sigma: int) -> str:
+        if sigma <= 0:
+            return " "
+        level = min(
+            len(_SHADES) - 1, int(sigma / sigma_peak * len(_SHADES))
+        )
+        return _SHADES[level]
+
+    label_width = len(f"T{max(timelines) + 1}") if timelines else 2
+    lines: List[str] = [
+        f"policy={result.policy}  makespan={makespan:.6g}s  "
+        f"(shade ∝ #procs, max={sigma_peak}; X=failure, R=redistribution)"
+    ]
+    shown = sorted(timelines)[:max_tasks]
+    for task in shown:
+        timeline = timelines[task]
+        row = []
+        for b in range(width):
+            t_mid = (b + 0.5) * bucket
+            row.append(shade(timeline.sigma_at(t_mid)))
+        if show_markers:
+            for t_re in timeline.redistribution_times:
+                col = min(width - 1, int(t_re / bucket))
+                row[col] = _REDISTRIBUTION_MARK
+            for t_f in timeline.failure_times:
+                col = min(width - 1, int(t_f / bucket))
+                row[col] = _FAILURE_MARK
+        label = f"T{task + 1}".rjust(label_width)
+        lines.append(f"{label} │{''.join(row)}│")
+    if len(timelines) > len(shown):
+        lines.append(f"... {len(timelines) - len(shown)} more tasks not shown")
+    axis = f"{'':>{label_width}} └{'─' * width}┘"
+    lines.append(axis)
+    lines.append(
+        f"{'':>{label_width}}  0{f'{makespan:.4g}s'.rjust(width - 1)}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,116 @@
+"""ASCII heatmaps for two-parameter studies.
+
+Some questions are planes, not lines: *for which (MTBF, checkpoint-cost)
+combinations does redistribution pay off?*  :func:`heatmap` renders a
+2D value grid with shaded cells, row/column labels and a value legend —
+the terminal analogue of a phase diagram.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .ascii_chart import _format_tick
+
+__all__ = ["heatmap"]
+
+#: Shades from low to high.
+_SHADES = " ░▒▓█"
+
+
+def heatmap(
+    grid: Sequence[Sequence[float]],
+    *,
+    x_labels: Optional[Sequence[str]] = None,
+    y_labels: Optional[Sequence[str]] = None,
+    title: str = "",
+    x_name: str = "",
+    y_name: str = "",
+    cell_width: int = 7,
+    precision: int = 2,
+    v_min: Optional[float] = None,
+    v_max: Optional[float] = None,
+) -> str:
+    """Render a value grid as a shaded table.
+
+    Parameters
+    ----------
+    grid:
+        ``grid[row][col]``; rows are printed top to bottom.
+    x_labels, y_labels:
+        Column / row labels (defaults to indices).
+    cell_width:
+        Characters per cell (values are right-aligned inside).
+    v_min, v_max:
+        Shade clamps (default: data range).  NaN cells print blank.
+
+    Each cell shows the numeric value followed by a shade glyph scaled
+    to the grid range, so both coarse structure and exact numbers
+    survive.
+    """
+    data = np.asarray(grid, dtype=float)
+    if data.ndim != 2 or data.size == 0:
+        raise ConfigurationError("heatmap needs a non-empty 2D grid")
+    rows, cols = data.shape
+    if x_labels is not None and len(x_labels) != cols:
+        raise ConfigurationError(
+            f"expected {cols} x labels, got {len(x_labels)}"
+        )
+    if y_labels is not None and len(y_labels) != rows:
+        raise ConfigurationError(
+            f"expected {rows} y labels, got {len(y_labels)}"
+        )
+    if cell_width < 4:
+        raise ConfigurationError("cell_width must be >= 4")
+    x_labels = (
+        [str(c) for c in range(cols)] if x_labels is None else list(x_labels)
+    )
+    y_labels = (
+        [str(r) for r in range(rows)] if y_labels is None else list(y_labels)
+    )
+
+    finite = data[np.isfinite(data)]
+    if finite.size == 0:
+        raise ConfigurationError("heatmap needs at least one finite value")
+    lo = float(finite.min()) if v_min is None else float(v_min)
+    hi = float(finite.max()) if v_max is None else float(v_max)
+    span = hi - lo
+
+    def shade(value: float) -> str:
+        if not np.isfinite(value):
+            return " "
+        if span <= 0:
+            return _SHADES[len(_SHADES) // 2]
+        level = (value - lo) / span
+        index = min(len(_SHADES) - 1, max(0, int(level * len(_SHADES))))
+        return _SHADES[index]
+
+    label_width = max(len(label) for label in y_labels)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " " * (label_width + 1) + "".join(
+        label.rjust(cell_width) for label in x_labels
+    )
+    if x_name:
+        header += f"   {x_name}"
+    lines.append(header)
+    for r in range(rows):
+        cells = []
+        for c in range(cols):
+            value = data[r, c]
+            text = (
+                f"{value:.{precision}f}" if np.isfinite(value) else "-"
+            ).rjust(cell_width - 1)
+            cells.append(text + shade(value))
+        lines.append(y_labels[r].rjust(label_width) + " " + "".join(cells))
+    if y_name:
+        lines.append(f"rows: {y_name}")
+    lines.append(
+        f"shade: {_SHADES[1]} low ({_format_tick(lo)}) ... "
+        f"{_SHADES[-1]} high ({_format_tick(hi)})"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,52 @@
+"""Shared fixtures: small packs/clusters sized so tests run in milliseconds."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.resilience import ExpectedTimeModel, ResilienceModel
+from repro.tasks import WorkloadGenerator, uniform_pack
+from repro.units import years
+
+#: Small-scale workload bounds (seconds-scale tasks, see Scale presets).
+M_INF, M_SUP = 6_000.0, 10_000.0
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def small_pack():
+    """Eight tasks with heterogeneous small sizes."""
+    return uniform_pack(8, m_inf=M_INF, m_sup=M_SUP, seed=42)
+
+
+@pytest.fixture
+def small_cluster() -> Cluster:
+    """40 processors, MTBF scaled to the small task sizes (~0.02 years)."""
+    return Cluster.with_mtbf_years(40, 0.02)
+
+
+@pytest.fixture
+def reliable_cluster() -> Cluster:
+    """40 processors, failures essentially never happen (MTBF 1000 years)."""
+    return Cluster.with_mtbf_years(40, 1000.0)
+
+
+@pytest.fixture
+def model(small_pack, small_cluster) -> ExpectedTimeModel:
+    return ExpectedTimeModel(small_pack, small_cluster)
+
+
+@pytest.fixture
+def reliable_model(small_pack, reliable_cluster) -> ExpectedTimeModel:
+    return ExpectedTimeModel(small_pack, reliable_cluster)
+
+
+@pytest.fixture
+def generator() -> WorkloadGenerator:
+    return WorkloadGenerator(m_inf=M_INF, m_sup=M_SUP)

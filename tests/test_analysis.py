@@ -1,0 +1,64 @@
+"""Statistics helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import SeriesStats, describe, normalize_by, paired_gain
+from repro.exceptions import ConfigurationError
+
+
+class TestDescribe:
+    def test_basic_stats(self):
+        stats = describe([1.0, 2.0, 3.0])
+        assert stats.count == 3
+        assert stats.mean == pytest.approx(2.0)
+        assert stats.minimum == 1.0
+        assert stats.maximum == 3.0
+        assert stats.std == pytest.approx(1.0)
+
+    def test_single_value_no_ci(self):
+        stats = describe([5.0])
+        assert stats.std == 0.0
+        assert stats.ci_half_width == 0.0
+
+    def test_ci_contains_mean(self):
+        stats = describe(np.random.default_rng(0).normal(10, 1, size=100))
+        low, high = stats.ci()
+        assert low < stats.mean < high
+
+    def test_ci_shrinks_with_samples(self):
+        rng = np.random.default_rng(0)
+        small = describe(rng.normal(10, 1, size=10))
+        large = describe(rng.normal(10, 1, size=1000))
+        assert large.ci_half_width < small.ci_half_width
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            describe([])
+
+
+class TestNormalize:
+    def test_ratio_of_means(self):
+        assert normalize_by([8.0, 12.0], [20.0, 20.0]) == pytest.approx(0.5)
+
+    def test_identity(self):
+        assert normalize_by([3.0], [3.0]) == 1.0
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ConfigurationError):
+            normalize_by([1.0], [0.0])
+
+
+class TestPairedGain:
+    def test_ratio_statistics(self):
+        stats = paired_gain([5.0, 8.0], [10.0, 10.0])
+        assert stats.mean == pytest.approx(0.65)
+        assert stats.count == 2
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            paired_gain([1.0], [1.0, 2.0])
+
+    def test_nonpositive_baseline_rejected(self):
+        with pytest.raises(ConfigurationError):
+            paired_gain([1.0], [0.0])

@@ -1,0 +1,119 @@
+"""Tests for repro.analysis.compare."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import bootstrap_ci, paired_comparison
+from repro.analysis.compare import _sign_test_p
+from repro.exceptions import ConfigurationError
+
+
+class TestBootstrapCi:
+    def test_contains_point_estimate_usually(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(10.0, 1.0, size=50)
+        lo, hi = bootstrap_ci(data, seed=1)
+        assert lo <= data.mean() <= hi
+
+    def test_narrows_with_sample_size(self):
+        rng = np.random.default_rng(2)
+        small = rng.normal(0, 1, size=10)
+        large = rng.normal(0, 1, size=1000)
+        lo_s, hi_s = bootstrap_ci(small, seed=2)
+        lo_l, hi_l = bootstrap_ci(large, seed=2)
+        assert (hi_l - lo_l) < (hi_s - lo_s)
+
+    def test_custom_statistic(self):
+        data = [1.0, 2.0, 3.0, 100.0]
+        lo, hi = bootstrap_ci(data, statistic=np.median, seed=3)
+        assert lo < 50  # the median ignores the outlier
+
+    def test_rejects_tiny_sample(self):
+        with pytest.raises(ConfigurationError):
+            bootstrap_ci([1.0])
+
+    def test_rejects_bad_confidence(self):
+        with pytest.raises(ConfigurationError):
+            bootstrap_ci([1.0, 2.0], confidence=1.5)
+
+    def test_rejects_few_resamples(self):
+        with pytest.raises(ConfigurationError):
+            bootstrap_ci([1.0, 2.0], resamples=10)
+
+    def test_deterministic_under_seed(self):
+        data = [1.0, 1.2, 0.8, 1.1]
+        assert bootstrap_ci(data, seed=7) == bootstrap_ci(data, seed=7)
+
+
+class TestSignTest:
+    def test_balanced_is_insignificant(self):
+        assert _sign_test_p(5, 5) == pytest.approx(1.0, abs=0.3)
+
+    def test_sweep_is_significant(self):
+        assert _sign_test_p(10, 0) < 0.01
+
+    def test_no_decided_pairs(self):
+        assert _sign_test_p(0, 0) == 1.0
+
+    def test_symmetry(self):
+        assert _sign_test_p(8, 2) == pytest.approx(_sign_test_p(2, 8))
+
+    def test_exact_value(self):
+        # P(X=0) + P(X=5) for Binomial(5, 1/2) = 2/32
+        assert _sign_test_p(5, 0) == pytest.approx(2 / 32)
+
+
+class TestPairedComparison:
+    def test_clear_winner(self):
+        baseline = [100.0, 110.0, 105.0, 95.0, 102.0, 99.0, 104.0, 98.0]
+        candidate = [v * 0.8 for v in baseline]
+        outcome = paired_comparison(candidate, baseline, seed=1)
+        assert outcome.mean_ratio == pytest.approx(0.8)
+        assert outcome.wins == 8 and outcome.losses == 0
+        assert outcome.significant
+        assert outcome.ci_low <= 0.8 <= outcome.ci_high
+
+    def test_identical_series_all_ties(self):
+        values = [100.0, 110.0, 90.0]
+        outcome = paired_comparison(values, values, seed=1)
+        assert outcome.ties == 3
+        assert outcome.win_fraction == 0.5
+        assert not outcome.significant
+
+    def test_mixed_outcome_not_significant(self):
+        baseline = [100.0, 100.0, 100.0, 100.0]
+        candidate = [90.0, 110.0, 95.0, 105.0]
+        outcome = paired_comparison(candidate, baseline, seed=1)
+        assert outcome.wins == 2 and outcome.losses == 2
+        assert not outcome.significant
+
+    def test_describe(self):
+        outcome = paired_comparison([8.0, 9.0], [10.0, 10.0], seed=1)
+        text = outcome.describe()
+        assert "ratio=" in text and "wins=2/2" in text
+
+    def test_rejects_mismatched(self):
+        with pytest.raises(ConfigurationError):
+            paired_comparison([1.0], [1.0, 2.0])
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ConfigurationError):
+            paired_comparison([1.0, -1.0], [1.0, 1.0])
+
+    @given(
+        n=st.integers(2, 40),
+        shift=st.floats(0.5, 2.0),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_counts_partition(self, n, shift, seed):
+        rng = np.random.default_rng(seed)
+        baseline = rng.uniform(50, 150, size=n)
+        candidate = baseline * shift
+        outcome = paired_comparison(candidate, baseline, seed=seed)
+        assert outcome.wins + outcome.losses + outcome.ties == n
+        assert 0.0 <= outcome.p_value <= 1.0

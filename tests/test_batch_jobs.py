@@ -1,0 +1,142 @@
+"""Tests for repro.batch.jobs."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.batch import (
+    CampaignMetrics,
+    Job,
+    JobMetrics,
+    poisson_stream,
+    stream_from_sizes,
+)
+from repro.exceptions import ConfigurationError
+from repro.tasks import TaskSpec
+
+
+class TestJob:
+    def test_rejects_negative_release(self):
+        task = TaskSpec(index=0, size=100.0, checkpoint_cost=10.0)
+        with pytest.raises(ConfigurationError):
+            Job(job_id=0, task=task, release=-1.0)
+
+    def test_rejects_negative_id(self):
+        task = TaskSpec(index=0, size=100.0, checkpoint_cost=10.0)
+        with pytest.raises(ConfigurationError):
+            Job(job_id=-1, task=task, release=0.0)
+
+
+class TestPoissonStream:
+    def test_sorted_by_release(self):
+        jobs = poisson_stream(10, 500.0, seed=1)
+        releases = [job.release for job in jobs]
+        assert releases == sorted(releases)
+
+    def test_first_job_at_zero(self):
+        jobs = poisson_stream(5, 500.0, seed=2)
+        assert jobs[0].release == 0.0
+
+    def test_zero_interarrival_all_at_zero(self):
+        jobs = poisson_stream(5, 0.0, seed=3)
+        assert all(job.release == 0.0 for job in jobs)
+
+    def test_sizes_within_bounds(self):
+        jobs = poisson_stream(20, 100.0, m_inf=1_000, m_sup=2_000, seed=4)
+        assert all(1_000 <= job.task.size <= 2_000 for job in jobs)
+
+    def test_deterministic_under_seed(self):
+        a = poisson_stream(6, 300.0, seed=5)
+        b = poisson_stream(6, 300.0, seed=5)
+        assert [j.release for j in a] == [j.release for j in b]
+        assert [j.task.size for j in a] == [j.task.size for j in b]
+
+    def test_rejects_empty_campaign(self):
+        with pytest.raises(ConfigurationError):
+            poisson_stream(0, 100.0)
+
+    def test_rejects_negative_interarrival(self):
+        with pytest.raises(ConfigurationError):
+            poisson_stream(3, -1.0)
+
+    @given(
+        n=st.integers(1, 30),
+        gap=st.floats(0.0, 1e4),
+        seed=st.integers(0, 10_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_ids_unique_and_complete(self, n, gap, seed):
+        jobs = poisson_stream(n, gap, seed=seed)
+        assert sorted(job.job_id for job in jobs) == list(range(n))
+
+
+class TestStreamFromSizes:
+    def test_explicit_campaign(self):
+        jobs = stream_from_sizes([500.0, 300.0], [10.0, 0.0])
+        # sorted by release
+        assert jobs[0].task.size == 300.0
+        assert jobs[1].release == 10.0
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ConfigurationError):
+            stream_from_sizes([1.0], [0.0, 1.0])
+
+
+class TestJobMetrics:
+    def test_waiting_and_response(self):
+        metrics = JobMetrics(
+            job_id=0, release=10.0, start=25.0, completion=100.0
+        )
+        assert metrics.waiting == 15.0
+        assert metrics.response == 90.0
+
+    def test_rejects_inconsistent_times(self):
+        with pytest.raises(ConfigurationError):
+            JobMetrics(job_id=0, release=10.0, start=5.0, completion=20.0)
+        with pytest.raises(ConfigurationError):
+            JobMetrics(job_id=0, release=0.0, start=5.0, completion=4.0)
+
+
+class TestCampaignMetrics:
+    def _campaign(self) -> CampaignMetrics:
+        return CampaignMetrics(
+            jobs=[
+                JobMetrics(0, release=0.0, start=0.0, completion=50.0),
+                JobMetrics(1, release=10.0, start=50.0, completion=120.0),
+            ]
+        )
+
+    def test_makespan(self):
+        assert self._campaign().makespan == 120.0
+
+    def test_waiting_stats(self):
+        campaign = self._campaign()
+        assert campaign.mean_waiting == pytest.approx((0.0 + 40.0) / 2)
+        assert campaign.max_waiting == 40.0
+
+    def test_mean_response(self):
+        assert self._campaign().mean_response == pytest.approx(
+            (50.0 + 110.0) / 2
+        )
+
+    def test_mean_stretch(self):
+        campaign = self._campaign()
+        stretch = campaign.mean_stretch([25.0, 55.0])
+        assert stretch == pytest.approx((50 / 25 + 110 / 55) / 2)
+
+    def test_stretch_rejects_bad_lengths(self):
+        with pytest.raises(ConfigurationError):
+            self._campaign().mean_stretch([1.0])
+
+    def test_stretch_rejects_non_positive_best(self):
+        with pytest.raises(ConfigurationError):
+            self._campaign().mean_stretch([0.0, 10.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            CampaignMetrics(jobs=[])
+
+    def test_summary(self):
+        assert "2 jobs" in self._campaign().summary()

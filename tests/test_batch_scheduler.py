@@ -1,0 +1,169 @@
+"""Tests for repro.batch.scheduler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Cluster
+from repro.batch import OnlineBatchScheduler, poisson_stream, stream_from_sizes
+from repro.exceptions import CapacityError, ConfigurationError
+from repro.tasks import TaskSpec
+from repro.batch.jobs import Job
+
+
+@pytest.fixture()
+def cluster() -> Cluster:
+    return Cluster.with_mtbf_years(8, mtbf_years=100.0)  # 4 buddy pairs
+
+
+def _campaign(n=6, gap=0.0, seed=1, m_inf=2_000, m_sup=8_000):
+    return poisson_stream(n, gap, m_inf=m_inf, m_sup=m_sup, seed=seed)
+
+
+class TestValidation:
+    def test_rejects_empty_campaign(self, cluster):
+        with pytest.raises(ConfigurationError):
+            OnlineBatchScheduler([], cluster)
+
+    def test_rejects_duplicate_ids(self, cluster):
+        task = TaskSpec(index=0, size=100.0, checkpoint_cost=10.0)
+        jobs = [Job(0, task, 0.0), Job(0, task, 1.0)]
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            OnlineBatchScheduler(jobs, cluster)
+
+    def test_rejects_unknown_batch_policy(self, cluster):
+        with pytest.raises(ConfigurationError, match="batch policy"):
+            OnlineBatchScheduler(
+                _campaign(), cluster, batch_policy="mystery"
+            )
+
+    def test_fixed_policy_needs_size(self, cluster):
+        with pytest.raises(ConfigurationError, match="batch_size"):
+            OnlineBatchScheduler(_campaign(), cluster, batch_policy="fixed")
+
+
+class TestAllAtOnce:
+    def test_single_batch_when_everything_fits(self):
+        cluster = Cluster.with_mtbf_years(16, mtbf_years=100.0)  # 8 pairs
+        jobs = _campaign(n=5, gap=0.0)
+        outcome = OnlineBatchScheduler(jobs, cluster, "ig-el", seed=1).run()
+        assert outcome.batch_count == 1
+        assert len(outcome.batches[0].job_ids) == 5
+
+    def test_capacity_splits_batches(self, cluster):
+        jobs = _campaign(n=6, gap=0.0)  # capacity 4 => 2 batches
+        outcome = OnlineBatchScheduler(jobs, cluster, "ig-el", seed=1).run()
+        assert outcome.batch_count == 2
+        assert [len(b.job_ids) for b in outcome.batches] == [4, 2]
+
+    def test_batches_are_contiguous(self, cluster):
+        jobs = _campaign(n=6, gap=0.0)
+        outcome = OnlineBatchScheduler(jobs, cluster, "ig-el", seed=2).run()
+        assert outcome.batches[0].start == 0.0
+        for a, b in zip(outcome.batches, outcome.batches[1:]):
+            assert b.start == pytest.approx(a.end)
+
+    def test_every_job_measured(self, cluster):
+        jobs = _campaign(n=6, gap=0.0)
+        outcome = OnlineBatchScheduler(jobs, cluster, "stf-el", seed=3).run()
+        assert outcome.metrics is not None
+        assert sorted(m.job_id for m in outcome.metrics.jobs) == list(range(6))
+        assert outcome.metrics.makespan == pytest.approx(outcome.makespan)
+
+
+class TestReleases:
+    def test_late_jobs_wait_for_release(self, cluster):
+        # second wave released far after the first batch would finish
+        jobs = stream_from_sizes(
+            [4_000.0, 3_000.0, 5_000.0],
+            [0.0, 0.0, 1e9],
+        )
+        outcome = OnlineBatchScheduler(jobs, cluster, "ig-el", seed=1).run()
+        assert outcome.batch_count == 2
+        late = outcome.batches[1]
+        assert late.start == pytest.approx(1e9)  # idled until the release
+
+    def test_jobs_released_during_batch_queue_up(self, cluster):
+        # job 2 arrives while batch 0 runs; it must start at batch 0's end
+        jobs = stream_from_sizes(
+            [8_000.0, 7_000.0, 4_000.0],
+            [0.0, 0.0, 1.0],
+        )
+        outcome = OnlineBatchScheduler(jobs, cluster, "ig-el", seed=4).run()
+        assert outcome.batch_count == 2
+        assert outcome.batches[1].start == pytest.approx(
+            outcome.batches[0].end
+        )
+        metrics = {m.job_id: m for m in outcome.metrics.jobs}
+        assert metrics[2].waiting > 0
+
+    def test_waiting_zero_when_released_at_start(self, cluster):
+        jobs = _campaign(n=3, gap=0.0)
+        outcome = OnlineBatchScheduler(jobs, cluster, "ig-el", seed=5).run()
+        assert outcome.metrics.max_waiting == 0.0
+
+
+class TestFixedBatchPolicy:
+    def test_respects_batch_size(self, cluster):
+        jobs = _campaign(n=6, gap=0.0)
+        outcome = OnlineBatchScheduler(
+            jobs, cluster, "ig-el", batch_policy="fixed", batch_size=2, seed=1
+        ).run()
+        assert outcome.batch_count == 3
+        assert all(len(b.job_ids) == 2 for b in outcome.batches)
+
+    def test_smaller_batches_start_sooner_but_finish_later(self, cluster):
+        jobs = _campaign(n=6, gap=0.0)
+        all_at_once = OnlineBatchScheduler(
+            jobs, cluster, "ig-el", seed=1
+        ).run()
+        tiny_batches = OnlineBatchScheduler(
+            jobs, cluster, "ig-el", batch_policy="fixed", batch_size=1, seed=1
+        ).run()
+        # serialising everything wastes the co-scheduling benefit
+        assert tiny_batches.makespan >= all_at_once.makespan * 0.99
+
+
+class TestDegenerateEquivalence:
+    def test_one_batch_equals_direct_simulation(self):
+        """All-at-zero releases + enough capacity == the paper's one pack."""
+        import numpy as np
+
+        from repro import Simulator
+        from repro.rng import derive_seed_sequence
+        from repro.tasks import Pack
+        from dataclasses import replace as dc_replace
+
+        cluster = Cluster.with_mtbf_years(16, mtbf_years=0.1)
+        jobs = _campaign(n=5, gap=0.0, seed=9)
+        outcome = OnlineBatchScheduler(jobs, cluster, "ig-el", seed=7).run()
+        assert outcome.batch_count == 1
+
+        # rebuild the exact pack the scheduler formed (largest first)
+        ordered = sorted(jobs, key=lambda j: (-j.task.size, j.job_id))
+        members = [
+            dc_replace(job.task, index=i, name=f"J{job.job_id}")
+            for i, job in enumerate(ordered)
+        ]
+        batch_seed = int(
+            derive_seed_sequence(7, "batch", 0).generate_state(1, np.uint32)[0]
+        )
+        direct = Simulator(
+            Pack(members), cluster, "ig-el", seed=batch_seed
+        ).run()
+        assert outcome.makespan == pytest.approx(direct.makespan)
+
+    def test_fault_free_mode(self, cluster):
+        jobs = _campaign(n=4, gap=0.0)
+        outcome = OnlineBatchScheduler(
+            jobs, cluster, "ig-el", seed=1, inject_faults=False
+        ).run()
+        assert all(
+            b.result.failures_effective == 0 for b in outcome.batches
+        )
+
+    def test_summary(self, cluster):
+        jobs = _campaign(n=4, gap=0.0)
+        outcome = OnlineBatchScheduler(jobs, cluster, "ig-el", seed=1).run()
+        text = outcome.summary()
+        assert "batch[all]/ig-el" in text and "jobs" in text

@@ -1,0 +1,120 @@
+"""Checkpointing strategies and the resilience model (Eq. 1)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.exceptions import CapacityError, ConfigurationError
+from repro.resilience import (
+    DalyStrategy,
+    FixedPeriodStrategy,
+    ResilienceModel,
+    YoungStrategy,
+)
+from repro.tasks import TaskSpec
+
+
+@pytest.fixture
+def task():
+    return TaskSpec(index=0, size=10_000.0, checkpoint_cost=600.0)
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(processors=32, mtbf=1e7, downtime=60.0)
+
+
+class TestYoung:
+    def test_formula(self):
+        # tau = sqrt(2 mu C) + C  (Eq. 1)
+        tau = YoungStrategy().period(1e6, 100.0)
+        assert math.isclose(tau, math.sqrt(2e8) + 100.0)
+
+    def test_scaling_in_j(self, task, cluster):
+        # With C_{i,j} = C_i/j and mu_{i,j} = mu/j, Young gives tau ~ 1/j.
+        model = ResilienceModel(cluster, YoungStrategy())
+        tau2 = model.period(task, 2)
+        tau8 = model.period(task, 8)
+        assert tau2 / tau8 == pytest.approx(4.0)
+
+    def test_vectorised(self):
+        tau = YoungStrategy().period(np.array([1e6, 1e6]), np.array([100.0, 400.0]))
+        assert tau.shape == (2,)
+        assert tau[1] > tau[0]
+
+    def test_zero_cost_gives_zero_period(self):
+        assert YoungStrategy().period(1e6, 0.0) == 0.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            YoungStrategy().period(0.0, 10.0)
+        with pytest.raises(ConfigurationError):
+            YoungStrategy().period(1e6, -1.0)
+
+    def test_waste_fraction_small_when_c_small(self):
+        waste = YoungStrategy().waste_fraction(1e9, 10.0)
+        assert waste < 0.01
+
+
+class TestDaly:
+    def test_close_to_young_when_c_small(self):
+        mu, c = 1e9, 100.0
+        young = YoungStrategy().period(mu, c)
+        daly = DalyStrategy().period(mu, c)
+        assert daly == pytest.approx(young, rel=0.01)
+
+    def test_degenerate_regime(self):
+        # C >= 2 mu: Daly prescribes tau = mu + C.
+        assert DalyStrategy().period(10.0, 50.0) == pytest.approx(60.0)
+
+    def test_period_exceeds_cost(self):
+        for mu, c in [(1e3, 1.0), (1e6, 1e3), (10.0, 100.0)]:
+            assert DalyStrategy().period(mu, c) > c
+
+
+class TestFixedPeriod:
+    def test_constant_work(self):
+        strategy = FixedPeriodStrategy(500.0)
+        assert strategy.period(1e9, 100.0) == 600.0
+        assert strategy.period(1.0, 100.0) == 600.0
+
+    def test_invalid_work(self):
+        with pytest.raises(ConfigurationError):
+            FixedPeriodStrategy(0.0)
+
+
+class TestResilienceModel:
+    def test_cost_divides(self, task, cluster):
+        model = ResilienceModel(cluster)
+        assert model.cost(task, 4) == 150.0
+
+    def test_recovery_equals_cost(self, task, cluster):
+        # Buddy protocol: R_{i,j} = C_{i,j} (Section 3.1).
+        model = ResilienceModel(cluster)
+        assert model.recovery(task, 8) == model.cost(task, 8)
+
+    def test_task_lambda(self, task, cluster):
+        model = ResilienceModel(cluster)
+        assert model.task_lambda(4) == pytest.approx(4.0 / cluster.mtbf)
+
+    def test_downtime_passthrough(self, cluster):
+        assert ResilienceModel(cluster).downtime == 60.0
+
+    def test_restart_overhead(self, task, cluster):
+        model = ResilienceModel(cluster)
+        assert model.restart_overhead(task, 4) == pytest.approx(60.0 + 150.0)
+
+    def test_default_strategy_is_young(self, cluster):
+        assert isinstance(ResilienceModel(cluster).strategy, YoungStrategy)
+
+    def test_invalid_j(self, task, cluster):
+        model = ResilienceModel(cluster)
+        with pytest.raises(CapacityError):
+            model.cost(task, 0)
+
+    def test_vector_j(self, task, cluster):
+        model = ResilienceModel(cluster)
+        costs = model.cost(task, np.array([2, 4, 8]))
+        assert np.allclose(costs, [300.0, 150.0, 75.0])

@@ -1,0 +1,83 @@
+"""Platform model (Section 3.1)."""
+
+import math
+
+import pytest
+
+from repro.cluster import Cluster, DEFAULT_DOWNTIME, DEFAULT_MTBF_YEARS
+from repro.exceptions import CapacityError, ConfigurationError
+from repro.units import SECONDS_PER_YEAR, years
+
+
+class TestConstruction:
+    def test_defaults(self):
+        cluster = Cluster(processors=10)
+        assert cluster.mtbf == DEFAULT_MTBF_YEARS * SECONDS_PER_YEAR
+        assert cluster.downtime == DEFAULT_DOWNTIME
+
+    def test_with_mtbf_years(self):
+        cluster = Cluster.with_mtbf_years(100, 50.0, downtime=30.0)
+        assert math.isclose(cluster.mtbf, years(50.0))
+        assert cluster.downtime == 30.0
+
+    def test_odd_processors_rejected(self):
+        with pytest.raises(ConfigurationError, match="even"):
+            Cluster(processors=101)
+
+    def test_too_few_processors_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Cluster(processors=0)
+
+    def test_nonpositive_mtbf_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Cluster(processors=4, mtbf=0.0)
+
+    def test_negative_downtime_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Cluster(processors=4, downtime=-1.0)
+
+
+class TestRates:
+    def test_failure_rate_inverse_of_mtbf(self):
+        cluster = Cluster(processors=4, mtbf=200.0)
+        assert math.isclose(cluster.failure_rate, 1.0 / 200.0)
+
+    def test_platform_rate_scales_with_p(self):
+        cluster = Cluster(processors=10, mtbf=100.0)
+        assert math.isclose(cluster.platform_failure_rate, 0.1)
+
+    def test_paper_intro_example(self):
+        # "even if each node has an MTBF of 120 years, we expect a failure
+        #  every 120/p years" — Section 1.
+        cluster = Cluster.with_mtbf_years(10**6, 120.0)
+        platform_mtbf_hours = (1.0 / cluster.platform_failure_rate) / 3600.0
+        assert platform_mtbf_hours == pytest.approx(1.05, rel=0.01)
+
+
+class TestTaskMtbf:
+    def test_task_mtbf_divides(self):
+        cluster = Cluster(processors=10, mtbf=100.0)
+        assert math.isclose(cluster.task_mtbf(4), 25.0)
+
+    def test_task_mtbf_one_processor(self):
+        cluster = Cluster(processors=10, mtbf=100.0)
+        assert cluster.task_mtbf(1) == 100.0
+
+    def test_task_mtbf_invalid_count(self):
+        cluster = Cluster(processors=10)
+        with pytest.raises(CapacityError):
+            cluster.task_mtbf(0)
+
+    def test_task_mtbf_exceeds_platform(self):
+        cluster = Cluster(processors=10)
+        with pytest.raises(CapacityError):
+            cluster.task_mtbf(11)
+
+
+class TestValidation:
+    def test_allocation_total_ok(self):
+        Cluster(processors=10).validate_allocation_total(10)
+
+    def test_allocation_total_exceeded(self):
+        with pytest.raises(CapacityError):
+            Cluster(processors=10).validate_allocation_total(11)

@@ -1,0 +1,169 @@
+"""Bipartite edge colouring (König's theorem, Section 3.3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    bipartite_edge_coloring,
+    complete_bipartite_coloring,
+    redistribution_rounds,
+    transfer_schedule,
+    validate_coloring,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestCompleteBipartite:
+    @pytest.mark.parametrize("a,b", [(1, 1), (2, 3), (4, 2), (5, 5), (1, 7)])
+    def test_round_count_is_max_degree(self, a, b):
+        rounds = complete_bipartite_coloring(a, b)
+        assert len(rounds) == max(a, b)
+
+    @pytest.mark.parametrize("a,b", [(2, 3), (4, 2), (6, 6), (3, 8)])
+    def test_valid_coloring(self, a, b):
+        assert validate_coloring(complete_bipartite_coloring(a, b))
+
+    @pytest.mark.parametrize("a,b", [(2, 3), (4, 2), (6, 6)])
+    def test_covers_all_edges(self, a, b):
+        edges = {e for r in complete_bipartite_coloring(a, b) for e in r}
+        assert edges == {(s, r) for s in range(a) for r in range(b)}
+
+    def test_empty_side_rejected(self):
+        with pytest.raises(ConfigurationError):
+            complete_bipartite_coloring(0, 3)
+
+
+class TestTransferSchedule:
+    def test_paper_figure3(self):
+        # j=4 -> k=6: K_{4,2}, 4 rounds.
+        schedule = transfer_schedule(4, 6)
+        assert len(schedule) == 4
+        assert validate_coloring(schedule)
+
+    @pytest.mark.parametrize(
+        "j,k", [(2, 4), (4, 6), (2, 12), (10, 4), (6, 2), (8, 10)]
+    )
+    def test_matches_round_formula(self, j, k):
+        assert len(transfer_schedule(j, k)) == redistribution_rounds(j, k)
+
+    def test_no_move(self):
+        assert transfer_schedule(4, 4) == []
+
+    def test_shrink_edges_cover_leavers_times_stayers(self):
+        j, k = 6, 2  # 4 leavers, 2 stayers
+        edges = {e for r in transfer_schedule(j, k) for e in r}
+        assert edges == {(s, r) for s in range(4) for r in range(2)}
+
+    def test_invalid_counts(self):
+        with pytest.raises(ConfigurationError):
+            transfer_schedule(0, 4)
+
+
+class TestGeneralColoring:
+    def test_empty_graph(self):
+        assert bipartite_edge_coloring(3, 3, []) == {}
+
+    def test_single_edge(self):
+        colouring = bipartite_edge_coloring(1, 1, [(0, 0)])
+        assert colouring == {(0, 0): 0}
+
+    def test_path_graph_two_colors(self):
+        # path u0-v0-u1-v1: max degree 2
+        edges = [(0, 0), (1, 0), (1, 1)]
+        colouring = bipartite_edge_coloring(2, 2, edges)
+        assert max(colouring.values()) <= 1
+        self._assert_proper(edges, colouring)
+
+    def test_complete_bipartite_via_general(self):
+        edges = [(u, v) for u in range(4) for v in range(4)]
+        colouring = bipartite_edge_coloring(4, 4, edges)
+        assert max(colouring.values()) <= 3  # Delta = 4 -> colors 0..3
+        self._assert_proper(edges, colouring)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_bipartite_uses_delta_colors(self, seed):
+        rng = np.random.default_rng(seed)
+        left, right = 6, 7
+        all_edges = [(u, v) for u in range(left) for v in range(right)]
+        pick = rng.random(len(all_edges)) < 0.4
+        edges = [e for e, chosen in zip(all_edges, pick) if chosen]
+        if not edges:
+            pytest.skip("empty random graph")
+        colouring = bipartite_edge_coloring(left, right, edges)
+        degree = self._max_degree(edges, left, right)
+        assert max(colouring.values()) + 1 <= degree
+        self._assert_proper(edges, colouring)
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bipartite_edge_coloring(2, 2, [(2, 0)])
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_every_insertion_order_terminates_and_is_proper(self, seed):
+        """Regression: the Kempe-chain flip used to corrupt its own path.
+
+        Flipping *while walking* overwrote the continuation record at the
+        next vertex, sending the walk into an endless ping-pong for some
+        insertion orders (exposed only under certain PYTHONHASHSEEDs).
+        Shuffling the insertion order deterministically exercises many
+        long flip paths regardless of hash randomisation.
+        """
+        rng = np.random.default_rng(seed)
+        # a long path graph maximises flip-path lengths
+        left = right = 12
+        edges = []
+        for i in range(left):
+            edges.append((i, i))
+            if i + 1 < right:
+                edges.append((i, i + 1))
+        order = rng.permutation(len(edges))
+        shuffled = [edges[i] for i in order]
+        colouring = bipartite_edge_coloring(left, right, shuffled)
+        assert max(colouring.values()) <= 1  # path graph: Delta = 2
+        self._assert_proper(shuffled, colouring)
+
+    def test_dense_random_graphs_many_orders(self):
+        """Wider regression net: dense graphs, repeated shuffles."""
+        rng = np.random.default_rng(123)
+        all_edges = [(u, v) for u in range(8) for v in range(8)]
+        for _ in range(10):
+            pick = rng.random(len(all_edges)) < 0.6
+            edges = [e for e, chosen in zip(all_edges, pick) if chosen]
+            if not edges:
+                continue
+            order = rng.permutation(len(edges))
+            shuffled = [edges[i] for i in order]
+            colouring = bipartite_edge_coloring(8, 8, shuffled)
+            degree = self._max_degree(shuffled, 8, 8)
+            assert max(colouring.values()) + 1 <= degree
+            self._assert_proper(shuffled, colouring)
+
+    @staticmethod
+    def _max_degree(edges, left, right):
+        deg_l = [0] * left
+        deg_r = [0] * right
+        for u, v in edges:
+            deg_l[u] += 1
+            deg_r[v] += 1
+        return max(max(deg_l), max(deg_r))
+
+    @staticmethod
+    def _assert_proper(edges, colouring):
+        assert set(colouring) == set(edges)
+        seen = set()
+        for (u, v), colour in colouring.items():
+            assert ("L", u, colour) not in seen
+            assert ("R", v, colour) not in seen
+            seen.add(("L", u, colour))
+            seen.add(("R", v, colour))
+
+
+class TestValidateColoring:
+    def test_detects_sender_clash(self):
+        assert not validate_coloring([[(0, 0), (0, 1)]])
+
+    def test_detects_receiver_clash(self):
+        assert not validate_coloring([[(0, 0), (1, 0)]])
+
+    def test_accepts_matching(self):
+        assert validate_coloring([[(0, 0), (1, 1)], [(0, 1), (1, 0)]])

@@ -1,0 +1,97 @@
+"""Failure inter-arrival distributions."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.resilience import (
+    ExponentialFaults,
+    LogNormalFaults,
+    TraceFaults,
+    WeibullFaults,
+)
+
+
+class TestExponential:
+    def test_mean_parameter(self):
+        assert ExponentialFaults(100.0).mean() == 100.0
+
+    def test_sample_mean_statistical(self, rng):
+        dist = ExponentialFaults(50.0)
+        draws = [dist.sample(rng, 0) for _ in range(4000)]
+        assert np.mean(draws) == pytest.approx(50.0, rel=0.1)
+
+    def test_sample_initial_shape(self, rng):
+        initial = ExponentialFaults(10.0).sample_initial(rng, 7)
+        assert initial.shape == (7,)
+        assert np.all(initial > 0)
+
+    def test_invalid_mtbf(self):
+        with pytest.raises(ConfigurationError):
+            ExponentialFaults(0.0)
+
+
+class TestWeibull:
+    def test_mean_matches_request(self, rng):
+        dist = WeibullFaults(80.0, shape=0.7)
+        draws = dist.scale * rng.weibull(dist.shape, size=20000)
+        assert np.mean(draws) == pytest.approx(80.0, rel=0.1)
+
+    def test_shape_one_equals_exponential_scale(self):
+        dist = WeibullFaults(100.0, shape=1.0)
+        assert math.isclose(dist.scale, 100.0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            WeibullFaults(-1.0)
+        with pytest.raises(ConfigurationError):
+            WeibullFaults(10.0, shape=0.0)
+
+    def test_sample_positive(self, rng):
+        dist = WeibullFaults(10.0, shape=0.5)
+        assert all(dist.sample(rng, 0) > 0 for _ in range(50))
+
+
+class TestLogNormal:
+    def test_mean_matches_request(self, rng):
+        dist = LogNormalFaults(60.0, sigma=0.8)
+        draws = [dist.sample(rng, 0) for _ in range(20000)]
+        assert np.mean(draws) == pytest.approx(60.0, rel=0.1)
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            LogNormalFaults(0.0)
+        with pytest.raises(ConfigurationError):
+            LogNormalFaults(10.0, sigma=0.0)
+
+
+class TestTrace:
+    def test_replays_recorded_times(self, rng):
+        dist = TraceFaults([[5.0, 12.0], [3.0]])
+        initial = dist.sample_initial(rng, 2)
+        assert initial[0] == 5.0
+        assert initial[1] == 3.0
+        # next inter-arrival on proc 0 is 12 - 5
+        assert dist.sample(rng, 0) == pytest.approx(7.0)
+
+    def test_exhausted_trace_returns_inf(self, rng):
+        dist = TraceFaults([[5.0]])
+        dist.sample_initial(rng, 1)
+        assert math.isinf(dist.sample(rng, 0))
+
+    def test_out_of_range_processor(self, rng):
+        dist = TraceFaults([[5.0]])
+        assert math.isinf(dist.sample(rng, 3))
+
+    def test_non_increasing_trace_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TraceFaults([[5.0, 5.0]])
+
+    def test_mean_of_gaps(self, rng):
+        dist = TraceFaults([[1.0, 3.0, 7.0]])
+        assert dist.mean() == pytest.approx(3.0)
+
+    def test_empty_traces_mean_inf(self):
+        assert math.isinf(TraceFaults([[]]).mean())

@@ -1,0 +1,93 @@
+"""Tests for repro.experiments.comparison (compare_policies)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments import ScenarioConfig, compare_policies
+
+
+@pytest.fixture(scope="module")
+def outcome():
+    config = ScenarioConfig(
+        n=5, p=14, m_inf=4_000, m_sup=10_000, mtbf_years=0.02, replicates=5
+    )
+    return compare_policies(
+        config, policies=("ig-el", "stf-el"), seed=3
+    )
+
+
+class TestComparePolicies:
+    def test_policies_listed(self, outcome):
+        assert outcome.policies == ["ig-el", "stf-el"]
+        assert outcome.baseline == "no-redistribution"
+
+    def test_makespans_paired(self, outcome):
+        lengths = {len(v) for v in outcome.makespans.values()}
+        assert lengths == {5}
+
+    def test_ratios_match_makespans(self, outcome):
+        baseline = outcome.makespans["no-redistribution"]
+        for name in outcome.policies:
+            expected = outcome.makespans[name] / baseline
+            np.testing.assert_allclose(
+                outcome.comparisons[name].ratios, expected
+            )
+
+    def test_heuristics_beat_baseline_here(self, outcome):
+        # tight platform + failures: redistribution wins on average
+        for name in outcome.policies:
+            assert outcome.comparisons[name].mean_ratio < 1.0
+
+    def test_best_policy_minimises_ratio(self, outcome):
+        best = outcome.best_policy()
+        assert outcome.comparisons[best].mean_ratio == min(
+            cmp.mean_ratio for cmp in outcome.comparisons.values()
+        )
+
+    def test_render_structure(self, outcome):
+        text = outcome.render()
+        assert "policy comparison vs 'no-redistribution'" in text
+        assert "ig-el" in text and "95% CI" in text
+        # baseline row present with unit ratio
+        assert "1.0000" in text
+
+
+class TestValidation:
+    def _config(self):
+        return ScenarioConfig(
+            n=4, p=10, m_inf=4_000, m_sup=10_000, replicates=2
+        )
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ConfigurationError, match="unknown policy"):
+            compare_policies(self._config(), policies=("mystery",))
+
+    def test_rejects_unknown_baseline(self):
+        with pytest.raises(ConfigurationError, match="unknown policy"):
+            compare_policies(
+                self._config(), policies=("ig-el",), baseline="mystery"
+            )
+
+    def test_rejects_baseline_only(self):
+        with pytest.raises(ConfigurationError, match="non-baseline"):
+            compare_policies(
+                self._config(), policies=("no-redistribution",)
+            )
+
+    def test_baseline_deduplicated(self):
+        outcome = compare_policies(
+            self._config(),
+            policies=("no-redistribution", "ig-el"),
+            seed=1,
+        )
+        assert outcome.policies == ["ig-el"]
+
+    def test_fault_free_mode(self):
+        outcome = compare_policies(
+            self._config(), policies=("end-local",), faults=False, seed=1
+        )
+        # fault-free: end-of-task redistribution can only help
+        assert outcome.comparisons["end-local"].mean_ratio <= 1.0 + 1e-9

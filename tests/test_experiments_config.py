@@ -1,0 +1,117 @@
+"""Scenario configuration and scaling presets."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments import SCALES, Scale, ScenarioConfig, get_scale
+from repro.tasks import PAPER_M_INF, PAPER_M_SUP
+
+
+class TestScenarioConfig:
+    def test_paper_defaults(self):
+        config = ScenarioConfig()
+        assert config.n == 100
+        assert config.p == 1000
+        assert config.m_inf == PAPER_M_INF
+        assert config.m_sup == PAPER_M_SUP
+        assert config.checkpoint_unit_cost == 1.0
+        assert config.seq_fraction == 0.08
+        assert config.mtbf_years == 100.0
+        assert config.replicates == 50
+
+    def test_p_less_than_2n_rejected(self):
+        with pytest.raises(ConfigurationError, match="2n"):
+            ScenarioConfig(n=100, p=150)
+
+    def test_invalid_replicates(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(replicates=0)
+
+    def test_invalid_seq_fraction(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(seq_fraction=2.0)
+
+    def test_invalid_mtbf(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig(mtbf_years=0.0)
+
+    def test_build_cluster(self):
+        cluster = ScenarioConfig(n=10, p=40, mtbf_years=5.0).build_cluster()
+        assert cluster.processors == 40
+
+    def test_build_pack_deterministic(self):
+        config = ScenarioConfig(n=10, p=40)
+        a = config.build_pack(seed=1).sizes
+        b = config.build_pack(seed=1).sizes
+        assert list(a) == list(b)
+
+    def test_build_pack_respects_unit_cost(self):
+        config = ScenarioConfig(n=5, p=20, checkpoint_unit_cost=0.1)
+        pack = config.build_pack(seed=1)
+        assert pack[0].checkpoint_cost == pytest.approx(0.1 * pack[0].size)
+
+    def test_build_pack_respects_seq_fraction(self):
+        config = ScenarioConfig(n=5, p=20, seq_fraction=0.3)
+        pack = config.build_pack(seed=1)
+        assert pack[0].profile.seq_fraction == 0.3
+
+    def test_describe_mentions_parameters(self):
+        text = ScenarioConfig(n=7, p=30).describe()
+        assert "n=7" in text and "p=30" in text
+
+
+class TestScales:
+    def test_registry(self):
+        assert set(SCALES) == {"paper", "small", "tiny"}
+
+    def test_get_scale(self):
+        assert get_scale("tiny").name == "tiny"
+
+    def test_unknown_scale(self):
+        with pytest.raises(ConfigurationError):
+            get_scale("huge")
+
+    def test_paper_scale_identity_except_replicates(self):
+        config = ScenarioConfig(n=100, p=1000, replicates=50)
+        scaled = get_scale("paper").apply(config)
+        assert scaled.n == config.n
+        assert scaled.p == config.p
+        assert scaled.m_sup == config.m_sup
+
+    def test_tiny_scale_shrinks(self):
+        config = ScenarioConfig()
+        scaled = get_scale("tiny").apply(config)
+        assert scaled.n < config.n
+        assert scaled.p < config.p
+        assert scaled.m_sup < config.m_sup
+        assert scaled.p >= 2 * scaled.n
+
+    def test_scaled_mtbf_preserves_relative_sweep(self):
+        # Two configs differing only in MTBF keep their ratio after scaling.
+        scale = get_scale("small")
+        a = scale.apply(ScenarioConfig(mtbf_years=10.0))
+        b = scale.apply(ScenarioConfig(mtbf_years=100.0))
+        assert b.mtbf_years / a.mtbf_years == pytest.approx(10.0)
+
+    def test_scaled_p_stays_even_and_feasible(self):
+        scale = get_scale("tiny")
+        for p in (250, 1000, 5000):
+            scaled = scale.apply(ScenarioConfig(n=100, p=p))
+            assert scaled.p % 2 == 0
+            assert scaled.p >= 2 * scaled.n
+
+    def test_subsample_spacing(self):
+        scale = Scale("test", sweep_points=3)
+        assert scale.subsample([1, 2, 3, 4, 5]) == [1, 3, 5]
+
+    def test_subsample_no_limit(self):
+        scale = Scale("test", sweep_points=None)
+        assert scale.subsample([1, 2, 3]) == [1, 2, 3]
+
+    def test_subsample_fewer_values_than_points(self):
+        scale = Scale("test", sweep_points=5)
+        assert scale.subsample([1, 2]) == [1, 2]
+
+    def test_subsample_dedupes(self):
+        scale = Scale("test", sweep_points=4)
+        assert scale.subsample([1, 2]) == [1, 2]

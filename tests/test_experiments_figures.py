@@ -1,0 +1,117 @@
+"""Figure registry and reproduction runs."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments import (
+    FIGURES,
+    FigureResult,
+    TraceFigureResult,
+    list_figures,
+    run_figure,
+)
+from repro.experiments.config import Scale
+
+
+#: cheap preset for registry smoke runs
+MICRO = Scale(
+    "micro",
+    task_factor=0.04,
+    proc_factor=0.04,
+    size_factor=0.003,
+    replicates=1,
+    sweep_points=2,
+)
+
+
+class TestRegistry:
+    def test_all_paper_figures_present(self):
+        expected = {
+            "fig5a", "fig5b", "fig6a", "fig6b", "fig7", "fig8", "fig9",
+            "fig10", "fig11", "fig12", "fig13a", "fig13b", "fig13c", "fig14",
+        }
+        assert set(FIGURES) == expected
+
+    def test_list_figures_sorted(self):
+        assert list_figures() == sorted(FIGURES)
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_figure("fig99", scale="tiny")
+
+    def test_fault_free_figures_use_three_series(self):
+        for name in ("fig5a", "fig5b", "fig6a", "fig6b"):
+            assert len(FIGURES[name].series) == 3
+
+    def test_fault_figures_use_six_series(self):
+        for name in ("fig7", "fig8", "fig10", "fig11", "fig12", "fig14"):
+            assert len(FIGURES[name].series) == 6
+
+    def test_fig9_is_trace_kind(self):
+        assert FIGURES["fig9"].kind == "trace"
+
+    def test_points_apply_scale(self):
+        points = FIGURES["fig8"].points(MICRO)
+        assert len(points) == 2
+        for x, config in points:
+            assert x == config.p
+            assert config.replicates == 1
+
+    def test_mtbf_sweep_keeps_nominal_x(self):
+        points = FIGURES["fig10"].points(MICRO)
+        xs = [x for x, _ in points]
+        assert xs[0] == 5.0  # nominal paper value, not the scaled MTBF
+
+    def test_fig13_panels_vary_cost(self):
+        assert FIGURES["fig13a"].base.checkpoint_unit_cost == 1.0
+        assert FIGURES["fig13b"].base.checkpoint_unit_cost == 0.1
+        assert FIGURES["fig13c"].base.checkpoint_unit_cost == 0.01
+
+
+class TestSweepRun:
+    def test_fig5a_runs_and_normalises(self):
+        result = run_figure("fig5a", scale=MICRO, seed=0)
+        assert isinstance(result, FigureResult)
+        assert result.x_values == sorted(result.x_values)
+        assert np.allclose(result.normalized["no-rc"], 1.0)
+        for key in ("rc-greedy", "rc-local"):
+            assert all(v > 0 for v in result.normalized[key])
+
+    def test_fig12_sweeps_cost(self):
+        result = run_figure("fig12", scale=MICRO, seed=0)
+        assert result.x_values[0] == pytest.approx(0.01)
+
+    def test_fig14_sweeps_fraction(self):
+        result = run_figure("fig14", scale=MICRO, seed=0)
+        assert 0.0 in result.x_values
+
+    def test_row_accessor(self):
+        result = run_figure("fig5a", scale=MICRO, seed=0)
+        row = result.row(0)
+        assert set(row) == set(result.normalized)
+
+    def test_means_are_seconds(self):
+        result = run_figure("fig5a", scale=MICRO, seed=0)
+        for key in result.means:
+            assert all(v > 0 for v in result.means[key])
+
+
+class TestTraceRun:
+    def test_fig9_returns_trace_result(self):
+        result = run_figure("fig9", scale=MICRO, seed=0)
+        assert isinstance(result, TraceFigureResult)
+        assert set(result.series) == {"no-rc", "ig", "stf"}
+
+    def test_fig9_series_shapes(self):
+        result = run_figure("fig9", scale=MICRO, seed=0)
+        for data in result.series.values():
+            assert (
+                data["failure_times"].shape
+                == data["makespan"].shape
+                == data["sigma_std"].shape
+            )
+
+    def test_fig9_final_makespans_positive(self):
+        result = run_figure("fig9", scale=MICRO, seed=0)
+        assert all(v > 0 for v in result.final_makespans.values())

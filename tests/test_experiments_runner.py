@@ -1,0 +1,95 @@
+"""Replicated scenario runner."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments import (
+    FAULT_FREE_SERIES,
+    FAULT_SERIES,
+    ScenarioConfig,
+    Series,
+    run_scenario,
+)
+
+
+@pytest.fixture
+def tiny_config():
+    return ScenarioConfig(
+        n=4, p=16, m_inf=6000, m_sup=10000, mtbf_years=0.02, replicates=2
+    )
+
+
+class TestSeriesDefinitions:
+    def test_fault_series_has_six_curves(self):
+        assert len(FAULT_SERIES) == 6
+        assert FAULT_SERIES[0].key == "no-rc"
+        assert FAULT_SERIES[-1].faults is False  # fault-free best case
+
+    def test_fault_free_series_has_three_curves(self):
+        assert len(FAULT_FREE_SERIES) == 3
+        assert all(not s.faults for s in FAULT_FREE_SERIES)
+
+    def test_labels_match_paper(self):
+        labels = {s.label for s in FAULT_SERIES}
+        assert "IteratedGreedy-EndGreedy" in labels
+        assert "Fault context without RC" in labels
+
+
+class TestRunScenario:
+    def test_all_series_present(self, tiny_config):
+        outcome = run_scenario(tiny_config, FAULT_FREE_SERIES, seed=0)
+        assert set(outcome.makespans) == {s.key for s in FAULT_FREE_SERIES}
+
+    def test_replicate_counts(self, tiny_config):
+        outcome = run_scenario(tiny_config, FAULT_FREE_SERIES, seed=0)
+        for values in outcome.makespans.values():
+            assert values.shape == (tiny_config.replicates,)
+
+    def test_baseline_normalisation_is_one(self, tiny_config):
+        outcome = run_scenario(tiny_config, FAULT_FREE_SERIES, seed=0)
+        assert outcome.normalized("no-rc") == pytest.approx(1.0)
+
+    def test_normalized_row_contains_all_keys(self, tiny_config):
+        outcome = run_scenario(tiny_config, FAULT_FREE_SERIES, seed=0)
+        row = outcome.normalized_row()
+        assert set(row) == set(outcome.makespans)
+
+    def test_deterministic_across_calls(self, tiny_config):
+        a = run_scenario(tiny_config, FAULT_FREE_SERIES, seed=3)
+        b = run_scenario(tiny_config, FAULT_FREE_SERIES, seed=3)
+        for key in a.makespans:
+            assert np.array_equal(a.makespans[key], b.makespans[key])
+
+    def test_seed_changes_results(self, tiny_config):
+        a = run_scenario(tiny_config, FAULT_FREE_SERIES, seed=3)
+        b = run_scenario(tiny_config, FAULT_FREE_SERIES, seed=4)
+        assert not np.array_equal(a.makespans["no-rc"], b.makespans["no-rc"])
+
+    def test_fault_series_runs(self, tiny_config):
+        outcome = run_scenario(tiny_config, FAULT_SERIES, seed=0)
+        # The fault-free best case must beat the fault-context baseline.
+        assert outcome.normalized("ff-rc") <= 1.0
+
+    def test_duplicate_keys_rejected(self, tiny_config):
+        duplicated = (
+            Series("x", "X", "no-redistribution", False),
+            Series("x", "X2", "end-local", False),
+        )
+        with pytest.raises(ConfigurationError):
+            run_scenario(tiny_config, duplicated)
+
+    def test_missing_baseline_rejected(self, tiny_config):
+        series = (Series("only", "Only", "end-local", False),)
+        with pytest.raises(ConfigurationError):
+            run_scenario(tiny_config, series, baseline_key="no-rc")
+
+    def test_keep_results(self, tiny_config):
+        outcome = run_scenario(
+            tiny_config, FAULT_FREE_SERIES, seed=0, keep_results=True
+        )
+        assert len(outcome.results["no-rc"]) == tiny_config.replicates
+
+    def test_results_dropped_by_default(self, tiny_config):
+        outcome = run_scenario(tiny_config, FAULT_FREE_SERIES, seed=0)
+        assert outcome.results == {}

@@ -1,0 +1,99 @@
+"""Fault injection streams."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.resilience import (
+    ExponentialFaults,
+    FaultInjector,
+    NullFaultInjector,
+    TraceFaults,
+)
+from repro.rng import derive_rng
+
+
+class TestOrdering:
+    def test_pops_in_time_order(self):
+        injector = FaultInjector.exponential(16, 100.0, derive_rng(0, "f"))
+        times = [injector.pop()[0] for _ in range(200)]
+        assert times == sorted(times)
+
+    def test_peek_matches_pop(self):
+        injector = FaultInjector.exponential(4, 10.0, derive_rng(0, "f"))
+        peeked = injector.peek()
+        assert injector.pop() == peeked
+
+    def test_peek_does_not_consume(self):
+        injector = FaultInjector.exponential(4, 10.0, derive_rng(0, "f"))
+        assert injector.peek() == injector.peek()
+
+
+class TestDeterminism:
+    def test_same_rng_same_stream(self):
+        a = FaultInjector.exponential(8, 5.0, derive_rng(3, "f"))
+        b = FaultInjector.exponential(8, 5.0, derive_rng(3, "f"))
+        for _ in range(50):
+            assert a.pop() == b.pop()
+
+    def test_different_seed_different_stream(self):
+        a = FaultInjector.exponential(8, 5.0, derive_rng(3, "f"))
+        b = FaultInjector.exponential(8, 5.0, derive_rng(4, "f"))
+        assert [a.pop() for _ in range(5)] != [b.pop() for _ in range(5)]
+
+
+class TestStreamProperties:
+    def test_all_processors_fail_eventually(self):
+        injector = FaultInjector.exponential(6, 1.0, derive_rng(0, "f"))
+        seen = {injector.pop()[1] for _ in range(300)}
+        assert seen == set(range(6))
+
+    def test_platform_rate_statistical(self):
+        # p processors of rate 1/mtbf give ~ p * horizon / mtbf failures.
+        p, mtbf, horizon = 20, 50.0, 500.0
+        injector = FaultInjector.exponential(p, mtbf, derive_rng(1, "f"))
+        count = sum(1 for _ in injector.failures_until(horizon))
+        expected = p * horizon / mtbf
+        assert count == pytest.approx(expected, rel=0.25)
+
+    def test_redraw_after_pop(self):
+        injector = FaultInjector.exponential(2, 10.0, derive_rng(0, "f"))
+        before = injector.draws
+        injector.pop()
+        assert injector.draws == before + 1
+
+    def test_failures_until_respects_horizon(self):
+        injector = FaultInjector.exponential(4, 1.0, derive_rng(0, "f"))
+        for time, _ in injector.failures_until(10.0):
+            assert time < 10.0
+        assert injector.peek()[0] >= 10.0
+
+    def test_invalid_processor_count(self):
+        with pytest.raises(ConfigurationError):
+            FaultInjector.exponential(0, 1.0, derive_rng(0, "f"))
+
+
+class TestTraceBacked:
+    def test_trace_exhaustion_ends_stream(self):
+        dist = TraceFaults([[1.0, 2.0], [1.5]])
+        injector = FaultInjector(2, dist, derive_rng(0, "f"))
+        events = [injector.pop() for _ in range(3)]
+        assert [t for t, _ in events] == [1.0, 1.5, 2.0]
+        assert injector.peek() == (math.inf, -1)
+
+    def test_pop_after_exhaustion(self):
+        dist = TraceFaults([[1.0]])
+        injector = FaultInjector(1, dist, derive_rng(0, "f"))
+        injector.pop()
+        assert injector.pop() == (math.inf, -1)
+
+
+class TestNullInjector:
+    def test_never_fails(self):
+        injector = NullFaultInjector()
+        assert injector.peek() == (math.inf, -1)
+        assert injector.pop() == (math.inf, -1)
+        assert list(injector.failures_until(1e12)) == []
+        assert injector.draws == 0

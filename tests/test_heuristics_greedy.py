@@ -1,0 +1,144 @@
+"""IteratedGreedy / EndGreedy (Algorithm 5 and the Section 5.2 variant)."""
+
+import pytest
+
+from repro.core import EndGreedy, IteratedGreedy, TaskRuntime, optimal_schedule
+from repro.core.heuristics import greedy_rebuild
+from repro.exceptions import CapacityError
+
+
+def make_runtimes(model, p):
+    sigma = optimal_schedule(model, p)
+    runtimes = []
+    for i, spec in enumerate(model.pack):
+        rt = TaskRuntime(spec)
+        rt.assign(sigma[i])
+        rt.t_expected = model.expected_time(i, sigma[i], 1.0)
+        runtimes.append(rt)
+    return runtimes
+
+
+def strike(model, rt, t):
+    """Roll a failure onto ``rt`` at time ``t`` (Alg. 2 lines 23-26)."""
+    from repro.core import remaining_after_failure
+
+    rt.alpha = remaining_after_failure(
+        model, rt.index, rt.sigma, rt.alpha, t, rt.t_last
+    )
+    rt.failures += 1
+    rt.t_last = t + model.restart_overhead(rt.index, rt.sigma)
+    rt.t_expected = rt.t_last + model.expected_time(rt.index, rt.sigma, rt.alpha)
+
+
+class TestGreedyRebuildInvariants:
+    def test_capacity_conserved(self, model):
+        runtimes = make_runtimes(model, 40)
+        capacity = sum(rt.sigma for rt in runtimes)
+        t = min(rt.t_expected for rt in runtimes) * 0.4
+        greedy_rebuild(model, t, runtimes, capacity)
+        assert sum(rt.sigma for rt in runtimes) <= capacity
+        assert all(rt.sigma >= 2 and rt.sigma % 2 == 0 for rt in runtimes)
+
+    def test_empty_tasks(self, model):
+        assert greedy_rebuild(model, 0.0, [], 10) == []
+
+    def test_capacity_too_small(self, model):
+        runtimes = make_runtimes(model, 40)
+        with pytest.raises(CapacityError):
+            greedy_rebuild(model, 1.0, runtimes, 2 * len(runtimes) - 2)
+
+    def test_unchanged_tasks_keep_alpha_and_tlast(self, model):
+        runtimes = make_runtimes(model, 40)
+        before = {rt.index: (rt.sigma, rt.alpha, rt.t_last) for rt in runtimes}
+        t = min(rt.t_expected for rt in runtimes) * 0.4
+        changed = set(
+            greedy_rebuild(model, t, runtimes, sum(rt.sigma for rt in runtimes))
+        )
+        for rt in runtimes:
+            if rt.index not in changed:
+                sigma, alpha, t_last = before[rt.index]
+                assert rt.sigma == sigma
+                assert rt.alpha == alpha
+                assert rt.t_last == t_last
+
+    def test_changed_tasks_pay_redistribution(self, model):
+        runtimes = make_runtimes(model, 40)
+        t = min(rt.t_expected for rt in runtimes) * 0.4
+        changed = greedy_rebuild(
+            model, t, runtimes, sum(rt.sigma for rt in runtimes) + 4
+        )
+        for i in changed:
+            rt = next(r for r in runtimes if r.index == i)
+            assert rt.t_last > t
+            assert rt.redistributions == 1
+
+    def test_rebuild_with_extra_capacity_uses_it(self, model):
+        runtimes = make_runtimes(model, 30)
+        held = sum(rt.sigma for rt in runtimes)
+        t = min(rt.t_expected for rt in runtimes) * 0.3
+        greedy_rebuild(model, t, runtimes, held + 10)
+        assert sum(rt.sigma for rt in runtimes) >= held
+
+    def test_deterministic(self, model):
+        a = make_runtimes(model, 40)
+        b = make_runtimes(model, 40)
+        t = min(rt.t_expected for rt in a) * 0.4
+        ca = greedy_rebuild(model, t, a, 44)
+        cb = greedy_rebuild(model, t, b, 44)
+        assert ca == cb
+        assert [rt.sigma for rt in a] == [rt.sigma for rt in b]
+
+
+class TestIteratedGreedyFailure:
+    def test_faulty_task_handled(self, model):
+        runtimes = make_runtimes(model, 40)
+        faulty = max(runtimes, key=lambda rt: rt.t_expected)
+        t = faulty.t_expected * 0.5
+        strike(model, faulty, t)
+        alpha_before = faulty.alpha
+        IteratedGreedy().apply(model, t, runtimes, 0, faulty.index)
+        # Whatever happened, the faulty task's remaining work is preserved
+        # (it restarts from its last checkpoint, not from the decision
+        # point: alpha can only be what the rollback left).
+        assert faulty.alpha == pytest.approx(alpha_before)
+        assert faulty.t_last >= t + model.downtime
+
+    def test_capacity_includes_free_pool(self, model):
+        runtimes = make_runtimes(model, 30)  # leaves 30-? free... use spare
+        faulty = max(runtimes, key=lambda rt: rt.t_expected)
+        t = faulty.t_expected * 0.5
+        strike(model, faulty, t)
+        held = sum(rt.sigma for rt in runtimes)
+        IteratedGreedy().apply(model, t, runtimes, 10, faulty.index)
+        assert sum(rt.sigma for rt in runtimes) <= held + 10
+
+    def test_faulty_stall_preserved_on_redistribution(self, model):
+        runtimes = make_runtimes(model, 40)
+        faulty = max(runtimes, key=lambda rt: rt.t_expected)
+        t = faulty.t_expected * 0.5
+        strike(model, faulty, t)
+        stall = faulty.t_last - t
+        changed = IteratedGreedy().apply(model, t, runtimes, 0, faulty.index)
+        if faulty.index in changed:
+            # D + R must still be paid before the redistribution (DESIGN 2).
+            assert faulty.t_last >= t + stall
+
+
+class TestEndGreedy:
+    def test_reallocates_released_processors(self, model):
+        runtimes = make_runtimes(model, 40)
+        ended, survivors = runtimes[0], runtimes[1:]
+        t = min(rt.t_expected for rt in runtimes) * 0.5
+        held_before = sum(rt.sigma for rt in survivors)
+        EndGreedy().apply(model, t, survivors, ended.sigma)
+        assert sum(rt.sigma for rt in survivors) <= held_before + ended.sigma
+
+    def test_never_leaves_task_below_pair(self, model):
+        runtimes = make_runtimes(model, 40)
+        survivors = runtimes[1:]
+        t = min(rt.t_expected for rt in runtimes) * 0.5
+        EndGreedy().apply(model, t, survivors, runtimes[0].sigma)
+        assert all(rt.sigma >= 2 for rt in survivors)
+
+    def test_empty_task_list(self, model):
+        assert EndGreedy().apply(model, 1.0, [], 6) == []

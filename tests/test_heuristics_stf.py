@@ -1,0 +1,165 @@
+"""ShortestTasksFirst (Algorithm 4)."""
+
+import pytest
+
+from repro.core import ShortestTasksFirst, TaskRuntime, optimal_schedule
+from repro.core.state import TaskRuntime as _TaskRuntime  # noqa: F401
+
+
+def make_runtimes(model, p):
+    sigma = optimal_schedule(model, p)
+    runtimes = []
+    for i, spec in enumerate(model.pack):
+        rt = TaskRuntime(spec)
+        rt.assign(sigma[i])
+        rt.t_expected = model.expected_time(i, sigma[i], 1.0)
+        runtimes.append(rt)
+    return runtimes
+
+
+def strike(model, rt, t):
+    from repro.core import remaining_after_failure
+
+    rt.alpha = remaining_after_failure(
+        model, rt.index, rt.sigma, rt.alpha, t, rt.t_last
+    )
+    rt.failures += 1
+    rt.t_last = t + model.restart_overhead(rt.index, rt.sigma)
+    rt.t_expected = rt.t_last + model.expected_time(rt.index, rt.sigma, rt.alpha)
+
+
+@pytest.fixture
+def struck(model):
+    runtimes = make_runtimes(model, 40)
+    faulty = max(runtimes, key=lambda rt: rt.t_expected)
+    t = faulty.t_expected * 0.5
+    strike(model, faulty, t)
+    return runtimes, faulty, t
+
+
+class TestPhaseOne:
+    def test_absorbs_free_processors_first(self, model, struck):
+        runtimes, faulty, t = struck
+        sigma_before = faulty.sigma
+        others_before = {
+            rt.index: rt.sigma for rt in runtimes if rt is not faulty
+        }
+        ShortestTasksFirst().apply(model, t, runtimes, 8, faulty.index)
+        # With plenty of free processors the faulty task grows...
+        assert faulty.sigma >= sigma_before
+        # ... and phase 2 only runs if the free pool wasn't enough, so no
+        # other task can have *gained* processors.
+        for rt in runtimes:
+            if rt is not faulty:
+                assert rt.sigma <= others_before[rt.index]
+
+    def test_no_free_no_donors_is_noop(self, small_cluster):
+        """Every other task at its pair minimum: nothing to steal."""
+        from repro.resilience import ExpectedTimeModel
+        from repro.tasks import uniform_pack
+
+        pack = uniform_pack(5, m_inf=6000, m_sup=10000, seed=0)
+        model = ExpectedTimeModel(pack, small_cluster)
+        runtimes = []
+        for i, spec in enumerate(pack):
+            rt = TaskRuntime(spec)
+            rt.assign(2)
+            rt.t_expected = model.expected_time(i, 2, 1.0)
+            runtimes.append(rt)
+        faulty = max(runtimes, key=lambda rt: rt.t_expected)
+        t = faulty.t_expected * 0.5
+        strike(model, faulty, t)
+        changed = ShortestTasksFirst().apply(model, t, runtimes, 0, faulty.index)
+        assert changed == []
+        assert all(rt.sigma == 2 for rt in runtimes)
+
+
+class TestPhaseTwo:
+    def test_steals_from_short_tasks(self, model, struck):
+        runtimes, faulty, t = struck
+        donors_before = {
+            rt.index: rt.sigma for rt in runtimes if rt is not faulty
+        }
+        changed = ShortestTasksFirst().apply(model, t, runtimes, 0, faulty.index)
+        shrunk = [
+            rt
+            for rt in runtimes
+            if rt is not faulty and rt.sigma < donors_before[rt.index]
+        ]
+        if faulty.index in changed and faulty.sigma > 0:
+            # Whatever the faulty task gained beyond the (empty) free pool
+            # came from donors.
+            gained = faulty.sigma - donors_before.get(faulty.index, faulty.sigma)
+            donated = sum(
+                donors_before[rt.index] - rt.sigma for rt in shrunk
+            )
+            if gained > 0:
+                assert donated >= gained
+
+    def test_donations_improve_the_faulty_task(self, model, struck):
+        """Alg. 4 only approves moves that pay off *at decision time*.
+
+        Each donation is checked against the faulty task's expected time
+        *before* that move (line 32); once the move lands, ``tU_f``
+        improves, so a donor may legitimately end up above the *final*
+        ``tU_f`` — line 39 then merely stops further stealing without
+        undoing anything.  The enforceable paper invariants are: every
+        donation strictly improved the faulty task, and the faulty task
+        never ends worse than it started.
+        """
+        runtimes, faulty, t = struck
+        before = faulty.t_expected
+        ShortestTasksFirst().apply(model, t, runtimes, 0, faulty.index)
+        donations = sum(
+            rt.redistributions for rt in runtimes if rt is not faulty
+        )
+        if donations > 0:
+            assert faulty.t_expected < before - 1e-9
+
+    def test_at_most_one_donor_overshoots_final_finish(self, model, struck):
+        """Line 39 stops the loop at the first overshooting donor."""
+        runtimes, faulty, t = struck
+        ShortestTasksFirst().apply(model, t, runtimes, 0, faulty.index)
+        overshooting = [
+            rt
+            for rt in runtimes
+            if rt is not faulty
+            and rt.redistributions > 0
+            and rt.t_expected > faulty.t_expected + 1e-6
+        ]
+        # donors approved earlier saw a larger tU_f; only the latest can
+        # overshoot before line 39 halts the loop
+        assert len(overshooting) <= 1
+
+    def test_donors_keep_buddy_pair(self, model, struck):
+        runtimes, faulty, t = struck
+        ShortestTasksFirst().apply(model, t, runtimes, 0, faulty.index)
+        assert all(rt.sigma >= 2 for rt in runtimes)
+
+    def test_terminates(self, model, struck):
+        # Regression guard for the pseudocode's unbounded while loop.
+        runtimes, faulty, t = struck
+        ShortestTasksFirst().apply(model, t, runtimes, 40, faulty.index)
+
+
+class TestBookkeeping:
+    def test_changed_tasks_counted(self, model, struck):
+        runtimes, faulty, t = struck
+        changed = ShortestTasksFirst().apply(model, t, runtimes, 4, faulty.index)
+        for i in changed:
+            rt = next(r for r in runtimes if r.index == i)
+            assert rt.redistributions == 1
+            assert rt.t_last > t
+
+    def test_faulty_keeps_rolled_back_alpha(self, model, struck):
+        runtimes, faulty, t = struck
+        alpha = faulty.alpha
+        ShortestTasksFirst().apply(model, t, runtimes, 4, faulty.index)
+        assert faulty.alpha == pytest.approx(alpha)
+
+    def test_conservation_of_processors(self, model, struck):
+        runtimes, faulty, t = struck
+        total_before = sum(rt.sigma for rt in runtimes)
+        free = 6
+        ShortestTasksFirst().apply(model, t, runtimes, free, faulty.index)
+        assert sum(rt.sigma for rt in runtimes) <= total_before + free

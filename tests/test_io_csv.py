@@ -1,0 +1,94 @@
+"""Tests for repro.io.csv_io."""
+
+from __future__ import annotations
+
+import csv
+import io
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.figures import FigureResult
+from repro.io import (
+    figure_to_csv,
+    trace_events_to_csv,
+    write_figure_csv,
+    write_trace_csv,
+)
+from repro.simulation.trace import EventKind, Trace, TraceEvent
+
+
+def _figure_result() -> FigureResult:
+    return FigureResult(
+        figure="fig7",
+        title="Impact of n",
+        x_name="#tasks",
+        x_values=[10.0, 20.0],
+        labels={"no-rc": "Without RC", "ig-el": "IG-EL"},
+        normalized={"no-rc": [1.0, 1.0], "ig-el": [0.9, 0.8]},
+        means={"no-rc": [200.0, 150.0], "ig-el": [180.0, 120.0]},
+    )
+
+
+class TestFigureCsv:
+    def test_header(self):
+        text = figure_to_csv(_figure_result())
+        header = text.splitlines()[0].split(",")
+        assert header == [
+            "#tasks",
+            "no-rc_normalized",
+            "no-rc_mean",
+            "ig-el_normalized",
+            "ig-el_mean",
+        ]
+
+    def test_rows_parse_back(self):
+        text = figure_to_csv(_figure_result())
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == 2
+        assert float(rows[0]["#tasks"]) == 10.0
+        assert float(rows[1]["ig-el_normalized"]) == 0.8
+        assert float(rows[0]["no-rc_mean"]) == 200.0
+
+    def test_rejects_ragged_series(self):
+        result = _figure_result()
+        result.normalized["ig-el"] = [0.9]  # shorter than the sweep
+        with pytest.raises(ConfigurationError, match="length"):
+            figure_to_csv(result)
+
+    def test_write_to_path(self, tmp_path):
+        path = tmp_path / "figure.csv"
+        write_figure_csv(_figure_result(), path)
+        assert path.read_text().startswith("#tasks,")
+
+    def test_write_to_filelike(self):
+        buffer = io.StringIO()
+        write_figure_csv(_figure_result(), buffer)
+        assert buffer.getvalue().startswith("#tasks,")
+
+
+class TestTraceCsv:
+    def _trace(self) -> Trace:
+        return Trace(
+            events=[
+                TraceEvent(1.5, EventKind.FAILURE, 0, "proc=3"),
+                TraceEvent(2.0, EventKind.REDISTRIBUTION, 1, "sigma=4"),
+                TraceEvent(3.0, EventKind.COMPLETION, 1, ""),
+            ]
+        )
+
+    def test_header_and_rows(self):
+        text = trace_events_to_csv(self._trace())
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == ["time", "kind", "task", "detail"]
+        assert rows[1] == ["1.5", "failure", "0", "proc=3"]
+        assert rows[3] == ["3.0", "completion", "1", ""]
+
+    def test_empty_trace(self):
+        text = trace_events_to_csv(Trace())
+        assert text.splitlines() == ["time,kind,task,detail"]
+
+    def test_write_to_path(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        write_trace_csv(self._trace(), path)
+        assert len(path.read_text().splitlines()) == 4

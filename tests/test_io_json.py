@@ -1,0 +1,178 @@
+"""Round-trip tests for repro.io.json_io."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Cluster, Simulator, uniform_pack
+from repro.exceptions import ConfigurationError
+from repro.experiments.figures import FigureResult
+from repro.io import (
+    FORMAT_VERSION,
+    figure_from_json,
+    figure_to_json,
+    load_figure,
+    load_result,
+    result_from_json,
+    result_to_json,
+    save_figure,
+    save_result,
+)
+from repro.simulation.result import SimulationResult
+from repro.simulation.trace import EventKind, Trace, TraceEvent
+
+
+def _simulated_result(record_trace: bool = True) -> SimulationResult:
+    pack = uniform_pack(3, m_inf=2_000, m_sup=4_000, seed=7)
+    cluster = Cluster.with_mtbf_years(12, mtbf_years=0.05)
+    sim = Simulator(pack, cluster, "ig-el", seed=7, record_trace=record_trace)
+    return sim.run()
+
+
+def _figure_result() -> FigureResult:
+    return FigureResult(
+        figure="fig8",
+        title="Impact of p",
+        x_name="#procs",
+        x_values=[200.0, 400.0],
+        labels={"no-rc": "Without RC", "ig-el": "IG-EL"},
+        normalized={"no-rc": [1.0, 1.0], "ig-el": [0.77, 0.81]},
+        means={"no-rc": [100.0, 80.0], "ig-el": [77.0, 64.8]},
+        descriptions=["n=8 p=200", "n=8 p=400"],
+    )
+
+
+def _assert_results_equal(a: SimulationResult, b: SimulationResult) -> None:
+    assert a.policy == b.policy
+    assert a.makespan == b.makespan
+    np.testing.assert_array_equal(a.completion_times, b.completion_times)
+    assert a.initial_sigma == b.initial_sigma
+    assert a.failures_effective == b.failures_effective
+    assert a.failures_idle == b.failures_idle
+    assert a.failures_masked == b.failures_masked
+    assert a.redistributions == b.redistributions
+    assert a.events == b.events
+    assert a.seed == b.seed
+    if a.trace is None:
+        assert b.trace is None
+    else:
+        assert b.trace is not None
+        assert a.trace.events == b.trace.events
+        assert a.trace.failure_times == b.trace.failure_times
+        assert a.trace.makespan_after_failure == b.trace.makespan_after_failure
+        assert (
+            a.trace.sigma_std_after_failure == b.trace.sigma_std_after_failure
+        )
+
+
+class TestResultRoundTrip:
+    def test_with_trace(self):
+        original = _simulated_result(record_trace=True)
+        restored = result_from_json(result_to_json(original))
+        _assert_results_equal(original, restored)
+
+    def test_without_trace(self):
+        original = _simulated_result(record_trace=False)
+        assert original.trace is None
+        restored = result_from_json(result_to_json(original))
+        _assert_results_equal(original, restored)
+
+    def test_save_load_path(self, tmp_path):
+        original = _simulated_result()
+        path = tmp_path / "result.json"
+        save_result(original, path)
+        restored = load_result(path)
+        _assert_results_equal(original, restored)
+
+    def test_save_load_filelike(self):
+        original = _simulated_result()
+        buffer = io.StringIO()
+        save_result(original, buffer)
+        buffer.seek(0)
+        restored = load_result(buffer)
+        _assert_results_equal(original, restored)
+
+    def test_makespan_float_exact(self):
+        original = _simulated_result()
+        restored = result_from_json(result_to_json(original))
+        assert restored.makespan == original.makespan  # bit-exact
+
+    @given(
+        makespan=st.floats(1e-6, 1e12),
+        n=st.integers(1, 6),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_synthetic_round_trip(self, makespan, n, seed):
+        rng = np.random.default_rng(seed)
+        result = SimulationResult(
+            policy="p",
+            makespan=makespan,
+            completion_times=rng.uniform(0, makespan, size=n),
+            initial_sigma={i: 2 * (i + 1) for i in range(n)},
+            failures_effective=int(rng.integers(0, 10)),
+            redistributions=int(rng.integers(0, 10)),
+            seed=seed,
+            trace=Trace(
+                events=[
+                    TraceEvent(1.0, EventKind.FAILURE, 0, "proc=1"),
+                    TraceEvent(2.0, EventKind.REDISTRIBUTION, 1, "sigma=4"),
+                ],
+                failure_times=[1.0],
+                makespan_after_failure=[makespan],
+                sigma_std_after_failure=[0.5],
+            ),
+        )
+        _assert_results_equal(result, result_from_json(result_to_json(result)))
+
+
+class TestFigureRoundTrip:
+    def test_round_trip(self):
+        original = _figure_result()
+        restored = figure_from_json(figure_to_json(original))
+        assert restored == original
+
+    def test_save_load_path(self, tmp_path):
+        original = _figure_result()
+        path = tmp_path / "figure.json"
+        save_figure(original, path)
+        assert load_figure(path) == original
+
+
+class TestEnvelopeValidation:
+    def test_rejects_wrong_version(self):
+        document = json.loads(figure_to_json(_figure_result()))
+        document["format"] = FORMAT_VERSION + 1
+        with pytest.raises(ConfigurationError, match="format version"):
+            figure_from_json(json.dumps(document))
+
+    def test_rejects_wrong_kind(self):
+        text = figure_to_json(_figure_result())
+        with pytest.raises(ConfigurationError, match="expected a"):
+            result_from_json(text)
+
+    def test_rejects_invalid_json(self):
+        with pytest.raises(ConfigurationError, match="invalid JSON"):
+            result_from_json("{not json")
+
+    def test_rejects_missing_field(self):
+        document = json.loads(result_to_json(_simulated_result()))
+        del document["makespan"]
+        with pytest.raises(ConfigurationError, match="malformed"):
+            result_from_json(json.dumps(document))
+
+    def test_rejects_malformed_trace_event(self):
+        document = json.loads(result_to_json(_simulated_result()))
+        document["trace"] = {"events": [{"time": "zero"}]}
+        with pytest.raises(ConfigurationError):
+            result_from_json(json.dumps(document))
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ConfigurationError):
+            result_from_json("[1, 2, 3]")

@@ -1,0 +1,89 @@
+"""Tests for repro.tasks.miniapps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Cluster, simulate
+from repro.exceptions import ConfigurationError
+from repro.tasks.miniapps import MINIAPPS, miniapp_names, miniapp_pack
+
+
+class TestRegistry:
+    def test_names_sorted(self):
+        assert miniapp_names() == sorted(MINIAPPS)
+
+    def test_all_profiles_buildable(self):
+        for entry in MINIAPPS.values():
+            profile = entry.build()
+            assert profile.seq_fraction == entry.seq_fraction
+            assert profile.comm_factor == entry.comm_factor
+
+    def test_stencil_more_parallel_than_io(self):
+        stencil = MINIAPPS["stencil"].build()
+        io_bound = MINIAPPS["io-bound"].build()
+        m, q = 100_000.0, 64
+        assert stencil.speedup(m, q) > io_bound.speedup(m, q)
+
+
+class TestMiniappPack:
+    def test_mixed_pack(self):
+        pack = miniapp_pack(["stencil", "graph", "fem"], seed=1)
+        assert pack.n == 3
+        assert pack[0].name.startswith("stencil")
+        assert pack[1].profile.seq_fraction == 0.15
+
+    def test_explicit_sizes(self):
+        pack = miniapp_pack(["fem", "fem"], sizes=[1000.0, 2000.0])
+        assert pack[0].size == 1000.0
+        assert pack[1].checkpoint_cost == 2000.0
+
+    def test_repeats_allowed(self):
+        pack = miniapp_pack(["stencil"] * 4, seed=2)
+        assert pack.n == 4
+
+    def test_deterministic_sizes(self):
+        a = miniapp_pack(["fem", "graph"], seed=3)
+        b = miniapp_pack(["fem", "graph"], seed=3)
+        assert [t.size for t in a] == [t.size for t in b]
+
+    def test_rejects_unknown_app(self):
+        with pytest.raises(ConfigurationError, match="unknown"):
+            miniapp_pack(["quantum-doom"])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            miniapp_pack([])
+
+    def test_rejects_bad_sizes_length(self):
+        with pytest.raises(ConfigurationError, match="length"):
+            miniapp_pack(["fem"], sizes=[1.0, 2.0])
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ConfigurationError):
+            miniapp_pack(["fem"], m_inf=10.0, m_sup=1.0)
+
+
+class TestEndToEnd:
+    def test_mixed_pack_simulates(self):
+        pack = miniapp_pack(
+            ["stencil", "graph", "io-bound", "fem"],
+            m_inf=2_000,
+            m_sup=8_000,
+            seed=4,
+        )
+        cluster = Cluster.with_mtbf_years(16, mtbf_years=0.1)
+        result = simulate(pack, cluster, "ig-el", seed=4)
+        assert result.makespan > 0
+
+    def test_parallel_apps_finish_first_with_equal_sizes(self):
+        pack = miniapp_pack(
+            ["stencil", "io-bound"], sizes=[5_000.0, 5_000.0]
+        )
+        cluster = Cluster.with_mtbf_years(16, mtbf_years=100.0)
+        result = simulate(
+            pack, cluster, "no-redistribution", seed=1, inject_faults=False
+        )
+        # same size, same allocation priority: the stencil parallelises
+        # better and completes first
+        assert result.completion_times[0] < result.completion_times[1]

@@ -1,0 +1,111 @@
+"""Algorithm 1: optimal schedule without redistribution (Theorem 1)."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.core import expected_makespan, optimal_schedule
+from repro.exceptions import CapacityError
+from repro.resilience import ExpectedTimeModel
+from repro.tasks import homogeneous_pack, uniform_pack
+from repro.theory import brute_force_moldable, exact_no_redistribution
+
+
+class TestInvariants:
+    def test_all_processors_even(self, model):
+        sigma = optimal_schedule(model, 40)
+        assert all(j % 2 == 0 and j >= 2 for j in sigma.values())
+
+    def test_total_within_platform(self, model):
+        sigma = optimal_schedule(model, 40)
+        assert sum(sigma.values()) <= 40
+
+    def test_every_task_scheduled(self, model, small_pack):
+        sigma = optimal_schedule(model, 40)
+        assert set(sigma) == set(range(len(small_pack)))
+
+    def test_capacity_error_when_p_too_small(self, model):
+        with pytest.raises(CapacityError, match="p >= 2n"):
+            optimal_schedule(model, 15)
+
+    def test_minimum_allocation(self, model):
+        # With p = 2n every task gets exactly its buddy pair.
+        sigma = optimal_schedule(model, 16)
+        assert all(j == 2 for j in sigma.values())
+
+    def test_subset_scheduling(self, model):
+        sigma = optimal_schedule(model, 40, indices=[1, 3, 5])
+        assert set(sigma) == {1, 3, 5}
+
+    def test_partial_alpha(self, model):
+        sigma = optimal_schedule(model, 40, alpha=0.5)
+        assert sum(sigma.values()) <= 40
+
+
+class TestOptimality:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_matches_bisection_exact(self, small_cluster, seed):
+        pack = uniform_pack(5, m_inf=4000, m_sup=12000, seed=seed)
+        model = ExpectedTimeModel(pack, small_cluster)
+        sigma = optimal_schedule(model, 40)
+        greedy_makespan = expected_makespan(model, sigma)
+        _, exact_makespan = exact_no_redistribution(model, 40)
+        assert greedy_makespan == pytest.approx(exact_makespan, rel=1e-12)
+
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_matches_brute_force_tiny(self, seed):
+        cluster = Cluster.with_mtbf_years(12, 0.02)
+        pack = uniform_pack(3, m_inf=4000, m_sup=12000, seed=seed)
+        model = ExpectedTimeModel(pack, cluster)
+        sigma = optimal_schedule(model, 12)
+        greedy_makespan = expected_makespan(model, sigma)
+        _, brute_makespan = brute_force_moldable(model, 12)
+        assert greedy_makespan == pytest.approx(brute_makespan, rel=1e-12)
+
+    def test_homogeneous_pack_balanced(self, small_cluster):
+        # Identical tasks must receive near-identical allocations.
+        pack = homogeneous_pack(4, 8000.0)
+        model = ExpectedTimeModel(pack, small_cluster)
+        sigma = optimal_schedule(model, 40)
+        counts = sorted(sigma.values())
+        assert counts[-1] - counts[0] <= 2
+
+    def test_larger_task_gets_no_fewer_processors(self, small_cluster):
+        pack = uniform_pack(4, m_inf=2000, m_sup=20000, seed=5)
+        model = ExpectedTimeModel(pack, small_cluster)
+        sigma = optimal_schedule(model, 40)
+        sizes = pack.sizes
+        order = sorted(range(4), key=lambda i: sizes[i])
+        allocations = [sigma[i] for i in order]
+        assert allocations == sorted(allocations)
+
+
+class TestReserveBehaviour:
+    def test_keeps_processors_when_no_improvement(self):
+        # Algorithm 1 line 9 keeps processors in reserve once the Eq. (6)
+        # envelope goes flat.  That needs an *interior* threshold, which
+        # requires failures to bite: a hostile MTBF and expensive
+        # checkpoints.  (With the paper's profile the fault-free time is
+        # strictly decreasing in j, so on a quiet platform a single task
+        # legitimately absorbs the whole machine.)
+        cluster = Cluster.with_mtbf_years(40, 0.0001)
+        pack = homogeneous_pack(1, 100.0, checkpoint_unit_cost=5.0)
+        model = ExpectedTimeModel(pack, cluster)
+        threshold = model.threshold(0)
+        assert threshold < 40  # the scenario really has an interior optimum
+        sigma = optimal_schedule(model, 40)
+        assert sigma[0] == threshold
+
+    def test_grants_everything_when_still_improving(self, small_cluster):
+        # Quiet platform + strictly decreasing profile: no reserve.
+        pack = homogeneous_pack(1, 100.0)
+        model = ExpectedTimeModel(pack, small_cluster)
+        assert model.threshold(0) == 40
+        sigma = optimal_schedule(model, 40)
+        assert sigma[0] == 40
+
+    def test_expected_makespan_helper(self, model):
+        sigma = optimal_schedule(model, 40)
+        makespan = expected_makespan(model, sigma)
+        assert makespan == max(
+            model.expected_time(i, j, 1.0) for i, j in sigma.items()
+        )

@@ -1,0 +1,80 @@
+"""Tests for repro.packing.cost."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Cluster, uniform_pack
+from repro.exceptions import CapacityError, ConfigurationError
+from repro.packing import PackCostOracle
+
+
+@pytest.fixture()
+def oracle() -> PackCostOracle:
+    pack = uniform_pack(6, m_inf=2_000, m_sup=6_000, seed=11)
+    cluster = Cluster.with_mtbf_years(16, mtbf_years=50.0)
+    return PackCostOracle(pack, cluster)
+
+
+class TestValidation:
+    def test_rejects_empty_group(self, oracle):
+        with pytest.raises(ConfigurationError):
+            oracle.cost([])
+
+    def test_rejects_duplicates(self, oracle):
+        with pytest.raises(ConfigurationError):
+            oracle.cost([0, 0, 1])
+
+    def test_rejects_out_of_range(self, oracle):
+        with pytest.raises(ConfigurationError):
+            oracle.cost([0, 99])
+
+    def test_rejects_oversized_group(self):
+        pack = uniform_pack(6, m_inf=2_000, m_sup=6_000, seed=1)
+        cluster = Cluster.with_mtbf_years(8, mtbf_years=50.0)  # 4 pairs
+        oracle = PackCostOracle(pack, cluster)
+        with pytest.raises(CapacityError):
+            oracle.cost([0, 1, 2, 3, 4])
+
+
+class TestCost:
+    def test_positive(self, oracle):
+        assert oracle.cost([0, 1]) > 0
+
+    def test_memoised(self, oracle):
+        first = oracle.cost([0, 1, 2])
+        assert oracle.cache_info()["entries"] == 1
+        again = oracle.cost([2, 1, 0])  # order-insensitive key
+        assert again == first
+        assert oracle.cache_info()["entries"] == 1
+
+    def test_singleton_cost_is_expected_time(self, oracle):
+        # A single task gets all processors up to its threshold.
+        cost = oracle.cost([3])
+        model = oracle.model
+        sigma_all = min(
+            oracle.cluster.processors, model.threshold(3)
+        )
+        assert cost == pytest.approx(
+            model.expected_time(3, sigma_all, 1.0), rel=1e-9
+        )
+
+    def test_superset_costs_at_least_as_much(self, oracle):
+        # More tasks in a pack => same processors shared wider.
+        assert oracle.cost([0, 1, 2]) >= oracle.cost([0, 1]) - 1e-9
+
+    def test_total_cost_is_sum(self, oracle):
+        groups = [[0, 1], [2, 3], [4, 5]]
+        assert oracle.total_cost(groups) == pytest.approx(
+            sum(oracle.cost(g) for g in groups)
+        )
+
+
+class TestSurrogate:
+    def test_sequential_load_additive(self, oracle):
+        assert oracle.sequential_load([0, 1]) == pytest.approx(
+            oracle.sequential_time(0) + oracle.sequential_time(1)
+        )
+
+    def test_max_group_size(self, oracle):
+        assert oracle.max_group_size == oracle.cluster.processors // 2

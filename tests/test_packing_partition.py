@@ -1,0 +1,243 @@
+"""Tests for repro.packing.partition (algorithms + invariants)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Cluster, uniform_pack
+from repro.exceptions import CapacityError, ConfigurationError
+from repro.packing import (
+    PackCostOracle,
+    Partition,
+    dp_contiguous,
+    exhaustive_optimal,
+    first_fit_capacity,
+    fixed_k_lpt,
+    one_pack,
+)
+from repro.packing.partition import _set_partitions
+
+
+def _oracle(n: int = 6, p: int = 16, seed: int = 5) -> PackCostOracle:
+    pack = uniform_pack(n, m_inf=2_000, m_sup=8_000, seed=seed)
+    cluster = Cluster.with_mtbf_years(p, mtbf_years=50.0)
+    return PackCostOracle(pack, cluster)
+
+
+class TestPartitionDataclass:
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            Partition(groups=())
+
+    def test_rejects_empty_group(self):
+        with pytest.raises(ConfigurationError):
+            Partition(groups=((0,), ()))
+
+    def test_rejects_duplicate_task(self):
+        with pytest.raises(ConfigurationError):
+            Partition(groups=((0, 1), (1, 2)))
+
+    def test_rejects_cost_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            Partition(groups=((0,), (1,)), estimated_costs=(1.0,))
+
+    def test_validate_complete_detects_missing(self):
+        partition = Partition(groups=((0, 1),))
+        with pytest.raises(ConfigurationError, match="missing"):
+            partition.validate_complete(3)
+
+    def test_validate_complete_detects_extra(self):
+        partition = Partition(groups=((0, 1, 5),))
+        with pytest.raises(ConfigurationError, match="extra"):
+            partition.validate_complete(3)
+
+    def test_validate_capacity(self):
+        partition = Partition(groups=((0, 1, 2),))
+        with pytest.raises(CapacityError):
+            partition.validate_capacity(4)
+
+    def test_estimated_total_requires_costs(self):
+        partition = Partition(groups=((0,),))
+        with pytest.raises(ConfigurationError):
+            partition.estimated_total
+
+    def test_describe(self):
+        partition = Partition(
+            groups=((0, 1), (2,)), algorithm="demo", estimated_costs=(2.0, 1.0)
+        )
+        text = partition.describe()
+        assert "demo" in text and "k=2" in text and "3" in text
+
+
+class TestOnePack:
+    def test_single_group(self):
+        oracle = _oracle()
+        partition = one_pack(oracle)
+        assert partition.k == 1
+        partition.validate_complete(oracle.n)
+
+    def test_capacity_error_when_too_small(self):
+        oracle = _oracle(n=6, p=8)  # 6 tasks > 4 pairs
+        with pytest.raises(CapacityError):
+            one_pack(oracle)
+
+
+class TestFirstFit:
+    def test_minimal_pack_count(self):
+        oracle = _oracle(n=6, p=8)  # capacity 4 per pack
+        partition = first_fit_capacity(oracle)
+        assert partition.k == math.ceil(6 / 4)
+        partition.validate_complete(6)
+        partition.validate_capacity(8)
+
+    def test_single_pack_when_fits(self):
+        oracle = _oracle(n=4, p=16)
+        assert first_fit_capacity(oracle).k == 1
+
+    def test_explicit_capacity(self):
+        oracle = _oracle(n=6, p=16)
+        partition = first_fit_capacity(oracle, max_group_size=2)
+        assert partition.k == 3
+        assert all(len(g) == 2 for g in partition.groups)
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ConfigurationError):
+            first_fit_capacity(_oracle(), max_group_size=0)
+
+
+class TestFixedKLpt:
+    def test_produces_k_nonempty_groups(self):
+        oracle = _oracle(n=6, p=16)
+        for k in (1, 2, 3, 6):
+            partition = fixed_k_lpt(oracle, k)
+            assert partition.k == k
+            assert all(partition.groups)
+            partition.validate_complete(6)
+
+    def test_rejects_bad_k(self):
+        oracle = _oracle()
+        with pytest.raises(ConfigurationError):
+            fixed_k_lpt(oracle, 0)
+        with pytest.raises(ConfigurationError):
+            fixed_k_lpt(oracle, oracle.n + 1)
+
+    def test_capacity_error(self):
+        oracle = _oracle(n=6, p=4)  # 2 tasks per pack max
+        with pytest.raises(CapacityError):
+            fixed_k_lpt(oracle, 2)  # needs >= 3 packs
+
+    def test_respects_capacity(self):
+        oracle = _oracle(n=6, p=4)
+        partition = fixed_k_lpt(oracle, 3)
+        partition.validate_capacity(4)
+
+    def test_balances_loads(self):
+        oracle = _oracle(n=6, p=16)
+        partition = fixed_k_lpt(oracle, 2)
+        loads = [oracle.sequential_load(g) for g in partition.groups]
+        total = sum(loads)
+        # LPT on 6 items keeps the imbalance small
+        assert max(loads) <= 0.75 * total
+
+
+class TestDpContiguous:
+    def test_k1_equals_one_pack(self):
+        oracle = _oracle(n=4, p=16)
+        assert dp_contiguous(oracle, 1).estimated_total == pytest.approx(
+            one_pack(oracle).estimated_total
+        )
+
+    def test_monotone_in_k(self):
+        oracle = _oracle(n=6, p=16)
+        costs = [dp_contiguous(oracle, k).estimated_total for k in (1, 2, 3)]
+        assert costs[1] <= costs[0] + 1e-9
+        assert costs[2] <= costs[1] + 1e-9
+
+    def test_covers_everything(self):
+        oracle = _oracle(n=7, p=16, seed=2)
+        partition = dp_contiguous(oracle, 3)
+        partition.validate_complete(7)
+        partition.validate_capacity(16)
+
+    def test_capacity_forces_split(self):
+        oracle = _oracle(n=6, p=8)  # one pack cannot hold all 6
+        partition = dp_contiguous(oracle, 3)
+        assert partition.k >= 2
+        partition.validate_capacity(8)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ConfigurationError):
+            dp_contiguous(_oracle(), 0)
+
+    def test_infeasible_capacity(self):
+        oracle = _oracle(n=6, p=4)
+        with pytest.raises(CapacityError):
+            dp_contiguous(oracle, 2)
+
+
+class TestExhaustive:
+    def test_beats_or_matches_heuristics(self):
+        oracle = _oracle(n=5, p=12, seed=9)
+        best = exhaustive_optimal(oracle).estimated_total
+        for candidate in (
+            one_pack(oracle),
+            dp_contiguous(oracle, 3),
+            fixed_k_lpt(oracle, 2),
+        ):
+            assert best <= candidate.estimated_total + 1e-9
+
+    def test_respects_k_max(self):
+        oracle = _oracle(n=4, p=16)
+        partition = exhaustive_optimal(oracle, k_max=1)
+        assert partition.k == 1
+
+    def test_size_cap(self):
+        oracle = _oracle(n=6, p=16)
+        # monkeypatch-free: the cap is 10, so 6 passes; build an 11-task set
+        big = _oracle(n=11, p=32)
+        with pytest.raises(ConfigurationError, match="capped"):
+            exhaustive_optimal(big)
+
+    def test_infeasible_when_capacity_tiny(self):
+        oracle = _oracle(n=4, p=16)
+        with pytest.raises((CapacityError, ConfigurationError)):
+            # k_max=1 but capacity only 2 tasks: no feasible partition
+            small = _oracle(n=4, p=4)
+            exhaustive_optimal(small, k_max=1)
+
+
+class TestSetPartitions:
+    def test_bell_numbers(self):
+        # Bell numbers: 1, 2, 5, 15, 52
+        for n, bell in [(1, 1), (2, 2), (3, 5), (4, 15), (5, 52)]:
+            assert sum(1 for _ in _set_partitions(n)) == bell
+
+    def test_each_is_a_partition(self):
+        for groups in _set_partitions(4):
+            flat = sorted(i for g in groups for i in g)
+            assert flat == [0, 1, 2, 3]
+
+
+@given(
+    n=st.integers(3, 8),
+    pairs_per_task=st.integers(1, 3),
+    k=st.integers(1, 4),
+    seed=st.integers(0, 10_000),
+)
+@settings(max_examples=20, deadline=None)
+def test_property_algorithms_produce_valid_partitions(n, pairs_per_task, k, seed):
+    """Every algorithm yields a complete, capacity-respecting partition."""
+    p = 2 * n * pairs_per_task
+    oracle = _oracle(n=n, p=p, seed=seed)
+    candidates = [first_fit_capacity(oracle)]
+    if k <= n:
+        candidates.append(fixed_k_lpt(oracle, k))
+        candidates.append(dp_contiguous(oracle, k))
+    for partition in candidates:
+        partition.validate_complete(n)
+        partition.validate_capacity(p)
+        assert partition.estimated_total > 0

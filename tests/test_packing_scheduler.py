@@ -1,0 +1,145 @@
+"""Tests for repro.packing.scheduler (multi-pack execution)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Cluster, uniform_pack
+from repro.exceptions import CapacityError, ConfigurationError
+from repro.packing import (
+    MultiPackScheduler,
+    PackCostOracle,
+    Partition,
+    first_fit_capacity,
+    one_pack,
+)
+from repro.packing.scheduler import subpack
+
+
+@pytest.fixture()
+def setup():
+    pack = uniform_pack(6, m_inf=2_000, m_sup=6_000, seed=21)
+    cluster = Cluster.with_mtbf_years(8, mtbf_years=100.0)
+    return pack, cluster
+
+
+class TestSubpack:
+    def test_reindexes(self, setup):
+        pack, _ = setup
+        sub = subpack(pack, [4, 1])
+        assert sub.n == 2
+        assert [t.index for t in sub] == [0, 1]
+
+    def test_preserves_names_and_sizes(self, setup):
+        pack, _ = setup
+        sub = subpack(pack, [4, 1])
+        assert sub[0].name == "T5"
+        assert sub[0].size == pack[4].size
+        assert sub[1].checkpoint_cost == pack[1].checkpoint_cost
+
+
+class TestSchedulerValidation:
+    def test_incomplete_partition_rejected(self, setup):
+        pack, cluster = setup
+        partition = Partition(groups=((0, 1),))
+        with pytest.raises(ConfigurationError):
+            MultiPackScheduler(pack, cluster, "ig-el", partition)
+
+    def test_oversized_pack_rejected(self, setup):
+        pack, cluster = setup
+        partition = Partition(groups=(tuple(range(6)),))
+        with pytest.raises(CapacityError):
+            # p=8 holds only 4 buddy pairs
+            MultiPackScheduler(pack, cluster, "ig-el", partition)
+
+
+class TestExecution:
+    def test_total_is_sum_of_pack_makespans(self, setup):
+        pack, cluster = setup
+        oracle = PackCostOracle(pack, cluster)
+        partition = first_fit_capacity(oracle)
+        scheduler = MultiPackScheduler(
+            pack, cluster, "no-redistribution", partition, seed=1
+        )
+        outcome = scheduler.run()
+        assert outcome.total_makespan == pytest.approx(
+            sum(p.result.makespan for p in outcome.packs)
+        )
+        assert outcome.packs[0].start == 0.0
+        for left, right in zip(outcome.packs, outcome.packs[1:]):
+            assert right.start == pytest.approx(left.end)
+
+    def test_completion_times_cover_all_tasks(self, setup):
+        pack, cluster = setup
+        oracle = PackCostOracle(pack, cluster)
+        partition = first_fit_capacity(oracle)
+        outcome = MultiPackScheduler(
+            pack, cluster, "ig-el", partition, seed=2
+        ).run()
+        times = outcome.completion_times(len(pack))
+        assert np.all(np.isfinite(times))
+        assert times.max() == pytest.approx(outcome.total_makespan)
+
+    def test_deterministic_under_seed(self, setup):
+        pack, cluster = setup
+        oracle = PackCostOracle(pack, cluster)
+        partition = first_fit_capacity(oracle)
+        run = lambda: MultiPackScheduler(  # noqa: E731
+            pack, cluster, "stf-el", partition, seed=7
+        ).run()
+        assert run().total_makespan == run().total_makespan
+
+    def test_different_seeds_change_failures(self, setup):
+        pack, cluster = setup
+        cluster_faulty = Cluster.with_mtbf_years(8, mtbf_years=0.02)
+        oracle = PackCostOracle(pack, cluster_faulty)
+        partition = first_fit_capacity(oracle)
+        a = MultiPackScheduler(
+            pack, cluster_faulty, "ig-el", partition, seed=1
+        ).run()
+        b = MultiPackScheduler(
+            pack, cluster_faulty, "ig-el", partition, seed=2
+        ).run()
+        assert (
+            a.total_makespan != b.total_makespan
+            or a.failures_effective != b.failures_effective
+        )
+
+    def test_fault_free_mode(self, setup):
+        pack, cluster = setup
+        oracle = PackCostOracle(pack, cluster)
+        partition = first_fit_capacity(oracle)
+        outcome = MultiPackScheduler(
+            pack, cluster, "ig-el", partition, inject_faults=False
+        ).run()
+        assert outcome.failures_effective == 0
+
+    def test_one_pack_matches_direct_simulation(self):
+        from repro import simulate
+        from repro.rng import derive_seed_sequence
+        import numpy as np
+
+        pack = uniform_pack(3, m_inf=2_000, m_sup=6_000, seed=3)
+        cluster = Cluster.with_mtbf_years(12, mtbf_years=100.0)
+        oracle = PackCostOracle(pack, cluster)
+        partition = one_pack(oracle)
+        outcome = MultiPackScheduler(
+            pack, cluster, "ig-el", partition, seed=5
+        ).run()
+        pack_seed = int(
+            derive_seed_sequence(5, "pack", 0).generate_state(1, np.uint32)[0]
+        )
+        direct = simulate(pack, cluster, "ig-el", seed=pack_seed)
+        assert outcome.total_makespan == pytest.approx(direct.makespan)
+
+    def test_summary_contains_key_facts(self, setup):
+        pack, cluster = setup
+        oracle = PackCostOracle(pack, cluster)
+        partition = first_fit_capacity(oracle)
+        outcome = MultiPackScheduler(
+            pack, cluster, "ig-el", partition, seed=2
+        ).run()
+        text = outcome.summary()
+        assert "first-fit" in text
+        assert "packs" in text

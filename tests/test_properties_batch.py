@@ -1,0 +1,77 @@
+"""Property-based invariants of the batch scheduler and packing optimum."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Cluster, uniform_pack
+from repro.batch import OnlineBatchScheduler, poisson_stream
+from repro.packing import (
+    PackCostOracle,
+    dp_contiguous,
+    exhaustive_optimal,
+    fixed_k_lpt,
+)
+
+
+class TestBatchInvariants:
+    @given(
+        n=st.integers(1, 10),
+        gap=st.sampled_from([0.0, 1_000.0, 100_000.0]),
+        pairs=st.integers(2, 6),
+        seed=st.integers(0, 5_000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_batches_partition_the_campaign(self, n, gap, pairs, seed):
+        jobs = poisson_stream(n, gap, m_inf=2_000, m_sup=8_000, seed=seed)
+        cluster = Cluster.with_mtbf_years(2 * pairs, mtbf_years=5.0)
+        outcome = OnlineBatchScheduler(jobs, cluster, "ig-el", seed=seed).run()
+        scheduled = [jid for batch in outcome.batches for jid in batch.job_ids]
+        assert sorted(scheduled) == list(range(n))
+        # capacity respected in every batch
+        assert all(len(b.job_ids) <= pairs for b in outcome.batches)
+
+    @given(
+        n=st.integers(2, 8),
+        seed=st.integers(0, 5_000),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_time_consistency(self, n, seed):
+        jobs = poisson_stream(
+            n, 10_000.0, m_inf=2_000, m_sup=8_000, seed=seed
+        )
+        cluster = Cluster.with_mtbf_years(8, mtbf_years=5.0)
+        outcome = OnlineBatchScheduler(jobs, cluster, "stf-el", seed=seed).run()
+        # batches never overlap and never start before their jobs' releases
+        release = {job.job_id: job.release for job in jobs}
+        previous_end = 0.0
+        for batch in outcome.batches:
+            assert batch.start >= previous_end - 1e-9
+            assert all(
+                batch.start >= release[jid] - 1e-9 for jid in batch.job_ids
+            )
+            previous_end = batch.end
+        metrics = outcome.metrics
+        assert metrics is not None
+        assert metrics.makespan == pytest.approx(outcome.makespan)
+        assert all(m.waiting >= 0 and m.response > 0 for m in metrics.jobs)
+
+
+class TestPackingOptimality:
+    @given(
+        n=st.integers(3, 6),
+        seed=st.integers(0, 2_000),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_exhaustive_lower_bounds_heuristics(self, n, seed):
+        pack = uniform_pack(n, m_inf=2_000, m_sup=10_000, seed=seed)
+        cluster = Cluster.with_mtbf_years(8, mtbf_years=20.0)
+        oracle = PackCostOracle(pack, cluster)
+        best = exhaustive_optimal(oracle).estimated_total
+        for k in range(1, min(3, n) + 1):
+            if k * oracle.max_group_size < n:
+                continue  # infeasible pack count (capacity-limited)
+            assert best <= dp_contiguous(oracle, k).estimated_total + 1e-9
+            assert best <= fixed_k_lpt(oracle, k).estimated_total + 1e-9

@@ -1,0 +1,89 @@
+"""Property-based tests on the expected-time machinery (hypothesis)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Cluster
+from repro.resilience import ExpectedTimeModel
+from repro.tasks import homogeneous_pack
+
+# Parameter spaces kept modest so every example builds in microseconds.
+sizes = st.floats(min_value=500.0, max_value=5e5)
+alphas = st.floats(min_value=0.0, max_value=1.0)
+mtbf_years = st.floats(min_value=0.001, max_value=100.0)
+unit_costs = st.floats(min_value=1e-4, max_value=1.0)
+
+
+def build_model(size, mtbf, unit_cost, p=32):
+    pack = homogeneous_pack(1, size, checkpoint_unit_cost=unit_cost)
+    cluster = Cluster.with_mtbf_years(p, mtbf)
+    return ExpectedTimeModel(pack, cluster)
+
+
+class TestEnvelopeProperties:
+    @given(size=sizes, alpha=alphas, mtbf=mtbf_years, c=unit_costs)
+    @settings(max_examples=60, deadline=None)
+    def test_envelope_non_increasing(self, size, alpha, mtbf, c):
+        model = build_model(size, mtbf, c)
+        profile = model.profile(0, alpha)
+        assert np.all(np.diff(profile) <= 1e-9 * np.abs(profile[:-1]) + 1e-12)
+
+    @given(size=sizes, alpha=alphas, mtbf=mtbf_years, c=unit_costs)
+    @settings(max_examples=60, deadline=None)
+    def test_envelope_never_exceeds_raw(self, size, alpha, mtbf, c):
+        model = build_model(size, mtbf, c)
+        raw = model.raw_profile(0, alpha)
+        envelope = model.profile(0, alpha)
+        assert np.all(envelope <= raw * (1 + 1e-12) + 1e-12)
+
+    @given(size=sizes, mtbf=mtbf_years, c=unit_costs)
+    @settings(max_examples=60, deadline=None)
+    def test_expected_time_dominates_remaining_work(self, size, mtbf, c):
+        # t^R_{i,j}(alpha) >= alpha * t_{i,j}: failures and checkpoints
+        # only ever add time (uses e^x - 1 >= x).
+        model = build_model(size, mtbf, c)
+        alpha = 1.0
+        profile = model.profile(0, alpha)
+        grid = model.grid(0)
+        assert np.all(profile >= alpha * grid.t_ff * (1 - 1e-9))
+
+    @given(
+        size=sizes,
+        mtbf=mtbf_years,
+        c=unit_costs,
+        lo=st.floats(min_value=0.0, max_value=0.5),
+        delta=st.floats(min_value=0.0, max_value=0.5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_alpha(self, size, mtbf, c, lo, delta):
+        model = build_model(size, mtbf, c)
+        less = model.profile(0, lo)
+        more = model.profile(0, lo + delta)
+        assert np.all(more >= less - 1e-9)
+
+    @given(size=sizes, mtbf=mtbf_years, c=unit_costs)
+    @settings(max_examples=40, deadline=None)
+    def test_zero_alpha_zero_time(self, size, mtbf, c):
+        model = build_model(size, mtbf, c)
+        assert np.all(model.profile(0, 0.0) == 0.0)
+
+
+class TestGridConsistency:
+    @given(size=sizes, mtbf=mtbf_years, c=unit_costs)
+    @settings(max_examples=40, deadline=None)
+    def test_period_exceeds_cost(self, size, mtbf, c):
+        model = build_model(size, mtbf, c)
+        grid = model.grid(0)
+        assert np.all(grid.work_per_period > 0)
+
+    @given(size=sizes, mtbf=mtbf_years, c=unit_costs)
+    @settings(max_examples=40, deadline=None)
+    def test_fault_free_times_positive_decreasing(self, size, mtbf, c):
+        model = build_model(size, mtbf, c)
+        grid = model.grid(0)
+        assert np.all(grid.t_ff > 0)
+        assert np.all(np.diff(grid.t_ff) <= 1e-9 * grid.t_ff[:-1])

@@ -1,0 +1,77 @@
+"""Property-based tests: redistribution costs and edge colouring."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    redistribution_cost,
+    redistribution_cost_vector,
+    redistribution_rounds,
+    transfer_schedule,
+    validate_coloring,
+)
+
+even_counts = st.integers(min_value=1, max_value=32).map(lambda v: 2 * v)
+data_sizes = st.floats(min_value=1.0, max_value=1e7)
+
+
+class TestCostProperties:
+    @given(m=data_sizes, j=even_counts, k=even_counts)
+    @settings(max_examples=100, deadline=None)
+    def test_cost_non_negative(self, m, j, k):
+        assert redistribution_cost(m, j, k) >= 0.0
+
+    @given(m=data_sizes, j=even_counts, k=even_counts)
+    @settings(max_examples=100, deadline=None)
+    def test_cost_zero_iff_no_move(self, m, j, k):
+        cost = redistribution_cost(m, j, k)
+        if j == k:
+            assert cost == 0.0
+        else:
+            assert cost > 0.0
+
+    @given(m=data_sizes, j=even_counts, k=even_counts)
+    @settings(max_examples=100, deadline=None)
+    def test_cost_equals_rounds_times_volume(self, m, j, k):
+        rounds = redistribution_rounds(j, k)
+        per_round = m / (k * j)
+        assert redistribution_cost(m, j, k) == pytest.approx(
+            rounds * per_round
+        )
+
+    @given(m=data_sizes, j=even_counts)
+    @settings(max_examples=50, deadline=None)
+    def test_vector_matches_scalars(self, m, j):
+        targets = np.arange(2, 33, 2)
+        vector = redistribution_cost_vector(m, j, targets)
+        for k, value in zip(targets, vector):
+            assert value == pytest.approx(redistribution_cost(m, j, int(k)))
+
+
+class TestRoundsMatchColoring:
+    @given(j=st.integers(min_value=1, max_value=16),
+           k=st.integers(min_value=1, max_value=16))
+    @settings(max_examples=100, deadline=None)
+    def test_formula_equals_constructive_schedule(self, j, k):
+        schedule = transfer_schedule(j, k)
+        assert len(schedule) == redistribution_rounds(j, k)
+
+    @given(j=st.integers(min_value=1, max_value=16),
+           k=st.integers(min_value=1, max_value=16))
+    @settings(max_examples=100, deadline=None)
+    def test_schedule_is_proper(self, j, k):
+        assert validate_coloring(transfer_schedule(j, k))
+
+    @given(j=st.integers(min_value=1, max_value=12),
+           k=st.integers(min_value=1, max_value=12))
+    @settings(max_examples=100, deadline=None)
+    def test_schedule_covers_each_edge_once(self, j, k):
+        schedule = transfer_schedule(j, k)
+        edges = [e for round_edges in schedule for e in round_edges]
+        assert len(edges) == len(set(edges))
+        if j != k:
+            senders = max(j, k) - min(j, k) if k < j else j
+            receivers = k if k < j else k - j
+            assert len(edges) == senders * receivers

@@ -1,0 +1,120 @@
+"""Property-based tests: Algorithm 1 and the simulator invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Cluster
+from repro.core import expected_makespan, optimal_schedule
+from repro.resilience import ExpectedTimeModel
+from repro.simulation import simulate
+from repro.tasks import WorkloadGenerator
+from repro.theory import exact_no_redistribution
+
+
+def build(seed, n, p, mtbf_years):
+    generator = WorkloadGenerator(m_inf=4000.0, m_sup=12000.0)
+    pack = generator.generate(n, seed=seed)
+    cluster = Cluster.with_mtbf_years(p, mtbf_years)
+    return pack, cluster, ExpectedTimeModel(pack, cluster)
+
+
+class TestAlgorithmOneProperties:
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n=st.integers(min_value=1, max_value=6),
+        extra_pairs=st.integers(min_value=0, max_value=10),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_allocation_invariants(self, seed, n, extra_pairs):
+        p = 2 * n + 2 * extra_pairs
+        _, _, model = build(seed, n, max(p, 2), 0.02)
+        sigma = optimal_schedule(model, p)
+        assert set(sigma) == set(range(n))
+        assert all(j >= 2 and j % 2 == 0 for j in sigma.values())
+        assert sum(sigma.values()) <= p
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n=st.integers(min_value=2, max_value=5),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_greedy_is_optimal(self, seed, n):
+        p = 4 * n
+        _, _, model = build(seed, n, p, 0.02)
+        sigma = optimal_schedule(model, p)
+        _, exact = exact_no_redistribution(model, p)
+        assert expected_makespan(model, sigma) == pytest.approx(
+            exact, rel=1e-12
+        )
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_more_processors_never_hurt(self, seed):
+        _, _, model = build(seed, 4, 32, 0.02)
+        small = expected_makespan(model, optimal_schedule(model, 16))
+        large = expected_makespan(model, optimal_schedule(model, 32))
+        assert large <= small * (1 + 1e-12)
+
+
+class TestSimulatorProperties:
+    @given(
+        seed=st.integers(min_value=0, max_value=500),
+        policy=st.sampled_from(
+            ["no-redistribution", "ig-eg", "ig-el", "stf-eg", "stf-el"]
+        ),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_run_invariants(self, seed, policy):
+        pack, cluster, model = build(seed, 4, 16, 0.01)
+        result = simulate(pack, cluster, policy, seed=seed, model=model)
+        assert math.isfinite(result.makespan)
+        assert result.makespan > 0
+        assert np.all(result.completion_times > 0)
+        assert result.makespan == result.completion_times.max()
+        assert result.n == 4
+        if policy == "no-redistribution":
+            assert result.redistributions == 0
+
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=15, deadline=None)
+    def test_makespan_lower_bounded_by_fault_free_optimum(self, seed):
+        """No policy can beat the best fault-free projection."""
+        pack, cluster, model = build(seed, 4, 16, 0.01)
+        fault_free = simulate(
+            pack, cluster, "end-greedy", seed=seed,
+            inject_faults=False, model=model,
+        )
+        # Lower bound: perfectly parallel work spread over all processors
+        # (ignores checkpoints and sequential fractions -> very loose but
+        # strictly valid).
+        total_work = sum(
+            spec.size * math.log2(spec.size) for spec in pack
+        )
+        assert fault_free.makespan >= total_work / cluster.processors * 0.9
+
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=15, deadline=None)
+    def test_failures_never_speed_up_no_rc(self, seed):
+        pack, cluster, model = build(seed, 4, 16, 0.01)
+        with_faults = simulate(
+            pack, cluster, "no-redistribution", seed=seed, model=model
+        )
+        without = simulate(
+            pack, cluster, "no-redistribution", seed=seed,
+            inject_faults=False, model=model,
+        )
+        assert with_faults.makespan >= without.makespan * (1 - 1e-12)
+
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=10, deadline=None)
+    def test_strict_mode_clean(self, seed):
+        from repro.simulation import Simulator
+
+        pack, cluster, model = build(seed, 4, 16, 0.008)
+        Simulator(
+            pack, cluster, "ig-eg", seed=seed, model=model, strict=True
+        ).run()

@@ -1,0 +1,55 @@
+"""Property-based tests: 3-Partition and the Theorem 2 reduction."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.theory import (
+    build_reduction,
+    random_yes_instance,
+    schedule_from_certificate,
+    solve_three_partition,
+    verify_schedule,
+)
+
+
+class TestReductionProperties:
+    @given(
+        m=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_yes_instances_always_schedule(self, m, seed):
+        rng = np.random.default_rng(seed)
+        instance = random_yes_instance(m, rng)
+        triples = solve_three_partition(instance)
+        assert triples is not None
+        reduced = build_reduction(instance)
+        schedule = schedule_from_certificate(reduced, triples)
+        assert verify_schedule(reduced, schedule)
+
+    @given(
+        m=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_reduction_sizes(self, m, seed):
+        rng = np.random.default_rng(seed)
+        reduced = build_reduction(random_yes_instance(m, rng))
+        assert reduced.n == 4 * m
+        assert reduced.processors == 4 * m
+        # Polynomial-size guarantee: one table row per (task, j) pair.
+        assert all(len(t.times) == reduced.n for t in reduced.tasks)
+
+    @given(
+        m=st.integers(min_value=1, max_value=3),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_work_identity(self, m, seed):
+        """The tightness identity sum a_i + m(4D-B) = nD from the proof."""
+        rng = np.random.default_rng(seed)
+        instance = random_yes_instance(m, rng)
+        reduced = build_reduction(instance)
+        D, B = reduced.deadline, instance.B
+        assert sum(instance.values) + m * (4 * D - B) == 4 * m * D

@@ -1,0 +1,90 @@
+"""Redistribution cost model (Eqs. 7 and 9)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    redistribution_cost,
+    redistribution_cost_vector,
+    redistribution_rounds,
+    transfer_volume_per_round,
+)
+from repro.exceptions import CapacityError
+
+
+class TestRounds:
+    def test_paper_figure3_example(self):
+        # Fig. 3: from j=4 to k=6, chi'(G) = Delta(G) = 4 rounds.
+        assert redistribution_rounds(4, 6) == 4
+
+    def test_growth_formula(self):
+        # Eq. (7): max(j, k - j)
+        assert redistribution_rounds(2, 10) == 8  # k-j dominates
+        assert redistribution_rounds(8, 10) == 8  # j dominates
+
+    def test_shrink_formula(self):
+        # Eq. (9): max(min(j,k), |k-j|)
+        assert redistribution_rounds(10, 4) == 6  # |k-j| dominates
+        assert redistribution_rounds(6, 4) == 4  # min(j,k) dominates
+
+    def test_no_move_no_rounds(self):
+        assert redistribution_rounds(4, 4) == 0
+
+    def test_vectorised(self):
+        rounds = redistribution_rounds(4, np.array([2, 4, 6, 12]))
+        assert list(rounds) == [2, 0, 4, 8]
+
+    def test_invalid_counts(self):
+        with pytest.raises(CapacityError):
+            redistribution_rounds(0, 4)
+        with pytest.raises(CapacityError):
+            redistribution_rounds(4, 0)
+
+
+class TestCost:
+    def test_eq7_hand_computed(self):
+        # RC = max(j, k-j) * (1/k) * (m/j), j=4 -> k=6, m=1200
+        assert redistribution_cost(1200.0, 4, 6) == pytest.approx(
+            4 * (1 / 6) * (1200 / 4)
+        )
+
+    def test_eq9_shrink_hand_computed(self):
+        # j=6 -> k=2: max(min(6,2), 4) = 4 rounds, RC = 4 * (1/2) * (m/6)
+        assert redistribution_cost(600.0, 6, 2) == pytest.approx(
+            4 * 0.5 * 100.0
+        )
+
+    def test_zero_when_unchanged(self):
+        assert redistribution_cost(1e6, 8, 8) == 0.0
+
+    def test_cost_positive_otherwise(self):
+        assert redistribution_cost(100.0, 2, 4) > 0
+        assert redistribution_cost(100.0, 4, 2) > 0
+
+    def test_scales_linearly_with_data(self):
+        small = redistribution_cost(100.0, 4, 8)
+        large = redistribution_cost(1000.0, 4, 8)
+        assert large == pytest.approx(10 * small)
+
+    def test_vector_matches_scalar(self):
+        targets = np.array([2, 4, 6, 8, 10])
+        vector = redistribution_cost_vector(500.0, 6, targets)
+        scalars = [redistribution_cost(500.0, 6, int(k)) for k in targets]
+        assert np.allclose(vector, scalars)
+
+    def test_vector_zero_at_source(self):
+        vector = redistribution_cost_vector(500.0, 6, np.array([6]))
+        assert vector[0] == 0.0
+
+
+class TestVolume:
+    def test_per_round_volume(self):
+        # Each round one processor sends 1/(k j) of the data (Section 3.3.1).
+        assert transfer_volume_per_round(1200.0, 4, 6) == pytest.approx(50.0)
+
+    def test_total_volume_consistency(self):
+        # rounds * volume-per-round == RC for any pair.
+        m, j, k = 777.0, 4, 10
+        assert redistribution_cost(m, j, k) == pytest.approx(
+            redistribution_rounds(j, k) * transfer_volume_per_round(m, j, k)
+        )

@@ -1,0 +1,184 @@
+"""Tests for repro.resilience.replication."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Cluster, uniform_pack
+from repro.exceptions import CapacityError, ConfigurationError
+from repro.resilience.expected_time import ExpectedTimeModel
+from repro.resilience.replication import (
+    ReplicatedExpectedTimeModel,
+    crossover_mtbf,
+    mnfti,
+    mnfti_asymptotic,
+    mtti,
+)
+
+
+class TestMnfti:
+    def test_single_pair(self):
+        # E(0) = 1 + (2/2) E(1), E(1) = 1 => 2: the first failure degrades
+        # the only pair, the second necessarily kills it.
+        assert mnfti(1) == pytest.approx(2.0)
+
+    def test_two_pairs_exact(self):
+        # E(2)=1; E(1) = 1 + (2/3)*1 = 5/3; E(0) = 1 + (4/4)*(5/3) = 8/3
+        assert mnfti(2) == pytest.approx(8.0 / 3.0)
+
+    def test_monotone_in_pairs(self):
+        values = [mnfti(k) for k in range(1, 50)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_asymptotic_agreement(self):
+        exact = mnfti(10_000)
+        approx = mnfti_asymptotic(10_000)
+        assert abs(exact - approx) / exact < 0.02
+
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            mnfti(0)
+        with pytest.raises(ConfigurationError):
+            mnfti_asymptotic(0)
+
+    @given(pairs=st.integers(1, 200))
+    @settings(max_examples=50)
+    def test_property_bounds(self, pairs):
+        value = mnfti(pairs)
+        # at least 2 failures (one to degrade, one to kill), at most all
+        # processors plus one
+        assert 2.0 <= value <= 2 * pairs + 1
+
+
+class TestMtti:
+    def test_one_pair(self):
+        cluster = Cluster(processors=2, mtbf=1000.0)
+        assert mtti(cluster, 2) == pytest.approx(2.0 * 1000.0 / 2)
+
+    def test_grows_with_platform_reliability(self):
+        a = mtti(Cluster(processors=8, mtbf=1000.0), 8)
+        b = mtti(Cluster(processors=8, mtbf=2000.0), 8)
+        assert b == pytest.approx(2 * a)
+
+    def test_longer_than_plain_task_mtbf(self):
+        cluster = Cluster(processors=64, mtbf=1000.0)
+        assert mtti(cluster, 64) > cluster.task_mtbf(64)
+
+    def test_rejects_odd_j(self):
+        cluster = Cluster(processors=8, mtbf=1000.0)
+        with pytest.raises(CapacityError):
+            mtti(cluster, 3)
+
+
+@pytest.fixture()
+def pack():
+    return uniform_pack(3, m_inf=50_000, m_sup=100_000, seed=13)
+
+
+class TestReplicatedModel:
+    def test_fault_free_time_uses_half_processors(self, pack):
+        cluster = Cluster.with_mtbf_years(16, mtbf_years=100.0)
+        model = ReplicatedExpectedTimeModel(pack, cluster)
+        assert model.fault_free_time(0, 8) == pytest.approx(
+            pack[0].fault_free_time(4)
+        )
+
+    def test_checkpoint_cost_uses_logical_procs(self, pack):
+        cluster = Cluster.with_mtbf_years(16, mtbf_years=100.0)
+        model = ReplicatedExpectedTimeModel(pack, cluster)
+        assert model.checkpoint_cost(0, 8) == pytest.approx(
+            pack[0].checkpoint_cost / 4
+        )
+
+    def test_expected_time_above_fault_free(self, pack):
+        cluster = Cluster.with_mtbf_years(16, mtbf_years=10.0)
+        model = ReplicatedExpectedTimeModel(pack, cluster)
+        assert model.expected_time(0, 8, 1.0) > model.fault_free_time(0, 8)
+
+    def test_envelope_non_increasing(self, pack):
+        cluster = Cluster.with_mtbf_years(32, mtbf_years=10.0)
+        model = ReplicatedExpectedTimeModel(pack, cluster)
+        profile = model.profile(0, 1.0)
+        assert np.all(np.diff(profile) <= 1e-9 * profile[:-1])
+
+    def test_alpha_zero_costs_nothing(self, pack):
+        cluster = Cluster.with_mtbf_years(16, mtbf_years=10.0)
+        model = ReplicatedExpectedTimeModel(pack, cluster)
+        assert model.expected_time(0, 4, 0.0) == 0.0
+
+    def test_alpha_monotone(self, pack):
+        cluster = Cluster.with_mtbf_years(16, mtbf_years=10.0)
+        model = ReplicatedExpectedTimeModel(pack, cluster)
+        assert model.expected_time(0, 4, 0.5) <= model.expected_time(0, 4, 1.0)
+
+    def test_threshold_within_grid(self, pack):
+        cluster = Cluster.with_mtbf_years(16, mtbf_years=10.0)
+        model = ReplicatedExpectedTimeModel(pack, cluster)
+        threshold = model.threshold(0)
+        assert 2 <= threshold <= 16 and threshold % 2 == 0
+
+    def test_rejects_odd_j(self, pack):
+        cluster = Cluster.with_mtbf_years(16, mtbf_years=10.0)
+        model = ReplicatedExpectedTimeModel(pack, cluster)
+        with pytest.raises(CapacityError):
+            model.expected_time(0, 5, 1.0)
+
+    def test_rejects_bad_alpha(self, pack):
+        cluster = Cluster.with_mtbf_years(16, mtbf_years=10.0)
+        model = ReplicatedExpectedTimeModel(pack, cluster)
+        with pytest.raises(ConfigurationError):
+            model.expected_time(0, 4, 1.5)
+
+
+class TestCheckpointingVsReplication:
+    def test_checkpointing_wins_on_reliable_platform(self, pack):
+        cluster = Cluster.with_mtbf_years(16, mtbf_years=100.0)
+        plain = ExpectedTimeModel(pack, cluster)
+        replicated = ReplicatedExpectedTimeModel(pack, cluster)
+        assert plain.expected_time(0, 8, 1.0) < replicated.expected_time(
+            0, 8, 1.0
+        )
+
+    def test_replication_wins_on_terrible_platform(self, pack):
+        # per-processor MTBF of minutes: plain checkpointing thrashes
+        cluster = Cluster(processors=16, mtbf=600.0, downtime=0.0)
+        plain = ExpectedTimeModel(pack, cluster)
+        replicated = ReplicatedExpectedTimeModel(pack, cluster)
+        assert replicated.expected_time(0, 16, 1.0) < plain.expected_time(
+            0, 16, 1.0
+        )
+
+
+class TestCrossover:
+    def test_crossover_found_and_consistent(self, pack):
+        crossover = crossover_mtbf(pack, 0, 16, mtbf_low=60.0)
+        assert crossover is not None
+        # below the crossover replication must win, above it must lose
+        for factor, repl_wins in ((0.2, True), (5.0, False)):
+            cluster = Cluster(processors=16, mtbf=crossover * factor)
+            plain = ExpectedTimeModel(pack, cluster, max_procs=16)
+            replicated = ReplicatedExpectedTimeModel(pack, cluster, max_procs=16)
+            delta = plain.expected_time(0, 16, 1.0) - replicated.expected_time(
+                0, 16, 1.0
+            )
+            assert (delta > 0) == repl_wins
+
+    def test_none_when_checkpointing_always_wins(self, pack):
+        # restrict the range to very reliable platforms
+        result = crossover_mtbf(
+            pack, 0, 16, mtbf_low=50 * 365.25 * 86400, mtbf_high=100 * 365.25 * 86400
+        )
+        assert result is None
+
+    def test_rejects_inverted_range(self, pack):
+        with pytest.raises(ConfigurationError):
+            crossover_mtbf(pack, 0, 8, mtbf_low=100.0, mtbf_high=10.0)
+
+    def test_rejects_odd_j(self, pack):
+        with pytest.raises(CapacityError):
+            crossover_mtbf(pack, 0, 7)

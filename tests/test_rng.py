@@ -1,0 +1,86 @@
+"""Deterministic RNG stream derivation."""
+
+import numpy as np
+import pytest
+
+from repro.rng import derive_rng, derive_seed_sequence, spawn_rngs
+
+
+class TestDeriveRng:
+    def test_same_key_same_stream(self):
+        a = derive_rng(7, "faults").random(8)
+        b = derive_rng(7, "faults").random(8)
+        assert np.array_equal(a, b)
+
+    def test_different_seed_different_stream(self):
+        a = derive_rng(7, "faults").random(8)
+        b = derive_rng(8, "faults").random(8)
+        assert not np.array_equal(a, b)
+
+    def test_different_key_different_stream(self):
+        a = derive_rng(7, "faults").random(8)
+        b = derive_rng(7, "workload").random(8)
+        assert not np.array_equal(a, b)
+
+    def test_int_keys(self):
+        a = derive_rng(7, 3).random(4)
+        b = derive_rng(7, 3).random(4)
+        c = derive_rng(7, 4).random(4)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_negative_int_key_distinct_from_positive(self):
+        a = derive_rng(7, -3).random(4)
+        b = derive_rng(7, 3).random(4)
+        assert not np.array_equal(a, b)
+
+    def test_mixed_keys(self):
+        a = derive_rng(1, "rep", 5).random(4)
+        b = derive_rng(1, "rep", 5).random(4)
+        assert np.array_equal(a, b)
+
+    def test_bool_key_rejected(self):
+        with pytest.raises(TypeError):
+            derive_rng(1, True)
+
+    def test_unsupported_key_type_rejected(self):
+        with pytest.raises(TypeError):
+            derive_rng(1, 3.14)  # type: ignore[arg-type]
+
+    def test_key_order_matters(self):
+        a = derive_rng(1, "a", "b").random(4)
+        b = derive_rng(1, "b", "a").random(4)
+        assert not np.array_equal(a, b)
+
+
+class TestSeedSequence:
+    def test_returns_seed_sequence(self):
+        assert isinstance(derive_seed_sequence(1, "x"), np.random.SeedSequence)
+
+    def test_deterministic_entropy(self):
+        a = derive_seed_sequence(1, "x").entropy
+        b = derive_seed_sequence(1, "x").entropy
+        assert a == b
+
+
+class TestSpawn:
+    def test_spawn_count(self):
+        assert len(spawn_rngs(3, 5, "pool")) == 5
+
+    def test_spawn_streams_differ(self):
+        streams = spawn_rngs(3, 3, "pool")
+        draws = [stream.random(4) for stream in streams]
+        assert not np.array_equal(draws[0], draws[1])
+        assert not np.array_equal(draws[1], draws[2])
+
+    def test_spawn_deterministic(self):
+        a = spawn_rngs(3, 2, "pool")[0].random(4)
+        b = spawn_rngs(3, 2, "pool")[0].random(4)
+        assert np.array_equal(a, b)
+
+    def test_spawn_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(3, -1)
+
+    def test_spawn_zero(self):
+        assert spawn_rngs(3, 0) == []

@@ -1,0 +1,201 @@
+"""Tests for repro.resilience.silent (silent errors + verification)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import Cluster, uniform_pack
+from repro.exceptions import CapacityError, ConfigurationError
+from repro.resilience.silent import (
+    SilentErrorConfig,
+    SilentErrorModel,
+    simulate_silent_execution,
+)
+
+
+@pytest.fixture()
+def model() -> SilentErrorModel:
+    pack = uniform_pack(2, m_inf=50_000, m_sup=100_000, seed=17)
+    cluster = Cluster.with_mtbf_years(8, mtbf_years=5.0)
+    config = SilentErrorConfig(
+        silent_rate=1.0 / (5.0 * 365.25 * 86400.0),  # same scale as fail-stop
+        verification_unit_cost=0.1,
+    )
+    return SilentErrorModel(pack, cluster, config)
+
+
+class TestConfig:
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ConfigurationError):
+            SilentErrorConfig(silent_rate=-1.0)
+
+    def test_rejects_negative_verification(self):
+        with pytest.raises(ConfigurationError):
+            SilentErrorConfig(silent_rate=0.0, verification_unit_cost=-0.1)
+
+
+class TestPrimitives:
+    def test_verification_scales_inverse_j(self, model):
+        assert model.verification_cost(0, 8) == pytest.approx(
+            model.verification_cost(0, 2) / 4
+        )
+
+    def test_verification_cheaper_than_checkpoint(self, model):
+        # v = 0.1 while c = 1.0 in the default workload
+        assert model.verification_cost(0, 4) < model.checkpoint_cost(0, 4)
+
+    def test_rates_scale_with_j(self, model):
+        assert model.silent_rate(8) == pytest.approx(4 * model.silent_rate(2))
+        assert model.failstop_rate(8) == pytest.approx(
+            4 * model.failstop_rate(2)
+        )
+
+    def test_rejects_odd_j(self, model):
+        with pytest.raises(CapacityError):
+            model.checkpoint_cost(0, 3)
+
+
+class TestPatternTime:
+    def test_exceeds_raw_length(self, model):
+        work = 1000.0
+        raw = work + model.verification_cost(0, 4) + model.checkpoint_cost(0, 4)
+        assert model.pattern_time(0, 4, work) > raw * 0.999
+
+    def test_monotone_in_work(self, model):
+        times = [model.pattern_time(0, 4, w) for w in (100.0, 1000.0, 10_000.0)]
+        assert times[0] < times[1] < times[2]
+
+    def test_rejects_non_positive_work(self, model):
+        with pytest.raises(ConfigurationError):
+            model.pattern_time(0, 4, 0.0)
+
+    def test_silent_free_matches_failstop_only(self):
+        pack = uniform_pack(1, m_inf=50_000, m_sup=50_000, seed=1)
+        cluster = Cluster.with_mtbf_years(4, mtbf_years=5.0)
+        silent_free = SilentErrorModel(
+            pack, cluster, SilentErrorConfig(silent_rate=0.0)
+        )
+        work = 5_000.0
+        # with lambda_s = 0 the closure reduces to the fail-stop formula
+        cost = silent_free.checkpoint_cost(0, 4)
+        verification = silent_free.verification_cost(0, 4)
+        lam = silent_free.failstop_rate(4)
+        expected = (
+            math.exp(lam * cost)
+            * (1.0 / lam + cluster.downtime)
+            * math.expm1(lam * (work + verification + cost))
+        )
+        assert silent_free.pattern_time(0, 4, work) == pytest.approx(expected)
+
+
+class TestOptimalWork:
+    def test_first_order_formula(self, model):
+        j = 4
+        overhead = model.checkpoint_cost(0, j) + model.verification_cost(0, j)
+        rate = model.failstop_rate(j) / 2 + model.silent_rate(j)
+        assert model.first_order_work(0, j) == pytest.approx(
+            math.sqrt(overhead / rate)
+        )
+
+    def test_numeric_close_to_first_order(self, model):
+        # first-order is accurate when overhead << MTBF
+        first = model.first_order_work(0, 4)
+        best = model.optimal_work(0, 4)
+        assert 0.5 * first < best < 2.0 * first
+
+    def test_numeric_is_a_local_optimum(self, model):
+        best = model.optimal_work(0, 4)
+        efficiency = lambda w: model.pattern_time(0, 4, w) / w  # noqa: E731
+        assert efficiency(best) <= efficiency(best * 1.3) + 1e-9
+        assert efficiency(best) <= efficiency(best / 1.3) + 1e-9
+
+    def test_memoised(self, model):
+        assert model.optimal_work(0, 4) is not None
+        assert (0, 4) in model._work_cache
+
+
+class TestExpectedTime:
+    def test_zero_alpha(self, model):
+        assert model.expected_time(0, 4, 0.0) == 0.0
+
+    def test_monotone_in_alpha(self, model):
+        assert model.expected_time(0, 4, 0.5) < model.expected_time(0, 4, 1.0)
+
+    def test_exceeds_fault_free(self, model):
+        t_ff = model.pack[0].fault_free_time(4)
+        assert model.expected_time(0, 4, 1.0) > t_ff
+
+    def test_higher_silent_rate_costs_more(self):
+        pack = uniform_pack(1, m_inf=50_000, m_sup=50_000, seed=3)
+        cluster = Cluster.with_mtbf_years(4, mtbf_years=5.0)
+        year = 365.25 * 86400.0
+        low = SilentErrorModel(
+            pack, cluster, SilentErrorConfig(silent_rate=1 / (50 * year))
+        )
+        high = SilentErrorModel(
+            pack, cluster, SilentErrorConfig(silent_rate=1 / (0.5 * year))
+        )
+        assert high.expected_time(0, 4, 1.0) > low.expected_time(0, 4, 1.0)
+
+    def test_rejects_bad_alpha(self, model):
+        with pytest.raises(ConfigurationError):
+            model.expected_time(0, 4, -0.1)
+
+    def test_explicit_work_override(self, model):
+        best = model.expected_time(0, 4, 1.0)
+        off = model.expected_time(0, 4, 1.0, work=model.optimal_work(0, 4) * 20)
+        assert off >= best * 0.999
+
+
+class TestProfile:
+    def test_envelope_non_increasing(self, model):
+        profile = model.profile(0, 1.0)
+        assert np.all(np.diff(profile) <= 1e-9 * np.abs(profile[:-1]))
+
+    def test_threshold_in_grid(self, model):
+        threshold = model.threshold(0)
+        assert threshold % 2 == 0
+        assert 2 <= threshold <= int(model.j_grid[-1])
+
+    def test_verification_overhead_fraction(self, model):
+        overhead = model.verification_overhead(0, 4)
+        assert 0.0 < overhead < 0.5
+
+
+class TestMonteCarloAgreement:
+    def test_error_free_limit_deterministic(self):
+        pack = uniform_pack(1, m_inf=20_000, m_sup=20_000, seed=5)
+        cluster = Cluster.with_mtbf_years(4, mtbf_years=1e9)
+        model = SilentErrorModel(
+            pack, cluster, SilentErrorConfig(silent_rate=0.0)
+        )
+        rng = np.random.default_rng(0)
+        work = 10_000.0
+        sampled = simulate_silent_execution(model, 0, 4, work=work, rng=rng)
+        t_ff = pack[0].fault_free_time(4)
+        n_patterns = math.ceil(t_ff / work)
+        overhead = model.verification_cost(0, 4) + model.checkpoint_cost(0, 4)
+        assert sampled == pytest.approx(t_ff + n_patterns * overhead, rel=1e-6)
+
+    def test_mean_matches_analytic_within_ci(self):
+        pack = uniform_pack(1, m_inf=20_000, m_sup=20_000, seed=5)
+        # hostile platform so errors actually occur in the sample
+        cluster = Cluster.with_mtbf_years(4, mtbf_years=0.02)
+        year = 365.25 * 86400.0
+        model = SilentErrorModel(
+            pack, cluster, SilentErrorConfig(silent_rate=1 / (0.02 * year))
+        )
+        rng = np.random.default_rng(42)
+        samples = np.array(
+            [
+                simulate_silent_execution(model, 0, 4, rng=rng)
+                for _ in range(200)
+            ]
+        )
+        predicted = model.expected_time(0, 4, 1.0)
+        stderr = samples.std(ddof=1) / math.sqrt(samples.size)
+        # 5-sigma tolerance: statistical, not flaky
+        assert abs(samples.mean() - predicted) < 5 * stderr + 0.05 * predicted

@@ -1,0 +1,137 @@
+"""Simulator edge cases."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.core.policy import Policy, get_policy
+from repro.exceptions import ConfigurationError
+from repro.resilience import TraceFaults
+from repro.simulation import Simulator, simulate
+from repro.tasks import homogeneous_pack, uniform_pack
+
+
+class TestSingleTask:
+    def test_single_task_completes(self):
+        pack = homogeneous_pack(1, 5000.0)
+        cluster = Cluster.with_mtbf_years(8, 1000.0)
+        result = simulate(pack, cluster, "ig-el", seed=0)
+        assert result.n == 1
+        assert math.isfinite(result.makespan)
+
+    def test_single_task_with_failures(self):
+        pack = homogeneous_pack(1, 8000.0)
+        cluster = Cluster.with_mtbf_years(8, 0.005)  # very failure-prone
+        result = simulate(pack, cluster, "ig-el", seed=0)
+        assert result.failures_effective > 0
+        assert math.isfinite(result.makespan)
+
+
+class TestPolicyInput:
+    def test_policy_object_accepted(self, small_pack, small_cluster):
+        policy = get_policy("stf-el")
+        result = simulate(small_pack, small_cluster, policy, seed=1)
+        assert result.policy == "stf-el"
+
+    def test_unknown_policy_rejected(self, small_pack, small_cluster):
+        with pytest.raises(ConfigurationError):
+            simulate(small_pack, small_cluster, "nonsense", seed=1)
+
+    def test_custom_policy(self, small_pack, small_cluster):
+        from repro.core import EndLocal, ShortestTasksFirst
+
+        policy = Policy("custom", EndLocal(), ShortestTasksFirst())
+        result = simulate(small_pack, small_cluster, policy, seed=1)
+        assert result.policy == "custom"
+
+
+class TestDeterministicFaults:
+    def test_trace_backed_failures(self):
+        """A hand-written trace hits specific processors at specific times."""
+        pack = homogeneous_pack(2, 8000.0)
+        cluster = Cluster.with_mtbf_years(4, 1000.0, downtime=10.0)
+        fault_free = simulate(
+            pack, cluster, "no-redistribution", seed=0, inject_faults=False
+        )
+        # One failure on processor 0 halfway through the run.
+        trace = TraceFaults(
+            [[fault_free.makespan * 0.5]] + [[]] * 3
+        )
+        result = simulate(
+            pack,
+            cluster,
+            "no-redistribution",
+            seed=0,
+            fault_distribution=trace,
+        )
+        assert result.failures_effective == 1
+        assert result.makespan > fault_free.makespan
+
+    def test_failure_after_completion_is_idle(self):
+        pack = homogeneous_pack(2, 8000.0)
+        cluster = Cluster.with_mtbf_years(4, 1000.0)
+        fault_free = simulate(
+            pack, cluster, "no-redistribution", seed=0, inject_faults=False
+        )
+        trace = TraceFaults([[fault_free.makespan * 0.99999]] + [[]] * 3)
+        # The failing processor belongs to a task that is still running at
+        # that instant, so this is effective; push it *after* everything:
+        trace_late = TraceFaults([[fault_free.makespan * 2]] + [[]] * 3)
+        result = simulate(
+            pack, cluster, "no-redistribution", seed=0,
+            fault_distribution=trace_late,
+        )
+        # No failure before the end: nothing recorded at all.
+        assert result.failures_total == 0
+
+    def test_masked_failure_during_recovery(self):
+        """Two failures in quick succession: the second falls in D+R."""
+        pack = homogeneous_pack(1, 8000.0)
+        cluster = Cluster.with_mtbf_years(2, 1000.0, downtime=1000.0)
+        fault_free = simulate(
+            pack, cluster, "no-redistribution", seed=0, inject_faults=False
+        )
+        t0 = fault_free.makespan * 0.5
+        trace = TraceFaults([[t0], [t0 + 1.0]])
+        result = simulate(
+            pack, cluster, "no-redistribution", seed=0,
+            fault_distribution=trace,
+        )
+        assert result.failures_effective == 1
+        assert result.failures_masked == 1
+
+
+class TestSharedModel:
+    def test_model_reuse_across_policies(self, small_pack, small_cluster):
+        from repro.resilience import ExpectedTimeModel
+
+        model = ExpectedTimeModel(small_pack, small_cluster)
+        a = Simulator(
+            small_pack, small_cluster, "ig-el", seed=2, model=model
+        ).run()
+        b = Simulator(
+            small_pack, small_cluster, "ig-el", seed=2, model=model
+        ).run()
+        assert a.makespan == b.makespan
+
+    def test_shared_vs_private_model_identical(self, small_pack, small_cluster):
+        from repro.resilience import ExpectedTimeModel
+
+        model = ExpectedTimeModel(small_pack, small_cluster)
+        shared = Simulator(
+            small_pack, small_cluster, "stf-eg", seed=2, model=model
+        ).run()
+        private = Simulator(small_pack, small_cluster, "stf-eg", seed=2).run()
+        assert shared.makespan == private.makespan
+
+
+class TestHighFailureRate:
+    @pytest.mark.parametrize("policy", ["no-redistribution", "ig-el", "stf-el"])
+    def test_terminates_under_heavy_failures(self, policy):
+        pack = uniform_pack(4, m_inf=6000, m_sup=10000, seed=1)
+        cluster = Cluster.with_mtbf_years(16, 0.003)
+        result = simulate(pack, cluster, policy, seed=1)
+        assert math.isfinite(result.makespan)
+        assert result.failures_effective > 3

@@ -1,0 +1,158 @@
+"""Deterministic failure-injection tests via TraceFaults.
+
+TraceFaults replays exact per-processor failure instants, making the
+simulator's failure handling testable without randomness: we can aim a
+failure at a precise processor at a precise time and assert the exact
+consequence (effective hit, idle hit, masked hit, rollback magnitude).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import Cluster, Simulator, simulate
+from repro.resilience import TraceFaults
+from repro.resilience.expected_time import ExpectedTimeModel
+from repro.tasks import homogeneous_pack, uniform_pack
+
+
+def _traces(p: int, events: dict[int, list[float]]) -> TraceFaults:
+    """Trace with the given {processor: [times]} map, empty elsewhere."""
+    return TraceFaults([events.get(proc, []) for proc in range(p)])
+
+
+@pytest.fixture()
+def quiet_cluster() -> Cluster:
+    # enormous MTBF: tau is huge, so checkpoint overhead is negligible
+    # and *injected* trace failures dominate the run
+    return Cluster.with_mtbf_years(8, mtbf_years=50.0)
+
+
+class TestTargetedFailures:
+    def test_failure_on_busy_processor_is_effective(self, quiet_cluster):
+        pack = homogeneous_pack(2, 5_000.0)
+        model = ExpectedTimeModel(pack, quiet_cluster)
+        fault_free = Simulator(
+            pack, quiet_cluster, "no-redistribution",
+            inject_faults=False, model=model,
+        ).run()
+        strike = fault_free.makespan * 0.5
+        result = Simulator(
+            pack,
+            quiet_cluster,
+            "no-redistribution",
+            fault_distribution=_traces(8, {0: [strike]}),
+            model=model,
+        ).run()
+        assert result.failures_effective == 1
+        assert result.makespan > fault_free.makespan
+
+    def test_failure_on_idle_processor_is_harmless(self, quiet_cluster):
+        # 2 tasks x 2 procs = 4 busy; processors 4..7 idle... but the
+        # initial schedule may grant more pairs, so check against it.
+        pack = homogeneous_pack(2, 5_000.0)
+        model = ExpectedTimeModel(pack, quiet_cluster)
+        fault_free = Simulator(
+            pack, quiet_cluster, "no-redistribution",
+            inject_faults=False, model=model,
+        ).run()
+        busy = sum(fault_free.initial_sigma.values())
+        if busy >= 8:
+            pytest.skip("no idle processor in this schedule")
+        idle_proc = 7  # ProcessorMap hands out ids from 0 upward
+        result = Simulator(
+            pack,
+            quiet_cluster,
+            "no-redistribution",
+            fault_distribution=_traces(
+                8, {idle_proc: [fault_free.makespan * 0.5]}
+            ),
+            model=model,
+        ).run()
+        assert result.failures_idle == 1
+        assert result.failures_effective == 0
+        assert result.makespan == pytest.approx(fault_free.makespan)
+
+    def test_failure_after_completion_never_fires(self, quiet_cluster):
+        pack = homogeneous_pack(2, 5_000.0)
+        model = ExpectedTimeModel(pack, quiet_cluster)
+        fault_free = Simulator(
+            pack, quiet_cluster, "no-redistribution",
+            inject_faults=False, model=model,
+        ).run()
+        result = Simulator(
+            pack,
+            quiet_cluster,
+            "no-redistribution",
+            fault_distribution=_traces(8, {0: [fault_free.makespan * 2]}),
+            model=model,
+        ).run()
+        assert result.failures_total == 0
+        assert result.makespan == pytest.approx(fault_free.makespan)
+
+    def test_back_to_back_failures_masked_during_recovery(self):
+        # the second failure lands inside the first one's D + R window
+        cluster = Cluster(processors=4, mtbf=50.0 * 365.25 * 86400, downtime=500.0)
+        pack = homogeneous_pack(1, 20_000.0)
+        model = ExpectedTimeModel(pack, cluster)
+        strike = 1_000.0
+        result = Simulator(
+            pack,
+            cluster,
+            "no-redistribution",
+            fault_distribution=_traces(4, {0: [strike, strike + 100.0]}),
+            model=model,
+        ).run()
+        assert result.failures_effective == 1
+        assert result.failures_masked == 1
+
+    def test_rollback_loses_uncheckpointed_work(self, quiet_cluster):
+        """A failure before the first checkpoint redoes everything."""
+        pack = homogeneous_pack(1, 20_000.0)
+        model = ExpectedTimeModel(pack, quiet_cluster)
+        fault_free = Simulator(
+            pack, quiet_cluster, "no-redistribution",
+            inject_faults=False, model=model,
+        ).run()
+        sigma = fault_free.initial_sigma[0]
+        tau = model.period(0, sigma)
+        # at 50y MTBF the Young period exceeds the whole run, so any
+        # strike before completion precedes the first checkpoint
+        assert tau > fault_free.makespan
+        strike = fault_free.makespan * 0.5
+        result = Simulator(
+            pack,
+            quiet_cluster,
+            "no-redistribution",
+            fault_distribution=_traces(8, {0: [strike]}),
+            model=model,
+        ).run()
+        # everything up to the strike is lost, plus downtime + recovery
+        expected_extra = strike + quiet_cluster.downtime + model.recovery(0, sigma)
+        assert result.makespan == pytest.approx(
+            fault_free.makespan + expected_extra, rel=1e-6
+        )
+
+
+class TestFaultyVsFaultFreeMonotonicity:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_failures_never_help_static_schedules(self, seed):
+        """Under no-redistribution, failures only ever add time.
+
+        Per task: the allocation never changes, so a task's completion
+        under failures dominates its fault-free completion.  (The pack
+        *makespan* can stay flat when the failures miss the critical
+        task, so the per-task form is the tight invariant.)
+        """
+        pack = uniform_pack(4, m_inf=3_000, m_sup=9_000, seed=seed)
+        cluster = Cluster.with_mtbf_years(12, mtbf_years=0.02)
+        faulty = simulate(pack, cluster, "no-redistribution", seed=seed)
+        clean = simulate(
+            pack, cluster, "no-redistribution", seed=seed, inject_faults=False
+        )
+        for i in range(len(pack)):
+            assert (
+                faulty.completion_times[i] >= clean.completion_times[i] - 1e-9
+            )

@@ -1,0 +1,152 @@
+"""Speedup profiles (Eq. 10 and alternatives)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.tasks import (
+    AmdahlProfile,
+    GustafsonProfile,
+    PaperSyntheticProfile,
+    PowerLawProfile,
+    PROFILE_REGISTRY,
+    check_non_decreasing_work,
+    check_non_increasing_time,
+    get_profile,
+)
+
+
+class TestPaperSyntheticProfile:
+    def test_sequential_time_formula(self):
+        # t(m, 1) = 2 m log2 m  plus the communication term m log2 m
+        profile = PaperSyntheticProfile(seq_fraction=0.08)
+        m = 1024.0
+        expected = 0.08 * 2 * m * 10 + 0.92 * 2 * m * 10 + m * 10
+        assert math.isclose(profile.time(m, 1), expected)
+
+    def test_eq10_hand_computed(self):
+        profile = PaperSyntheticProfile(seq_fraction=0.1)
+        m, q = 2.0**10, 4
+        t1 = 2 * m * 10
+        expected = 0.1 * t1 + 0.9 * t1 / q + (m / q) * 10
+        assert math.isclose(profile.time(m, q), expected)
+
+    def test_fully_parallel_floor_is_sequential_fraction(self):
+        # As q -> inf, time approaches f * t(m,1).
+        profile = PaperSyntheticProfile(seq_fraction=0.08)
+        m = 1e6
+        t_inf = profile.time(m, 10**9)
+        assert math.isclose(t_inf, 0.08 * 2 * m * math.log2(m), rel_tol=1e-6)
+
+    def test_vectorised_matches_scalar(self):
+        profile = PaperSyntheticProfile()
+        q = np.array([1, 2, 4, 8, 16])
+        vector = profile.time(5000.0, q)
+        scalars = [profile.time(5000.0, int(qi)) for qi in q]
+        assert np.allclose(vector, scalars)
+
+    def test_non_increasing_time(self):
+        assert check_non_increasing_time(PaperSyntheticProfile(), 1e5, 256)
+
+    def test_non_decreasing_work(self):
+        assert check_non_decreasing_work(PaperSyntheticProfile(), 1e5, 256)
+
+    def test_zero_seq_fraction_allowed(self):
+        profile = PaperSyntheticProfile(seq_fraction=0.0)
+        assert profile.time(1000.0, 10) > 0
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PaperSyntheticProfile(seq_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            PaperSyntheticProfile(seq_fraction=-0.1)
+
+    def test_negative_comm_factor_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PaperSyntheticProfile(comm_factor=-1.0)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PaperSyntheticProfile().time(0.0, 2)
+
+    def test_invalid_q_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PaperSyntheticProfile().time(100.0, 0)
+
+    def test_speedup_at_one_is_one(self):
+        assert math.isclose(PaperSyntheticProfile().speedup(1e4, 1), 1.0)
+
+    def test_work_grows_with_q(self):
+        profile = PaperSyntheticProfile()
+        assert profile.work(1e4, 32) > profile.work(1e4, 2)
+
+
+class TestAmdahl:
+    def test_limit_is_sequential_fraction(self):
+        profile = AmdahlProfile(seq_fraction=0.25)
+        m = 1e5
+        assert math.isclose(
+            profile.time(m, 10**9), 0.25 * 2 * m * math.log2(m), rel_tol=1e-6
+        )
+
+    def test_monotonicity(self):
+        assert check_non_increasing_time(AmdahlProfile(), 1e5, 128)
+        assert check_non_decreasing_work(AmdahlProfile(), 1e5, 128)
+
+    def test_speedup_bounded_by_inverse_fraction(self):
+        profile = AmdahlProfile(seq_fraction=0.1)
+        assert profile.speedup(1e5, 10**6) < 10.0
+
+
+class TestGustafson:
+    def test_scaled_speedup(self):
+        profile = GustafsonProfile(seq_fraction=0.2)
+        m = 1e5
+        assert math.isclose(
+            profile.speedup(m, 10), 0.2 + 0.8 * 10, rel_tol=1e-9
+        )
+
+    def test_monotone_time(self):
+        assert check_non_increasing_time(GustafsonProfile(), 1e5, 128)
+
+    def test_beta_overhead_increases_time(self):
+        plain = GustafsonProfile(seq_fraction=0.2)
+        loaded = GustafsonProfile(seq_fraction=0.2, beta=10.0)
+        assert loaded.time(1e5, 64) > plain.time(1e5, 64)
+
+
+class TestPowerLaw:
+    def test_perfect_parallelism_at_sigma_one(self):
+        profile = PowerLawProfile(sigma=1.0)
+        m = 1e4
+        assert math.isclose(profile.time(m, 8), profile.time(m, 1) / 8)
+
+    def test_sublinear_speedup(self):
+        profile = PowerLawProfile(sigma=0.5)
+        assert math.isclose(profile.speedup(1e4, 16), 4.0, rel_tol=1e-9)
+
+    def test_sigma_bounds(self):
+        with pytest.raises(ConfigurationError):
+            PowerLawProfile(sigma=0.0)
+        with pytest.raises(ConfigurationError):
+            PowerLawProfile(sigma=1.5)
+
+    def test_monotonicity(self):
+        assert check_non_increasing_time(PowerLawProfile(0.7), 1e5, 128)
+        assert check_non_decreasing_work(PowerLawProfile(0.7), 1e5, 128)
+
+
+class TestRegistry:
+    def test_all_profiles_registered(self):
+        assert set(PROFILE_REGISTRY) == {"paper", "amdahl", "gustafson", "powerlaw"}
+
+    def test_get_profile_with_kwargs(self):
+        profile = get_profile("paper", seq_fraction=0.2)
+        assert isinstance(profile, PaperSyntheticProfile)
+        assert profile.seq_fraction == 0.2
+
+    def test_get_unknown_profile(self):
+        with pytest.raises(ConfigurationError, match="unknown speedup profile"):
+            get_profile("magic")

@@ -1,0 +1,79 @@
+"""TaskRuntime bookkeeping."""
+
+import math
+
+import pytest
+
+from repro.core import TaskRuntime
+from repro.exceptions import CapacityError, SimulationError
+from repro.tasks import TaskSpec
+
+
+@pytest.fixture
+def runtime():
+    spec = TaskSpec(index=3, size=1000.0, checkpoint_cost=100.0)
+    return TaskRuntime(spec)
+
+
+class TestDefaults:
+    def test_initial_state(self, runtime):
+        assert runtime.alpha == 1.0
+        assert runtime.t_last == 0.0
+        assert not runtime.completed
+        assert math.isinf(runtime.t_expected)
+
+    def test_index_from_spec(self, runtime):
+        assert runtime.index == 3
+
+
+class TestAssign:
+    def test_even_allocation(self, runtime):
+        runtime.assign(6)
+        assert runtime.sigma == 6
+
+    def test_zero_allowed(self, runtime):
+        runtime.assign(0)
+        assert runtime.sigma == 0
+
+    def test_odd_rejected(self, runtime):
+        with pytest.raises(CapacityError):
+            runtime.assign(3)
+
+    def test_below_pair_rejected(self, runtime):
+        with pytest.raises(CapacityError):
+            runtime.assign(1)
+
+    def test_negative_rejected(self, runtime):
+        with pytest.raises(CapacityError):
+            runtime.assign(-2)
+
+
+class TestCompletion:
+    def test_mark_completed(self, runtime):
+        runtime.assign(4)
+        runtime.mark_completed(123.0)
+        assert runtime.completed
+        assert runtime.completion_time == 123.0
+        assert runtime.alpha == 0.0
+        assert runtime.sigma == 0
+
+    def test_double_completion_rejected(self, runtime):
+        runtime.mark_completed(1.0)
+        with pytest.raises(SimulationError):
+            runtime.mark_completed(2.0)
+
+
+class TestBusy:
+    def test_busy_before_t_last(self, runtime):
+        runtime.t_last = 100.0
+        assert runtime.busy_at(50.0)
+        assert runtime.busy_at(100.0)  # boundary excluded per Alg. 2 line 15
+
+    def test_free_after_t_last(self, runtime):
+        runtime.t_last = 100.0
+        assert not runtime.busy_at(100.0001)
+
+    def test_completed_never_busy(self, runtime):
+        runtime.t_last = 100.0
+        runtime.mark_completed(10.0)
+        assert not runtime.busy_at(50.0)

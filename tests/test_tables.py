@@ -1,0 +1,76 @@
+"""Table rendering."""
+
+import numpy as np
+
+from repro.experiments import render_figure, render_table, render_trace_figure
+from repro.experiments.figures import FigureResult, TraceFigureResult
+
+
+class TestRenderTable:
+    def test_alignment_and_rule(self):
+        text = render_table(["a", "bb"], [["1", "2"], ["10", "20"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "--" in lines[1]
+
+    def test_wide_cells_fit(self):
+        text = render_table(["x"], [["a-very-wide-cell"]])
+        assert "a-very-wide-cell" in text
+
+
+def make_figure_result():
+    return FigureResult(
+        figure="figX",
+        title="Test figure",
+        x_name="#procs",
+        x_values=[10.0, 20.0],
+        labels={"no-rc": "Without RC", "rc": "With RC"},
+        normalized={"no-rc": [1.0, 1.0], "rc": [0.8, 0.9]},
+        means={"no-rc": [100.0, 50.0], "rc": [80.0, 45.0]},
+        descriptions=["n=2 p=10"],
+    )
+
+
+class TestRenderFigure:
+    def test_contains_title_and_labels(self):
+        text = render_figure(make_figure_result())
+        assert "Test figure" in text
+        assert "Without RC" in text
+        assert "With RC" in text
+
+    def test_contains_values(self):
+        text = render_figure(make_figure_result())
+        assert "0.800" in text
+        assert "1.000" in text
+
+    def test_precision(self):
+        text = render_figure(make_figure_result(), precision=1)
+        assert "0.8" in text
+        assert "0.800" not in text
+
+
+class TestRenderTraceFigure:
+    def test_renders_all_policies(self):
+        result = TraceFigureResult(
+            figure="fig9",
+            title="Trace",
+            labels={"no-rc": "No redistribution", "ig": "Iterated greedy"},
+            series={
+                "no-rc": {
+                    "failure_times": np.array([1.0]),
+                    "makespan": np.array([100.0]),
+                    "sigma_std": np.array([2.0]),
+                },
+                "ig": {
+                    "failure_times": np.array([]),
+                    "makespan": np.array([]),
+                    "sigma_std": np.array([]),
+                },
+            },
+            final_makespans={"no-rc": 100.0, "ig": 90.0},
+            descriptions=["n=2"],
+        )
+        text = render_trace_figure(result)
+        assert "No redistribution" in text
+        assert "Iterated greedy" in text
+        assert "(no failures)" in text

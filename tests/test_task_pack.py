@@ -1,0 +1,100 @@
+"""Task specifications and packs."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.tasks import Pack, PaperSyntheticProfile, TaskSpec
+
+
+def make_task(index=0, size=1000.0, cost=None):
+    return TaskSpec(
+        index=index,
+        size=size,
+        checkpoint_cost=size if cost is None else cost,
+    )
+
+
+class TestTaskSpec:
+    def test_default_name(self):
+        assert make_task(index=2).name == "T3"
+
+    def test_custom_name_kept(self):
+        task = TaskSpec(index=0, size=10.0, checkpoint_cost=1.0, name="solver")
+        assert task.name == "solver"
+
+    def test_fault_free_time_uses_profile(self):
+        task = make_task(size=2048.0)
+        profile = PaperSyntheticProfile()
+        assert math.isclose(task.fault_free_time(4), profile.time(2048.0, 4))
+
+    def test_sequential_time(self):
+        task = make_task(size=2048.0)
+        assert math.isclose(task.sequential_time(), task.fault_free_time(1))
+
+    def test_checkpoint_cost_on_divides(self):
+        task = make_task(cost=120.0)
+        assert task.checkpoint_cost_on(4) == 30.0
+
+    def test_checkpoint_cost_on_invalid_q(self):
+        with pytest.raises(ConfigurationError):
+            make_task().checkpoint_cost_on(0)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TaskSpec(index=-1, size=10.0, checkpoint_cost=1.0)
+
+    def test_nonpositive_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TaskSpec(index=0, size=0.0, checkpoint_cost=1.0)
+
+    def test_negative_checkpoint_cost_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TaskSpec(index=0, size=10.0, checkpoint_cost=-1.0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            make_task().size = 5.0  # type: ignore[misc]
+
+
+class TestPack:
+    def test_requires_contiguous_indices(self):
+        with pytest.raises(ConfigurationError, match="indexed 0..n-1"):
+            Pack([make_task(index=1)])
+
+    def test_requires_non_empty(self):
+        with pytest.raises(ConfigurationError):
+            Pack([])
+
+    def test_sequence_protocol(self):
+        pack = Pack([make_task(0), make_task(1), make_task(2)])
+        assert len(pack) == 3
+        assert pack[1].index == 1
+        assert [t.index for t in pack] == [0, 1, 2]
+
+    def test_n(self):
+        assert Pack([make_task(0)]).n == 1
+
+    def test_sizes_vector(self):
+        pack = Pack([make_task(0, size=10.0), make_task(1, size=20.0)])
+        assert np.array_equal(pack.sizes, [10.0, 20.0])
+
+    def test_checkpoint_costs_vector(self):
+        pack = Pack([make_task(0, cost=3.0), make_task(1, cost=4.0)])
+        assert np.array_equal(pack.checkpoint_costs, [3.0, 4.0])
+
+    def test_fault_free_times_vector(self):
+        pack = Pack([make_task(0, size=1024.0), make_task(1, size=2048.0)])
+        times = pack.fault_free_times(2)
+        assert times[0] == pytest.approx(pack[0].fault_free_time(2))
+        assert times[1] == pytest.approx(pack[1].fault_free_time(2))
+
+    def test_total_sequential_work_positive(self):
+        pack = Pack([make_task(0), make_task(1)])
+        assert pack.total_sequential_work() > 0
+
+    def test_slice_returns_tuple(self):
+        pack = Pack([make_task(0), make_task(1), make_task(2)])
+        assert len(pack[0:2]) == 2

@@ -1,0 +1,64 @@
+"""Exact solvers backing Theorem 1."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.exceptions import CapacityError, ConfigurationError
+from repro.resilience import ExpectedTimeModel
+from repro.tasks import homogeneous_pack, uniform_pack
+from repro.theory import brute_force_moldable, exact_no_redistribution
+
+
+@pytest.fixture
+def tiny_model():
+    pack = uniform_pack(3, m_inf=4000, m_sup=12000, seed=11)
+    cluster = Cluster.with_mtbf_years(12, 0.02)
+    return ExpectedTimeModel(pack, cluster)
+
+
+class TestBisectionExact:
+    def test_allocation_valid(self, tiny_model):
+        allocation, makespan = exact_no_redistribution(tiny_model, 12)
+        assert sum(allocation.values()) <= 12
+        assert all(j % 2 == 0 and j >= 2 for j in allocation.values())
+        assert makespan > 0
+
+    def test_matches_brute_force(self, tiny_model):
+        _, bisect_makespan = exact_no_redistribution(tiny_model, 12)
+        _, brute_makespan = brute_force_moldable(tiny_model, 12)
+        assert bisect_makespan == pytest.approx(brute_makespan, rel=1e-12)
+
+    def test_more_processors_never_worse(self, tiny_model):
+        _, small = exact_no_redistribution(tiny_model, 8)
+        _, large = exact_no_redistribution(tiny_model, 12)
+        assert large <= small + 1e-9
+
+    def test_capacity_error(self, tiny_model):
+        with pytest.raises(CapacityError):
+            exact_no_redistribution(tiny_model, 4)
+
+    def test_subset(self, tiny_model):
+        allocation, _ = exact_no_redistribution(tiny_model, 12, indices=[0, 2])
+        assert set(allocation) == {0, 2}
+
+    def test_homogeneous_split_evenly(self):
+        pack = homogeneous_pack(2, 8000.0)
+        cluster = Cluster.with_mtbf_years(8, 0.02)
+        model = ExpectedTimeModel(pack, cluster)
+        allocation, _ = exact_no_redistribution(model, 8)
+        assert allocation[0] == allocation[1]
+
+
+class TestBruteForce:
+    def test_explodes_gracefully(self, tiny_model):
+        with pytest.raises(ConfigurationError):
+            brute_force_moldable(tiny_model, 12, max_states=2)
+
+    def test_capacity_error(self, tiny_model):
+        with pytest.raises(CapacityError):
+            brute_force_moldable(tiny_model, 2)
+
+    def test_partial_alpha(self, tiny_model):
+        _, full = brute_force_moldable(tiny_model, 12, alpha=1.0)
+        _, half = brute_force_moldable(tiny_model, 12, alpha=0.5)
+        assert half < full

@@ -1,0 +1,184 @@
+"""Tests for repro.theory.online (lower bounds + competitive ratios)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Cluster, Simulator, simulate, uniform_pack
+from repro.exceptions import ConfigurationError
+from repro.simulation.result import SimulationResult
+from repro.theory.online import (
+    CompetitiveReport,
+    LowerBound,
+    competitive_ratio,
+    competitive_report,
+    failure_aware_lower_bound,
+    fault_free_lower_bound,
+)
+
+
+@pytest.fixture()
+def setting():
+    pack = uniform_pack(4, m_inf=2_000, m_sup=6_000, seed=31)
+    cluster = Cluster.with_mtbf_years(16, mtbf_years=100.0)
+    return pack, cluster
+
+
+class TestLowerBoundDataclass:
+    def test_rejects_inconsistent_value(self):
+        with pytest.raises(ConfigurationError):
+            LowerBound(value=1.0, area_bound=5.0, critical_path_bound=0.5)
+
+    def test_describe_mentions_surcharge(self):
+        bound = LowerBound(
+            value=10.0,
+            area_bound=10.0,
+            critical_path_bound=2.0,
+            failure_surcharge=1.0,
+        )
+        assert "failure-surcharge" in bound.describe()
+
+
+class TestFaultFreeLowerBound:
+    def test_dominates_components(self, setting):
+        pack, cluster = setting
+        bound = fault_free_lower_bound(pack, cluster.processors)
+        assert bound.value == max(bound.area_bound, bound.critical_path_bound)
+
+    def test_area_is_total_min_work_over_p(self, setting):
+        pack, cluster = setting
+        p = cluster.processors
+        bound = fault_free_lower_bound(pack, p)
+        counts = np.arange(2, p + 1, 2)
+        expected = sum(
+            min(counts * np.asarray(t.fault_free_time(counts))) for t in pack
+        ) / p
+        assert bound.area_bound == pytest.approx(expected)
+
+    def test_even_restriction_weakens_or_keeps(self, setting):
+        pack, cluster = setting
+        even = fault_free_lower_bound(pack, cluster.processors, even_only=True)
+        free = fault_free_lower_bound(pack, cluster.processors, even_only=False)
+        # unrestricted allocations can only reduce min work / time
+        assert free.value <= even.value + 1e-9
+
+    def test_rejects_tiny_platform(self, setting):
+        pack, _ = setting
+        with pytest.raises(ConfigurationError):
+            fault_free_lower_bound(pack, 1)
+
+    def test_actual_simulation_respects_bound(self, setting):
+        pack, cluster = setting
+        bound = fault_free_lower_bound(pack, cluster.processors)
+        for policy in ("no-redistribution", "ig-el", "stf-eg"):
+            result = simulate(pack, cluster, policy, seed=3)
+            assert result.makespan >= bound.value * (1 - 1e-9)
+
+    @given(seed=st.integers(0, 5_000), n=st.integers(2, 6))
+    @settings(max_examples=15, deadline=None)
+    def test_property_bound_never_exceeds_simulation(self, seed, n):
+        pack = uniform_pack(n, m_inf=1_000, m_sup=5_000, seed=seed)
+        cluster = Cluster.with_mtbf_years(4 * n, mtbf_years=2.0)
+        bound = fault_free_lower_bound(pack, cluster.processors)
+        result = simulate(pack, cluster, "ig-el", seed=seed)
+        assert result.makespan >= bound.value * (1 - 1e-9)
+
+
+class TestFailureAwareBound:
+    def test_no_failures_equals_fault_free(self, setting):
+        pack, cluster = setting
+        result = simulate(pack, cluster, "ig-el", seed=1, inject_faults=False)
+        aware = failure_aware_lower_bound(pack, cluster, result)
+        base = fault_free_lower_bound(pack, cluster.processors)
+        assert aware.value == pytest.approx(base.value)
+        assert aware.failure_surcharge == 0.0
+
+    def test_surcharge_grows_with_failures(self, setting):
+        pack, _ = setting
+        hostile = Cluster.with_mtbf_years(16, mtbf_years=0.02)
+        result = simulate(pack, hostile, "no-redistribution", seed=5)
+        if result.failures_effective == 0:
+            pytest.skip("no failures in this draw")
+        aware = failure_aware_lower_bound(pack, hostile, result)
+        assert aware.failure_surcharge > 0
+        assert result.makespan >= aware.value * (1 - 1e-9)
+
+
+class TestCompetitiveRatio:
+    def test_at_least_one(self, setting):
+        pack, cluster = setting
+        result = simulate(pack, cluster, "ig-el", seed=2)
+        bound = fault_free_lower_bound(pack, cluster.processors)
+        assert competitive_ratio(result, bound) >= 1.0
+
+    def test_rejects_impossible_makespan(self, setting):
+        pack, cluster = setting
+        bound = fault_free_lower_bound(pack, cluster.processors)
+        fake = SimulationResult(
+            policy="fake",
+            makespan=bound.value / 2,
+            completion_times=np.array([bound.value / 2]),
+            initial_sigma={0: 2},
+        )
+        with pytest.raises(ConfigurationError, match="below the certified"):
+            competitive_ratio(fake, bound)
+
+    def test_rejects_zero_bound(self, setting):
+        pack, cluster = setting
+        result = simulate(pack, cluster, "ig-el", seed=2)
+        bad = LowerBound(value=0.0, area_bound=0.0, critical_path_bound=0.0)
+        with pytest.raises(ConfigurationError):
+            competitive_ratio(result, bad)
+
+
+class TestCompetitiveReport:
+    def _paired_results(self, pack, cluster, seed=4):
+        return [
+            simulate(pack, cluster, policy, seed=seed)
+            for policy in ("no-redistribution", "ig-el", "stf-el")
+        ]
+
+    def test_report_structure(self, setting):
+        pack, cluster = setting
+        results = self._paired_results(pack, cluster)
+        report = competitive_report(pack, cluster, results)
+        assert set(report.ratios) == {"no-redistribution", "ig-el", "stf-el"}
+        assert all(r >= 1.0 for r in report.ratios.values())
+
+    def test_best_policy_minimises_ratio(self, setting):
+        pack, cluster = setting
+        report = competitive_report(
+            pack, cluster, self._paired_results(pack, cluster)
+        )
+        best = report.best_policy()
+        assert report.ratios[best] == min(report.ratios.values())
+
+    def test_render(self, setting):
+        pack, cluster = setting
+        report = competitive_report(
+            pack, cluster, self._paired_results(pack, cluster)
+        )
+        text = report.render()
+        assert "ratio=" in text and "LB=" in text
+
+    def test_rejects_duplicates(self, setting):
+        pack, cluster = setting
+        result = simulate(pack, cluster, "ig-el", seed=4)
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            competitive_report(pack, cluster, [result, result])
+
+    def test_rejects_empty(self, setting):
+        pack, cluster = setting
+        with pytest.raises(ConfigurationError):
+            competitive_report(pack, cluster, [])
+
+    def test_fault_free_mode(self, setting):
+        pack, cluster = setting
+        results = self._paired_results(pack, cluster)
+        report = competitive_report(
+            pack, cluster, results, failure_aware=False
+        )
+        assert report.bound.failure_surcharge == 0.0

@@ -1,0 +1,144 @@
+"""The Theorem 2 reduction (3-Partition -> redistribution scheduling)."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.theory import (
+    ScheduleStep,
+    ThreePartitionInstance,
+    build_reduction,
+    decide_reduced_instance,
+    random_no_instance,
+    random_yes_instance,
+    schedule_from_certificate,
+    solve_three_partition,
+    verify_schedule,
+)
+
+
+@pytest.fixture
+def yes_instance():
+    return ThreePartitionInstance(values=(90, 110, 100, 120, 80, 100), B=300)
+
+
+@pytest.fixture
+def reduced(yes_instance):
+    return build_reduction(yes_instance)
+
+
+class TestConstruction:
+    def test_task_and_processor_counts(self, reduced):
+        # n = 4m tasks on n processors
+        assert reduced.n == 8
+        assert reduced.processors == 8
+
+    def test_deadline(self, reduced, yes_instance):
+        assert reduced.deadline == max(yes_instance.values) + 1
+
+    def test_small_task_times(self, reduced, yes_instance):
+        for i, a in enumerate(yes_instance.values):
+            assert reduced.tasks[i].time(1) == a
+            assert reduced.tasks[i].time(2) == Fraction(3 * a, 4)
+            assert reduced.tasks[i].time(5) == Fraction(3 * a, 4)
+
+    def test_large_task_times(self, reduced):
+        D, B = reduced.deadline, reduced.source.B
+        big = reduced.tasks[6]
+        for j in range(1, 5):
+            assert big.time(j) == (4 * D - B) / j
+        assert big.time(5) == Fraction(2, 9) * (4 * D - B)
+
+    def test_times_non_increasing_in_j(self, reduced):
+        for table in reduced.tasks:
+            times = [table.time(j) for j in range(1, reduced.n + 1)]
+            assert all(b <= a for a, b in zip(times, times[1:]))
+
+    def test_work_non_decreasing_in_j(self, reduced):
+        for table in reduced.tasks:
+            works = [table.work(j) for j in range(1, reduced.n + 1)]
+            assert all(b >= a for a, b in zip(works, works[1:]))
+
+    def test_index_helpers(self, reduced):
+        assert list(reduced.small_indices()) == list(range(6))
+        assert list(reduced.large_indices()) == [6, 7]
+
+
+class TestWitnessSchedule:
+    def test_certificate_schedule_meets_deadline(self, reduced, yes_instance):
+        triples = solve_three_partition(yes_instance)
+        schedule = schedule_from_certificate(reduced, triples)
+        assert verify_schedule(reduced, schedule)
+
+    def test_invalid_certificate_rejected(self, reduced):
+        with pytest.raises(ConfigurationError):
+            schedule_from_certificate(reduced, [(0, 1, 2), (3, 4, 4)])
+
+    def test_total_work_is_tight(self, reduced, yes_instance):
+        # Proof of Theorem 2: sum a_i + m (4D - B) = n D exactly.
+        m, B, D = reduced.m, reduced.source.B, reduced.deadline
+        total = sum(yes_instance.values) + m * (4 * D - B)
+        assert total == reduced.n * D
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_yes_instances_schedule(self, seed):
+        rng = np.random.default_rng(seed)
+        instance = random_yes_instance(3, rng)
+        reduced = build_reduction(instance)
+        triples = solve_three_partition(instance)
+        schedule = schedule_from_certificate(reduced, triples)
+        assert verify_schedule(reduced, schedule)
+
+
+class TestVerifier:
+    def test_rejects_empty_schedule(self, reduced):
+        assert not verify_schedule(reduced, [])
+
+    def test_rejects_gap_in_steps(self, reduced):
+        steps = [
+            ScheduleStep(Fraction(0), Fraction(10), {i: 1 for i in range(8)}),
+            ScheduleStep(Fraction(20), Fraction(30), {i: 1 for i in range(8)}),
+        ]
+        assert not verify_schedule(reduced, steps)
+
+    def test_rejects_over_capacity(self, reduced):
+        steps = [
+            ScheduleStep(
+                Fraction(0), reduced.deadline, {i: 2 for i in range(8)}
+            )
+        ]
+        assert not verify_schedule(reduced, steps)
+
+    def test_rejects_incomplete_work(self, reduced):
+        steps = [
+            ScheduleStep(
+                Fraction(0), Fraction(1), {i: 1 for i in range(8)}
+            )
+        ]
+        assert not verify_schedule(reduced, steps)
+
+    def test_rejects_past_deadline(self, reduced):
+        steps = [
+            ScheduleStep(
+                Fraction(0),
+                reduced.deadline * 2,
+                {i: 1 for i in range(8)},
+            )
+        ]
+        assert not verify_schedule(reduced, steps)
+
+
+class TestDecision:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_yes_instances_decided_yes(self, seed):
+        rng = np.random.default_rng(seed)
+        reduced = build_reduction(random_yes_instance(2, rng))
+        assert decide_reduced_instance(reduced)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_no_instances_decided_no(self, seed):
+        rng = np.random.default_rng(seed + 100)
+        reduced = build_reduction(random_no_instance(2, rng))
+        assert not decide_reduced_instance(reduced)

@@ -1,0 +1,95 @@
+"""3-Partition instances and the exact solver."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.theory import (
+    ThreePartitionInstance,
+    random_no_instance,
+    random_yes_instance,
+    solve_three_partition,
+)
+
+
+class TestInstanceValidation:
+    def test_valid_instance(self):
+        inst = ThreePartitionInstance(values=(100, 100, 100), B=300)
+        assert inst.m == 1
+
+    def test_wrong_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ThreePartitionInstance(values=(100, 100), B=200)
+
+    def test_wrong_sum_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ThreePartitionInstance(values=(100, 100, 99), B=300)
+
+    def test_bounds_violation_rejected(self):
+        # 150 == B/2 is not strictly inside (B/4, B/2)
+        with pytest.raises(ConfigurationError):
+            ThreePartitionInstance(values=(150, 75, 75), B=300)
+
+    def test_verify_partition_accepts_good(self):
+        inst = ThreePartitionInstance(values=(100, 100, 100, 90, 100, 110), B=300)
+        assert inst.verify_partition([(0, 1, 2), (3, 4, 5)])
+
+    def test_verify_partition_rejects_bad_sum(self):
+        inst = ThreePartitionInstance(values=(100, 100, 100, 90, 100, 110), B=300)
+        assert not inst.verify_partition([(0, 1, 3), (2, 4, 5)])
+
+    def test_verify_partition_rejects_missing_index(self):
+        inst = ThreePartitionInstance(values=(100, 100, 100), B=300)
+        assert not inst.verify_partition([(0, 1, 1)])
+
+
+class TestSolver:
+    def test_trivial_yes(self):
+        inst = ThreePartitionInstance(values=(100, 100, 100), B=300)
+        triples = solve_three_partition(inst)
+        assert triples is not None
+        assert inst.verify_partition(triples)
+
+    def test_shuffled_yes(self):
+        inst = ThreePartitionInstance(
+            values=(90, 110, 100, 120, 80, 100), B=300
+        )
+        triples = solve_three_partition(inst)
+        assert triples is not None
+        assert inst.verify_partition(triples)
+
+    def test_no_instance(self):
+        # Total is 2*300 but every triple sums to 297, 299, 301 or 303.
+        inst = ThreePartitionInstance(values=(101, 101, 101, 99, 99, 99), B=300)
+        assert solve_three_partition(inst) is None
+
+    @pytest.mark.parametrize("m", [1, 2, 3, 4])
+    def test_random_yes_instances_solve(self, m):
+        rng = np.random.default_rng(m)
+        inst = random_yes_instance(m, rng)
+        triples = solve_three_partition(inst)
+        assert triples is not None
+        assert inst.verify_partition(triples)
+
+    @pytest.mark.parametrize("m", [2, 3])
+    def test_random_no_instances_fail(self, m):
+        rng = np.random.default_rng(m + 10)
+        inst = random_no_instance(m, rng)
+        assert solve_three_partition(inst) is None
+
+
+class TestGenerators:
+    def test_yes_instance_well_formed(self):
+        rng = np.random.default_rng(0)
+        inst = random_yes_instance(4, rng)
+        assert len(inst.values) == 12
+        assert sum(inst.values) == 4 * inst.B
+
+    def test_generators_deterministic(self):
+        a = random_yes_instance(3, np.random.default_rng(7))
+        b = random_yes_instance(3, np.random.default_rng(7))
+        assert a.values == b.values
+
+    def test_invalid_m(self):
+        with pytest.raises(ConfigurationError):
+            random_yes_instance(0, np.random.default_rng(0))

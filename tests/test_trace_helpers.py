@@ -1,0 +1,100 @@
+"""Tests for the Trace convenience accessors and recorder plumbing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Cluster, Simulator, uniform_pack
+from repro.simulation.trace import (
+    EventKind,
+    NullRecorder,
+    Trace,
+    TraceEvent,
+    TraceRecorder,
+)
+
+
+class TestTraceAccessors:
+    def _trace(self) -> Trace:
+        return Trace(
+            events=[
+                TraceEvent(1.0, EventKind.FAILURE, 0, "proc=1"),
+                TraceEvent(2.0, EventKind.REDISTRIBUTION, 1, "sigma=4"),
+                TraceEvent(3.0, EventKind.FAILURE_IDLE, -1, "proc=7"),
+                TraceEvent(4.0, EventKind.FAILURE, 2, "proc=3"),
+                TraceEvent(5.0, EventKind.COMPLETION, 0),
+            ],
+            failure_times=[1.0, 4.0],
+            makespan_after_failure=[10.0, 11.0],
+            sigma_std_after_failure=[0.5, 0.7],
+        )
+
+    def test_failures_filters_effective_only(self):
+        failures = self._trace().failures()
+        assert [e.task for e in failures] == [0, 2]
+
+    def test_redistributions(self):
+        moves = self._trace().redistributions()
+        assert len(moves) == 1 and moves[0].detail == "sigma=4"
+
+    def test_as_arrays(self):
+        arrays = self._trace().as_arrays()
+        np.testing.assert_array_equal(arrays["failure_times"], [1.0, 4.0])
+        np.testing.assert_array_equal(arrays["makespan"], [10.0, 11.0])
+        np.testing.assert_array_equal(arrays["sigma_std"], [0.5, 0.7])
+
+    def test_empty_trace(self):
+        trace = Trace()
+        assert trace.failures() == []
+        assert trace.as_arrays()["failure_times"].size == 0
+
+
+class TestRecorders:
+    def test_trace_recorder_accumulates(self):
+        recorder = TraceRecorder()
+        assert recorder.enabled
+        recorder.event(1.0, EventKind.FAILURE, 3, "proc=2")
+        recorder.failure_snapshot(1.0, 50.0, 0.4)
+        assert len(recorder.trace.events) == 1
+        assert recorder.trace.makespan_after_failure == [50.0]
+
+    def test_null_recorder_is_inert(self):
+        recorder = NullRecorder()
+        assert not recorder.enabled
+        recorder.event(1.0, EventKind.FAILURE, 3)
+        recorder.failure_snapshot(1.0, 50.0, 0.4)
+        assert recorder.trace is None
+
+
+class TestRecordedSimulation:
+    def test_snapshot_counts_match_effective_failures(self):
+        pack = uniform_pack(4, m_inf=3_000, m_sup=9_000, seed=61)
+        cluster = Cluster.with_mtbf_years(16, mtbf_years=0.02)
+        result = Simulator(
+            pack, cluster, "ig-el", seed=4, record_trace=True
+        ).run()
+        trace = result.trace
+        assert trace is not None
+        assert len(trace.failure_times) == result.failures_effective
+        assert len(trace.failures()) == result.failures_effective
+        # every recorded completion corresponds to a real task
+        completions = [
+            e.task for e in trace.events if e.kind is EventKind.COMPLETION
+        ]
+        assert sorted(completions) == list(range(len(pack)))
+
+    def test_makespan_snapshots_bound_final_makespan(self):
+        pack = uniform_pack(4, m_inf=3_000, m_sup=9_000, seed=62)
+        cluster = Cluster.with_mtbf_years(16, mtbf_years=0.02)
+        result = Simulator(
+            pack, cluster, "no-redistribution", seed=5, record_trace=True
+        ).run()
+        trace = result.trace
+        assert trace is not None
+        if trace.makespan_after_failure:
+            # without redistribution, the projected makespan after the
+            # last failure is the realised makespan
+            assert trace.makespan_after_failure[-1] == pytest.approx(
+                result.makespan
+            )

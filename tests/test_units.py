@@ -1,0 +1,41 @@
+"""Unit-conversion helpers."""
+
+import math
+
+from repro import units
+
+
+class TestConstants:
+    def test_hour(self):
+        assert units.SECONDS_PER_HOUR == 3600.0
+
+    def test_day(self):
+        assert units.SECONDS_PER_DAY == 86_400.0
+
+    def test_year_is_365_days(self):
+        assert units.SECONDS_PER_YEAR == 365.0 * 86_400.0
+
+
+class TestConversions:
+    def test_years_roundtrip(self):
+        assert math.isclose(units.to_years(units.years(100.0)), 100.0)
+
+    def test_days_roundtrip(self):
+        assert math.isclose(units.to_days(units.days(7.5)), 7.5)
+
+    def test_hours(self):
+        assert units.hours(2.0) == 7200.0
+
+    def test_years_scale(self):
+        assert units.years(1.0) == units.days(365.0)
+
+    def test_fractional_year(self):
+        assert math.isclose(units.years(0.5), 365 * 43_200.0)
+
+    def test_zero(self):
+        assert units.years(0.0) == 0.0
+        assert units.to_days(0.0) == 0.0
+
+    def test_negative_values_pass_through(self):
+        # Conversions are linear; signs are the caller's business.
+        assert units.days(-1.0) == -86_400.0

@@ -1,0 +1,223 @@
+"""Tests for repro.viz.ascii_chart."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.viz import Canvas, histogram, line_chart, sparkline
+from repro.viz.ascii_chart import _format_tick, _nice_ticks
+
+
+class TestNiceTicks:
+    def test_covers_range(self):
+        ticks = _nice_ticks(0.0, 10.0, 6)
+        assert ticks[0] <= 0.0 + 1e-9
+        assert ticks[-1] >= 10.0 - 1e-9
+
+    def test_monotone(self):
+        ticks = _nice_ticks(0.45, 1.1, 5)
+        assert all(b > a for a, b in zip(ticks, ticks[1:]))
+
+    def test_degenerate_range_widened(self):
+        ticks = _nice_ticks(5.0, 5.0, 4)
+        assert len(ticks) >= 2
+
+    def test_negative_range(self):
+        ticks = _nice_ticks(-3.0, -1.0, 4)
+        assert ticks[0] <= -3.0 + 1e-9
+        assert ticks[-1] >= -1.0 - 1e-9
+
+    def test_rejects_single_tick(self):
+        with pytest.raises(ConfigurationError):
+            _nice_ticks(0.0, 1.0, 1)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ConfigurationError):
+            _nice_ticks(float("nan"), 1.0, 4)
+
+    @given(
+        lo=st.floats(-1e6, 1e6),
+        span=st.floats(1e-3, 1e6),
+        count=st.integers(2, 12),
+    )
+    @settings(max_examples=60)
+    def test_property_cover_and_sorted(self, lo, span, count):
+        ticks = _nice_ticks(lo, lo + span, count)
+        assert len(ticks) >= 2
+        assert ticks == sorted(ticks)
+
+
+class TestFormatTick:
+    def test_zero(self):
+        assert _format_tick(0.0) == "0"
+
+    def test_small_uses_scientific(self):
+        assert "e" in _format_tick(1.2345e-5)
+
+    def test_regular(self):
+        assert _format_tick(1.5) == "1.5"
+
+
+class TestCanvas:
+    def test_dimensions(self):
+        canvas = Canvas(20, 10, 0, 1, 0, 1)
+        rows = canvas.render()
+        assert len(rows) == 10
+        assert all(len(r) == 20 for r in rows)
+
+    def test_put_corners(self):
+        canvas = Canvas(10, 5, 0, 1, 0, 1)
+        canvas.put(0, 0, "a")  # bottom-left
+        canvas.put(1, 1, "b")  # top-right
+        rows = canvas.render()
+        assert rows[-1][0] == "a"
+        assert rows[0][-1] == "b"
+
+    def test_put_clamps_out_of_range(self):
+        canvas = Canvas(10, 5, 0, 1, 0, 1)
+        canvas.put(2.0, -1.0, "c")
+        rows = canvas.render()
+        assert rows[-1][-1] == "c"
+
+    def test_segment_connects(self):
+        canvas = Canvas(20, 10, 0, 1, 0, 1)
+        canvas.segment(0, 0, 1, 1, "*")
+        joined = "".join(canvas.render())
+        # a diagonal across a 20-col canvas must hit many cells
+        assert joined.count("*") >= 10
+
+    def test_rejects_tiny_canvas(self):
+        with pytest.raises(ConfigurationError):
+            Canvas(4, 2, 0, 1, 0, 1)
+
+    def test_rejects_degenerate_bounds(self):
+        with pytest.raises(ConfigurationError):
+            Canvas(20, 10, 0, 0, 0, 1)
+
+
+class TestLineChart:
+    def test_contains_title_axis_legend(self):
+        chart = line_chart(
+            {"alpha": ([1, 2, 3], [1.0, 0.8, 0.9])},
+            title="demo",
+            x_label="x",
+            y_label="y",
+        )
+        assert "demo" in chart
+        assert "legend:" in chart
+        assert "alpha" in chart
+        assert "x" in chart.splitlines()[-2]
+
+    def test_multiple_series_distinct_markers(self):
+        chart = line_chart(
+            {
+                "one": ([0, 1], [0.0, 1.0]),
+                "two": ([0, 1], [1.0, 0.0]),
+            }
+        )
+        legend = chart.splitlines()[-1]
+        assert "o one" in legend
+        assert "x two" in legend
+
+    def test_y_clamp_respected(self):
+        chart = line_chart(
+            {"s": ([0, 1, 2], [0.5, 0.7, 0.9])},
+            y_min=0.45,
+            y_max=1.1,
+            width=30,
+            height=8,
+        )
+        assert isinstance(chart, str)
+        assert len(chart.splitlines()) >= 8
+
+    def test_scatter_mode(self):
+        chart = line_chart(
+            {"pts": ([0, 5, 10], [1, 2, 3])}, connect=False, width=30, height=8
+        )
+        # unconnected: exactly three markers
+        body = "\n".join(chart.splitlines()[:-1])
+        assert body.count("o") == 3
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            line_chart({})
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ConfigurationError):
+            line_chart({"bad": ([1, 2], [1.0])})
+
+    def test_rejects_all_nan(self):
+        with pytest.raises(ConfigurationError):
+            line_chart({"nan": ([0, 1], [float("nan")] * 2)})
+
+    def test_nan_points_dropped(self):
+        chart = line_chart(
+            {"mixed": ([0, 1, 2], [1.0, float("nan"), 3.0])},
+            width=30,
+            height=8,
+        )
+        assert "mixed" in chart
+
+    def test_single_point_series(self):
+        chart = line_chart({"dot": ([1.0], [2.0])}, width=30, height=8)
+        assert "dot" in chart
+
+    def test_constant_series(self):
+        chart = line_chart({"flat": ([0, 1, 2], [1.0, 1.0, 1.0])})
+        assert "flat" in chart
+
+    @given(
+        n=st.integers(2, 30),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_never_crashes_on_random_data(self, n, seed):
+        rng = np.random.default_rng(seed)
+        xs = np.sort(rng.uniform(0, 100, size=n))
+        ys = rng.normal(size=n)
+        chart = line_chart({"r": (xs, ys)}, width=40, height=10)
+        lines = chart.splitlines()
+        # all plot rows share one width
+        plot_rows = [l for l in lines if "│" in l]
+        assert len({len(r) for r in plot_rows}) == 1
+
+
+class TestHistogram:
+    def test_counts_sum(self):
+        text = histogram([1, 1, 2, 3, 3, 3], bins=3)
+        counts = [int(line.rsplit(" ", 1)[1]) for line in text.splitlines()]
+        assert sum(counts) == 6
+
+    def test_title(self):
+        text = histogram([1.0, 2.0], bins=2, title="makespans")
+        assert text.splitlines()[0] == "makespans"
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            histogram([])
+
+    def test_rejects_zero_bins(self):
+        with pytest.raises(ConfigurationError):
+            histogram([1.0], bins=0)
+
+    def test_single_value(self):
+        text = histogram([5.0, 5.0, 5.0], bins=4)
+        assert "3" in text
+
+
+class TestSparkline:
+    def test_monotone_ramp(self):
+        assert sparkline([0, 1, 2, 3]) == "▁▃▆█"
+
+    def test_constant(self):
+        assert sparkline([2, 2, 2]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_length_matches(self):
+        assert len(sparkline(range(17))) == 17

@@ -1,0 +1,82 @@
+"""Tests for repro.viz.figure_plots."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.figures import FigureResult, TraceFigureResult
+from repro.viz import plot_figure, plot_trace_figure
+
+
+def _figure_result() -> FigureResult:
+    return FigureResult(
+        figure="figX",
+        title="demo sweep",
+        x_name="#procs",
+        x_values=[100.0, 200.0, 300.0],
+        labels={"no-rc": "Without RC", "rc": "With RC"},
+        normalized={
+            "no-rc": [1.0, 1.0, 1.0],
+            "rc": [0.8, 0.85, 0.95],
+        },
+        means={
+            "no-rc": [50.0, 40.0, 30.0],
+            "rc": [40.0, 34.0, 28.5],
+        },
+    )
+
+
+def _trace_result(empty: bool = False) -> TraceFigureResult:
+    if empty:
+        arrays = {
+            "failure_times": np.array([]),
+            "makespan": np.array([]),
+            "sigma_std": np.array([]),
+        }
+    else:
+        arrays = {
+            "failure_times": np.array([10.0, 20.0, 30.0]),
+            "makespan": np.array([100.0, 105.0, 102.0]),
+            "sigma_std": np.array([0.5, 1.5, 1.0]),
+        }
+    return TraceFigureResult(
+        figure="fig9",
+        title="single run",
+        labels={"ig": "Iterated greedy"},
+        series={"ig": arrays},
+        final_makespans={"ig": 102.0},
+    )
+
+
+class TestPlotFigure:
+    def test_contains_labels_and_title(self):
+        chart = plot_figure(_figure_result())
+        assert "figX: demo sweep" in chart
+        assert "Without RC" in chart
+        assert "With RC" in chart
+
+    def test_normalized_frame_applied(self):
+        chart = plot_figure(_figure_result())
+        assert "normalized execution time" in chart
+
+    def test_means_mode(self):
+        chart = plot_figure(_figure_result(), normalized=False)
+        assert "makespan (s)" in chart
+
+    def test_out_of_frame_data_autoscales(self):
+        result = _figure_result()
+        result.normalized["rc"] = [1.5, 2.0, 2.5]  # escapes [0.45, 1.1]
+        chart = plot_figure(result)
+        assert "2" in chart  # y ticks adapt
+
+
+class TestPlotTraceFigure:
+    def test_two_panels(self):
+        chart = plot_trace_figure(_trace_result())
+        assert "fig9a" in chart
+        assert "fig9b" in chart
+        assert "final makespans" in chart
+
+    def test_empty_trace_graceful(self):
+        chart = plot_trace_figure(_trace_result(empty=True))
+        assert "no failures" in chart

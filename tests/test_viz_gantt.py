@@ -1,0 +1,163 @@
+"""Tests for repro.viz.gantt (timeline reconstruction + rendering)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Cluster, Simulator, uniform_pack
+from repro.exceptions import ConfigurationError
+from repro.simulation.result import SimulationResult
+from repro.simulation.trace import EventKind, Trace, TraceEvent
+from repro.viz import gantt_chart, reconstruct_timelines
+from repro.viz.gantt import AllocationTimeline, _parse_sigma
+
+
+def _result_with_trace(events, initial_sigma, makespan=100.0):
+    n = len(initial_sigma)
+    trace = Trace(events=list(events))
+    return SimulationResult(
+        policy="test",
+        makespan=makespan,
+        completion_times=np.full(n, makespan),
+        initial_sigma=dict(initial_sigma),
+        trace=trace,
+    )
+
+
+class TestParseSigma:
+    def test_plain(self):
+        assert _parse_sigma("sigma=6") == 6
+
+    def test_with_noise(self):
+        assert _parse_sigma("proc=3, sigma=8") == 8
+
+    def test_missing(self):
+        assert _parse_sigma("proc=3") is None
+
+    def test_malformed(self):
+        assert _parse_sigma("sigma=abc") is None
+
+
+class TestAllocationTimeline:
+    def test_sigma_before_start_is_zero(self):
+        tl = AllocationTimeline(task=0, times=[10.0], sigmas=[4])
+        assert tl.sigma_at(5.0) == 0
+
+    def test_sigma_between_changes(self):
+        tl = AllocationTimeline(task=0, times=[0.0, 50.0], sigmas=[4, 8])
+        assert tl.sigma_at(25.0) == 4
+        assert tl.sigma_at(75.0) == 8
+
+    def test_sigma_after_completion_is_zero(self):
+        tl = AllocationTimeline(
+            task=0, times=[0.0], sigmas=[4], completion=60.0
+        )
+        assert tl.sigma_at(70.0) == 0
+
+    def test_change_points_include_completion(self):
+        tl = AllocationTimeline(
+            task=0, times=[0.0, 30.0], sigmas=[2, 4], completion=90.0
+        )
+        assert tl.change_points() == [0.0, 30.0, 90.0]
+
+
+class TestReconstructTimelines:
+    def test_requires_trace(self):
+        result = SimulationResult(
+            policy="x",
+            makespan=1.0,
+            completion_times=np.array([1.0]),
+            initial_sigma={0: 2},
+            trace=None,
+        )
+        with pytest.raises(ConfigurationError):
+            reconstruct_timelines(result)
+
+    def test_initial_sigma_applied(self):
+        result = _result_with_trace([], {0: 4, 1: 6})
+        timelines = reconstruct_timelines(result)
+        assert timelines[0].sigma_at(1.0) == 4
+        assert timelines[1].sigma_at(1.0) == 6
+
+    def test_redistribution_changes_sigma(self):
+        events = [
+            TraceEvent(20.0, EventKind.REDISTRIBUTION, 0, "sigma=8"),
+        ]
+        result = _result_with_trace(events, {0: 4})
+        timelines = reconstruct_timelines(result)
+        assert timelines[0].sigma_at(10.0) == 4
+        assert timelines[0].sigma_at(30.0) == 8
+        assert timelines[0].redistribution_times == [20.0]
+
+    def test_identical_sigma_not_duplicated(self):
+        events = [
+            TraceEvent(20.0, EventKind.REDISTRIBUTION, 0, "sigma=4"),
+        ]
+        result = _result_with_trace(events, {0: 4})
+        timelines = reconstruct_timelines(result)
+        assert timelines[0].sigmas == [4]
+
+    def test_completion_recorded(self):
+        events = [TraceEvent(55.0, EventKind.COMPLETION, 0)]
+        result = _result_with_trace(events, {0: 2})
+        timelines = reconstruct_timelines(result)
+        assert timelines[0].completion == 55.0
+        assert timelines[0].sigma_at(56.0) == 0
+
+    def test_failures_tracked(self):
+        events = [
+            TraceEvent(15.0, EventKind.FAILURE, 0, "proc=3"),
+            TraceEvent(35.0, EventKind.FAILURE, 0, "proc=5"),
+        ]
+        result = _result_with_trace(events, {0: 2})
+        timelines = reconstruct_timelines(result)
+        assert timelines[0].failure_times == [15.0, 35.0]
+
+    def test_early_release_zeroes_allocation(self):
+        events = [TraceEvent(40.0, EventKind.EARLY_RELEASE, 0)]
+        result = _result_with_trace(events, {0: 4})
+        timelines = reconstruct_timelines(result)
+        assert timelines[0].sigma_at(50.0) == 0
+
+    def test_platform_events_ignored(self):
+        events = [TraceEvent(5.0, EventKind.FAILURE_IDLE, -1, "proc=9")]
+        result = _result_with_trace(events, {0: 2})
+        timelines = reconstruct_timelines(result)
+        assert timelines[0].failure_times == []
+
+
+class TestGanttChart:
+    def test_from_real_simulation(self):
+        pack = uniform_pack(4, m_inf=2_000, m_sup=4_000, seed=3)
+        cluster = Cluster.with_mtbf_years(16, mtbf_years=0.05)
+        sim = Simulator(pack, cluster, "ig-el", seed=3, record_trace=True)
+        result = sim.run()
+        chart = gantt_chart(result, width=60)
+        lines = chart.splitlines()
+        assert "policy=ig-el" in lines[0]
+        # one row per task plus header/axis/time rows
+        assert sum("│" in l for l in lines) == 4
+
+    def test_max_tasks_truncation(self):
+        events = []
+        result = _result_with_trace(events, {i: 2 for i in range(8)})
+        chart = gantt_chart(result, width=20, max_tasks=3)
+        assert "5 more tasks not shown" in chart
+
+    def test_rejects_narrow_width(self):
+        result = _result_with_trace([], {0: 2})
+        with pytest.raises(ConfigurationError):
+            gantt_chart(result, width=5)
+
+    def test_failure_marker_drawn(self):
+        events = [TraceEvent(50.0, EventKind.FAILURE, 0, "proc=1")]
+        result = _result_with_trace(events, {0: 2})
+        chart = gantt_chart(result, width=20)
+        assert "X" in chart
+
+    def test_markers_can_be_disabled(self):
+        events = [TraceEvent(50.0, EventKind.FAILURE, 0, "proc=1")]
+        result = _result_with_trace(events, {0: 2})
+        chart = gantt_chart(result, width=20, show_markers=False)
+        assert "X" not in chart.replace("X=failure", "")

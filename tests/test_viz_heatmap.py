@@ -1,0 +1,81 @@
+"""Tests for repro.viz.heatmap."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.viz import heatmap
+
+
+class TestHeatmap:
+    def test_basic_structure(self):
+        text = heatmap(
+            [[1.0, 2.0], [3.0, 4.0]],
+            x_labels=["a", "b"],
+            y_labels=["r1", "r2"],
+            title="demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert lines[2].startswith("r1")
+        assert "shade:" in lines[-1]
+
+    def test_values_printed(self):
+        text = heatmap([[0.25, 0.75]], precision=2)
+        assert "0.25" in text and "0.75" in text
+
+    def test_extremes_get_extreme_shades(self):
+        text = heatmap([[0.0, 100.0]])
+        row = text.splitlines()[1]
+        assert "█" in row  # the high cell
+        assert "░" in row or "  " in row  # the low cell
+
+    def test_nan_cells_blank(self):
+        text = heatmap([[1.0, float("nan")]])
+        assert "-" in text
+
+    def test_constant_grid(self):
+        text = heatmap([[5.0, 5.0], [5.0, 5.0]])
+        assert "5.00" in text
+
+    def test_axis_names(self):
+        text = heatmap(
+            [[1.0]], x_name="cost c", y_name="MTBF (years)"
+        )
+        assert "cost c" in text
+        assert "rows: MTBF (years)" in text
+
+    def test_explicit_clamps(self):
+        text = heatmap([[0.5]], v_min=0.0, v_max=1.0)
+        assert "0.50" in text
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            heatmap([])
+
+    def test_rejects_1d(self):
+        with pytest.raises(ConfigurationError):
+            heatmap([1.0, 2.0])  # type: ignore[arg-type]
+
+    def test_rejects_bad_labels(self):
+        with pytest.raises(ConfigurationError):
+            heatmap([[1.0, 2.0]], x_labels=["only-one"])
+        with pytest.raises(ConfigurationError):
+            heatmap([[1.0], [2.0]], y_labels=["only-one"])
+
+    def test_rejects_all_nan(self):
+        with pytest.raises(ConfigurationError):
+            heatmap([[float("nan")]])
+
+    def test_rejects_narrow_cells(self):
+        with pytest.raises(ConfigurationError):
+            heatmap([[1.0]], cell_width=2)
+
+    def test_rows_align(self):
+        grid = np.arange(12, dtype=float).reshape(3, 4)
+        text = heatmap(grid, y_labels=["a", "bb", "ccc"])
+        rows = text.splitlines()[1:4]
+        assert len({len(r) for r in rows}) == 1

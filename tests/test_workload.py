@@ -1,0 +1,103 @@
+"""Workload generation (Section 6.1)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.tasks import (
+    PAPER_M_INF,
+    PAPER_M_INF_HETEROGENEOUS,
+    PAPER_M_SUP,
+    AmdahlProfile,
+    WorkloadGenerator,
+    homogeneous_pack,
+    uniform_pack,
+)
+
+
+class TestDefaults:
+    def test_paper_bounds(self):
+        assert PAPER_M_INF == 1_500_000.0
+        assert PAPER_M_SUP == 2_500_000.0
+        assert PAPER_M_INF_HETEROGENEOUS == 1500.0
+
+    def test_generator_defaults(self):
+        generator = WorkloadGenerator()
+        assert generator.m_inf == PAPER_M_INF
+        assert generator.checkpoint_unit_cost == 1.0
+
+
+class TestGeneration:
+    def test_sizes_within_bounds(self, generator):
+        pack = generator.generate(50, seed=3)
+        sizes = pack.sizes
+        assert np.all(sizes >= generator.m_inf)
+        assert np.all(sizes <= generator.m_sup)
+
+    def test_deterministic_under_seed(self, generator):
+        a = generator.generate(10, seed=5).sizes
+        b = generator.generate(10, seed=5).sizes
+        assert np.array_equal(a, b)
+
+    def test_seed_changes_workload(self, generator):
+        a = generator.generate(10, seed=5).sizes
+        b = generator.generate(10, seed=6).sizes
+        assert not np.array_equal(a, b)
+
+    def test_checkpoint_cost_proportional(self):
+        generator = WorkloadGenerator(
+            m_inf=100.0, m_sup=200.0, checkpoint_unit_cost=0.5
+        )
+        pack = generator.generate(5, seed=0)
+        assert np.allclose(pack.checkpoint_costs, 0.5 * pack.sizes)
+
+    def test_pack_size(self, generator):
+        assert generator.generate(17, seed=0).n == 17
+
+    def test_invalid_pack_size(self, generator):
+        with pytest.raises(ConfigurationError):
+            generator.generate(0)
+
+    def test_from_sizes_deterministic(self, generator):
+        pack = generator.from_sizes([100.0, 200.0, 300.0])
+        assert np.array_equal(pack.sizes, [100.0, 200.0, 300.0])
+
+    def test_with_unit_cost(self, generator):
+        derived = generator.with_unit_cost(0.01)
+        pack = derived.from_sizes([1000.0])
+        assert pack[0].checkpoint_cost == 10.0
+
+    def test_with_profile(self, generator):
+        derived = generator.with_profile(AmdahlProfile())
+        pack = derived.generate(3, seed=0)
+        assert isinstance(pack[0].profile, AmdahlProfile)
+
+
+class TestValidation:
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadGenerator(m_inf=200.0, m_sup=100.0)
+
+    def test_nonpositive_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadGenerator(m_inf=0.0, m_sup=100.0)
+
+    def test_negative_unit_cost_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadGenerator(checkpoint_unit_cost=-1.0)
+
+
+class TestHelpers:
+    def test_uniform_pack(self):
+        pack = uniform_pack(4, m_inf=10.0, m_sup=20.0, seed=1)
+        assert pack.n == 4
+        assert np.all(pack.sizes >= 10.0)
+
+    def test_homogeneous_pack(self):
+        pack = homogeneous_pack(6, size=500.0)
+        assert np.all(pack.sizes == 500.0)
+
+    def test_homogeneous_identical_times(self):
+        pack = homogeneous_pack(3, size=500.0)
+        times = pack.fault_free_times(2)
+        assert times[0] == times[1] == times[2]
