@@ -1,0 +1,12 @@
+"""Benchmark suite (paper figures, micro-benchmarks, regression gate).
+
+Packaged so the tooling entry points run as modules from the repo root::
+
+    PYTHONPATH=src python -m benchmarks.bench_hotpath --write
+    PYTHONPATH=src python -m benchmarks.check_regression
+
+The pytest benchmarks (``bench_*.py``) still run through
+``python -m pytest benchmarks/`` and honour the ``REPRO_BENCH_SCALE``
+(``tiny``/``small``/``paper``) and ``REPRO_BENCH_SEED`` environment
+variables — see ``_common.py``.
+"""

@@ -1,0 +1,283 @@
+"""Micro-benchmarks of the PR-1 hot paths, with a recordable baseline.
+
+Covers the three layers of the performance overhaul:
+
+* **profile evaluation** — batched :meth:`ExpectedTimeModel.expected_times`
+  vs the equivalent loop of scalar ``expected_time`` calls, plus cold
+  (cache-missing) ``profile`` and ``profile_batch`` evaluation;
+* **greedy rebuild** — one IteratedGreedy-style full rebuild at
+  ``n in {4, 16, 64}``;
+* **simulator loop** — a full fault-injected run tuned to ~10k events
+  (the heap event queue's O(log n) selection vs the seed's O(n) rescan).
+
+Runs two ways:
+
+* under pytest-benchmark: ``PYTHONPATH=src python -m pytest benchmarks/bench_hotpath.py``
+* standalone, recording the committed baseline ``BENCH_hotpath.json``::
+
+      PYTHONPATH=src python -m benchmarks.bench_hotpath --write
+
+``python -m benchmarks.check_regression`` re-runs the same measurements
+and fails on a >1.3x per-benchmark regression against that baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Callable, Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster import Cluster
+from repro.core import optimal_schedule
+from repro.core.heuristics import greedy_rebuild
+from repro.core.state import TaskRuntime
+from repro.resilience import ExpectedTimeModel
+from repro.simulation import simulate
+from repro.tasks import uniform_pack
+
+#: Committed baseline location (repo root).
+DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / "BENCH_hotpath.json"
+
+#: ~10k-event fault-injected run (see SIM_* below): 40 tasks, 160 procs.
+SIM_N, SIM_P, SIM_M_SUP, SIM_MTBF_YEARS, SIM_SEED = 40, 160, 24_000.0, 0.001, 3
+
+PACK = uniform_pack(50, m_inf=6000, m_sup=10000, seed=0)
+CLUSTER = Cluster.with_mtbf_years(400, 0.02)
+TARGETS = np.arange(2, 401, 2)
+
+
+def fresh_model() -> ExpectedTimeModel:
+    return ExpectedTimeModel(PACK, CLUSTER)
+
+
+def _warm_model() -> ExpectedTimeModel:
+    model = fresh_model()
+    model.profile(0, 1.0)
+    return model
+
+
+def measure(
+    fn: Callable[[], object], *, number: int = 100, repeats: int = 5
+) -> float:
+    """Best-of-``repeats`` mean seconds per call over ``number`` calls."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(number):
+            fn()
+        best = min(best, (time.perf_counter() - start) / number)
+    return best
+
+
+# -- measurement scenarios ---------------------------------------------------
+
+def _scalar_loop(model: ExpectedTimeModel) -> list:
+    return [model.expected_time(0, int(j), 1.0) for j in TARGETS]
+
+
+def measure_expected_times_scalar_loop() -> Dict[str, float]:
+    """Seed-style scoring: one scalar accessor per candidate j (200 calls)."""
+    model = _warm_model()
+    return {"seconds": measure(lambda: _scalar_loop(model), number=50)}
+
+
+def measure_expected_times_batch() -> Dict[str, float]:
+    """One batched call scoring the same 200 candidates at once."""
+    model = _warm_model()
+    return {
+        "seconds": measure(
+            lambda: model.expected_times(0, TARGETS, 1.0), number=500
+        )
+    }
+
+
+def measure_profile_cold() -> Dict[str, float]:
+    """One envelope evaluation with a forced cache miss per call."""
+    model = _warm_model()
+    counter = iter(range(10**9))
+    return {
+        "seconds": measure(
+            lambda: model.profile(0, 0.5 + next(counter) * 1e-9), number=200
+        )
+    }
+
+
+def measure_profile_batch_cold() -> Dict[str, float]:
+    """All 50 task envelopes at a fresh alpha in one vectorised pass."""
+    model = _warm_model()
+    indices = list(range(len(PACK)))
+    for i in indices:
+        model.grid(i)
+    counter = iter(range(10**9))
+    return {
+        "seconds": measure(
+            lambda: model.profile_batch(indices, 0.5 + next(counter) * 1e-9),
+            number=50,
+        )
+    }
+
+
+def _rebuild_once(n: int) -> Callable[[], list]:
+    pack = uniform_pack(n, m_inf=6000, m_sup=10000, seed=0)
+    cluster = Cluster.with_mtbf_years(8 * n, 0.02)
+    model = ExpectedTimeModel(pack, cluster)
+    sigma = optimal_schedule(model, 8 * n)
+
+    def rebuild() -> list:
+        runtimes = []
+        for i, spec in enumerate(pack):
+            rt = TaskRuntime(spec)
+            rt.assign(sigma[i])
+            rt.t_expected = model.expected_time(i, sigma[i], 1.0)
+            runtimes.append(rt)
+        t = min(rt.t_expected for rt in runtimes) * 0.5
+        return greedy_rebuild(model, t, runtimes, 8 * n)
+
+    return rebuild
+
+
+def measure_greedy_rebuild(n: int) -> Dict[str, float]:
+    """One full Algorithm-5 rebuild of an ``n``-task pack on ``8n`` procs."""
+    return {"seconds": measure(_rebuild_once(n), number=max(2, 64 // n))}
+
+
+def _sim_workload():
+    pack = uniform_pack(
+        SIM_N, m_inf=SIM_M_SUP * 0.8, m_sup=SIM_M_SUP, seed=1
+    )
+    cluster = Cluster.with_mtbf_years(SIM_P, SIM_MTBF_YEARS)
+    return pack, cluster
+
+
+def measure_simulator_10k_events() -> Dict[str, float]:
+    """Full fault-injected IG-EL run driving ~10k simulator events."""
+    pack, cluster = _sim_workload()
+    model = ExpectedTimeModel(pack, cluster)
+    result = simulate(pack, cluster, "ig-el", seed=SIM_SEED, model=model)
+    seconds = measure(
+        lambda: simulate(pack, cluster, "ig-el", seed=SIM_SEED, model=model),
+        number=1,
+        repeats=3,
+    )
+    return {"seconds": seconds, "events": float(result.events)}
+
+
+#: name -> zero-argument measurement returning at least {"seconds": s}.
+MEASUREMENTS: Dict[str, Callable[[], Dict[str, float]]] = {
+    "expected_times_scalar_loop": measure_expected_times_scalar_loop,
+    "expected_times_batch": measure_expected_times_batch,
+    "profile_cold": measure_profile_cold,
+    "profile_batch_cold": measure_profile_batch_cold,
+    "greedy_rebuild_n4": lambda: measure_greedy_rebuild(4),
+    "greedy_rebuild_n16": lambda: measure_greedy_rebuild(16),
+    "greedy_rebuild_n64": lambda: measure_greedy_rebuild(64),
+    "simulator_10k_events": measure_simulator_10k_events,
+}
+
+
+def run_all(names: Optional[Sequence[str]] = None) -> Dict[str, Dict[str, float]]:
+    """Run the selected measurements (all by default)."""
+    selected = list(MEASUREMENTS) if names is None else list(names)
+    return {name: MEASUREMENTS[name]() for name in selected}
+
+
+def batch_speedup(results: Dict[str, Dict[str, float]]) -> float:
+    """Scalar-loop seconds over batched seconds for the same candidates."""
+    return (
+        results["expected_times_scalar_loop"]["seconds"]
+        / results["expected_times_batch"]["seconds"]
+    )
+
+
+def write_baseline(path: Path = DEFAULT_BASELINE) -> Dict[str, object]:
+    """Measure everything and record the committed baseline JSON."""
+    results = run_all()
+    payload = {
+        "schema": 1,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "benchmarks": results,
+        "derived": {"batch_speedup": batch_speedup(results)},
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return payload
+
+
+# -- pytest-benchmark entry points ------------------------------------------
+
+def test_expected_times_scalar_loop(benchmark):
+    model = _warm_model()
+    benchmark(lambda: _scalar_loop(model))
+
+
+def test_expected_times_batch(benchmark):
+    model = _warm_model()
+    benchmark(lambda: model.expected_times(0, TARGETS, 1.0))
+
+
+def test_profile_batch_cold(benchmark):
+    model = _warm_model()
+    indices = list(range(len(PACK)))
+    counter = iter(range(10**9))
+    benchmark(
+        lambda: model.profile_batch(indices, 0.5 + next(counter) * 1e-9)
+    )
+
+
+def test_greedy_rebuild_scaling(benchmark):
+    benchmark.pedantic(_rebuild_once(16), iterations=1, rounds=5)
+
+
+def test_simulator_10k_events(benchmark):
+    pack, cluster = _sim_workload()
+    model = ExpectedTimeModel(pack, cluster)
+    result = benchmark.pedantic(
+        lambda: simulate(pack, cluster, "ig-el", seed=SIM_SEED, model=model),
+        iterations=1,
+        rounds=3,
+    )
+    assert result.events >= 10_000
+
+
+def test_batch_beats_scalar_loop():
+    """Acceptance gate: the batched path is >= 3x the scalar loop."""
+    scalar = measure_expected_times_scalar_loop()["seconds"]
+    batch = measure_expected_times_batch()["seconds"]
+    assert scalar / batch >= 3.0, f"batch speedup only {scalar / batch:.2f}x"
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Measure the hot-path micro-benchmarks."
+    )
+    parser.add_argument(
+        "--write",
+        action="store_true",
+        help=f"record the baseline to {DEFAULT_BASELINE.name}",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help="baseline path (with --write)",
+    )
+    args = parser.parse_args(argv)
+    if args.write:
+        payload = write_baseline(args.output)
+    else:
+        results = run_all()
+        payload = {
+            "benchmarks": results,
+            "derived": {"batch_speedup": batch_speedup(results)},
+        }
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

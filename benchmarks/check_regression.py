@@ -1,0 +1,118 @@
+"""Hot-path performance regression gate.
+
+Re-runs the :mod:`benchmarks.bench_hotpath` measurements and compares
+them against the committed baseline ``BENCH_hotpath.json``.  A benchmark
+slower than ``threshold`` (default 1.3x) times its recorded baseline
+fails the gate; the derived batched-vs-scalar speedup must also stay
+above ``--min-batch-speedup`` (default 3x).
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python -m benchmarks.check_regression
+    PYTHONPATH=src python -m benchmarks.check_regression --threshold 1.5
+
+Exit code 0 when every benchmark is within budget, 1 otherwise.
+Refresh the baseline after an intentional perf change with::
+
+    PYTHONPATH=src python -m benchmarks.bench_hotpath --write
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+try:
+    from .bench_hotpath import DEFAULT_BASELINE, batch_speedup, run_all
+except ImportError:  # pytest / sys.path import (benchmarks/ on the path)
+    from bench_hotpath import DEFAULT_BASELINE, batch_speedup, run_all
+
+#: Per-benchmark slowdown tolerated before the gate fails.
+DEFAULT_THRESHOLD = 1.3
+#: Floor on the batched expected_times speedup over the scalar loop.
+DEFAULT_MIN_BATCH_SPEEDUP = 3.0
+
+
+def check(
+    baseline_path: Path = DEFAULT_BASELINE,
+    threshold: float = DEFAULT_THRESHOLD,
+    min_batch_speedup: float = DEFAULT_MIN_BATCH_SPEEDUP,
+) -> tuple[bool, str]:
+    """Compare a fresh run against the baseline; (ok, report text).
+
+    The absolute-seconds comparison is only meaningful on a host
+    comparable to the one that recorded the baseline — a mismatch is
+    reported so a cross-machine verdict is not over-trusted.  The
+    derived batch-vs-scalar speedup is host-relative and always valid.
+    """
+    payload = json.loads(baseline_path.read_text())
+    baseline = payload["benchmarks"]
+    fresh = run_all(sorted(set(baseline)))
+    lines = []
+    host = (platform.machine(), platform.python_version())
+    recorded = (payload.get("machine"), payload.get("python"))
+    if recorded != host:
+        lines.append(
+            f"warning: baseline recorded on machine={recorded[0]} "
+            f"python={recorded[1]}, running on machine={host[0]} "
+            f"python={host[1]}; absolute timings may not be comparable "
+            "— re-record with python -m benchmarks.bench_hotpath --write"
+        )
+    ok = True
+    width = max(len(name) for name in baseline)
+    for name in sorted(baseline):
+        ref = baseline[name]["seconds"]
+        now = fresh[name]["seconds"]
+        ratio = now / ref
+        flag = "ok" if ratio <= threshold else "REGRESSION"
+        ok &= ratio <= threshold
+        lines.append(
+            f"{name:{width}s} baseline={ref * 1e6:10.1f}us "
+            f"now={now * 1e6:10.1f}us ratio={ratio:5.2f}x {flag}"
+        )
+    speedup = batch_speedup(fresh)
+    flag = "ok" if speedup >= min_batch_speedup else "REGRESSION"
+    ok &= speedup >= min_batch_speedup
+    lines.append(
+        f"{'batch_vs_scalar_speedup':{width}s} "
+        f"{speedup:5.1f}x (floor {min_batch_speedup:g}x) {flag}"
+    )
+    return ok, "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail on hot-path perf regressions vs BENCH_hotpath.json."
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=DEFAULT_BASELINE,
+        help="recorded baseline JSON",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD,
+        help="max tolerated slowdown per benchmark (default 1.3)",
+    )
+    parser.add_argument(
+        "--min-batch-speedup", type=float, default=DEFAULT_MIN_BATCH_SPEEDUP,
+        help="required batched-vs-scalar speedup (default 3.0)",
+    )
+    args = parser.parse_args(argv)
+    if not args.baseline.exists():
+        print(
+            f"no baseline at {args.baseline}; record one with "
+            "python -m benchmarks.bench_hotpath --write",
+            file=sys.stderr,
+        )
+        return 1
+    ok, report = check(args.baseline, args.threshold, args.min_batch_speedup)
+    print(report)
+    print("PASS" if ok else "FAIL")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,6 +14,12 @@
     repro-cosched ratios --n 8 --p 24          # competitive ratios
 
 The same entry point is reachable as ``python -m repro.cli``.
+
+The experiment commands (``run``, ``compare``) accept ``--workers N`` to
+fan replicates out across a process pool; results are byte-identical to
+a serial run (see :mod:`repro.experiments.parallel`).  The benchmark
+suite under ``benchmarks/`` reads the ``REPRO_BENCH_SCALE`` environment
+variable (``tiny``/``small``/``paper``) to pick its scaling preset.
 """
 
 from __future__ import annotations
@@ -69,6 +75,11 @@ def build_parser() -> argparse.ArgumentParser:
             "Resilient application co-scheduling with processor "
             "redistribution (Benoit, Pottier, Robert) - reproduction toolkit"
         ),
+        epilog=(
+            "environment: REPRO_BENCH_SCALE picks the benchmark scaling "
+            "preset (tiny/small/paper) for the benchmarks/ suite; "
+            "REPRO_BENCH_SEED sets its master seed."
+        ),
     )
     parser.add_argument(
         "--version", action="version", version=f"%(prog)s {__version__}"
@@ -87,6 +98,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="scaling preset (default: small)",
     )
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "processes for the replicate fan-out (1 = serial; results "
+            "are byte-identical at any worker count)"
+        ),
+    )
     run.add_argument(
         "--precision", type=int, default=3, help="digits in the tables"
     )
@@ -178,6 +198,15 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument(
         "--fault-free", action="store_true", help="compare without failures"
     )
+    compare.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "processes for the replicate fan-out (1 = serial; results "
+            "are byte-identical at any worker count)"
+        ),
+    )
     return parser
 
 
@@ -194,7 +223,9 @@ def _cmd_policies() -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    result = run_figure(args.figure, scale=args.scale, seed=args.seed)
+    result = run_figure(
+        args.figure, scale=args.scale, seed=args.seed, workers=args.workers
+    )
     if isinstance(result, TraceFigureResult):
         print(render_trace_figure(result, precision=args.precision))
         if args.plot:
@@ -390,6 +421,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         policies=args.policies,
         faults=not args.fault_free,
         seed=args.seed,
+        workers=args.workers,
     )
     print(outcome.render())
     print(f"\nbest policy: {outcome.best_policy()}")

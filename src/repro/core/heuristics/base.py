@@ -27,7 +27,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ...exceptions import SimulationError
+from ...exceptions import CapacityError, SimulationError
 from ...resilience.expected_time import ExpectedTimeModel
 from ..progress import remaining_after_elapsed
 from ..redistribution import redistribution_cost, redistribution_cost_vector
@@ -65,20 +65,29 @@ def candidate_finish_times(
     stall: float,
     targets: np.ndarray,
 ) -> np.ndarray:
-    """``t_E(k)`` for every even candidate count in ``targets``."""
+    """``t_E(k)`` for every even candidate count in ``targets``.
+
+    One batched profile lookup scores the whole candidate set; the scan
+    loops of Algorithms 3-5 never touch a scalar accessor.  The slot
+    arithmetic is inlined (``targets`` are even counts >= 2 by
+    construction here, so only the grid bound needs checking) — external
+    callers wanting full validation should use
+    :meth:`~repro.resilience.expected_time.ExpectedTimeModel.
+    expected_times` instead.
+    """
     if targets.size == 0:
         return np.empty(0)
     grid = model.grid(i)
-    slots = targets // 2 - 1
-    if slots.max() >= grid.j.size:
+    slots = (targets >> 1) - 1
+    if int(slots.max()) >= grid.j.size:
         raise SimulationError(
             f"candidate count {int(targets.max())} exceeds the platform grid"
         )
-    profile = model.profile(i, alpha_t)
     rc = model.rc_factor * redistribution_cost_vector(
         model.pack[i].size, j_init, targets
     )
-    return t + stall + rc + grid.cost[slots] + profile[slots]
+    profile = model.profile(i, alpha_t)
+    return t + stall + rc + (grid.cost[slots] + profile[slots])
 
 
 def candidate_finish_time(
@@ -90,12 +99,25 @@ def candidate_finish_time(
     stall: float,
     k: int,
 ) -> float:
-    """Scalar ``t_E(k)`` (used when committing a chosen move)."""
-    return float(
-        candidate_finish_times(
-            model, i, j_init, alpha_t, t, stall, np.array([k], dtype=int)
-        )[0]
+    """Scalar ``t_E(k)`` (used when committing a chosen move).
+
+    The arithmetic mirrors :func:`candidate_finish_times` operation for
+    operation so scalar and batched scores agree bit for bit (including
+    raising :class:`SimulationError` for an out-of-grid ``k``).
+    """
+    grid = model.grid(i)
+    try:
+        slot = grid.slot(k)
+    except CapacityError:
+        raise SimulationError(
+            f"candidate count {int(k)} exceeds the platform grid"
+        ) from None
+    rc = model.rc_factor * redistribution_cost(
+        model.pack[i].size, j_init, k
     )
+    profile = model.profile(i, alpha_t)
+    finish = float(grid.cost[slot] + profile[slot])
+    return t + stall + rc + finish
 
 
 def apply_move(

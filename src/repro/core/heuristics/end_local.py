@@ -19,6 +19,7 @@ from ..state import TaskRuntime
 from .base import (
     CompletionHeuristic,
     apply_move,
+    candidate_finish_time,
     candidate_finish_times,
     remaining_at,
 )
@@ -64,11 +65,8 @@ class EndLocal(CompletionHeuristic):
             if finishes.size and bool(np.any(finishes < rt.t_expected)):
                 # Improvable: grant exactly one pair (line 17) and re-rank.
                 rt.sigma += 2
-                rt.t_expected = float(
-                    candidate_finish_times(
-                        model, i, j_init, a_t, t, 0.0,
-                        np.array([rt.sigma], dtype=int),
-                    )[0]
+                rt.t_expected = candidate_finish_time(
+                    model, i, j_init, a_t, t, 0.0, rt.sigma
                 )
                 heapq.heappush(heap, (-rt.t_expected, i))
                 k -= 2

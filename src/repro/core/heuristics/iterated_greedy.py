@@ -26,6 +26,7 @@ from .base import (
     CompletionHeuristic,
     FailureHeuristic,
     apply_move,
+    candidate_finish_time,
     candidate_finish_times,
     faulty_stall,
     remaining_at,
@@ -75,11 +76,8 @@ def greedy_rebuild(
         if k == sigma_init[i]:
             # Line 16/23: unchanged allocation, the task just keeps going.
             return rt.t_last + model.expected_time(i, k, rt.alpha)
-        return float(
-            candidate_finish_times(
-                model, i, sigma_init[i], alpha_t[i], t, stall[i],
-                np.array([k], dtype=int),
-            )[0]
+        return candidate_finish_time(
+            model, i, sigma_init[i], alpha_t[i], t, stall[i], k
         )
 
     sigma: Dict[int, int] = {rt.index: 2 for rt in tasks}

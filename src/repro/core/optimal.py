@@ -62,7 +62,10 @@ def optimal_schedule(
     available = p - 2 * n
 
     # Max-heap on expected time; ties broken by task index for determinism.
-    heap = [(-model.expected_time(i, 2, alpha), i) for i in indices]
+    # One batched profile evaluation scores every task at j=2 (slot 0) and
+    # warms the profile cache for the scalar reads of the growth loop.
+    at_two = model.profile_batch(indices, alpha)[:, 0]
+    heap = [(-float(at_two[pos]), i) for pos, i in enumerate(indices)]
     heapq.heapify(heap)
 
     while available >= 2 and heap:

@@ -75,11 +75,17 @@ def redistribution_cost(m: float, j: int, k: int) -> float:
     """``RC_i^{j->k}`` for a task with ``m`` data items (scalar form).
 
     Returns 0 when ``k == j`` (the paper only charges actual moves).
+    The operations mirror :func:`redistribution_cost_vector` term for
+    term so scalar and vectorised scores agree bit for bit.
     """
+    if j < 1:
+        raise CapacityError(f"source processor count must be >= 1, got {j}")
+    if k < 1:
+        raise CapacityError("target processor count must be >= 1")
     if k == j:
         return 0.0
-    rounds = redistribution_rounds(j, k)
-    return float(rounds) * (1.0 / k) * (m / j)
+    rounds = float(max(min(j, k), abs(k - j)))
+    return rounds * (m / j) / k
 
 
 def redistribution_cost_vector(m: float, j: int, k: np.ndarray) -> np.ndarray:

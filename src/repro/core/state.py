@@ -10,7 +10,7 @@ simulation counters.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..exceptions import CapacityError, SimulationError
 from ..tasks import TaskSpec
@@ -18,7 +18,7 @@ from ..tasks import TaskSpec
 __all__ = ["TaskRuntime"]
 
 
-@dataclass
+@dataclass(slots=True)
 class TaskRuntime:
     """Scheduling state of one task (see Table 1 of the paper).
 

@@ -10,6 +10,7 @@ from .figures import (
     list_figures,
     run_figure,
 )
+from .parallel import run_scenario_parallel
 from .runner import (
     FAULT_FREE_SERIES,
     FAULT_SERIES,
@@ -35,6 +36,7 @@ __all__ = [
     "ScenarioResult",
     "Series",
     "run_scenario",
+    "run_scenario_parallel",
     "render_figure",
     "render_table",
     "render_trace_figure",

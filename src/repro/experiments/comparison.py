@@ -88,6 +88,7 @@ def compare_policies(
     faults: bool = True,
     seed: int = 0,
     bootstrap_seed: int = 0,
+    workers: Optional[int] = None,
 ) -> PolicyComparison:
     """Run a paired comparison of ``policies`` against ``baseline``.
 
@@ -103,6 +104,9 @@ def compare_policies(
         ``False`` compares in the fault-free context.
     seed:
         Replicate seed (workloads + failure draws).
+    workers:
+        > 1 fans replicates out across a process pool; the pairing and
+        the resulting statistics are unchanged (byte-identical arrays).
     """
     candidates = [name for name in policies if name != baseline]
     if not candidates:
@@ -117,7 +121,9 @@ def compare_policies(
         Series(name, PAPER_POLICY_LABELS.get(name, name), name, faults)
         for name in candidates
     ]
-    outcome = run_scenario(config, series, seed=seed, baseline_key="baseline")
+    outcome = run_scenario(
+        config, series, seed=seed, baseline_key="baseline", workers=workers
+    )
     baseline_makespans = outcome.makespans["baseline"]
     comparisons = {
         name: paired_comparison(

@@ -255,8 +255,15 @@ def run_figure(
     scale: str | Scale = "small",
     *,
     seed: int = 0,
+    workers: Optional[int] = None,
 ) -> FigureResult | TraceFigureResult:
-    """Reproduce one figure's data at the requested scale."""
+    """Reproduce one figure's data at the requested scale.
+
+    ``workers`` > 1 fans each sweep point's replicates out across a
+    process pool (:mod:`repro.experiments.parallel`); the series are
+    byte-identical to a serial run.  Trace figures (Fig. 9) are a single
+    replicate and ignore ``workers``.
+    """
     try:
         spec = FIGURES[name]
     except KeyError:
@@ -267,11 +274,11 @@ def run_figure(
     scale_obj = get_scale(scale) if isinstance(scale, str) else scale
     if spec.kind == "trace":
         return _run_trace_figure(spec, scale_obj, seed)
-    return _run_sweep_figure(spec, scale_obj, seed)
+    return _run_sweep_figure(spec, scale_obj, seed, workers)
 
 
 def _run_sweep_figure(
-    spec: FigureSpec, scale: Scale, seed: int
+    spec: FigureSpec, scale: Scale, seed: int, workers: Optional[int] = None
 ) -> FigureResult:
     labels = {s.key: s.label for s in spec.series}
     x_values: List[float] = []
@@ -279,7 +286,7 @@ def _run_sweep_figure(
     means: Dict[str, List[float]] = {s.key: [] for s in spec.series}
     descriptions: List[str] = []
     for x, config in spec.points(scale):
-        outcome = run_scenario(config, spec.series, seed=seed)
+        outcome = run_scenario(config, spec.series, seed=seed, workers=workers)
         x_values.append(x)
         descriptions.append(config.describe())
         for key in normalized:

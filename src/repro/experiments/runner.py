@@ -90,22 +90,8 @@ def _replicate_seed(base_seed: int, replicate: int) -> int:
     return int(sequence.generate_state(1, np.uint32)[0])
 
 
-def run_scenario(
-    config: ScenarioConfig,
-    series: Sequence[Series] = FAULT_SERIES,
-    *,
-    seed: int = 0,
-    baseline_key: str = "no-rc",
-    keep_results: bool = False,
-) -> ScenarioResult:
-    """Run every series of a scenario over paired replicates.
-
-    For each replicate one pack is drawn and one
-    :class:`ExpectedTimeModel` is built, then shared by all series (its
-    profile cache is keyed by exact ``(task, alpha)`` values, which is
-    safe across policies).  Fault times depend only on the replicate seed,
-    not on the policy.
-    """
+def _validate_series(series: Sequence[Series], baseline_key: str) -> List[str]:
+    """Check key uniqueness and baseline membership; return the keys."""
     keys = [s.key for s in series]
     if len(set(keys)) != len(keys):
         raise ConfigurationError(f"duplicate series keys: {keys}")
@@ -113,6 +99,48 @@ def run_scenario(
         raise ConfigurationError(
             f"baseline series {baseline_key!r} missing from {keys}"
         )
+    return keys
+
+
+def run_scenario(
+    config: ScenarioConfig,
+    series: Sequence[Series] = FAULT_SERIES,
+    *,
+    seed: int = 0,
+    baseline_key: str = "no-rc",
+    keep_results: bool = False,
+    workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+) -> ScenarioResult:
+    """Run every series of a scenario over paired replicates.
+
+    For each replicate one pack is drawn and one
+    :class:`ExpectedTimeModel` is built, then shared by all series (its
+    profile cache is keyed by ``(task, quantised alpha)``, which is safe
+    across policies).  Fault times depend only on the replicate seed,
+    not on the policy.
+
+    ``workers`` > 1 fans replicates out across a process pool (see
+    :mod:`repro.experiments.parallel`); the per-replicate seed
+    derivation, replicate pairing and baseline normalisation are
+    preserved exactly, so the returned makespan arrays are byte-identical
+    to a serial run.  ``chunk_size`` bounds how many contiguous
+    replicates one worker dispatch carries (default: ~4 chunks per
+    worker).
+    """
+    if workers is not None and workers > 1 and config.replicates > 1:
+        from .parallel import run_scenario_parallel
+
+        return run_scenario_parallel(
+            config,
+            series,
+            seed=seed,
+            baseline_key=baseline_key,
+            keep_results=keep_results,
+            workers=workers,
+            chunk_size=chunk_size,
+        )
+    keys = _validate_series(series, baseline_key)
     makespans: Dict[str, List[float]] = {key: [] for key in keys}
     kept: Dict[str, List[SimulationResult]] = {key: [] for key in keys}
     cluster = config.build_cluster()

@@ -24,18 +24,28 @@ Adding processors raises the failure rate, so ``t^R`` is not monotone in
 "threshold" envelope), restoring assumption (5).
 
 The whole grid over even ``j`` is evaluated at once with NumPy (the
-envelope needs the prefix minimum anyway) and cached per ``(task, alpha)``
-— the scheduling heuristics probe many candidate ``j`` for the same
-``alpha``, so the hit rate is high.  This is the hot path of the library;
-see the performance notes in DESIGN.md.
+envelope needs the prefix minimum anyway).  Envelope profiles are cached
+in flat preallocated ndarray rows keyed by ``(task, quantised alpha)``:
+rollback alphas are continuous floats, so the alpha is quantised to the
+1e-12 grid — and the profile is *evaluated at the quantised alpha* — to
+keep the hit rate high under faults while staying deterministic: the
+returned envelope is a pure function of ``(task, quantised alpha)``,
+never of what the cache happened to contain (the perturbation is below
+1e-12 relative, far under the model's fidelity).  Eviction is FIFO over
+the row ring.
+This is the hot path of the library; the batch accessors
+(:meth:`ExpectedTimeModel.expected_times`,
+:meth:`ExpectedTimeModel.profile_batch`) let the scheduling heuristics
+evaluate all candidate ``j`` — or all tasks at one ``alpha`` — in a
+single vectorised call instead of per-slot scalar lookups.
 """
 
 from __future__ import annotations
 
 import math
-from collections import OrderedDict
+import sys
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
@@ -45,6 +55,10 @@ from ..tasks import Pack
 from .checkpoint import ResilienceModel
 
 __all__ = ["ExpectedTimeModel", "TaskGrid", "checkpoint_count", "last_period"]
+
+#: Quantisation step of the profile-cache alpha key (~1e-12).
+_ALPHA_QUANTUM = 1e-12
+_ALPHA_SCALE = 1.0 / _ALPHA_QUANTUM
 
 
 def checkpoint_count(alpha: float, t_ff: float, tau: float, cost: float) -> int:
@@ -79,16 +93,44 @@ class TaskGrid:
     exp_period: np.ndarray  #: e^{lambda j tau} - 1
     work_per_period: np.ndarray  #: tau - C
 
+    def __post_init__(self) -> None:
+        # slot() sits on every scalar accessor; memoise its arithmetic
+        # (the dataclass is frozen, hence the object.__setattr__).
+        object.__setattr__(self, "_slot_memo", {})
+        object.__setattr__(self, "_size", len(self.j))
+
     def slot(self, j: int) -> int:
-        """Grid index of an even processor count ``j``."""
+        """Grid index of an even processor count ``j`` (memoised)."""
+        slot = self._slot_memo.get(j)
+        if slot is not None:
+            return slot
         if j < 2 or j % 2 != 0:
             raise CapacityError(f"j must be an even count >= 2, got {j}")
         slot = j // 2 - 1
-        if slot >= len(self.j):
+        if slot >= self._size:
             raise CapacityError(
                 f"j={j} exceeds the grid maximum {int(self.j[-1])}"
             )
+        self._slot_memo[j] = slot
         return slot
+
+    def slots(self, j_array: np.ndarray) -> np.ndarray:
+        """Grid indices of an array of even processor counts."""
+        j_arr = np.asarray(j_array, dtype=np.int64)
+        if j_arr.size == 0:
+            return np.empty(0, dtype=np.int64)
+        if int(j_arr.min()) < 2 or bool(np.any(j_arr & 1)):
+            raise CapacityError(
+                "every j must be an even count >= 2, got "
+                f"{j_arr.tolist()}"
+            )
+        slots = (j_arr >> 1) - 1
+        if int(slots.max()) >= self._size:
+            raise CapacityError(
+                f"j={int(j_arr.max())} exceeds the grid maximum "
+                f"{int(self.j[-1])}"
+            )
+        return slots
 
 
 class ExpectedTimeModel:
@@ -105,7 +147,8 @@ class ExpectedTimeModel:
     max_procs:
         Largest ``j`` in the grid (defaults to ``cluster.processors``).
     cache_size:
-        Number of ``(task, alpha)`` profiles kept alive (FIFO eviction).
+        Number of ``(task, alpha)`` profiles kept alive (FIFO eviction
+        over a preallocated row ring).
     rc_factor:
         Multiplier on every redistribution cost ``RC_i^{j->k}`` seen by
         the heuristics (ablation knob: 0 makes redistribution free, large
@@ -123,6 +166,8 @@ class ExpectedTimeModel:
     ):
         if rc_factor < 0:
             raise ConfigurationError("rc_factor must be non-negative")
+        if cache_size < 1:
+            raise ConfigurationError("cache_size must be >= 1")
         self.pack = pack
         self.cluster = cluster
         self.rc_factor = float(rc_factor)
@@ -135,11 +180,21 @@ class ExpectedTimeModel:
         if j_max % 2 != 0:
             j_max -= 1
         self._j_grid = np.arange(2, j_max + 1, 2, dtype=float)
+        self._grid_len = len(self._j_grid)
         self._grids: dict[int, TaskGrid] = {}
-        self._profile_cache: OrderedDict[tuple[int, float], np.ndarray] = (
-            OrderedDict()
-        )
+        # Flat profile store: one preallocated row array per live envelope,
+        # grown on demand up to cache_size and then recycled FIFO.
+        # _profile_views maps (task, quantised-alpha) -> read-only row and
+        # _row_keys tracks each row's occupant for the eviction.  A row is
+        # only reused in place when no caller still references it (checked
+        # via the refcount); otherwise a fresh array takes its slot and the
+        # holder keeps the old, still-valid envelope — the semantics the
+        # seed's OrderedDict cache gave for free.
         self._cache_size = int(cache_size)
+        self._rows: list[np.ndarray] = []
+        self._profile_views: Dict[tuple[int, int], np.ndarray] = {}
+        self._row_keys: list[Optional[tuple[int, int]]] = []
+        self._clock = 0
         self.cache_hits = 0
         self.cache_misses = 0
 
@@ -188,36 +243,135 @@ class ExpectedTimeModel:
         return grid
 
     # -- profiles --------------------------------------------------------------
+    @staticmethod
+    def _alpha_key(alpha: float) -> int:
+        """Quantised cache key: alphas within ~1e-12 share a profile.
+
+        Profiles are evaluated at ``key / 1e12`` (see the module
+        docstring), so a hit and a fresh computation agree bit for bit.
+        """
+        return int(round(alpha * _ALPHA_SCALE))
+
+    def _store_profile(self, key: tuple[int, int], values: np.ndarray) -> np.ndarray:
+        """Insert an envelope into the flat row ring (FIFO eviction)."""
+        if len(self._rows) < self._cache_size:
+            arr = np.empty(self._grid_len, dtype=float)
+            self._rows.append(arr)
+            self._row_keys.append(key)
+        else:
+            slot = self._clock % self._cache_size
+            evicted = self._row_keys[slot]
+            if evicted is not None:
+                del self._profile_views[evicted]
+            arr = self._rows[slot]
+            # Reuse the row in place only when provably unreferenced.
+            # CPython refs here: self._rows + local arr + getrefcount
+            # argument = 3; more means a caller still holds the evicted
+            # envelope (or a view of it).  Extra transient references can
+            # only over-count, i.e. force a harmless fresh allocation;
+            # interpreters without refcounts always take the safe branch.
+            getrefcount = getattr(sys, "getrefcount", None)
+            if getrefcount is None or getrefcount(arr) > 3:
+                arr = np.empty(self._grid_len, dtype=float)
+                self._rows[slot] = arr
+            else:
+                arr.setflags(write=True)
+            self._row_keys[slot] = key
+        self._clock += 1
+        arr[:] = values
+        arr.setflags(write=False)
+        self._profile_views[key] = arr
+        return arr
+
     def profile(self, i: int, alpha: float = 1.0) -> np.ndarray:
         """Envelope ``t^R_{i,j}(alpha)`` for every even ``j`` in the grid.
 
         Returns the Eq. (6) running minimum, so the result is non-increasing
-        in ``j`` (assumption (5) holds by construction).
+        in ``j`` (assumption (5) holds by construction).  The envelope is
+        evaluated at the 1e-12-quantised ``alpha`` (module docstring), so
+        the result never depends on cache history.
         """
         if alpha < 0.0 or alpha > 1.0 + 1e-12:
             raise ConfigurationError(f"alpha must be in [0, 1], got {alpha}")
-        key = (i, float(alpha))
-        cached = self._profile_cache.get(key)
+        a_key = self._alpha_key(alpha)
+        key = (i, a_key)
+        cached = self._profile_views.get(key)
         if cached is not None:
             self.cache_hits += 1
-            self._profile_cache.move_to_end(key)
             return cached
         self.cache_misses += 1
         grid = self.grid(i)
-        raw = self.raw_profile(i, alpha, grid)
+        raw = self.raw_profile(i, a_key / _ALPHA_SCALE, grid)
         envelope = np.minimum.accumulate(raw)
-        envelope.setflags(write=False)
-        self._profile_cache[key] = envelope
-        if len(self._profile_cache) > self._cache_size:
-            self._profile_cache.popitem(last=False)
-        return envelope
+        return self._store_profile(key, envelope)
+
+    def profile_batch(
+        self, indices: Sequence[int], alpha: float = 1.0
+    ) -> np.ndarray:
+        """Envelopes of several tasks at one ``alpha``, stacked row-wise.
+
+        Cached profiles are gathered; the missing ones are evaluated in a
+        single vectorised pass over their stacked grids (one ``expm1``
+        over a 2-D block instead of one call per task) and inserted into
+        the cache.  Returns an array of shape ``(len(indices), grid)``.
+        """
+        if alpha < 0.0 or alpha > 1.0 + 1e-12:
+            raise ConfigurationError(f"alpha must be in [0, 1], got {alpha}")
+        indices = list(indices)
+        out = np.empty((len(indices), self._grid_len), dtype=float)
+        a_key = self._alpha_key(alpha)
+        # Duplicate task indices must evaluate (and store) only once.
+        missing: list[int] = []
+        positions_of: Dict[int, list[int]] = {}
+        for pos, i in enumerate(indices):
+            cached = self._profile_views.get((i, a_key))
+            if cached is not None:
+                self.cache_hits += 1
+                out[pos] = cached
+            else:
+                self.cache_misses += 1
+                if i not in positions_of:
+                    positions_of[i] = []
+                    missing.append(pos)
+                positions_of[i].append(pos)
+        if not missing:
+            return out
+        alpha_q = a_key / _ALPHA_SCALE  # evaluate at the quantised alpha
+        grids = [self.grid(indices[pos]) for pos in missing]
+        t_ff = np.stack([g.t_ff for g in grids])
+        if alpha_q <= 0.0:
+            block = np.zeros_like(t_ff)
+        else:
+            wpp = np.stack([g.work_per_period for g in grids])
+            work = alpha_q * t_ff
+            n_ff = np.floor(work / wpp)
+            tau_last = work - n_ff * wpp
+            lam = np.stack([g.lam for g in grids])
+            with np.errstate(over="ignore"):
+                block = np.stack([g.prefactor for g in grids]) * (
+                    n_ff * np.stack([g.exp_period for g in grids])
+                    + np.expm1(lam * tau_last)
+                )
+        np.minimum.accumulate(block, axis=1, out=block)
+        for k, pos in enumerate(missing):
+            i = indices[pos]
+            self._store_profile((i, a_key), block[k])
+            for dup_pos in positions_of[i]:
+                out[dup_pos] = block[k]
+        return out
 
     def raw_profile(
         self, i: int, alpha: float, grid: Optional[TaskGrid] = None
     ) -> np.ndarray:
-        """Eq. (4) without the envelope (exposed for tests/diagnostics)."""
+        """Eq. (4) without the envelope (exposed for tests/diagnostics).
+
+        ``alpha`` is snapped to the model's 1e-12 alpha grid, like every
+        profile evaluation, so ``profile(i, a)`` always equals the prefix
+        minimum of ``raw_profile(i, a)`` at the same argument.
+        """
         if grid is None:
             grid = self.grid(i)
+        alpha = self._alpha_key(alpha) / _ALPHA_SCALE
         if alpha <= 0.0:
             return np.zeros_like(grid.t_ff)
         work = alpha * grid.t_ff
@@ -233,6 +387,20 @@ class ExpectedTimeModel:
         """``t^R_{i,j}(alpha)`` with the envelope applied (Eq. 6)."""
         grid = self.grid(i)
         return float(self.profile(i, alpha)[grid.slot(j)])
+
+    def expected_times(
+        self, i: int, j_array: np.ndarray, alpha: float = 1.0
+    ) -> np.ndarray:
+        """``t^R_{i,j}(alpha)`` for every even count in ``j_array`` at once.
+
+        One profile lookup plus one fancy index instead of a scalar
+        accessor per candidate, with full input validation — the public
+        batch accessor.  The heuristics' candidate scans
+        (:func:`~repro.core.heuristics.base.candidate_finish_times`) use
+        the same single-lookup pattern with the slot arithmetic inlined,
+        since their targets are even by construction.
+        """
+        return self.profile(i, alpha)[self.grid(i).slots(j_array)]
 
     def fault_free_time(self, i: int, j: int) -> float:
         """``t_{i,j}`` — fault-free time from the precomputed grid."""
@@ -273,10 +441,13 @@ class ExpectedTimeModel:
         # argmin returns the first occurrence = smallest such j
         return int(self._j_grid[best])
 
-    def cache_info(self) -> dict[str, int]:
-        """Cache statistics (diagnostics)."""
+    def cache_info(self) -> dict[str, int | float]:
+        """Cache statistics (diagnostics), including the hit rate."""
+        lookups = self.cache_hits + self.cache_misses
         return {
             "hits": self.cache_hits,
             "misses": self.cache_misses,
-            "entries": len(self._profile_cache),
+            "entries": len(self._profile_views),
+            "capacity": self._cache_size,
+            "hit_rate": self.cache_hits / lookups if lookups else 0.0,
         }

@@ -1,10 +1,12 @@
 """Discrete-event fault simulator (Algorithm 2)."""
 
+from .events import CompletionQueue
 from .result import SimulationResult
 from .simulator import Simulator, simulate
 from .trace import EventKind, Trace, TraceEvent, TraceRecorder
 
 __all__ = [
+    "CompletionQueue",
     "SimulationResult",
     "Simulator",
     "simulate",

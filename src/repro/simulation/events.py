@@ -1,0 +1,83 @@
+"""Lazy-deletion event queue for the simulator's completion times.
+
+The simulator's main loop repeatedly needs the earliest projected task
+completion.  The seed implementation rescanned every live task per event
+— O(n) per event, O(n^2) per run.  :class:`CompletionQueue` keeps the
+projections in a min-heap with *lazy deletion*: it subclasses ``dict``
+(task index -> projected finish), so the redistribution handlers keep
+writing ``finish[i] = t`` exactly as before, and every write also pushes
+``(t, i)`` onto the heap.  A heap entry is stale once the task completed
+or its projection was re-written; :meth:`peek` prunes stale entries from
+the top before answering, making event selection O(log n) amortised.
+
+Entries are ordered ``(time, task index)``, which reproduces the linear
+scan's tie-break (earliest time, then smallest index) bit for bit.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import List, Sequence, Tuple
+
+__all__ = ["CompletionQueue"]
+
+
+class CompletionQueue(dict):
+    """``finish``-time mapping backed by a lazy-deletion min-heap.
+
+    Only item assignment keeps the heap in sync; the other inherited
+    dict mutators (which would bypass the overridden ``__setitem__`` at
+    the C level) are blocked so a desynchronised heap cannot be created
+    silently.
+    """
+
+    def __init__(self, runtimes: Sequence):
+        super().__init__()
+        self._runtimes = runtimes
+        self._heap: List[Tuple[float, int]] = []
+
+    def __setitem__(self, i: int, t: float) -> None:
+        dict.__setitem__(self, i, t)
+        heapq.heappush(self._heap, (t, i))
+
+    def _unsupported(self, *_args, **_kwargs):
+        raise TypeError(
+            "CompletionQueue only supports item assignment "
+            "(finish[i] = t); other dict mutators would desync the heap"
+        )
+
+    update = _unsupported
+    setdefault = _unsupported
+    pop = _unsupported
+    popitem = _unsupported
+    clear = _unsupported
+    __delitem__ = _unsupported
+    __ior__ = _unsupported
+
+    def peek(self) -> Tuple[float, int]:
+        """(time, task) of the next valid completion, ``(inf, -1)`` if none.
+
+        Prunes stale heap entries (completed task, or a projection that
+        has since been re-written) on the way.
+        """
+        heap = self._heap
+        while heap:
+            t, i = heap[0]
+            if self._runtimes[i].completed or dict.__getitem__(self, i) != t:
+                heapq.heappop(heap)
+                continue
+            return t, i
+        return math.inf, -1
+
+    def scan(self) -> Tuple[float, int]:
+        """Reference linear scan over live tasks (seed semantics).
+
+        Kept for the equivalence tests: byte-identical selection to the
+        seed's ``for`` loop, O(n) per call.
+        """
+        t_best, i_best = math.inf, -1
+        for i, rt in enumerate(self._runtimes):
+            if not rt.completed and dict.__getitem__(self, i) < t_best:
+                t_best, i_best = dict.__getitem__(self, i), i
+        return t_best, i_best

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Dict, Optional
 
 import numpy as np
@@ -33,14 +34,14 @@ class SimulationResult:
     seed: int = 0
     trace: Optional[Trace] = None
 
-    @property
+    @cached_property
     def n(self) -> int:
-        """Number of tasks."""
+        """Number of tasks (computed once, then cached)."""
         return int(self.completion_times.size)
 
-    @property
+    @cached_property
     def failures_total(self) -> int:
-        """All failure arrivals observed before the makespan."""
+        """All failure arrivals observed before the makespan (cached)."""
         return self.failures_effective + self.failures_idle + self.failures_masked
 
     def summary(self) -> str:

@@ -39,6 +39,7 @@ from ..resilience.expected_time import ExpectedTimeModel
 from ..resilience.faults import FaultInjector, NullFaultInjector
 from ..rng import derive_rng
 from ..tasks import Pack
+from .events import CompletionQueue
 from .result import SimulationResult
 from .trace import EventKind, NullRecorder, TraceRecorder
 
@@ -70,6 +71,11 @@ class Simulator:
         replicates of the same pack to amortise the grids).
     record_trace:
         Capture the Fig. 9 series and a full event log.
+    event_queue:
+        ``"heap"`` (default) selects the next completion from a
+        lazy-deletion heap in O(log n); ``"scan"`` keeps the seed's O(n)
+        linear rescan.  Both produce bit-identical executions — the scan
+        path exists for the equivalence tests and as a debugging aid.
     """
 
     def __init__(
@@ -85,6 +91,7 @@ class Simulator:
         model: Optional[ExpectedTimeModel] = None,
         record_trace: bool = False,
         strict: bool = False,
+        event_queue: str = "heap",
     ):
         self.pack = pack
         self.cluster = cluster
@@ -103,6 +110,11 @@ class Simulator:
         )
         self._recorder = TraceRecorder() if record_trace else NullRecorder()
         self._strict = bool(strict)
+        if event_queue not in ("heap", "scan"):
+            raise SimulationError(
+                f"event_queue must be 'heap' or 'scan', got {event_queue!r}"
+            )
+        self._use_heap = event_queue == "heap"
 
     # ------------------------------------------------------------------
     def run(self) -> SimulationResult:
@@ -125,18 +137,22 @@ class Simulator:
         else:
             injector = NullFaultInjector()
 
-        finish: Dict[int, float] = {
-            i: self._projected(runtimes[i]) for i in range(n)
-        }
+        finish = CompletionQueue(runtimes)
+        for i in range(n):
+            finish[i] = self._projected(runtimes[i])
         released_early: set[int] = set()
         counters = {"effective": 0, "idle": 0, "masked": 0, "events": 0}
+        # Completion bookkeeping is accumulated event by event instead of
+        # being re-derived from the runtimes after the loop.
+        completion_times = np.full(n, math.nan)
+        makespan = 0.0
 
         remaining = n
         while remaining > 0:
-            t_comp, i_comp = math.inf, -1
-            for i, rt in enumerate(runtimes):
-                if not rt.completed and finish[i] < t_comp:
-                    t_comp, i_comp = finish[i], i
+            if self._use_heap:
+                t_comp, i_comp = finish.peek()
+            else:
+                t_comp, i_comp = finish.scan()
             t_fail, _ = injector.peek()
             if t_comp == math.inf and t_fail == math.inf:
                 raise SimulationError("no events left but tasks remain")
@@ -146,6 +162,9 @@ class Simulator:
                 self._handle_completion(
                     t_comp, i_comp, runtimes, procs, finish, released_early
                 )
+                completion_times[i_comp] = t_comp
+                if t_comp > makespan:
+                    makespan = t_comp
                 remaining -= 1
             else:
                 t_fail, proc = injector.pop()
@@ -156,18 +175,16 @@ class Simulator:
             if self._strict:
                 procs.validate()
 
-        completion_times = np.array(
-            [rt.completion_time for rt in runtimes], dtype=float
-        )
+        redistributions = sum(rt.redistributions for rt in runtimes)
         return SimulationResult(
             policy=self.policy.name,
-            makespan=float(completion_times.max()),
+            makespan=makespan,
             completion_times=completion_times,
             initial_sigma=sigma0,
             failures_effective=counters["effective"],
             failures_idle=counters["idle"],
             failures_masked=counters["masked"],
-            redistributions=sum(rt.redistributions for rt in runtimes),
+            redistributions=redistributions,
             events=counters["events"],
             seed=self.seed,
             trace=self._recorder.trace if self._recorder.enabled else None,

@@ -1,0 +1,234 @@
+"""Equivalence guarantees of the performance overhaul.
+
+The heap event queue, the batched profile accessors and the parallel
+replicate engine are pure optimisations: every observable output must be
+byte-identical to the seed's linear-scan / scalar / serial paths under
+common random numbers.  These tests pin that contract.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.core.state import TaskRuntime
+from repro.experiments import FAULT_SERIES, ScenarioConfig, run_scenario
+from repro.experiments.parallel import (
+    default_chunk_size,
+    run_scenario_parallel,
+)
+from repro.resilience import ExpectedTimeModel
+from repro.simulation import Simulator
+from repro.tasks import uniform_pack
+
+#: Small but failure-rich scenario: every policy sees real faults.
+CONFIG = ScenarioConfig(
+    n=4, p=12, m_inf=120.0, m_sup=200.0, mtbf_years=0.002, replicates=5
+)
+
+
+def _workload(seed: int):
+    pack = uniform_pack(5, m_inf=150.0, m_sup=260.0, seed=seed)
+    cluster = Cluster.with_mtbf_years(16, 0.002)
+    return pack, cluster
+
+
+def _run(pack, cluster, series, seed, mode):
+    model = ExpectedTimeModel(pack, cluster)
+    return Simulator(
+        pack,
+        cluster,
+        series.policy,
+        seed=seed,
+        inject_faults=series.faults,
+        model=model,
+        record_trace=True,
+        event_queue=mode,
+    ).run()
+
+
+class TestHeapMatchesScan:
+    @pytest.mark.parametrize("series", FAULT_SERIES, ids=lambda s: s.key)
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_byte_identical_run(self, series, seed):
+        pack, cluster = _workload(seed)
+        heap = _run(pack, cluster, series, seed, "heap")
+        scan = _run(pack, cluster, series, seed, "scan")
+        assert heap.makespan == scan.makespan
+        assert np.array_equal(heap.completion_times, scan.completion_times)
+        assert heap.initial_sigma == scan.initial_sigma
+        assert heap.events == scan.events
+        assert heap.failures_effective == scan.failures_effective
+        assert heap.failures_idle == scan.failures_idle
+        assert heap.failures_masked == scan.failures_masked
+        assert heap.redistributions == scan.redistributions
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_traces_identical(self, seed):
+        pack, cluster = _workload(seed)
+        series = FAULT_SERIES[2]  # ig-el: completions + failure rebuilds
+        heap = _run(pack, cluster, series, seed, "heap").trace
+        scan = _run(pack, cluster, series, seed, "scan").trace
+        assert heap.events == scan.events
+        assert heap.failure_times == scan.failure_times
+        assert heap.makespan_after_failure == scan.makespan_after_failure
+        assert heap.sigma_std_after_failure == scan.sigma_std_after_failure
+
+    def test_exercises_failures(self):
+        # Guard: the scenario above must actually inject failures,
+        # otherwise the equivalence tests prove nothing about rollbacks.
+        pack, cluster = _workload(0)
+        result = _run(pack, cluster, FAULT_SERIES[0], 0, "heap")
+        assert result.failures_effective > 0
+
+    def test_unknown_event_queue_rejected(self):
+        pack, cluster = _workload(0)
+        with pytest.raises(Exception):
+            Simulator(pack, cluster, event_queue="btree")
+
+    def test_completion_queue_blocks_unsynced_mutators(self):
+        from repro.simulation import CompletionQueue
+
+        pack, _ = _workload(0)
+        queue = CompletionQueue([TaskRuntime(spec) for spec in pack])
+        queue[0] = 1.5
+        assert queue.peek() == (1.5, 0)
+        for mutate in (
+            lambda: queue.update({1: 2.0}),
+            lambda: queue.setdefault(1, 2.0),
+            lambda: queue.pop(0),
+            lambda: queue.popitem(),
+            lambda: queue.clear(),
+            lambda: queue.__delitem__(0),
+        ):
+            with pytest.raises(TypeError):
+                mutate()
+        assert queue.peek() == (1.5, 0)
+
+
+class TestParallelMatchesSerial:
+    def test_makespans_byte_identical(self):
+        serial = run_scenario(CONFIG, FAULT_SERIES, seed=11)
+        fanned = run_scenario(CONFIG, FAULT_SERIES, seed=11, workers=2)
+        assert set(serial.makespans) == set(fanned.makespans)
+        for key in serial.makespans:
+            assert np.array_equal(serial.makespans[key], fanned.makespans[key])
+        assert serial.normalized_row() == fanned.normalized_row()
+
+    def test_chunk_size_does_not_matter(self):
+        serial = run_scenario(CONFIG, FAULT_SERIES, seed=5)
+        for chunk_size in (1, 2, CONFIG.replicates):
+            fanned = run_scenario_parallel(
+                CONFIG, FAULT_SERIES, seed=5, workers=2, chunk_size=chunk_size
+            )
+            for key in serial.makespans:
+                assert np.array_equal(
+                    serial.makespans[key], fanned.makespans[key]
+                )
+
+    def test_keep_results_roundtrip(self):
+        outcome = run_scenario(
+            CONFIG, FAULT_SERIES, seed=3, workers=2, keep_results=True
+        )
+        for key, results in outcome.results.items():
+            assert len(results) == CONFIG.replicates
+            for rep, result in enumerate(results):
+                assert result.makespan == outcome.makespans[key][rep]
+
+    def test_default_chunk_size(self):
+        assert default_chunk_size(50, 4) == 4  # ~4 chunks per worker
+        assert default_chunk_size(1, 8) == 1
+        assert default_chunk_size(0, 2) == 1
+
+    def test_workers_one_equals_serial(self):
+        serial = run_scenario(CONFIG, FAULT_SERIES, seed=2)
+        same = run_scenario_parallel(CONFIG, FAULT_SERIES, seed=2, workers=1)
+        for key in serial.makespans:
+            assert np.array_equal(serial.makespans[key], same.makespans[key])
+
+
+class TestBatchedAccessors:
+    def test_expected_times_matches_scalar(self):
+        pack, cluster = _workload(0)
+        model = ExpectedTimeModel(pack, cluster)
+        targets = np.arange(2, 17, 2)
+        batch = model.expected_times(1, targets, 0.7)
+        scalar = [model.expected_time(1, int(j), 0.7) for j in targets]
+        assert batch.tolist() == scalar
+
+    def test_profile_batch_matches_profile(self):
+        pack, cluster = _workload(1)
+        model = ExpectedTimeModel(pack, cluster)
+        indices = list(range(len(pack)))
+        block = model.profile_batch(indices, 0.6)
+        for pos, i in enumerate(indices):
+            assert np.array_equal(block[pos], model.profile(i, 0.6))
+
+    def test_profile_batch_uses_cache(self):
+        pack, cluster = _workload(1)
+        model = ExpectedTimeModel(pack, cluster)
+        model.profile_batch([0, 1, 2], 0.9)
+        misses = model.cache_misses
+        model.profile_batch([0, 1, 2], 0.9)
+        assert model.cache_misses == misses
+
+    def test_quantised_key_absorbs_float_noise(self):
+        pack, cluster = _workload(2)
+        model = ExpectedTimeModel(pack, cluster)
+        first = model.profile(0, 0.5)
+        second = model.profile(0, 0.5 + 4e-13)  # within the 1e-12 quantum
+        assert second is first
+        assert model.cache_hits >= 1
+
+    def test_cache_info_exposes_hit_rate(self):
+        pack, cluster = _workload(2)
+        model = ExpectedTimeModel(pack, cluster)
+        info = model.cache_info()
+        assert info["hit_rate"] == 0.0
+        model.profile(0, 1.0)
+        model.profile(0, 1.0)
+        info = model.cache_info()
+        assert 0.0 < info["hit_rate"] < 1.0
+        assert info["capacity"] >= info["entries"]
+
+    def test_profile_batch_duplicate_indices(self):
+        pack, cluster = _workload(0)
+        model = ExpectedTimeModel(pack, cluster, cache_size=2)
+        block = model.profile_batch([0, 0, 1, 0], 0.5)
+        assert np.array_equal(block[0], block[1])
+        assert np.array_equal(block[0], block[3])
+        assert np.array_equal(block[0], model.profile(0, 0.5))
+        assert np.array_equal(block[2], model.profile(1, 0.5))
+        # Churn the tiny ring: duplicate stores must not corrupt eviction.
+        for alpha in (0.1, 0.2, 0.3, 0.4):
+            model.profile_batch([2, 2], alpha)
+        assert model.cache_info()["entries"] <= 2
+
+    def test_evicted_profile_stays_valid_for_holders(self):
+        pack, cluster = _workload(0)
+        model = ExpectedTimeModel(pack, cluster, cache_size=2)
+        held = model.profile(0, 0.8)
+        snapshot = held.copy()
+        # Recycle the ring several times over while `held` is referenced.
+        for k in range(10):
+            model.profile(1, 0.05 + k * 0.05)
+        assert np.array_equal(held, snapshot)
+        # Fresh lookups after the churn are also still correct.
+        assert np.array_equal(model.profile(0, 0.8), snapshot)
+
+    def test_flat_cache_eviction_keeps_values_correct(self):
+        pack, cluster = _workload(0)
+        model = ExpectedTimeModel(pack, cluster, cache_size=3)
+        expected = {a: model.profile(0, a).copy() for a in (0.2, 0.4, 0.6)}
+        model.profile(0, 0.8)  # evicts alpha=0.2's row (FIFO)
+        assert model.cache_info()["entries"] == 3
+        for a, values in expected.items():
+            assert np.array_equal(model.profile(0, a), values)
+
+
+class TestRuntimeSlots:
+    def test_task_runtime_has_no_dict(self):
+        pack, _ = _workload(0)
+        rt = TaskRuntime(pack[0])
+        assert not hasattr(rt, "__dict__")
+        with pytest.raises(AttributeError):
+            rt.arbitrary_attribute = 1
