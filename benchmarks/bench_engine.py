@@ -1,0 +1,198 @@
+"""Engine benchmark: pool-per-point vs persistent-pool sweep wall-clock.
+
+The persistent executor exists to amortise process-pool start-up across
+the points of a sweep (and whole multi-figure campaigns).  This
+benchmark measures exactly that claim on a >= 4-point MTBF sweep of the
+fig10 scenario: the same requests dispatched
+
+* ``serial``     — in-process reference;
+* ``pool``       — a fresh process pool spawned at every sweep point
+  (the PR-1 behaviour);
+* ``persistent`` — one pool launched at the first point and reused.
+
+Results are recorded into the committed ``BENCH_engine.json`` with::
+
+    PYTHONPATH=src python -m benchmarks.bench_engine --write
+
+and the derived ``persistent_speedup`` (pool seconds over persistent
+seconds) is the acceptance number: it must stay above 1.0, i.e. the
+persistent pool must beat per-point pool spawn.  ``REPRO_BENCH_SCALE``
+(``tiny``/``small``) sizes the sweep's scenarios.  The executors are
+byte-identical by contract, and the benchmark asserts it on the
+produced series.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Dict, Optional, Sequence
+
+from repro.engine import create_executor
+from repro.experiments import FAULT_SERIES, run_scenario
+from repro.experiments.config import ScenarioConfig, get_scale
+
+try:  # pytest / sys.path import (benchmarks/ on the path)
+    from ._common import BENCH_SCALE, BENCH_SEED
+except ImportError:  # pragma: no cover - direct execution fallback
+    from _common import BENCH_SCALE, BENCH_SEED
+
+#: Committed baseline location (repo root).
+DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+#: MTBF sweep (years) of the benchmark scenario — >= 4 points, so the
+#: per-point pool pays >= 4 spawns where the persistent pool pays one.
+SWEEP_MTBF_YEARS = (5.0, 35.0, 65.0, 95.0, 125.0)
+
+WORKERS = 2
+
+
+def sweep_configs() -> list:
+    """The sweep's scaled scenario configs (fig10 shape)."""
+    scale = get_scale(BENCH_SCALE if BENCH_SCALE != "paper" else "small")
+    base = ScenarioConfig(n=100, p=1000)
+    return [
+        scale.apply(
+            ScenarioConfig(
+                n=base.n, p=base.p, mtbf_years=float(years)
+            )
+        )
+        for years in SWEEP_MTBF_YEARS
+    ]
+
+
+def run_sweep(engine: str, repeats: int = 2) -> Dict[str, object]:
+    """Best-of-``repeats`` wall-clock of one full sweep.
+
+    The process-wide workload cache is cleared before every repeat so no
+    engine inherits workloads another engine (or an earlier repeat)
+    built — forked pool workers copy the parent's cache, which would
+    otherwise gift the serial run's constructions to the pools and blur
+    the comparison.  Min-of-repeats keeps the number stable on loaded
+    machines (same policy as ``bench_hotpath.measure``).
+    """
+    from repro.engine.cache import shared_cache
+
+    configs = sweep_configs()
+    best = float("inf")
+    for _ in range(repeats):
+        shared_cache.clear()
+        series_digest = []
+        start = time.perf_counter()
+        with create_executor(engine, workers=WORKERS) as executor:
+            for config in configs:
+                outcome = run_scenario(
+                    config, FAULT_SERIES, seed=BENCH_SEED, executor=executor
+                )
+                series_digest.append(outcome.normalized_row())
+            stats = executor.stats().cache_info()
+        best = min(best, time.perf_counter() - start)
+    return {
+        "seconds": best,
+        "points": len(configs),
+        "stats": stats,
+        "digest": series_digest,
+    }
+
+
+def run_all() -> Dict[str, Dict[str, object]]:
+    """Measure every engine on the same sweep; assert equivalence."""
+    results = {engine: run_sweep(engine) for engine in ("serial", "pool", "persistent")}
+    reference = results["serial"]["digest"]
+    for engine in ("pool", "persistent"):
+        assert results[engine]["digest"] == reference, (
+            f"{engine} series diverged from the serial reference"
+        )
+    return results
+
+
+def persistent_speedup(results: Dict[str, Dict[str, object]]) -> float:
+    """Per-point pool seconds over persistent-pool seconds."""
+    return results["pool"]["seconds"] / results["persistent"]["seconds"]
+
+
+def payload_from(results: Dict[str, Dict[str, object]]) -> Dict[str, object]:
+    benchmarks = {
+        engine: {
+            "seconds": data["seconds"],
+            "points": data["points"],
+            "stats": data["stats"],
+        }
+        for engine, data in results.items()
+    }
+    return {
+        "schema": 1,
+        "scale": BENCH_SCALE,
+        "workers": WORKERS,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "benchmarks": benchmarks,
+        "derived": {"persistent_speedup": persistent_speedup(results)},
+    }
+
+
+def write_baseline(path: Path = DEFAULT_BASELINE) -> Dict[str, object]:
+    """Measure everything and record the committed baseline JSON."""
+    payload = payload_from(run_all())
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return payload
+
+
+# -- pytest entry points -----------------------------------------------------
+
+def test_persistent_beats_pool_spawn():
+    """Acceptance gate: pool start-up amortisation is a real win.
+
+    One retry at a higher repeat count before failing: the margin is
+    real but the measurement is ~seconds of wall-clock, and shared CI
+    runners can invert a single noisy sample.
+    """
+    results = run_all()
+    assert results["pool"]["points"] >= 4
+    if persistent_speedup(results) <= 1.0:  # pragma: no cover - noisy host
+        results = {
+            engine: run_sweep(engine, repeats=3)
+            for engine in ("serial", "pool", "persistent")
+        }
+    speedup = persistent_speedup(results)
+    assert speedup > 1.0, (
+        f"persistent pool ({results['persistent']['seconds']:.2f}s) did not "
+        f"beat per-point pools ({results['pool']['seconds']:.2f}s)"
+    )
+
+
+def test_persistent_launches_one_pool():
+    result = run_sweep("persistent")
+    assert result["stats"]["pool_launches"] == 1
+    assert result["stats"]["pool_reuses"] == result["stats"]["dispatches"] - 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Measure pool vs persistent-pool sweep wall-clock."
+    )
+    parser.add_argument(
+        "--write",
+        action="store_true",
+        help=f"record the baseline to {DEFAULT_BASELINE.name}",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help="baseline path (with --write)",
+    )
+    args = parser.parse_args(argv)
+    if args.write:
+        payload = write_baseline(args.output)
+    else:
+        payload = payload_from(run_all())
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -45,6 +45,13 @@ from .exceptions import (
     ReproError,
     SimulationError,
 )
+from .engine import (
+    PersistentPoolExecutor,
+    PoolExecutor,
+    RunRequest,
+    SerialExecutor,
+    create_executor,
+)
 from .experiments import (
     FIGURES,
     ScenarioConfig,
@@ -52,7 +59,7 @@ from .experiments import (
     run_figure,
     run_scenario,
 )
-from .batch import OnlineBatchScheduler, poisson_stream
+from .batch import OnlineBatchScheduler, poisson_stream, run_replicated_campaigns
 from .packing import (
     MultiPackScheduler,
     PackCostOracle,
@@ -105,6 +112,12 @@ __all__ = [
     "list_figures",
     "run_figure",
     "run_scenario",
+    "RunRequest",
+    "SerialExecutor",
+    "PoolExecutor",
+    "PersistentPoolExecutor",
+    "create_executor",
+    "run_replicated_campaigns",
     "ExpectedTimeModel",
     "ExponentialFaults",
     "FaultInjector",

@@ -27,7 +27,13 @@ from .jobs import (
     poisson_stream,
     stream_from_sizes,
 )
-from .scheduler import BatchResult, BatchRun, OnlineBatchScheduler
+from .scheduler import (
+    BatchResult,
+    BatchRun,
+    OnlineBatchScheduler,
+    campaign_replicate_seed,
+    run_replicated_campaigns,
+)
 
 __all__ = [
     "Job",
@@ -38,4 +44,6 @@ __all__ = [
     "OnlineBatchScheduler",
     "BatchResult",
     "BatchRun",
+    "campaign_replicate_seed",
+    "run_replicated_campaigns",
 ]

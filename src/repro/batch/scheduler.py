@@ -16,25 +16,39 @@ Batch formation is a pluggable choice:
 
 If the queue is empty when the platform drains, the clock jumps to the
 next release (idling is explicit in the metrics).
+
+Replicated campaign runs — the same job stream under independent fault
+draws — submit through the unified execution engine
+(:func:`run_replicated_campaigns`): one
+:class:`~repro.engine.RunRequest` per campaign replicate, so a study
+averaging campaign metrics over many fault draws fans out across the
+same serial/pool/persistent executors as the figure sweeps.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace as dc_replace
-from typing import Dict, List, Optional, Sequence
-
-import numpy as np
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from ..cluster import Cluster
 from ..core.policy import Policy
 from ..exceptions import CapacityError, ConfigurationError
 from ..resilience.checkpoint import ResilienceModel
-from ..rng import derive_seed_sequence
+from ..rng import derive_seed
 from ..simulation import SimulationResult, Simulator
 from ..tasks import Pack, TaskSpec
 from .jobs import CampaignMetrics, Job, JobMetrics
 
-__all__ = ["BatchRun", "BatchResult", "OnlineBatchScheduler"]
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..engine import Executor
+
+__all__ = [
+    "BatchRun",
+    "BatchResult",
+    "OnlineBatchScheduler",
+    "campaign_replicate_seed",
+    "run_replicated_campaigns",
+]
 
 BATCH_POLICIES = ("all", "fixed")
 
@@ -148,8 +162,7 @@ class OnlineBatchScheduler:
 
     # ------------------------------------------------------------------
     def _batch_seed(self, position: int) -> int:
-        sequence = derive_seed_sequence(self.seed, "batch", position)
-        return int(sequence.generate_state(1, np.uint32)[0])
+        return derive_seed(self.seed, "batch", position)
 
     def _form_batch(self, queue: List[Job]) -> List[Job]:
         """Pick the next batch from the released queue (mutates it)."""
@@ -225,3 +238,110 @@ class OnlineBatchScheduler:
             jobs=[job_metrics[job.job_id] for job in self.jobs]
         )
         return outcome
+
+
+# ---------------------------------------------------------------------------
+# replicated campaigns through the unified engine
+
+
+def campaign_replicate_seed(base_seed: int, replicate: int) -> int:
+    """Stable derived seed for one campaign replicate's fault draws."""
+    return derive_seed(base_seed, "campaign", replicate)
+
+
+def _run_campaign(
+    jobs: tuple,
+    cluster: Cluster,
+    policy: str,
+    batch_policy: str,
+    batch_size: Optional[int],
+    inject_faults: bool,
+    *,
+    seed: int,
+) -> BatchResult:
+    """Engine runner: one whole campaign under one fault-draw seed.
+
+    Batches inside a campaign are inherently sequential (batch ``t+1``
+    depends on the queue left by batch ``t``), so the campaign is the
+    engine's unit of work and replicates are the axis that fans out.
+    """
+    return OnlineBatchScheduler(
+        list(jobs),
+        cluster,
+        policy,
+        batch_policy=batch_policy,
+        batch_size=batch_size,
+        seed=seed,
+        inject_faults=inject_faults,
+    ).run()
+
+
+def run_replicated_campaigns(
+    jobs: Sequence[Job],
+    cluster: Cluster,
+    policy: Policy | str = "ig-el",
+    *,
+    batch_policy: str = "all",
+    batch_size: Optional[int] = None,
+    replicates: int = 1,
+    seed: int = 0,
+    inject_faults: bool = True,
+    workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+    engine: Optional[str] = None,
+    executor: Optional["Executor"] = None,
+) -> List[BatchResult]:
+    """Run one campaign under ``replicates`` independent fault draws.
+
+    The job stream (sizes **and** release times) is shared by every
+    replicate — common random numbers, exactly like the paired
+    replicates of the figure sweeps — while the fault streams derive
+    from ``campaign_replicate_seed(seed, r)``, so two campaigns with the
+    same ``(jobs, seed)`` are byte-identical regardless of the executor,
+    worker count or batch policy under comparison.  Results come back in
+    replicate order.
+
+    ``executor`` submits to a caller-owned executor (left open);
+    otherwise ``engine``/``workers`` pick one exactly as in
+    :func:`repro.experiments.runner.run_scenario`.
+    """
+    from ..engine import RunRequest, ensure_executor
+
+    if replicates < 1:
+        raise ConfigurationError(
+            f"replicates must be >= 1, got {replicates}"
+        )
+    policy_name = policy if isinstance(policy, str) else policy.name
+    # Validate the campaign eagerly (duplicate ids, batch knobs,
+    # capacity) so configuration errors surface here, not inside a
+    # worker process.
+    OnlineBatchScheduler(
+        jobs,
+        cluster,
+        policy_name,
+        batch_policy=batch_policy,
+        batch_size=batch_size,
+        seed=seed,
+        inject_faults=inject_faults,
+    )
+    payload = (
+        tuple(jobs),
+        cluster,
+        policy_name,
+        batch_policy,
+        batch_size,
+        inject_faults,
+    )
+    requests = [
+        RunRequest(
+            fn=_run_campaign,
+            payload=payload,
+            seed=campaign_replicate_seed(seed, replicate),
+            tag=replicate,
+        )
+        for replicate in range(replicates)
+    ]
+    with ensure_executor(
+        executor, engine=engine, workers=workers, chunk_size=chunk_size
+    ) as active:
+        return active.map(requests)

@@ -15,9 +15,11 @@
 
 The same entry point is reachable as ``python -m repro.cli``.
 
-The experiment commands (``run``, ``compare``) accept ``--workers N`` to
-fan replicates out across a process pool; results are byte-identical to
-a serial run (see :mod:`repro.experiments.parallel`).  The benchmark
+The execution commands (``run``, ``compare``, ``batch``, ``validate``)
+accept ``--engine {serial,pool,persistent}`` and ``--workers N`` to pick
+the run-fabric (:mod:`repro.engine`) that fans their work out; results
+are byte-identical under every engine and worker count, and ``--verbose``
+prints the engine's ``cache_info()``-style statistics.  The benchmark
 suite under ``benchmarks/`` reads the ``REPRO_BENCH_SCALE`` environment
 variable (``tiny``/``small``/``paper``) to pick its scaling preset.
 """
@@ -31,6 +33,7 @@ from typing import Optional, Sequence
 from . import __version__
 from .cluster import Cluster
 from .core.policy import PAPER_POLICY_LABELS, POLICIES
+from .engine import ENGINES, create_executor, resolve_engine
 from .experiments import (
     FIGURES,
     SCALES,
@@ -67,6 +70,55 @@ def _add_workload_arguments(
     parser.add_argument("--seed", type=int, default=0)
 
 
+def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
+    """Shared run-fabric knobs (run, compare, batch, validate)."""
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "processes for the engine fan-out (1 = in-process; results "
+            "are byte-identical at any worker count)"
+        ),
+    )
+    parser.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default=None,
+        help=(
+            "execution engine (default: serial, or a process pool when "
+            "--workers > 1; 'persistent' keeps workers alive across a "
+            "whole sweep)"
+        ),
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="print the engine's cache/pool statistics after the run",
+    )
+
+
+def _make_executor(args: argparse.Namespace, *, sweep: bool = False):
+    """Build the executor the command's engine flags ask for.
+
+    ``sweep`` commands (many dispatches against one executor) default to
+    the persistent pool when ``--workers`` > 1 so pool start-up is paid
+    once, not once per sweep point.
+    """
+    engine = resolve_engine(
+        args.engine,
+        args.workers,
+        pooled_default="persistent" if sweep else "pool",
+    )
+    return create_executor(engine, workers=args.workers)
+
+
+def _report_engine(args: argparse.Namespace, executor) -> None:
+    """Print the ``cache_info()``-style counters under ``--verbose``."""
+    if args.verbose:
+        print(f"engine[{executor.name}]: {executor.stats().describe()}")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse command tree."""
     parser = argparse.ArgumentParser(
@@ -98,15 +150,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="scaling preset (default: small)",
     )
     run.add_argument("--seed", type=int, default=0)
-    run.add_argument(
-        "--workers",
-        type=int,
-        default=1,
-        help=(
-            "processes for the replicate fan-out (1 = serial; results "
-            "are byte-identical at any worker count)"
-        ),
-    )
+    _add_engine_arguments(run)
     run.add_argument(
         "--precision", type=int, default=3, help="digits in the tables"
     )
@@ -167,6 +211,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="cap jobs per batch (default: fill the platform)",
     )
+    batch.add_argument(
+        "--replicates",
+        type=int,
+        default=1,
+        help=(
+            "fault-draw replicates of the campaign (> 1 fans the "
+            "replicated campaigns out through the engine)"
+        ),
+    )
+    _add_engine_arguments(batch)
 
     val = commands.add_parser(
         "validate", help="validate Eq. (4) and the simulator consistency"
@@ -175,6 +229,7 @@ def build_parser() -> argparse.ArgumentParser:
     val.add_argument(
         "--samples", type=int, default=200, help="Monte-Carlo sample count"
     )
+    _add_engine_arguments(val)
 
     ratios = commands.add_parser(
         "ratios", help="competitive ratios against certified lower bounds"
@@ -198,15 +253,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument(
         "--fault-free", action="store_true", help="compare without failures"
     )
-    compare.add_argument(
-        "--workers",
-        type=int,
-        default=1,
-        help=(
-            "processes for the replicate fan-out (1 = serial; results "
-            "are byte-identical at any worker count)"
-        ),
-    )
+    _add_engine_arguments(compare)
     return parser
 
 
@@ -223,9 +270,10 @@ def _cmd_policies() -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    result = run_figure(
-        args.figure, scale=args.scale, seed=args.seed, workers=args.workers
-    )
+    with _make_executor(args, sweep=True) as executor:
+        result = run_figure(
+            args.figure, scale=args.scale, seed=args.seed, executor=executor
+        )
     if isinstance(result, TraceFigureResult):
         print(render_trace_figure(result, precision=args.precision))
         if args.plot:
@@ -238,6 +286,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 "note: --csv/--json exports apply to sweep figures only",
                 file=sys.stderr,
             )
+        if args.engine is not None or args.workers > 1:
+            print(
+                "note: trace figures are a single replicate; the engine "
+                "flags have no effect on them",
+                file=sys.stderr,
+            )
+        _report_engine(args, executor)
         return 0
     print(render_figure(result, precision=args.precision))
     if args.plot:
@@ -255,6 +310,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
         save_figure(result, args.json)
         print(f"figure data written to {args.json}")
+    _report_engine(args, executor)
     return 0
 
 
@@ -339,7 +395,11 @@ def _cmd_pack(args: argparse.Namespace) -> int:
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
-    from .batch import OnlineBatchScheduler, poisson_stream
+    from .batch import (
+        OnlineBatchScheduler,
+        poisson_stream,
+        run_replicated_campaigns,
+    )
 
     jobs = poisson_stream(
         args.n,
@@ -353,6 +413,36 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     kwargs = {}
     if args.batch_size is not None:
         kwargs = {"batch_policy": "fixed", "batch_size": args.batch_size}
+    if args.replicates > 1:
+        with _make_executor(args) as executor:
+            outcomes = run_replicated_campaigns(
+                jobs,
+                cluster,
+                args.policy,
+                replicates=args.replicates,
+                seed=args.seed,
+                executor=executor,
+                **kwargs,
+            )
+        for replicate, outcome in enumerate(outcomes):
+            print(f"replicate {replicate}: {outcome.summary()}")
+        import numpy as np
+
+        makespans = np.array([outcome.makespan for outcome in outcomes])
+        print(
+            f"campaign makespan over {args.replicates} fault draws: "
+            f"mean={makespans.mean():.6g}s min={makespans.min():.6g}s "
+            f"max={makespans.max():.6g}s"
+        )
+        _report_engine(args, executor)
+        return 0
+    if args.engine is not None or args.workers > 1 or args.verbose:
+        print(
+            "note: --engine/--workers/--verbose fan out (and report on) "
+            "replicated campaigns; a single campaign (--replicates 1) "
+            "runs sequentially",
+            file=sys.stderr,
+        )
     outcome = OnlineBatchScheduler(
         jobs, cluster, args.policy, seed=args.seed, **kwargs
     ).run()
@@ -378,14 +468,33 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     print(check_fault_free_projection(pack, cluster, seed=args.seed).describe())
     print(check_envelope_assumptions(pack, cluster).describe())
     model = ExpectedTimeModel(pack, cluster)
-    failed = 0
-    for i in range(min(args.n, 3)):
-        j = min(4, 2 * (cluster.processors // (2 * args.n)) * 2) or 2
-        report = validate_expected_time(
-            model, i, max(2, j), samples=args.samples, seed=args.seed
+    engine_requested = args.engine is not None or args.workers > 1
+    executor = _make_executor(args) if engine_requested else None
+    if executor is None and args.verbose:
+        print(
+            "note: --verbose engine statistics apply to engine-driven "
+            "sampling; add --engine or --workers",
+            file=sys.stderr,
         )
-        print(f"Eq.(4) task {i}: {report.describe()}")
-        failed += not report.passed
+    failed = 0
+    try:
+        for i in range(min(args.n, 3)):
+            j = min(4, 2 * (cluster.processors // (2 * args.n)) * 2) or 2
+            report = validate_expected_time(
+                model,
+                i,
+                max(2, j),
+                samples=args.samples,
+                seed=args.seed,
+                executor=executor,
+            )
+            print(f"Eq.(4) task {i}: {report.describe()}")
+            failed += not report.passed
+        if executor is not None:
+            _report_engine(args, executor)
+    finally:
+        if executor is not None:
+            executor.close()
     return 1 if failed else 0
 
 
@@ -416,15 +525,17 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         downtime=args.downtime,
         replicates=args.replicates,
     )
-    outcome = compare_policies(
-        config,
-        policies=args.policies,
-        faults=not args.fault_free,
-        seed=args.seed,
-        workers=args.workers,
-    )
+    with _make_executor(args) as executor:
+        outcome = compare_policies(
+            config,
+            policies=args.policies,
+            faults=not args.fault_free,
+            seed=args.seed,
+            executor=executor,
+        )
     print(outcome.render())
     print(f"\nbest policy: {outcome.best_policy()}")
+    _report_engine(args, executor)
     return 0
 
 

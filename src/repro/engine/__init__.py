@@ -1,0 +1,80 @@
+"""The unified execution engine: one pluggable run-fabric.
+
+Every layer that drives the simulator — figure sweeps
+(:mod:`repro.experiments`), batch campaigns (:mod:`repro.batch`) and
+Monte-Carlo validation (:mod:`repro.validation`) — submits its work
+here instead of owning a private fan-out loop.  The engine is two small
+pieces:
+
+* a :class:`RunRequest` — one unit of work: a module-level runner
+  function, a picklable payload (workload draw + fault draw + policy +
+  model knobs) and a single derived seed;
+* an :class:`Executor` — ``map(requests) -> results`` in request
+  order, in one of three implementations: :class:`SerialExecutor`
+  (reference path), :class:`PoolExecutor` (fresh process pool per
+  dispatch) and :class:`PersistentPoolExecutor` (workers and their
+  workload caches kept alive across whole campaigns).
+
+The RunRequest determinism contract
+-----------------------------------
+
+Executors may run requests in any process, in any grouping, with any
+pool lifetime — so correctness rests on one contract, which every
+runner function must honour:
+
+1. **All entropy flows from the seed.**  ``fn(*payload, seed=seed)``
+   must derive every random quantity (workload draw, failure times,
+   sampling noise) from ``seed`` via :mod:`repro.rng`; no global RNG,
+   no process identity, no wall clock.
+2. **Requests are independent.**  A runner must not communicate with
+   other requests except through its return value; execution order and
+   chunk boundaries are unobservable.
+3. **Reuse must be invisible.**  Anything a runner memoises in
+   :data:`repro.engine.cache.shared_cache` must be a pure function of
+   its cache key, and any internal caching of a reused object (for
+   example the :class:`~repro.resilience.expected_time.ExpectedTimeModel`
+   profile ring, which evaluates on a quantised-alpha grid) must be
+   history-independent: a warm hit returns exactly what a cold rebuild
+   would.
+
+Under this contract every executor produces **byte-identical** results
+for the same request list — the property
+``tests/test_perf_equivalence.py`` pins across serial, pool and
+persistent execution — and the only observable differences are
+wall-clock and the ``cache_info()``-style counters in
+:class:`EngineStats`.
+"""
+
+from __future__ import annotations
+
+from .cache import WorkloadCache, shared_cache
+from .executors import (
+    ENGINES,
+    EngineStats,
+    Executor,
+    PersistentPoolExecutor,
+    PoolExecutor,
+    SerialExecutor,
+    create_executor,
+    default_chunk_size,
+    ensure_executor,
+    resolve_engine,
+)
+from .request import RunRequest, execute_request
+
+__all__ = [
+    "ENGINES",
+    "EngineStats",
+    "Executor",
+    "PersistentPoolExecutor",
+    "PoolExecutor",
+    "RunRequest",
+    "SerialExecutor",
+    "WorkloadCache",
+    "create_executor",
+    "default_chunk_size",
+    "ensure_executor",
+    "execute_request",
+    "resolve_engine",
+    "shared_cache",
+]

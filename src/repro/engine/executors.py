@@ -1,0 +1,315 @@
+"""The three executors behind the run-fabric.
+
+All three consume a list of :class:`~repro.engine.request.RunRequest`
+and return results *in request order*:
+
+* :class:`SerialExecutor` — the reference path: every request runs in
+  the calling process, one after the other;
+* :class:`PoolExecutor` — fans contiguous request chunks across a fresh
+  process pool per :meth:`~Executor.map` call (the PR-1 replicate
+  engine, generalised to any request);
+* :class:`PersistentPoolExecutor` — same fan-out, but the pool (and
+  each worker's :data:`~repro.engine.cache.shared_cache`) stays alive
+  across ``map`` calls, amortising pool start-up and workload
+  construction over whole sweeps and multi-figure campaigns.
+
+Because requests are self-seeded and mutually independent (see the
+determinism contract in :mod:`repro.engine.request`), chunk boundaries,
+worker counts and pool lifetimes cannot influence any result — every
+executor is byte-identical to the serial path.  Chunked dispatch bounds
+pickling overhead: with ``R`` requests and ``N`` workers the default
+chunk size is ``ceil(R / (4 N))``, ~4 chunks per worker to smooth load
+imbalance.
+"""
+
+from __future__ import annotations
+
+import math
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, ClassVar, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..exceptions import ConfigurationError
+from .cache import shared_cache
+from .request import RunRequest, execute_request
+
+__all__ = [
+    "ENGINES",
+    "EngineStats",
+    "Executor",
+    "SerialExecutor",
+    "PoolExecutor",
+    "PersistentPoolExecutor",
+    "create_executor",
+    "ensure_executor",
+    "resolve_engine",
+    "default_chunk_size",
+]
+
+#: Engine names accepted by :func:`create_executor` and the CLI.
+ENGINES: Tuple[str, ...] = ("serial", "pool", "persistent")
+
+
+def default_chunk_size(requests: int, workers: int) -> int:
+    """Contiguous requests per dispatch unit (~4 chunks per worker)."""
+    return max(1, math.ceil(requests / (4 * workers)))
+
+
+@dataclass
+class EngineStats:
+    """``cache_info()``-style counters of one executor's lifetime."""
+
+    tasks_submitted: int = 0    #: requests accepted by map()
+    dispatches: int = 0         #: map() calls
+    pool_launches: int = 0      #: process pools created
+    pool_reuses: int = 0        #: map() calls served by an already-warm pool
+    workloads_built: int = 0    #: workload-cache misses across all processes
+    workloads_reused: int = 0   #: workload-cache hits across all processes
+
+    def cache_info(self) -> Dict[str, int]:
+        """The counters as a plain dict."""
+        return {
+            "tasks_submitted": self.tasks_submitted,
+            "dispatches": self.dispatches,
+            "pool_launches": self.pool_launches,
+            "pool_reuses": self.pool_reuses,
+            "workloads_built": self.workloads_built,
+            "workloads_reused": self.workloads_reused,
+        }
+
+    def describe(self) -> str:
+        """One-line digest for ``--verbose`` output."""
+        return (
+            f"tasks submitted: {self.tasks_submitted} "
+            f"(dispatches: {self.dispatches}) / "
+            f"reused workloads: {self.workloads_reused} "
+            f"(built: {self.workloads_built}) / "
+            f"pool reuse count: {self.pool_reuses} "
+            f"(launches: {self.pool_launches})"
+        )
+
+
+def _execute_chunk(
+    requests: Tuple[RunRequest, ...],
+) -> Tuple[List[Any], Tuple[int, int]]:
+    """Run one contiguous chunk in the current process.
+
+    Module-level so it pickles under every multiprocessing start method.
+    Returns the results plus this chunk's ``(hits, misses)`` delta of
+    the process-local workload cache, which the parent aggregates into
+    its :class:`EngineStats` (workers' counters are otherwise invisible
+    to the submitting process).
+    """
+    hits_before, misses_before = shared_cache.snapshot()
+    results = [execute_request(request) for request in requests]
+    hits_after, misses_after = shared_cache.snapshot()
+    return results, (hits_after - hits_before, misses_after - misses_before)
+
+
+class Executor:
+    """Common machinery: ordered dispatch, statistics, lifecycle."""
+
+    name: ClassVar[str] = "?"
+
+    def __init__(self) -> None:
+        self._stats = EngineStats()
+
+    # -- public API --------------------------------------------------------
+    def map(self, requests: Sequence[RunRequest]) -> List[Any]:
+        """Execute every request; results come back in request order."""
+        requests = list(requests)
+        for request in requests:
+            if not isinstance(request, RunRequest):
+                raise ConfigurationError(
+                    f"executors accept RunRequest, got {type(request)!r}"
+                )
+        self._stats.tasks_submitted += len(requests)
+        self._stats.dispatches += 1
+        if not requests:
+            return []
+        return self._map(requests)
+
+    def stats(self) -> EngineStats:
+        """Lifetime counters (shared reference, updated in place)."""
+        return self._stats
+
+    def close(self) -> None:
+        """Release any held resources (idempotent)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- helpers for subclasses -------------------------------------------
+    def _map(self, requests: List[RunRequest]) -> List[Any]:
+        raise NotImplementedError
+
+    def _run_inline(self, chunks: List[Tuple[RunRequest, ...]]) -> List[Any]:
+        """Execute chunks in this process, folding in the cache deltas."""
+        return self._collect(_execute_chunk(chunk) for chunk in chunks)
+
+    def _collect(self, chunk_outputs) -> List[Any]:
+        results: List[Any] = []
+        for chunk_results, (hits, misses) in chunk_outputs:
+            results.extend(chunk_results)
+            self._stats.workloads_reused += hits
+            self._stats.workloads_built += misses
+        return results
+
+
+class SerialExecutor(Executor):
+    """Reference path: every request runs here, in submission order."""
+
+    name = "serial"
+
+    def _map(self, requests: List[RunRequest]) -> List[Any]:
+        return self._run_inline([tuple(requests)])
+
+
+class _PooledExecutor(Executor):
+    """Shared chunking/validation of the two process-pool executors."""
+
+    def __init__(self, workers: int = 2, chunk_size: Optional[int] = None):
+        super().__init__()
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        self.workers = int(workers)
+        self.chunk_size = None if chunk_size is None else max(1, int(chunk_size))
+
+    def _chunked(self, requests: List[RunRequest]) -> List[Tuple[RunRequest, ...]]:
+        size = (
+            default_chunk_size(len(requests), self.workers)
+            if self.chunk_size is None
+            else self.chunk_size
+        )
+        return [
+            tuple(requests[start:start + size])
+            for start in range(0, len(requests), size)
+        ]
+
+
+class PoolExecutor(_PooledExecutor):
+    """One fresh process pool per ``map`` call.
+
+    A single-chunk (or single-worker) dispatch skips the pool — and its
+    fork cost — entirely, exactly like the PR-1 replicate engine.
+    """
+
+    name = "pool"
+
+    def _map(self, requests: List[RunRequest]) -> List[Any]:
+        chunks = self._chunked(requests)
+        if self.workers == 1 or len(chunks) == 1:
+            return self._run_inline(chunks)
+        from concurrent.futures import ProcessPoolExecutor
+
+        self._stats.pool_launches += 1
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            return self._collect(pool.map(_execute_chunk, chunks))
+
+
+class PersistentPoolExecutor(_PooledExecutor):
+    """A pool kept alive across ``map`` calls (and the workloads with it).
+
+    The first dispatch launches the workers; every later dispatch
+    reuses them, so sweep campaigns pay pool start-up once and worker
+    processes keep their :data:`~repro.engine.cache.shared_cache` warm
+    across sweep points.  Call :meth:`close` (or use the executor as a
+    context manager) when the campaign is done.
+    """
+
+    name = "persistent"
+
+    def __init__(self, workers: int = 2, chunk_size: Optional[int] = None):
+        super().__init__(workers, chunk_size)
+        self._pool = None
+
+    def _map(self, requests: List[RunRequest]) -> List[Any]:
+        if self.workers == 1:
+            return self._run_inline(self._chunked(requests))
+        if self._pool is None:
+            from concurrent.futures import ProcessPoolExecutor
+
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            self._stats.pool_launches += 1
+        else:
+            self._stats.pool_reuses += 1
+        return self._collect(
+            self._pool.map(_execute_chunk, self._chunked(requests))
+        )
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+
+def resolve_engine(
+    engine: Optional[str],
+    workers: Optional[int],
+    *,
+    pooled_default: str = "pool",
+) -> str:
+    """The one place that answers "which engine for these knobs?".
+
+    An explicit ``engine`` always wins; otherwise ``workers`` > 1 picks
+    ``pooled_default`` ("pool" for one-shot dispatches, "persistent" for
+    sweeps that dispatch many times against the same executor) and
+    anything else is serial.
+    """
+    if engine is not None:
+        return engine
+    if workers is not None and workers > 1:
+        return pooled_default
+    return "serial"
+
+
+@contextmanager
+def ensure_executor(
+    executor: Optional[Executor] = None,
+    *,
+    engine: Optional[str] = None,
+    workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+    pooled_default: str = "pool",
+) -> Iterator[Executor]:
+    """Yield a ready executor; own (and close) it only if we made it.
+
+    A caller-supplied ``executor`` is yielded untouched and left open —
+    it may have further dispatches coming (the next sweep point, the
+    next figure).  Otherwise one is created from
+    :func:`resolve_engine`'s rule and closed when the block exits.
+    """
+    if executor is not None:
+        yield executor
+        return
+    owned = create_executor(
+        resolve_engine(engine, workers, pooled_default=pooled_default),
+        workers=1 if workers is None else workers,
+        chunk_size=chunk_size,
+    )
+    try:
+        yield owned
+    finally:
+        owned.close()
+
+
+def create_executor(
+    engine: str = "serial",
+    *,
+    workers: int = 1,
+    chunk_size: Optional[int] = None,
+) -> Executor:
+    """Instantiate an executor by engine name (CLI ``--engine`` values)."""
+    if engine == "serial":
+        return SerialExecutor()
+    if engine == "pool":
+        return PoolExecutor(workers=workers, chunk_size=chunk_size)
+    if engine == "persistent":
+        return PersistentPoolExecutor(workers=workers, chunk_size=chunk_size)
+    known = ", ".join(ENGINES)
+    raise ConfigurationError(
+        f"unknown engine {engine!r}; known engines: {known}"
+    )

@@ -1,0 +1,70 @@
+"""The engine's unit of work.
+
+A :class:`RunRequest` describes one self-contained simulation unit — a
+workload draw, a fault draw, the policy set to run on it and any model
+knobs — entirely through a module-level runner function, a picklable
+payload and one derived seed.  ``fn(*payload, seed=seed)`` must be a
+*pure function of its arguments*: every random quantity (workload draw,
+failure times, sampling noise) must derive from ``seed`` through
+:mod:`repro.rng`, and nothing may depend on process identity, execution
+order or wall-clock time.  That contract is what lets every executor —
+serial, pooled or persistent — return byte-identical results for the
+same request list (see :mod:`repro.engine`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Tuple
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["RunRequest", "execute_request"]
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One deterministic execution unit submitted to an executor.
+
+    Attributes
+    ----------
+    fn:
+        Module-level runner called as ``fn(*payload, seed=seed)``.  It
+        must be importable by name (pickled by reference) so process
+        pools can dispatch it, and deterministic given its arguments.
+    payload:
+        Positional arguments (workload/policy/model knobs).  Everything
+        here crosses process boundaries, so it must pickle.
+    seed:
+        The unit's entire entropy: workload and fault draws inside
+        ``fn`` must derive from it and nothing else.
+    tag:
+        Caller-side ordering key (replicate index, sweep position,
+        chunk number).  Executors return results in request order, so
+        the tag is bookkeeping, not a contract.
+    """
+
+    fn: Callable[..., Any]
+    payload: Tuple[Any, ...] = ()
+    seed: int = 0
+    tag: int = 0
+
+    def __post_init__(self) -> None:
+        if not callable(self.fn):
+            raise ConfigurationError(
+                f"RunRequest.fn must be callable, got {type(self.fn)!r}"
+            )
+        if getattr(self.fn, "__name__", "<lambda>") == "<lambda>":
+            raise ConfigurationError(
+                "RunRequest.fn must be a module-level function "
+                "(lambdas do not pickle across process boundaries)"
+            )
+        if not isinstance(self.payload, tuple):
+            raise ConfigurationError(
+                f"RunRequest.payload must be a tuple, got {type(self.payload)!r}"
+            )
+
+
+def execute_request(request: RunRequest) -> Any:
+    """Run one request in the current process."""
+    return request.fn(*request.payload, seed=request.seed)

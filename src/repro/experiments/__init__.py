@@ -17,6 +17,7 @@ from .runner import (
     ScenarioResult,
     Series,
     run_scenario,
+    scenario_requests,
 )
 from .tables import render_figure, render_table, render_trace_figure
 
@@ -36,6 +37,7 @@ __all__ = [
     "ScenarioResult",
     "Series",
     "run_scenario",
+    "scenario_requests",
     "run_scenario_parallel",
     "render_figure",
     "render_table",

@@ -18,9 +18,12 @@ same workloads and the same failure times.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..engine import Executor
 
 from ..analysis import PairedComparison, paired_comparison
 from ..core.policy import PAPER_POLICY_LABELS, POLICIES
@@ -89,6 +92,8 @@ def compare_policies(
     seed: int = 0,
     bootstrap_seed: int = 0,
     workers: Optional[int] = None,
+    engine: Optional[str] = None,
+    executor: Optional["Executor"] = None,
 ) -> PolicyComparison:
     """Run a paired comparison of ``policies`` against ``baseline``.
 
@@ -104,9 +109,11 @@ def compare_policies(
         ``False`` compares in the fault-free context.
     seed:
         Replicate seed (workloads + failure draws).
-    workers:
-        > 1 fans replicates out across a process pool; the pairing and
-        the resulting statistics are unchanged (byte-identical arrays).
+    workers, engine, executor:
+        Execution engine selection, forwarded to
+        :func:`~repro.experiments.runner.run_scenario`; the pairing and
+        the resulting statistics are unchanged under every engine
+        (byte-identical arrays).
     """
     candidates = [name for name in policies if name != baseline]
     if not candidates:
@@ -122,7 +129,13 @@ def compare_policies(
         for name in candidates
     ]
     outcome = run_scenario(
-        config, series, seed=seed, baseline_key="baseline", workers=workers
+        config,
+        series,
+        seed=seed,
+        baseline_key="baseline",
+        workers=workers,
+        engine=engine,
+        executor=executor,
     )
     baseline_makespans = outcome.makespans["baseline"]
     comparisons = {

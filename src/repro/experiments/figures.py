@@ -13,9 +13,12 @@ and returns a :class:`TraceFigureResult`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..engine import Executor
 
 from ..exceptions import ConfigurationError
 from ..resilience.expected_time import ExpectedTimeModel
@@ -256,13 +259,19 @@ def run_figure(
     *,
     seed: int = 0,
     workers: Optional[int] = None,
+    engine: Optional[str] = None,
+    executor: Optional["Executor"] = None,
 ) -> FigureResult | TraceFigureResult:
     """Reproduce one figure's data at the requested scale.
 
-    ``workers`` > 1 fans each sweep point's replicates out across a
-    process pool (:mod:`repro.experiments.parallel`); the series are
-    byte-identical to a serial run.  Trace figures (Fig. 9) are a single
-    replicate and ignore ``workers``.
+    Sweep points submit through one executor for the whole figure
+    (:mod:`repro.engine`): ``executor`` uses a caller-owned one (left
+    open, so a campaign can run many figures on the same warm pool);
+    otherwise ``engine`` picks one, defaulting to ``"persistent"`` when
+    ``workers`` > 1 so pool start-up is paid once per figure, not once
+    per sweep point.  Every engine produces byte-identical series to a
+    serial run.  Trace figures (Fig. 9) are a single replicate and
+    ignore the engine knobs.
     """
     try:
         spec = FIGURES[name]
@@ -274,24 +283,36 @@ def run_figure(
     scale_obj = get_scale(scale) if isinstance(scale, str) else scale
     if spec.kind == "trace":
         return _run_trace_figure(spec, scale_obj, seed)
-    return _run_sweep_figure(spec, scale_obj, seed, workers)
+    return _run_sweep_figure(spec, scale_obj, seed, workers, engine, executor)
 
 
 def _run_sweep_figure(
-    spec: FigureSpec, scale: Scale, seed: int, workers: Optional[int] = None
+    spec: FigureSpec,
+    scale: Scale,
+    seed: int,
+    workers: Optional[int] = None,
+    engine: Optional[str] = None,
+    executor: Optional["Executor"] = None,
 ) -> FigureResult:
+    from ..engine import ensure_executor
+
     labels = {s.key: s.label for s in spec.series}
     x_values: List[float] = []
     normalized: Dict[str, List[float]] = {s.key: [] for s in spec.series}
     means: Dict[str, List[float]] = {s.key: [] for s in spec.series}
     descriptions: List[str] = []
-    for x, config in spec.points(scale):
-        outcome = run_scenario(config, spec.series, seed=seed, workers=workers)
-        x_values.append(x)
-        descriptions.append(config.describe())
-        for key in normalized:
-            normalized[key].append(outcome.normalized(key))
-            means[key].append(outcome.mean(key))
+    with ensure_executor(
+        executor, engine=engine, workers=workers, pooled_default="persistent"
+    ) as active:
+        for x, config in spec.points(scale):
+            outcome = run_scenario(
+                config, spec.series, seed=seed, executor=active
+            )
+            x_values.append(x)
+            descriptions.append(config.describe())
+            for key in normalized:
+                normalized[key].append(outcome.normalized(key))
+                means[key].append(outcome.mean(key))
     return FigureResult(
         figure=spec.name,
         title=spec.title,

@@ -1,87 +1,43 @@
-"""Process-pool scenario engine: replicate fan-out across workers.
+"""Deprecated: the process-pool replicate engine moved to :mod:`repro.engine`.
 
-``run_scenario(..., workers=N)`` delegates here.  The paper's protocol
-(Section 6.2) averages 50 paired replicates per data point; replicates
-are mutually independent — only the *pairing* (every series of one
-replicate shares a workload draw and the same failure times) must be
-preserved.  The engine therefore fans replicates out across a process
-pool in contiguous chunks while keeping the serial runner's semantics
-exactly:
+PR 1 introduced this module as a bespoke replicate fan-out for
+:func:`repro.experiments.runner.run_scenario`.  The fan-out now lives in
+the unified execution engine — :class:`repro.engine.PoolExecutor` for
+the one-shot pool, :class:`repro.engine.PersistentPoolExecutor` for
+campaign-lifetime pools — and every public name here is a thin shim kept
+so external callers keep working:
 
-* per-replicate seeds derive from the master seed with the same
-  ``derive_seed_sequence(seed, "replicate", r)`` recipe, independent of
-  which worker executes the replicate;
-* each replicate draws one pack and builds one
-  :class:`~repro.resilience.expected_time.ExpectedTimeModel`, shared by
-  every series of that replicate (common random numbers, warm profile
-  cache) — exactly as in the serial loop;
-* each worker builds the cluster once per chunk and reuses it across
-  the chunk's replicates;
-* results are re-assembled in replicate order, so the makespan arrays —
-  and hence every normalised figure series — are byte-identical to a
-  serial run.
+* :func:`run_scenario_parallel` forwards to
+  ``run_scenario(..., engine="pool")`` (byte-identical results);
+* :func:`default_chunk_size` re-exports
+  :func:`repro.engine.default_chunk_size`.
 
-Chunked dispatch bounds the pickling overhead: with ``R`` replicates and
-``N`` workers the default chunk size is ``ceil(R / (4 N))``, giving each
-worker ~4 chunks to smooth out load imbalance between replicates.
+Both emit a :class:`DeprecationWarning`; migrate to
+``run_scenario(..., engine=...)`` or to :mod:`repro.engine` directly.
 """
 
 from __future__ import annotations
 
-import math
-from typing import Dict, List, Optional, Sequence, Tuple
+import warnings
+from typing import Optional, Sequence
 
-import numpy as np
-
+from ..engine import default_chunk_size as _engine_default_chunk_size
 from ..exceptions import ConfigurationError
-from ..resilience.expected_time import ExpectedTimeModel
-from ..simulation import SimulationResult, Simulator
 from .config import ScenarioConfig
-from .runner import ScenarioResult, Series, _replicate_seed, _validate_series
+from .runner import ScenarioResult, Series, run_scenario
 
 __all__ = ["run_scenario_parallel", "default_chunk_size"]
 
-#: One unit of worker input: (replicate index, derived replicate seed).
-_ReplicateJob = Tuple[int, int]
-
 
 def default_chunk_size(replicates: int, workers: int) -> int:
-    """Contiguous replicates per dispatch unit (~4 chunks per worker)."""
-    return max(1, math.ceil(replicates / (4 * workers)))
-
-
-def _run_chunk(
-    config: ScenarioConfig,
-    series: Tuple[Series, ...],
-    chunk: Tuple[_ReplicateJob, ...],
-    keep_results: bool,
-) -> List[Tuple[int, Dict[str, float], Dict[str, SimulationResult]]]:
-    """Execute one chunk of replicates (runs inside a worker process).
-
-    Must stay module-level so it pickles under every multiprocessing
-    start method.
-    """
-    cluster = config.build_cluster()
-    out = []
-    for replicate, rep_seed in chunk:
-        pack = config.build_pack(rep_seed)
-        model = ExpectedTimeModel(pack, cluster)
-        makespans: Dict[str, float] = {}
-        results: Dict[str, SimulationResult] = {}
-        for spec in series:
-            result = Simulator(
-                pack,
-                cluster,
-                spec.policy,
-                seed=rep_seed,
-                inject_faults=spec.faults,
-                model=model,
-            ).run()
-            makespans[spec.key] = result.makespan
-            if keep_results:
-                results[spec.key] = result
-        out.append((replicate, makespans, results))
-    return out
+    """Deprecated alias of :func:`repro.engine.default_chunk_size`."""
+    warnings.warn(
+        "repro.experiments.parallel.default_chunk_size moved to "
+        "repro.engine.default_chunk_size",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _engine_default_chunk_size(replicates, workers)
 
 
 def run_scenario_parallel(
@@ -94,64 +50,28 @@ def run_scenario_parallel(
     workers: int = 2,
     chunk_size: Optional[int] = None,
 ) -> ScenarioResult:
-    """Parallel drop-in for :func:`repro.experiments.runner.run_scenario`.
+    """Deprecated alias of ``run_scenario(..., engine="pool")``.
 
     Produces byte-identical makespan arrays to the serial runner for the
-    same ``(config, series, seed)`` — see the module docstring for why.
+    same ``(config, series, seed)`` — the guarantee is now the engine's
+    RunRequest determinism contract (see :mod:`repro.engine`).
     """
+    warnings.warn(
+        "repro.experiments.parallel.run_scenario_parallel is deprecated; "
+        'use repro.experiments.run_scenario(..., engine="pool", workers=N) '
+        "or submit RunRequests to a repro.engine executor",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     if workers < 1:
         raise ConfigurationError(f"workers must be >= 1, got {workers}")
-    _validate_series(series, baseline_key)
-    series = tuple(series)
-    jobs: List[_ReplicateJob] = [
-        (replicate, _replicate_seed(seed, replicate))
-        for replicate in range(config.replicates)
-    ]
-    size = (
-        default_chunk_size(len(jobs), workers)
-        if chunk_size is None
-        else max(1, int(chunk_size))
-    )
-    chunks = [
-        tuple(jobs[start:start + size]) for start in range(0, len(jobs), size)
-    ]
-
-    if workers == 1 or len(chunks) == 1:
-        # Nothing to fan out; skip the pool (and its fork cost) entirely.
-        chunk_outputs = [
-            _run_chunk(config, series, chunk, keep_results)
-            for chunk in chunks
-        ]
-    else:
-        from concurrent.futures import ProcessPoolExecutor
-
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            chunk_outputs = list(
-                pool.map(
-                    _run_chunk,
-                    (config,) * len(chunks),
-                    (series,) * len(chunks),
-                    chunks,
-                    (keep_results,) * len(chunks),
-                )
-            )
-
-    by_replicate = sorted(
-        (item for chunk in chunk_outputs for item in chunk),
-        key=lambda item: item[0],
-    )
-    makespans: Dict[str, List[float]] = {spec.key: [] for spec in series}
-    kept: Dict[str, List[SimulationResult]] = {spec.key: [] for spec in series}
-    for _, rep_makespans, rep_results in by_replicate:
-        for key, value in rep_makespans.items():
-            makespans[key].append(value)
-        if keep_results:
-            for key, value in rep_results.items():
-                kept[key].append(value)
-
-    return ScenarioResult(
-        config=config,
-        makespans={key: np.asarray(values) for key, values in makespans.items()},
-        results=kept if keep_results else {},
+    return run_scenario(
+        config,
+        series,
+        seed=seed,
         baseline_key=baseline_key,
+        keep_results=keep_results,
+        workers=workers,
+        chunk_size=chunk_size,
+        engine="pool",
     )

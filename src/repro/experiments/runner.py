@@ -11,20 +11,24 @@ makes per-point comparisons meaningful at modest replicate counts.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..engine import Executor, RunRequest, ensure_executor
+from ..engine.cache import shared_cache
 from ..exceptions import ConfigurationError
 from ..resilience.expected_time import ExpectedTimeModel
-from ..rng import derive_seed_sequence
+from ..rng import derive_seed
 from ..simulation import SimulationResult, Simulator
+from ..tasks import Pack
 from .config import ScenarioConfig
 
 __all__ = [
     "Series",
     "ScenarioResult",
     "run_scenario",
+    "scenario_requests",
     "FAULT_SERIES",
     "FAULT_FREE_SERIES",
 ]
@@ -86,8 +90,7 @@ class ScenarioResult:
 
 def _replicate_seed(base_seed: int, replicate: int) -> int:
     """Stable derived seed for one replicate."""
-    sequence = derive_seed_sequence(base_seed, "replicate", replicate)
-    return int(sequence.generate_state(1, np.uint32)[0])
+    return derive_seed(base_seed, "replicate", replicate)
 
 
 def _validate_series(series: Sequence[Series], baseline_key: str) -> List[str]:
@@ -102,6 +105,78 @@ def _validate_series(series: Sequence[Series], baseline_key: str) -> List[str]:
     return keys
 
 
+def _replicate_workload(
+    config: ScenarioConfig, rep_seed: int
+) -> Tuple[Pack, ExpectedTimeModel]:
+    """Memoised ``(pack, model)`` for one replicate draw.
+
+    The draw is a pure function of ``(config, rep_seed)`` and the
+    model's profile ring is history-independent, so sharing a cached
+    workload across identical requests (the same scenario at several
+    sweep points, repeated figures of one campaign) cannot change any
+    result — see the determinism contract in :mod:`repro.engine`.
+    """
+
+    def build() -> Tuple[Pack, ExpectedTimeModel]:
+        cluster = config.build_cluster()
+        pack = config.build_pack(rep_seed)
+        return pack, ExpectedTimeModel(pack, cluster)
+
+    return shared_cache.get_or_build((config, rep_seed), build)
+
+
+def _run_replicate(
+    config: ScenarioConfig,
+    series: Tuple[Series, ...],
+    keep_results: bool,
+    *,
+    seed: int,
+) -> Tuple[Dict[str, float], Dict[str, SimulationResult]]:
+    """Engine runner: one paired replicate — every series on one draw.
+
+    One pack is drawn and one :class:`ExpectedTimeModel` built per
+    replicate, then shared by all series (its profile cache is keyed by
+    ``(task, quantised alpha)``, which is safe across policies).  Fault
+    times depend only on the replicate seed, not on the policy.
+    """
+    pack, model = _replicate_workload(config, seed)
+    makespans: Dict[str, float] = {}
+    results: Dict[str, SimulationResult] = {}
+    for spec in series:
+        result = Simulator(
+            pack,
+            model.cluster,
+            spec.policy,
+            seed=seed,
+            inject_faults=spec.faults,
+            model=model,
+        ).run()
+        makespans[spec.key] = result.makespan
+        if keep_results:
+            results[spec.key] = result
+    return makespans, results
+
+
+def scenario_requests(
+    config: ScenarioConfig,
+    series: Sequence[Series],
+    *,
+    seed: int = 0,
+    keep_results: bool = False,
+) -> List[RunRequest]:
+    """The engine requests of one scenario: one per paired replicate."""
+    series = tuple(series)
+    return [
+        RunRequest(
+            fn=_run_replicate,
+            payload=(config, series, keep_results),
+            seed=_replicate_seed(seed, replicate),
+            tag=replicate,
+        )
+        for replicate in range(config.replicates)
+    ]
+
+
 def run_scenario(
     config: ScenarioConfig,
     series: Sequence[Series] = FAULT_SERIES,
@@ -111,57 +186,41 @@ def run_scenario(
     keep_results: bool = False,
     workers: Optional[int] = None,
     chunk_size: Optional[int] = None,
+    engine: Optional[str] = None,
+    executor: Optional[Executor] = None,
 ) -> ScenarioResult:
     """Run every series of a scenario over paired replicates.
 
-    For each replicate one pack is drawn and one
-    :class:`ExpectedTimeModel` is built, then shared by all series (its
-    profile cache is keyed by ``(task, quantised alpha)``, which is safe
-    across policies).  Fault times depend only on the replicate seed,
-    not on the policy.
-
-    ``workers`` > 1 fans replicates out across a process pool (see
-    :mod:`repro.experiments.parallel`); the per-replicate seed
-    derivation, replicate pairing and baseline normalisation are
-    preserved exactly, so the returned makespan arrays are byte-identical
+    Execution goes through the unified engine (:mod:`repro.engine`):
+    each replicate becomes one :class:`~repro.engine.RunRequest` and
+    the chosen executor maps them.  ``executor`` submits to a
+    caller-owned executor (left open for further dispatches, e.g. the
+    next sweep point); otherwise ``engine`` — or, failing that,
+    ``workers`` — picks one: serial by default, a process pool when
+    ``workers`` > 1.  The per-replicate seed derivation, replicate
+    pairing and baseline normalisation are preserved exactly under
+    every engine, so the returned makespan arrays are byte-identical
     to a serial run.  ``chunk_size`` bounds how many contiguous
     replicates one worker dispatch carries (default: ~4 chunks per
     worker).
     """
-    if workers is not None and workers > 1 and config.replicates > 1:
-        from .parallel import run_scenario_parallel
-
-        return run_scenario_parallel(
-            config,
-            series,
-            seed=seed,
-            baseline_key=baseline_key,
-            keep_results=keep_results,
-            workers=workers,
-            chunk_size=chunk_size,
-        )
     keys = _validate_series(series, baseline_key)
+    requests = scenario_requests(
+        config, series, seed=seed, keep_results=keep_results
+    )
+    with ensure_executor(
+        executor, engine=engine, workers=workers, chunk_size=chunk_size
+    ) as active:
+        outputs = active.map(requests)
+
     makespans: Dict[str, List[float]] = {key: [] for key in keys}
     kept: Dict[str, List[SimulationResult]] = {key: [] for key in keys}
-    cluster = config.build_cluster()
-
-    for replicate in range(config.replicates):
-        rep_seed = _replicate_seed(seed, replicate)
-        pack = config.build_pack(rep_seed)
-        model = ExpectedTimeModel(pack, cluster)
-        for spec in series:
-            simulator = Simulator(
-                pack,
-                cluster,
-                spec.policy,
-                seed=rep_seed,
-                inject_faults=spec.faults,
-                model=model,
-            )
-            result = simulator.run()
-            makespans[spec.key].append(result.makespan)
-            if keep_results:
-                kept[spec.key].append(result)
+    for rep_makespans, rep_results in outputs:
+        for key, value in rep_makespans.items():
+            makespans[key].append(value)
+        if keep_results:
+            for key, value in rep_results.items():
+                kept[key].append(value)
 
     return ScenarioResult(
         config=config,

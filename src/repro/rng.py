@@ -14,7 +14,7 @@ from typing import Iterable, Union
 
 import numpy as np
 
-__all__ = ["derive_seed_sequence", "derive_rng", "spawn_rngs"]
+__all__ = ["derive_seed_sequence", "derive_seed", "derive_rng", "spawn_rngs"]
 
 Key = Union[int, str]
 
@@ -50,6 +50,17 @@ def derive_seed_sequence(seed: int, *keys: Key) -> np.random.SeedSequence:
     for key in keys:
         entropy.extend(_key_to_ints(key))
     return np.random.SeedSequence(entropy)
+
+
+def derive_seed(seed: int, *keys: Key) -> int:
+    """Collapse ``(seed, keys)`` to one stable uint32-ranged integer seed.
+
+    The standard recipe for handing a derived substream to a component
+    that takes a plain integer seed (replicates, campaign fault draws,
+    sampling chunks): stable across processes and platforms.
+    """
+    sequence = derive_seed_sequence(seed, *keys)
+    return int(sequence.generate_state(1, np.uint32)[0])
 
 
 def derive_rng(seed: int, *keys: Key) -> np.random.Generator:

@@ -26,14 +26,18 @@ from .consistency import (
 from .monte_carlo import (
     ValidationReport,
     sample_completion_time,
+    sample_completion_times,
     sample_period_time,
+    sample_period_times,
     validate_expected_time,
 )
 
 __all__ = [
     "ValidationReport",
     "sample_period_time",
+    "sample_period_times",
     "sample_completion_time",
+    "sample_completion_times",
     "validate_expected_time",
     "ConsistencyReport",
     "check_fault_free_projection",

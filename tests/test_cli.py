@@ -32,6 +32,20 @@ class TestParser:
         assert args.n == 10
         assert args.policy == "ig-el"
 
+    @pytest.mark.parametrize("command", ["run", "compare", "batch", "validate"])
+    def test_engine_flags_everywhere(self, command):
+        argv = [command, "--engine", "persistent", "--workers", "3", "--verbose"]
+        if command == "run":
+            argv.insert(1, "fig7")
+        args = build_parser().parse_args(argv)
+        assert args.engine == "persistent"
+        assert args.workers == 3
+        assert args.verbose is True
+
+    def test_engine_choices_are_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig7", "--engine", "warp"])
+
 
 class TestCommands:
     def test_figures_lists_all(self, capsys):
@@ -193,6 +207,54 @@ class TestCommands:
         )
         assert code == 0
         assert "batch[fixed]" in capsys.readouterr().out
+
+    def test_batch_replicates_through_engine(self, capsys):
+        code = main(
+            [
+                "batch",
+                "--n", "4",
+                "--p", "8",
+                "--mtbf-years", "0.5",
+                "--m-inf", "4000",
+                "--m-sup", "12000",
+                "--mean-interarrival", "0",
+                "--replicates", "2",
+                "--verbose",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "replicate 0:" in out and "replicate 1:" in out
+        assert "campaign makespan over 2 fault draws" in out
+        assert "engine[serial]:" in out and "tasks submitted: 2" in out
+
+    def test_run_verbose_prints_engine_stats(self, capsys):
+        code = main(
+            ["run", "fig10", "--scale", "tiny", "--verbose"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "engine[serial]:" in out
+        assert "reused workloads" in out
+
+    def test_validate_with_engine(self, capsys):
+        code = main(
+            [
+                "validate",
+                "--n", "2",
+                "--p", "8",
+                "--mtbf-years", "0.05",
+                "--m-inf", "5000",
+                "--m-sup", "10000",
+                "--samples", "60",
+                "--engine", "serial",
+                "--verbose",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Eq.(4) task 0: OK" in out
+        assert "engine[serial]:" in out
 
     def test_ratios(self, capsys):
         code = main(

@@ -1,20 +1,33 @@
 """Equivalence guarantees of the performance overhaul.
 
-The heap event queue, the batched profile accessors and the parallel
-replicate engine are pure optimisations: every observable output must be
+The heap event queue, the batched profile accessors and the unified
+execution engine are pure optimisations: every observable output must be
 byte-identical to the seed's linear-scan / scalar / serial paths under
-common random numbers.  These tests pin that contract.
+common random numbers.  These tests pin that contract — including the
+PR-2 guarantee that the serial, pool and persistent executors produce
+byte-identical figure series.
 """
+
+import os
 
 import numpy as np
 import pytest
 
 from repro.cluster import Cluster
 from repro.core.state import TaskRuntime
-from repro.experiments import FAULT_SERIES, ScenarioConfig, run_scenario
-from repro.experiments.parallel import (
+from repro.engine import (
+    ENGINES,
+    PersistentPoolExecutor,
+    PoolExecutor,
+    SerialExecutor,
+    create_executor,
     default_chunk_size,
-    run_scenario_parallel,
+)
+from repro.experiments import (
+    FAULT_SERIES,
+    ScenarioConfig,
+    run_figure,
+    run_scenario,
 )
 from repro.resilience import ExpectedTimeModel
 from repro.simulation import Simulator
@@ -117,8 +130,13 @@ class TestParallelMatchesSerial:
     def test_chunk_size_does_not_matter(self):
         serial = run_scenario(CONFIG, FAULT_SERIES, seed=5)
         for chunk_size in (1, 2, CONFIG.replicates):
-            fanned = run_scenario_parallel(
-                CONFIG, FAULT_SERIES, seed=5, workers=2, chunk_size=chunk_size
+            fanned = run_scenario(
+                CONFIG,
+                FAULT_SERIES,
+                seed=5,
+                workers=2,
+                chunk_size=chunk_size,
+                engine="pool",
             )
             for key in serial.makespans:
                 assert np.array_equal(
@@ -141,9 +159,93 @@ class TestParallelMatchesSerial:
 
     def test_workers_one_equals_serial(self):
         serial = run_scenario(CONFIG, FAULT_SERIES, seed=2)
-        same = run_scenario_parallel(CONFIG, FAULT_SERIES, seed=2, workers=1)
+        same = run_scenario(CONFIG, FAULT_SERIES, seed=2, workers=1, engine="pool")
         for key in serial.makespans:
             assert np.array_equal(serial.makespans[key], same.makespans[key])
+
+    def test_deprecated_shim_still_works(self):
+        from repro.experiments.parallel import (
+            default_chunk_size as shim_chunk_size,
+            run_scenario_parallel,
+        )
+
+        serial = run_scenario(CONFIG, FAULT_SERIES, seed=7)
+        with pytest.deprecated_call():
+            fanned = run_scenario_parallel(
+                CONFIG, FAULT_SERIES, seed=7, workers=2
+            )
+        for key in serial.makespans:
+            assert np.array_equal(serial.makespans[key], fanned.makespans[key])
+        with pytest.deprecated_call():
+            assert shim_chunk_size(50, 4) == default_chunk_size(50, 4)
+        from repro.exceptions import ConfigurationError
+
+        with pytest.deprecated_call(), pytest.raises(ConfigurationError):
+            run_scenario_parallel(CONFIG, FAULT_SERIES, workers=0)
+
+
+class TestEngineEquivalence:
+    """The PR-2 acceptance gate: all three executors are byte-identical."""
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_scenario_executors_byte_identical(self, engine):
+        serial = run_scenario(CONFIG, FAULT_SERIES, seed=11)
+        with create_executor(engine, workers=2) as executor:
+            fanned = run_scenario(
+                CONFIG, FAULT_SERIES, seed=11, executor=executor
+            )
+        for key in serial.makespans:
+            assert np.array_equal(serial.makespans[key], fanned.makespans[key])
+
+    @pytest.mark.parametrize("figure", ["fig7", "fig10"])
+    def test_figure_series_byte_identical_tiny(self, figure):
+        reference = run_figure(figure, scale="tiny", seed=1, engine="serial")
+        for executor in (PoolExecutor(workers=2), PersistentPoolExecutor(workers=2)):
+            with executor:
+                result = run_figure(
+                    figure, scale="tiny", seed=1, executor=executor
+                )
+            assert result.x_values == reference.x_values
+            assert result.normalized == reference.normalized
+            assert result.means == reference.means
+
+    @pytest.mark.skipif(
+        not os.environ.get("REPRO_SLOW_TESTS"),
+        reason="small-scale sweeps take minutes; set REPRO_SLOW_TESTS=1",
+    )
+    @pytest.mark.parametrize("figure", ["fig7", "fig10"])
+    def test_figure_series_byte_identical_small(self, figure):
+        reference = run_figure(figure, scale="small", seed=1, engine="serial")
+        for engine in ("pool", "persistent"):
+            result = run_figure(
+                figure, scale="small", seed=1, engine=engine, workers=2
+            )
+            assert result.x_values == reference.x_values
+            assert result.normalized == reference.normalized
+            assert result.means == reference.means
+
+    def test_persistent_pool_amortised_across_sweep(self):
+        with PersistentPoolExecutor(workers=2) as executor:
+            run_figure("fig10", scale="tiny", seed=1, executor=executor)
+            stats = executor.stats()
+        assert stats.dispatches >= 3  # one per sweep point
+        assert stats.pool_launches == 1
+        assert stats.pool_reuses == stats.dispatches - 1
+
+    def test_workload_cache_reused_on_identical_figures(self):
+        # fig10 and fig13a are the same scenario sweep (p=1000, c=1):
+        # a shared executor must reuse every workload on the second pass.
+        with SerialExecutor() as executor:
+            from repro.engine.cache import shared_cache
+
+            shared_cache.clear()
+            a = run_figure("fig10", scale="tiny", seed=1, executor=executor)
+            built_after_first = executor.stats().workloads_built
+            b = run_figure("fig13a", scale="tiny", seed=1, executor=executor)
+            stats = executor.stats()
+        assert a.normalized == b.normalized
+        assert stats.workloads_built == built_after_first
+        assert stats.workloads_reused >= built_after_first
 
 
 class TestBatchedAccessors:

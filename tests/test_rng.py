@@ -84,3 +84,25 @@ class TestSpawn:
 
     def test_spawn_zero(self):
         assert spawn_rngs(3, 0) == []
+
+
+class TestDeriveSeed:
+    def test_matches_manual_recipe(self):
+        from repro.rng import derive_seed, derive_seed_sequence
+
+        manual = int(
+            derive_seed_sequence(7, "replicate", 3).generate_state(1, np.uint32)[0]
+        )
+        assert derive_seed(7, "replicate", 3) == manual
+
+    def test_distinct_keys_distinct_seeds(self):
+        from repro.rng import derive_seed
+
+        seeds = {derive_seed(0, "campaign", r) for r in range(32)}
+        assert len(seeds) == 32
+
+    def test_uint32_range(self):
+        from repro.rng import derive_seed
+
+        value = derive_seed(123, "chunk", 9)
+        assert 0 <= value < 2**32

@@ -14,7 +14,9 @@ from repro.validation import (
     check_envelope_assumptions,
     check_fault_free_projection,
     sample_completion_time,
+    sample_completion_times,
     sample_period_time,
+    sample_period_times,
     validate_expected_time,
 )
 
@@ -58,6 +60,119 @@ class TestSamplePeriodTime:
         )
         stderr = draws.std(ddof=1) / math.sqrt(draws.size)
         assert abs(draws.mean() - predicted) < 5 * stderr
+
+
+class TestVectorisedSamplers:
+    def test_no_failures_returns_attempt(self):
+        rng = np.random.default_rng(0)
+        times = sample_period_times(rng, 0.0, 100.0, 60.0, 5.0, 7)
+        assert np.array_equal(times, np.full(7, 100.0))
+
+    def test_at_least_attempt_length(self):
+        rng = np.random.default_rng(1)
+        times = sample_period_times(rng, 1e-3, 50.0, 10.0, 5.0, 200)
+        assert np.all(times >= 50.0)
+
+    def test_rejects_bad_arguments(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigurationError):
+            sample_period_times(rng, 1.0, 0.0, 1.0, 1.0, 4)
+        with pytest.raises(ConfigurationError):
+            sample_period_times(rng, 1.0, 5.0, 1.0, 1.0, -1)
+
+    def test_mean_matches_closed_form(self):
+        """The vectorised sampler draws the exact Eq. (4)-factor law."""
+        import math
+
+        rng = np.random.default_rng(7)
+        lam, attempt, downtime, recovery = 1 / 200.0, 150.0, 12.0, 8.0
+        draws = sample_period_times(rng, lam, attempt, downtime, recovery, 6_000)
+        predicted = (
+            math.exp(lam * recovery)
+            * (1.0 / lam + downtime)
+            * math.expm1(lam * attempt)
+        )
+        stderr = draws.std(ddof=1) / math.sqrt(draws.size)
+        assert abs(draws.mean() - predicted) < 5 * stderr
+
+    def test_completion_batch_zero_alpha(self, model):
+        rng = np.random.default_rng(0)
+        assert np.array_equal(
+            sample_completion_times(model, 0, 4, 0.0, rng, 5), np.zeros(5)
+        )
+
+    def test_completion_batch_at_least_fault_free_work(self, model):
+        rng = np.random.default_rng(3)
+        t_ff = model.fault_free_time(0, 4)
+        draws = sample_completion_times(model, 0, 4, 1.0, rng, 20)
+        assert np.all(draws >= t_ff)
+
+    def test_completion_batch_matches_scalar_distribution(self, model):
+        """Vectorised and scalar samplers agree on the mean (same law)."""
+        import math
+
+        rng_v = np.random.default_rng(11)
+        batch = sample_completion_times(model, 0, 4, 1.0, rng_v, 800)
+        rng_s = np.random.default_rng(12)
+        scalar = np.array(
+            [sample_completion_time(model, 0, 4, 1.0, rng_s) for _ in range(800)]
+        )
+        pooled = math.sqrt(
+            batch.var(ddof=1) / batch.size + scalar.var(ddof=1) / scalar.size
+        )
+        assert abs(batch.mean() - scalar.mean()) < 5 * pooled
+
+
+class TestValidateParallel:
+    """Engine-driven sampling (one PR-2 satellite): serial == pool."""
+
+    def test_z_test_identical_serial_vs_pool(self, model):
+        serial = validate_expected_time(
+            model, 0, 4, samples=300, seed=1, engine="serial"
+        )
+        pooled = validate_expected_time(
+            model, 0, 4, samples=300, seed=1, engine="pool", workers=2
+        )
+        persistent = validate_expected_time(
+            model, 0, 4, samples=300, seed=1, engine="persistent", workers=2
+        )
+        assert serial.empirical_mean == pooled.empirical_mean
+        assert serial.empirical_std == pooled.empirical_std
+        assert serial.z_score == pooled.z_score
+        assert serial.relative_error == pooled.relative_error
+        assert serial.z_score == persistent.z_score
+        assert serial.empirical_mean == persistent.empirical_mean
+
+    def test_chunk_layout_independent_of_workers(self, model):
+        two = validate_expected_time(
+            model, 0, 4, samples=200, seed=3, engine="pool", workers=2
+        )
+        four = validate_expected_time(
+            model, 0, 4, samples=200, seed=3, engine="pool", workers=4
+        )
+        assert two.empirical_mean == four.empirical_mean
+        assert two.z_score == four.z_score
+
+    def test_engine_path_statistically_sound(self, model):
+        report = validate_expected_time(
+            model, 0, 4, samples=400, seed=5, engine="serial"
+        )
+        assert report.passed, report.describe()
+
+    def test_custom_chunk_size_changes_draws_not_validity(self, model):
+        a = validate_expected_time(
+            model, 0, 4, samples=200, seed=3, chunk_samples=64
+        )
+        assert a.passed, a.describe()
+        b = validate_expected_time(
+            model, 0, 4, samples=200, seed=3, chunk_samples=64,
+            engine="pool", workers=2,
+        )
+        assert a.empirical_mean == b.empirical_mean
+
+    def test_rejects_bad_chunk_samples(self, model):
+        with pytest.raises(ConfigurationError):
+            validate_expected_time(model, 0, 4, samples=50, chunk_samples=0)
 
 
 class TestSampleCompletionTime:
