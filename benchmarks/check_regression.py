@@ -1,10 +1,15 @@
 """Hot-path performance regression gate.
 
-Re-runs the :mod:`benchmarks.bench_hotpath` measurements and compares
-them against the committed baseline ``BENCH_hotpath.json``.  A benchmark
-slower than ``threshold`` (default 1.3x) times its recorded baseline
-fails the gate; the derived batched-vs-scalar speedup must also stay
-above ``--min-batch-speedup`` (default 3x).
+Re-runs the :mod:`benchmarks.bench_hotpath` and
+:mod:`benchmarks.bench_decisions` measurements and compares them
+against the committed baselines ``BENCH_hotpath.json`` /
+``BENCH_decisions.json``.  A benchmark slower than ``threshold``
+(default 1.3x) times its recorded baseline fails the gate; the derived
+host-relative speedups must also stay above their floors: the batched
+expected-times accessor over the scalar loop
+(``--min-batch-speedup``, default 3x) and the array decision kernel
+over the scalar kernel on the failure-heavy simulation
+(``--min-kernel-speedup``, default 1.5x).
 
 Usage (from the repo root)::
 
@@ -12,9 +17,11 @@ Usage (from the repo root)::
     PYTHONPATH=src python -m benchmarks.check_regression --threshold 1.5
 
 Exit code 0 when every benchmark is within budget, 1 otherwise.
-Refresh the baseline after an intentional perf change with::
+Refresh the baselines after an intentional perf change with::
 
     PYTHONPATH=src python -m benchmarks.bench_hotpath --write
+    REPRO_BENCH_SCALE=small PYTHONPATH=src \\
+        python -m benchmarks.bench_decisions --write
 """
 
 from __future__ import annotations
@@ -28,13 +35,74 @@ from typing import Optional, Sequence
 
 try:
     from .bench_hotpath import DEFAULT_BASELINE, batch_speedup, run_all
+    from .bench_decisions import (
+        BENCH_SCALE as DECISIONS_SCALE,
+        DEFAULT_BASELINE as DECISIONS_BASELINE,
+        run_all as run_decisions,
+        sim_kernel_speedup,
+    )
 except ImportError:  # pytest / sys.path import (benchmarks/ on the path)
     from bench_hotpath import DEFAULT_BASELINE, batch_speedup, run_all
+    from bench_decisions import (
+        BENCH_SCALE as DECISIONS_SCALE,
+        DEFAULT_BASELINE as DECISIONS_BASELINE,
+        run_all as run_decisions,
+        sim_kernel_speedup,
+    )
 
 #: Per-benchmark slowdown tolerated before the gate fails.
 DEFAULT_THRESHOLD = 1.3
 #: Floor on the batched expected_times speedup over the scalar loop.
 DEFAULT_MIN_BATCH_SPEEDUP = 3.0
+#: Floor on the array-vs-scalar decision-kernel speedup (failure-heavy).
+DEFAULT_MIN_KERNEL_SPEEDUP = 1.5
+
+
+def _check_against_baseline(
+    payload: dict,
+    fresh: dict,
+    threshold: float,
+    *,
+    comparable: bool,
+    mismatch_note: str,
+    derived_name: str,
+    derived_value: float,
+    derived_floor: float,
+) -> tuple[bool, str]:
+    """Shared gate body: per-benchmark ratios + one derived-speedup floor.
+
+    Absolute-seconds ratios only count when ``comparable`` (the fresh
+    run matches the baseline's host/scale); the derived speedup is
+    host-relative and is always enforced.
+    """
+    baseline = payload["benchmarks"]
+    lines = [] if comparable else [mismatch_note]
+    ok = True
+    width = max(len(name) for name in baseline)
+    for name in sorted(baseline):
+        ref = baseline[name]["seconds"]
+        now = fresh[name]["seconds"]
+        ratio = now / ref
+        if comparable:
+            flag = "ok" if ratio <= threshold else "REGRESSION"
+            ok &= ratio <= threshold
+        else:
+            flag = "(not compared)"
+        lines.append(
+            f"{name:{width}s} baseline={ref * 1e6:10.1f}us "
+            f"now={now * 1e6:10.1f}us ratio={ratio:5.2f}x {flag}"
+        )
+    flag = "ok" if derived_value >= derived_floor else "REGRESSION"
+    ok &= derived_value >= derived_floor
+    lines.append(
+        f"{derived_name:{width}s} "
+        f"{derived_value:5.2f}x (floor {derived_floor:g}x) {flag}"
+    )
+    return ok, "\n".join(lines)
+
+
+def _host() -> tuple[Optional[str], Optional[str]]:
+    return platform.machine(), platform.python_version()
 
 
 def check(
@@ -42,55 +110,72 @@ def check(
     threshold: float = DEFAULT_THRESHOLD,
     min_batch_speedup: float = DEFAULT_MIN_BATCH_SPEEDUP,
 ) -> tuple[bool, str]:
-    """Compare a fresh run against the baseline; (ok, report text).
+    """Hot-path gate: fresh run vs ``BENCH_hotpath.json``; (ok, report)."""
+    payload = json.loads(baseline_path.read_text())
+    fresh = run_all(sorted(set(payload["benchmarks"])))
+    recorded = (payload.get("machine"), payload.get("python"))
+    return _check_against_baseline(
+        payload,
+        fresh,
+        threshold,
+        comparable=recorded == _host(),
+        mismatch_note=(
+            f"warning: baseline recorded on machine={recorded[0]} "
+            f"python={recorded[1]}, running on machine={_host()[0]} "
+            f"python={_host()[1]}; skipping absolute-seconds comparison "
+            "— re-record with python -m benchmarks.bench_hotpath --write"
+        ),
+        derived_name="batch_vs_scalar_speedup",
+        derived_value=batch_speedup(fresh),
+        derived_floor=min_batch_speedup,
+    )
 
-    The absolute-seconds comparison is only meaningful on a host
-    comparable to the one that recorded the baseline — a mismatch is
-    reported so a cross-machine verdict is not over-trusted.  The
-    derived batch-vs-scalar speedup is host-relative and always valid.
+
+def check_decisions(
+    baseline_path: Path = DECISIONS_BASELINE,
+    threshold: float = DEFAULT_THRESHOLD,
+    min_kernel_speedup: float = DEFAULT_MIN_KERNEL_SPEEDUP,
+) -> tuple[bool, str]:
+    """Decision-kernel gate: fresh run vs ``BENCH_decisions.json``.
+
+    The committed baseline is recorded at ``small`` scale while CI runs
+    ``tiny``, so the scale is part of the comparability test.
     """
     payload = json.loads(baseline_path.read_text())
-    baseline = payload["benchmarks"]
-    fresh = run_all(sorted(set(baseline)))
-    lines = []
-    host = (platform.machine(), platform.python_version())
+    fresh = run_decisions(sorted(set(payload["benchmarks"])))
+    recorded_scale = payload.get("scale")
     recorded = (payload.get("machine"), payload.get("python"))
-    if recorded != host:
-        lines.append(
-            f"warning: baseline recorded on machine={recorded[0]} "
-            f"python={recorded[1]}, running on machine={host[0]} "
-            f"python={host[1]}; absolute timings may not be comparable "
-            "— re-record with python -m benchmarks.bench_hotpath --write"
-        )
-    ok = True
-    width = max(len(name) for name in baseline)
-    for name in sorted(baseline):
-        ref = baseline[name]["seconds"]
-        now = fresh[name]["seconds"]
-        ratio = now / ref
-        flag = "ok" if ratio <= threshold else "REGRESSION"
-        ok &= ratio <= threshold
-        lines.append(
-            f"{name:{width}s} baseline={ref * 1e6:10.1f}us "
-            f"now={now * 1e6:10.1f}us ratio={ratio:5.2f}x {flag}"
-        )
-    speedup = batch_speedup(fresh)
-    flag = "ok" if speedup >= min_batch_speedup else "REGRESSION"
-    ok &= speedup >= min_batch_speedup
-    lines.append(
-        f"{'batch_vs_scalar_speedup':{width}s} "
-        f"{speedup:5.1f}x (floor {min_batch_speedup:g}x) {flag}"
+    return _check_against_baseline(
+        payload,
+        fresh,
+        threshold,
+        comparable=recorded_scale == DECISIONS_SCALE and recorded == _host(),
+        mismatch_note=(
+            f"warning: decisions baseline recorded at scale={recorded_scale} "
+            f"machine={recorded[0]} python={recorded[1]}, running at "
+            f"scale={DECISIONS_SCALE} machine={_host()[0]} "
+            f"python={_host()[1]}; skipping absolute-seconds comparison"
+        ),
+        derived_name="sim_kernel_speedup",
+        derived_value=sim_kernel_speedup(fresh),
+        derived_floor=min_kernel_speedup,
     )
-    return ok, "\n".join(lines)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
-        description="Fail on hot-path perf regressions vs BENCH_hotpath.json."
+        description=(
+            "Fail on perf regressions vs BENCH_hotpath.json and "
+            "BENCH_decisions.json."
+        )
     )
     parser.add_argument(
         "--baseline", type=Path, default=DEFAULT_BASELINE,
-        help="recorded baseline JSON",
+        help="recorded hot-path baseline JSON",
+    )
+    parser.add_argument(
+        "--decisions-baseline", type=Path, default=DECISIONS_BASELINE,
+        help="recorded decision-kernel baseline JSON",
     )
     parser.add_argument(
         "--threshold", type=float, default=DEFAULT_THRESHOLD,
@@ -100,16 +185,29 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--min-batch-speedup", type=float, default=DEFAULT_MIN_BATCH_SPEEDUP,
         help="required batched-vs-scalar speedup (default 3.0)",
     )
+    parser.add_argument(
+        "--min-kernel-speedup", type=float, default=DEFAULT_MIN_KERNEL_SPEEDUP,
+        help="required array-vs-scalar decision-kernel speedup (default 1.5)",
+    )
     args = parser.parse_args(argv)
-    if not args.baseline.exists():
-        print(
-            f"no baseline at {args.baseline}; record one with "
-            "python -m benchmarks.bench_hotpath --write",
-            file=sys.stderr,
-        )
-        return 1
+    for path, module in (
+        (args.baseline, "bench_hotpath"),
+        (args.decisions_baseline, "bench_decisions"),
+    ):
+        if not path.exists():
+            print(
+                f"no baseline at {path}; record one with "
+                f"python -m benchmarks.{module} --write",
+                file=sys.stderr,
+            )
+            return 1
     ok, report = check(args.baseline, args.threshold, args.min_batch_speedup)
     print(report)
+    dec_ok, dec_report = check_decisions(
+        args.decisions_baseline, args.threshold, args.min_kernel_speedup
+    )
+    print(dec_report)
+    ok &= dec_ok
     print("PASS" if ok else "FAIL")
     return 0 if ok else 1
 

@@ -19,9 +19,12 @@ The execution commands (``run``, ``compare``, ``batch``, ``validate``)
 accept ``--engine {serial,pool,persistent}`` and ``--workers N`` to pick
 the run-fabric (:mod:`repro.engine`) that fans their work out; results
 are byte-identical under every engine and worker count, and ``--verbose``
-prints the engine's ``cache_info()``-style statistics.  The benchmark
-suite under ``benchmarks/`` reads the ``REPRO_BENCH_SCALE`` environment
-variable (``tiny``/``small``/``paper``) to pick its scaling preset.
+prints the engine's ``cache_info()``-style statistics — for ``run`` and
+``compare`` also the models' profile-cache hit rate, and for ``run``
+streamed per-point replicate progress (``Executor.map_stream``) on
+stderr while a sweep executes.  The benchmark suite under
+``benchmarks/`` reads the ``REPRO_BENCH_SCALE`` environment variable
+(``tiny``/``small``/``paper``) to pick its scaling preset.
 """
 
 from __future__ import annotations
@@ -113,10 +116,20 @@ def _make_executor(args: argparse.Namespace, *, sweep: bool = False):
     return create_executor(engine, workers=args.workers)
 
 
-def _report_engine(args: argparse.Namespace, executor) -> None:
-    """Print the ``cache_info()``-style counters under ``--verbose``."""
+def _report_engine(
+    args: argparse.Namespace, executor, *, profiles: bool = False
+) -> None:
+    """Print the ``cache_info()``-style counters under ``--verbose``.
+
+    ``profiles`` adds the :class:`~repro.resilience.ExpectedTimeModel`
+    profile-cache line (hit rate of the envelope ring across every
+    dispatched simulation).
+    """
     if args.verbose:
-        print(f"engine[{executor.name}]: {executor.stats().describe()}")
+        stats = executor.stats()
+        print(f"engine[{executor.name}]: {stats.describe()}")
+        if profiles:
+            print(f"profiles: {stats.describe_profiles()}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -270,9 +283,21 @@ def _cmd_policies() -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    progress = None
+    if args.verbose:
+        def progress(figure: str, x: float, done: int, total: int) -> None:
+            print(
+                f"{figure} x={x:g}: {done}/{total} replicates",
+                file=sys.stderr,
+            )
+
     with _make_executor(args, sweep=True) as executor:
         result = run_figure(
-            args.figure, scale=args.scale, seed=args.seed, executor=executor
+            args.figure,
+            scale=args.scale,
+            seed=args.seed,
+            executor=executor,
+            progress=progress,
         )
     if isinstance(result, TraceFigureResult):
         print(render_trace_figure(result, precision=args.precision))
@@ -292,7 +317,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 "flags have no effect on them",
                 file=sys.stderr,
             )
-        _report_engine(args, executor)
+        _report_engine(args, executor, profiles=True)
         return 0
     print(render_figure(result, precision=args.precision))
     if args.plot:
@@ -310,7 +335,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
         save_figure(result, args.json)
         print(f"figure data written to {args.json}")
-    _report_engine(args, executor)
+    _report_engine(args, executor, profiles=True)
     return 0
 
 
@@ -535,7 +560,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         )
     print(outcome.render())
     print(f"\nbest policy: {outcome.best_policy()}")
-    _report_engine(args, executor)
+    _report_engine(args, executor, profiles=True)
     return 0
 
 

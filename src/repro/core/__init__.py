@@ -15,6 +15,12 @@ from .heuristics import (
     ShortestTasksFirst,
     greedy_rebuild,
 )
+from .kernels import (
+    KERNELS,
+    DecisionMatrix,
+    decision_matrix,
+    ensure_kernel,
+)
 from .optimal import expected_makespan, optimal_schedule
 from .policy import PAPER_POLICY_LABELS, POLICIES, Policy, get_policy
 from .progress import (
@@ -23,9 +29,11 @@ from .progress import (
     projected_finish,
     remaining_after_elapsed,
     remaining_after_failure,
+    remaining_at_batch,
 )
 from .redistribution import (
     redistribution_cost,
+    redistribution_cost_matrix,
     redistribution_cost_vector,
     redistribution_rounds,
     transfer_volume_per_round,
@@ -44,6 +52,10 @@ __all__ = [
     "IteratedGreedy",
     "ShortestTasksFirst",
     "greedy_rebuild",
+    "KERNELS",
+    "DecisionMatrix",
+    "decision_matrix",
+    "ensure_kernel",
     "expected_makespan",
     "optimal_schedule",
     "PAPER_POLICY_LABELS",
@@ -55,7 +67,9 @@ __all__ = [
     "projected_finish",
     "remaining_after_elapsed",
     "remaining_after_failure",
+    "remaining_at_batch",
     "redistribution_cost",
+    "redistribution_cost_matrix",
     "redistribution_cost_vector",
     "redistribution_rounds",
     "transfer_volume_per_round",

@@ -18,6 +18,11 @@ The scoring is vectorised over all candidate ``k`` at once: the scan
 loops of Algorithms 3-5 ("q := 2; while q <= k ...") stop at the first
 improving candidate, which is exactly ``targets[mask.argmax()]`` on the
 boolean improvement mask.
+
+These helpers are the *scalar* decision kernel — the per-probe
+reference.  The default ``"array"`` kernel (:mod:`repro.core.kernels`)
+precomputes the same values as one matrix per decision point; the two
+agree bit for bit by construction.
 """
 
 from __future__ import annotations
@@ -29,6 +34,7 @@ import numpy as np
 
 from ...exceptions import CapacityError, SimulationError
 from ...resilience.expected_time import ExpectedTimeModel
+from ..kernels import ensure_kernel, faulty_stall
 from ..progress import remaining_after_elapsed
 from ..redistribution import redistribution_cost, redistribution_cost_vector
 from ..state import TaskRuntime
@@ -40,6 +46,8 @@ __all__ = [
     "candidate_finish_times",
     "candidate_finish_time",
     "apply_move",
+    "ensure_kernel",
+    "faulty_stall",
 ]
 
 
@@ -159,11 +167,15 @@ class CompletionHeuristic(ABC):
         t: float,
         tasks: Sequence[TaskRuntime],
         free: int,
+        kernel: str = "array",
     ) -> List[int]:
         """Redistribute ``free`` processors among ``tasks`` at time ``t``.
 
         Mutates the runtimes in place and returns the indices of the tasks
         whose allocation changed (the simulator re-projects those).
+        ``kernel`` picks the decision kernel (:mod:`repro.core.kernels`):
+        the batched ``"array"`` matrix or the ``"scalar"`` reference —
+        both produce bit-identical decisions.
         """
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -183,33 +195,18 @@ class FailureHeuristic(ABC):
         tasks: Sequence[TaskRuntime],
         free: int,
         faulty: int,
+        kernel: str = "array",
     ) -> List[int]:
         """Rebalance around faulty task ``faulty`` at time ``t``.
 
         ``tasks`` contains the active, non-busy tasks *including* the
         faulty one, whose ``alpha``/``t_last``/``t_expected`` have already
         been rolled back by the simulator skeleton (Alg. 2 lines 23-26).
-        Returns the indices of tasks whose allocation changed.
+        Returns the indices of tasks whose allocation changed.  ``kernel``
+        picks the decision kernel (:mod:`repro.core.kernels`).
         """
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}()"
 
 
-def faulty_stall(rt: TaskRuntime, t: float) -> float:
-    """``D + R`` already charged to the struck task by the skeleton.
-
-    The skeleton sets ``t_last = t + D + R`` before calling the failure
-    heuristic, so the stall is recovered as ``t_last - t`` (robust to any
-    configured downtime/recovery values).
-    """
-    stall = rt.t_last - t
-    if stall < 0:
-        raise SimulationError(
-            f"faulty task {rt.index} has t_last in the past; "
-            "skeleton did not roll it back"
-        )
-    return stall
-
-
-__all__.append("faulty_stall")

@@ -5,6 +5,11 @@ buddy pairs to the task with the largest expected finish time, as long as
 the move pays for its redistribution cost.  Decisions are purely local: a
 task found non-improvable is dropped from consideration and its processors
 are never reclaimed.
+
+On the ``"array"`` decision kernel (:mod:`repro.core.kernels`) the
+greedy loop only slices the decision matrix (rows materialise on first
+touch — a completion may consult just a few tasks); ``"scalar"`` keeps
+the per-pop model calls as the bit-identical reference.
 """
 
 from __future__ import annotations
@@ -15,6 +20,7 @@ from typing import Dict, List, Sequence
 import numpy as np
 
 from ...resilience.expected_time import ExpectedTimeModel
+from ..kernels import decision_matrix, ensure_kernel
 from ..state import TaskRuntime
 from .base import (
     CompletionHeuristic,
@@ -38,9 +44,61 @@ class EndLocal(CompletionHeuristic):
         t: float,
         tasks: Sequence[TaskRuntime],
         free: int,
+        kernel: str = "array",
     ) -> List[int]:
+        ensure_kernel(kernel)
         if free < 2 or not tasks:
             return []
+        if kernel == "array":
+            return self._apply_array(model, t, tasks, free)
+        return self._apply_scalar(model, t, tasks, free)
+
+    def _apply_array(
+        self,
+        model: ExpectedTimeModel,
+        t: float,
+        tasks: Sequence[TaskRuntime],
+        free: int,
+    ) -> List[int]:
+        by_index: Dict[int, TaskRuntime] = {rt.index: rt for rt in tasks}
+        dm = decision_matrix(model, t, tasks, lazy=True)
+
+        # Max-heap on tU (Algorithm 3 keeps L sorted non-increasingly).
+        heap = [(-rt.t_expected, rt.index) for rt in tasks]
+        heapq.heapify(heap)
+
+        k = free
+        while k >= 2 and heap:
+            _, i = heapq.heappop(heap)
+            rt = by_index[i]
+            finishes = dm.finish_range(i, rt.sigma + 2, rt.sigma + k)
+            if finishes.size and bool(np.any(finishes < rt.t_expected)):
+                # Improvable: grant exactly one pair (line 17) and re-rank.
+                rt.sigma += 2
+                rt.t_expected = dm.finish(i, rt.sigma)
+                heapq.heappush(heap, (-rt.t_expected, i))
+                k -= 2
+            # Non-improvable tasks stay popped (dropped from L).
+
+        changed: List[int] = []
+        for i, rt in by_index.items():
+            if rt.sigma != dm.init_of(i):
+                new_sigma = rt.sigma
+                rt.sigma = dm.init_of(i)  # apply_move re-assigns from scratch
+                apply_move(
+                    model, rt, t, 0.0, dm.init_of(i), new_sigma,
+                    dm.alpha_of(i),
+                )
+                changed.append(i)
+        return changed
+
+    def _apply_scalar(
+        self,
+        model: ExpectedTimeModel,
+        t: float,
+        tasks: Sequence[TaskRuntime],
+        free: int,
+    ) -> List[int]:
         by_index: Dict[int, TaskRuntime] = {rt.index: rt for rt in tasks}
         sigma_init: Dict[int, int] = {rt.index: rt.sigma for rt in tasks}
         alpha_t: Dict[int, float] = {}
@@ -77,6 +135,8 @@ class EndLocal(CompletionHeuristic):
             if rt.sigma != sigma_init[i]:
                 new_sigma = rt.sigma
                 rt.sigma = sigma_init[i]  # apply_move re-assigns from scratch
-                apply_move(model, rt, t, 0.0, sigma_init[i], new_sigma, alpha_t[i])
+                apply_move(
+                    model, rt, t, 0.0, sigma_init[i], new_sigma, alpha_t[i]
+                )
                 changed.append(i)
         return changed

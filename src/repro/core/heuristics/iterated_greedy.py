@@ -10,6 +10,11 @@ lines 16 and 23).
 
 ``EndGreedy`` (Section 5.2) is the same rebuild triggered at task
 terminations, without a faulty task.
+
+The rebuild runs on either decision kernel (:mod:`repro.core.kernels`):
+``"array"`` precomputes the whole candidate finish matrix once and walks
+it by index, ``"scalar"`` keeps the per-probe model calls as the
+bit-identical reference.
 """
 
 from __future__ import annotations
@@ -21,6 +26,7 @@ import numpy as np
 
 from ...exceptions import CapacityError
 from ...resilience.expected_time import ExpectedTimeModel
+from ..kernels import decision_matrix, ensure_kernel
 from ..state import TaskRuntime
 from .base import (
     CompletionHeuristic,
@@ -41,6 +47,7 @@ def greedy_rebuild(
     tasks: Sequence[TaskRuntime],
     capacity: int,
     faulty: Optional[int] = None,
+    kernel: str = "array",
 ) -> List[int]:
     """Rebuild the allocation of ``tasks`` over ``capacity`` processors.
 
@@ -49,6 +56,7 @@ def greedy_rebuild(
     runtimes are mutated in place; returns the indices whose allocation
     changed.
     """
+    ensure_kernel(kernel)
     if not tasks:
         return []
     n = len(tasks)
@@ -56,6 +64,62 @@ def greedy_rebuild(
         raise CapacityError(
             f"greedy rebuild needs capacity >= 2n: capacity={capacity}, n={n}"
         )
+    if kernel == "array":
+        return _greedy_rebuild_array(model, t, tasks, capacity, faulty)
+    return _greedy_rebuild_scalar(model, t, tasks, capacity, faulty)
+
+
+def _greedy_rebuild_array(
+    model: ExpectedTimeModel,
+    t: float,
+    tasks: Sequence[TaskRuntime],
+    capacity: int,
+    faulty: Optional[int],
+) -> List[int]:
+    """Array kernel: one precomputed matrix, zero model calls in the loop."""
+    dm = decision_matrix(model, t, tasks, faulty=faulty, with_keep=True)
+    by_index: Dict[int, TaskRuntime] = {rt.index: rt for rt in tasks}
+    sigma: Dict[int, int] = {rt.index: 2 for rt in tasks}
+    expected: Dict[int, float] = {i: dm.rebuild_finish(i, 2) for i in sigma}
+    heap = [(-expected[i], i) for i in sigma]
+    heapq.heapify(heap)
+    available = capacity - 2 * len(tasks)
+
+    while available >= 2 and heap:
+        _, i = heapq.heappop(heap)
+        p_max = sigma[i] + available
+        finishes = dm.rebuild_range(i, sigma[i] + 2, p_max)
+        if finishes.size and bool(np.any(finishes < expected[i])):
+            sigma[i] += 2
+            expected[i] = dm.rebuild_finish(i, sigma[i])
+            heapq.heappush(heap, (-expected[i], i))
+            available -= 2
+        else:
+            # Algorithm 5 line 30: the longest task cannot improve — stop.
+            available = 0
+
+    changed: List[int] = []
+    for i, rt in by_index.items():
+        if sigma[i] != dm.init_of(i):
+            apply_move(
+                model, rt, t, dm.stall_of(i), dm.init_of(i), sigma[i],
+                dm.alpha_of(i),
+            )
+            changed.append(i)
+        else:
+            # Untouched: restore the expected finish from live bookkeeping.
+            rt.t_expected = dm.keep_finish(i)
+    return changed
+
+
+def _greedy_rebuild_scalar(
+    model: ExpectedTimeModel,
+    t: float,
+    tasks: Sequence[TaskRuntime],
+    capacity: int,
+    faulty: Optional[int],
+) -> List[int]:
+    """Scalar kernel: the seed-style per-probe reference path."""
     by_index: Dict[int, TaskRuntime] = {rt.index: rt for rt in tasks}
     sigma_init: Dict[int, int] = {rt.index: rt.sigma for rt in tasks}
     stall: Dict[int, float] = {}
@@ -84,7 +148,7 @@ def greedy_rebuild(
     expected: Dict[int, float] = {i: finish(i, 2) for i in sigma}
     heap = [(-expected[i], i) for i in sigma]
     heapq.heapify(heap)
-    available = capacity - 2 * n
+    available = capacity - 2 * len(tasks)
 
     while available >= 2 and heap:
         _, i = heapq.heappop(heap)
@@ -134,9 +198,12 @@ class IteratedGreedy(FailureHeuristic):
         tasks: Sequence[TaskRuntime],
         free: int,
         faulty: int,
+        kernel: str = "array",
     ) -> List[int]:
         capacity = free + sum(rt.sigma for rt in tasks)
-        return greedy_rebuild(model, t, tasks, capacity, faulty=faulty)
+        return greedy_rebuild(
+            model, t, tasks, capacity, faulty=faulty, kernel=kernel
+        )
 
 
 class EndGreedy(CompletionHeuristic):
@@ -150,8 +217,11 @@ class EndGreedy(CompletionHeuristic):
         t: float,
         tasks: Sequence[TaskRuntime],
         free: int,
+        kernel: str = "array",
     ) -> List[int]:
         if not tasks:
             return []
         capacity = free + sum(rt.sigma for rt in tasks)
-        return greedy_rebuild(model, t, tasks, capacity, faulty=None)
+        return greedy_rebuild(
+            model, t, tasks, capacity, faulty=None, kernel=kernel
+        )

@@ -15,6 +15,11 @@ the faulty task's candidates include its ``D + R`` stall (the Section
 (the literal ``while k >= 2`` would never terminate).  Phase 2 runs even
 when phase 1 allocated nothing, matching the prose ("Then, if the faulty
 task is still improvable ...").
+
+Both phases run on either decision kernel (:mod:`repro.core.kernels`):
+``"array"`` scans slices of one precomputed candidate finish matrix,
+``"scalar"`` keeps the per-scan model calls as the bit-identical
+reference.
 """
 
 from __future__ import annotations
@@ -24,6 +29,7 @@ from typing import Dict, List, Sequence
 import numpy as np
 
 from ...resilience.expected_time import ExpectedTimeModel
+from ..kernels import decision_matrix, ensure_kernel
 from ..state import TaskRuntime
 from .base import (
     FailureHeuristic,
@@ -43,6 +49,99 @@ class ShortestTasksFirst(FailureHeuristic):
     name = "shortest-tasks-first"
 
     def apply(
+        self,
+        model: ExpectedTimeModel,
+        t: float,
+        tasks: Sequence[TaskRuntime],
+        free: int,
+        faulty: int,
+        kernel: str = "array",
+    ) -> List[int]:
+        ensure_kernel(kernel)
+        if kernel == "array":
+            return self._apply_array(model, t, tasks, free, faulty)
+        return self._apply_scalar(model, t, tasks, free, faulty)
+
+    def _apply_array(
+        self,
+        model: ExpectedTimeModel,
+        t: float,
+        tasks: Sequence[TaskRuntime],
+        free: int,
+        faulty: int,
+    ) -> List[int]:
+        by_index: Dict[int, TaskRuntime] = {rt.index: rt for rt in tasks}
+        rt_f = by_index[faulty]
+        # Algorithm 4 only ever consults the faulty task and a few
+        # donors: materialise rows on first touch.
+        dm = decision_matrix(model, t, tasks, faulty=faulty, lazy=True)
+        j_max = int(model.j_grid[-1])
+
+        # ---- Phase 1: absorb free processors (Alg. 4 lines 12-25) --------
+        k = free
+        while k >= 2:
+            top = min(rt_f.sigma + k, j_max)
+            lo = rt_f.sigma + 2
+            finishes = dm.finish_range(faulty, lo, top)
+            if finishes.size == 0:
+                break
+            mask = finishes < rt_f.t_expected
+            if not bool(np.any(mask)):
+                break  # not improvable: stop consuming (DESIGN interp. 5)
+            first = int(np.argmax(mask))
+            q_max = lo + 2 * first - rt_f.sigma
+            rt_f.sigma += q_max
+            rt_f.t_expected = float(finishes[first])
+            k -= q_max
+
+        # ---- Phase 2: steal from the shortest tasks (lines 27-41) --------
+        improvable = True
+        while improvable:
+            donors = [
+                rt
+                for rt in tasks
+                if rt.index != faulty and rt.sigma >= 4
+            ]
+            if not donors or rt_f.sigma + 2 > j_max:
+                break
+            rt_s = min(donors, key=lambda rt: (rt.t_expected, rt.index))
+            s = rt_s.index
+            improvable = False
+            # q = 2, 4, ..., rt_s.sigma - 2, clamped so the faulty task
+            # stays on the grid — contiguous even targets either way.
+            f_top = min(rt_f.sigma + (rt_s.sigma - 2), j_max)
+            f_finishes = dm.finish_range(faulty, rt_f.sigma + 2, f_top)
+            if f_finishes.size == 0:
+                break
+            # Donor targets mirror the q values downwards from sigma - 2.
+            d_hi = rt_s.sigma - 2
+            d_lo = rt_s.sigma - 2 * f_finishes.size
+            s_finishes = dm.finish_range(s, d_lo, d_hi)[::-1]
+            mask = (f_finishes < rt_f.t_expected) & (
+                s_finishes < rt_f.t_expected
+            )
+            if bool(np.any(mask)):
+                improvable = True
+                # Move a single pair regardless of the probe (line 36).
+                rt_f.sigma += 2
+                rt_s.sigma -= 2
+                rt_f.t_expected = dm.finish(faulty, rt_f.sigma)
+                rt_s.t_expected = dm.finish(s, rt_s.sigma)
+                if rt_s.t_expected > rt_f.t_expected:
+                    improvable = False  # the donor became the bottleneck
+
+        # ---- Commit (lines 43-48) -----------------------------------------
+        changed: List[int] = []
+        for i, rt in by_index.items():
+            if rt.sigma != dm.init_of(i):
+                apply_move(
+                    model, rt, t, dm.stall_of(i), dm.init_of(i), rt.sigma,
+                    dm.alpha_of(i),
+                )
+                changed.append(i)
+        return changed
+
+    def _apply_scalar(
         self,
         model: ExpectedTimeModel,
         t: float,

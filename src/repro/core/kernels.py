@@ -1,0 +1,301 @@
+"""Array-based decision kernels: the per-event scheduling hot path.
+
+Every simulated failure or completion re-runs one of the paper's
+scheduling algorithms (Algorithm 1 at pack start, Algorithms 3-5 at
+redistribution points).  Their growth/scan loops score *candidate*
+allocations with the Section 3.3 finish-time formula
+
+.. math::
+
+    t_E(k) = t + \\text{stall}_i + RC_i^{\\sigma_{init}(i) \\to k}
+             + C_{i,k} + t^R_{i,k}(\\alpha^t_i),
+
+and the seed evaluated that formula through scalar model calls inside
+the loops.  This module precomputes the full candidate finish matrix
+``t_E[i, k]`` for a decision point in one fused pass, so the loops
+become pure index arithmetic with **zero model calls**.
+
+The alpha-fixed-per-decision invariant
+--------------------------------------
+Within one decision point (a rebuild at time ``t``) every quantity the
+algorithms score candidates with is *fixed per task*:
+
+* ``alpha^t_i`` — the remaining work, measured exactly once at ``t``
+  (Alg. 3 line 8 / Alg. 4-5 line 4); later iterations of the same
+  decision reuse that measurement, they never re-measure;
+* ``stall_i`` — ``D + R`` for the task struck by the failure, 0 for
+  everyone else; constant for the whole decision;
+* ``sigma_init(i)`` — the allocation the redistribution cost is charged
+  *from*; Algorithms 3-5 always charge from the allocation held when
+  the event fired, even after several buddy pairs moved.
+
+Only the candidate target ``k`` varies.  The matrix ``t_E[i, k]`` is
+therefore a pure function of the decision point and can be built once —
+one batched remaining-work pass (:func:`~repro.core.progress.
+remaining_at_batch`), one fused profile evaluation with per-task alphas
+(:meth:`~repro.resilience.expected_time.ExpectedTimeModel.
+profile_matrix`), one redistribution-cost matrix
+(:func:`~repro.core.redistribution.redistribution_cost_matrix`) and one
+checkpoint-cost gather — and then consulted by the loops.
+
+Every entry is bit-identical to the scalar helpers
+(:func:`~repro.core.heuristics.base.candidate_finish_time` /
+``candidate_finish_times``), operation for operation, so the
+``decision_kernel="array"`` executions match ``"scalar"`` byte for byte
+(pinned by ``tests/test_decision_kernels.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, SimulationError
+from ..resilience.expected_time import ExpectedTimeModel
+from .progress import remaining_at_batch
+from .redistribution import (
+    redistribution_cost_matrix,
+    redistribution_cost_vector,
+)
+from .state import TaskRuntime
+
+__all__ = [
+    "KERNELS",
+    "ensure_kernel",
+    "faulty_stall",
+    "DecisionMatrix",
+    "decision_matrix",
+]
+
+#: Decision-kernel modes: ``"array"`` is the batched fast path,
+#: ``"scalar"`` the seed-style reference (mirroring ``event_queue``).
+KERNELS = ("array", "scalar")
+
+_EMPTY = np.empty(0)
+
+
+def ensure_kernel(kernel: str) -> str:
+    """Validate a ``decision_kernel`` mode name."""
+    if kernel not in KERNELS:
+        raise ConfigurationError(
+            f"decision_kernel must be one of {KERNELS}, got {kernel!r}"
+        )
+    return kernel
+
+
+def faulty_stall(rt: TaskRuntime, t: float) -> float:
+    """``D + R`` already charged to the struck task by the skeleton.
+
+    The skeleton sets ``t_last = t + D + R`` before calling the failure
+    heuristic, so the stall is recovered as ``t_last - t`` (robust to any
+    configured downtime/recovery values).
+    """
+    stall = rt.t_last - t
+    if stall < 0:
+        raise SimulationError(
+            f"faulty task {rt.index} has t_last in the past; "
+            "skeleton did not roll it back"
+        )
+    return stall
+
+
+@dataclass
+class DecisionMatrix:
+    """Precomputed candidate finishes ``t_E[row, slot]`` of one decision.
+
+    Column ``slot`` corresponds to the even count ``k = 2 (slot + 1)``
+    (the model's processor grid).  ``finishes[row, slot]`` holds the
+    Section 3.3 value ``(t + stall) + rc_factor * RC^{j_init -> k} +
+    (C_{i,k} + t^R_{i,k}(alpha_t))`` with exactly the scalar helpers'
+    operation order, so reads off this matrix are bit-identical to
+    ``candidate_finish_time(s)``.
+
+    Rows are either all materialised up front (one fused pass — right
+    for Algorithm 5, which scores every task) or on first touch
+    (``lazy`` — right for Algorithms 3-4, which only ever consult a
+    sparse task subset).  Lazy and eager rows are bit-identical.
+    """
+
+    model: ExpectedTimeModel
+    t: float
+    indices: List[int]
+    j_init: np.ndarray      #: (n,) source allocation per row
+    alpha_t: np.ndarray     #: (n,) remaining work at the decision time
+    stall: np.ndarray       #: (n,) D + R for the struck task, else 0
+    finishes: np.ndarray    #: (n, grid) candidate finish matrix
+    #: unchanged-allocation finishes (Alg. 5 lines 16/23), when built
+    keep: Optional[np.ndarray] = None
+    #: per-row materialisation flags; ``None`` when eagerly built
+    pending: Optional[np.ndarray] = None
+    _row_of: Dict[int, int] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._row_of = {i: row for row, i in enumerate(self.indices)}
+
+    def _row(self, i: int) -> int:
+        """Row of task ``i``, materialised on first touch in lazy mode."""
+        row = self._row_of[i]
+        if self.pending is not None and self.pending[row]:
+            model = self.model
+            grid = model.grid(i)
+            profile = model.profile(i, float(self.alpha_t[row]))
+            rc = model.rc_factor * redistribution_cost_vector(
+                model.pack[i].size, int(self.j_init[row]), grid.j
+            )
+            self.finishes[row] = (
+                (self.t + float(self.stall[row])) + rc
+                + (grid.cost + profile)
+            )
+            self.pending[row] = False
+        return row
+
+    # -- per-task decision inputs -----------------------------------------
+    def init_of(self, i: int) -> int:
+        """``sigma_init(i)`` — the allocation the RC is charged from."""
+        return int(self.j_init[self._row_of[i]])
+
+    def alpha_of(self, i: int) -> float:
+        """``alpha^t_i`` measured at the decision time."""
+        return float(self.alpha_t[self._row_of[i]])
+
+    def stall_of(self, i: int) -> float:
+        """``D + R`` for the struck task, 0 otherwise."""
+        return float(self.stall[self._row_of[i]])
+
+    # -- candidate reads ---------------------------------------------------
+    def _slot(self, k: int) -> int:
+        slot = (k >> 1) - 1
+        if k < 2 or (k & 1) or slot >= self.finishes.shape[1]:
+            raise SimulationError(
+                f"candidate count {int(k)} exceeds the platform grid"
+            )
+        return slot
+
+    def finish(self, i: int, k: int) -> float:
+        """``t_E(k)`` — the ``candidate_finish_time`` value, by index."""
+        return float(self.finishes[self._row(i), self._slot(k)])
+
+    def finish_range(self, i: int, lo: int, hi: int) -> np.ndarray:
+        """``t_E`` over the even candidates ``lo, lo+2, ..., <= hi``.
+
+        The ``candidate_finish_times`` vector for
+        ``targets = arange(lo, hi + 1, 2)`` (``lo`` even, >= 2), as a
+        view into the matrix — callers must not write through it; empty
+        when ``lo > hi``.
+        """
+        if hi < lo:
+            return _EMPTY
+        if lo < 2 or (lo & 1):
+            raise SimulationError(
+                f"candidate range must start at an even count >= 2, "
+                f"got {int(lo)}"
+            )
+        lo_slot = (lo >> 1) - 1
+        hi_slot = (hi >> 1) - 1  # slot of the largest even count <= hi
+        if hi_slot >= self.finishes.shape[1]:
+            raise SimulationError(
+                f"candidate count {int(hi_slot + 1) << 1} exceeds the "
+                "platform grid"
+            )
+        return self.finishes[self._row(i), lo_slot:hi_slot + 1]
+
+    # -- Algorithm 5's keep-running special case ---------------------------
+    def _keep_column(self) -> np.ndarray:
+        if self.keep is None:
+            raise ConfigurationError(
+                "this DecisionMatrix was built without with_keep=True; "
+                "the keep-running finishes are not available"
+            )
+        return self.keep
+
+    def keep_finish(self, i: int) -> float:
+        """Finish if ``i`` keeps its allocation (no cost, old bookkeeping)."""
+        return float(self._keep_column()[self._row_of[i]])
+
+    def rebuild_finish(self, i: int, k: int) -> float:
+        """Algorithm 5's finish: unchanged allocation keeps running."""
+        if k == int(self.j_init[self._row_of[i]]):
+            return self.keep_finish(i)
+        return self.finish(i, k)
+
+    def rebuild_range(self, i: int, lo: int, hi: int) -> np.ndarray:
+        """:meth:`finish_range` with the keep-running candidate patched."""
+        fin = self.finish_range(i, lo, hi)
+        j_init = int(self.j_init[self._row_of[i]])
+        if fin.size and lo <= j_init <= hi:
+            fin = fin.copy()
+            fin[(j_init - lo) >> 1] = self._keep_column()[self._row_of[i]]
+        return fin
+
+
+def decision_matrix(
+    model: ExpectedTimeModel,
+    t: float,
+    tasks: Sequence[TaskRuntime],
+    faulty: Optional[int] = None,
+    *,
+    with_keep: bool = False,
+    lazy: bool = False,
+) -> DecisionMatrix:
+    """Build the full candidate matrix for one decision point.
+
+    ``tasks`` must be non-empty; ``faulty`` marks the struck task (its
+    ``alpha`` was already rolled back by the simulator skeleton and its
+    stall is recovered from ``t_last``).  ``with_keep`` additionally
+    evaluates the unchanged-allocation finishes Algorithm 5 patches in
+    (one extra batched profile gather at the tasks' *live* alphas).
+    ``lazy`` defers each row's materialisation to its first touch —
+    right when the algorithm only consults a sparse task subset
+    (Algorithm 4 touches the faulty task plus a few donors); the
+    decision inputs (``alpha_t``/``stall``/``j_init``) are still
+    measured up front, preserving the alpha-fixed-per-decision
+    invariant.
+    """
+    indices = [rt.index for rt in tasks]
+    n = len(indices)
+    j_init = np.fromiter((rt.sigma for rt in tasks), dtype=np.int64, count=n)
+    alpha_t = remaining_at_batch(model, tasks, t)
+    stall = np.zeros(n)
+    if faulty is not None:
+        row = indices.index(faulty)
+        rt_f = tasks[row]
+        alpha_t[row] = rt_f.alpha  # already rolled back by the skeleton
+        stall[row] = faulty_stall(rt_f, t)
+    width = model.j_grid.size
+    if lazy:
+        finishes = np.empty((n, width))
+        pending: Optional[np.ndarray] = np.ones(n, dtype=bool)
+    else:
+        profiles = model.profile_matrix(indices, alpha_t)
+        cost = np.stack([model.grid(i).cost for i in indices])
+        sizes = np.fromiter(
+            (model.pack[i].size for i in indices), dtype=float, count=n
+        )
+        rc = model.rc_factor * redistribution_cost_matrix(
+            sizes, j_init, model.j_grid
+        )
+        finishes = (t + stall)[:, None] + rc + (cost + profiles)
+        pending = None
+    keep = None
+    if with_keep:
+        alpha_live = np.fromiter(
+            (rt.alpha for rt in tasks), dtype=float, count=n
+        )
+        live = model.profile_matrix(indices, alpha_live)
+        t_last = np.fromiter(
+            (rt.t_last for rt in tasks), dtype=float, count=n
+        )
+        keep = t_last + live[np.arange(n), (j_init >> 1) - 1]
+    return DecisionMatrix(
+        model=model,
+        t=t,
+        indices=indices,
+        j_init=j_init,
+        alpha_t=alpha_t,
+        stall=stall,
+        finishes=finishes,
+        keep=keep,
+        pending=pending,
+    )

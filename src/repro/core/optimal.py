@@ -8,6 +8,13 @@ line 9).  Otherwise the remaining processors are deliberately kept free
 for later redistribution.  Theorem 1 proves this minimises the expected
 makespan when no redistribution is allowed; the complexity is
 ``O(p log n)``.
+
+Both decision kernels are offered (see :mod:`repro.core.kernels`): the
+``"array"`` default scores the whole growth loop against the one
+:meth:`~repro.resilience.expected_time.ExpectedTimeModel.profile_batch`
+block — pure index arithmetic, zero model calls inside the loop — while
+``"scalar"`` keeps the per-probe accessor calls as the bit-identical
+reference.
 """
 
 from __future__ import annotations
@@ -17,6 +24,7 @@ from typing import Dict, Optional, Sequence
 
 from ..exceptions import CapacityError
 from ..resilience.expected_time import ExpectedTimeModel
+from .kernels import ensure_kernel
 
 __all__ = ["optimal_schedule", "expected_makespan"]
 
@@ -26,6 +34,7 @@ def optimal_schedule(
     p: int,
     indices: Optional[Sequence[int]] = None,
     alpha: float = 1.0,
+    kernel: str = "array",
 ) -> Dict[int, int]:
     """Algorithm 1: optimal no-redistribution allocation.
 
@@ -39,6 +48,10 @@ def optimal_schedule(
         Task subset to schedule (defaults to the whole pack).
     alpha:
         Remaining work fraction used for every task (1 at pack start).
+    kernel:
+        ``"array"`` (default) runs the growth loop as index arithmetic
+        over the batched envelope block; ``"scalar"`` keeps the
+        per-probe model calls.  Both produce identical allocations.
 
     Returns
     -------
@@ -49,6 +62,7 @@ def optimal_schedule(
     CapacityError
         If ``p < 2 n`` — the buddy scheme needs one pair per task.
     """
+    ensure_kernel(kernel)
     if indices is None:
         indices = range(len(model.pack))
     indices = list(indices)
@@ -62,21 +76,46 @@ def optimal_schedule(
     available = p - 2 * n
 
     # Max-heap on expected time; ties broken by task index for determinism.
-    # One batched profile evaluation scores every task at j=2 (slot 0) and
-    # warms the profile cache for the scalar reads of the growth loop.
-    at_two = model.profile_batch(indices, alpha)[:, 0]
-    heap = [(-float(at_two[pos]), i) for pos, i in enumerate(indices)]
+    # One batched profile evaluation scores every task at j=2 (slot 0); the
+    # array kernel keeps reading the block, the scalar kernel re-reads the
+    # (now warm) profile cache through the scalar accessors.
+    block = model.profile_batch(indices, alpha)
+    heap = [(-float(block[pos, 0]), i) for pos, i in enumerate(indices)]
     heapq.heapify(heap)
 
+    if kernel == "scalar":
+        while available >= 2 and heap:
+            neg_current, i = heapq.heappop(heap)
+            current = -neg_current
+            p_max = sigma[i] + available
+            # Line 9: can the longest task still be improved at all?
+            if current > model.expected_time(i, p_max, alpha):
+                sigma[i] += 2
+                available -= 2
+                heapq.heappush(
+                    heap, (-model.expected_time(i, sigma[i], alpha), i)
+                )
+            else:
+                # No task can improve the makespan further: keep the rest
+                # free.
+                available = 0
+        return sigma
+
+    pos_of = {i: pos for pos, i in enumerate(indices)}
+    width = block.shape[1]
     while available >= 2 and heap:
         neg_current, i = heapq.heappop(heap)
-        current = -neg_current
+        row = block[pos_of[i]]
         p_max = sigma[i] + available
+        slot_max = (p_max >> 1) - 1
+        if (p_max & 1) or slot_max >= width:
+            # Out-of-grid probe: raise the scalar path's CapacityError.
+            model.grid(i).slot(p_max)
         # Line 9: can the longest task still be improved at all?
-        if current > model.expected_time(i, p_max, alpha):
+        if -neg_current > float(row[slot_max]):
             sigma[i] += 2
             available -= 2
-            heapq.heappush(heap, (-model.expected_time(i, sigma[i], alpha), i))
+            heapq.heappush(heap, (-float(row[(sigma[i] >> 1) - 1]), i))
         else:
             # No task can improve the makespan further: keep the rest free.
             available = 0
@@ -86,5 +125,15 @@ def optimal_schedule(
 def expected_makespan(
     model: ExpectedTimeModel, sigma: Dict[int, int], alpha: float = 1.0
 ) -> float:
-    """Expected makespan ``max_i t^R_{i,sigma(i)}(alpha)`` of an allocation."""
-    return max(model.expected_time(i, j, alpha) for i, j in sigma.items())
+    """Expected makespan ``max_i t^R_{i,sigma(i)}(alpha)`` of an allocation.
+
+    One :meth:`~repro.resilience.expected_time.ExpectedTimeModel.
+    profile_batch` evaluation scores every task; only the (memoised)
+    slot arithmetic stays per-task.
+    """
+    indices = list(sigma)
+    block = model.profile_batch(indices, alpha)
+    return max(
+        float(block[pos, model.grid(i).slot(sigma[i])])
+        for pos, i in enumerate(indices)
+    )

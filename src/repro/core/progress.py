@@ -19,8 +19,14 @@ simulator as the completion event time.
 from __future__ import annotations
 
 import math
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
 
 from ..resilience.expected_time import ExpectedTimeModel, checkpoint_count
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from .state import TaskRuntime
 
 __all__ = [
     "elapsed_work_fraction",
@@ -28,6 +34,7 @@ __all__ = [
     "projected_finish",
     "remaining_after_elapsed",
     "remaining_after_failure",
+    "remaining_at_batch",
 ]
 
 
@@ -96,6 +103,42 @@ def remaining_after_elapsed(
     # `done` may overshoot `alpha` by up to C/t_ff.  Clamp, as the paper
     # implicitly does.
     return min(alpha, max(0.0, alpha - done))
+
+
+def remaining_at_batch(
+    model: ExpectedTimeModel,
+    runtimes: Sequence["TaskRuntime"],
+    t: float,
+) -> np.ndarray:
+    """``alpha^t_i`` of every runtime at once (vectorised Alg. 3 line 8).
+
+    The batched form of the heuristics' ``remaining_at``: one fused
+    elapsed-work pass over all active tasks instead of a scalar
+    :func:`remaining_after_elapsed` call per task.  Entry ``r`` equals
+    ``remaining_after_elapsed(model, rt.index, rt.sigma, rt.alpha, t,
+    rt.t_last)`` bit for bit — the decision kernels
+    (:mod:`repro.core.kernels`) rely on that equality.
+    """
+    n = len(runtimes)
+    t_ff = np.empty(n)
+    tau = np.empty(n)
+    cost = np.empty(n)
+    alpha = np.empty(n)
+    t_last = np.empty(n)
+    for row, rt in enumerate(runtimes):
+        grid = model.grid(rt.index)
+        slot = grid.slot(rt.sigma)
+        t_ff[row] = grid.t_ff[slot]
+        tau[row] = grid.tau[slot]
+        cost[row] = grid.cost[slot]
+        alpha[row] = rt.alpha
+        t_last[row] = rt.t_last
+    elapsed = t - t_last
+    n_ckpt = np.floor(elapsed / tau)
+    useful = elapsed - n_ckpt * cost
+    done = np.maximum(0.0, useful / t_ff)
+    done[elapsed <= 0.0] = 0.0
+    return np.minimum(alpha, np.maximum(0.0, alpha - done))
 
 
 def remaining_after_failure(

@@ -33,6 +33,7 @@ __all__ = [
     "redistribution_rounds",
     "redistribution_cost",
     "redistribution_cost_vector",
+    "redistribution_cost_matrix",
     "transfer_volume_per_round",
 ]
 
@@ -95,3 +96,32 @@ def redistribution_cost_vector(m: float, j: int, k: np.ndarray) -> np.ndarray:
         k_arr == j, 0.0, np.maximum(np.minimum(j, k_arr), np.abs(k_arr - j))
     )
     return rounds * (m / j) / k_arr
+
+
+def redistribution_cost_matrix(
+    m: np.ndarray, j: np.ndarray, k: np.ndarray
+) -> np.ndarray:
+    """``RC_i^{j_i -> k}`` for several source tasks over one target grid.
+
+    Row ``i`` describes a task with ``m[i]`` data items currently on
+    ``j[i]`` processors; columns sweep the candidate counts ``k``.  The
+    operations mirror :func:`redistribution_cost_vector` term for term,
+    so row ``i`` equals ``redistribution_cost_vector(m[i], j[i], k)``
+    bit for bit — the decision kernels (:mod:`repro.core.kernels`) rely
+    on that to stay byte-identical to the scalar scan loops.
+    """
+    m_arr = np.asarray(m, dtype=float)
+    j_arr = np.asarray(j, dtype=float)
+    if np.any(j_arr < 1):
+        raise CapacityError("source processor count must be >= 1")
+    k_arr = np.asarray(k)
+    if np.any(k_arr < 1):
+        raise CapacityError("target processor count must be >= 1")
+    k_arr = k_arr.astype(float)
+    j_col = j_arr[:, None]
+    rounds = np.where(
+        k_arr == j_col,
+        0.0,
+        np.maximum(np.minimum(j_col, k_arr), np.abs(k_arr - j_col)),
+    )
+    return rounds * (m_arr / j_arr)[:, None] / k_arr

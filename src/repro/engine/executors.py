@@ -20,6 +20,12 @@ executor is byte-identical to the serial path.  Chunked dispatch bounds
 pickling overhead: with ``R`` requests and ``N`` workers the default
 chunk size is ``ceil(R / (4 N))``, ~4 chunks per worker to smooth load
 imbalance.
+
+Besides the ordered :meth:`Executor.map`, every executor streams:
+:meth:`Executor.map_stream` yields ``(start_index, chunk_results)``
+pairs the moment each chunk completes, so long sweeps can render
+progress while the pool is still working.  Streamed results are the
+same objects ``map`` would return — only arrival order differs.
 """
 
 from __future__ import annotations
@@ -65,6 +71,8 @@ class EngineStats:
     pool_reuses: int = 0        #: map() calls served by an already-warm pool
     workloads_built: int = 0    #: workload-cache misses across all processes
     workloads_reused: int = 0   #: workload-cache hits across all processes
+    profile_hits: int = 0       #: model profile-cache hits across processes
+    profile_misses: int = 0     #: model profile-cache misses across processes
 
     def cache_info(self) -> Dict[str, int]:
         """The counters as a plain dict."""
@@ -75,7 +83,14 @@ class EngineStats:
             "pool_reuses": self.pool_reuses,
             "workloads_built": self.workloads_built,
             "workloads_reused": self.workloads_reused,
+            "profile_hits": self.profile_hits,
+            "profile_misses": self.profile_misses,
         }
+
+    def profile_hit_rate(self) -> float:
+        """Profile-cache hit rate across every dispatched request."""
+        lookups = self.profile_hits + self.profile_misses
+        return self.profile_hits / lookups if lookups else 0.0
 
     def describe(self) -> str:
         """One-line digest for ``--verbose`` output."""
@@ -88,22 +103,60 @@ class EngineStats:
             f"(launches: {self.pool_launches})"
         )
 
+    def describe_profiles(self) -> str:
+        """One-line profile-cache digest for ``--verbose`` output."""
+        return (
+            f"hits: {self.profile_hits} misses: {self.profile_misses} "
+            f"hit rate: {self.profile_hit_rate():.1%}"
+        )
+
 
 def _execute_chunk(
     requests: Tuple[RunRequest, ...],
-) -> Tuple[List[Any], Tuple[int, int]]:
+) -> Tuple[List[Any], Tuple[int, int], Tuple[int, int]]:
     """Run one contiguous chunk in the current process.
 
     Module-level so it pickles under every multiprocessing start method.
-    Returns the results plus this chunk's ``(hits, misses)`` delta of
-    the process-local workload cache, which the parent aggregates into
-    its :class:`EngineStats` (workers' counters are otherwise invisible
-    to the submitting process).
+    Returns the results plus this chunk's ``(hits, misses)`` deltas of
+    the process-local workload cache and of the process-wide profile
+    counters (:meth:`~repro.resilience.expected_time.ExpectedTimeModel.
+    process_cache_snapshot`), which the parent aggregates into its
+    :class:`EngineStats` (workers' counters are otherwise invisible to
+    the submitting process).
     """
+    from ..resilience.expected_time import ExpectedTimeModel
+
     hits_before, misses_before = shared_cache.snapshot()
+    p_hits_before, p_misses_before = ExpectedTimeModel.process_cache_snapshot()
     results = [execute_request(request) for request in requests]
     hits_after, misses_after = shared_cache.snapshot()
-    return results, (hits_after - hits_before, misses_after - misses_before)
+    p_hits_after, p_misses_after = ExpectedTimeModel.process_cache_snapshot()
+    return (
+        results,
+        (hits_after - hits_before, misses_after - misses_before),
+        (p_hits_after - p_hits_before, p_misses_after - p_misses_before),
+    )
+
+
+def _stream_futures(
+    executor: "Executor", pool, chunks: List[Tuple[RunRequest, ...]]
+) -> Iterator[Tuple[int, List[Any]]]:
+    """Submit chunks to a live pool and yield each as it completes."""
+    from concurrent.futures import as_completed
+
+    starts: List[int] = []
+    offset = 0
+    for chunk in chunks:
+        starts.append(offset)
+        offset += len(chunk)
+    futures = {
+        pool.submit(_execute_chunk, chunk): start
+        for chunk, start in zip(chunks, starts)
+    }
+    for future in as_completed(futures):
+        results, workloads, profiles = future.result()
+        executor._fold(workloads, profiles)
+        yield futures[future], results
 
 
 class Executor:
@@ -117,6 +170,32 @@ class Executor:
     # -- public API --------------------------------------------------------
     def map(self, requests: Sequence[RunRequest]) -> List[Any]:
         """Execute every request; results come back in request order."""
+        requests = self._accept(requests)
+        if not requests:
+            return []
+        return self._map(requests)
+
+    def map_stream(
+        self, requests: Sequence[RunRequest]
+    ) -> Iterator[Tuple[int, List[Any]]]:
+        """Yield ``(start_index, chunk_results)`` as chunks complete.
+
+        The streaming counterpart of :meth:`map`: the same chunks run on
+        the same processes and the ``(index, result)`` pairs are exactly
+        :meth:`map`'s — only the *arrival order* varies, since pooled
+        executors yield each chunk the moment it finishes.  Callers that
+        need request order reassemble via ``start_index`` (see
+        :func:`repro.experiments.runner.run_scenario`); by the
+        determinism contract the reassembled list is byte-identical to a
+        plain ``map`` call.
+        """
+        requests = self._accept(requests)
+        if not requests:
+            return iter(())
+        return self._map_stream(requests)
+
+    def _accept(self, requests: Sequence[RunRequest]) -> List[RunRequest]:
+        """Validate a dispatch and count it into the statistics."""
         requests = list(requests)
         for request in requests:
             if not isinstance(request, RunRequest):
@@ -125,9 +204,7 @@ class Executor:
                 )
         self._stats.tasks_submitted += len(requests)
         self._stats.dispatches += 1
-        if not requests:
-            return []
-        return self._map(requests)
+        return requests
 
     def stats(self) -> EngineStats:
         """Lifetime counters (shared reference, updated in place)."""
@@ -146,16 +223,41 @@ class Executor:
     def _map(self, requests: List[RunRequest]) -> List[Any]:
         raise NotImplementedError
 
+    def _map_stream(
+        self, requests: List[RunRequest]
+    ) -> Iterator[Tuple[int, List[Any]]]:
+        """Default streaming: one request at a time, in request order."""
+        return self._stream_inline([(request,) for request in requests])
+
     def _run_inline(self, chunks: List[Tuple[RunRequest, ...]]) -> List[Any]:
         """Execute chunks in this process, folding in the cache deltas."""
         return self._collect(_execute_chunk(chunk) for chunk in chunks)
 
+    def _stream_inline(
+        self, chunks: List[Tuple[RunRequest, ...]]
+    ) -> Iterator[Tuple[int, List[Any]]]:
+        """Execute chunks in this process, yielding each as it finishes."""
+        start = 0
+        for chunk in chunks:
+            results, workloads, profiles = _execute_chunk(chunk)
+            self._fold(workloads, profiles)
+            yield start, results
+            start += len(chunk)
+
+    def _fold(
+        self, workloads: Tuple[int, int], profiles: Tuple[int, int]
+    ) -> None:
+        """Fold one chunk's cache deltas into the statistics."""
+        self._stats.workloads_reused += workloads[0]
+        self._stats.workloads_built += workloads[1]
+        self._stats.profile_hits += profiles[0]
+        self._stats.profile_misses += profiles[1]
+
     def _collect(self, chunk_outputs) -> List[Any]:
         results: List[Any] = []
-        for chunk_results, (hits, misses) in chunk_outputs:
+        for chunk_results, workloads, profiles in chunk_outputs:
             results.extend(chunk_results)
-            self._stats.workloads_reused += hits
-            self._stats.workloads_built += misses
+            self._fold(workloads, profiles)
         return results
 
 
@@ -209,6 +311,22 @@ class PoolExecutor(_PooledExecutor):
         with ProcessPoolExecutor(max_workers=self.workers) as pool:
             return self._collect(pool.map(_execute_chunk, chunks))
 
+    def _map_stream(
+        self, requests: List[RunRequest]
+    ) -> Iterator[Tuple[int, List[Any]]]:
+        chunks = self._chunked(requests)
+        if self.workers == 1 or len(chunks) == 1:
+            return self._stream_inline(chunks)
+
+        def stream() -> Iterator[Tuple[int, List[Any]]]:
+            from concurrent.futures import ProcessPoolExecutor
+
+            self._stats.pool_launches += 1
+            with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                yield from _stream_futures(self, pool, chunks)
+
+        return stream()
+
 
 class PersistentPoolExecutor(_PooledExecutor):
     """A pool kept alive across ``map`` calls (and the workloads with it).
@@ -226,9 +344,8 @@ class PersistentPoolExecutor(_PooledExecutor):
         super().__init__(workers, chunk_size)
         self._pool = None
 
-    def _map(self, requests: List[RunRequest]) -> List[Any]:
-        if self.workers == 1:
-            return self._run_inline(self._chunked(requests))
+    def _ensure_pool(self):
+        """The live pool, launching it on first use (counted either way)."""
         if self._pool is None:
             from concurrent.futures import ProcessPoolExecutor
 
@@ -236,9 +353,21 @@ class PersistentPoolExecutor(_PooledExecutor):
             self._stats.pool_launches += 1
         else:
             self._stats.pool_reuses += 1
+        return self._pool
+
+    def _map(self, requests: List[RunRequest]) -> List[Any]:
+        if self.workers == 1:
+            return self._run_inline(self._chunked(requests))
         return self._collect(
-            self._pool.map(_execute_chunk, self._chunked(requests))
+            self._ensure_pool().map(_execute_chunk, self._chunked(requests))
         )
+
+    def _map_stream(
+        self, requests: List[RunRequest]
+    ) -> Iterator[Tuple[int, List[Any]]]:
+        if self.workers == 1:
+            return self._stream_inline(self._chunked(requests))
+        return _stream_futures(self, self._ensure_pool(), self._chunked(requests))
 
     def close(self) -> None:
         if self._pool is not None:

@@ -13,7 +13,16 @@ and returns a :class:`TraceFigureResult`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -261,6 +270,8 @@ def run_figure(
     workers: Optional[int] = None,
     engine: Optional[str] = None,
     executor: Optional["Executor"] = None,
+    simulator_options: Optional[Dict[str, Any]] = None,
+    progress: Optional[Callable[[str, float, int, int], None]] = None,
 ) -> FigureResult | TraceFigureResult:
     """Reproduce one figure's data at the requested scale.
 
@@ -270,8 +281,12 @@ def run_figure(
     otherwise ``engine`` picks one, defaulting to ``"persistent"`` when
     ``workers`` > 1 so pool start-up is paid once per figure, not once
     per sweep point.  Every engine produces byte-identical series to a
-    serial run.  Trace figures (Fig. 9) are a single replicate and
-    ignore the engine knobs.
+    serial run.  ``simulator_options`` forwards implementation knobs
+    (``decision_kernel``, ``event_queue``) to every simulation.
+    ``progress`` streams the sweep: it is called as ``progress(figure,
+    x, done, total)`` while a point's replicates complete (the CLI
+    wires it under ``--verbose``).  Trace figures (Fig. 9) are a single
+    replicate and ignore the engine and progress knobs.
     """
     try:
         spec = FIGURES[name]
@@ -282,8 +297,11 @@ def run_figure(
         ) from None
     scale_obj = get_scale(scale) if isinstance(scale, str) else scale
     if spec.kind == "trace":
-        return _run_trace_figure(spec, scale_obj, seed)
-    return _run_sweep_figure(spec, scale_obj, seed, workers, engine, executor)
+        return _run_trace_figure(spec, scale_obj, seed, simulator_options)
+    return _run_sweep_figure(
+        spec, scale_obj, seed, workers, engine, executor,
+        simulator_options, progress,
+    )
 
 
 def _run_sweep_figure(
@@ -293,6 +311,8 @@ def _run_sweep_figure(
     workers: Optional[int] = None,
     engine: Optional[str] = None,
     executor: Optional["Executor"] = None,
+    simulator_options: Optional[Dict[str, Any]] = None,
+    progress: Optional[Callable[[str, float, int, int], None]] = None,
 ) -> FigureResult:
     from ..engine import ensure_executor
 
@@ -305,8 +325,20 @@ def _run_sweep_figure(
         executor, engine=engine, workers=workers, pooled_default="persistent"
     ) as active:
         for x, config in spec.points(scale):
+            point_progress = None
+            if progress is not None:
+                def point_progress(
+                    done: int, total: int, _x: float = x
+                ) -> None:
+                    progress(spec.name, _x, done, total)
+
             outcome = run_scenario(
-                config, spec.series, seed=seed, executor=active
+                config,
+                spec.series,
+                seed=seed,
+                executor=active,
+                simulator_options=simulator_options,
+                progress=point_progress,
             )
             x_values.append(x)
             descriptions.append(config.describe())
@@ -334,7 +366,10 @@ TRACE_SERIES: tuple[Series, ...] = (
 
 
 def _run_trace_figure(
-    spec: FigureSpec, scale: Scale, seed: int
+    spec: FigureSpec,
+    scale: Scale,
+    seed: int,
+    simulator_options: Optional[Dict[str, Any]] = None,
 ) -> TraceFigureResult:
     config = scale.apply(spec.base)
     cluster = config.build_cluster()
@@ -352,6 +387,7 @@ def _run_trace_figure(
             inject_faults=True,
             model=model,
             record_trace=True,
+            **(simulator_options or {}),
         )
         result = simulator.run()
         assert result.trace is not None

@@ -11,7 +11,7 @@ makes per-point comparisons meaningful at modest replicate counts.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -129,6 +129,7 @@ def _run_replicate(
     config: ScenarioConfig,
     series: Tuple[Series, ...],
     keep_results: bool,
+    simulator_options: Optional[Dict[str, Any]] = None,
     *,
     seed: int,
 ) -> Tuple[Dict[str, float], Dict[str, SimulationResult]]:
@@ -138,6 +139,9 @@ def _run_replicate(
     replicate, then shared by all series (its profile cache is keyed by
     ``(task, quantised alpha)``, which is safe across policies).  Fault
     times depend only on the replicate seed, not on the policy.
+    ``simulator_options`` are extra :class:`Simulator` knobs
+    (``decision_kernel``, ``event_queue``) — implementation modes, all
+    bit-identical by contract.
     """
     pack, model = _replicate_workload(config, seed)
     makespans: Dict[str, float] = {}
@@ -150,6 +154,7 @@ def _run_replicate(
             seed=seed,
             inject_faults=spec.faults,
             model=model,
+            **(simulator_options or {}),
         ).run()
         makespans[spec.key] = result.makespan
         if keep_results:
@@ -163,13 +168,14 @@ def scenario_requests(
     *,
     seed: int = 0,
     keep_results: bool = False,
+    simulator_options: Optional[Dict[str, Any]] = None,
 ) -> List[RunRequest]:
     """The engine requests of one scenario: one per paired replicate."""
     series = tuple(series)
     return [
         RunRequest(
             fn=_run_replicate,
-            payload=(config, series, keep_results),
+            payload=(config, series, keep_results, simulator_options),
             seed=_replicate_seed(seed, replicate),
             tag=replicate,
         )
@@ -188,6 +194,8 @@ def run_scenario(
     chunk_size: Optional[int] = None,
     engine: Optional[str] = None,
     executor: Optional[Executor] = None,
+    simulator_options: Optional[Dict[str, Any]] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
 ) -> ScenarioResult:
     """Run every series of a scenario over paired replicates.
 
@@ -203,15 +211,34 @@ def run_scenario(
     to a serial run.  ``chunk_size`` bounds how many contiguous
     replicates one worker dispatch carries (default: ~4 chunks per
     worker).
+
+    ``simulator_options`` forwards implementation knobs
+    (``decision_kernel``, ``event_queue``) to every replicate's
+    :class:`~repro.simulation.Simulator`.  ``progress`` switches the
+    dispatch to :meth:`~repro.engine.Executor.map_stream` and is called
+    as ``progress(done, total)`` after each completed chunk — the
+    reassembled results stay byte-identical to a plain ``map``.
     """
     keys = _validate_series(series, baseline_key)
     requests = scenario_requests(
-        config, series, seed=seed, keep_results=keep_results
+        config,
+        series,
+        seed=seed,
+        keep_results=keep_results,
+        simulator_options=simulator_options,
     )
     with ensure_executor(
         executor, engine=engine, workers=workers, chunk_size=chunk_size
     ) as active:
-        outputs = active.map(requests)
+        if progress is None:
+            outputs = active.map(requests)
+        else:
+            outputs: List[Any] = [None] * len(requests)
+            done = 0
+            for start, chunk_results in active.map_stream(requests):
+                outputs[start:start + len(chunk_results)] = chunk_results
+                done += len(chunk_results)
+                progress(done, len(requests))
 
     makespans: Dict[str, List[float]] = {key: [] for key in keys}
     kept: Dict[str, List[SimulationResult]] = {key: [] for key in keys}

@@ -19,6 +19,7 @@ from .expected_time import (
     TaskGrid,
     checkpoint_count,
     last_period,
+    stacked_raw_profiles,
 )
 from .faults import FaultInjector, NullFaultInjector
 from .replication import (
@@ -57,6 +58,7 @@ __all__ = [
     "TaskGrid",
     "checkpoint_count",
     "last_period",
+    "stacked_raw_profiles",
     "FaultInjector",
     "NullFaultInjector",
 ]

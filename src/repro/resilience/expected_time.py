@@ -54,11 +54,25 @@ from ..exceptions import CapacityError, ConfigurationError
 from ..tasks import Pack
 from .checkpoint import ResilienceModel
 
-__all__ = ["ExpectedTimeModel", "TaskGrid", "checkpoint_count", "last_period"]
+__all__ = [
+    "ExpectedTimeModel",
+    "TaskGrid",
+    "checkpoint_count",
+    "last_period",
+    "stacked_raw_profiles",
+]
 
 #: Quantisation step of the profile-cache alpha key (~1e-12).
 _ALPHA_QUANTUM = 1e-12
 _ALPHA_SCALE = 1.0 / _ALPHA_QUANTUM
+
+#: Process-wide profile-cache [hits, misses], summed over every model
+#: this process ever built.  A module-level cell rather than class
+#: attributes: mutating a type attribute costs ~150ns per write in
+#: CPython (type-cache invalidation), a list slot ~15ns — and this sits
+#: on the cache-hit fast path.  Monotone, so the engine can delta it
+#: around a work chunk regardless of workload-cache eviction.
+_PROCESS_PROFILE_COUNTERS = [0, 0]
 
 
 def checkpoint_count(alpha: float, t_ff: float, tau: float, cost: float) -> int:
@@ -133,6 +147,67 @@ class TaskGrid:
         return slots
 
 
+def stacked_raw_profiles(
+    grids: Sequence[TaskGrid], alphas: np.ndarray
+) -> np.ndarray:
+    """Eq. (4) over several stacked task grids, one row per (grid, alpha).
+
+    The fused kernel behind every batched profile evaluation: one
+    ``floor``/``expm1`` pass over the 2-D block of stacked grids instead
+    of one call per task.  ``alphas`` supplies one remaining-work
+    fraction *per row* (callers quantise it first — see
+    :meth:`ExpectedTimeModel.profile`), so a single pass can serve both
+    the same-alpha case (:meth:`ExpectedTimeModel.profile_batch`) and
+    the per-task-alpha case of the decision kernels
+    (:meth:`ExpectedTimeModel.profile_matrix`,
+    :mod:`repro.core.kernels`).  Rows with ``alpha <= 0`` are exactly
+    zero; every other row is bit-identical to the scalar
+    :meth:`ExpectedTimeModel.raw_profile` at the same alpha.
+    """
+    alphas = np.asarray(alphas, dtype=float)
+    if alphas.shape != (len(grids),):
+        raise ConfigurationError(
+            f"stacked_raw_profiles needs one alpha per grid: "
+            f"{len(grids)} grids, alphas shape {alphas.shape}"
+        )
+    if len(grids) == 1:
+        # Single-grid fast path: skip the stacking entirely (this is the
+        # cache-miss path of every scalar profile evaluation).  A scalar
+        # alpha broadcast over the 1-D grid performs the exact same
+        # elementwise operations as a one-row stacked block.
+        g = grids[0]
+        alpha = float(alphas[0])
+        if alpha <= 0.0:
+            return np.zeros((1, g.t_ff.size))
+        work = alpha * g.t_ff
+        n_ff = np.floor(work / g.work_per_period)
+        tau_last = work - n_ff * g.work_per_period
+        with np.errstate(over="ignore"):
+            row = g.prefactor * (
+                n_ff * g.exp_period + np.expm1(g.lam * tau_last)
+            )
+        return row[None, :]
+    t_ff = np.stack([g.t_ff for g in grids])
+    if bool(np.all(alphas <= 0.0)):
+        return np.zeros_like(t_ff)
+    wpp = np.stack([g.work_per_period for g in grids])
+    work = alphas[:, None] * t_ff
+    n_ff = np.floor(work / wpp)
+    tau_last = work - n_ff * wpp
+    lam = np.stack([g.lam for g in grids])
+    with np.errstate(over="ignore"):
+        block = np.stack([g.prefactor for g in grids]) * (
+            n_ff * np.stack([g.exp_period for g in grids])
+            + np.expm1(lam * tau_last)
+        )
+    zero = alphas <= 0.0
+    if bool(np.any(zero)):
+        # An overflowed prefactor (inf) times the zero block would give
+        # nan; finished tasks cost exactly nothing, like raw_profile.
+        block[zero] = 0.0
+    return block
+
+
 class ExpectedTimeModel:
     """Vectorised evaluator of ``t^R_{i,j}(alpha)`` with the Eq. (6) envelope.
 
@@ -154,6 +229,17 @@ class ExpectedTimeModel:
         the heuristics (ablation knob: 0 makes redistribution free, large
         values discourage it).  The paper's model is ``rc_factor = 1``.
     """
+
+    @staticmethod
+    def process_cache_snapshot() -> tuple[int, int]:
+        """Process-wide profile ``(hits, misses)`` totals.
+
+        Summed over every model this process ever built.  Monotone —
+        unlike the per-instance counters these survive workload-cache
+        eviction, so the engine can report a profile hit rate across
+        whole campaigns.
+        """
+        return tuple(_PROCESS_PROFILE_COUNTERS)
 
     def __init__(
         self,
@@ -298,8 +384,10 @@ class ExpectedTimeModel:
         cached = self._profile_views.get(key)
         if cached is not None:
             self.cache_hits += 1
+            _PROCESS_PROFILE_COUNTERS[0] += 1
             return cached
         self.cache_misses += 1
+        _PROCESS_PROFILE_COUNTERS[1] += 1
         grid = self.grid(i)
         raw = self.raw_profile(i, a_key / _ALPHA_SCALE, grid)
         envelope = np.minimum.accumulate(raw)
@@ -327,9 +415,11 @@ class ExpectedTimeModel:
             cached = self._profile_views.get((i, a_key))
             if cached is not None:
                 self.cache_hits += 1
+                _PROCESS_PROFILE_COUNTERS[0] += 1
                 out[pos] = cached
             else:
                 self.cache_misses += 1
+                _PROCESS_PROFILE_COUNTERS[1] += 1
                 if i not in positions_of:
                     positions_of[i] = []
                     missing.append(pos)
@@ -338,26 +428,77 @@ class ExpectedTimeModel:
             return out
         alpha_q = a_key / _ALPHA_SCALE  # evaluate at the quantised alpha
         grids = [self.grid(indices[pos]) for pos in missing]
-        t_ff = np.stack([g.t_ff for g in grids])
-        if alpha_q <= 0.0:
-            block = np.zeros_like(t_ff)
-        else:
-            wpp = np.stack([g.work_per_period for g in grids])
-            work = alpha_q * t_ff
-            n_ff = np.floor(work / wpp)
-            tau_last = work - n_ff * wpp
-            lam = np.stack([g.lam for g in grids])
-            with np.errstate(over="ignore"):
-                block = np.stack([g.prefactor for g in grids]) * (
-                    n_ff * np.stack([g.exp_period for g in grids])
-                    + np.expm1(lam * tau_last)
-                )
+        block = stacked_raw_profiles(
+            grids, np.full(len(grids), alpha_q, dtype=float)
+        )
         np.minimum.accumulate(block, axis=1, out=block)
         for k, pos in enumerate(missing):
             i = indices[pos]
             self._store_profile((i, a_key), block[k])
             for dup_pos in positions_of[i]:
                 out[dup_pos] = block[k]
+        return out
+
+    def profile_matrix(
+        self, indices: Sequence[int], alphas: Sequence[float]
+    ) -> np.ndarray:
+        """Envelopes of several tasks, each at its *own* ``alpha``.
+
+        The per-decision generalisation of :meth:`profile_batch`: at a
+        scheduling decision point every task carries a distinct
+        remaining-work fraction, so the decision kernels
+        (:mod:`repro.core.kernels`) need one envelope row per ``(task,
+        alpha)`` pair.  Cached rows are gathered; the missing ones are
+        evaluated in a single :func:`stacked_raw_profiles` pass and
+        inserted.  Row ``r`` is bit-identical to
+        ``profile(indices[r], alphas[r])``.  Returns an array of shape
+        ``(len(indices), grid)``.
+        """
+        indices = list(indices)
+        alphas_arr = np.asarray(alphas, dtype=float)
+        if alphas_arr.shape != (len(indices),):
+            raise ConfigurationError(
+                f"profile_matrix needs one alpha per index: "
+                f"{len(indices)} indices, alphas shape {alphas_arr.shape}"
+            )
+        if alphas_arr.size and (
+            float(alphas_arr.min()) < 0.0
+            or float(alphas_arr.max()) > 1.0 + 1e-12
+        ):
+            raise ConfigurationError(
+                f"every alpha must be in [0, 1], got {alphas_arr.tolist()}"
+            )
+        out = np.empty((len(indices), self._grid_len), dtype=float)
+        keys: list[tuple[int, int]] = []
+        missing: list[int] = []
+        positions_of: Dict[tuple[int, int], list[int]] = {}
+        for pos, i in enumerate(indices):
+            key = (i, self._alpha_key(float(alphas_arr[pos])))
+            keys.append(key)
+            cached = self._profile_views.get(key)
+            if cached is not None:
+                self.cache_hits += 1
+                _PROCESS_PROFILE_COUNTERS[0] += 1
+                out[pos] = cached
+            else:
+                self.cache_misses += 1
+                _PROCESS_PROFILE_COUNTERS[1] += 1
+                if key not in positions_of:
+                    positions_of[key] = []
+                    missing.append(pos)
+                positions_of[key].append(pos)
+        if not missing:
+            return out
+        grids = [self.grid(indices[pos]) for pos in missing]
+        alpha_q = np.array(
+            [keys[pos][1] / _ALPHA_SCALE for pos in missing], dtype=float
+        )
+        block = stacked_raw_profiles(grids, alpha_q)
+        np.minimum.accumulate(block, axis=1, out=block)
+        for row, pos in enumerate(missing):
+            self._store_profile(keys[pos], block[row])
+            for dup_pos in positions_of[keys[pos]]:
+                out[dup_pos] = block[row]
         return out
 
     def raw_profile(
@@ -372,15 +513,7 @@ class ExpectedTimeModel:
         if grid is None:
             grid = self.grid(i)
         alpha = self._alpha_key(alpha) / _ALPHA_SCALE
-        if alpha <= 0.0:
-            return np.zeros_like(grid.t_ff)
-        work = alpha * grid.t_ff
-        n_ff = np.floor(work / grid.work_per_period)
-        tau_last = work - n_ff * grid.work_per_period
-        with np.errstate(over="ignore"):
-            return grid.prefactor * (
-                n_ff * grid.exp_period + np.expm1(grid.lam * tau_last)
-            )
+        return stacked_raw_profiles([grid], np.array([alpha]))[0]
 
     # -- scalar accessors --------------------------------------------------------
     def expected_time(self, i: int, j: int, alpha: float = 1.0) -> float:

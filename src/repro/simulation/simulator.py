@@ -28,6 +28,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..cluster import Cluster, ProcessorMap
+from ..core.kernels import KERNELS
 from ..core.optimal import optimal_schedule
 from ..core.policy import Policy, get_policy
 from ..core.progress import projected_finish, remaining_after_failure
@@ -76,6 +77,13 @@ class Simulator:
         lazy-deletion heap in O(log n); ``"scan"`` keeps the seed's O(n)
         linear rescan.  Both produce bit-identical executions — the scan
         path exists for the equivalence tests and as a debugging aid.
+    decision_kernel:
+        ``"array"`` (default) routes every scheduling decision —
+        Algorithm 1 at pack start and the Algorithm 3-5 loops at every
+        event — through the batched decision kernels
+        (:mod:`repro.core.kernels`); ``"scalar"`` keeps the per-probe
+        model calls.  Both produce bit-identical executions, mirroring
+        ``event_queue``.
     """
 
     def __init__(
@@ -92,6 +100,7 @@ class Simulator:
         record_trace: bool = False,
         strict: bool = False,
         event_queue: str = "heap",
+        decision_kernel: str = "array",
     ):
         self.pack = pack
         self.cluster = cluster
@@ -115,6 +124,12 @@ class Simulator:
                 f"event_queue must be 'heap' or 'scan', got {event_queue!r}"
             )
         self._use_heap = event_queue == "heap"
+        if decision_kernel not in KERNELS:
+            raise SimulationError(
+                f"decision_kernel must be one of {KERNELS}, "
+                f"got {decision_kernel!r}"
+            )
+        self._decision_kernel = decision_kernel
 
     # ------------------------------------------------------------------
     def run(self) -> SimulationResult:
@@ -123,7 +138,7 @@ class Simulator:
         n, p = len(pack), cluster.processors
 
         runtimes = [TaskRuntime(spec) for spec in pack]
-        sigma0 = optimal_schedule(model, p)
+        sigma0 = optimal_schedule(model, p, kernel=self._decision_kernel)
         procs = ProcessorMap(p)
         for i, count in sigma0.items():
             runtimes[i].assign(count)
@@ -264,7 +279,8 @@ class Simulator:
         if not tasks:
             return
         changed = self.policy.completion.apply(
-            self.model, t, tasks, procs.free_count
+            self.model, t, tasks, procs.free_count,
+            kernel=self._decision_kernel,
         )
         self._sync_and_reproject(t, changed, runtimes, procs, finish)
 
@@ -332,7 +348,8 @@ class Simulator:
             )
             if len(tasks) > 1 or (tasks and procs.free_count >= 2):
                 changed = self.policy.failure.apply(
-                    self.model, t, tasks, procs.free_count, f
+                    self.model, t, tasks, procs.free_count, f,
+                    kernel=self._decision_kernel,
                 )
                 self._sync_and_reproject(t, changed, runtimes, procs, finish)
 

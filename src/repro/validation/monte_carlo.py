@@ -27,7 +27,11 @@ from typing import TYPE_CHECKING, Optional
 import numpy as np
 
 from ..exceptions import ConfigurationError
-from ..resilience.expected_time import ExpectedTimeModel
+from ..resilience.expected_time import (
+    ExpectedTimeModel,
+    checkpoint_count,
+    last_period,
+)
 from ..rng import derive_rng, derive_seed
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
@@ -155,9 +159,9 @@ def sample_completion_time(
     tau = float(grid.tau[slot])
     cost = float(grid.cost[slot])
     lam = float(grid.lam[slot])
-    work = alpha * t_ff
-    n_full = int(math.floor(work / (tau - cost)))
-    tau_last = work - n_full * (tau - cost)
+    # Eqs. (2)-(3) via the shared period-split helpers of the model.
+    n_full = checkpoint_count(alpha, t_ff, tau, cost)
+    tau_last = last_period(alpha, t_ff, tau, cost)
     total = 0.0
     for _ in range(n_full):
         total += sample_period_time(rng, lam, tau, model.downtime, cost)
@@ -196,9 +200,9 @@ def sample_completion_times(
     tau = float(grid.tau[slot])
     cost = float(grid.cost[slot])
     lam = float(grid.lam[slot])
-    work = alpha * t_ff
-    n_full = int(math.floor(work / (tau - cost)))
-    tau_last = work - n_full * (tau - cost)
+    # Eqs. (2)-(3) via the shared period-split helpers of the model.
+    n_full = checkpoint_count(alpha, t_ff, tau, cost)
+    tau_last = last_period(alpha, t_ff, tau, cost)
     totals = np.zeros(count)
     if n_full:
         periods = sample_period_times(

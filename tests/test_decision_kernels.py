@@ -1,0 +1,335 @@
+"""Property-based equivalence of the array and scalar decision kernels.
+
+``decision_kernel="array"`` (:mod:`repro.core.kernels`) is a pure
+optimisation: every observable output — simulations, heuristic
+mutations, the kernel primitives themselves — must be bit-identical to
+the ``"scalar"`` reference on any workload, platform and fault draw.
+These tests pin that contract with randomised inputs.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Cluster
+from repro.core import POLICIES, optimal_schedule
+from repro.core.heuristics import (
+    EndLocal,
+    ShortestTasksFirst,
+    candidate_finish_time,
+    candidate_finish_times,
+    greedy_rebuild,
+    remaining_at,
+)
+from repro.core.kernels import KERNELS, decision_matrix
+from repro.core.progress import remaining_at_batch
+from repro.core.redistribution import (
+    redistribution_cost_matrix,
+    redistribution_cost_vector,
+)
+from repro.core.state import TaskRuntime
+from repro.exceptions import ConfigurationError
+from repro.resilience import ExpectedTimeModel
+from repro.simulation import Simulator
+from repro.tasks import uniform_pack
+
+
+def build(seed, n, p, mtbf_years=0.002):
+    pack = uniform_pack(n, m_inf=150.0, m_sup=260.0, seed=seed)
+    cluster = Cluster.with_mtbf_years(p, mtbf_years)
+    return pack, cluster, ExpectedTimeModel(pack, cluster)
+
+
+def make_runtimes(model, p, t_offset=0.0):
+    """Runtimes mid-execution: the Algorithm-1 start state, aged a bit."""
+    sigma = optimal_schedule(model, p)
+    runtimes = []
+    for i, spec in enumerate(model.pack):
+        rt = TaskRuntime(spec)
+        rt.assign(sigma[i])
+        rt.t_last = t_offset
+        rt.t_expected = t_offset + model.expected_time(i, sigma[i], 1.0)
+        runtimes.append(rt)
+    return runtimes
+
+
+def snapshot(runtimes):
+    return [
+        (rt.sigma, rt.alpha, rt.t_last, rt.t_expected, rt.redistributions)
+        for rt in runtimes
+    ]
+
+
+class TestSimulationsBitIdentical:
+    """Full simulations agree on every policy, seed and fault draw."""
+
+    @pytest.mark.parametrize("policy", sorted(POLICIES))
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n=st.integers(min_value=2, max_value=6),
+        extra_pairs=st.integers(min_value=0, max_value=6),
+        mtbf_scale=st.sampled_from([0.0005, 0.002, 0.01]),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_run_bit_identical(self, policy, seed, n, extra_pairs, mtbf_scale):
+        p = 2 * n + 2 * extra_pairs
+        pack, cluster, _ = build(seed, n, p, mtbf_scale)
+        results = {}
+        for kernel in KERNELS:
+            model = ExpectedTimeModel(pack, cluster)
+            results[kernel] = Simulator(
+                pack,
+                cluster,
+                policy,
+                seed=seed,
+                model=model,
+                decision_kernel=kernel,
+            ).run()
+        array, scalar = results["array"], results["scalar"]
+        assert array.makespan == scalar.makespan
+        assert np.array_equal(
+            array.completion_times, scalar.completion_times, equal_nan=True
+        )
+        assert array.initial_sigma == scalar.initial_sigma
+        assert array.events == scalar.events
+        assert array.redistributions == scalar.redistributions
+        assert array.failures_effective == scalar.failures_effective
+        assert array.failures_masked == scalar.failures_masked
+
+    def test_exercises_failures_and_redistributions(self):
+        # Guard: the scenarios above must exercise real rebuilds,
+        # otherwise the equivalence proves nothing about the kernels.
+        pack, cluster, model = build(0, 5, 20, 0.0005)
+        result = Simulator(
+            pack, cluster, "ig-el", seed=0, model=model
+        ).run()
+        assert result.failures_effective > 0
+        assert result.redistributions > 0
+
+    def test_unknown_kernel_rejected(self):
+        pack, cluster, _ = build(0, 3, 8)
+        with pytest.raises(Exception):
+            Simulator(pack, cluster, decision_kernel="simd")
+        with pytest.raises(ConfigurationError):
+            optimal_schedule(ExpectedTimeModel(pack, cluster), 8, kernel="x")
+
+
+class TestAlgorithmKernels:
+    """The scheduling algorithms mutate identical state on both kernels."""
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n=st.integers(min_value=1, max_value=6),
+        extra_pairs=st.integers(min_value=0, max_value=8),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_optimal_schedule(self, seed, n, extra_pairs):
+        p = 2 * n + 2 * extra_pairs
+        _, _, model = build(seed, n, p)
+        assert optimal_schedule(model, p, kernel="array") == optimal_schedule(
+            model, p, kernel="scalar"
+        )
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n=st.integers(min_value=2, max_value=6),
+        extra_pairs=st.integers(min_value=1, max_value=6),
+        age=st.floats(min_value=0.05, max_value=0.9),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_greedy_rebuild(self, seed, n, extra_pairs, age):
+        p = 2 * n + 2 * extra_pairs
+        states = {}
+        for kernel in KERNELS:
+            _, _, model = build(seed, n, p)
+            runtimes = make_runtimes(model, p)
+            t = age * min(rt.t_expected for rt in runtimes)
+            changed = greedy_rebuild(model, t, runtimes, p, kernel=kernel)
+            states[kernel] = (sorted(changed), snapshot(runtimes))
+        assert states["array"] == states["scalar"]
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n=st.integers(min_value=2, max_value=6),
+        extra_pairs=st.integers(min_value=1, max_value=6),
+        free_pairs=st.integers(min_value=1, max_value=4),
+        age=st.floats(min_value=0.05, max_value=0.9),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_end_local(self, seed, n, extra_pairs, free_pairs, age):
+        p = 2 * n + 2 * extra_pairs
+        heuristic = EndLocal()
+        states = {}
+        for kernel in KERNELS:
+            _, _, model = build(seed, n, p)
+            runtimes = make_runtimes(model, p)
+            # The simulator invariant: the free pool is what the pack
+            # does not hold — a larger count would probe past the grid.
+            free = min(
+                2 * free_pairs, p - sum(rt.sigma for rt in runtimes)
+            )
+            t = age * min(rt.t_expected for rt in runtimes)
+            changed = heuristic.apply(
+                model, t, runtimes, free, kernel=kernel
+            )
+            states[kernel] = (sorted(changed), snapshot(runtimes))
+        assert states["array"] == states["scalar"]
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n=st.integers(min_value=2, max_value=6),
+        extra_pairs=st.integers(min_value=1, max_value=6),
+        free_pairs=st.integers(min_value=0, max_value=4),
+        age=st.floats(min_value=0.05, max_value=0.9),
+        faulty_pos=st.integers(min_value=0, max_value=5),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_shortest_tasks_first(
+        self, seed, n, extra_pairs, free_pairs, age, faulty_pos
+    ):
+        p = 2 * n + 2 * extra_pairs
+        faulty = faulty_pos % n
+        heuristic = ShortestTasksFirst()
+        states = {}
+        for kernel in KERNELS:
+            _, _, model = build(seed, n, p)
+            runtimes = make_runtimes(model, p)
+            t = age * min(rt.t_expected for rt in runtimes)
+            rt_f = runtimes[faulty]
+            # Mimic the skeleton's rollback (Alg. 2 lines 23-26).
+            rt_f.t_last = t + model.restart_overhead(faulty, rt_f.sigma)
+            rt_f.t_expected = rt_f.t_last + model.expected_time(
+                faulty, rt_f.sigma, rt_f.alpha
+            )
+            changed = heuristic.apply(
+                model, t, runtimes, 2 * free_pairs, faulty, kernel=kernel
+            )
+            states[kernel] = (sorted(changed), snapshot(runtimes))
+        assert states["array"] == states["scalar"]
+
+
+class TestKernelPrimitives:
+    """The batched building blocks match their scalar counterparts."""
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        age=st.floats(min_value=0.0, max_value=1.5),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_remaining_at_batch(self, seed, age):
+        _, _, model = build(seed, 5, 20)
+        runtimes = make_runtimes(model, 20)
+        t = age * min(rt.t_expected for rt in runtimes)
+        batch = remaining_at_batch(model, runtimes, t)
+        for row, rt in enumerate(runtimes):
+            assert batch[row] == remaining_at(model, rt, t)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n=st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_profile_matrix_matches_profile(self, seed, n):
+        _, _, model = build(seed, n, 4 * n)
+        rng = np.random.default_rng(seed)
+        indices = list(range(n))
+        alphas = rng.uniform(0.0, 1.0, size=n)
+        block = model.profile_matrix(indices, alphas)
+        for row, i in enumerate(indices):
+            assert np.array_equal(block[row], model.profile(i, alphas[row]))
+
+    def test_profile_matrix_duplicates_and_validation(self):
+        _, _, model = build(1, 3, 12)
+        block = model.profile_matrix([0, 0, 1], [0.5, 0.5, 0.25])
+        assert np.array_equal(block[0], block[1])
+        with pytest.raises(ConfigurationError):
+            model.profile_matrix([0, 1], [0.5])
+        with pytest.raises(ConfigurationError):
+            model.profile_matrix([0], [1.5])
+
+    @given(
+        m=st.floats(min_value=1.0, max_value=1e6),
+        j=st.integers(min_value=1, max_value=64).map(lambda v: 2 * v),
+        width=st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_redistribution_cost_matrix(self, m, j, width):
+        k = np.arange(2, 2 * width + 1, 2)
+        matrix = redistribution_cost_matrix(
+            np.array([m, 2 * m]), np.array([j, j]), k
+        )
+        vector = redistribution_cost_vector(m, j, k)
+        assert np.array_equal(matrix[0], vector)
+        assert np.array_equal(
+            matrix[1], redistribution_cost_vector(2 * m, j, k)
+        )
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        age=st.floats(min_value=0.05, max_value=0.9),
+        lazy=st.booleans(),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_decision_matrix_matches_scalar_helpers(self, seed, age, lazy):
+        n, p = 5, 24
+        _, _, model = build(seed, n, p)
+        runtimes = make_runtimes(model, p)
+        t = age * min(rt.t_expected for rt in runtimes)
+        dm = decision_matrix(model, t, runtimes, lazy=lazy)
+        j_max = int(model.j_grid[-1])
+        for rt in runtimes:
+            i = rt.index
+            alpha_t = remaining_at(model, rt, t)
+            assert dm.alpha_of(i) == alpha_t
+            targets = np.arange(2, j_max + 1, 2, dtype=int)
+            expected = candidate_finish_times(
+                model, i, rt.sigma, alpha_t, t, 0.0, targets
+            )
+            assert np.array_equal(dm.finish_range(i, 2, j_max), expected)
+            k = int(targets[len(targets) // 2])
+            assert dm.finish(i, k) == candidate_finish_time(
+                model, i, rt.sigma, alpha_t, t, 0.0, k
+            )
+
+    def test_decision_matrix_keep_column(self):
+        n, p = 4, 16
+        _, _, model = build(3, n, p)
+        runtimes = make_runtimes(model, p)
+        t = 0.25 * min(rt.t_expected for rt in runtimes)
+        dm = decision_matrix(model, t, runtimes, with_keep=True)
+        for rt in runtimes:
+            i = rt.index
+            assert dm.keep_finish(i) == rt.t_last + model.expected_time(
+                i, rt.sigma, rt.alpha
+            )
+            assert dm.rebuild_finish(i, rt.sigma) == dm.keep_finish(i)
+            patched = dm.rebuild_range(i, 2, int(model.j_grid[-1]))
+            slot = rt.sigma // 2 - 1
+            assert patched[slot] == dm.keep_finish(i)
+
+    def test_out_of_grid_candidates_rejected(self):
+        from repro.exceptions import SimulationError
+
+        _, _, model = build(0, 3, 12)
+        runtimes = make_runtimes(model, 12)
+        dm = decision_matrix(model, 1.0, runtimes)
+        j_max = int(model.j_grid[-1])
+        with pytest.raises(SimulationError):
+            dm.finish(runtimes[0].index, j_max + 2)
+        with pytest.raises(SimulationError):
+            dm.finish_range(runtimes[0].index, 2, j_max + 2)
+        assert dm.finish_range(runtimes[0].index, 6, 4).size == 0
+
+    def test_expected_makespan_batched(self):
+        from repro.core import expected_makespan
+
+        _, _, model = build(2, 4, 16)
+        sigma = optimal_schedule(model, 16)
+        scalar = max(
+            model.expected_time(i, j, 1.0) for i, j in sigma.items()
+        )
+        assert expected_makespan(model, sigma) == scalar
+        assert math.isfinite(scalar)

@@ -248,6 +248,118 @@ class TestEngineEquivalence:
         assert stats.workloads_reused >= built_after_first
 
 
+#: decision-kernel x event-queue combinations pinned against the
+#: (array, heap) default on full figure series.
+KERNEL_MODE_OPTIONS = (
+    {"decision_kernel": "scalar"},
+    {"decision_kernel": "scalar", "event_queue": "scan"},
+    {"event_queue": "scan"},
+)
+
+
+class TestDecisionKernelFigures:
+    """The PR-3 acceptance gate: array vs scalar kernels on figure series.
+
+    ``FAULT_SERIES`` covers every redistribution policy, so one figure
+    run pins all of them at once, under both event-queue modes.
+    """
+
+    @pytest.mark.parametrize("figure", ["fig7", "fig10"])
+    def test_figure_series_bit_identical_tiny(self, figure):
+        reference = run_figure(figure, scale="tiny", seed=1)
+        for options in KERNEL_MODE_OPTIONS:
+            result = run_figure(
+                figure, scale="tiny", seed=1, simulator_options=options
+            )
+            assert result.x_values == reference.x_values
+            assert result.normalized == reference.normalized
+            assert result.means == reference.means
+
+    @pytest.mark.skipif(
+        not os.environ.get("REPRO_SLOW_TESTS"),
+        reason="small-scale sweeps take minutes; set REPRO_SLOW_TESTS=1",
+    )
+    @pytest.mark.parametrize("figure", ["fig7", "fig10"])
+    def test_figure_series_bit_identical_small(self, figure):
+        reference = run_figure(figure, scale="small", seed=1)
+        for options in KERNEL_MODE_OPTIONS:
+            result = run_figure(
+                figure, scale="small", seed=1, simulator_options=options
+            )
+            assert result.x_values == reference.x_values
+            assert result.normalized == reference.normalized
+            assert result.means == reference.means
+
+    def test_simulator_options_flow_through_engines(self):
+        # The options ride inside the RunRequest payload, so pooled
+        # workers honour them too.
+        reference = run_scenario(CONFIG, FAULT_SERIES, seed=11)
+        with create_executor("pool", workers=2) as executor:
+            scalar = run_scenario(
+                CONFIG,
+                FAULT_SERIES,
+                seed=11,
+                executor=executor,
+                simulator_options={"decision_kernel": "scalar"},
+            )
+        for key in reference.makespans:
+            assert np.array_equal(
+                reference.makespans[key], scalar.makespans[key]
+            )
+
+
+class TestStreamingEquivalence:
+    """map_stream is map with progress: same pairs, any arrival order."""
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_streamed_scenario_byte_identical(self, engine):
+        reference = run_scenario(CONFIG, FAULT_SERIES, seed=7)
+        calls = []
+        with create_executor(engine, workers=2) as executor:
+            streamed = run_scenario(
+                CONFIG,
+                FAULT_SERIES,
+                seed=7,
+                executor=executor,
+                progress=lambda done, total: calls.append((done, total)),
+            )
+        for key in reference.makespans:
+            assert np.array_equal(
+                reference.makespans[key], streamed.makespans[key]
+            )
+        assert calls[-1] == (CONFIG.replicates, CONFIG.replicates)
+        assert [done for done, _ in calls] == sorted(
+            done for done, _ in calls
+        )
+
+    def test_map_stream_chunks_cover_all_requests(self):
+        from repro.experiments.runner import scenario_requests
+
+        requests = scenario_requests(CONFIG, FAULT_SERIES, seed=3)
+        with PoolExecutor(workers=2, chunk_size=2) as executor:
+            seen = {}
+            for start, results in executor.map_stream(requests):
+                for offset, result in enumerate(results):
+                    assert start + offset not in seen
+                    seen[start + offset] = result
+        assert sorted(seen) == list(range(len(requests)))
+
+    def test_map_stream_empty_dispatch(self):
+        with SerialExecutor() as executor:
+            assert list(executor.map_stream([])) == []
+        assert executor.stats().dispatches == 1
+
+    def test_profile_counters_reported(self):
+        with SerialExecutor() as executor:
+            run_scenario(CONFIG, FAULT_SERIES, seed=5, executor=executor)
+            stats = executor.stats()
+        assert stats.profile_hits + stats.profile_misses > 0
+        assert 0.0 <= stats.profile_hit_rate() <= 1.0
+        info = stats.cache_info()
+        assert info["profile_hits"] == stats.profile_hits
+        assert "hit rate" in stats.describe_profiles()
+
+
 class TestBatchedAccessors:
     def test_expected_times_matches_scalar(self):
         pack, cluster = _workload(0)
