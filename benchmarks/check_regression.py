@@ -7,9 +7,11 @@ against the committed baselines ``BENCH_hotpath.json`` /
 (default 1.3x) times its recorded baseline fails the gate; the derived
 host-relative speedups must also stay above their floors: the batched
 expected-times accessor over the scalar loop
-(``--min-batch-speedup``, default 3x) and the array decision kernel
+(``--min-batch-speedup``, default 3x), the array decision kernel
 over the scalar kernel on the failure-heavy simulation
-(``--min-kernel-speedup``, default 1.5x).
+(``--min-kernel-speedup``, default 1.5x), and the incremental decision
+state over the per-decision fresh build on the same run
+(``--min-state-speedup``, default 1.3x).
 
 Usage (from the repo root)::
 
@@ -40,6 +42,7 @@ try:
         DEFAULT_BASELINE as DECISIONS_BASELINE,
         run_all as run_decisions,
         sim_kernel_speedup,
+        sim_state_speedup,
     )
 except ImportError:  # pytest / sys.path import (benchmarks/ on the path)
     from bench_hotpath import DEFAULT_BASELINE, batch_speedup, run_all
@@ -48,6 +51,7 @@ except ImportError:  # pytest / sys.path import (benchmarks/ on the path)
         DEFAULT_BASELINE as DECISIONS_BASELINE,
         run_all as run_decisions,
         sim_kernel_speedup,
+        sim_state_speedup,
     )
 
 #: Per-benchmark slowdown tolerated before the gate fails.
@@ -56,6 +60,8 @@ DEFAULT_THRESHOLD = 1.3
 DEFAULT_MIN_BATCH_SPEEDUP = 3.0
 #: Floor on the array-vs-scalar decision-kernel speedup (failure-heavy).
 DEFAULT_MIN_KERNEL_SPEEDUP = 1.5
+#: Floor on the incremental-vs-rebuild decision-state speedup.
+DEFAULT_MIN_STATE_SPEEDUP = 1.3
 
 
 def _check_against_baseline(
@@ -65,15 +71,13 @@ def _check_against_baseline(
     *,
     comparable: bool,
     mismatch_note: str,
-    derived_name: str,
-    derived_value: float,
-    derived_floor: float,
+    derived: Sequence[tuple[str, float, float]],
 ) -> tuple[bool, str]:
-    """Shared gate body: per-benchmark ratios + one derived-speedup floor.
+    """Shared gate body: per-benchmark ratios + derived-speedup floors.
 
     Absolute-seconds ratios only count when ``comparable`` (the fresh
-    run matches the baseline's host/scale); the derived speedup is
-    host-relative and is always enforced.
+    run matches the baseline's host/scale); the ``(name, value, floor)``
+    derived speedups are host-relative and are always enforced.
     """
     baseline = payload["benchmarks"]
     lines = [] if comparable else [mismatch_note]
@@ -92,12 +96,13 @@ def _check_against_baseline(
             f"{name:{width}s} baseline={ref * 1e6:10.1f}us "
             f"now={now * 1e6:10.1f}us ratio={ratio:5.2f}x {flag}"
         )
-    flag = "ok" if derived_value >= derived_floor else "REGRESSION"
-    ok &= derived_value >= derived_floor
-    lines.append(
-        f"{derived_name:{width}s} "
-        f"{derived_value:5.2f}x (floor {derived_floor:g}x) {flag}"
-    )
+    for derived_name, derived_value, derived_floor in derived:
+        flag = "ok" if derived_value >= derived_floor else "REGRESSION"
+        ok &= derived_value >= derived_floor
+        lines.append(
+            f"{derived_name:{width}s} "
+            f"{derived_value:5.2f}x (floor {derived_floor:g}x) {flag}"
+        )
     return ok, "\n".join(lines)
 
 
@@ -125,9 +130,9 @@ def check(
             f"python={_host()[1]}; skipping absolute-seconds comparison "
             "— re-record with python -m benchmarks.bench_hotpath --write"
         ),
-        derived_name="batch_vs_scalar_speedup",
-        derived_value=batch_speedup(fresh),
-        derived_floor=min_batch_speedup,
+        derived=[
+            ("batch_vs_scalar_speedup", batch_speedup(fresh), min_batch_speedup),
+        ],
     )
 
 
@@ -135,9 +140,12 @@ def check_decisions(
     baseline_path: Path = DECISIONS_BASELINE,
     threshold: float = DEFAULT_THRESHOLD,
     min_kernel_speedup: float = DEFAULT_MIN_KERNEL_SPEEDUP,
+    min_state_speedup: float = DEFAULT_MIN_STATE_SPEEDUP,
 ) -> tuple[bool, str]:
-    """Decision-kernel gate: fresh run vs ``BENCH_decisions.json``.
+    """Decision gate: fresh run vs ``BENCH_decisions.json``.
 
+    Enforces both host-relative floors — the array-vs-scalar kernel
+    speedup and the incremental-vs-rebuild decision-state speedup.
     The committed baseline is recorded at ``small`` scale while CI runs
     ``tiny``, so the scale is part of the comparability test.
     """
@@ -156,9 +164,10 @@ def check_decisions(
             f"scale={DECISIONS_SCALE} machine={_host()[0]} "
             f"python={_host()[1]}; skipping absolute-seconds comparison"
         ),
-        derived_name="sim_kernel_speedup",
-        derived_value=sim_kernel_speedup(fresh),
-        derived_floor=min_kernel_speedup,
+        derived=[
+            ("sim_kernel_speedup", sim_kernel_speedup(fresh), min_kernel_speedup),
+            ("sim_state_speedup", sim_state_speedup(fresh), min_state_speedup),
+        ],
     )
 
 
@@ -189,6 +198,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--min-kernel-speedup", type=float, default=DEFAULT_MIN_KERNEL_SPEEDUP,
         help="required array-vs-scalar decision-kernel speedup (default 1.5)",
     )
+    parser.add_argument(
+        "--min-state-speedup", type=float, default=DEFAULT_MIN_STATE_SPEEDUP,
+        help=(
+            "required incremental-vs-rebuild decision-state speedup "
+            "(default 1.3)"
+        ),
+    )
     args = parser.parse_args(argv)
     for path, module in (
         (args.baseline, "bench_hotpath"),
@@ -204,7 +220,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     ok, report = check(args.baseline, args.threshold, args.min_batch_speedup)
     print(report)
     dec_ok, dec_report = check_decisions(
-        args.decisions_baseline, args.threshold, args.min_kernel_speedup
+        args.decisions_baseline, args.threshold, args.min_kernel_speedup,
+        args.min_state_speedup,
     )
     print(dec_report)
     ok &= dec_ok

@@ -123,13 +123,16 @@ def _report_engine(
 
     ``profiles`` adds the :class:`~repro.resilience.ExpectedTimeModel`
     profile-cache line (hit rate of the envelope ring across every
-    dispatched simulation).
+    dispatched simulation) and the decision-state line (rows the
+    incremental engine patched vs reused across events).
     """
     if args.verbose:
         stats = executor.stats()
         print(f"engine[{executor.name}]: {stats.describe()}")
         if profiles:
             print(f"profiles: {stats.describe_profiles()}")
+            if stats.decision_rows_patched + stats.decision_rows_reused:
+                print(f"decisions: {stats.describe_decisions()}")
 
 
 def build_parser() -> argparse.ArgumentParser:

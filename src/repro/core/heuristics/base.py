@@ -34,7 +34,7 @@ import numpy as np
 
 from ...exceptions import CapacityError, SimulationError
 from ...resilience.expected_time import ExpectedTimeModel
-from ..kernels import ensure_kernel, faulty_stall
+from ..kernels import DecisionCache, ensure_kernel, faulty_stall
 from ..progress import remaining_after_elapsed
 from ..redistribution import redistribution_cost, redistribution_cost_vector
 from ..state import TaskRuntime
@@ -168,6 +168,7 @@ class CompletionHeuristic(ABC):
         tasks: Sequence[TaskRuntime],
         free: int,
         kernel: str = "array",
+        cache: Optional[DecisionCache] = None,
     ) -> List[int]:
         """Redistribute ``free`` processors among ``tasks`` at time ``t``.
 
@@ -175,7 +176,11 @@ class CompletionHeuristic(ABC):
         whose allocation changed (the simulator re-projects those).
         ``kernel`` picks the decision kernel (:mod:`repro.core.kernels`):
         the batched ``"array"`` matrix or the ``"scalar"`` reference —
-        both produce bit-identical decisions.
+        both produce bit-identical decisions.  ``cache`` (array kernel
+        only) supplies the run's persistent
+        :class:`~repro.core.kernels.DecisionCache`, whose delta-patched
+        matrix replaces the per-decision fresh build — also
+        bit-identical.
         """
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -196,6 +201,7 @@ class FailureHeuristic(ABC):
         free: int,
         faulty: int,
         kernel: str = "array",
+        cache: Optional[DecisionCache] = None,
     ) -> List[int]:
         """Rebalance around faulty task ``faulty`` at time ``t``.
 
@@ -203,7 +209,9 @@ class FailureHeuristic(ABC):
         faulty one, whose ``alpha``/``t_last``/``t_expected`` have already
         been rolled back by the simulator skeleton (Alg. 2 lines 23-26).
         Returns the indices of tasks whose allocation changed.  ``kernel``
-        picks the decision kernel (:mod:`repro.core.kernels`).
+        picks the decision kernel (:mod:`repro.core.kernels`); ``cache``
+        the run's persistent delta-patched decision state (array kernel
+        only, bit-identical to the fresh build).
         """
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

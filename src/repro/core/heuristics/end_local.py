@@ -15,12 +15,12 @@ the per-pop model calls as the bit-identical reference.
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ...resilience.expected_time import ExpectedTimeModel
-from ..kernels import decision_matrix, ensure_kernel
+from ..kernels import DecisionCache, decision_matrix, ensure_kernel
 from ..state import TaskRuntime
 from .base import (
     CompletionHeuristic,
@@ -45,12 +45,13 @@ class EndLocal(CompletionHeuristic):
         tasks: Sequence[TaskRuntime],
         free: int,
         kernel: str = "array",
+        cache: Optional[DecisionCache] = None,
     ) -> List[int]:
         ensure_kernel(kernel)
         if free < 2 or not tasks:
             return []
         if kernel == "array":
-            return self._apply_array(model, t, tasks, free)
+            return self._apply_array(model, t, tasks, free, cache)
         return self._apply_scalar(model, t, tasks, free)
 
     def _apply_array(
@@ -59,9 +60,13 @@ class EndLocal(CompletionHeuristic):
         t: float,
         tasks: Sequence[TaskRuntime],
         free: int,
+        cache: Optional[DecisionCache] = None,
     ) -> List[int]:
         by_index: Dict[int, TaskRuntime] = {rt.index: rt for rt in tasks}
-        dm = decision_matrix(model, t, tasks, lazy=True)
+        if cache is not None:
+            dm = cache.matrix(t, tasks, lazy=True)
+        else:
+            dm = decision_matrix(model, t, tasks, lazy=True)
 
         # Max-heap on tU (Algorithm 3 keeps L sorted non-increasingly).
         heap = [(-rt.t_expected, rt.index) for rt in tasks]

@@ -26,7 +26,7 @@ import numpy as np
 
 from ...exceptions import CapacityError
 from ...resilience.expected_time import ExpectedTimeModel
-from ..kernels import decision_matrix, ensure_kernel
+from ..kernels import DecisionCache, decision_matrix, ensure_kernel
 from ..state import TaskRuntime
 from .base import (
     CompletionHeuristic,
@@ -48,13 +48,16 @@ def greedy_rebuild(
     capacity: int,
     faulty: Optional[int] = None,
     kernel: str = "array",
+    cache: Optional[DecisionCache] = None,
 ) -> List[int]:
     """Rebuild the allocation of ``tasks`` over ``capacity`` processors.
 
     Core of Algorithm 5.  ``capacity`` counts every processor usable by
     the listed tasks (their current holdings plus the free pool).  The
     runtimes are mutated in place; returns the indices whose allocation
-    changed.
+    changed.  With a :class:`~repro.core.kernels.DecisionCache` the
+    matrix is delta-patched instead of rebuilt and the grant loop runs
+    on the incremental heap (bit-identical decisions either way).
     """
     ensure_kernel(kernel)
     if not tasks:
@@ -65,8 +68,96 @@ def greedy_rebuild(
             f"greedy rebuild needs capacity >= 2n: capacity={capacity}, n={n}"
         )
     if kernel == "array":
+        if cache is not None:
+            return _greedy_rebuild_cached(model, t, tasks, capacity, faulty, cache)
         return _greedy_rebuild_array(model, t, tasks, capacity, faulty)
     return _greedy_rebuild_scalar(model, t, tasks, capacity, faulty)
+
+
+def _greedy_rebuild_cached(
+    model: ExpectedTimeModel,
+    t: float,
+    tasks: Sequence[TaskRuntime],
+    capacity: int,
+    faulty: Optional[int],
+    cache: DecisionCache,
+) -> List[int]:
+    """Cache-fed kernel: delta-patched matrix + incremental heap.
+
+    Decision-for-decision identical to :func:`_greedy_rebuild_array`:
+    the candidate values come from the same (delta-patched) matrix and
+    every comparison reads the same doubles.  Two loop mechanics differ
+    without changing any decision:
+
+    * the "can this task still improve within the remaining budget"
+      probe is O(1) — the reversed running minimum answers "improvable
+      at all", and the first improving candidate (the next smaller
+      element from the current slot) is compared against the window
+      bound, exactly equivalent to scanning the windowed slice;
+    * a granted task is re-popped inline while it still beats the heap
+      top (same ``(-finish, index)`` tuple order as push-then-pop), so
+      the heap only sees traffic when the longest task actually
+      changes — the entries invalidated by the granted pair.
+    """
+    dm = cache.matrix(t, tasks, faulty=faulty, with_keep=True)
+    vals, sufrev, width = cache.rebuild_block(dm)
+    indices = dm.indices
+    n = len(indices)
+    slots = [0] * n  # every task restarts at sigma = 2 (slot 0)
+    # Ties break on the task index; the trailing row position never
+    # participates in the ordering (the index is already unique).
+    heap = [
+        (-float(vals[pos, 0]), i, pos) for pos, i in enumerate(indices)
+    ]
+    heapq.heapify(heap)
+    avail = (capacity - 2 * n) >> 1  # remaining buddy pairs
+
+    while avail >= 1 and heap:
+        neg, i, pos = heapq.heappop(heap)
+        row = vals[pos]
+        suf = sufrev[pos]
+        e = -neg
+        while True:
+            s = slots[pos]
+            grow = False
+            if s + 1 < width:
+                if row[s + 1] < e:
+                    grow = True  # the very next candidate improves
+                elif suf[width - 2 - s] < e:
+                    # Improvable somewhere: the first improving candidate
+                    # is the next smaller element; grant iff it is within
+                    # the budget (== any(window < e) on the slice).
+                    f = s + 1 + int((row[s + 1:] < e).argmax())
+                    grow = f - s <= avail
+            if not grow:
+                # Algorithm 5 line 30: the longest task cannot improve.
+                avail = 0
+                break
+            s += 1
+            slots[pos] = s
+            e = float(row[s])
+            avail -= 1
+            if avail < 1:
+                break
+            if heap and heap[0] < (-e, i):
+                heapq.heappush(heap, (-e, i, pos))
+                break
+            # Still the longest task: keep growing without heap traffic.
+
+    changed: List[int] = []
+    for pos, i in enumerate(indices):
+        rt = tasks[pos]
+        new_sigma = (slots[pos] + 1) << 1
+        if new_sigma != dm.init_of(i):
+            apply_move(
+                model, rt, t, dm.stall_of(i), dm.init_of(i), new_sigma,
+                dm.alpha_of(i),
+            )
+            changed.append(i)
+        else:
+            # Untouched: restore the expected finish from live bookkeeping.
+            rt.t_expected = dm.keep_finish(i)
+    return changed
 
 
 def _greedy_rebuild_array(
@@ -199,10 +290,12 @@ class IteratedGreedy(FailureHeuristic):
         free: int,
         faulty: int,
         kernel: str = "array",
+        cache: Optional[DecisionCache] = None,
     ) -> List[int]:
         capacity = free + sum(rt.sigma for rt in tasks)
         return greedy_rebuild(
-            model, t, tasks, capacity, faulty=faulty, kernel=kernel
+            model, t, tasks, capacity, faulty=faulty, kernel=kernel,
+            cache=cache,
         )
 
 
@@ -218,10 +311,12 @@ class EndGreedy(CompletionHeuristic):
         tasks: Sequence[TaskRuntime],
         free: int,
         kernel: str = "array",
+        cache: Optional[DecisionCache] = None,
     ) -> List[int]:
         if not tasks:
             return []
         capacity = free + sum(rt.sigma for rt in tasks)
         return greedy_rebuild(
-            model, t, tasks, capacity, faulty=None, kernel=kernel
+            model, t, tasks, capacity, faulty=None, kernel=kernel,
+            cache=cache,
         )

@@ -24,12 +24,12 @@ reference.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ...resilience.expected_time import ExpectedTimeModel
-from ..kernels import decision_matrix, ensure_kernel
+from ..kernels import DecisionCache, decision_matrix, ensure_kernel
 from ..state import TaskRuntime
 from .base import (
     FailureHeuristic,
@@ -56,10 +56,11 @@ class ShortestTasksFirst(FailureHeuristic):
         free: int,
         faulty: int,
         kernel: str = "array",
+        cache: Optional[DecisionCache] = None,
     ) -> List[int]:
         ensure_kernel(kernel)
         if kernel == "array":
-            return self._apply_array(model, t, tasks, free, faulty)
+            return self._apply_array(model, t, tasks, free, faulty, cache)
         return self._apply_scalar(model, t, tasks, free, faulty)
 
     def _apply_array(
@@ -69,12 +70,16 @@ class ShortestTasksFirst(FailureHeuristic):
         tasks: Sequence[TaskRuntime],
         free: int,
         faulty: int,
+        cache: Optional[DecisionCache] = None,
     ) -> List[int]:
         by_index: Dict[int, TaskRuntime] = {rt.index: rt for rt in tasks}
         rt_f = by_index[faulty]
         # Algorithm 4 only ever consults the faulty task and a few
         # donors: materialise rows on first touch.
-        dm = decision_matrix(model, t, tasks, faulty=faulty, lazy=True)
+        if cache is not None:
+            dm = cache.matrix(t, tasks, faulty=faulty, lazy=True)
+        else:
+            dm = decision_matrix(model, t, tasks, faulty=faulty, lazy=True)
         j_max = int(model.j_grid[-1])
 
         # ---- Phase 1: absorb free processors (Alg. 4 lines 12-25) --------

@@ -43,6 +43,57 @@ Every entry is bit-identical to the scalar helpers
 ``candidate_finish_times``), operation for operation, so the
 ``decision_kernel="array"`` executions match ``"scalar"`` byte for byte
 (pinned by ``tests/test_decision_kernels.py``).
+
+The decision-state layer: delta-patching across events
+------------------------------------------------------
+A single simulated event changes at most one task's remaining work
+(the struck task's rollback) and a handful of allocations (the moves
+the heuristic grants), yet the fresh build above re-runs every batched
+pass for every task at every decision point.  :class:`DecisionCache`
+is the persistent layer on top: one cache lives for the whole
+``Simulator.run`` and keeps, per task,
+
+* the checkpoint-cost row ``C_{i,k}`` (constant for the run),
+* the redistribution-cost row ``RC^{sigma(i) -> k}`` (valid until
+  ``sigma(i)`` changes),
+* the Algorithm-5 keep-running finish (valid until ``alpha``/
+  ``tlastR``/``sigma`` change),
+* and the mirrors of ``alpha``/``tlastR``/``sigma`` plus the grid
+  values at the current allocation that the remaining-work pass needs,
+
+and delta-patches only the stale rows of the persistent candidate
+finish matrix at each decision point.  The invariants this rests on
+(recorded here because every patch rule derives from them):
+
+1. **Dirty bits are the only mutation channel.**  The simulator marks a
+   task dirty exactly when its ``alpha``/``t_last``/``sigma`` change —
+   the failure rollback (remaining work re-measured, stall applied) and
+   the post-heuristic commit (``sigma_init`` changed, checkpoint
+   taken).  A clean task's mirrors therefore equal its live runtime
+   fields, so rows rebuilt from mirrors are bit-identical to rows
+   rebuilt from the runtimes.
+2. **Row value = pure function of (task state, t, stall).**  A finish
+   row is stale iff its task is dirty, the decision time moved, or its
+   stall changed; otherwise the row from the previous decision is
+   reused verbatim — this is what lets the consecutive sub-decisions
+   of one event (the early-release pass followed by the failure
+   rebuild at the same ``t``) share one patched matrix.
+3. **Patches are operation-identical to the fresh build.**  Stale rows
+   are recombined with exactly the fresh build's operation order
+   (``((t + stall) + RC) + (C + profile)``), the profile rows come
+   from :meth:`~repro.resilience.expected_time.ExpectedTimeModel.
+   profile_rows_into` (bit-identical to ``profile_matrix``), and the
+   remaining-work pass is :func:`~repro.core.progress.
+   remaining_from_arrays` over mirror subsets (bit-identical to
+   ``remaining_at_batch``).  Hence ``decision_state="incremental"``
+   executions match the fresh-build ``"rebuild"`` reference byte for
+   byte, mirroring the ``decision_kernel`` / ``event_queue`` pairs.
+
+All scratch blocks (finish matrix, combine buffers, rebuild blocks)
+are preallocated once per cache and reused for every decision;
+:func:`process_decision_snapshot` exposes the patched/reused row and
+scratch-allocation counts that :class:`repro.engine.EngineStats`
+aggregates across worker processes.
 """
 
 from __future__ import annotations
@@ -54,7 +105,7 @@ import numpy as np
 
 from ..exceptions import ConfigurationError, SimulationError
 from ..resilience.expected_time import ExpectedTimeModel
-from .progress import remaining_at_batch
+from .progress import remaining_at_batch, remaining_from_arrays
 from .redistribution import (
     redistribution_cost_matrix,
     redistribution_cost_vector,
@@ -63,17 +114,48 @@ from .state import TaskRuntime
 
 __all__ = [
     "KERNELS",
+    "DECISION_STATES",
     "ensure_kernel",
+    "ensure_decision_state",
     "faulty_stall",
     "DecisionMatrix",
     "decision_matrix",
+    "DecisionCache",
+    "process_decision_snapshot",
 ]
 
 #: Decision-kernel modes: ``"array"`` is the batched fast path,
 #: ``"scalar"`` the seed-style reference (mirroring ``event_queue``).
 KERNELS = ("array", "scalar")
 
+#: Decision-state modes: ``"incremental"`` delta-patches one persistent
+#: :class:`DecisionCache` across the events of a run, ``"rebuild"``
+#: keeps the PR-3 fresh build per decision point as the reference
+#: (mirroring ``decision_kernel="scalar"`` / ``event_queue="scan"``).
+DECISION_STATES = ("incremental", "rebuild")
+
 _EMPTY = np.empty(0)
+
+#: Process-wide decision-state counters ``[rows_patched, rows_reused,
+#: scratch_allocations]``, summed over every cache this process ever
+#: built (same list-cell pattern as the profile counters — monotone, so
+#: the engine can delta them around a work chunk).
+_PROCESS_DECISION_COUNTERS = [0, 0, 0]
+
+
+def process_decision_snapshot() -> tuple[int, int, int]:
+    """Process-wide ``(rows_patched, rows_reused, scratch_allocations)``.
+
+    ``rows_patched`` counts candidate-matrix rows recomputed by the
+    incremental engine; ``rows_reused`` component rows served from the
+    previous decisions without recomputation — finish rows at an
+    unchanged ``t``, redistribution-cost rows with an unchanged
+    ``sigma``, keep-running entries for untouched tasks;
+    ``scratch_allocations`` ndarray blocks preallocated by caches.
+    Aggregated across worker processes into
+    :class:`repro.engine.EngineStats`.
+    """
+    return tuple(_PROCESS_DECISION_COUNTERS)
 
 
 def ensure_kernel(kernel: str) -> str:
@@ -83,6 +165,15 @@ def ensure_kernel(kernel: str) -> str:
             f"decision_kernel must be one of {KERNELS}, got {kernel!r}"
         )
     return kernel
+
+
+def ensure_decision_state(state: str) -> str:
+    """Validate a ``decision_state`` mode name."""
+    if state not in DECISION_STATES:
+        raise ConfigurationError(
+            f"decision_state must be one of {DECISION_STATES}, got {state!r}"
+        )
+    return state
 
 
 def faulty_stall(rt: TaskRuntime, t: float) -> float:
@@ -129,10 +220,17 @@ class DecisionMatrix:
     keep: Optional[np.ndarray] = None
     #: per-row materialisation flags; ``None`` when eagerly built
     pending: Optional[np.ndarray] = None
+    #: task-index -> row override (the cache's full-pack layout uses
+    #: ``row == task index``); ``None`` derives rows from ``indices``
+    row_map: Optional[Dict[int, int]] = None
     _row_of: Dict[int, int] = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
-        self._row_of = {i: row for row, i in enumerate(self.indices)}
+        self._row_of = (
+            self.row_map
+            if self.row_map is not None
+            else {i: row for row, i in enumerate(self.indices)}
+        )
 
     def _row(self, i: int) -> int:
         """Row of task ``i``, materialised on first touch in lazy mode."""
@@ -299,3 +397,315 @@ def decision_matrix(
         keep=keep,
         pending=pending,
     )
+
+
+@dataclass
+class _CacheMatrix(DecisionMatrix):
+    """A :class:`DecisionMatrix` whose rows live in a :class:`DecisionCache`.
+
+    Rows are full-pack indexed (``row == task index``) views into the
+    cache's persistent arrays; lazy rows materialise through the cache
+    so the patch is recorded and reused by later decisions at the same
+    ``t``.  Valid until the owning cache serves its next matrix.
+    """
+
+    cache: Optional["DecisionCache"] = None
+
+    def _row(self, i: int) -> int:
+        row = self._row_of[i]
+        if self.pending is not None and self.pending[row]:
+            self.cache._patch_row(row, self.t)
+            self.pending[row] = False
+        return row
+
+
+class DecisionCache:
+    """Persistent decision state, delta-patched across a run's events.
+
+    One cache serves every decision point of one ``Simulator.run``:
+    :meth:`matrix` returns the same candidate finish matrix as
+    :func:`decision_matrix` — bit-identical by the invariants in the
+    module docstring — but recomputes only the rows invalidated since
+    the previous decision.  The simulator owns the dirty bits: it calls
+    :meth:`invalidate` whenever a task's ``alpha``/``t_last``/``sigma``
+    change (failure rollback, redistribution commit) and
+    :meth:`note_budget` with the live free-processor count before each
+    decision.  All scratch is preallocated here and reused per
+    decision; `cache_info()` reports the patch/reuse/allocation
+    counters (also aggregated process-wide for
+    :class:`repro.engine.EngineStats`).
+    """
+
+    def __init__(self, model: ExpectedTimeModel):
+        self.model = model
+        n = len(model.pack)
+        width = model.j_grid.size
+        self._n = n
+        self._width = width
+        # -- per-task persistent rows -----------------------------------
+        self._fin = np.empty((n, width))        #: candidate finish matrix
+        self._rc = np.empty((n, width))         #: rc_factor * RC rows
+        self._cost_rows = np.empty((n, width))  #: checkpoint-cost rows
+        self._keep = np.empty(n)                #: Alg. 5 keep-running finishes
+        # -- per-task mirrors and validity ------------------------------
+        self._sigma = np.full(n, -1, dtype=np.int64)
+        self._rc_sigma = np.full(n, -2, dtype=np.int64)
+        self._alpha = np.empty(n)
+        self._t_last = np.empty(n)
+        self._t_expected = np.empty(n)
+        self._tff_s = np.empty(n)   #: grid t_ff at the current sigma
+        self._tau_s = np.empty(n)   #: grid tau at the current sigma
+        self._cost_s = np.empty(n)  #: grid C at the current sigma
+        self._alpha_t = np.empty(n)
+        self._stall = np.zeros(n)
+        self._row_t = np.full(n, np.nan)    #: t each finish row was patched at
+        self._row_stall = np.zeros(n)       #: stall each row was patched with
+        self._dirty = np.ones(n, dtype=bool)
+        self._keep_valid = np.zeros(n, dtype=bool)
+        self._pending = np.zeros(n, dtype=bool)
+        # -- per-decision scratch (reused, never reallocated) -----------
+        self._prof = np.empty((n, width))
+        self._left = np.empty((n, width))
+        self._right = np.empty((n, width))
+        self._vals = np.empty((n, width))
+        self._sufrev = np.empty((n, width))
+        for i in range(n):
+            self._cost_rows[i] = model.grid(i).cost
+        self._sizes = np.fromiter(
+            (model.pack[i].size for i in range(n)), dtype=float, count=n
+        )
+        self.budget: Optional[int] = None  #: last free-processor count seen
+        self.rows_patched = 0
+        self.rows_reused = 0
+        self.matrices_served = 0
+        #: Preallocated ndarray blocks per cache (counted off the live
+        #: attributes for the EngineStats allocation report, so adding
+        #: or dropping a scratch field cannot desync the diagnostic).
+        self.scratch_allocations = sum(
+            1 for value in vars(self).values() if isinstance(value, np.ndarray)
+        )
+        _PROCESS_DECISION_COUNTERS[2] += self.scratch_allocations
+
+    # -- simulator hooks ---------------------------------------------------
+    def invalidate(self, i: int) -> None:
+        """Mark task ``i`` dirty: its ``alpha``/``t_last``/``sigma`` changed."""
+        self._dirty[i] = True
+
+    def note_budget(self, free: int) -> None:
+        """Record the live free-processor count ahead of a decision."""
+        self.budget = int(free)
+
+    # -- internal patching -------------------------------------------------
+    def _refresh(self, rt: TaskRuntime) -> None:
+        """Resync one dirty task's mirrors from its live runtime."""
+        i = rt.index
+        sigma = rt.sigma
+        if sigma != self._sigma[i]:
+            grid = self.model.grid(i)
+            slot = grid.slot(sigma)
+            self._tff_s[i] = grid.t_ff[slot]
+            self._tau_s[i] = grid.tau[slot]
+            self._cost_s[i] = grid.cost[slot]
+            self._sigma[i] = sigma
+            # the rc row is now for the wrong source: _rc_sigma mismatch
+        self._alpha[i] = rt.alpha
+        self._t_last[i] = rt.t_last
+        self._t_expected[i] = rt.t_expected
+        self._keep_valid[i] = False
+        self._row_t[i] = np.nan
+        self._dirty[i] = False
+
+    def _rc_row(self, i: int) -> np.ndarray:
+        """The cached ``rc_factor * RC^{sigma(i) -> k}`` row, repatched
+        only when ``sigma(i)`` moved since it was last computed."""
+        if self._rc_sigma[i] != self._sigma[i]:
+            self._rc[i] = self.model.rc_factor * redistribution_cost_vector(
+                float(self._sizes[i]), int(self._sigma[i]), self.model.j_grid
+            )
+            self._rc_sigma[i] = self._sigma[i]
+        else:
+            self.rows_reused += 1
+            _PROCESS_DECISION_COUNTERS[1] += 1
+        return self._rc[i]
+
+    def _patch_row(self, i: int, t: float) -> None:
+        """Materialise one lazy row (operation-identical to the fresh
+        :meth:`DecisionMatrix._row`, but reusing the cached rc row)."""
+        model = self.model
+        grid = model.grid(i)
+        profile = model.profile(i, float(self._alpha_t[i]))
+        rc = self._rc_row(i)
+        self._fin[i] = (
+            (t + float(self._stall[i])) + rc + (grid.cost + profile)
+        )
+        self._row_t[i] = t
+        self._row_stall[i] = self._stall[i]
+        self.rows_patched += 1
+        _PROCESS_DECISION_COUNTERS[0] += 1
+
+    # -- the decision-point entry point ------------------------------------
+    def matrix(
+        self,
+        t: float,
+        tasks: Sequence[TaskRuntime],
+        faulty: Optional[int] = None,
+        *,
+        with_keep: bool = False,
+        lazy: bool = False,
+    ) -> DecisionMatrix:
+        """The delta-patched :func:`decision_matrix` of this decision point.
+
+        Bit-identical to a fresh build over the same ``tasks`` — only
+        rows whose task is dirty, whose stall changed, or whose last
+        patch was at a different ``t`` are recomputed (``lazy`` defers
+        those recomputations to first touch).  The returned matrix
+        aliases the cache's persistent arrays and is valid until the
+        next :meth:`matrix` call.
+        """
+        model = self.model
+        n_act = len(tasks)
+        rows = np.fromiter(
+            (rt.index for rt in tasks), dtype=np.int64, count=n_act
+        )
+        indices = rows.tolist()
+        dirty_pos = np.nonzero(self._dirty[rows])[0]
+        for pos in dirty_pos:
+            self._refresh(tasks[pos])
+        stall = np.zeros(n_act)
+        if faulty is not None:
+            pos_f = indices.index(faulty)
+            stall[pos_f] = faulty_stall(tasks[pos_f], t)
+        # alpha^t over every active row from the mirrors: bit-identical
+        # to remaining_at_batch (elementwise over the same values).
+        alpha_t = remaining_from_arrays(
+            self._alpha[rows], self._t_last[rows], self._tff_s[rows],
+            self._tau_s[rows], self._cost_s[rows], t,
+        )
+        if faulty is not None:
+            alpha_t[pos_f] = tasks[pos_f].alpha  # already rolled back
+        self._alpha_t[rows] = alpha_t
+        self._stall[rows] = stall
+        stale = (self._row_t[rows] != t) | (self._row_stall[rows] != stall)
+        sub = rows[stale]
+        self.rows_reused += n_act - sub.size
+        _PROCESS_DECISION_COUNTERS[1] += n_act - sub.size
+        pending: Optional[np.ndarray] = None
+        if lazy:
+            self._pending[:] = False
+            self._pending[sub] = True
+            pending = self._pending
+        elif sub.size:
+            self._patch_rows(sub, t)
+        if with_keep:
+            self._patch_keep(rows)
+        self.matrices_served += 1
+        return _CacheMatrix(
+            model=model,
+            t=t,
+            indices=indices,
+            j_init=self._sigma,
+            alpha_t=self._alpha_t,
+            stall=self._stall,
+            finishes=self._fin,
+            keep=self._keep if with_keep else None,
+            pending=pending,
+            # Rows == task indices, but map only the decision's active
+            # tasks so an out-of-set lookup raises KeyError exactly like
+            # the fresh build (never a silently stale row).
+            row_map={i: i for i in indices},
+            cache=self,
+        )
+
+    def _patch_rows(self, sub: np.ndarray, t: float) -> None:
+        """Recombine the stale rows in one fused pass over the scratch.
+
+        Operation order is exactly the fresh build's
+        ``((t + stall)[:, None] + rc) + (cost + profiles)``.
+        """
+        need = sub[self._rc_sigma[sub] != self._sigma[sub]]
+        if need.size:
+            self._rc[need] = self.model.rc_factor * redistribution_cost_matrix(
+                self._sizes[need], self._sigma[need], self.model.j_grid
+            )
+            self._rc_sigma[need] = self._sigma[need]
+        k = sub.size
+        self.rows_reused += k - need.size  # RC rows with an unchanged sigma
+        _PROCESS_DECISION_COUNTERS[1] += k - need.size
+        prof = self.model.profile_rows_into(
+            indices=sub.tolist(),
+            alphas=self._alpha_t[sub],
+            out=self._prof,
+        )[:k]
+        left = self._left[:k]
+        np.take(self._rc, sub, axis=0, out=left)
+        ts = t + self._stall[sub]
+        np.add(ts[:, None], left, out=left)
+        right = self._right[:k]
+        np.take(self._cost_rows, sub, axis=0, out=right)
+        np.add(right, prof, out=right)
+        np.add(left, right, out=left)
+        self._fin[sub] = left
+        self._row_t[sub] = t
+        self._row_stall[sub] = self._stall[sub]
+        self.rows_patched += k
+        _PROCESS_DECISION_COUNTERS[0] += k
+
+    def _patch_keep(self, rows: np.ndarray) -> None:
+        """Refresh the keep-running finishes of the rows touched since
+        they were last computed (the column does not depend on ``t``).
+
+        The keep-running finish ``tlastR_i + t^R_{i,sigma(i)}(alpha_i)``
+        is exactly the expected finish ``tU_i`` that every writer of the
+        live bookkeeping maintains — the pack-start assignment, the
+        failure rollback, ``apply_move`` and the rebuild's own
+        keep-restore all write that very expression — so the mirror of
+        ``t_expected`` (taken while the task was clean) *is* the keep
+        value, bit for bit, with no profile evaluation at all.  The
+        checking cache in ``tests/test_decision_kernels.py`` pins this
+        against the fresh build's explicit profile gather on randomised
+        runs.
+        """
+        need = rows[~self._keep_valid[rows]]
+        self.rows_reused += rows.size - need.size  # keep rows still valid
+        _PROCESS_DECISION_COUNTERS[1] += rows.size - need.size
+        if not need.size:
+            return
+        self._keep[need] = self._t_expected[need]
+        self._keep_valid[need] = True
+
+    # -- the incremental-heap rebuild block ---------------------------------
+    def rebuild_block(
+        self, dm: DecisionMatrix
+    ) -> tuple[np.ndarray, np.ndarray, int]:
+        """Scratch blocks for the Algorithm-5 incremental-heap loop.
+
+        Returns ``(vals, sufrev, width)``: ``vals[pos]`` is task
+        ``dm.indices[pos]``'s finish row with the keep-running candidate
+        patched in (i.e. ``dm.rebuild_finish`` by slot), ``sufrev`` its
+        reversed running minimum, so ``sufrev[pos, width - 1 - s]`` is
+        ``min(vals[pos, s:])`` — the O(1) "can this task still improve"
+        probe of the grant loop.  Both are cache-owned scratch, valid
+        until the next :meth:`matrix` call.
+        """
+        idx = np.fromiter(dm.indices, dtype=np.int64, count=len(dm.indices))
+        k = idx.size
+        vals = self._vals[:k]
+        np.take(self._fin, idx, axis=0, out=vals)
+        slots = (self._sigma[idx] >> 1) - 1
+        vals[np.arange(k), slots] = self._keep[idx]
+        sufrev = self._sufrev[:k]
+        sufrev[:] = vals[:, ::-1]
+        np.minimum.accumulate(sufrev, axis=1, out=sufrev)
+        return vals, sufrev, self._width
+
+    def cache_info(self) -> Dict[str, int | float]:
+        """Patch/reuse counters of this cache (diagnostics)."""
+        rows = self.rows_patched + self.rows_reused
+        return {
+            "matrices_served": self.matrices_served,
+            "rows_patched": self.rows_patched,
+            "rows_reused": self.rows_reused,
+            "reuse_rate": self.rows_reused / rows if rows else 0.0,
+            "scratch_allocations": self.scratch_allocations,
+            "budget": self.budget if self.budget is not None else -1,
+        }

@@ -35,6 +35,7 @@ __all__ = [
     "remaining_after_elapsed",
     "remaining_after_failure",
     "remaining_at_batch",
+    "remaining_from_arrays",
 ]
 
 
@@ -133,6 +134,26 @@ def remaining_at_batch(
         cost[row] = grid.cost[slot]
         alpha[row] = rt.alpha
         t_last[row] = rt.t_last
+    return remaining_from_arrays(alpha, t_last, t_ff, tau, cost, t)
+
+
+def remaining_from_arrays(
+    alpha: np.ndarray,
+    t_last: np.ndarray,
+    t_ff: np.ndarray,
+    tau: np.ndarray,
+    cost: np.ndarray,
+    t: float,
+) -> np.ndarray:
+    """The vectorised core of :func:`remaining_at_batch`, pre-gathered.
+
+    Row-level entry point for callers that already hold the per-task
+    ``t_ff``/``tau``/``C`` values at the current allocation (the
+    decision-state engine mirrors them across events and fancy-indexes
+    the active subset).  Every operation is elementwise, so a call over
+    any row subset is bit-identical to the same rows of a full
+    :func:`remaining_at_batch` pass.
+    """
     elapsed = t - t_last
     n_ckpt = np.floor(elapsed / tau)
     useful = elapsed - n_ckpt * cost

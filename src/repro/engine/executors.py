@@ -73,6 +73,9 @@ class EngineStats:
     workloads_reused: int = 0   #: workload-cache hits across all processes
     profile_hits: int = 0       #: model profile-cache hits across processes
     profile_misses: int = 0     #: model profile-cache misses across processes
+    decision_rows_patched: int = 0  #: decision-matrix rows recomputed
+    decision_rows_reused: int = 0   #: component rows (finish/RC/keep) reused
+    decision_scratch_allocs: int = 0  #: scratch ndarrays preallocated by caches
 
     def cache_info(self) -> Dict[str, int]:
         """The counters as a plain dict."""
@@ -85,7 +88,24 @@ class EngineStats:
             "workloads_reused": self.workloads_reused,
             "profile_hits": self.profile_hits,
             "profile_misses": self.profile_misses,
+            "decision_rows_patched": self.decision_rows_patched,
+            "decision_rows_reused": self.decision_rows_reused,
+            "decision_scratch_allocs": self.decision_scratch_allocs,
         }
+
+    def decision_reuse_rate(self) -> float:
+        """Share of decision-matrix rows served without recomputation."""
+        rows = self.decision_rows_patched + self.decision_rows_reused
+        return self.decision_rows_reused / rows if rows else 0.0
+
+    def describe_decisions(self) -> str:
+        """One-line decision-state digest for ``--verbose`` output."""
+        return (
+            f"rows patched: {self.decision_rows_patched} "
+            f"reused: {self.decision_rows_reused} "
+            f"reuse rate: {self.decision_reuse_rate():.1%} "
+            f"(scratch allocations: {self.decision_scratch_allocs})"
+        )
 
     def profile_hit_rate(self) -> float:
         """Profile-cache hit rate across every dispatched request."""
@@ -113,28 +133,35 @@ class EngineStats:
 
 def _execute_chunk(
     requests: Tuple[RunRequest, ...],
-) -> Tuple[List[Any], Tuple[int, int], Tuple[int, int]]:
+) -> Tuple[
+    List[Any], Tuple[int, int], Tuple[int, int], Tuple[int, int, int]
+]:
     """Run one contiguous chunk in the current process.
 
     Module-level so it pickles under every multiprocessing start method.
     Returns the results plus this chunk's ``(hits, misses)`` deltas of
-    the process-local workload cache and of the process-wide profile
+    the process-local workload cache, of the process-wide profile
     counters (:meth:`~repro.resilience.expected_time.ExpectedTimeModel.
-    process_cache_snapshot`), which the parent aggregates into its
-    :class:`EngineStats` (workers' counters are otherwise invisible to
-    the submitting process).
+    process_cache_snapshot`) and of the decision-state counters
+    (:func:`~repro.core.kernels.process_decision_snapshot`), which the
+    parent aggregates into its :class:`EngineStats` (workers' counters
+    are otherwise invisible to the submitting process).
     """
+    from ..core.kernels import process_decision_snapshot
     from ..resilience.expected_time import ExpectedTimeModel
 
     hits_before, misses_before = shared_cache.snapshot()
     p_hits_before, p_misses_before = ExpectedTimeModel.process_cache_snapshot()
+    d_before = process_decision_snapshot()
     results = [execute_request(request) for request in requests]
     hits_after, misses_after = shared_cache.snapshot()
     p_hits_after, p_misses_after = ExpectedTimeModel.process_cache_snapshot()
+    d_after = process_decision_snapshot()
     return (
         results,
         (hits_after - hits_before, misses_after - misses_before),
         (p_hits_after - p_hits_before, p_misses_after - p_misses_before),
+        tuple(after - before for after, before in zip(d_after, d_before)),
     )
 
 
@@ -154,8 +181,8 @@ def _stream_futures(
         for chunk, start in zip(chunks, starts)
     }
     for future in as_completed(futures):
-        results, workloads, profiles = future.result()
-        executor._fold(workloads, profiles)
+        results, workloads, profiles, decisions = future.result()
+        executor._fold(workloads, profiles, decisions)
         yield futures[future], results
 
 
@@ -239,25 +266,31 @@ class Executor:
         """Execute chunks in this process, yielding each as it finishes."""
         start = 0
         for chunk in chunks:
-            results, workloads, profiles = _execute_chunk(chunk)
-            self._fold(workloads, profiles)
+            results, workloads, profiles, decisions = _execute_chunk(chunk)
+            self._fold(workloads, profiles, decisions)
             yield start, results
             start += len(chunk)
 
     def _fold(
-        self, workloads: Tuple[int, int], profiles: Tuple[int, int]
+        self,
+        workloads: Tuple[int, int],
+        profiles: Tuple[int, int],
+        decisions: Tuple[int, int, int],
     ) -> None:
         """Fold one chunk's cache deltas into the statistics."""
         self._stats.workloads_reused += workloads[0]
         self._stats.workloads_built += workloads[1]
         self._stats.profile_hits += profiles[0]
         self._stats.profile_misses += profiles[1]
+        self._stats.decision_rows_patched += decisions[0]
+        self._stats.decision_rows_reused += decisions[1]
+        self._stats.decision_scratch_allocs += decisions[2]
 
     def _collect(self, chunk_outputs) -> List[Any]:
         results: List[Any] = []
-        for chunk_results, workloads, profiles in chunk_outputs:
+        for chunk_results, workloads, profiles, decisions in chunk_outputs:
             results.extend(chunk_results)
-            self._fold(workloads, profiles)
+            self._fold(workloads, profiles, decisions)
         return results
 
 

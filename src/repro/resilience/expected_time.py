@@ -283,6 +283,11 @@ class ExpectedTimeModel:
         self._clock = 0
         self.cache_hits = 0
         self.cache_misses = 0
+        # Stacked per-task grid block behind profile_rows_into: one
+        # (n_tasks, grid) copy of each TaskGrid field, built once per
+        # model so row-level re-evaluations are pure fancy indexing with
+        # no per-call np.stack of grids.
+        self._stacked_block: Optional[Dict[str, np.ndarray]] = None
 
     # -- grids ----------------------------------------------------------------
     @property
@@ -497,6 +502,128 @@ class ExpectedTimeModel:
         np.minimum.accumulate(block, axis=1, out=block)
         for row, pos in enumerate(missing):
             self._store_profile(keys[pos], block[row])
+            for dup_pos in positions_of[keys[pos]]:
+                out[dup_pos] = block[row]
+        return out
+
+    def _stacked_grids(self) -> Dict[str, np.ndarray]:
+        """The per-task grid fields stacked into (n_tasks, grid) blocks.
+
+        Built once per model (forcing every task grid) and reused by
+        every :meth:`profile_rows_into` call — the per-simulation scratch
+        the decision-state engine rides on.  Row ``i`` of each block is a
+        copy of the corresponding :class:`TaskGrid` array of task ``i``,
+        so fancy-indexed evaluations are bit-identical to
+        :func:`stacked_raw_profiles` over freshly stacked grids.
+        """
+        block = self._stacked_block
+        if block is None:
+            grids = [self.grid(i) for i in range(len(self.pack))]
+            block = {
+                "t_ff": np.stack([g.t_ff for g in grids]),
+                "wpp": np.stack([g.work_per_period for g in grids]),
+                "lam": np.stack([g.lam for g in grids]),
+                "prefactor": np.stack([g.prefactor for g in grids]),
+                "exp_period": np.stack([g.exp_period for g in grids]),
+            }
+            self._stacked_block = block
+        return block
+
+    def profile_rows_into(
+        self,
+        indices: Sequence[int],
+        alphas: np.ndarray,
+        out: np.ndarray,
+        *,
+        store: bool = True,
+    ) -> np.ndarray:
+        """Row-level profile re-evaluation: :meth:`profile_matrix` into scratch.
+
+        Writes the envelope row of each ``(indices[r], alphas[r])`` pair
+        into ``out[r]`` (caller-preallocated, shape ``(len(indices),
+        grid)``) and returns ``out``.  Cached rows are gathered from the
+        profile ring; missing rows are evaluated in one fused pass over
+        the persistent stacked grid block (:meth:`_stacked_grids`) —
+        no per-call ``np.stack`` — and inserted into the ring so later
+        scalar reads (e.g. the heuristics' ``apply_move`` bookkeeping)
+        still hit.  Row ``r`` is bit-identical to
+        ``profile(indices[r], alphas[r])``; the decision-state engine
+        (:class:`repro.core.kernels.DecisionCache`) relies on that.
+
+        ``store=False`` skips the ring insertion of freshly evaluated
+        rows (they are still read from the ring when present).  Right
+        for per-event alphas that never recur — storing them would be
+        pure eviction churn — and value-safe either way, since profiles
+        are pure functions of ``(task, quantised alpha)``, never of
+        cache history.
+        """
+        indices = list(indices)
+        alphas_arr = np.asarray(alphas, dtype=float)
+        if alphas_arr.shape != (len(indices),):
+            raise ConfigurationError(
+                f"profile_rows_into needs one alpha per index: "
+                f"{len(indices)} indices, alphas shape {alphas_arr.shape}"
+            )
+        if out.shape[0] < len(indices) or out.shape[1] != self._grid_len:
+            raise ConfigurationError(
+                f"profile_rows_into scratch too small: out shape "
+                f"{out.shape}, need ({len(indices)}, {self._grid_len})"
+            )
+        if alphas_arr.size and (
+            float(alphas_arr.min()) < 0.0
+            or float(alphas_arr.max()) > 1.0 + 1e-12
+        ):
+            raise ConfigurationError(
+                f"every alpha must be in [0, 1], got {alphas_arr.tolist()}"
+            )
+        keys: list[tuple[int, int]] = []
+        missing: list[int] = []
+        positions_of: Dict[tuple[int, int], list[int]] = {}
+        for pos, i in enumerate(indices):
+            key = (i, self._alpha_key(float(alphas_arr[pos])))
+            keys.append(key)
+            cached = self._profile_views.get(key)
+            if cached is not None:
+                self.cache_hits += 1
+                _PROCESS_PROFILE_COUNTERS[0] += 1
+                out[pos] = cached
+            else:
+                self.cache_misses += 1
+                _PROCESS_PROFILE_COUNTERS[1] += 1
+                if key not in positions_of:
+                    positions_of[key] = []
+                    missing.append(pos)
+                positions_of[key].append(pos)
+        if not missing:
+            return out
+        stacked = self._stacked_grids()
+        sel = np.fromiter(
+            (indices[pos] for pos in missing), dtype=np.int64,
+            count=len(missing),
+        )
+        alpha_q = np.array(
+            [keys[pos][1] / _ALPHA_SCALE for pos in missing], dtype=float
+        )
+        # The multi-grid branch of stacked_raw_profiles, operation for
+        # operation, over fancy-indexed rows of the persistent block.
+        t_ff = stacked["t_ff"][sel]
+        wpp = stacked["wpp"][sel]
+        work = alpha_q[:, None] * t_ff
+        n_ff = np.floor(work / wpp)
+        tau_last = work - n_ff * wpp
+        lam = stacked["lam"][sel]
+        with np.errstate(over="ignore"):
+            block = stacked["prefactor"][sel] * (
+                n_ff * stacked["exp_period"][sel]
+                + np.expm1(lam * tau_last)
+            )
+        zero = alpha_q <= 0.0
+        if bool(np.any(zero)):
+            block[zero] = 0.0
+        np.minimum.accumulate(block, axis=1, out=block)
+        for row, pos in enumerate(missing):
+            if store:
+                self._store_profile(keys[pos], block[row])
             for dup_pos in positions_of[keys[pos]]:
                 out[dup_pos] = block[row]
         return out

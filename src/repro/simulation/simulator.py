@@ -28,7 +28,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..cluster import Cluster, ProcessorMap
-from ..core.kernels import KERNELS
+from ..core.kernels import DECISION_STATES, KERNELS, DecisionCache
 from ..core.optimal import optimal_schedule
 from ..core.policy import Policy, get_policy
 from ..core.progress import projected_finish, remaining_after_failure
@@ -84,6 +84,17 @@ class Simulator:
         (:mod:`repro.core.kernels`); ``"scalar"`` keeps the per-probe
         model calls.  Both produce bit-identical executions, mirroring
         ``event_queue``.
+    decision_state:
+        ``"incremental"`` (default) keeps one persistent
+        :class:`~repro.core.kernels.DecisionCache` alive across the
+        run's events: each decision point delta-patches only the
+        candidate-matrix rows invalidated since the previous decision
+        (dirty tasks, stall changes, time advance) instead of re-running
+        the full batched build, and the Algorithm-5 grant loop runs on
+        the incremental heap.  ``"rebuild"`` keeps the PR-3 fresh build
+        per decision point as the reference.  Both produce bit-identical
+        executions, mirroring ``decision_kernel``/``event_queue``; the
+        scalar kernel has no matrix to cache, so it always rebuilds.
     """
 
     def __init__(
@@ -101,6 +112,7 @@ class Simulator:
         strict: bool = False,
         event_queue: str = "heap",
         decision_kernel: str = "array",
+        decision_state: str = "incremental",
     ):
         self.pack = pack
         self.cluster = cluster
@@ -130,12 +142,33 @@ class Simulator:
                 f"got {decision_kernel!r}"
             )
         self._decision_kernel = decision_kernel
+        if decision_state not in DECISION_STATES:
+            raise SimulationError(
+                f"decision_state must be one of {DECISION_STATES}, "
+                f"got {decision_state!r}"
+            )
+        self._decision_state = decision_state
+        self._cache: Optional[DecisionCache] = None
 
     # ------------------------------------------------------------------
+    def _make_decision_cache(self) -> DecisionCache:
+        """The run's persistent decision state (overridable for tests)."""
+        return DecisionCache(self.model)
+
     def run(self) -> SimulationResult:
         """Execute the pack to completion and return the result."""
         pack, cluster, model = self.pack, self.cluster, self.model
         n, p = len(pack), cluster.processors
+
+        # One decision cache per run: every event's decision point
+        # delta-patches it instead of rebuilding the candidate matrix.
+        # The scalar kernel has no matrix, so it never caches.
+        self._cache = (
+            self._make_decision_cache()
+            if self._decision_kernel == "array"
+            and self._decision_state == "incremental"
+            else None
+        )
 
         runtimes = [TaskRuntime(spec) for spec in pack]
         sigma0 = optimal_schedule(model, p, kernel=self._decision_kernel)
@@ -246,9 +279,13 @@ class Simulator:
         if not changed:
             return
         procs.apply_counts({i: runtimes[i].sigma for i in changed})
+        cache = self._cache
         for i in changed:
             rt = runtimes[i]
             finish[i] = self._projected(rt)
+            if cache is not None:
+                # sigma_init changed + checkpoint taken: dirty bit.
+                cache.invalidate(i)
             self._recorder.event(
                 t, EventKind.REDISTRIBUTION, i, f"sigma={rt.sigma}"
             )
@@ -278,9 +315,11 @@ class Simulator:
         tasks = self._active_for_redistribution(t, runtimes, released_early)
         if not tasks:
             return
+        if self._cache is not None:
+            self._cache.note_budget(procs.free_count)
         changed = self.policy.completion.apply(
             self.model, t, tasks, procs.free_count,
-            kernel=self._decision_kernel,
+            kernel=self._decision_kernel, cache=self._cache,
         )
         self._sync_and_reproject(t, changed, runtimes, procs, finish)
 
@@ -323,17 +362,22 @@ class Simulator:
             f, j, rt_f.alpha
         )
         finish[f] = self._projected(rt_f)
+        if self._cache is not None:
+            # Remaining work re-measured + stall applied: dirty bit.
+            self._cache.invalidate(f)
         self._recorder.event(t, EventKind.FAILURE, f, f"proc={proc}")
 
         # Alg. 2 line 28: tasks projected to end before the struck task
         # resumes release their processors for the rebalancing below.
-        for rt in runtimes:
-            i = rt.index
+        # (Runtimes are pack-ordered, so the enumerate index is the task
+        # index without the per-task property hop.)
+        t_resume = rt_f.t_last
+        for i, rt in enumerate(runtimes):
             if (
                 not rt.completed
                 and i != f
                 and i not in released_early
-                and finish[i] < rt_f.t_last
+                and finish[i] < t_resume
             ):
                 released_early.add(i)
                 procs.release(i)
@@ -347,9 +391,11 @@ class Simulator:
                 t, runtimes, released_early, include=f
             )
             if len(tasks) > 1 or (tasks and procs.free_count >= 2):
+                if self._cache is not None:
+                    self._cache.note_budget(procs.free_count)
                 changed = self.policy.failure.apply(
                     self.model, t, tasks, procs.free_count, f,
-                    kernel=self._decision_kernel,
+                    kernel=self._decision_kernel, cache=self._cache,
                 )
                 self._sync_and_reproject(t, changed, runtimes, procs, finish)
 
@@ -362,10 +408,11 @@ class Simulator:
         runtimes: List[TaskRuntime],
         released_early: set[int],
     ) -> bool:
-        for rt in runtimes:
-            if rt.completed or rt.index in released_early:
+        threshold = rt_f.t_expected
+        for i, rt in enumerate(runtimes):
+            if rt.completed or i in released_early:
                 continue
-            if rt.t_expected > rt_f.t_expected:
+            if rt.t_expected > threshold:
                 return False
         return True
 

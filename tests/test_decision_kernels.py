@@ -1,10 +1,15 @@
-"""Property-based equivalence of the array and scalar decision kernels.
+"""Property-based equivalence of the decision kernels and decision state.
 
 ``decision_kernel="array"`` (:mod:`repro.core.kernels`) is a pure
 optimisation: every observable output — simulations, heuristic
 mutations, the kernel primitives themselves — must be bit-identical to
 the ``"scalar"`` reference on any workload, platform and fault draw.
-These tests pin that contract with randomised inputs.
+The same contract binds ``decision_state="incremental"`` (the
+delta-patched :class:`~repro.core.kernels.DecisionCache`) to the
+per-decision fresh build ``"rebuild"`` — including, via a checking
+cache, that the patched matrix equals a fresh build *at every decision
+point* of randomised event sequences.  These tests pin both contracts
+with randomised inputs.
 """
 
 import math
@@ -24,7 +29,12 @@ from repro.core.heuristics import (
     greedy_rebuild,
     remaining_at,
 )
-from repro.core.kernels import KERNELS, decision_matrix
+from repro.core.kernels import (
+    DECISION_STATES,
+    KERNELS,
+    DecisionCache,
+    decision_matrix,
+)
 from repro.core.progress import remaining_at_batch
 from repro.core.redistribution import (
     redistribution_cost_matrix,
@@ -209,6 +219,212 @@ class TestAlgorithmKernels:
             )
             states[kernel] = (sorted(changed), snapshot(runtimes))
         assert states["array"] == states["scalar"]
+
+
+class _CheckingCache(DecisionCache):
+    """A cache that proves every served matrix against a fresh build.
+
+    At each decision point the delta-patched matrix (the lazy rows
+    forced through their on-demand patch path) must be bit-identical to
+    a from-scratch :func:`decision_matrix` over the same tasks.
+    """
+
+    def __init__(self, model):
+        super().__init__(model)
+        self.checked = 0
+
+    def matrix(self, t, tasks, faulty=None, *, with_keep=False, lazy=False):
+        dm = super().matrix(
+            t, tasks, faulty, with_keep=with_keep, lazy=lazy
+        )
+        fresh = decision_matrix(
+            self.model, t, tasks, faulty, with_keep=with_keep
+        )
+        j_max = int(self.model.j_grid[-1])
+        for row, rt in enumerate(tasks):
+            i = rt.index
+            assert dm.alpha_of(i) == fresh.alpha_of(i)
+            assert dm.stall_of(i) == fresh.stall_of(i)
+            assert dm.init_of(i) == fresh.init_of(i)
+            # finish_range materialises lazy rows through the cache's
+            # on-demand patch, so both patch paths are exercised.
+            assert np.array_equal(
+                dm.finish_range(i, 2, j_max), fresh.finishes[row]
+            )
+            if with_keep:
+                assert dm.keep_finish(i) == fresh.keep_finish(i)
+        self.checked += 1
+        return dm
+
+
+class _CheckingSimulator(Simulator):
+    """Simulator whose decision cache self-verifies at every event."""
+
+    def _make_decision_cache(self):
+        self.checking_cache = _CheckingCache(self.model)
+        return self.checking_cache
+
+
+class TestDecisionStateBitIdentical:
+    """The delta-patched decision state equals the fresh build."""
+
+    @pytest.mark.parametrize("policy", sorted(POLICIES))
+    @pytest.mark.parametrize("event_queue", ["heap", "scan"])
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n=st.integers(min_value=2, max_value=6),
+        extra_pairs=st.integers(min_value=0, max_value=6),
+        mtbf_scale=st.sampled_from([0.0005, 0.002]),
+    )
+    @settings(max_examples=4, deadline=None)
+    def test_patched_matrix_equals_fresh_build_every_event(
+        self, policy, event_queue, seed, n, extra_pairs, mtbf_scale
+    ):
+        """Randomised event sequences, checked at every decision point."""
+        p = 2 * n + 2 * extra_pairs
+        pack, cluster, _ = build(seed, n, p, mtbf_scale)
+        results = {}
+        for state, cls in (
+            ("incremental", _CheckingSimulator),
+            ("rebuild", Simulator),
+        ):
+            model = ExpectedTimeModel(pack, cluster)
+            results[state] = cls(
+                pack,
+                cluster,
+                policy,
+                seed=seed,
+                model=model,
+                event_queue=event_queue,
+                decision_state=state,
+            ).run()
+        inc, reb = results["incremental"], results["rebuild"]
+        assert inc.makespan == reb.makespan
+        assert np.array_equal(
+            inc.completion_times, reb.completion_times, equal_nan=True
+        )
+        assert inc.initial_sigma == reb.initial_sigma
+        assert inc.events == reb.events
+        assert inc.redistributions == reb.redistributions
+        assert inc.failures_effective == reb.failures_effective
+
+    def test_checking_cache_exercises_decisions(self):
+        # Guard: the scenarios above must serve (and verify) real
+        # delta-patched matrices, otherwise the property proves nothing.
+        pack, cluster, _ = build(0, 5, 20, 0.0005)
+        sim = _CheckingSimulator(
+            pack, cluster, "ig-el", seed=0,
+            model=ExpectedTimeModel(pack, cluster),
+        )
+        result = sim.run()
+        assert result.failures_effective > 0
+        assert sim.checking_cache.checked > 0
+        assert sim.checking_cache.rows_reused > 0
+
+    def test_unknown_decision_state_rejected(self):
+        pack, cluster, _ = build(0, 3, 8)
+        with pytest.raises(Exception):
+            Simulator(pack, cluster, decision_state="memoised")
+        from repro.core.kernels import ensure_decision_state
+
+        with pytest.raises(ConfigurationError):
+            ensure_decision_state("memoised")
+        assert ensure_decision_state("incremental") == "incremental"
+        assert set(DECISION_STATES) == {"incremental", "rebuild"}
+
+    def test_scalar_kernel_never_caches(self):
+        pack, cluster, _ = build(0, 3, 10)
+        sim = Simulator(
+            pack, cluster, "ig-el", seed=0,
+            model=ExpectedTimeModel(pack, cluster),
+            decision_kernel="scalar",
+        )
+        sim.run()
+        assert sim._cache is None
+
+    def test_cache_info_and_budget_tracking(self):
+        pack, cluster, _ = build(0, 5, 20, 0.0005)
+        sim = _CheckingSimulator(
+            pack, cluster, "ig-el", seed=0,
+            model=ExpectedTimeModel(pack, cluster),
+        )
+        sim.run()
+        info = sim.checking_cache.cache_info()
+        assert info["matrices_served"] == sim.checking_cache.checked
+        assert info["rows_patched"] > 0
+        assert info["rows_reused"] > 0
+        assert 0.0 < info["reuse_rate"] < 1.0
+        assert info["scratch_allocations"] > 0
+        assert info["budget"] >= 0  # the live free count was tracked
+
+    def test_direct_cache_reuse_across_same_t_decisions(self):
+        """Consecutive decisions at one t reuse clean rows verbatim."""
+        _, _, model = build(3, 4, 16)
+        runtimes = make_runtimes(model, 16)
+        t = 0.3 * min(rt.t_expected for rt in runtimes)
+        cache = DecisionCache(model)
+        first = cache.matrix(t, runtimes)
+        baseline = first.finishes[[rt.index for rt in runtimes]].copy()
+        patched_once = cache.rows_patched
+        again = cache.matrix(t, runtimes)
+        assert cache.rows_patched == patched_once  # nothing re-patched
+        assert np.array_equal(
+            again.finishes[[rt.index for rt in runtimes]], baseline
+        )
+        # Touching one task re-patches exactly that row.
+        rt0 = runtimes[0]
+        rt0.alpha *= 0.5
+        cache.invalidate(rt0.index)
+        third = cache.matrix(t, runtimes)
+        assert cache.rows_patched == patched_once + 1
+        fresh = decision_matrix(model, t, runtimes)
+        for row, rt in enumerate(runtimes):
+            assert np.array_equal(
+                third.finishes[rt.index], fresh.finishes[row]
+            )
+
+
+class TestProfileRowsInto:
+    """The row-level profile re-evaluation API behind the cache."""
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n=st.integers(min_value=1, max_value=6),
+        store=st.booleans(),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_matches_profile(self, seed, n, store):
+        _, _, model = build(seed, n, 4 * n)
+        rng = np.random.default_rng(seed)
+        indices = list(range(n))
+        alphas = rng.uniform(0.0, 1.0, size=n)
+        out = np.empty((n, model.j_grid.size))
+        model.profile_rows_into(indices, alphas, out, store=store)
+        for row, i in enumerate(indices):
+            assert np.array_equal(out[row], model.profile(i, alphas[row]))
+
+    def test_store_false_skips_ring_insertion(self):
+        _, _, model = build(1, 3, 12)
+        out = np.empty((3, model.j_grid.size))
+        model.profile_rows_into([0, 1, 2], [0.37, 0.21, 0.84], out, store=False)
+        entries = model.cache_info()["entries"]
+        model.profile_rows_into([0, 1, 2], [0.37, 0.21, 0.84], out)
+        assert model.cache_info()["entries"] == entries + 3
+
+    def test_duplicates_zero_alpha_and_validation(self):
+        _, _, model = build(2, 3, 12)
+        out = np.empty((3, model.j_grid.size))
+        model.profile_rows_into([0, 0, 1], [0.5, 0.5, 0.0], out)
+        assert np.array_equal(out[0], out[1])
+        assert np.array_equal(out[2], np.zeros(model.j_grid.size))
+        with pytest.raises(ConfigurationError):
+            model.profile_rows_into([0, 1], [0.5], out)
+        with pytest.raises(ConfigurationError):
+            model.profile_rows_into([0], [1.5], out)
+        with pytest.raises(ConfigurationError):
+            model.profile_rows_into(
+                [0], [0.5], np.empty((0, model.j_grid.size))
+            )
 
 
 class TestKernelPrimitives:

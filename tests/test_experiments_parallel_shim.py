@@ -1,0 +1,50 @@
+"""Smoke test for the ``repro.experiments.parallel`` deprecation shim.
+
+The shim must keep external PR-1 callers working: every public name
+warns ``DeprecationWarning`` and forwards to the unified engine
+(``run_scenario(..., engine="pool")`` / ``repro.engine``).  The
+forwarding itself is pinned with a stub so this stays a fast smoke
+test; the byte-identical-results guarantee is covered by
+``tests/test_perf_equivalence.py``.
+"""
+
+import pytest
+
+import repro.experiments.parallel as shim
+from repro.engine import default_chunk_size as engine_chunk_size
+from repro.exceptions import ConfigurationError
+
+
+def test_run_scenario_parallel_warns_and_forwards_to_engine(monkeypatch):
+    calls = {}
+
+    def fake_run_scenario(config, series, **kwargs):
+        calls["config"] = config
+        calls["series"] = series
+        calls["kwargs"] = kwargs
+        return "forwarded"
+
+    monkeypatch.setattr(shim, "run_scenario", fake_run_scenario)
+    with pytest.deprecated_call():
+        result = shim.run_scenario_parallel(
+            "cfg", ["series"], seed=9, workers=3, chunk_size=2
+        )
+    assert result == "forwarded"
+    assert calls["config"] == "cfg"
+    assert calls["series"] == ["series"]
+    assert calls["kwargs"]["engine"] == "pool"
+    assert calls["kwargs"]["workers"] == 3
+    assert calls["kwargs"]["chunk_size"] == 2
+    assert calls["kwargs"]["seed"] == 9
+
+
+def test_run_scenario_parallel_rejects_bad_workers():
+    with pytest.deprecated_call(), pytest.raises(ConfigurationError):
+        shim.run_scenario_parallel("cfg", [], workers=0)
+
+
+def test_default_chunk_size_warns_and_matches_engine():
+    with pytest.deprecated_call():
+        assert shim.default_chunk_size(50, 4) == engine_chunk_size(50, 4)
+    with pytest.deprecated_call():
+        assert shim.default_chunk_size(1, 8) == engine_chunk_size(1, 8)

@@ -248,20 +248,24 @@ class TestEngineEquivalence:
         assert stats.workloads_reused >= built_after_first
 
 
-#: decision-kernel x event-queue combinations pinned against the
-#: (array, heap) default on full figure series.
+#: decision-kernel x decision-state x event-queue combinations pinned
+#: against the (array, incremental, heap) default on full figure series.
 KERNEL_MODE_OPTIONS = (
     {"decision_kernel": "scalar"},
     {"decision_kernel": "scalar", "event_queue": "scan"},
     {"event_queue": "scan"},
+    {"decision_state": "rebuild"},
+    {"decision_state": "rebuild", "event_queue": "scan"},
 )
 
 
 class TestDecisionKernelFigures:
-    """The PR-3 acceptance gate: array vs scalar kernels on figure series.
+    """The PR-3/PR-4 acceptance gate: every decision mode on figure series.
 
     ``FAULT_SERIES`` covers every redistribution policy, so one figure
-    run pins all of them at once, under both event-queue modes.
+    run pins all of them at once — the scalar kernel, the fresh-build
+    decision state and both event-queue modes against the incremental
+    default.
     """
 
     @pytest.mark.parametrize("figure", ["fig7", "fig10"])
