@@ -2,9 +2,10 @@
 
 Every ``bench_figXX.py`` regenerates the data behind one figure of the
 paper's evaluation section and records the series table under
-``benchmarks/results/`` so EXPERIMENTS.md can be checked against real
-artefacts.  Shape assertions encode the paper's qualitative claims; the
-benchmark timing itself measures the full experiment pipeline.
+``benchmarks/results/`` so reported numbers can be checked against real
+artefacts (the runbook is ``docs/BENCHMARKS.md``).  Shape assertions
+encode the paper's qualitative claims; the benchmark timing itself
+measures the full experiment pipeline.
 
 Scale selection: set ``REPRO_BENCH_SCALE`` to ``tiny`` (default, seconds
 per figure), ``small`` (minutes) or ``paper`` (hours, the full-size

@@ -1,4 +1,4 @@
-"""Engine benchmark: pool-per-point vs persistent-pool sweep wall-clock.
+"""Engine benchmark: sweep wall-clock across all five executors.
 
 The persistent executor exists to amortise process-pool start-up across
 the points of a sweep (and whole multi-figure campaigns).  This
@@ -8,7 +8,11 @@ fig10 scenario: the same requests dispatched
 * ``serial``     — in-process reference;
 * ``pool``       — a fresh process pool spawned at every sweep point
   (the PR-1 behaviour);
-* ``persistent`` — one pool launched at the first point and reused.
+* ``persistent`` — one pool launched at the first point and reused;
+* ``async``      — a persistent pool driven by an asyncio event loop
+  (dispatch overlapped with reassembly);
+* ``queue``      — chunks serialised through a local FileBroker spool
+  to worker subprocesses (``python -m repro.engine.worker``).
 
 Results are recorded into the committed ``BENCH_engine.json`` with::
 
@@ -16,10 +20,13 @@ Results are recorded into the committed ``BENCH_engine.json`` with::
 
 and the derived ``persistent_speedup`` (pool seconds over persistent
 seconds) is the acceptance number: it must stay above 1.0, i.e. the
-persistent pool must beat per-point pool spawn.  ``REPRO_BENCH_SCALE``
-(``tiny``/``small``) sizes the sweep's scenarios.  The executors are
-byte-identical by contract, and the benchmark asserts it on the
-produced series.
+persistent pool must beat per-point pool spawn.  The async and queue
+engines are measured and recorded for visibility (the queue transport
+pays pickling plus spool round-trips by design — it buys multi-host
+reach, not single-host speed), but only the persistent gate is
+enforced.  ``REPRO_BENCH_SCALE`` (``tiny``/``small``) sizes the
+sweep's scenarios.  The executors are byte-identical by contract, and
+the benchmark asserts it on the produced series of every engine.
 """
 
 from __future__ import annotations
@@ -31,7 +38,7 @@ import time
 from pathlib import Path
 from typing import Dict, Optional, Sequence
 
-from repro.engine import create_executor
+from repro.engine import ENGINES, create_executor
 from repro.experiments import FAULT_SERIES, run_scenario
 from repro.experiments.config import ScenarioConfig, get_scale
 
@@ -98,11 +105,11 @@ def run_sweep(engine: str, repeats: int = 2) -> Dict[str, object]:
     }
 
 
-def run_all() -> Dict[str, Dict[str, object]]:
+def run_all(engines: Sequence[str] = ENGINES) -> Dict[str, Dict[str, object]]:
     """Measure every engine on the same sweep; assert equivalence."""
-    results = {engine: run_sweep(engine) for engine in ("serial", "pool", "persistent")}
+    results = {engine: run_sweep(engine) for engine in engines}
     reference = results["serial"]["digest"]
-    for engine in ("pool", "persistent"):
+    for engine in engines:
         assert results[engine]["digest"] == reference, (
             f"{engine} series diverged from the serial reference"
         )

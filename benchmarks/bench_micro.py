@@ -2,7 +2,7 @@
 
 Not tied to a paper figure; these track the cost of the building blocks
 the experiment pipeline leans on (profile evaluation dominates — see the
-performance notes in DESIGN.md).
+performance-stack notes in docs/ARCHITECTURE.md).
 """
 
 import numpy as np

@@ -16,13 +16,17 @@
 The same entry point is reachable as ``python -m repro.cli``.
 
 The execution commands (``run``, ``compare``, ``batch``, ``validate``)
-accept ``--engine {serial,pool,persistent}`` and ``--workers N`` to pick
-the run-fabric (:mod:`repro.engine`) that fans their work out; results
-are byte-identical under every engine and worker count, and ``--verbose``
-prints the engine's ``cache_info()``-style statistics — for ``run`` and
-``compare`` also the models' profile-cache hit rate, and for ``run``
-streamed per-point replicate progress (``Executor.map_stream``) on
-stderr while a sweep executes.  The benchmark suite under
+accept ``--engine {serial,pool,persistent,async,queue}`` and
+``--workers N`` to pick the run-fabric (:mod:`repro.engine`) that fans
+their work out; results are byte-identical under every engine and
+worker count, and ``--verbose`` prints the engine's
+``cache_info()``-style statistics — for ``run`` and ``compare`` also
+the models' profile-cache hit rate, and for ``run`` streamed per-point
+replicate progress (``Executor.map_stream``) on stderr while a sweep
+executes.  The ``queue`` engine self-hosts a local broker spool plus
+``--workers`` worker subprocesses (``python -m repro.engine.worker``);
+its statistics — profile-cache and decision-state counters included —
+travel back across the queue boundary like any other engine's.  The benchmark suite under
 ``benchmarks/`` reads the ``REPRO_BENCH_SCALE`` environment variable
 (``tiny``/``small``/``paper``) to pick its scaling preset.
 """
@@ -91,7 +95,9 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         help=(
             "execution engine (default: serial, or a process pool when "
             "--workers > 1; 'persistent' keeps workers alive across a "
-            "whole sweep)"
+            "whole sweep, 'async' overlaps dispatch with reassembly, "
+            "'queue' serialises work through a local broker spool to "
+            "worker subprocesses)"
         ),
     )
     parser.add_argument(

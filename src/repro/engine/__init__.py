@@ -10,10 +10,16 @@ pieces:
   function, a picklable payload (workload draw + fault draw + policy +
   model knobs) and a single derived seed;
 * an :class:`Executor` — ``map(requests) -> results`` in request
-  order, in one of three implementations: :class:`SerialExecutor`
+  order, in one of five implementations: :class:`SerialExecutor`
   (reference path), :class:`PoolExecutor` (fresh process pool per
-  dispatch) and :class:`PersistentPoolExecutor` (workers and their
-  workload caches kept alive across whole campaigns).
+  dispatch), :class:`PersistentPoolExecutor` (workers and their
+  workload caches kept alive across whole campaigns),
+  :class:`AsyncExecutor` (a persistent pool driven by an asyncio event
+  loop, overlapping dispatch with reassembly) and
+  :class:`QueueExecutor` (chunks serialised through a pluggable
+  :class:`Broker` to workers that may live outside this process tree —
+  or this host; ``python -m repro.engine.worker`` is the worker-side
+  entrypoint).
 
 The RunRequest determinism contract
 -----------------------------------
@@ -39,14 +45,17 @@ runner function must honour:
 
 Under this contract every executor produces **byte-identical** results
 for the same request list — the property
-``tests/test_perf_equivalence.py`` pins across serial, pool and
-persistent execution — and the only observable differences are
-wall-clock and the ``cache_info()``-style counters in
-:class:`EngineStats`.
+``tests/test_perf_equivalence.py`` pins across serial, pool,
+persistent, async and queue execution — and the only observable
+differences are wall-clock and the ``cache_info()``-style counters in
+:class:`EngineStats` (which the pool *and* queue transports both carry
+back from their workers).
 """
 
 from __future__ import annotations
 
+from .async_exec import AsyncExecutor
+from .broker import Broker, FileBroker, worker_identity
 from .cache import WorkloadCache, shared_cache
 from .executors import (
     ENGINES,
@@ -60,14 +69,19 @@ from .executors import (
     ensure_executor,
     resolve_engine,
 )
+from .queue_exec import QueueExecutor
 from .request import RunRequest, execute_request
 
 __all__ = [
     "ENGINES",
+    "AsyncExecutor",
+    "Broker",
     "EngineStats",
     "Executor",
+    "FileBroker",
     "PersistentPoolExecutor",
     "PoolExecutor",
+    "QueueExecutor",
     "RunRequest",
     "SerialExecutor",
     "WorkloadCache",
@@ -77,4 +91,5 @@ __all__ = [
     "execute_request",
     "resolve_engine",
     "shared_cache",
+    "worker_identity",
 ]

@@ -1,7 +1,7 @@
-"""The three executors behind the run-fabric.
+"""The executors behind the run-fabric.
 
-All three consume a list of :class:`~repro.engine.request.RunRequest`
-and return results *in request order*:
+Every executor consumes a list of :class:`~repro.engine.request.RunRequest`
+and returns results *in request order*:
 
 * :class:`SerialExecutor` — the reference path: every request runs in
   the calling process, one after the other;
@@ -11,7 +11,19 @@ and return results *in request order*:
 * :class:`PersistentPoolExecutor` — same fan-out, but the pool (and
   each worker's :data:`~repro.engine.cache.shared_cache`) stays alive
   across ``map`` calls, amortising pool start-up and workload
-  construction over whole sweeps and multi-figure campaigns.
+  construction over whole sweeps and multi-figure campaigns;
+* :class:`~repro.engine.async_exec.AsyncExecutor` — a persistent pool
+  driven by an asyncio event loop, overlapping chunk dispatch with
+  result reassembly (defined in :mod:`repro.engine.async_exec`);
+* :class:`~repro.engine.queue_exec.QueueExecutor` — chunks serialised
+  through a pluggable :class:`~repro.engine.broker.Broker` to worker
+  processes that may live outside this process tree — or this host
+  (defined in :mod:`repro.engine.queue_exec`).
+
+This module holds the shared machinery (:class:`Executor`,
+:class:`EngineStats`, chunking, the engine registry) plus the first
+three executors; the async and queue engines build on it from their own
+modules.
 
 Because requests are self-seeded and mutually independent (see the
 determinism contract in :mod:`repro.engine.request`), chunk boundaries,
@@ -53,7 +65,7 @@ __all__ = [
 ]
 
 #: Engine names accepted by :func:`create_executor` and the CLI.
-ENGINES: Tuple[str, ...] = ("serial", "pool", "persistent")
+ENGINES: Tuple[str, ...] = ("serial", "pool", "persistent", "async", "queue")
 
 
 def default_chunk_size(requests: int, workers: int) -> int:
@@ -361,17 +373,14 @@ class PoolExecutor(_PooledExecutor):
         return stream()
 
 
-class PersistentPoolExecutor(_PooledExecutor):
-    """A pool kept alive across ``map`` calls (and the workloads with it).
+class _PersistentPooled(_PooledExecutor):
+    """Keep-alive pool lifecycle shared by the persistent/async engines.
 
-    The first dispatch launches the workers; every later dispatch
-    reuses them, so sweep campaigns pay pool start-up once and worker
-    processes keep their :data:`~repro.engine.cache.shared_cache` warm
-    across sweep points.  Call :meth:`close` (or use the executor as a
-    context manager) when the campaign is done.
+    The first pooled dispatch launches a ``ProcessPoolExecutor``; every
+    later one reuses it (counted as ``pool_reuses``), so sweep
+    campaigns pay pool start-up once and worker processes keep their
+    :data:`~repro.engine.cache.shared_cache` warm across sweep points.
     """
-
-    name = "persistent"
 
     def __init__(self, workers: int = 2, chunk_size: Optional[int] = None):
         super().__init__(workers, chunk_size)
@@ -388,6 +397,25 @@ class PersistentPoolExecutor(_PooledExecutor):
             self._stats.pool_reuses += 1
         return self._pool
 
+    def close(self) -> None:
+        """Shut the persistent pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+
+class PersistentPoolExecutor(_PersistentPooled):
+    """A pool kept alive across ``map`` calls (and the workloads with it).
+
+    The first dispatch launches the workers; every later dispatch
+    reuses them, so sweep campaigns pay pool start-up once and worker
+    processes keep their :data:`~repro.engine.cache.shared_cache` warm
+    across sweep points.  Call :meth:`close` (or use the executor as a
+    context manager) when the campaign is done.
+    """
+
+    name = "persistent"
+
     def _map(self, requests: List[RunRequest]) -> List[Any]:
         if self.workers == 1:
             return self._run_inline(self._chunked(requests))
@@ -401,11 +429,6 @@ class PersistentPoolExecutor(_PooledExecutor):
         if self.workers == 1:
             return self._stream_inline(self._chunked(requests))
         return _stream_futures(self, self._ensure_pool(), self._chunked(requests))
-
-    def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown()
-            self._pool = None
 
 
 def resolve_engine(
@@ -464,13 +487,28 @@ def create_executor(
     workers: int = 1,
     chunk_size: Optional[int] = None,
 ) -> Executor:
-    """Instantiate an executor by engine name (CLI ``--engine`` values)."""
+    """Instantiate an executor by engine name (CLI ``--engine`` values).
+
+    ``async`` and ``queue`` import lazily (their modules import this
+    one), with their self-contained defaults — the queue engine hosts
+    its own :class:`~repro.engine.broker.FileBroker` spool and worker
+    fleet; build :class:`~repro.engine.queue_exec.QueueExecutor`
+    directly to point it at an externally served broker.
+    """
     if engine == "serial":
         return SerialExecutor()
     if engine == "pool":
         return PoolExecutor(workers=workers, chunk_size=chunk_size)
     if engine == "persistent":
         return PersistentPoolExecutor(workers=workers, chunk_size=chunk_size)
+    if engine == "async":
+        from .async_exec import AsyncExecutor
+
+        return AsyncExecutor(workers=workers, chunk_size=chunk_size)
+    if engine == "queue":
+        from .queue_exec import QueueExecutor
+
+        return QueueExecutor(workers=workers, chunk_size=chunk_size)
     known = ", ".join(ENGINES)
     raise ConfigurationError(
         f"unknown engine {engine!r}; known engines: {known}"

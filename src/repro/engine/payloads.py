@@ -1,0 +1,86 @@
+"""Wire format of the queue fabric: task and result payload codecs.
+
+Both ends of a :class:`~repro.engine.broker.Broker` speak this format:
+the submitting :class:`~repro.engine.queue_exec.QueueExecutor` encodes
+chunks of :class:`~repro.engine.request.RunRequest` with
+:func:`encode_task`, and workers publish either an ``ok`` payload — the
+chunk results plus the worker-side cache-counter deltas, exactly the
+tuple the in-process ``_execute_chunk`` produces — or an ``error``
+payload carrying the formatted traceback, which :func:`decode_result`
+re-raises at the submitter as :class:`RuntimeError`.
+
+This lives apart from :mod:`repro.engine.worker` so importing the
+engine package never imports the ``python -m repro.engine.worker``
+entrypoint module itself.
+"""
+
+from __future__ import annotations
+
+import pickle
+import traceback
+
+__all__ = [
+    "PAYLOAD_VERSION",
+    "encode_task",
+    "decode_task",
+    "encode_result",
+    "encode_error",
+    "decode_result",
+    "execute_payload",
+]
+
+#: Result-payload protocol version (bump on layout changes).
+PAYLOAD_VERSION = 1
+
+
+def encode_task(requests) -> bytes:
+    """Pickle one chunk of :class:`RunRequest` for broker transport."""
+    return pickle.dumps(tuple(requests), protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def decode_task(payload: bytes):
+    """Inverse of :func:`encode_task`."""
+    return pickle.loads(payload)
+
+
+def encode_result(chunk_output) -> bytes:
+    """Pickle one chunk's ``(results, cache deltas...)`` tuple."""
+    return pickle.dumps(
+        (PAYLOAD_VERSION, "ok", chunk_output),
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+
+
+def encode_error(exc: BaseException) -> bytes:
+    """Pickle a worker-side failure (the traceback text travels back)."""
+    text = "".join(traceback.format_exception(type(exc), exc, exc.__traceback__))
+    return pickle.dumps((PAYLOAD_VERSION, "error", text))
+
+
+def decode_result(payload: bytes):
+    """Decode a result payload; raise on error payloads.
+
+    Returns the ``(results, workload, profile, decision)`` tuple the
+    in-process ``_execute_chunk`` would have produced, re-raising a
+    worker-side failure as :class:`RuntimeError` carrying the remote
+    traceback.
+    """
+    version, status, body = pickle.loads(payload)
+    if version != PAYLOAD_VERSION:
+        raise RuntimeError(
+            f"queue payload version {version} != {PAYLOAD_VERSION}; "
+            "submitter and worker are running different repro versions"
+        )
+    if status == "error":
+        raise RuntimeError(f"queue worker failed:\n{body}")
+    return body
+
+
+def execute_payload(payload: bytes) -> bytes:
+    """Run one task payload in this process; never raises."""
+    from .executors import _execute_chunk
+
+    try:
+        return encode_result(_execute_chunk(decode_task(payload)))
+    except BaseException as exc:  # noqa: BLE001 - must travel back whole
+        return encode_error(exc)

@@ -1,0 +1,324 @@
+"""The queue executor: run-fabric dispatch through a pluggable broker.
+
+:class:`QueueExecutor` is the fifth engine behind the
+:class:`~repro.engine.executors.Executor` interface and the first whose
+workers need not live in this process tree: every chunk of
+:class:`~repro.engine.request.RunRequest` is pickled and pushed through
+a :class:`~repro.engine.broker.Broker`, executed by whatever worker
+processes serve that broker (``python -m repro.engine.worker``), and
+collected back as a result payload carrying the chunk results plus the
+worker-side cache-counter deltas — so
+:class:`~repro.engine.executors.EngineStats` (workload, profile-cache
+and decision-state counters included) survives the queue boundary
+exactly as it survives a process pool.
+
+Two deployment shapes, one class:
+
+* **Self-contained** (the default): no broker given — the executor
+  creates a private :class:`~repro.engine.broker.FileBroker` spool in a
+  temporary directory and spawns ``workers`` local worker subprocesses
+  against it, cleaning both up on :meth:`~QueueExecutor.close`.  This
+  is what CLI ``--engine queue`` uses.
+* **Shared broker**: pass a broker whose spool other processes — on
+  this host or any host mounting the spool — serve with
+  ``python -m repro.engine.worker --broker DIR``.  The executor only
+  submits and collects; the worker fleet is yours (see
+  ``examples/remote_campaign.py``).
+
+Resilience: workers heartbeat through the broker; a claimed chunk whose
+claimant goes silent past ``heartbeat_timeout`` is requeued for another
+worker, and if the fleet dies entirely the submitting process claims
+the remaining chunks itself (``inline_fallback``), so a dispatch always
+completes.  Duplicate executions caused by requeueing are harmless:
+requests are pure functions of their seed (the determinism contract in
+:mod:`repro.engine`), so any execution of a chunk yields byte-identical
+results and reassembly by chunk index is deterministic — the queue
+engine is pinned byte-identical to :class:`SerialExecutor` alongside
+every other engine in ``tests/test_perf_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+import uuid
+from typing import Any, Iterator, List, Optional, Tuple
+
+from ..exceptions import ConfigurationError
+from .broker import Broker, FileBroker, worker_identity
+from .executors import _PooledExecutor
+from .request import RunRequest
+from .payloads import decode_result, encode_task, execute_payload
+
+__all__ = ["QueueExecutor"]
+
+
+def _worker_env() -> dict:
+    """The spawned worker's environment: inherit + parent's sys.path.
+
+    Workers are fresh interpreters, so anything importable here (the
+    ``repro`` package itself, plus whatever modules the RunRequest
+    runner functions live in) must be importable there; exporting the
+    parent's ``sys.path`` as ``PYTHONPATH`` guarantees it.
+    """
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
+    return env
+
+
+class QueueExecutor(_PooledExecutor):
+    """Broker-backed fan-out with heartbeat/timeout supervision.
+
+    Parameters
+    ----------
+    workers:
+        Local worker subprocesses to spawn when the executor owns its
+        broker (``1`` runs inline, like the pooled executors).  With a
+        caller-supplied broker nothing is spawned and this only sizes
+        the chunking.
+    chunk_size:
+        Contiguous requests per broker task; default ~4 chunks per
+        worker (:func:`~repro.engine.executors.default_chunk_size`).
+    broker:
+        A :class:`~repro.engine.broker.Broker` served by an external
+        worker fleet.  ``None`` (default) self-hosts a
+        :class:`~repro.engine.broker.FileBroker` plus local workers.
+    poll_interval:
+        Seconds between result-collection passes (and the spawned
+        workers' idle poll).
+    heartbeat_timeout:
+        Seconds of claimant silence after which a claimed task is
+        requeued — and, with no live workers at all, after which the
+        submitter starts executing queued tasks itself.
+    inline_fallback:
+        Allow the submitting process to claim tasks when the fleet is
+        dead or absent (default ``True``); disable to fail fast with
+        :class:`RuntimeError` instead.
+    worker_max_idle:
+        ``--max-idle`` passed to self-hosted workers (default 600 s):
+        if the submitter dies without :meth:`close` (kill -9, OOM),
+        orphaned workers stop polling after this long rather than
+        spinning forever.  A fleet that idled out is respawned on the
+        next dispatch.  ``None`` disables the bound.  Ignored with a
+        caller-supplied broker (the fleet is yours).
+    """
+
+    name = "queue"
+
+    def __init__(
+        self,
+        workers: int = 2,
+        chunk_size: Optional[int] = None,
+        *,
+        broker: Optional[Broker] = None,
+        poll_interval: float = 0.02,
+        heartbeat_timeout: float = 60.0,
+        inline_fallback: bool = True,
+        worker_max_idle: Optional[float] = 600.0,
+    ):
+        super().__init__(workers, chunk_size)
+        if poll_interval <= 0:
+            raise ConfigurationError(
+                f"poll_interval must be > 0, got {poll_interval}"
+            )
+        if heartbeat_timeout <= 0:
+            raise ConfigurationError(
+                f"heartbeat_timeout must be > 0, got {heartbeat_timeout}"
+            )
+        self._broker = broker
+        self._spawn_workers = broker is None
+        self._spool: Optional[str] = None
+        self._procs: List[subprocess.Popen] = []
+        self.poll_interval = float(poll_interval)
+        self.heartbeat_timeout = float(heartbeat_timeout)
+        self.inline_fallback = bool(inline_fallback)
+        self.worker_max_idle = (
+            None if worker_max_idle is None else float(worker_max_idle)
+        )
+        self._submitter = f"submitter-{worker_identity()}"
+        self._nonce = uuid.uuid4().hex[:8]
+
+    # -- fabric lifecycle --------------------------------------------------
+    def _ensure_fabric(self) -> Broker:
+        """The live broker, creating the spool + fleet on first use.
+
+        A self-hosted fleet that exited (``worker_max_idle`` elapsed
+        between campaigns, or a crash) is respawned here rather than
+        silently degrading every later dispatch to inline execution.
+        """
+        if self._broker is None:
+            self._spool = tempfile.mkdtemp(prefix="repro-queue-")
+            self._broker = FileBroker(self._spool)
+            self._spawn_fleet()
+        else:
+            if self._stats.dispatches > 1:
+                self._stats.pool_reuses += 1
+            if (
+                self._spawn_workers
+                and self._fleet_dead()
+                and not self._broker.stop_requested()
+            ):
+                self._procs = []
+                self._spawn_fleet()
+        return self._broker
+
+    def _spawn_fleet(self) -> None:
+        """Launch ``workers`` local worker subprocesses on the spool."""
+        command = [
+            sys.executable,
+            "-m",
+            "repro.engine.worker",
+            "--broker",
+            self._spool,
+            "--poll-interval",
+            str(self.poll_interval),
+        ]
+        if self.worker_max_idle is not None:
+            command += ["--max-idle", str(self.worker_max_idle)]
+        self._stats.pool_launches += 1
+        for index in range(self.workers):
+            log = open(  # noqa: SIM115 - handed to the subprocess
+                os.path.join(self._spool, f"worker-{index}.log"), "ab"
+            )
+            self._procs.append(
+                subprocess.Popen(
+                    command,
+                    stdout=log,
+                    stderr=subprocess.STDOUT,
+                    env=_worker_env(),
+                    close_fds=True,
+                )
+            )
+            log.close()
+
+    def _fleet_dead(self) -> bool:
+        """All spawned workers have exited (only meaningful if spawned)."""
+        return bool(self._procs) and all(
+            proc.poll() is not None for proc in self._procs
+        )
+
+    def close(self) -> None:
+        """Stop the fleet and remove the owned spool (idempotent)."""
+        if self._broker is not None and (self._spawn_workers or self._procs):
+            try:
+                self._broker.request_stop()
+            except OSError:  # pragma: no cover - spool already gone
+                pass
+        for proc in self._procs:
+            try:
+                proc.wait(timeout=10.0)
+            except subprocess.TimeoutExpired:  # pragma: no cover - hung
+                proc.kill()
+                proc.wait()
+        self._procs = []
+        if self._spool is not None:
+            shutil.rmtree(self._spool, ignore_errors=True)
+            self._spool = None
+            self._broker = None
+
+    # -- dispatch ----------------------------------------------------------
+    def _map(self, requests: List[RunRequest]) -> List[Any]:
+        chunks = self._chunked(requests)
+        if self.workers == 1 and self._spawn_workers:
+            return self._run_inline(chunks)
+        slots: List[Any] = [None] * len(requests)
+        for start, results in self._dispatch(chunks):
+            slots[start:start + len(results)] = results
+        return slots
+
+    def _map_stream(
+        self, requests: List[RunRequest]
+    ) -> Iterator[Tuple[int, List[Any]]]:
+        chunks = self._chunked(requests)
+        if self.workers == 1 and self._spawn_workers:
+            return self._stream_inline(chunks)
+        return self._dispatch(chunks)
+
+    def _dispatch(
+        self, chunks: List[Tuple[RunRequest, ...]]
+    ) -> Iterator[Tuple[int, List[Any]]]:
+        """Submit chunks to the broker; yield results as they land.
+
+        One iteration of the wait loop = collect every landed result,
+        then (only if nothing landed) supervise: requeue stale claims
+        and, with the fleet dead or absent past the heartbeat horizon,
+        claim a task and run it inline.  Reassembly is by submitted
+        chunk index, so arrival order is irrelevant to the result.
+        """
+        broker = self._ensure_fabric()
+        starts = {}
+        start = 0
+        dispatch = self._stats.dispatches  # unique per map() call
+        for index, chunk in enumerate(chunks):
+            task_id = f"{self._nonce}-d{dispatch:05d}-c{index:06d}"
+            broker.submit(task_id, encode_task(chunk))
+            starts[task_id] = start
+            start += len(chunk)
+        pending = dict(starts)
+        idle_since = time.monotonic()
+        try:
+            while pending:
+                landed = False
+                for task_id in sorted(pending):
+                    payload = broker.fetch_result(task_id)
+                    if payload is None:
+                        continue
+                    results, workloads, profiles, decisions = decode_result(
+                        payload
+                    )
+                    self._fold(workloads, profiles, decisions)
+                    yield pending.pop(task_id), list(results)
+                    landed = True
+                if landed or not pending:
+                    idle_since = time.monotonic()
+                    continue
+                for task_id in broker.stale_claims(self.heartbeat_timeout):
+                    if task_id in pending:
+                        broker.requeue(task_id)
+                if self._should_execute_inline(broker, idle_since):
+                    claimed = broker.claim(self._submitter)
+                    if claimed is not None:
+                        task_id, payload = claimed
+                        broker.complete(task_id, execute_payload(payload))
+                        continue
+                time.sleep(self.poll_interval)
+        finally:
+            # Abandoned dispatch (worker error re-raised, or the
+            # map_stream consumer closed early): withdraw what never
+            # ran and drop uncollected results, so a shared fleet does
+            # not burn time on — and a shared spool does not accumulate
+            # — the remains of a dead campaign.  In-flight claimed
+            # chunks finish and overwrite harmlessly.
+            for task_id in pending:
+                broker.discard(task_id)
+
+    def _should_execute_inline(
+        self, broker: Broker, idle_since: float
+    ) -> bool:
+        """Whether the submitter should start serving its own queue.
+
+        Yes when the spawned fleet has died outright, or when no worker
+        anywhere has heartbeat within the timeout *and* we have already
+        waited one full heartbeat horizon for a fleet to appear.  With
+        ``inline_fallback`` off the first condition raises instead —
+        a dead fleet cannot finish the dispatch.
+        """
+        if self._fleet_dead():
+            if not self.inline_fallback:
+                raise RuntimeError(
+                    "queue executor: all spawned workers exited with the "
+                    "dispatch incomplete (see worker-*.log in the spool)"
+                )
+            return True
+        if self._procs:
+            return False  # spawned fleet alive: let it work
+        if not self.inline_fallback:
+            return False
+        return (
+            not broker.live_workers(self.heartbeat_timeout)
+            and time.monotonic() - idle_since > self.heartbeat_timeout
+        )

@@ -1,0 +1,177 @@
+"""The queue fabric's worker-side entrypoint.
+
+::
+
+    python -m repro.engine.worker --broker /path/to/spool
+
+runs one worker process against a :class:`~repro.engine.broker.FileBroker`
+spool: claim a task, unpickle its tuple of
+:class:`~repro.engine.request.RunRequest`, execute it exactly like an
+in-process chunk (same code path as every other engine, so results are
+byte-identical by construction), and publish a result payload that
+carries the chunk results *plus* the worker-side cache-counter deltas —
+workload cache, profile cache, decision state — so the submitting
+:class:`~repro.engine.queue_exec.QueueExecutor` can fold them into its
+:class:`~repro.engine.executors.EngineStats` just as a process pool
+would.  Failures inside a chunk are published as error payloads (the
+traceback travels back to the submitter and is re-raised there);
+the worker itself keeps serving.
+
+Liveness: the worker heartbeats through the broker on every loop
+iteration, and exits when the broker's cooperative stop flag is raised
+(once the queue is drained), when ``--max-idle`` seconds pass without
+work, or after ``--max-tasks`` tasks (testing hook).  Workers can join
+from any host that shares the spool; start several to scale a campaign
+out (see ``examples/remote_campaign.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from typing import Optional, Sequence
+
+from .broker import Broker, FileBroker, worker_identity
+from .payloads import (  # noqa: F401 - re-exported wire-format codecs
+    PAYLOAD_VERSION,
+    decode_result,
+    decode_task,
+    encode_error,
+    encode_result,
+    encode_task,
+    execute_payload,
+)
+
+__all__ = [
+    "encode_task",
+    "decode_task",
+    "encode_result",
+    "decode_result",
+    "serve",
+    "main",
+]
+
+
+def serve(
+    broker: Broker,
+    *,
+    worker_id: Optional[str] = None,
+    poll_interval: float = 0.02,
+    max_idle: Optional[float] = None,
+    max_tasks: Optional[int] = None,
+    heartbeat_interval: float = 1.0,
+) -> int:
+    """Serve the broker until stopped; returns tasks executed.
+
+    One iteration = heartbeat, claim, execute+complete (or idle-sleep).
+    Exits when the broker's stop flag is up and no task was claimable,
+    after ``max_idle`` seconds without work, or after ``max_tasks``
+    tasks.
+
+    A daemon thread heartbeats every ``heartbeat_interval`` seconds *in
+    parallel with chunk execution*, so a worker deep inside a long
+    chunk still advertises liveness — without it, any chunk outlasting
+    the submitter's ``heartbeat_timeout`` would be judged dead,
+    requeued and executed twice (harmless but wasteful).
+    """
+    import threading
+
+    worker_id = worker_id or worker_identity()
+    stop_beating = threading.Event()
+
+    def _beat() -> None:
+        while not stop_beating.wait(heartbeat_interval):
+            try:
+                broker.heartbeat(worker_id)
+            except OSError:  # pragma: no cover - spool torn down
+                return
+
+    beater = threading.Thread(target=_beat, daemon=True)
+    beater.start()
+    executed = 0
+    idle_since = time.monotonic()
+    try:
+        while True:
+            broker.heartbeat(worker_id)
+            task = broker.claim(worker_id)
+            if task is not None:
+                task_id, payload = task
+                broker.complete(task_id, execute_payload(payload))
+                executed += 1
+                idle_since = time.monotonic()
+                if max_tasks is not None and executed >= max_tasks:
+                    return executed
+                continue
+            if broker.stop_requested():
+                return executed
+            if (
+                max_idle is not None
+                and time.monotonic() - idle_since > max_idle
+            ):
+                return executed
+            time.sleep(poll_interval)
+    finally:
+        stop_beating.set()
+        beater.join(timeout=heartbeat_interval + 1.0)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entrypoint: ``python -m repro.engine.worker --broker DIR``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.engine.worker",
+        description=(
+            "Serve a repro.engine queue-executor spool: claim RunRequest "
+            "chunks, execute them, publish results (with cache-counter "
+            "deltas) back through the broker."
+        ),
+    )
+    parser.add_argument(
+        "--broker",
+        required=True,
+        metavar="DIR",
+        help="FileBroker spool directory shared with the submitter",
+    )
+    parser.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.02,
+        help="seconds to sleep when the queue is empty (default 0.02)",
+    )
+    parser.add_argument(
+        "--max-idle",
+        type=float,
+        default=None,
+        help="exit after this many idle seconds (default: wait for stop)",
+    )
+    parser.add_argument(
+        "--max-tasks",
+        type=int,
+        default=None,
+        help="exit after executing this many tasks (testing hook)",
+    )
+    parser.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=1.0,
+        help="seconds between liveness beats (default 1.0)",
+    )
+    parser.add_argument(
+        "--worker-id",
+        default=None,
+        help="override the advertised worker identity",
+    )
+    args = parser.parse_args(argv)
+    executed = serve(
+        FileBroker(args.broker),
+        worker_id=args.worker_id,
+        poll_interval=args.poll_interval,
+        max_idle=args.max_idle,
+        max_tasks=args.max_tasks,
+        heartbeat_interval=args.heartbeat_interval,
+    )
+    print(f"worker exit: {executed} task(s) executed")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - subprocess entrypoint
+    raise SystemExit(main())

@@ -27,6 +27,7 @@ EXPECTED_OUTPUT = {
     "np_hardness_demo.py": "Theorem 2: always",
     "batch_campaign.py": "reading:",
     "phase_diagram.py": "per-cell paired comparisons",
+    "remote_campaign.py": "byte-identical to the serial run",
 }
 
 

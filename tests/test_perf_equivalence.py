@@ -4,8 +4,8 @@ The heap event queue, the batched profile accessors and the unified
 execution engine are pure optimisations: every observable output must be
 byte-identical to the seed's linear-scan / scalar / serial paths under
 common random numbers.  These tests pin that contract — including the
-PR-2 guarantee that the serial, pool and persistent executors produce
-byte-identical figure series.
+engine guarantee that all five executors (serial, pool, persistent,
+async and queue) produce byte-identical figure series.
 """
 
 import os
@@ -17,8 +17,10 @@ from repro.cluster import Cluster
 from repro.core.state import TaskRuntime
 from repro.engine import (
     ENGINES,
+    AsyncExecutor,
     PersistentPoolExecutor,
     PoolExecutor,
+    QueueExecutor,
     SerialExecutor,
     create_executor,
     default_chunk_size,
@@ -199,8 +201,19 @@ class TestEngineEquivalence:
 
     @pytest.mark.parametrize("figure", ["fig7", "fig10"])
     def test_figure_series_byte_identical_tiny(self, figure):
+        """The five-executor identity pin (serial is the reference).
+
+        Covers the full executor matrix: both process pools, the
+        asyncio executor and the broker-backed queue executor must all
+        reproduce the serial figure series byte-for-byte.
+        """
         reference = run_figure(figure, scale="tiny", seed=1, engine="serial")
-        for executor in (PoolExecutor(workers=2), PersistentPoolExecutor(workers=2)):
+        for executor in (
+            PoolExecutor(workers=2),
+            PersistentPoolExecutor(workers=2),
+            AsyncExecutor(workers=2),
+            QueueExecutor(workers=2),
+        ):
             with executor:
                 result = run_figure(
                     figure, scale="tiny", seed=1, executor=executor
@@ -216,7 +229,7 @@ class TestEngineEquivalence:
     @pytest.mark.parametrize("figure", ["fig7", "fig10"])
     def test_figure_series_byte_identical_small(self, figure):
         reference = run_figure(figure, scale="small", seed=1, engine="serial")
-        for engine in ("pool", "persistent"):
+        for engine in ("pool", "persistent", "async", "queue"):
             result = run_figure(
                 figure, scale="small", seed=1, engine=engine, workers=2
             )
