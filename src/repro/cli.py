@@ -26,7 +26,12 @@ replicate progress (``Executor.map_stream``) on stderr while a sweep
 executes.  The ``queue`` engine self-hosts a local broker spool plus
 ``--workers`` worker subprocesses (``python -m repro.engine.worker``);
 its statistics — profile-cache and decision-state counters included —
-travel back across the queue boundary like any other engine's.  The benchmark suite under
+travel back across the queue boundary like any other engine's.  Two
+resilience knobs ride along (``docs/RESILIENCE.md``): ``--journal
+DIR`` records finished chunks so a re-run of the same campaign resumes
+instead of recomputing, and ``--chaos PLAN`` arms deterministic fault
+injection (``--verbose`` then also prints the retry / requeue /
+dead-letter / journal digest).  The benchmark suite under
 ``benchmarks/`` reads the ``REPRO_BENCH_SCALE`` environment variable
 (``tiny``/``small``/``paper``) to pick its scaling preset.
 """
@@ -105,6 +110,26 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="print the engine's cache/pool statistics after the run",
     )
+    parser.add_argument(
+        "--journal",
+        default=None,
+        metavar="DIR",
+        help=(
+            "content-addressed chunk-result journal: finished chunks are "
+            "recorded here and a re-run of the same campaign skips them "
+            "(crash-resumable dispatch)"
+        ),
+    )
+    parser.add_argument(
+        "--chaos",
+        default=None,
+        metavar="PLAN",
+        help=(
+            "arm deterministic fault injection: JSON or key=value pairs, "
+            "e.g. 'seed=7,crash_after_claim=0.25,corrupt_result=0.5' "
+            "(results stay byte-identical; for testing the fabric)"
+        ),
+    )
 
 
 def _make_executor(args: argparse.Namespace, *, sweep: bool = False):
@@ -119,7 +144,12 @@ def _make_executor(args: argparse.Namespace, *, sweep: bool = False):
         args.workers,
         pooled_default="persistent" if sweep else "pool",
     )
-    return create_executor(engine, workers=args.workers)
+    return create_executor(
+        engine,
+        workers=args.workers,
+        chaos_plan=getattr(args, "chaos", None),
+        journal=getattr(args, "journal", None),
+    )
 
 
 def _report_engine(
@@ -130,7 +160,9 @@ def _report_engine(
     ``profiles`` adds the :class:`~repro.resilience.ExpectedTimeModel`
     profile-cache line (hit rate of the envelope ring across every
     dispatched simulation) and the decision-state line (rows the
-    incremental engine patched vs reused across events).
+    incremental engine patched vs reused across events).  A line of
+    resilience counters (retries, requeues, dead-letters, duplicates,
+    journal hits) appears whenever any of them fired.
     """
     if args.verbose:
         stats = executor.stats()
@@ -139,6 +171,8 @@ def _report_engine(
             print(f"profiles: {stats.describe_profiles()}")
             if stats.decision_rows_patched + stats.decision_rows_reused:
                 print(f"decisions: {stats.describe_decisions()}")
+        if stats.any_resilience_events():
+            print(f"resilience: {stats.describe_resilience()}")
 
 
 def build_parser() -> argparse.ArgumentParser:

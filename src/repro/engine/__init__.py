@@ -50,6 +50,12 @@ persistent, async and queue execution — and the only observable
 differences are wall-clock and the ``cache_info()``-style counters in
 :class:`EngineStats` (which the pool *and* queue transports both carry
 back from their workers).
+
+The contract also powers the resilience layer (``docs/RESILIENCE.md``):
+because any execution of a request is byte-identical, work can be
+retried (:class:`RetryPolicy`), requeued, deduplicated, journaled for
+crash-resume (:class:`ResultJournal`) and exercised under deterministic
+fault injection (:class:`FaultPlan`) without ever changing a result.
 """
 
 from __future__ import annotations
@@ -57,6 +63,7 @@ from __future__ import annotations
 from .async_exec import AsyncExecutor
 from .broker import Broker, FileBroker, worker_identity
 from .cache import WorkloadCache, shared_cache
+from .chaos import ChaosBroker, ChaosCrash, FaultPlan
 from .executors import (
     ENGINES,
     EngineStats,
@@ -69,25 +76,34 @@ from .executors import (
     ensure_executor,
     resolve_engine,
 )
+from .journal import ResultJournal, ensure_journal
 from .queue_exec import QueueExecutor
 from .request import RunRequest, execute_request
+from .retry import DEFAULT_RETRY_POLICY, RetryPolicy
 
 __all__ = [
     "ENGINES",
+    "DEFAULT_RETRY_POLICY",
     "AsyncExecutor",
     "Broker",
+    "ChaosBroker",
+    "ChaosCrash",
     "EngineStats",
     "Executor",
+    "FaultPlan",
     "FileBroker",
     "PersistentPoolExecutor",
     "PoolExecutor",
     "QueueExecutor",
+    "ResultJournal",
+    "RetryPolicy",
     "RunRequest",
     "SerialExecutor",
     "WorkloadCache",
     "create_executor",
     "default_chunk_size",
     "ensure_executor",
+    "ensure_journal",
     "execute_request",
     "resolve_engine",
     "shared_cache",

@@ -30,7 +30,7 @@ from __future__ import annotations
 import asyncio
 from typing import Any, Iterator, List, Tuple
 
-from .executors import _PersistentPooled, _execute_chunk
+from .executors import _PersistentPooled
 from .request import RunRequest
 
 __all__ = ["AsyncExecutor"]
@@ -85,16 +85,31 @@ class AsyncExecutor(_PersistentPooled):
         chunk futures are created up front, then every iteration awaits
         ``FIRST_COMPLETED``, folds the finished chunks' cache deltas and
         yields their ``(start_index, results)`` pairs while the pool
-        keeps working on the rest.
+        keeps working on the rest.  Journal-aware like every dispatch
+        path: already-journaled chunks are yielded before the loop ever
+        spins, and fresh completions are journaled as they land.
         """
+        call = self._chunk_call()
+        hits: List[Tuple[int, List[Any]]] = []
+        fresh: List[Tuple[int, Tuple[RunRequest, ...]]] = []
+        start = 0
+        for chunk in chunks:
+            cached = self._journal_fetch(chunk)
+            if cached is not None:
+                hits.append((start, cached))
+            else:
+                fresh.append((start, chunk))
+            start += len(chunk)
+        yield from hits
+        if not fresh:
+            return
         pool = self._ensure_pool()
         loop = asyncio.new_event_loop()
         try:
             pending = {}
-            start = 0
-            for chunk in chunks:
-                pending[loop.run_in_executor(pool, _execute_chunk, chunk)] = start
-                start += len(chunk)
+            for chunk_start, chunk in fresh:
+                future = loop.run_in_executor(pool, call, chunk)
+                pending[future] = (chunk_start, chunk)
             while pending:
                 done, _ = loop.run_until_complete(
                     asyncio.wait(
@@ -102,8 +117,10 @@ class AsyncExecutor(_PersistentPooled):
                     )
                 )
                 for future in done:
-                    results, workloads, profiles, decisions = future.result()
-                    self._fold(workloads, profiles, decisions)
-                    yield pending.pop(future), results
+                    output = future.result()
+                    self._fold_output(output)
+                    chunk_start, chunk = pending.pop(future)
+                    self._journal_store(chunk, output)
+                    yield chunk_start, output[0]
         finally:
             loop.close()

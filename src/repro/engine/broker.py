@@ -31,6 +31,11 @@ Concretely a broker must guarantee:
   another worker (used when the claimant's heartbeat goes stale);
 * :meth:`~Broker.discard` — a queued task (and any uncollected result)
   can be withdrawn by the submitter, e.g. when a dispatch aborts;
+* :meth:`~Broker.dead_letter` / :meth:`~Broker.dead_letters` /
+  :meth:`~Broker.fetch_dead_letter` — a chunk that exhausted its retry
+  budget is quarantined with its payload and remote traceback instead
+  of wedging the campaign (see :mod:`repro.engine.retry` and the
+  runbook in ``docs/RESILIENCE.md``);
 * :meth:`~Broker.heartbeat` / :meth:`~Broker.live_workers` — workers
   advertise liveness; the submitter uses it for timeout decisions;
 * :meth:`~Broker.request_stop` / :meth:`~Broker.stop_requested` — a
@@ -95,6 +100,29 @@ class Broker(Protocol):
         """
         ...
 
+    def dead_letter(self, task_id: str, payload: bytes, info: bytes) -> None:
+        """Quarantine a poisoned task: keep its payload + failure info.
+
+        Dead-lettered tasks are out of the delivery loop — no worker
+        will claim them — but stay inspectable and resubmittable by an
+        operator (``info`` carries the remote traceback).
+        """
+        ...
+
+    def dead_letters(self) -> List[str]:
+        """Task ids currently quarantined in the dead-letter spool."""
+        ...
+
+    def fetch_dead_letter(
+        self, task_id: str
+    ) -> Optional[Tuple[bytes, bytes]]:
+        """Remove one quarantined task; ``(payload, info)`` or ``None``.
+
+        Fetching un-quarantines: the caller now owns the payload (to
+        resubmit it after a fix, or drop it for good).
+        """
+        ...
+
     def heartbeat(self, worker_id: str) -> None:
         """Record that ``worker_id`` is alive right now."""
         ...
@@ -125,6 +153,8 @@ class FileBroker:
         claimed/<task>.task    payloads a worker is executing
         claimed/<task>.owner   claimant worker id (one line)
         results/<task>.result  completed result payloads
+        dead/<task>.task       quarantined (dead-lettered) payloads
+        dead/<task>.info       the quarantined task's failure report
         workers/<worker>.beat  heartbeat files (mtime = last beat)
         tmp/                   staging for atomic writes
         stop                   cooperative-shutdown sentinel
@@ -141,7 +171,7 @@ class FileBroker:
 
     def __init__(self, root: os.PathLike | str):
         self.root = Path(root)
-        for sub in ("queue", "claimed", "results", "workers", "tmp"):
+        for sub in ("queue", "claimed", "results", "dead", "workers", "tmp"):
             (self.root / sub).mkdir(parents=True, exist_ok=True)
 
     # -- internals ---------------------------------------------------------
@@ -240,6 +270,45 @@ class FileBroker:
             except FileNotFoundError:
                 pass
         return removed
+
+    def dead_letter(self, task_id: str, payload: bytes, info: bytes) -> None:
+        """Quarantine ``task_id``: payload + failure report into ``dead/``.
+
+        Any residue of the task elsewhere in the spool (a queued
+        payload from a racing resubmit, an uncollected error result)
+        is withdrawn, so quarantine is the task's terminal state until
+        an operator fetches it back.
+        """
+        self._write_atomic(self.root / "dead" / f"{task_id}.task", payload)
+        self._write_atomic(self.root / "dead" / f"{task_id}.info", info)
+        self.discard(task_id)
+
+    def dead_letters(self) -> List[str]:
+        """Quarantined task ids, lexicographically sorted."""
+        return sorted(
+            entry.stem for entry in self.root.joinpath("dead").glob("*.task")
+        )
+
+    def fetch_dead_letter(
+        self, task_id: str
+    ) -> Optional[Tuple[bytes, bytes]]:
+        """Remove one quarantined task; ``(payload, info)`` or ``None``."""
+        task_path = self.root / "dead" / f"{task_id}.task"
+        info_path = self.root / "dead" / f"{task_id}.info"
+        try:
+            payload = task_path.read_bytes()
+        except FileNotFoundError:
+            return None
+        try:
+            info = info_path.read_bytes()
+        except FileNotFoundError:
+            info = b""
+        for path in (task_path, info_path):
+            try:
+                os.remove(path)
+            except FileNotFoundError:  # pragma: no cover - racing fetchers
+                pass
+        return payload, info
 
     def heartbeat(self, worker_id: str) -> None:
         """Touch the worker's beat file (mtime is the liveness clock)."""

@@ -1,0 +1,348 @@
+"""Deterministic fault injection for the run fabric.
+
+The paper's whole subject is computing through failures; this module
+turns the same discipline on our own execution engine.  A
+:class:`FaultPlan` is a seed-driven schedule of injected faults —
+worker crashes before/after claiming, stalled heartbeats, transient
+``OSError`` on spool I/O, truncated result payloads, slow workers and
+transient runner errors — that wraps any
+:class:`~repro.engine.broker.Broker` (:class:`ChaosBroker`) and the
+worker entrypoint (``python -m repro.engine.worker --chaos PLAN``), so
+every supervision path in the fabric — retry/backoff, heartbeat
+requeue, duplicate-result absorption, inline fallback — is exercised
+*reproducibly* in tests and benchmarks.
+
+Two properties make the layer safe to run under the byte-identity
+pins:
+
+1. **Determinism.**  Every injection decision is a pure function of
+   ``(plan.seed, site, key)`` through :func:`repro.rng.derive_rng` —
+   no global RNG, no wall clock.  The same plan over the same campaign
+   fires the same faults.
+2. **Single-shot per site.**  A fault fires at most once per
+   ``(site, key)`` — the first result fetch of a task may come back
+   truncated, the *re*-fetch after the retry never is; a runner fault
+   fires only on attempt 1.  Combined with the supervision machinery
+   (retries for I/O and corruption, heartbeat requeue plus inline
+   fallback for crashes and stalls) this guarantees recovery: under
+   any plan seed, a dispatch with ``inline_fallback`` enabled
+   completes with results byte-identical to the fault-free run — the
+   invariant ``tests/test_engine_chaos.py`` pins on fig7/fig10.
+
+The injected exceptions are the real taxonomy
+(:class:`~repro.exceptions.TransientEngineError`, plain ``OSError``),
+so recovery flows through exactly the code paths a genuine fault would
+take.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, fields, replace
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..exceptions import ConfigurationError, TransientEngineError
+from ..rng import derive_rng
+
+__all__ = ["FaultPlan", "ChaosBroker", "ChaosCrash", "stable_task_key"]
+
+Key = Union[int, str]
+
+
+def stable_task_key(task_id: str) -> str:
+    """The run-stable part of a queue task id.
+
+    The queue executor prefixes task ids with a per-executor nonce
+    (``<nonce>-d00001-c000000``) so concurrent campaigns can share a
+    spool; chaos decisions key on the suffix — dispatch + chunk index —
+    so the same plan over the same campaign fires the same faults in
+    every run.
+    """
+    _, _, suffix = task_id.partition("-")
+    return suffix or task_id
+
+
+class ChaosCrash(SystemExit):
+    """An injected worker crash (a ``SystemExit`` so processes die).
+
+    Raised out of :func:`repro.engine.worker.serve` when the plan
+    schedules a crash: in a worker subprocess the interpreter exits
+    without completing the claimed task (the claim goes stale and is
+    requeued); in-process tests catch it like any exception.
+    """
+
+
+#: FaultPlan fields that are injection *rates* (probabilities in [0, 1]).
+_RATE_FIELDS = (
+    "crash_before_claim",
+    "crash_after_claim",
+    "stalled_heartbeat",
+    "broker_io_error",
+    "corrupt_result",
+    "slow_worker",
+    "runner_fault",
+)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seed-driven schedule of injected faults.
+
+    All ``*_rate``-style fields are probabilities in ``[0, 1]``; the
+    durations are seconds.  The plan is immutable, picklable and
+    JSON-serialisable (it travels to worker subprocesses on their
+    command line).
+
+    Parameters
+    ----------
+    seed:
+        Master seed of every injection decision.
+    crash_before_claim:
+        A worker dies on start-up, before claiming anything (keyed by
+        its chaos index — the fleet shrinks; supervision must absorb).
+    crash_after_claim:
+        A worker dies after claiming a task and before completing it
+        (keyed by task id — the stale claim must be requeued).
+    stalled_heartbeat:
+        A worker stops heartbeating for ``stall_duration`` seconds
+        while still holding — and eventually completing — its claim
+        (keyed by task id — exercises requeue *and* the
+        duplicate-result path).
+    broker_io_error:
+        A broker operation (submit / fetch / requeue) raises a
+        transient ``OSError`` on its first invocation for a task.
+    corrupt_result:
+        The first fetch of a task's result returns truncated bytes
+        (the decode fails; the chunk must be retried).
+    slow_worker:
+        A worker sleeps ``slow_delay`` seconds before executing a
+        claimed task.
+    runner_fault:
+        A request raises :class:`~repro.exceptions.TransientEngineError`
+        on its first attempt (keyed by the request seed — exercises the
+        in-place retry layer of *every* executor).
+    stall_duration, slow_delay:
+        Durations for the stall / slow injections.
+    """
+
+    seed: int = 0
+    crash_before_claim: float = 0.0
+    crash_after_claim: float = 0.0
+    stalled_heartbeat: float = 0.0
+    broker_io_error: float = 0.0
+    corrupt_result: float = 0.0
+    slow_worker: float = 0.0
+    runner_fault: float = 0.0
+    stall_duration: float = 0.3
+    slow_delay: float = 0.02
+
+    def __post_init__(self) -> None:
+        for name in _RATE_FIELDS:
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigurationError(
+                    f"FaultPlan.{name} must be in [0, 1], got {rate}"
+                )
+        if self.stall_duration < 0 or self.slow_delay < 0:
+            raise ConfigurationError("chaos durations must be >= 0")
+
+    # -- decisions ---------------------------------------------------------
+    def decide(self, rate: float, site: str, *keys: Key) -> bool:
+        """One deterministic coin: fires with ``rate`` at ``(site, keys)``.
+
+        A pure function of ``(plan.seed, site, keys)``; callers key on
+        stable identifiers (task ids, request seeds, worker indices) so
+        the schedule is reproducible across runs and processes.
+        """
+        if rate <= 0.0:
+            return False
+        if rate >= 1.0:
+            return True
+        return derive_rng(self.seed, "chaos", site, *keys).random() < rate
+
+    def maybe_runner_fault(self, request_seed: int, attempt: int) -> None:
+        """Raise a transient fault for this request's *first* attempt."""
+        if attempt == 1 and self.decide(
+            self.runner_fault, "runner", request_seed
+        ):
+            raise TransientEngineError(
+                f"chaos: injected runner fault (request seed {request_seed})"
+            )
+
+    def any_faults(self) -> bool:
+        """Whether any injection rate is non-zero."""
+        return any(getattr(self, name) > 0.0 for name in _RATE_FIELDS)
+
+    # -- wire format -------------------------------------------------------
+    def to_json(self) -> str:
+        """Compact JSON (the worker command-line / CLI format)."""
+        return json.dumps(
+            {f.name: getattr(self, f.name) for f in fields(self)},
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        """Inverse of :meth:`to_json`."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"invalid chaos plan JSON: {exc}") from exc
+        return cls.from_spec(data)
+
+    @classmethod
+    def from_spec(
+        cls, spec: Union[str, Dict[str, object], "FaultPlan", None]
+    ) -> Optional["FaultPlan"]:
+        """Build a plan from a CLI-style spec.
+
+        Accepts ``None`` (no chaos), an existing plan, a dict, a JSON
+        object string, or ``key=value`` pairs like
+        ``"seed=7,crash_after_claim=0.25,corrupt_result=0.5"``.
+        """
+        if spec is None or isinstance(spec, FaultPlan):
+            return spec
+        if isinstance(spec, str):
+            text = spec.strip()
+            if not text:
+                return None
+            if text.startswith("{"):
+                return cls.from_json(text)
+            data: Dict[str, object] = {}
+            for pair in text.split(","):
+                if "=" not in pair:
+                    raise ConfigurationError(
+                        f"chaos spec entries must be key=value, got {pair!r}"
+                    )
+                key, value = (part.strip() for part in pair.split("=", 1))
+                data[key] = value
+            spec = data
+        known = {f.name for f in fields(cls)}
+        unknown = set(spec) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown chaos plan fields {sorted(unknown)}; "
+                f"known: {sorted(known)}"
+            )
+        kwargs: Dict[str, object] = {}
+        for key, value in spec.items():
+            kwargs[key] = int(value) if key == "seed" else float(value)
+        return cls(**kwargs)
+
+    def describe(self) -> str:
+        """One-line digest of the active injections."""
+        active = [
+            f"{name}={getattr(self, name):g}"
+            for name in _RATE_FIELDS
+            if getattr(self, name) > 0.0
+        ]
+        return f"FaultPlan(seed={self.seed}, {', '.join(active) or 'no faults'})"
+
+
+class ChaosBroker:
+    """A :class:`~repro.engine.broker.Broker` wrapper that injects faults.
+
+    Wraps any broker and perturbs the *transport* deterministically:
+    transient ``OSError`` on the first ``submit`` / ``fetch_result`` /
+    ``requeue`` touching a task, and a truncated payload on the first
+    successful result fetch of a task scheduled for corruption.  All
+    injections are single-shot per ``(operation, task)`` — the retry
+    that follows always sees a clean broker — and every other operation
+    passes straight through, so the wrapped broker's contract is
+    preserved.
+
+    ``injected`` counts fired faults by site (observability for tests
+    and the soak benchmark).
+    """
+
+    def __init__(self, broker, plan: FaultPlan):
+        self.broker = broker
+        self.plan = plan
+        self.injected: Dict[str, int] = {}
+        self._op_counts: Dict[Tuple[str, str], int] = {}
+
+    def _first_call(self, op: str, task_id: str) -> bool:
+        key = (op, task_id)
+        count = self._op_counts.get(key, 0)
+        self._op_counts[key] = count + 1
+        return count == 0
+
+    def _fire(self, site: str) -> None:
+        self.injected[site] = self.injected.get(site, 0) + 1
+
+    def _maybe_io_error(self, op: str, task_id: str) -> None:
+        if self._first_call(op, task_id) and self.plan.decide(
+            self.plan.broker_io_error, f"io-{op}", stable_task_key(task_id)
+        ):
+            self._fire(f"io-{op}")
+            raise OSError(f"chaos: injected {op} I/O error for {task_id!r}")
+
+    # -- perturbed operations ----------------------------------------------
+    def submit(self, task_id: str, payload: bytes) -> None:
+        self._maybe_io_error("submit", task_id)
+        self.broker.submit(task_id, payload)
+
+    def fetch_result(self, task_id: str) -> Optional[bytes]:
+        self._maybe_io_error("fetch", task_id)
+        payload = self.broker.fetch_result(task_id)
+        if payload is None:
+            return None
+        if self._first_call("corrupt", task_id) and self.plan.decide(
+            self.plan.corrupt_result, "corrupt", stable_task_key(task_id)
+        ):
+            self._fire("corrupt")
+            return payload[: max(1, len(payload) // 2)]
+        return payload
+
+    def requeue(self, task_id: str) -> bool:
+        self._maybe_io_error("requeue", task_id)
+        return self.broker.requeue(task_id)
+
+    # -- transparent operations --------------------------------------------
+    def claim(self, worker_id: str):
+        return self.broker.claim(worker_id)
+
+    def complete(self, task_id: str, payload: bytes) -> None:
+        self.broker.complete(task_id, payload)
+
+    def discard(self, task_id: str) -> bool:
+        return self.broker.discard(task_id)
+
+    def dead_letter(self, task_id: str, payload: bytes, info: bytes) -> None:
+        self.broker.dead_letter(task_id, payload, info)
+
+    def dead_letters(self) -> List[str]:
+        return self.broker.dead_letters()
+
+    def fetch_dead_letter(self, task_id: str):
+        return self.broker.fetch_dead_letter(task_id)
+
+    def heartbeat(self, worker_id: str) -> None:
+        self.broker.heartbeat(worker_id)
+
+    def live_workers(self, horizon: float) -> List[str]:
+        return self.broker.live_workers(horizon)
+
+    def stale_claims(self, horizon: float) -> List[str]:
+        return self.broker.stale_claims(horizon)
+
+    def request_stop(self) -> None:
+        self.broker.request_stop()
+
+    def stop_requested(self) -> bool:
+        return self.broker.stop_requested()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ChaosBroker({self.broker!r}, {self.plan.describe()})"
+
+
+def sleep_for(duration: float) -> None:
+    """``time.sleep`` behind a seam the tests can monkeypatch."""
+    if duration > 0:
+        time.sleep(duration)
+
+
+def with_seed(plan: Optional[FaultPlan], seed: int) -> Optional[FaultPlan]:
+    """The same plan re-keyed to another master seed (``None`` passes)."""
+    return None if plan is None else replace(plan, seed=seed)

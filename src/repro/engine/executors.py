@@ -42,14 +42,30 @@ same objects ``map`` would return — only arrival order differs.
 
 from __future__ import annotations
 
+import functools
 import math
+import os
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, ClassVar, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    ClassVar,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from ..exceptions import ConfigurationError
 from .cache import shared_cache
+from .chaos import FaultPlan
+from .journal import ResultJournal, decode_journal_hit, ensure_journal
 from .request import RunRequest, execute_request
+from .retry import DEFAULT_RETRY_POLICY, RetryPolicy, execute_with_retry
 
 __all__ = [
     "ENGINES",
@@ -88,6 +104,12 @@ class EngineStats:
     decision_rows_patched: int = 0  #: decision-matrix rows recomputed
     decision_rows_reused: int = 0   #: component rows (finish/RC/keep) reused
     decision_scratch_allocs: int = 0  #: scratch ndarrays preallocated by caches
+    retries: int = 0            #: retried attempts (in-place + chunk resubmits)
+    requeues: int = 0           #: stale claims pushed back onto the queue
+    dead_lettered: int = 0      #: chunks quarantined after exhausting retries
+    duplicate_results: int = 0  #: redundant completions absorbed (first wins)
+    journal_hits: int = 0       #: chunks served from the result journal
+    journal_misses: int = 0     #: chunks the journal had not seen yet
 
     def cache_info(self) -> Dict[str, int]:
         """The counters as a plain dict."""
@@ -103,7 +125,34 @@ class EngineStats:
             "decision_rows_patched": self.decision_rows_patched,
             "decision_rows_reused": self.decision_rows_reused,
             "decision_scratch_allocs": self.decision_scratch_allocs,
+            "retries": self.retries,
+            "requeues": self.requeues,
+            "dead_lettered": self.dead_lettered,
+            "duplicate_results": self.duplicate_results,
+            "journal_hits": self.journal_hits,
+            "journal_misses": self.journal_misses,
         }
+
+    def any_resilience_events(self) -> bool:
+        """Whether any retry/quarantine/journal counter is non-zero."""
+        return bool(
+            self.retries
+            or self.requeues
+            or self.dead_lettered
+            or self.duplicate_results
+            or self.journal_hits
+            or self.journal_misses
+        )
+
+    def describe_resilience(self) -> str:
+        """One-line retry/quarantine/journal digest for ``--verbose``."""
+        return (
+            f"retries: {self.retries} requeues: {self.requeues} "
+            f"dead-lettered: {self.dead_lettered} "
+            f"duplicates absorbed: {self.duplicate_results} / "
+            f"journal hits: {self.journal_hits} "
+            f"(misses: {self.journal_misses})"
+        )
 
     def decision_reuse_rate(self) -> float:
         """Share of decision-matrix rows served without recomputation."""
@@ -143,19 +192,52 @@ class EngineStats:
         )
 
 
+def _execute_one(
+    request: RunRequest,
+    policy: Optional[RetryPolicy],
+    plan: Optional[FaultPlan],
+) -> Tuple[Any, int]:
+    """Run one request under the retry layer; ``(result, retries)``.
+
+    Transient failures (and injected chaos runner faults) are retried
+    in place with the policy's deterministic backoff; the retry count
+    rides back to the submitter in the chunk's engine-counter delta.
+    """
+    retried = 0
+
+    def attempt(number: int) -> Any:
+        nonlocal retried
+        retried = number - 1
+        if plan is not None:
+            plan.maybe_runner_fault(request.seed, number)
+        return execute_request(request)
+
+    value = execute_with_retry(attempt, seed=request.seed, policy=policy)
+    return value, retried
+
+
 def _execute_chunk(
     requests: Tuple[RunRequest, ...],
+    policy: Optional[RetryPolicy] = None,
+    plan: Optional[FaultPlan] = None,
 ) -> Tuple[
-    List[Any], Tuple[int, int], Tuple[int, int], Tuple[int, int, int]
+    List[Any],
+    Tuple[int, int],
+    Tuple[int, int],
+    Tuple[int, int, int],
+    Tuple[int],
 ]:
     """Run one contiguous chunk in the current process.
 
-    Module-level so it pickles under every multiprocessing start method.
-    Returns the results plus this chunk's ``(hits, misses)`` deltas of
-    the process-local workload cache, of the process-wide profile
-    counters (:meth:`~repro.resilience.expected_time.ExpectedTimeModel.
-    process_cache_snapshot`) and of the decision-state counters
-    (:func:`~repro.core.kernels.process_decision_snapshot`), which the
+    Module-level so it pickles under every multiprocessing start method
+    (the executors bind ``policy``/``plan`` with ``functools.partial``,
+    which pickles by reference plus the frozen dataclasses).  Returns
+    the results plus this chunk's ``(hits, misses)`` deltas of the
+    process-local workload cache, of the process-wide profile counters
+    (:meth:`~repro.resilience.expected_time.ExpectedTimeModel.
+    process_cache_snapshot`), of the decision-state counters
+    (:func:`~repro.core.kernels.process_decision_snapshot`) and of the
+    engine's own resilience counters (in-place retries), which the
     parent aggregates into its :class:`EngineStats` (workers' counters
     are otherwise invisible to the submitting process).
     """
@@ -165,7 +247,12 @@ def _execute_chunk(
     hits_before, misses_before = shared_cache.snapshot()
     p_hits_before, p_misses_before = ExpectedTimeModel.process_cache_snapshot()
     d_before = process_decision_snapshot()
-    results = [execute_request(request) for request in requests]
+    results = []
+    retries = 0
+    for request in requests:
+        value, retried = _execute_one(request, policy, plan)
+        results.append(value)
+        retries += retried
     hits_after, misses_after = shared_cache.snapshot()
     p_hits_after, p_misses_after = ExpectedTimeModel.process_cache_snapshot()
     d_after = process_decision_snapshot()
@@ -174,37 +261,74 @@ def _execute_chunk(
         (hits_after - hits_before, misses_after - misses_before),
         (p_hits_after - p_hits_before, p_misses_after - p_misses_before),
         tuple(after - before for after, before in zip(d_after, d_before)),
+        (retries,),
     )
 
 
 def _stream_futures(
     executor: "Executor", pool, chunks: List[Tuple[RunRequest, ...]]
 ) -> Iterator[Tuple[int, List[Any]]]:
-    """Submit chunks to a live pool and yield each as it completes."""
+    """Submit chunks to a live pool and yield each as it completes.
+
+    Journal-aware: chunks the attached result journal already holds are
+    yielded up front without touching the pool; every executed chunk is
+    journaled as it lands.
+    """
     from concurrent.futures import as_completed
 
-    starts: List[int] = []
-    offset = 0
+    call = executor._chunk_call()
+    futures = {}
+    hits: List[Tuple[int, List[Any]]] = []
+    start = 0
     for chunk in chunks:
-        starts.append(offset)
-        offset += len(chunk)
-    futures = {
-        pool.submit(_execute_chunk, chunk): start
-        for chunk, start in zip(chunks, starts)
-    }
+        cached = executor._journal_fetch(chunk)
+        if cached is not None:
+            hits.append((start, cached))
+        else:
+            futures[pool.submit(call, chunk)] = (start, chunk)
+        start += len(chunk)
+    yield from hits
     for future in as_completed(futures):
-        results, workloads, profiles, decisions = future.result()
-        executor._fold(workloads, profiles, decisions)
-        yield futures[future], results
+        output = future.result()
+        executor._fold_output(output)
+        chunk_start, chunk = futures[future]
+        executor._journal_store(chunk, output)
+        yield chunk_start, output[0]
 
 
 class Executor:
-    """Common machinery: ordered dispatch, statistics, lifecycle."""
+    """Common machinery: ordered dispatch, statistics, lifecycle.
+
+    Every executor also carries the resilience layer's three knobs:
+
+    ``retry_policy``
+        The :class:`~repro.engine.retry.RetryPolicy` applied to every
+        unit of work (in-place per-request retries everywhere, plus
+        per-chunk resubmission in the queue engine).  ``None`` disables
+        retrying.
+    ``chaos_plan``
+        An optional :class:`~repro.engine.chaos.FaultPlan` threaded
+        into every chunk execution (and, for the queue engine, into the
+        broker and worker fleet) for deterministic fault injection.
+    ``journal``
+        An optional :class:`~repro.engine.journal.ResultJournal` (or a
+        directory path) consulted before executing any chunk and
+        updated as chunks land, making interrupted campaigns resumable.
+    """
 
     name: ClassVar[str] = "?"
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        *,
+        retry_policy: Optional[RetryPolicy] = DEFAULT_RETRY_POLICY,
+        chaos_plan: Optional[FaultPlan] = None,
+        journal: Union[ResultJournal, os.PathLike, str, None] = None,
+    ) -> None:
         self._stats = EngineStats()
+        self.retry_policy = retry_policy
+        self.chaos_plan = FaultPlan.from_spec(chaos_plan)
+        self.journal = ensure_journal(journal)
 
     # -- public API --------------------------------------------------------
     def map(self, requests: Sequence[RunRequest]) -> List[Any]:
@@ -268,19 +392,43 @@ class Executor:
         """Default streaming: one request at a time, in request order."""
         return self._stream_inline([(request,) for request in requests])
 
+    def _chunk_call(self) -> Callable[[Tuple[RunRequest, ...]], Tuple]:
+        """``_execute_chunk`` with this executor's retry/chaos knobs bound.
+
+        A :func:`functools.partial` of the module-level function, so it
+        pickles under every multiprocessing start method.
+        """
+        return functools.partial(
+            _execute_chunk, policy=self.retry_policy, plan=self.chaos_plan
+        )
+
     def _run_inline(self, chunks: List[Tuple[RunRequest, ...]]) -> List[Any]:
         """Execute chunks in this process, folding in the cache deltas."""
-        return self._collect(_execute_chunk(chunk) for chunk in chunks)
+        results: List[Any] = []
+        for start, chunk_results in self._stream_inline(chunks):
+            results.extend(chunk_results)
+        return results
 
     def _stream_inline(
         self, chunks: List[Tuple[RunRequest, ...]]
     ) -> Iterator[Tuple[int, List[Any]]]:
-        """Execute chunks in this process, yielding each as it finishes."""
+        """Execute chunks in this process, yielding each as it finishes.
+
+        Journal-aware like every dispatch path: known chunks are served
+        from the attached journal, fresh ones are journaled as they
+        complete.
+        """
+        call = self._chunk_call()
         start = 0
         for chunk in chunks:
-            results, workloads, profiles, decisions = _execute_chunk(chunk)
-            self._fold(workloads, profiles, decisions)
-            yield start, results
+            cached = self._journal_fetch(chunk)
+            if cached is not None:
+                yield start, cached
+            else:
+                output = call(chunk)
+                self._fold_output(output)
+                self._journal_store(chunk, output)
+                yield start, output[0]
             start += len(chunk)
 
     def _fold(
@@ -288,8 +436,9 @@ class Executor:
         workloads: Tuple[int, int],
         profiles: Tuple[int, int],
         decisions: Tuple[int, int, int],
+        engine: Tuple[int] = (0,),
     ) -> None:
-        """Fold one chunk's cache deltas into the statistics."""
+        """Fold one chunk's cache/engine deltas into the statistics."""
         self._stats.workloads_reused += workloads[0]
         self._stats.workloads_built += workloads[1]
         self._stats.profile_hits += profiles[0]
@@ -297,12 +446,62 @@ class Executor:
         self._stats.decision_rows_patched += decisions[0]
         self._stats.decision_rows_reused += decisions[1]
         self._stats.decision_scratch_allocs += decisions[2]
+        self._stats.retries += engine[0]
+
+    def _fold_output(self, chunk_output: Tuple) -> None:
+        """Fold one ``_execute_chunk`` output tuple into the statistics."""
+        _, workloads, profiles, decisions, engine = chunk_output
+        self._fold(workloads, profiles, decisions, engine)
+
+    # -- journal plumbing --------------------------------------------------
+    def _journal_fetch(
+        self, chunk: Tuple[RunRequest, ...]
+    ) -> Optional[List[Any]]:
+        """This chunk's journaled results, or ``None`` (counted either way).
+
+        A hit returns results without folding the stored cache deltas —
+        no work happened, so the counters must not claim any.  An entry
+        that fails to decode (stale format, torn write) is discarded
+        and treated as a miss.
+        """
+        if self.journal is None:
+            return None
+        key = self.journal.chunk_key(chunk)
+        payload = self.journal.get(key)
+        if payload is not None:
+            output = decode_journal_hit(payload)
+            if output is not None:
+                self._stats.journal_hits += 1
+                return list(output[0])
+            self.journal.discard(key)
+        self._stats.journal_misses += 1
+        return None
+
+    def _journal_store(
+        self, chunk: Tuple[RunRequest, ...], chunk_output: Tuple
+    ) -> None:
+        """Journal one completed chunk's encoded output (best-effort)."""
+        if self.journal is not None:
+            from .payloads import encode_result
+
+            self.journal.put(
+                self.journal.chunk_key(chunk), encode_result(chunk_output)
+            )
 
     def _collect(self, chunk_outputs) -> List[Any]:
         results: List[Any] = []
-        for chunk_results, workloads, profiles, decisions in chunk_outputs:
-            results.extend(chunk_results)
-            self._fold(workloads, profiles, decisions)
+        for output in chunk_outputs:
+            results.extend(output[0])
+            self._fold_output(output)
+        return results
+
+    def _gather(
+        self, stream: Iterator[Tuple[int, List[Any]]], total: int
+    ) -> List[Any]:
+        """Reassemble a completion-ordered stream into request order."""
+        results: List[Any] = [None] * total
+        for start, chunk_results in stream:
+            results[start:start + len(chunk_results)] = chunk_results
         return results
 
 
@@ -318,8 +517,18 @@ class SerialExecutor(Executor):
 class _PooledExecutor(Executor):
     """Shared chunking/validation of the two process-pool executors."""
 
-    def __init__(self, workers: int = 2, chunk_size: Optional[int] = None):
-        super().__init__()
+    def __init__(
+        self,
+        workers: int = 2,
+        chunk_size: Optional[int] = None,
+        *,
+        retry_policy: Optional[RetryPolicy] = DEFAULT_RETRY_POLICY,
+        chaos_plan: Optional[FaultPlan] = None,
+        journal: Union[ResultJournal, os.PathLike, str, None] = None,
+    ):
+        super().__init__(
+            retry_policy=retry_policy, chaos_plan=chaos_plan, journal=journal
+        )
         if workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
         self.workers = int(workers)
@@ -354,7 +563,9 @@ class PoolExecutor(_PooledExecutor):
 
         self._stats.pool_launches += 1
         with ProcessPoolExecutor(max_workers=self.workers) as pool:
-            return self._collect(pool.map(_execute_chunk, chunks))
+            return self._gather(
+                _stream_futures(self, pool, chunks), len(requests)
+            )
 
     def _map_stream(
         self, requests: List[RunRequest]
@@ -382,8 +593,13 @@ class _PersistentPooled(_PooledExecutor):
     :data:`~repro.engine.cache.shared_cache` warm across sweep points.
     """
 
-    def __init__(self, workers: int = 2, chunk_size: Optional[int] = None):
-        super().__init__(workers, chunk_size)
+    def __init__(
+        self,
+        workers: int = 2,
+        chunk_size: Optional[int] = None,
+        **kwargs,
+    ):
+        super().__init__(workers, chunk_size, **kwargs)
         self._pool = None
 
     def _ensure_pool(self):
@@ -419,8 +635,9 @@ class PersistentPoolExecutor(_PersistentPooled):
     def _map(self, requests: List[RunRequest]) -> List[Any]:
         if self.workers == 1:
             return self._run_inline(self._chunked(requests))
-        return self._collect(
-            self._ensure_pool().map(_execute_chunk, self._chunked(requests))
+        return self._gather(
+            _stream_futures(self, self._ensure_pool(), self._chunked(requests)),
+            len(requests),
         )
 
     def _map_stream(
@@ -459,13 +676,17 @@ def ensure_executor(
     workers: Optional[int] = None,
     chunk_size: Optional[int] = None,
     pooled_default: str = "pool",
+    retry_policy: Optional[RetryPolicy] = DEFAULT_RETRY_POLICY,
+    chaos_plan: Union[FaultPlan, Dict[str, object], str, None] = None,
+    journal: Union[ResultJournal, os.PathLike, str, None] = None,
 ) -> Iterator[Executor]:
     """Yield a ready executor; own (and close) it only if we made it.
 
     A caller-supplied ``executor`` is yielded untouched and left open —
     it may have further dispatches coming (the next sweep point, the
-    next figure).  Otherwise one is created from
-    :func:`resolve_engine`'s rule and closed when the block exits.
+    next figure) and carries its own resilience knobs.  Otherwise one is
+    created from :func:`resolve_engine`'s rule and closed when the block
+    exits.
     """
     if executor is not None:
         yield executor
@@ -474,6 +695,9 @@ def ensure_executor(
         resolve_engine(engine, workers, pooled_default=pooled_default),
         workers=1 if workers is None else workers,
         chunk_size=chunk_size,
+        retry_policy=retry_policy,
+        chaos_plan=chaos_plan,
+        journal=journal,
     )
     try:
         yield owned
@@ -486,6 +710,9 @@ def create_executor(
     *,
     workers: int = 1,
     chunk_size: Optional[int] = None,
+    retry_policy: Optional[RetryPolicy] = DEFAULT_RETRY_POLICY,
+    chaos_plan: Union[FaultPlan, Dict[str, object], str, None] = None,
+    journal: Union[ResultJournal, os.PathLike, str, None] = None,
 ) -> Executor:
     """Instantiate an executor by engine name (CLI ``--engine`` values).
 
@@ -493,22 +720,29 @@ def create_executor(
     one), with their self-contained defaults — the queue engine hosts
     its own :class:`~repro.engine.broker.FileBroker` spool and worker
     fleet; build :class:`~repro.engine.queue_exec.QueueExecutor`
-    directly to point it at an externally served broker.
+    directly to point it at an externally served broker.  The three
+    resilience knobs (``retry_policy``, ``chaos_plan``, ``journal``;
+    see :class:`Executor`) thread through to every engine.
     """
+    resilience = dict(
+        retry_policy=retry_policy, chaos_plan=chaos_plan, journal=journal
+    )
     if engine == "serial":
-        return SerialExecutor()
+        return SerialExecutor(**resilience)
     if engine == "pool":
-        return PoolExecutor(workers=workers, chunk_size=chunk_size)
+        return PoolExecutor(workers=workers, chunk_size=chunk_size, **resilience)
     if engine == "persistent":
-        return PersistentPoolExecutor(workers=workers, chunk_size=chunk_size)
+        return PersistentPoolExecutor(
+            workers=workers, chunk_size=chunk_size, **resilience
+        )
     if engine == "async":
         from .async_exec import AsyncExecutor
 
-        return AsyncExecutor(workers=workers, chunk_size=chunk_size)
+        return AsyncExecutor(workers=workers, chunk_size=chunk_size, **resilience)
     if engine == "queue":
         from .queue_exec import QueueExecutor
 
-        return QueueExecutor(workers=workers, chunk_size=chunk_size)
+        return QueueExecutor(workers=workers, chunk_size=chunk_size, **resilience)
     known = ", ".join(ENGINES)
     raise ConfigurationError(
         f"unknown engine {engine!r}; known engines: {known}"

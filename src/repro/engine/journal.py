@@ -1,0 +1,165 @@
+"""Crash-resumable dispatch: a content-addressed chunk-result journal.
+
+A :class:`ResultJournal` is a directory of completed chunk results
+keyed by the *content* of the work — the runner function's identity,
+its payload and the :class:`~repro.engine.request.RunRequest` seeds —
+so a re-submitted campaign recognises work it already finished.  Every
+executor consults it (when one is attached) before executing or
+dispatching a chunk, and journals each chunk result as it lands:
+killing a paper-scale sweep after N chunks and re-running the same
+command recomputes only the remaining chunks, with the skips counted
+as ``journal_hits`` in :class:`~repro.engine.executors.EngineStats`.
+
+Why content addressing is sound here: requests are pure functions of
+``(fn, payload, seed)`` — the determinism contract in
+:mod:`repro.engine` — so two chunks with equal keys *must* produce
+byte-identical results, whether they ran in this campaign, a previous
+crash of it, or another host sharing the journal directory.  The same
+property makes the journal double as the cross-host result cache of
+the distributed-campaign roadmap item.
+
+Entries are the queue fabric's versioned ``ok`` payloads
+(:mod:`repro.engine.payloads`), written atomically (staging + rename),
+so a journal survives being shared with live writers and being torn
+down mid-write; the payload version is folded into the key, so entries
+from an incompatible wire format are simply never hit.  All journal
+I/O is best-effort: an unreadable or corrupt entry is a miss, a failed
+write is skipped — the journal accelerates a campaign, it can never
+wedge one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import uuid
+from pathlib import Path
+from typing import Iterable, Optional, Tuple, Union
+
+from .request import RunRequest
+
+__all__ = ["ResultJournal", "ensure_journal", "decode_journal_hit"]
+
+#: Bumped when the key derivation itself changes layout.
+_KEY_VERSION = 1
+
+
+def _request_material(request: RunRequest) -> bytes:
+    """The stable bytes one request contributes to its chunk's key.
+
+    The runner is identified by module + qualname (its *identity*, not
+    its bytecode), the payload by its pickled bytes at a fixed
+    protocol, and the seed as text.  ``tag`` is excluded: it is
+    caller-side bookkeeping and cannot influence the result.
+    """
+    fn = request.fn
+    header = f"{fn.__module__}:{fn.__qualname__}:{request.seed}:".encode()
+    return header + pickle.dumps(request.payload, protocol=4)
+
+
+class ResultJournal:
+    """A directory store of completed chunk results, keyed by content.
+
+    Layout under ``root``: ``<key[:2]>/<key>.result`` (sharded by the
+    first hex byte so huge campaigns do not create one giant
+    directory) plus a ``tmp/`` staging area for atomic writes.
+    Multiple processes — and hosts sharing the directory — may read
+    and write concurrently: keys are content-addressed, so concurrent
+    writers of one key write identical bytes, and ``os.replace``
+    guarantees readers never observe a partial entry.
+    """
+
+    def __init__(self, root: Union[os.PathLike, str]):
+        self.root = Path(root)
+        (self.root / "tmp").mkdir(parents=True, exist_ok=True)
+
+    # -- keys --------------------------------------------------------------
+    def chunk_key(self, requests: Iterable[RunRequest]) -> str:
+        """The content hash of one chunk of requests (hex digest)."""
+        from .payloads import PAYLOAD_VERSION
+
+        digest = hashlib.sha256()
+        digest.update(f"repro-journal:{_KEY_VERSION}:{PAYLOAD_VERSION}".encode())
+        for request in requests:
+            material = _request_material(request)
+            digest.update(len(material).to_bytes(8, "big"))
+            digest.update(material)
+        return digest.hexdigest()
+
+    def _entry_path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.result"
+
+    # -- store -------------------------------------------------------------
+    def get(self, key: str) -> Optional[bytes]:
+        """The journaled payload for ``key``, or ``None`` (best-effort)."""
+        try:
+            return self._entry_path(key).read_bytes()
+        except (OSError, ValueError):
+            return None
+
+    def put(self, key: str, payload: bytes) -> bool:
+        """Write one entry atomically; ``True`` if it is now present."""
+        target = self._entry_path(key)
+        staged = self.root / "tmp" / f"{uuid.uuid4().hex}.staging"
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            staged.write_bytes(payload)
+            os.replace(staged, target)
+        except OSError:
+            try:
+                staged.unlink(missing_ok=True)
+            except OSError:  # pragma: no cover - staging already gone
+                pass
+            return False
+        return True
+
+    def discard(self, key: str) -> bool:
+        """Drop one entry (e.g. after a format-version miss)."""
+        try:
+            self._entry_path(key).unlink()
+        except OSError:
+            return False
+        return True
+
+    # -- introspection -----------------------------------------------------
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("??/*.result"))
+
+    def clear(self) -> int:
+        """Remove every entry; returns how many were dropped."""
+        dropped = 0
+        for entry in self.root.glob("??/*.result"):
+            try:
+                entry.unlink()
+                dropped += 1
+            except OSError:  # pragma: no cover - concurrent clear
+                pass
+        return dropped
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultJournal({str(self.root)!r})"
+
+
+def ensure_journal(
+    journal: Union["ResultJournal", os.PathLike, str, None],
+) -> Optional[ResultJournal]:
+    """Coerce a journal argument (path or instance) to a ResultJournal."""
+    if journal is None or isinstance(journal, ResultJournal):
+        return journal
+    return ResultJournal(journal)
+
+
+def decode_journal_hit(payload: bytes) -> Optional[Tuple]:
+    """Decode one journaled payload; ``None`` if stale or unreadable.
+
+    A journal entry that no longer decodes (version skew, torn file
+    from a pre-atomic writer, disk corruption) is a miss, never an
+    error — the chunk simply re-runs and overwrites it.
+    """
+    from .payloads import decode_result
+
+    try:
+        return decode_result(payload)
+    except Exception:  # noqa: BLE001 - any decode failure is a miss
+        return None

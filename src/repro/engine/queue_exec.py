@@ -25,16 +25,28 @@ Two deployment shapes, one class:
   submits and collects; the worker fleet is yours (see
   ``examples/remote_campaign.py``).
 
-Resilience: workers heartbeat through the broker; a claimed chunk whose
-claimant goes silent past ``heartbeat_timeout`` is requeued for another
-worker, and if the fleet dies entirely the submitting process claims
-the remaining chunks itself (``inline_fallback``), so a dispatch always
-completes.  Duplicate executions caused by requeueing are harmless:
-requests are pure functions of their seed (the determinism contract in
-:mod:`repro.engine`), so any execution of a chunk yields byte-identical
-results and reassembly by chunk index is deterministic — the queue
-engine is pinned byte-identical to :class:`SerialExecutor` alongside
-every other engine in ``tests/test_perf_equivalence.py``.
+Supervision (the full story is ``docs/RESILIENCE.md``): workers
+heartbeat through the broker; a claimed chunk whose claimant goes
+silent past ``heartbeat_timeout`` is requeued for another worker
+(counted as ``requeues``), and if the fleet dies entirely the
+submitting process claims the remaining chunks itself
+(``inline_fallback``), so a dispatch always completes.  A chunk that
+comes back as a *transient* failure (worker I/O, a corrupted result
+payload, injected chaos) is resubmitted under the executor's
+:class:`~repro.engine.retry.RetryPolicy` with deterministic backoff; a
+*permanent* failure — or a transient one that exhausts the budget — is
+quarantined in the broker's dead-letter spool with its remote
+traceback, and the dispatch finishes the surviving chunks before
+reporting the loss (:class:`~repro.exceptions.PoisonChunkError`, or
+``None`` slots with ``on_poison="quarantine"``).  Duplicate executions
+caused by requeueing are harmless: requests are pure functions of their
+seed (the determinism contract in :mod:`repro.engine`), so any
+execution of a chunk yields byte-identical results; redundant
+completions are absorbed first-result-wins and counted as
+``duplicate_results``.  The queue engine is pinned byte-identical to
+:class:`SerialExecutor` alongside every other engine in
+``tests/test_perf_equivalence.py`` — and, under any chaos
+:class:`~repro.engine.chaos.FaultPlan`, in ``tests/test_engine_chaos.py``.
 """
 
 from __future__ import annotations
@@ -46,13 +58,20 @@ import sys
 import tempfile
 import time
 import uuid
-from typing import Any, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
 
-from ..exceptions import ConfigurationError
+from ..exceptions import (
+    ConfigurationError,
+    PermanentEngineError,
+    PoisonChunkError,
+    TransientEngineError,
+)
 from .broker import Broker, FileBroker, worker_identity
+from .chaos import ChaosBroker
 from .executors import _PooledExecutor
 from .request import RunRequest
 from .payloads import decode_result, encode_task, execute_payload
+from .retry import execute_with_retry
 
 __all__ = ["QueueExecutor"]
 
@@ -105,6 +124,26 @@ class QueueExecutor(_PooledExecutor):
         spinning forever.  A fleet that idled out is respawned on the
         next dispatch.  ``None`` disables the bound.  Ignored with a
         caller-supplied broker (the fleet is yours).
+    on_poison:
+        What to do with chunks that exhausted their retry budget:
+        ``"raise"`` (default) finishes the rest of the dispatch, then
+        raises :class:`~repro.exceptions.PoisonChunkError` carrying
+        every quarantined chunk's id, attempt count and remote
+        traceback; ``"quarantine"`` merely counts them
+        (``dead_lettered``) and leaves their result slots ``None``.
+        Either way the chunk payloads wait in the broker's dead-letter
+        spool for inspection or resubmission.
+    shutdown_timeout:
+        Seconds :meth:`close` waits for each spawned worker to honour
+        the cooperative stop sentinel before escalating to ``kill()``.
+    retry_policy, chaos_plan, journal:
+        The resilience knobs shared by every executor (see
+        :class:`~repro.engine.executors.Executor`).  Here the policy
+        additionally governs per-chunk resubmission and transient
+        broker I/O, the chaos plan wraps the broker in a
+        :class:`~repro.engine.chaos.ChaosBroker` and rides to spawned
+        workers on their command line, and the journal short-circuits
+        chunks a previous (possibly killed) campaign already finished.
     """
 
     name = "queue"
@@ -119,8 +158,11 @@ class QueueExecutor(_PooledExecutor):
         heartbeat_timeout: float = 60.0,
         inline_fallback: bool = True,
         worker_max_idle: Optional[float] = 600.0,
+        on_poison: str = "raise",
+        shutdown_timeout: float = 10.0,
+        **kwargs,
     ):
-        super().__init__(workers, chunk_size)
+        super().__init__(workers, chunk_size, **kwargs)
         if poll_interval <= 0:
             raise ConfigurationError(
                 f"poll_interval must be > 0, got {poll_interval}"
@@ -129,16 +171,27 @@ class QueueExecutor(_PooledExecutor):
             raise ConfigurationError(
                 f"heartbeat_timeout must be > 0, got {heartbeat_timeout}"
             )
+        if on_poison not in ("raise", "quarantine"):
+            raise ConfigurationError(
+                f'on_poison must be "raise" or "quarantine", got {on_poison!r}'
+            )
+        if shutdown_timeout <= 0:
+            raise ConfigurationError(
+                f"shutdown_timeout must be > 0, got {shutdown_timeout}"
+            )
         self._broker = broker
         self._spawn_workers = broker is None
         self._spool: Optional[str] = None
         self._procs: List[subprocess.Popen] = []
+        self._chaos: Optional[ChaosBroker] = None
         self.poll_interval = float(poll_interval)
         self.heartbeat_timeout = float(heartbeat_timeout)
         self.inline_fallback = bool(inline_fallback)
         self.worker_max_idle = (
             None if worker_max_idle is None else float(worker_max_idle)
         )
+        self.on_poison = on_poison
+        self.shutdown_timeout = float(shutdown_timeout)
         self._submitter = f"submitter-{worker_identity()}"
         self._nonce = uuid.uuid4().hex[:8]
 
@@ -149,6 +202,9 @@ class QueueExecutor(_PooledExecutor):
         A self-hosted fleet that exited (``worker_max_idle`` elapsed
         between campaigns, or a crash) is respawned here rather than
         silently degrading every later dispatch to inline execution.
+        With an active chaos plan the broker comes back wrapped in a
+        persistent :class:`~repro.engine.chaos.ChaosBroker`, so the
+        single-shot injection bookkeeping spans the dispatch loop.
         """
         if self._broker is None:
             self._spool = tempfile.mkdtemp(prefix="repro-queue-")
@@ -164,6 +220,10 @@ class QueueExecutor(_PooledExecutor):
             ):
                 self._procs = []
                 self._spawn_fleet()
+        if self.chaos_plan is not None and self.chaos_plan.any_faults():
+            if self._chaos is None or self._chaos.broker is not self._broker:
+                self._chaos = ChaosBroker(self._broker, self.chaos_plan)
+            return self._chaos
         return self._broker
 
     def _spawn_fleet(self) -> None:
@@ -179,14 +239,22 @@ class QueueExecutor(_PooledExecutor):
         ]
         if self.worker_max_idle is not None:
             command += ["--max-idle", str(self.worker_max_idle)]
+        chaos_active = (
+            self.chaos_plan is not None and self.chaos_plan.any_faults()
+        )
+        if chaos_active:
+            command += ["--chaos", self.chaos_plan.to_json()]
         self._stats.pool_launches += 1
         for index in range(self.workers):
+            worker_command = list(command)
+            if chaos_active:
+                worker_command += ["--chaos-index", str(index)]
             log = open(  # noqa: SIM115 - handed to the subprocess
                 os.path.join(self._spool, f"worker-{index}.log"), "ab"
             )
             self._procs.append(
                 subprocess.Popen(
-                    command,
+                    worker_command,
                     stdout=log,
                     stderr=subprocess.STDOUT,
                     env=_worker_env(),
@@ -202,7 +270,12 @@ class QueueExecutor(_PooledExecutor):
         )
 
     def close(self) -> None:
-        """Stop the fleet and remove the owned spool (idempotent)."""
+        """Stop the fleet and remove the owned spool (idempotent).
+
+        Workers get ``shutdown_timeout`` seconds to honour the stop
+        sentinel; one that is wedged (stuck syscall, pathological
+        chunk) is killed outright so ``close`` always returns.
+        """
         if self._broker is not None and (self._spawn_workers or self._procs):
             try:
                 self._broker.request_stop()
@@ -210,11 +283,12 @@ class QueueExecutor(_PooledExecutor):
                 pass
         for proc in self._procs:
             try:
-                proc.wait(timeout=10.0)
-            except subprocess.TimeoutExpired:  # pragma: no cover - hung
+                proc.wait(timeout=self.shutdown_timeout)
+            except subprocess.TimeoutExpired:
                 proc.kill()
                 proc.wait()
         self._procs = []
+        self._chaos = None
         if self._spool is not None:
             shutil.rmtree(self._spool, ignore_errors=True)
             self._spool = None
@@ -225,10 +299,7 @@ class QueueExecutor(_PooledExecutor):
         chunks = self._chunked(requests)
         if self.workers == 1 and self._spawn_workers:
             return self._run_inline(chunks)
-        slots: List[Any] = [None] * len(requests)
-        for start, results in self._dispatch(chunks):
-            slots[start:start + len(results)] = results
-        return slots
+        return self._gather(self._dispatch(chunks), len(requests))
 
     def _map_stream(
         self, requests: List[RunRequest]
@@ -238,52 +309,168 @@ class QueueExecutor(_PooledExecutor):
             return self._stream_inline(chunks)
         return self._dispatch(chunks)
 
+    def _broker_call(self, fn, *args, seed: int = 0):
+        """One broker operation under the retry policy.
+
+        Transient spool I/O (a full disk hiccup, an injected chaos
+        ``OSError``) retries with the same deterministic backoff as
+        everything else; the attempts beyond the first are counted as
+        ``retries``.
+        """
+
+        def attempt(number: int):
+            if number > 1:
+                self._stats.retries += 1
+            return fn(*args)
+
+        return execute_with_retry(attempt, seed=seed, policy=self.retry_policy)
+
     def _dispatch(
         self, chunks: List[Tuple[RunRequest, ...]]
     ) -> Iterator[Tuple[int, List[Any]]]:
         """Submit chunks to the broker; yield results as they land.
 
-        One iteration of the wait loop = collect every landed result,
-        then (only if nothing landed) supervise: requeue stale claims
-        and, with the fleet dead or absent past the heartbeat horizon,
-        claim a task and run it inline.  Reassembly is by submitted
-        chunk index, so arrival order is irrelevant to the result.
+        One iteration of the wait loop = resubmit chunks whose backoff
+        deadline passed, collect every landed result, then (only if
+        nothing landed) supervise: requeue stale claims and, with the
+        fleet dead or absent past the heartbeat horizon, claim a task
+        and run it inline.  Reassembly is by submitted chunk index, so
+        arrival order is irrelevant to the result.  Chunks the attached
+        journal already holds never reach the broker at all.
         """
-        broker = self._ensure_fabric()
-        starts = {}
-        start = 0
         dispatch = self._stats.dispatches  # unique per map() call
+
+        hits: List[Tuple[int, List[Any]]] = []
+        fresh: List[Tuple[int, int, Tuple[RunRequest, ...]]] = []
+        start = 0
         for index, chunk in enumerate(chunks):
-            task_id = f"{self._nonce}-d{dispatch:05d}-c{index:06d}"
-            broker.submit(task_id, encode_task(chunk))
-            starts[task_id] = start
+            cached = self._journal_fetch(chunk)
+            if cached is not None:
+                hits.append((start, cached))
+            else:
+                fresh.append((index, start, chunk))
             start += len(chunk)
+        yield from hits
+        if not fresh:
+            return  # fully journaled: never touch (or spawn) the fabric
+        broker = self._ensure_fabric()
+
+        starts: Dict[str, int] = {}
+        payloads: Dict[str, bytes] = {}
+        chunk_of: Dict[str, Tuple[RunRequest, ...]] = {}
+        seeds: Dict[str, int] = {}
+        attempts: Dict[str, int] = {}
+        retry_at: Dict[str, float] = {}  # backoff deadlines (monotonic)
+        requeued: Set[str] = set()  # tasks that may complete twice
+        completed: Set[str] = set()
+        dead: List[Tuple[str, int, str]] = []
+
+        budget = 1 if self.retry_policy is None else self.retry_policy.max_attempts
+
+        def quarantine(task_id: str, exc: Exception) -> None:
+            text = str(exc)
+            try:
+                broker.dead_letter(task_id, payloads[task_id], text.encode())
+            except OSError:  # pragma: no cover - quarantine is best-effort
+                pass
+            self._stats.dead_lettered += 1
+            dead.append((task_id, attempts[task_id], text))
+            pending.pop(task_id, None)
+
+        def absorb_duplicates() -> None:
+            # A requeued/resubmitted task we already collected may still
+            # produce a second (byte-identical) completion; consume it so
+            # the spool stays clean and count it.
+            for task_id in requeued & completed:
+                try:
+                    if broker.fetch_result(task_id) is not None:
+                        self._stats.duplicate_results += 1
+                except OSError:  # pragma: no cover - sweep is best-effort
+                    pass
+
+        for index, chunk_start, chunk in fresh:
+            task_id = f"{self._nonce}-d{dispatch:05d}-c{index:06d}"
+            payload = encode_task(chunk)
+            seed = chunk[0].seed
+            self._broker_call(broker.submit, task_id, payload, seed=seed)
+            starts[task_id] = chunk_start
+            payloads[task_id] = payload
+            chunk_of[task_id] = chunk
+            seeds[task_id] = seed
+            attempts[task_id] = 1
         pending = dict(starts)
         idle_since = time.monotonic()
         try:
             while pending:
                 landed = False
+                now = time.monotonic()
+                for task_id in [
+                    t for t, when in retry_at.items() if when <= now
+                ]:
+                    del retry_at[task_id]
+                    self._broker_call(
+                        broker.submit,
+                        task_id,
+                        payloads[task_id],
+                        seed=seeds[task_id],
+                    )
+                    requeued.add(task_id)
                 for task_id in sorted(pending):
-                    payload = broker.fetch_result(task_id)
+                    if task_id in retry_at:
+                        continue  # resubmission still waiting out backoff
+                    payload = self._broker_call(
+                        broker.fetch_result, task_id, seed=seeds[task_id]
+                    )
                     if payload is None:
                         continue
-                    results, workloads, profiles, decisions = decode_result(
-                        payload
-                    )
-                    self._fold(workloads, profiles, decisions)
-                    yield pending.pop(task_id), list(results)
                     landed = True
+                    try:
+                        output = decode_result(payload)
+                    except TransientEngineError as exc:
+                        if attempts[task_id] >= budget:
+                            quarantine(task_id, exc)
+                        else:
+                            delay = (
+                                0.0
+                                if self.retry_policy is None
+                                else self.retry_policy.delay(
+                                    attempts[task_id], seeds[task_id]
+                                )
+                            )
+                            retry_at[task_id] = time.monotonic() + delay
+                            attempts[task_id] += 1
+                            self._stats.retries += 1
+                        continue
+                    except PermanentEngineError as exc:
+                        quarantine(task_id, exc)
+                        continue
+                    self._fold_output(output)
+                    self._journal_store(chunk_of[task_id], output)
+                    completed.add(task_id)
+                    yield pending.pop(task_id), list(output[0])
+                absorb_duplicates()
                 if landed or not pending:
                     idle_since = time.monotonic()
                     continue
                 for task_id in broker.stale_claims(self.heartbeat_timeout):
-                    if task_id in pending:
-                        broker.requeue(task_id)
+                    if task_id in pending and task_id not in retry_at:
+                        if self._broker_call(
+                            broker.requeue, task_id, seed=seeds[task_id]
+                        ):
+                            requeued.add(task_id)
+                            self._stats.requeues += 1
                 if self._should_execute_inline(broker, idle_since):
                     claimed = broker.claim(self._submitter)
                     if claimed is not None:
                         task_id, payload = claimed
-                        broker.complete(task_id, execute_payload(payload))
+                        broker.complete(
+                            task_id,
+                            execute_payload(
+                                payload,
+                                policy=self.retry_policy,
+                                plan=self.chaos_plan,
+                            ),
+                        )
                         continue
                 time.sleep(self.poll_interval)
         finally:
@@ -295,6 +482,15 @@ class QueueExecutor(_PooledExecutor):
             # chunks finish and overwrite harmlessly.
             for task_id in pending:
                 broker.discard(task_id)
+            absorb_duplicates()
+        if dead and self.on_poison == "raise":
+            lines = [
+                f"queue executor: {len(dead)} chunk(s) quarantined in the "
+                "dead-letter spool after exhausting their retry budget:"
+            ]
+            for task_id, tried, text in dead:
+                lines.append(f"--- {task_id} (attempts: {tried}) ---\n{text}")
+            raise PoisonChunkError("\n".join(lines), chunks=dead)
 
     def _should_execute_inline(
         self, broker: Broker, idle_since: float

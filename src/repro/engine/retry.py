@@ -1,0 +1,158 @@
+"""The engine's retry policy: bounded attempts, deterministic backoff.
+
+Every executor shares one small law for "try again": a
+:class:`RetryPolicy` carries the attempt budget and an exponential
+backoff schedule whose jitter derives from the failing
+:class:`~repro.engine.request.RunRequest`'s seed — so two runs of the
+same campaign back off identically, and two requests that fail in the
+same poll cycle spread out instead of thundering back together.
+
+The taxonomy it dispatches on lives in :mod:`repro.exceptions`:
+
+* :class:`~repro.exceptions.TransientEngineError` (and plain
+  ``OSError``, so broker spool hiccups need no wrapping) — retry until
+  the budget runs out;
+* :class:`~repro.exceptions.PermanentEngineError` — surface
+  immediately;
+* anything else a runner raises is *deterministic* by the RunRequest
+  purity contract (same seed ⇒ same exception), so retrying cannot
+  help: it is treated as permanent and — in the queue engine — becomes
+  a :class:`~repro.exceptions.PoisonChunkError` headed for the
+  dead-letter spool.
+
+Two layers use this module:
+
+* :func:`execute_with_retry` wraps one request *in place* (inside
+  ``_execute_chunk``, hence inside every executor's worker — serial,
+  pooled, async and queue alike) and retries transient failures there;
+* the :class:`~repro.engine.queue_exec.QueueExecutor` applies the same
+  policy per *chunk* at the submitter for transport-level failures
+  (corrupt payloads, worker crashes) that the worker never saw.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from ..exceptions import (
+    ConfigurationError,
+    PermanentEngineError,
+    TransientEngineError,
+)
+from ..rng import derive_rng
+
+__all__ = [
+    "RetryPolicy",
+    "DEFAULT_RETRY_POLICY",
+    "is_transient",
+    "execute_with_retry",
+]
+
+
+def is_transient(exc: BaseException) -> bool:
+    """Whether the retry layer may re-attempt after this failure.
+
+    :class:`~repro.exceptions.PermanentEngineError` always wins over
+    the transient classification, even though both derive from
+    :class:`~repro.exceptions.EngineError`.
+    """
+    if isinstance(exc, PermanentEngineError):
+        return False
+    return isinstance(exc, (TransientEngineError, OSError))
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Attempt budget + deterministic exponential backoff.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total executions allowed per unit of work (first try included);
+        ``1`` disables retrying.
+    backoff_base:
+        Delay before the first retry, in seconds.
+    backoff_factor:
+        Multiplier applied per further retry (exponential backoff).
+    backoff_max:
+        Ceiling on any single delay.
+    jitter:
+        Fractional spread: each delay is scaled by a factor drawn
+        uniformly from ``[1 - jitter, 1 + jitter]`` — *deterministically*,
+        from the work unit's seed and the attempt number, so a re-run
+        of the same campaign reproduces the same schedule.
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_base < 0 or self.backoff_max < 0:
+            raise ConfigurationError("backoff delays must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if not 0.0 <= self.jitter < 1.0:
+            raise ConfigurationError(
+                f"jitter must be in [0, 1), got {self.jitter}"
+            )
+
+    def delay(self, attempt: int, seed: int) -> float:
+        """Seconds to wait after failed attempt number ``attempt`` (1-based).
+
+        A pure function of ``(policy, attempt, seed)``: the jitter
+        factor comes from :func:`repro.rng.derive_rng`, not a global
+        RNG, so backoff schedules are reproducible across processes.
+        """
+        if attempt < 1:
+            raise ConfigurationError(f"attempt must be >= 1, got {attempt}")
+        raw = min(
+            self.backoff_max,
+            self.backoff_base * self.backoff_factor ** (attempt - 1),
+        )
+        if self.jitter == 0.0 or raw == 0.0:
+            return raw
+        spread = derive_rng(seed, "retry-jitter", attempt).random()
+        return raw * (1.0 - self.jitter + 2.0 * self.jitter * spread)
+
+
+#: The stock policy every executor starts from.
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+
+def execute_with_retry(
+    fn: Callable[[int], Any],
+    *,
+    seed: int,
+    policy: Optional[RetryPolicy],
+    sleep: Callable[[float], None] = time.sleep,
+) -> Any:
+    """Run ``fn(attempt)`` under ``policy``; return its first success.
+
+    ``fn`` receives the 1-based attempt number (chaos injection keys on
+    it).  Transient failures (:func:`is_transient`) are retried after
+    the policy's deterministic backoff; permanent ones — and the last
+    transient one once the budget is spent — propagate to the caller.
+    ``policy=None`` means a single unguarded attempt.
+    """
+    if policy is None:
+        return fn(1)
+    attempt = 1
+    while True:
+        try:
+            return fn(attempt)
+        except BaseException as exc:  # noqa: BLE001 - classified below
+            if not is_transient(exc) or attempt >= policy.max_attempts:
+                raise
+            sleep(policy.delay(attempt, seed))
+            attempt += 1

@@ -23,6 +23,15 @@ iteration, and exits when the broker's cooperative stop flag is raised
 work, or after ``--max-tasks`` tasks (testing hook).  Workers can join
 from any host that shares the spool; start several to scale a campaign
 out (see ``examples/remote_campaign.py``).
+
+Chaos: ``--chaos PLAN`` (a :class:`~repro.engine.chaos.FaultPlan` as
+JSON) arms deterministic worker-side fault injection — crash on
+start-up before any claim (keyed by ``--chaos-index``), crash after
+claiming a task, a stalled heartbeat that outlives the submitter's
+timeout while the task still completes (the duplicate-result path),
+and artificially slow execution.  Each decision is a pure function of
+the plan seed and a stable key, so a chaotic fleet is exactly
+reproducible (see :mod:`repro.engine.chaos`).
 """
 
 from __future__ import annotations
@@ -32,6 +41,7 @@ import time
 from typing import Optional, Sequence
 
 from .broker import Broker, FileBroker, worker_identity
+from .chaos import ChaosCrash, FaultPlan, sleep_for, stable_task_key
 from .payloads import (  # noqa: F401 - re-exported wire-format codecs
     PAYLOAD_VERSION,
     decode_result,
@@ -41,6 +51,7 @@ from .payloads import (  # noqa: F401 - re-exported wire-format codecs
     encode_task,
     execute_payload,
 )
+from .retry import DEFAULT_RETRY_POLICY
 
 __all__ = [
     "encode_task",
@@ -60,6 +71,9 @@ def serve(
     max_idle: Optional[float] = None,
     max_tasks: Optional[int] = None,
     heartbeat_interval: float = 1.0,
+    chaos: Optional[FaultPlan] = None,
+    chaos_index: int = 0,
+    retry_policy=DEFAULT_RETRY_POLICY,
 ) -> int:
     """Serve the broker until stopped; returns tasks executed.
 
@@ -73,30 +87,65 @@ def serve(
     chunk still advertises liveness — without it, any chunk outlasting
     the submitter's ``heartbeat_timeout`` would be judged dead,
     requeued and executed twice (harmless but wasteful).
+
+    ``chaos`` arms worker-side fault injection (see the module
+    docstring); ``chaos_index`` keys the start-up crash decision so a
+    plan can kill worker 0 but spare worker 1.  ``retry_policy`` is the
+    in-place retry applied to transient request failures inside each
+    chunk — the same layer every in-process executor applies — so a
+    transient fault recovers *here* instead of costing a round trip.
     """
     import threading
 
     worker_id = worker_id or worker_identity()
     stop_beating = threading.Event()
+    beats_suspended = threading.Event()
 
     def _beat() -> None:
         while not stop_beating.wait(heartbeat_interval):
+            if beats_suspended.is_set():
+                continue
             try:
                 broker.heartbeat(worker_id)
             except OSError:  # pragma: no cover - spool torn down
                 return
 
+    if chaos is not None and chaos.decide(
+        chaos.crash_before_claim, "crash-before", chaos_index
+    ):
+        raise ChaosCrash(3)
+
     beater = threading.Thread(target=_beat, daemon=True)
     beater.start()
     executed = 0
     idle_since = time.monotonic()
+    chaos_seen = set()
     try:
         while True:
-            broker.heartbeat(worker_id)
+            if not beats_suspended.is_set():
+                broker.heartbeat(worker_id)
             task = broker.claim(worker_id)
             if task is not None:
                 task_id, payload = task
-                broker.complete(task_id, execute_payload(payload))
+                if chaos is not None and task_id not in chaos_seen:
+                    chaos_seen.add(task_id)
+                    task_key = stable_task_key(task_id)
+                    if chaos.decide(
+                        chaos.crash_after_claim, "crash-after", task_key
+                    ):
+                        raise ChaosCrash(3)
+                    if chaos.decide(chaos.slow_worker, "slow", task_key):
+                        sleep_for(chaos.slow_delay)
+                    if chaos.decide(
+                        chaos.stalled_heartbeat, "stall", task_key
+                    ):
+                        beats_suspended.set()
+                        sleep_for(chaos.stall_duration)
+                        beats_suspended.clear()
+                broker.complete(
+                    task_id,
+                    execute_payload(payload, policy=retry_policy, plan=chaos),
+                )
                 executed += 1
                 idle_since = time.monotonic()
                 if max_tasks is not None and executed >= max_tasks:
@@ -160,6 +209,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=None,
         help="override the advertised worker identity",
     )
+    parser.add_argument(
+        "--chaos",
+        default=None,
+        metavar="PLAN",
+        help="arm deterministic fault injection (a FaultPlan as JSON)",
+    )
+    parser.add_argument(
+        "--chaos-index",
+        type=int,
+        default=0,
+        help="this worker's index in the fleet (keys start-up crashes)",
+    )
     args = parser.parse_args(argv)
     executed = serve(
         FileBroker(args.broker),
@@ -168,6 +229,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         max_idle=args.max_idle,
         max_tasks=args.max_tasks,
         heartbeat_interval=args.heartbeat_interval,
+        chaos=None if args.chaos is None else FaultPlan.from_json(args.chaos),
+        chaos_index=args.chaos_index,
     )
     print(f"worker exit: {executed} task(s) executed")
     return 0

@@ -6,15 +6,35 @@ catch a single base class.  Errors raised during input validation use
 processors requested than exist, odd allocations, ...) use
 :class:`CapacityError`; inconsistencies detected while a simulation is
 running use :class:`SimulationError`.
+
+Run-fabric failures (:mod:`repro.engine`) carry a structured taxonomy
+under :class:`EngineError` that the retry layer dispatches on:
+
+* :class:`TransientEngineError` — the attempt failed but a retry may
+  succeed (broker I/O hiccup, worker crash, truncated result payload).
+  ``OSError`` raised by broker operations is treated the same way.
+* :class:`PermanentEngineError` — retrying cannot help (payload version
+  mismatch, misconfigured fabric); raised to the caller immediately.
+* :class:`PoisonChunkError` — a chunk exhausted its
+  :class:`~repro.engine.retry.RetryPolicy` attempts; in the queue
+  engine the chunk moves to the broker's dead-letter spool and the
+  error (with every remote traceback) is raised only after the rest of
+  the dispatch completed.
 """
 
 from __future__ import annotations
+
+from typing import Sequence, Tuple
 
 __all__ = [
     "ReproError",
     "ConfigurationError",
     "CapacityError",
     "SimulationError",
+    "EngineError",
+    "TransientEngineError",
+    "PermanentEngineError",
+    "PoisonChunkError",
 ]
 
 
@@ -37,3 +57,45 @@ class CapacityError(ReproError, ValueError):
 
 class SimulationError(ReproError, RuntimeError):
     """Internal inconsistency detected by the discrete-event simulator."""
+
+
+class EngineError(ReproError, RuntimeError):
+    """Base class for run-fabric (:mod:`repro.engine`) failures."""
+
+
+class TransientEngineError(EngineError):
+    """A retryable fabric failure: the same work may succeed if re-run.
+
+    Raised for broker I/O hiccups, corrupted/truncated result payloads
+    and injected chaos faults; runner functions may also raise it to
+    request a retry of their request.  The retry layer
+    (:mod:`repro.engine.retry`) classifies plain ``OSError`` the same
+    way, so spool-level failures need no wrapping.
+    """
+
+
+class PermanentEngineError(EngineError):
+    """A fabric failure no retry can fix (version skew, bad payloads)."""
+
+
+class PoisonChunkError(EngineError):
+    """A chunk kept failing until its retry budget ran out.
+
+    Attributes
+    ----------
+    chunks:
+        ``(task_id, attempts, traceback_text)`` triples, one per
+        dead-lettered chunk (empty for in-process executors, which
+        raise on the first exhausted chunk instead of quarantining).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        chunks: Sequence[Tuple[str, int, str]] = (),
+    ) -> None:
+        super().__init__(message)
+        self.chunks: Tuple[Tuple[str, int, str], ...] = tuple(chunks)
+
+    def __reduce__(self):
+        return (type(self), (self.args[0], self.chunks))

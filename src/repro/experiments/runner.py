@@ -194,6 +194,7 @@ def run_scenario(
     chunk_size: Optional[int] = None,
     engine: Optional[str] = None,
     executor: Optional[Executor] = None,
+    journal: Optional[Any] = None,
     simulator_options: Optional[Dict[str, Any]] = None,
     progress: Optional[Callable[[int, int], None]] = None,
 ) -> ScenarioResult:
@@ -218,6 +219,12 @@ def run_scenario(
     dispatch to :meth:`~repro.engine.Executor.map_stream` and is called
     as ``progress(done, total)`` after each completed chunk — the
     reassembled results stay byte-identical to a plain ``map``.
+
+    ``journal`` (a :class:`~repro.engine.ResultJournal` or directory
+    path) makes the run crash-resumable: chunks a previous campaign
+    already finished are served from the journal instead of
+    recomputed.  It only applies when this call creates the executor —
+    a caller-owned ``executor`` carries its own journal.
     """
     keys = _validate_series(series, baseline_key)
     requests = scenario_requests(
@@ -228,7 +235,11 @@ def run_scenario(
         simulator_options=simulator_options,
     )
     with ensure_executor(
-        executor, engine=engine, workers=workers, chunk_size=chunk_size
+        executor,
+        engine=engine,
+        workers=workers,
+        chunk_size=chunk_size,
+        journal=journal,
     ) as active:
         if progress is None:
             outputs = active.map(requests)

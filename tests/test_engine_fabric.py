@@ -147,11 +147,12 @@ class TestWorkerServe:
         broker.submit("t1", encode_task(requests))
         broker.request_stop()
         assert serve(broker, max_tasks=1) == 1
-        results, workloads, profiles, decisions = decode_result(
+        results, workloads, profiles, decisions, engine = decode_result(
             broker.fetch_result("t1")
         )
         assert list(results) == [execute_request(r) for r in requests]
         assert len(decisions) == 3
+        assert engine == (0,)
 
     def test_error_payload_carries_the_traceback(self, tmp_path):
         broker = FileBroker(tmp_path)
