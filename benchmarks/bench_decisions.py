@@ -9,14 +9,21 @@ runtime is dominated by rebuild decisions:
 * the ``decision_state="incremental"`` delta-patched
   :class:`~repro.core.kernels.DecisionCache` against the per-decision
   fresh build ``"rebuild"`` (this layer's claim: one event dirties at
-  most a few rows, so patching beats rebuilding).
+  most a few rows, so patching beats rebuilding), and
+* the PR-7 native-speed hot core (fused profile backend, vectorised
+  failure path, incremental profile deltas) against the all-reference
+  substrate (``profile_backend="reference"`` on the fresh-build array
+  kernel).
 
 Measurements:
 
 * ``sim_failure_heavy_incremental`` — the default engine: array kernel
-  + persistent decision cache + incremental rebuild heap;
+  + persistent decision cache + incremental rebuild heap + fused
+  profile backend;
 * ``sim_failure_heavy_array`` — the PR-3 fresh-build array kernel
   (``decision_state="rebuild"``);
+* ``sim_failure_heavy_reference`` — the fresh-build array kernel on
+  ``profile_backend="reference"`` (the PR-6-era substrate);
 * ``sim_failure_heavy_scalar`` — the seed-style scalar kernel;
 * ``rebuild_{array,scalar}`` — one isolated Algorithm-5 rebuild of an
   ``n``-task pack per kernel.
@@ -34,10 +41,12 @@ Runs two ways:
 
 ``python -m benchmarks.check_regression`` re-runs the measurements and
 enforces the derived host-relative floors: ``sim_kernel_speedup``
-(scalar seconds over fresh-build array seconds, floor 1.5x) and
+(scalar seconds over fresh-build array seconds, floor 1.5x),
 ``sim_state_speedup`` (fresh-build seconds over incremental seconds,
-floor 1.3x).  ``REPRO_BENCH_SCALE`` (``tiny``/``small``/``paper``)
-sizes the scenario.
+floor 1.3x) and ``sim_failure_heavy_speedup`` (reference-substrate
+seconds over incremental seconds, floor 2x at small/paper and 1.25x on
+the tiny CI leg — the ISSUE 7 hot-core target).  ``REPRO_BENCH_SCALE``
+(``tiny``/``small``/``paper``) sizes the scenario.
 """
 
 from __future__ import annotations
@@ -76,6 +85,14 @@ SCALE_PARAMS: Dict[str, Dict[str, float]] = {
 
 PARAMS = SCALE_PARAMS.get(BENCH_SCALE, SCALE_PARAMS["small"])
 
+#: Scale-aware floor for the hot-core failure-heavy gate.  The 2x
+#: tentpole target is a small/paper-scale claim — the substrate work
+#: the hot core removes grows with the pack while the per-event Python
+#: skeleton does not, so at ``tiny`` (n=32) the ratio compresses and
+#: the CI leg enforces a correspondingly reduced floor.
+FAILURE_HEAVY_FLOORS = {"tiny": 1.25, "small": 2.0, "paper": 2.0}
+FAILURE_HEAVY_FLOOR = FAILURE_HEAVY_FLOORS.get(BENCH_SCALE, 2.0)
+
 #: Rebuild microbenchmark pack size per scale.
 REBUILD_N = {"tiny": 24, "small": 64, "paper": 128}.get(BENCH_SCALE, 64)
 
@@ -105,32 +122,38 @@ def measure(
     return best
 
 
-def measure_sim(
-    kernel: str, state: str = "rebuild"
-) -> Dict[str, float]:
-    """One full failure-heavy ``ig-el`` run on the given decision modes."""
+def _sim_runner(
+    kernel: str, state: str, profile_backend: str
+) -> Callable[[], object]:
+    """A zero-argument failure-heavy ``ig-el`` run in the given modes."""
     pack, cluster, seed = _sim_workload()
-    model = ExpectedTimeModel(pack, cluster)
-    result = simulate(
+    model = ExpectedTimeModel(pack, cluster, profile_backend=profile_backend)
+    return lambda: simulate(
         pack, cluster, "ig-el", seed=seed, model=model,
         decision_kernel=kernel, decision_state=state,
     )
-    # Best-of-5: the derived speedups divide two of these measurements,
-    # so a single slow sample on a noisy shared host must not leak into
-    # either side of the ratio.
-    seconds = measure(
-        lambda: simulate(
-            pack, cluster, "ig-el", seed=seed, model=model,
-            decision_kernel=kernel, decision_state=state,
-        ),
-        repeats=5,
-    )
+
+
+def _sim_fields(result) -> Dict[str, float]:
     return {
-        "seconds": seconds,
         "events": float(result.events),
         "failures": float(result.failures_effective),
         "makespan": result.makespan,
     }
+
+
+def measure_sim(
+    kernel: str, state: str = "rebuild", profile_backend: str = "fused"
+) -> Dict[str, float]:
+    """One full failure-heavy ``ig-el`` run on the given decision modes.
+
+    Best-of-5 consecutive reps; when two sim modes feed a derived
+    ratio, prefer :func:`run_all`, which interleaves the reps across
+    modes so host drift cannot land on one side of the ratio.
+    """
+    run = _sim_runner(kernel, state, profile_backend)
+    fields = _sim_fields(run())
+    return {"seconds": measure(run, repeats=5), **fields}
 
 
 def _rebuild_once(n: int, kernel: str) -> Callable[[], list]:
@@ -169,30 +192,68 @@ def measure_rebuild(kernel: str) -> Dict[str, float]:
     }
 
 
+#: Simulation measurements: name -> (kernel, state, profile_backend).
+SIM_MODES: Dict[str, tuple] = {
+    "sim_failure_heavy_array": ("array", "rebuild", "fused"),
+    "sim_failure_heavy_reference": ("array", "rebuild", "reference"),
+    "sim_failure_heavy_incremental": ("array", "incremental", "fused"),
+    "sim_failure_heavy_scalar": ("scalar", "rebuild", "fused"),
+}
+
 #: name -> zero-argument measurement returning at least {"seconds": s}.
 #: Insertion order is the default execution order: the fresh-build run
 #: goes first so process warm-up (allocator, CPU ramp) never lands on
 #: one side of a derived speedup ratio.
 MEASUREMENTS: Dict[str, Callable[[], Dict[str, float]]] = {
-    "sim_failure_heavy_array": lambda: measure_sim("array", "rebuild"),
-    "sim_failure_heavy_incremental": lambda: measure_sim(
-        "array", "incremental"
-    ),
-    "sim_failure_heavy_scalar": lambda: measure_sim("scalar"),
+    **{
+        name: (lambda modes=modes: measure_sim(*modes))
+        for name, modes in SIM_MODES.items()
+    },
     "rebuild_array": lambda: measure_rebuild("array"),
     "rebuild_scalar": lambda: measure_rebuild("scalar"),
 }
 
 
+def _measure_sims_interleaved(
+    names: Sequence[str], repeats: int = 5
+) -> Dict[str, Dict[str, float]]:
+    """Best-of-``repeats`` for several sim modes, reps round-robin.
+
+    The derived speedups divide two of these measurements, so the reps
+    are interleaved (one run of *every* mode per round) — a load spike
+    on a noisy shared host then inflates all modes in the same rounds
+    instead of landing its whole duration on one side of a ratio.
+    """
+    runners = {name: _sim_runner(*SIM_MODES[name]) for name in names}
+    results = {}
+    for name, run in runners.items():  # warm-up + identity fields
+        results[name] = {"seconds": float("inf"), **_sim_fields(run())}
+    for _ in range(repeats):
+        for name, run in runners.items():
+            start = time.perf_counter()
+            run()
+            elapsed = time.perf_counter() - start
+            if elapsed < results[name]["seconds"]:
+                results[name]["seconds"] = elapsed
+    return results
+
+
 def run_all(names: Optional[Sequence[str]] = None) -> Dict[str, Dict[str, float]]:
     """Run the selected measurements (all by default) and check identity."""
     selected = list(MEASUREMENTS) if names is None else list(names)
-    results = {name: MEASUREMENTS[name]() for name in selected}
+    sim_names = [name for name in selected if name in SIM_MODES]
+    results = (
+        _measure_sims_interleaved(sim_names) if len(sim_names) > 1 else {}
+    )
+    for name in selected:
+        if name not in results:
+            results[name] = MEASUREMENTS[name]()
     sims = [
         results[name]
         for name in (
             "sim_failure_heavy_incremental",
             "sim_failure_heavy_array",
+            "sim_failure_heavy_reference",
             "sim_failure_heavy_scalar",
         )
         if name in results
@@ -228,6 +289,20 @@ def sim_state_speedup(results: Dict[str, Dict[str, float]]) -> float:
     )
 
 
+def sim_failure_heavy_speedup(results: Dict[str, Dict[str, float]]) -> float:
+    """Reference-substrate seconds over incremental seconds.
+
+    The ISSUE 7 hot-core acceptance number: the full native-speed stack
+    (fused profile backend + vectorised failure path + incremental
+    profile deltas + decision cache) against the same simulation on the
+    ``profile_backend="reference"`` fresh-build array kernel.
+    """
+    return (
+        results["sim_failure_heavy_reference"]["seconds"]
+        / results["sim_failure_heavy_incremental"]["seconds"]
+    )
+
+
 def rebuild_kernel_speedup(results: Dict[str, Dict[str, float]]) -> float:
     """Scalar seconds over array seconds on the isolated rebuild."""
     return (
@@ -246,6 +321,7 @@ def payload_from(results: Dict[str, Dict[str, float]]) -> Dict[str, object]:
         "derived": {
             "sim_kernel_speedup": sim_kernel_speedup(results),
             "sim_state_speedup": sim_state_speedup(results),
+            "sim_failure_heavy_speedup": sim_failure_heavy_speedup(results),
             "rebuild_kernel_speedup": rebuild_kernel_speedup(results),
         },
     }
@@ -269,10 +345,9 @@ def test_array_kernel_beats_scalar_on_failures():
     results = run_all(["sim_failure_heavy_array", "sim_failure_heavy_scalar"])
     assert results["sim_failure_heavy_array"]["events"] >= 1000
     if sim_kernel_speedup(results) < 1.5:  # pragma: no cover - noisy host
-        results = {
-            "sim_failure_heavy_array": measure_sim("array", "rebuild"),
-            "sim_failure_heavy_scalar": measure_sim("scalar"),
-        }
+        results = run_all(
+            ["sim_failure_heavy_array", "sim_failure_heavy_scalar"]
+        )
     speedup = sim_kernel_speedup(results)
     assert speedup >= 1.5, (
         f"array kernel only {speedup:.2f}x over scalar on the "
@@ -291,16 +366,38 @@ def test_incremental_state_beats_rebuild():
     )
     assert results["sim_failure_heavy_incremental"]["events"] >= 1000
     if sim_state_speedup(results) < 1.3:  # pragma: no cover - noisy host
-        results = {
-            "sim_failure_heavy_array": measure_sim("array", "rebuild"),
-            "sim_failure_heavy_incremental": measure_sim(
-                "array", "incremental"
-            ),
-        }
+        results = run_all(
+            ["sim_failure_heavy_array", "sim_failure_heavy_incremental"]
+        )
     speedup = sim_state_speedup(results)
     assert speedup >= 1.3, (
         f"incremental decision state only {speedup:.2f}x over the "
         "fresh-build array kernel on the failure-heavy benchmark"
+    )
+
+
+def test_hot_core_beats_reference_on_failures():
+    """Acceptance gate: the native-speed hot core wins end to end.
+
+    ISSUE 7's tentpole claim — fused profile backend + vectorised
+    failure path + incremental profile deltas together at least double
+    the failure-heavy run over the reference substrate at small/paper
+    scale (``FAILURE_HEAVY_FLOORS`` relaxes the tiny CI leg).  One
+    retry for noisy shared runners.
+    """
+    floor = FAILURE_HEAVY_FLOOR
+    results = run_all(
+        ["sim_failure_heavy_reference", "sim_failure_heavy_incremental"]
+    )
+    assert results["sim_failure_heavy_incremental"]["events"] >= 1000
+    if sim_failure_heavy_speedup(results) < floor:  # pragma: no cover - noisy host
+        results = run_all(
+            ["sim_failure_heavy_reference", "sim_failure_heavy_incremental"]
+        )
+    speedup = sim_failure_heavy_speedup(results)
+    assert speedup >= floor, (
+        f"hot core only {speedup:.2f}x over the reference substrate on "
+        f"the failure-heavy benchmark (floor {floor:g}x at {BENCH_SCALE})"
     )
 
 

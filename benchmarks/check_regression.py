@@ -9,9 +9,12 @@ host-relative speedups must also stay above their floors: the batched
 expected-times accessor over the scalar loop
 (``--min-batch-speedup``, default 3x), the array decision kernel
 over the scalar kernel on the failure-heavy simulation
-(``--min-kernel-speedup``, default 1.5x), and the incremental decision
+(``--min-kernel-speedup``, default 1.5x), the incremental decision
 state over the per-decision fresh build on the same run
-(``--min-state-speedup``, default 1.3x).
+(``--min-state-speedup``, default 1.3x), and the full native-speed hot
+core over the ``profile_backend="reference"`` substrate
+(``--min-failure-heavy-speedup``, default 2x at small/paper scale and
+1.25x on the tiny CI leg — the ISSUE 7 target is an at-scale claim).
 
 Usage (from the repo root)::
 
@@ -40,7 +43,9 @@ try:
     from .bench_decisions import (
         BENCH_SCALE as DECISIONS_SCALE,
         DEFAULT_BASELINE as DECISIONS_BASELINE,
+        FAILURE_HEAVY_FLOOR,
         run_all as run_decisions,
+        sim_failure_heavy_speedup,
         sim_kernel_speedup,
         sim_state_speedup,
     )
@@ -49,7 +54,9 @@ except ImportError:  # pytest / sys.path import (benchmarks/ on the path)
     from bench_decisions import (
         BENCH_SCALE as DECISIONS_SCALE,
         DEFAULT_BASELINE as DECISIONS_BASELINE,
+        FAILURE_HEAVY_FLOOR,
         run_all as run_decisions,
+        sim_failure_heavy_speedup,
         sim_kernel_speedup,
         sim_state_speedup,
     )
@@ -62,6 +69,10 @@ DEFAULT_MIN_BATCH_SPEEDUP = 3.0
 DEFAULT_MIN_KERNEL_SPEEDUP = 1.5
 #: Floor on the incremental-vs-rebuild decision-state speedup.
 DEFAULT_MIN_STATE_SPEEDUP = 1.3
+#: Floor on the hot-core-vs-reference-substrate speedup (ISSUE 7).
+#: Scale-aware: 2x at small/paper, relaxed on the tiny CI leg (see
+#: ``bench_decisions.FAILURE_HEAVY_FLOORS``).
+DEFAULT_MIN_FAILURE_HEAVY_SPEEDUP = FAILURE_HEAVY_FLOOR
 
 
 def _check_against_baseline(
@@ -141,11 +152,13 @@ def check_decisions(
     threshold: float = DEFAULT_THRESHOLD,
     min_kernel_speedup: float = DEFAULT_MIN_KERNEL_SPEEDUP,
     min_state_speedup: float = DEFAULT_MIN_STATE_SPEEDUP,
+    min_failure_heavy_speedup: float = DEFAULT_MIN_FAILURE_HEAVY_SPEEDUP,
 ) -> tuple[bool, str]:
     """Decision gate: fresh run vs ``BENCH_decisions.json``.
 
-    Enforces both host-relative floors — the array-vs-scalar kernel
-    speedup and the incremental-vs-rebuild decision-state speedup.
+    Enforces all three host-relative floors — the array-vs-scalar
+    kernel speedup, the incremental-vs-rebuild decision-state speedup,
+    and the hot-core-vs-reference-substrate failure-heavy speedup.
     The committed baseline is recorded at ``small`` scale while CI runs
     ``tiny``, so the scale is part of the comparability test.
     """
@@ -167,6 +180,11 @@ def check_decisions(
         derived=[
             ("sim_kernel_speedup", sim_kernel_speedup(fresh), min_kernel_speedup),
             ("sim_state_speedup", sim_state_speedup(fresh), min_state_speedup),
+            (
+                "sim_failure_heavy_speedup",
+                sim_failure_heavy_speedup(fresh),
+                min_failure_heavy_speedup,
+            ),
         ],
     )
 
@@ -205,6 +223,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "(default 1.3)"
         ),
     )
+    parser.add_argument(
+        "--min-failure-heavy-speedup", type=float,
+        default=DEFAULT_MIN_FAILURE_HEAVY_SPEEDUP,
+        help=(
+            "required hot-core-vs-reference failure-heavy speedup "
+            f"(default {DEFAULT_MIN_FAILURE_HEAVY_SPEEDUP:g} at "
+            f"REPRO_BENCH_SCALE={DECISIONS_SCALE})"
+        ),
+    )
     args = parser.parse_args(argv)
     for path, module in (
         (args.baseline, "bench_hotpath"),
@@ -221,7 +248,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     print(report)
     dec_ok, dec_report = check_decisions(
         args.decisions_baseline, args.threshold, args.min_kernel_speedup,
-        args.min_state_speedup,
+        args.min_state_speedup, args.min_failure_heavy_speedup,
     )
     print(dec_report)
     ok &= dec_ok

@@ -136,13 +136,18 @@ def apply_move(
     j_init: int,
     new_sigma: int,
     alpha_t: float,
+    cache: Optional["DecisionCache"] = None,
 ) -> None:
     """Commit a redistribution on ``rt`` (Alg. 3 lines 24-31 and peers).
 
     Sets ``alpha`` to the remaining work at the decision time, restarts
     the periodic pattern at ``t + stall + RC + C_{i,new}`` (the
     redistribution always ends with a fresh checkpoint, Section 3.3.2),
-    and refreshes the expected finish.
+    and refreshes the expected finish.  When the committing heuristic
+    holds a :class:`~repro.core.kernels.DecisionCache`, the expected
+    finish is read off the cache's envelope state
+    (:meth:`~repro.core.kernels.DecisionCache.envelope_value` —
+    bit-identical, no model-ring round trip).
     """
     i = rt.index
     rc = model.rc_factor * redistribution_cost(
@@ -151,7 +156,12 @@ def apply_move(
     rt.assign(new_sigma)
     rt.alpha = alpha_t
     rt.t_last = t + stall + rc + model.checkpoint_cost(i, new_sigma)
-    rt.t_expected = rt.t_last + model.expected_time(i, new_sigma, alpha_t)
+    if cache is not None:
+        rt.t_expected = rt.t_last + cache.envelope_value(
+            i, alpha_t, new_sigma
+        )
+    else:
+        rt.t_expected = rt.t_last + model.expected_time(i, new_sigma, alpha_t)
     rt.redistributions += 1
 
 

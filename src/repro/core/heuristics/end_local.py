@@ -92,7 +92,7 @@ class EndLocal(CompletionHeuristic):
                 rt.sigma = dm.init_of(i)  # apply_move re-assigns from scratch
                 apply_move(
                     model, rt, t, 0.0, dm.init_of(i), new_sigma,
-                    dm.alpha_of(i),
+                    dm.alpha_of(i), cache=cache,
                 )
                 changed.append(i)
         return changed

@@ -121,9 +121,9 @@ def _greedy_rebuild_cached(
             s = slots[pos]
             grow = False
             if s + 1 < width:
-                if row[s + 1] < e:
+                if row.item(s + 1) < e:
                     grow = True  # the very next candidate improves
-                elif suf[width - 2 - s] < e:
+                elif suf.item(width - 2 - s) < e:
                     # Improvable somewhere: the first improving candidate
                     # is the next smaller element; grant iff it is within
                     # the budget (== any(window < e) on the slice).
@@ -135,28 +135,48 @@ def _greedy_rebuild_cached(
                 break
             s += 1
             slots[pos] = s
-            e = float(row[s])
+            e = row.item(s)
             avail -= 1
             if avail < 1:
                 break
-            if heap and heap[0] < (-e, i):
-                heapq.heappush(heap, (-e, i, pos))
-                break
+            if heap:
+                # Inlined ``heap[0] < (-e, i)``: the indices are unique,
+                # so the tuple order never reaches the third element.
+                top = heap[0]
+                neg_e = -e
+                if top[0] < neg_e or (top[0] == neg_e and top[1] < i):
+                    heapq.heappush(heap, (neg_e, i, pos))
+                    break
             # Still the longest task: keep growing without heap traffic.
 
+    # ---- Commit, vectorised over the cache's full-pack rows ----------
+    # A _CacheMatrix addresses rows by task index, so the per-task
+    # ``init_of``/``keep_finish``/``stall_of`` accessor hops of the
+    # fresh-build commit loop collapse into three fancy gathers; the
+    # committed values are the same floats read in the same task order.
+    idx = np.fromiter(indices, dtype=np.int64, count=n)
+    new_sig = (np.asarray(slots, dtype=np.int64) + 1) << 1
+    init = dm.j_init[idx]
+    keeps = dm.keep[idx].tolist()
+    moved = new_sig != init
     changed: List[int] = []
-    for pos, i in enumerate(indices):
-        rt = tasks[pos]
-        new_sigma = (slots[pos] + 1) << 1
-        if new_sigma != dm.init_of(i):
+    if bool(moved.any()):
+        stall = dm.stall
+        alpha_t = dm.alpha_t
+        for pos in np.nonzero(moved)[0]:
+            pos = int(pos)
+            i = indices[pos]
             apply_move(
-                model, rt, t, dm.stall_of(i), dm.init_of(i), new_sigma,
-                dm.alpha_of(i),
+                model, tasks[pos], t, float(stall[i]), int(init[pos]),
+                int(new_sig[pos]), float(alpha_t[i]), cache=cache,
             )
             changed.append(i)
-        else:
+        for pos in np.nonzero(~moved)[0]:
             # Untouched: restore the expected finish from live bookkeeping.
-            rt.t_expected = dm.keep_finish(i)
+            tasks[pos].t_expected = keeps[pos]
+    else:
+        for pos, rt in enumerate(tasks):
+            rt.t_expected = keeps[pos]
     return changed
 
 

@@ -141,7 +141,7 @@ class ShortestTasksFirst(FailureHeuristic):
             if rt.sigma != dm.init_of(i):
                 apply_move(
                     model, rt, t, dm.stall_of(i), dm.init_of(i), rt.sigma,
-                    dm.alpha_of(i),
+                    dm.alpha_of(i), cache=cache,
                 )
                 changed.append(i)
         return changed

@@ -104,7 +104,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..exceptions import ConfigurationError, SimulationError
-from ..resilience.expected_time import ExpectedTimeModel
+from ..resilience.expected_time import _ALPHA_SCALE, ExpectedTimeModel
 from .progress import remaining_at_batch, remaining_from_arrays
 from .redistribution import (
     redistribution_cost_matrix,
@@ -137,23 +137,29 @@ DECISION_STATES = ("incremental", "rebuild")
 _EMPTY = np.empty(0)
 
 #: Process-wide decision-state counters ``[rows_patched, rows_reused,
-#: scratch_allocations]``, summed over every cache this process ever
-#: built (same list-cell pattern as the profile counters — monotone, so
-#: the engine can delta them around a work chunk).
-_PROCESS_DECISION_COUNTERS = [0, 0, 0]
+#: scratch_allocations, profile_env_reused, profile_tau_patched]``,
+#: summed over every cache this process ever built (same list-cell
+#: pattern as the profile counters — monotone, so the engine can delta
+#: them around a work chunk).
+_PROCESS_DECISION_COUNTERS = [0, 0, 0, 0, 0]
 
 
-def process_decision_snapshot() -> tuple[int, int, int]:
-    """Process-wide ``(rows_patched, rows_reused, scratch_allocations)``.
+def process_decision_snapshot() -> tuple[int, int, int, int, int]:
+    """Process-wide ``(rows_patched, rows_reused, scratch_allocations,
+    profile_env_reused, profile_tau_patched)``.
 
     ``rows_patched`` counts candidate-matrix rows recomputed by the
     incremental engine; ``rows_reused`` component rows served from the
     previous decisions without recomputation — finish rows at an
     unchanged ``t``, redistribution-cost rows with an unchanged
     ``sigma``, keep-running entries for untouched tasks;
-    ``scratch_allocations`` ndarray blocks preallocated by caches.
-    Aggregated across worker processes into
-    :class:`repro.engine.EngineStats`.
+    ``scratch_allocations`` ndarray blocks preallocated by caches;
+    ``profile_env_reused`` profile rows copied from a cache's per-task
+    envelope state (quantised alpha unchanged since the last
+    evaluation); ``profile_tau_patched`` profile rows recombined via
+    the ``tau_last``-only patch (``N^ff`` row unchanged, so only the
+    ``expm1`` term was recomputed).  Aggregated across worker processes
+    into :class:`repro.engine.EngineStats`.
     """
     return tuple(_PROCESS_DECISION_COUNTERS)
 
@@ -463,12 +469,21 @@ class DecisionCache:
         self._dirty = np.ones(n, dtype=bool)
         self._keep_valid = np.zeros(n, dtype=bool)
         self._pending = np.zeros(n, dtype=bool)
+        # -- per-task profile-delta state (see _profile_rows) -----------
+        self._env_key = np.full(n, -1, dtype=np.int64)  #: alpha key of row
+        self._prof_pos = np.full(n, -1, dtype=np.int64)  #: row pos in _prof
+        self._nff = np.empty((n, width))       #: last N^ff row
+        self._nff_base = np.empty((n, width))  #: N^ff * exp_period
+        self._nff_valid = np.zeros(n, dtype=bool)
         # -- per-decision scratch (reused, never reallocated) -----------
         self._prof = np.empty((n, width))
         self._left = np.empty((n, width))
         self._right = np.empty((n, width))
         self._vals = np.empty((n, width))
         self._sufrev = np.empty((n, width))
+        self._pb = np.empty((n, width))
+        self._pc = np.empty((n, width))
+        self._pd = np.empty((n, width))
         for i in range(n):
             self._cost_rows[i] = model.grid(i).cost
         self._sizes = np.fromiter(
@@ -477,6 +492,9 @@ class DecisionCache:
         self.budget: Optional[int] = None  #: last free-processor count seen
         self.rows_patched = 0
         self.rows_reused = 0
+        self.profile_env_reused = 0
+        self.profile_tau_patched = 0
+        self.profile_rows_full = 0
         self.matrices_served = 0
         #: Preallocated ndarray blocks per cache (counted off the live
         #: attributes for the EngineStats allocation report, so adding
@@ -533,7 +551,8 @@ class DecisionCache:
         :meth:`DecisionMatrix._row`, but reusing the cached rc row)."""
         model = self.model
         grid = model.grid(i)
-        profile = model.profile(i, float(self._alpha_t[i]))
+        alpha = float(self._alpha_t[i])
+        profile = model.profile(i, alpha)
         rc = self._rc_row(i)
         self._fin[i] = (
             (t + float(self._stall[i])) + rc + (grid.cost + profile)
@@ -542,6 +561,30 @@ class DecisionCache:
         self._row_stall[i] = self._stall[i]
         self.rows_patched += 1
         _PROCESS_DECISION_COUNTERS[0] += 1
+
+    def envelope_value(self, i: int, alpha: float, k: int) -> float:
+        """``model.profile(i, alpha)[slot(k)]`` off the envelope state.
+
+        Serves the commit-time scalar read — ``apply_move``'s
+        expected-finish refresh at the decision's ``alpha^t`` — from the
+        envelope row the decision just evaluated in the ``_prof``
+        workspace, skipping the model ring entirely.  Bit-identical by
+        construction: the row is addressed through ``_prof_pos`` (valid
+        only for rows written by the *latest* ``_profile_rows`` pass)
+        and its alpha key, and the envelope is a pure function of
+        ``(task, quantised alpha)`` — a stale-but-matching row holds the
+        same bits a fresh evaluation would.  A cold, repurposed or
+        key-mismatched row falls back to the model (a ring hit whenever
+        the row was lazily materialised this decision).  ``k`` must be
+        an on-grid even count, which every heuristic's granted
+        allocation is.
+        """
+        pos = self._prof_pos[i]
+        if pos >= 0 and self._env_key[i] == int(round(alpha * _ALPHA_SCALE)):
+            self.profile_env_reused += 1
+            _PROCESS_DECISION_COUNTERS[3] += 1
+            return float(self._prof[pos, (k >> 1) - 1])
+        return float(self.model.profile(i, alpha)[(k >> 1) - 1])
 
     # -- the decision-point entry point ------------------------------------
     def matrix(
@@ -616,6 +659,98 @@ class DecisionCache:
             cache=self,
         )
 
+    def _profile_rows(self, sub: np.ndarray, k: int) -> np.ndarray:
+        """Envelope rows of the stale tasks, delta-patched per task.
+
+        Replaces the model-ring lookup (:meth:`~repro.resilience.
+        expected_time.ExpectedTimeModel.profile_rows_into`) on the
+        per-decision hot path with cache-local per-task profile state —
+        no per-row key tuples, dict probes, ring insertions or result
+        copies (the pass evaluates straight into the ``_prof``
+        workspace).  Two tiers per row:
+
+        * **tau_last patch** — a task whose fresh ``N^ff`` row equals
+          the cached one reuses the cached ``N^ff * exp_period`` base
+          and recomputes only the ``expm1(lam * tau_last)`` term.  The
+          common case: between two nearby decision times the remaining
+          work moves a little, but ``floor(work / wpp)`` is piecewise
+          constant and rarely steps;
+        * **full evaluation** — everything else runs the complete fused
+          Eq. (4) pass and refreshes the cached ``N^ff`` state (with a
+          fast path when *every* row stepped: the bases are then
+          computed in one block multiply, skipping the cached-base
+          gather).
+
+        Both tiers are bit-identical to ``profile_matrix`` /
+        ``profile_rows_into`` by construction: the same float64 values
+        flow through the same elementwise operations in the same order
+        (``N^ff`` equality is exact float comparison, and the cached
+        base holds the exact ``N^ff * exp_period`` product the fresh
+        pass would recompute).  Bypassing the model ring is value-safe
+        — profiles are pure functions of ``(task, quantised alpha)``,
+        never of cache history.  ``_prof_pos``/``_env_key`` record
+        which task owns each workspace row and at which alpha key, so
+        :meth:`envelope_value` can serve the commit-time scalar reads
+        of the same decision.
+        """
+        out = self._prof[:k]
+        # Rows written below supersede any earlier workspace layout.
+        self._prof_pos[:] = -1
+        keys = np.rint(self._alpha_t[sub] * _ALPHA_SCALE).astype(np.int64)
+        # Evaluate at the quantised alphas, like every profile path
+        # (np.rint rounds half to even, matching the scalar
+        # ``int(round(alpha * SCALE))`` key bit for bit).
+        alpha_q = keys / _ALPHA_SCALE
+        blocks = self.model._stacked_grids()
+        b = self._pb[:k]
+        c = self._pc[:k]
+        d = self._pd[:k]
+        np.take(blocks["t_ff"], sub, axis=0, out=b)
+        np.multiply(alpha_q[:, None], b, out=c)   # c = work
+        np.take(blocks["wpp"], sub, axis=0, out=b)
+        np.divide(c, b, out=d)
+        np.floor(d, out=d)                        # d = N^ff
+        np.multiply(d, b, out=b)
+        np.subtract(c, b, out=c)                  # c = tau_last
+        same = self._nff_valid[sub] & np.all(d == self._nff[sub], axis=1)
+        full_pos = np.nonzero(~same)[0]
+        n_full = int(full_pos.size)
+        if n_full == k:
+            # Every row stepped: refresh the caches and turn d into the
+            # bases in place — one block multiply, no cached-base gather
+            # (bit-identical: same N^ff and exp_period operands).
+            self._nff[sub] = d
+            np.take(blocks["exp_period"], sub, axis=0, out=b)
+            np.multiply(d, b, out=d)              # d = N^ff * exp_period
+            self._nff_base[sub] = d
+            self._nff_valid[sub] = True
+        else:
+            if n_full:
+                full = sub[full_pos]
+                nff_rows = d[full_pos]
+                self._nff[full] = nff_rows
+                self._nff_base[full] = nff_rows * blocks["exp_period"][full]
+                self._nff_valid[full] = True
+            np.take(self._nff_base, sub, axis=0, out=d)
+        n_tau = k - n_full
+        self.profile_tau_patched += n_tau
+        _PROCESS_DECISION_COUNTERS[4] += n_tau
+        self.profile_rows_full += n_full
+        np.take(blocks["lam"], sub, axis=0, out=b)
+        with np.errstate(over="ignore"):
+            np.multiply(b, c, out=c)
+            np.expm1(c, out=c)                    # c = expm1(lam tau_last)
+            np.add(d, c, out=c)                   # c = base + expm1 term
+            np.take(blocks["prefactor"], sub, axis=0, out=b)
+            np.multiply(b, c, out=out)            # raw Eq. (4) rows
+        zero = alpha_q <= 0.0
+        if bool(np.any(zero)):
+            out[zero] = 0.0
+        np.minimum.accumulate(out, axis=1, out=out)  # Eq. (6) envelope
+        self._env_key[sub] = keys
+        self._prof_pos[sub] = np.arange(k)
+        return out
+
     def _patch_rows(self, sub: np.ndarray, t: float) -> None:
         """Recombine the stale rows in one fused pass over the scratch.
 
@@ -631,11 +766,7 @@ class DecisionCache:
         k = sub.size
         self.rows_reused += k - need.size  # RC rows with an unchanged sigma
         _PROCESS_DECISION_COUNTERS[1] += k - need.size
-        prof = self.model.profile_rows_into(
-            indices=sub.tolist(),
-            alphas=self._alpha_t[sub],
-            out=self._prof,
-        )[:k]
+        prof = self._profile_rows(sub, k)
         left = self._left[:k]
         np.take(self._rc, sub, axis=0, out=left)
         ts = t + self._stall[sub]
@@ -706,6 +837,9 @@ class DecisionCache:
             "rows_patched": self.rows_patched,
             "rows_reused": self.rows_reused,
             "reuse_rate": self.rows_reused / rows if rows else 0.0,
+            "profile_env_reused": self.profile_env_reused,
+            "profile_tau_patched": self.profile_tau_patched,
+            "profile_rows_full": self.profile_rows_full,
             "scratch_allocations": self.scratch_allocations,
             "budget": self.budget if self.budget is not None else -1,
         }

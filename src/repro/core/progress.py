@@ -34,6 +34,7 @@ __all__ = [
     "projected_finish",
     "remaining_after_elapsed",
     "remaining_after_failure",
+    "remaining_after_failure_from_values",
     "remaining_at_batch",
     "remaining_from_arrays",
 ]
@@ -171,7 +172,22 @@ def remaining_after_failure(
     """
     grid = model.grid(i)
     slot = grid.slot(j)
-    done = checkpointed_work_fraction(
-        t, t_last, float(grid.t_ff[slot]), float(grid.tau[slot]), float(grid.cost[slot])
+    return remaining_after_failure_from_values(
+        alpha, t, t_last,
+        float(grid.t_ff[slot]), float(grid.tau[slot]), float(grid.cost[slot]),
     )
+
+
+def remaining_after_failure_from_values(
+    alpha: float, t: float, t_last: float,
+    t_ff: float, tau: float, cost: float,
+) -> float:
+    """:func:`remaining_after_failure` with the grid values pre-gathered.
+
+    Scalar entry point for callers that mirror ``t_ff``/``tau``/``C`` at
+    the current allocation across events (the simulator's per-failure
+    rollback) — bit-identical to the model-resolving form over the same
+    values, since both run the exact same operations.
+    """
+    done = checkpointed_work_fraction(t, t_last, t_ff, tau, cost)
     return min(alpha, max(0.0, alpha - done))

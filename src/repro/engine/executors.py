@@ -104,6 +104,8 @@ class EngineStats:
     decision_rows_patched: int = 0  #: decision-matrix rows recomputed
     decision_rows_reused: int = 0   #: component rows (finish/RC/keep) reused
     decision_scratch_allocs: int = 0  #: scratch ndarrays preallocated by caches
+    decision_profile_env_reused: int = 0  #: profile rows copied from the env cache
+    decision_profile_tau_patched: int = 0  #: profile rows via the tau_last patch
     retries: int = 0            #: retried attempts (in-place + chunk resubmits)
     requeues: int = 0           #: stale claims pushed back onto the queue
     dead_lettered: int = 0      #: chunks quarantined after exhausting retries
@@ -125,6 +127,8 @@ class EngineStats:
             "decision_rows_patched": self.decision_rows_patched,
             "decision_rows_reused": self.decision_rows_reused,
             "decision_scratch_allocs": self.decision_scratch_allocs,
+            "decision_profile_env_reused": self.decision_profile_env_reused,
+            "decision_profile_tau_patched": self.decision_profile_tau_patched,
             "retries": self.retries,
             "requeues": self.requeues,
             "dead_lettered": self.dead_lettered,
@@ -165,6 +169,8 @@ class EngineStats:
             f"rows patched: {self.decision_rows_patched} "
             f"reused: {self.decision_rows_reused} "
             f"reuse rate: {self.decision_reuse_rate():.1%} "
+            f"profile env reuses: {self.decision_profile_env_reused} "
+            f"tau patches: {self.decision_profile_tau_patched} "
             f"(scratch allocations: {self.decision_scratch_allocs})"
         )
 
@@ -224,7 +230,7 @@ def _execute_chunk(
     List[Any],
     Tuple[int, int],
     Tuple[int, int],
-    Tuple[int, int, int],
+    Tuple[int, int, int, int, int],
     Tuple[int],
 ]:
     """Run one contiguous chunk in the current process.
@@ -435,10 +441,15 @@ class Executor:
         self,
         workloads: Tuple[int, int],
         profiles: Tuple[int, int],
-        decisions: Tuple[int, int, int],
+        decisions: Tuple[int, int, int, int, int],
         engine: Tuple[int] = (0,),
     ) -> None:
-        """Fold one chunk's cache/engine deltas into the statistics."""
+        """Fold one chunk's cache/engine deltas into the statistics.
+
+        ``decisions`` tuples from journals written before the
+        profile-delta counters existed carry three entries; the two new
+        slots then stay zero.
+        """
         self._stats.workloads_reused += workloads[0]
         self._stats.workloads_built += workloads[1]
         self._stats.profile_hits += profiles[0]
@@ -446,6 +457,9 @@ class Executor:
         self._stats.decision_rows_patched += decisions[0]
         self._stats.decision_rows_reused += decisions[1]
         self._stats.decision_scratch_allocs += decisions[2]
+        if len(decisions) > 3:
+            self._stats.decision_profile_env_reused += decisions[3]
+            self._stats.decision_profile_tau_patched += decisions[4]
         self._stats.retries += engine[0]
 
     def _fold_output(self, chunk_output: Tuple) -> None:

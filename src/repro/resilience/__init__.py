@@ -18,10 +18,17 @@ from .expected_time import (
     ExpectedTimeModel,
     TaskGrid,
     checkpoint_count,
+    ensure_alpha_vector,
     last_period,
     stacked_raw_profiles,
 )
 from .faults import FaultInjector, NullFaultInjector
+from .profile_backends import (
+    NUMBA_AVAILABLE,
+    PROFILE_BACKENDS,
+    ensure_profile_backend,
+    resolve_profile_backend,
+)
 from .replication import (
     ReplicatedExpectedTimeModel,
     crossover_mtbf,
@@ -57,8 +64,13 @@ __all__ = [
     "ExpectedTimeModel",
     "TaskGrid",
     "checkpoint_count",
+    "ensure_alpha_vector",
     "last_period",
     "stacked_raw_profiles",
+    "PROFILE_BACKENDS",
+    "NUMBA_AVAILABLE",
+    "ensure_profile_backend",
+    "resolve_profile_backend",
     "FaultInjector",
     "NullFaultInjector",
 ]

@@ -53,6 +53,13 @@ from ..cluster import Cluster
 from ..exceptions import CapacityError, ConfigurationError
 from ..tasks import Pack
 from .checkpoint import ResilienceModel
+from .profile_backends import (
+    NUMBA_AVAILABLE,
+    PROFILE_BACKENDS,
+    ensure_profile_backend,
+    make_profile_backend,
+    resolve_profile_backend,
+)
 
 __all__ = [
     "ExpectedTimeModel",
@@ -60,6 +67,9 @@ __all__ = [
     "checkpoint_count",
     "last_period",
     "stacked_raw_profiles",
+    "ensure_alpha_vector",
+    "PROFILE_BACKENDS",
+    "NUMBA_AVAILABLE",
 ]
 
 #: Quantisation step of the profile-cache alpha key (~1e-12).
@@ -73,6 +83,34 @@ _ALPHA_SCALE = 1.0 / _ALPHA_QUANTUM
 #: on the cache-hit fast path.  Monotone, so the engine can delta it
 #: around a work chunk regardless of workload-cache eviction.
 _PROCESS_PROFILE_COUNTERS = [0, 0]
+
+
+def ensure_alpha_vector(
+    alphas, n: int, caller: str = "profile evaluation"
+) -> np.ndarray:
+    """Validated ``(n,)`` float64 C-contiguous alpha vector.
+
+    The cache-boundary contract: every public batched accessor runs its
+    ``alphas`` through this exactly once, so the kernels underneath
+    (:func:`stacked_raw_profiles`, the profile backends) can assume a
+    conforming array and never silently copy on the hot path.  A
+    conforming input passes through untouched; a non-float64 or
+    non-contiguous one is converted *here*, visibly, instead of inside
+    every per-call ``np.asarray``.
+    """
+    arr = (
+        alphas
+        if isinstance(alphas, np.ndarray)
+        else np.asarray(alphas, dtype=np.float64)
+    )
+    if arr.dtype != np.float64 or not arr.flags.c_contiguous:
+        arr = np.ascontiguousarray(arr, dtype=np.float64)
+    if arr.shape != (n,):
+        raise ConfigurationError(
+            f"{caller} needs one alpha per row: "
+            f"{n} rows, alphas shape {arr.shape}"
+        )
+    return arr
 
 
 def checkpoint_count(alpha: float, t_ff: float, tau: float, cost: float) -> int:
@@ -164,12 +202,7 @@ def stacked_raw_profiles(
     zero; every other row is bit-identical to the scalar
     :meth:`ExpectedTimeModel.raw_profile` at the same alpha.
     """
-    alphas = np.asarray(alphas, dtype=float)
-    if alphas.shape != (len(grids),):
-        raise ConfigurationError(
-            f"stacked_raw_profiles needs one alpha per grid: "
-            f"{len(grids)} grids, alphas shape {alphas.shape}"
-        )
+    alphas = ensure_alpha_vector(alphas, len(grids), "stacked_raw_profiles")
     if len(grids) == 1:
         # Single-grid fast path: skip the stacking entirely (this is the
         # cache-miss path of every scalar profile evaluation).  A scalar
@@ -228,6 +261,15 @@ class ExpectedTimeModel:
         Multiplier on every redistribution cost ``RC_i^{j->k}`` seen by
         the heuristics (ablation knob: 0 makes redistribution free, large
         values discourage it).  The paper's model is ``rc_factor = 1``.
+    profile_backend:
+        How the Eq. (4) elementwise pass executes on cache misses —
+        ``"fused"`` (default, persistent stacked blocks + in-place
+        workspaces), ``"numba"`` (optional compiled gate, silently
+        falling back to fused when numba is absent) or ``"reference"``
+        (the original per-call ``np.stack`` paths, kept verbatim).  All
+        backends are bit-identical (:mod:`~repro.resilience.
+        profile_backends`); the knob mirrors ``decision_kernel`` /
+        ``decision_state`` / ``event_queue``.
     """
 
     @staticmethod
@@ -249,6 +291,7 @@ class ExpectedTimeModel:
         max_procs: Optional[int] = None,
         cache_size: int = 4096,
         rc_factor: float = 1.0,
+        profile_backend: str = "fused",
     ):
         if rc_factor < 0:
             raise ConfigurationError("rc_factor must be non-negative")
@@ -288,6 +331,13 @@ class ExpectedTimeModel:
         # model so row-level re-evaluations are pure fancy indexing with
         # no per-call np.stack of grids.
         self._stacked_block: Optional[Dict[str, np.ndarray]] = None
+        # Profile backend: requested name, resolved name (numba degrades
+        # to fused when absent) and the lazily built backend object —
+        # None while unbuilt AND for the reference mode, so the miss
+        # paths test `_backend_obj` alone only after _get_backend().
+        self.requested_backend = ensure_profile_backend(profile_backend)
+        self._backend_name = resolve_profile_backend(profile_backend)
+        self._backend_obj = None
 
     # -- grids ----------------------------------------------------------------
     @property
@@ -332,6 +382,39 @@ class ExpectedTimeModel:
         )
         self._grids[i] = grid
         return grid
+
+    # -- profile backend -------------------------------------------------------
+    @property
+    def profile_backend(self) -> str:
+        """The *resolved* backend name (``"numba"`` requests may read
+        ``"fused"`` here — the soft-dependency fallback)."""
+        return self._backend_name
+
+    def set_profile_backend(self, profile_backend: str) -> str:
+        """Switch the Eq. (4) backend; returns the resolved name.
+
+        Cheap and value-safe at any time: backends are bit-identical and
+        the profile ring is keyed only by ``(task, quantised alpha)``,
+        so warm entries stay valid.  This is how a :class:`Simulator`
+        applies its ``profile_backend`` knob to a shared, possibly
+        pre-warmed model without rebuilding it.
+        """
+        self.requested_backend = ensure_profile_backend(profile_backend)
+        resolved = resolve_profile_backend(profile_backend)
+        if resolved != self._backend_name:
+            self._backend_name = resolved
+            self._backend_obj = None
+        return self._backend_name
+
+    def _get_backend(self):
+        """The live backend object (``None`` means reference mode)."""
+        backend = self._backend_obj
+        if backend is None and self._backend_name != "reference":
+            backend = make_profile_backend(
+                self._backend_name, self._stacked_grids()
+            )
+            self._backend_obj = backend
+        return backend
 
     # -- profiles --------------------------------------------------------------
     @staticmethod
@@ -393,8 +476,12 @@ class ExpectedTimeModel:
             return cached
         self.cache_misses += 1
         _PROCESS_PROFILE_COUNTERS[1] += 1
-        grid = self.grid(i)
-        raw = self.raw_profile(i, a_key / _ALPHA_SCALE, grid)
+        backend = self._get_backend()
+        if backend is None:
+            grid = self.grid(i)
+            raw = self.raw_profile(i, a_key / _ALPHA_SCALE, grid)
+        else:
+            raw = backend.raw_row(i, a_key / _ALPHA_SCALE)
         envelope = np.minimum.accumulate(raw)
         return self._store_profile(key, envelope)
 
@@ -432,10 +519,20 @@ class ExpectedTimeModel:
         if not missing:
             return out
         alpha_q = a_key / _ALPHA_SCALE  # evaluate at the quantised alpha
-        grids = [self.grid(indices[pos]) for pos in missing]
-        block = stacked_raw_profiles(
-            grids, np.full(len(grids), alpha_q, dtype=float)
-        )
+        backend = self._get_backend()
+        if backend is None:
+            grids = [self.grid(indices[pos]) for pos in missing]
+            block = stacked_raw_profiles(
+                grids, np.full(len(grids), alpha_q, dtype=float)
+            )
+        else:
+            sel = np.fromiter(
+                (indices[pos] for pos in missing), dtype=np.int64,
+                count=len(missing),
+            )
+            block = backend.raw_rows(
+                sel, np.full(len(missing), alpha_q, dtype=float)
+            )
         np.minimum.accumulate(block, axis=1, out=block)
         for k, pos in enumerate(missing):
             i = indices[pos]
@@ -460,12 +557,7 @@ class ExpectedTimeModel:
         ``(len(indices), grid)``.
         """
         indices = list(indices)
-        alphas_arr = np.asarray(alphas, dtype=float)
-        if alphas_arr.shape != (len(indices),):
-            raise ConfigurationError(
-                f"profile_matrix needs one alpha per index: "
-                f"{len(indices)} indices, alphas shape {alphas_arr.shape}"
-            )
+        alphas_arr = ensure_alpha_vector(alphas, len(indices), "profile_matrix")
         if alphas_arr.size and (
             float(alphas_arr.min()) < 0.0
             or float(alphas_arr.max()) > 1.0 + 1e-12
@@ -494,11 +586,19 @@ class ExpectedTimeModel:
                 positions_of[key].append(pos)
         if not missing:
             return out
-        grids = [self.grid(indices[pos]) for pos in missing]
         alpha_q = np.array(
             [keys[pos][1] / _ALPHA_SCALE for pos in missing], dtype=float
         )
-        block = stacked_raw_profiles(grids, alpha_q)
+        backend = self._get_backend()
+        if backend is None:
+            grids = [self.grid(indices[pos]) for pos in missing]
+            block = stacked_raw_profiles(grids, alpha_q)
+        else:
+            sel = np.fromiter(
+                (indices[pos] for pos in missing), dtype=np.int64,
+                count=len(missing),
+            )
+            block = backend.raw_rows(sel, alpha_q)
         np.minimum.accumulate(block, axis=1, out=block)
         for row, pos in enumerate(missing):
             self._store_profile(keys[pos], block[row])
@@ -558,12 +658,9 @@ class ExpectedTimeModel:
         cache history.
         """
         indices = list(indices)
-        alphas_arr = np.asarray(alphas, dtype=float)
-        if alphas_arr.shape != (len(indices),):
-            raise ConfigurationError(
-                f"profile_rows_into needs one alpha per index: "
-                f"{len(indices)} indices, alphas shape {alphas_arr.shape}"
-            )
+        alphas_arr = ensure_alpha_vector(
+            alphas, len(indices), "profile_rows_into"
+        )
         if out.shape[0] < len(indices) or out.shape[1] != self._grid_len:
             raise ConfigurationError(
                 f"profile_rows_into scratch too small: out shape "
@@ -596,7 +693,6 @@ class ExpectedTimeModel:
                 positions_of[key].append(pos)
         if not missing:
             return out
-        stacked = self._stacked_grids()
         sel = np.fromiter(
             (indices[pos] for pos in missing), dtype=np.int64,
             count=len(missing),
@@ -604,22 +700,28 @@ class ExpectedTimeModel:
         alpha_q = np.array(
             [keys[pos][1] / _ALPHA_SCALE for pos in missing], dtype=float
         )
-        # The multi-grid branch of stacked_raw_profiles, operation for
-        # operation, over fancy-indexed rows of the persistent block.
-        t_ff = stacked["t_ff"][sel]
-        wpp = stacked["wpp"][sel]
-        work = alpha_q[:, None] * t_ff
-        n_ff = np.floor(work / wpp)
-        tau_last = work - n_ff * wpp
-        lam = stacked["lam"][sel]
-        with np.errstate(over="ignore"):
-            block = stacked["prefactor"][sel] * (
-                n_ff * stacked["exp_period"][sel]
-                + np.expm1(lam * tau_last)
-            )
-        zero = alpha_q <= 0.0
-        if bool(np.any(zero)):
-            block[zero] = 0.0
+        backend = self._get_backend()
+        if backend is None:
+            # Reference mode: the multi-grid branch of
+            # stacked_raw_profiles, operation for operation, over
+            # fancy-indexed rows of the persistent block.
+            stacked = self._stacked_grids()
+            t_ff = stacked["t_ff"][sel]
+            wpp = stacked["wpp"][sel]
+            work = alpha_q[:, None] * t_ff
+            n_ff = np.floor(work / wpp)
+            tau_last = work - n_ff * wpp
+            lam = stacked["lam"][sel]
+            with np.errstate(over="ignore"):
+                block = stacked["prefactor"][sel] * (
+                    n_ff * stacked["exp_period"][sel]
+                    + np.expm1(lam * tau_last)
+                )
+            zero = alpha_q <= 0.0
+            if bool(np.any(zero)):
+                block[zero] = 0.0
+        else:
+            block = backend.raw_rows(sel, alpha_q)
         np.minimum.accumulate(block, axis=1, out=block)
         for row, pos in enumerate(missing):
             if store:

@@ -32,13 +32,20 @@ class CompletionQueue(dict):
     silently.
     """
 
-    def __init__(self, runtimes: Sequence):
+    def __init__(self, runtimes: Sequence, mirror=None):
         super().__init__()
         self._runtimes = runtimes
         self._heap: List[Tuple[float, int]] = []
+        #: Optional flat ndarray mirror of the projections (the
+        #: simulator's vectorised failure path scans it instead of the
+        #: dict).  __setitem__ is the only write channel, so the mirror
+        #: can never desync from the mapping.
+        self._mirror = mirror
 
     def __setitem__(self, i: int, t: float) -> None:
         dict.__setitem__(self, i, t)
+        if self._mirror is not None:
+            self._mirror[i] = t
         heapq.heappush(self._heap, (t, i))
 
     def _unsupported(self, *_args, **_kwargs):

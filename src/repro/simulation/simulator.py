@@ -31,7 +31,11 @@ from ..cluster import Cluster, ProcessorMap
 from ..core.kernels import DECISION_STATES, KERNELS, DecisionCache
 from ..core.optimal import optimal_schedule
 from ..core.policy import Policy, get_policy
-from ..core.progress import projected_finish, remaining_after_failure
+from ..core.progress import (
+    projected_finish,
+    remaining_after_failure,
+    remaining_after_failure_from_values,
+)
 from ..core.state import TaskRuntime
 from ..exceptions import SimulationError
 from ..resilience.checkpoint import ResilienceModel
@@ -95,6 +99,37 @@ class Simulator:
         per decision point as the reference.  Both produce bit-identical
         executions, mirroring ``decision_kernel``/``event_queue``; the
         scalar kernel has no matrix to cache, so it always rebuilds.
+    profile_backend:
+        How the model evaluates Eq. (4) on profile-cache misses —
+        ``"fused"`` / ``"numba"`` / ``"reference"`` (see
+        :mod:`repro.resilience.profile_backends`).  ``None`` (default)
+        leaves the model's backend untouched; a name is applied to the
+        model via :meth:`~repro.resilience.expected_time.
+        ExpectedTimeModel.set_profile_backend` — value-safe even on a
+        shared pre-warmed model, since every backend is bit-identical
+        and the profile ring is history-independent.  When the
+        *resolved* backend is ``"reference"`` the simulator's
+        per-failure path also drops to the seed's per-``TaskRuntime``
+        Python scans (early release, is-longest test, Fig. 9 snapshot,
+        rollback through the model accessors) — the honest reference
+        leg of the hot-core benchmark and the bit-identity anchor for
+        the ndarray fast path.  A ``"numba"`` request that degraded to
+        ``"fused"`` still runs the vectorised path.
+
+    The per-failure path of Algorithm 2 — the early-release scan of
+    line 28, the is-longest test of line 30 and the Fig. 9 snapshot —
+    runs on flat ndarray mirrors of ``finish`` / ``t_expected`` /
+    ``sigma`` / ``completed`` maintained alongside the ``TaskRuntime``
+    bookkeeping.  The mirrors are *written* in every mode (they are the
+    release/completion bookkeeping of record) but only *read* by the
+    vectorised path.  The mirror invariants: ``finish`` is mirrored at its
+    single write channel (:class:`~repro.simulation.events.
+    CompletionQueue.__setitem__`); ``t_expected``/``sigma`` and the
+    grid values at the current allocation are mirrored exactly where
+    the decision cache's dirty bits are raised (the failure rollback
+    and the post-heuristic commit — the only writers, by the
+    ``DecisionCache`` invariant 1); ``live = ~completed & ~released``
+    flips false at completion and early release, and never flips back.
     """
 
     def __init__(
@@ -113,23 +148,36 @@ class Simulator:
         event_queue: str = "heap",
         decision_kernel: str = "array",
         decision_state: str = "incremental",
+        profile_backend: Optional[str] = None,
     ):
         self.pack = pack
         self.cluster = cluster
         self.policy = get_policy(policy) if isinstance(policy, str) else policy
         self.seed = int(seed)
         self.inject_faults = bool(inject_faults)
-        self.model = (
-            model
-            if model is not None
-            else ExpectedTimeModel(pack, cluster, resilience=resilience)
-        )
+        if model is not None:
+            self.model = model
+            if profile_backend is not None:
+                model.set_profile_backend(profile_backend)
+        else:
+            self.model = ExpectedTimeModel(
+                pack, cluster, resilience=resilience,
+                profile_backend=(
+                    "fused" if profile_backend is None else profile_backend
+                ),
+            )
+        # Resolved, not requested: a "numba" request that degraded to
+        # "fused" still takes the vectorised failure path.
+        self._ref_failure_path = self.model.profile_backend == "reference"
         self._distribution = (
             fault_distribution
             if fault_distribution is not None
             else ExponentialFaults(cluster.mtbf)
         )
         self._recorder = TraceRecorder() if record_trace else NullRecorder()
+        # Cached: the per-failure handlers guard their event calls on it
+        # (a NullRecorder call still builds its f-string detail).
+        self._rec_enabled = self._recorder.enabled
         self._strict = bool(strict)
         if event_queue not in ("heap", "scan"):
             raise SimulationError(
@@ -173,10 +221,27 @@ class Simulator:
         runtimes = [TaskRuntime(spec) for spec in pack]
         sigma0 = optimal_schedule(model, p, kernel=self._decision_kernel)
         procs = ProcessorMap(p)
+
+        # Flat ndarray mirrors of the per-task bookkeeping the
+        # per-failure path scans (class docstring: mirror invariants).
+        self._m_finish = np.full(n, math.inf)
+        self._m_texp = np.empty(n)
+        self._m_tlast = np.zeros(n)
+        self._m_sigma = np.zeros(n)
+        self._m_tff = np.empty(n)    # grid t_ff at the current sigma
+        self._m_tau = np.empty(n)    # grid tau at the current sigma
+        self._m_cost = np.empty(n)   # grid C at the current sigma
+        self._m_done = np.zeros(n, dtype=bool)
+        self._m_released = np.zeros(n, dtype=bool)
+        self._m_live = np.ones(n, dtype=bool)   # ~done & ~released
+        self._m_scratch = np.empty(n, dtype=bool)
+
         for i, count in sigma0.items():
             runtimes[i].assign(count)
             runtimes[i].t_expected = model.expected_time(i, count, 1.0)
             procs.acquire(i, count)
+            self._m_texp[i] = runtimes[i].t_expected
+            self._sync_task_mirrors(i, count)
 
         if self.inject_faults:
             injector: FaultInjector | NullFaultInjector = FaultInjector(
@@ -185,10 +250,9 @@ class Simulator:
         else:
             injector = NullFaultInjector()
 
-        finish = CompletionQueue(runtimes)
+        finish = CompletionQueue(runtimes, mirror=self._m_finish)
         for i in range(n):
             finish[i] = self._projected(runtimes[i])
-        released_early: set[int] = set()
         counters = {"effective": 0, "idle": 0, "masked": 0, "events": 0}
         # Completion bookkeeping is accumulated event by event instead of
         # being re-derived from the runtimes after the loop.
@@ -207,9 +271,7 @@ class Simulator:
             counters["events"] += 1
 
             if t_comp <= t_fail:
-                self._handle_completion(
-                    t_comp, i_comp, runtimes, procs, finish, released_early
-                )
+                self._handle_completion(t_comp, i_comp, runtimes, procs, finish)
                 completion_times[i_comp] = t_comp
                 if t_comp > makespan:
                     makespan = t_comp
@@ -217,8 +279,7 @@ class Simulator:
             else:
                 t_fail, proc = injector.pop()
                 self._handle_failure(
-                    t_fail, proc, runtimes, procs, finish,
-                    released_early, counters,
+                    t_fail, proc, runtimes, procs, finish, counters
                 )
             if self._strict:
                 procs.validate()
@@ -239,33 +300,69 @@ class Simulator:
         )
 
     # ------------------------------------------------------------------
+    def _sync_task_mirrors(self, i: int, sigma: int) -> None:
+        """Refresh task ``i``'s sigma + grid-value mirrors (sigma moved)."""
+        grid = self.model.grid(i)
+        slot = grid.slot(sigma)
+        self._m_tff[i] = grid.t_ff[slot]
+        self._m_tau[i] = grid.tau[slot]
+        self._m_cost[i] = grid.cost[slot]
+        self._m_sigma[i] = sigma
+
     def _projected(self, rt: TaskRuntime) -> float:
-        """Deterministic fault-free completion of ``rt``'s remaining work."""
-        grid = self.model.grid(rt.index)
-        slot = grid.slot(rt.sigma)
+        """Deterministic fault-free completion of ``rt``'s remaining work.
+
+        Reads the mirrored grid values at the current allocation — the
+        same floats :meth:`_sync_task_mirrors` gathered from the grid,
+        so the result is bit-identical to resolving the grid per call
+        (which is exactly what the reference mode does).
+        """
+        i = rt.index
+        if self._ref_failure_path:
+            grid = self.model.grid(i)
+            slot = grid.slot(rt.sigma)
+            return projected_finish(
+                rt.t_last,
+                rt.alpha,
+                float(grid.t_ff[slot]),
+                float(grid.tau[slot]),
+                float(grid.cost[slot]),
+            )
         return projected_finish(
             rt.t_last,
             rt.alpha,
-            float(grid.t_ff[slot]),
-            float(grid.tau[slot]),
-            float(grid.cost[slot]),
+            float(self._m_tff[i]),
+            float(self._m_tau[i]),
+            float(self._m_cost[i]),
         )
 
     def _active_for_redistribution(
         self,
         t: float,
         runtimes: List[TaskRuntime],
-        released_early: set[int],
         include: Optional[int] = None,
     ) -> List[TaskRuntime]:
-        """Alg. 2 line 15: active tasks not busy at ``t`` (plus ``include``)."""
-        selected = []
-        for rt in runtimes:
-            if rt.completed or rt.index in released_early:
-                continue
-            if rt.index == include or not rt.busy_at(t):
-                selected.append(rt)
-        return selected
+        """Alg. 2 line 15: active tasks not busy at ``t`` (plus ``include``).
+
+        One vectorised compare over the live/t_last mirrors: for a live
+        task ``busy_at(t)`` is exactly ``t <= t_last``, so the selection
+        is ``live & (t_last < t)`` with ``include`` forced in (ascending
+        task index = the reference scan's pack order).
+        """
+        if self._ref_failure_path:
+            selected = []
+            for rt in runtimes:
+                if rt.completed or self._m_released[rt.index]:
+                    continue
+                if rt.index == include or not rt.busy_at(t):
+                    selected.append(rt)
+            return selected
+        buf = self._m_scratch
+        np.less(self._m_tlast, t, out=buf)
+        buf &= self._m_live
+        if include is not None:
+            buf[include] = self._m_live[include]
+        return [runtimes[i] for i in np.nonzero(buf)[0]]
 
     def _sync_and_reproject(
         self,
@@ -282,13 +379,21 @@ class Simulator:
         cache = self._cache
         for i in changed:
             rt = runtimes[i]
+            # Post-heuristic commit: the same channel as the decision
+            # cache's dirty bit — resync the ndarray mirrors here, and
+            # before the reprojection (which reads the grid mirrors).
+            if rt.sigma != self._m_sigma[i]:
+                self._sync_task_mirrors(i, rt.sigma)
+            self._m_texp[i] = rt.t_expected
+            self._m_tlast[i] = rt.t_last
             finish[i] = self._projected(rt)
             if cache is not None:
                 # sigma_init changed + checkpoint taken: dirty bit.
                 cache.invalidate(i)
-            self._recorder.event(
-                t, EventKind.REDISTRIBUTION, i, f"sigma={rt.sigma}"
-            )
+            if self._rec_enabled:
+                self._recorder.event(
+                    t, EventKind.REDISTRIBUTION, i, f"sigma={rt.sigma}"
+                )
 
     def _handle_completion(
         self,
@@ -297,22 +402,24 @@ class Simulator:
         runtimes: List[TaskRuntime],
         procs: ProcessorMap,
         finish: Dict[int, float],
-        released_early: set[int],
     ) -> None:
         rt_e = runtimes[e]
-        was_released = e in released_early
+        was_released = bool(self._m_released[e])
         rt_e.mark_completed(t)
+        self._m_done[e] = True
+        self._m_live[e] = False
         if not was_released:
             procs.release(e)
         else:
-            released_early.discard(e)
-        self._recorder.event(t, EventKind.COMPLETION, e)
+            self._m_released[e] = False
+        if self._rec_enabled:
+            self._recorder.event(t, EventKind.COMPLETION, e)
         # Early-released tasks were already removed from consideration when
         # the failure that released them was handled (Alg. 2 line 28);
         # their physical completion triggers no further redistribution.
         if was_released or self.policy.completion is None:
             return
-        tasks = self._active_for_redistribution(t, runtimes, released_early)
+        tasks = self._active_for_redistribution(t, runtimes)
         if not tasks:
             return
         if self._cache is not None:
@@ -330,66 +437,102 @@ class Simulator:
         runtimes: List[TaskRuntime],
         procs: ProcessorMap,
         finish: Dict[int, float],
-        released_early: set[int],
         counters: Dict[str, int],
     ) -> None:
         owner = procs.owner_of(proc)
         if owner is None or runtimes[owner].completed:
             counters["idle"] += 1
-            self._recorder.event(t, EventKind.FAILURE_IDLE, detail=f"proc={proc}")
+            if self._rec_enabled:
+                self._recorder.event(
+                    t, EventKind.FAILURE_IDLE, detail=f"proc={proc}"
+                )
             return
         rt_f = runtimes[owner]
-        if rt_f.busy_at(t) or owner in released_early:
+        if rt_f.busy_at(t) or self._m_released[owner]:
             # Section 6.1: no failures during downtime/recovery/redistribution.
             counters["masked"] += 1
-            self._recorder.event(
-                t, EventKind.FAILURE_MASKED, owner, f"proc={proc}"
-            )
+            if self._rec_enabled:
+                self._recorder.event(
+                    t, EventKind.FAILURE_MASKED, owner, f"proc={proc}"
+                )
             return
 
         counters["effective"] += 1
         f = owner
         j = rt_f.sigma
         # Alg. 2 lines 23-26: roll back to the last checkpoint, pay D + R.
+        # The grid values at sigma come from the mirrors — the same floats
+        # the model accessors would gather (restart_overhead is D + C and
+        # expected_time indexes the envelope at slot (j >> 1) - 1), so the
+        # rollback is bit-identical to the accessor-resolving form the
+        # reference mode keeps.
         lost_before = rt_f.alpha
-        rt_f.alpha = remaining_after_failure(
-            self.model, f, j, rt_f.alpha, t, rt_f.t_last
-        )
-        rt_f.rework += rt_f.alpha - lost_before  # <= 0 contribution
-        rt_f.failures += 1
-        rt_f.t_last = t + self.model.restart_overhead(f, j)
-        rt_f.t_expected = rt_f.t_last + self.model.expected_time(
-            f, j, rt_f.alpha
-        )
+        if self._ref_failure_path:
+            rt_f.alpha = remaining_after_failure(
+                self.model, f, j, rt_f.alpha, t, rt_f.t_last
+            )
+            rt_f.rework += rt_f.alpha - lost_before  # <= 0 contribution
+            rt_f.failures += 1
+            rt_f.t_last = t + self.model.restart_overhead(f, j)
+            rt_f.t_expected = rt_f.t_last + self.model.expected_time(
+                f, j, rt_f.alpha
+            )
+        else:
+            tff = float(self._m_tff[f])
+            tau = float(self._m_tau[f])
+            cost = float(self._m_cost[f])
+            rt_f.alpha = remaining_after_failure_from_values(
+                rt_f.alpha, t, rt_f.t_last, tff, tau, cost
+            )
+            rt_f.rework += rt_f.alpha - lost_before  # <= 0 contribution
+            rt_f.failures += 1
+            rt_f.t_last = t + (self.model.downtime + cost)
+            rt_f.t_expected = rt_f.t_last + float(
+                self.model.profile(f, rt_f.alpha)[(j >> 1) - 1]
+            )
+        self._m_texp[f] = rt_f.t_expected
+        self._m_tlast[f] = rt_f.t_last
         finish[f] = self._projected(rt_f)
         if self._cache is not None:
             # Remaining work re-measured + stall applied: dirty bit.
             self._cache.invalidate(f)
-        self._recorder.event(t, EventKind.FAILURE, f, f"proc={proc}")
+        if self._rec_enabled:
+            self._recorder.event(t, EventKind.FAILURE, f, f"proc={proc}")
 
         # Alg. 2 line 28: tasks projected to end before the struck task
         # resumes release their processors for the rebalancing below.
-        # (Runtimes are pack-ordered, so the enumerate index is the task
-        # index without the per-task property hop.)
+        # One vectorised compare over the finish mirror instead of a
+        # Python scan of every runtime per failure.
         t_resume = rt_f.t_last
-        for i, rt in enumerate(runtimes):
-            if (
-                not rt.completed
-                and i != f
-                and i not in released_early
-                and finish[i] < t_resume
-            ):
-                released_early.add(i)
+        if self._ref_failure_path:
+            for i, rt in enumerate(runtimes):
+                if (
+                    not rt.completed
+                    and i != f
+                    and not self._m_released[i]
+                    and finish[i] < t_resume
+                ):
+                    self._m_released[i] = True
+                    self._m_live[i] = False
+                    procs.release(i)
+                    if self._rec_enabled:
+                        self._recorder.event(t, EventKind.EARLY_RELEASE, i)
+        else:
+            buf = self._m_scratch
+            np.less(self._m_finish, t_resume, out=buf)
+            buf &= self._m_live
+            buf[f] = False
+            for i in np.nonzero(buf)[0]:
+                i = int(i)
+                self._m_released[i] = True
+                self._m_live[i] = False
                 procs.release(i)
-                self._recorder.event(t, EventKind.EARLY_RELEASE, i)
+                if self._rec_enabled:
+                    self._recorder.event(t, EventKind.EARLY_RELEASE, i)
 
         # Alg. 2 line 30: rebalance only if the struck task is the longest.
-        if self.policy.failure is not None and self._is_longest(
-            rt_f, runtimes, released_early
-        ):
-            tasks = self._active_for_redistribution(
-                t, runtimes, released_early, include=f
-            )
+        if self.policy.failure is not None and self._is_longest(rt_f, runtimes):
+            tasks = self._active_for_redistribution(t, runtimes, include=f)
             if len(tasks) > 1 or (tasks and procs.free_count >= 2):
                 if self._cache is not None:
                     self._cache.note_budget(procs.free_count)
@@ -399,22 +542,25 @@ class Simulator:
                 )
                 self._sync_and_reproject(t, changed, runtimes, procs, finish)
 
-        if self._recorder.enabled:
+        if self._rec_enabled:
             self._failure_snapshot(t, runtimes, finish)
 
-    @staticmethod
     def _is_longest(
-        rt_f: TaskRuntime,
-        runtimes: List[TaskRuntime],
-        released_early: set[int],
+        self, rt_f: TaskRuntime, runtimes: List[TaskRuntime]
     ) -> bool:
-        threshold = rt_f.t_expected
-        for i, rt in enumerate(runtimes):
-            if rt.completed or i in released_early:
-                continue
-            if rt.t_expected > threshold:
-                return False
-        return True
+        """Alg. 2 line 30 test, vectorised over the t_expected mirror."""
+        if self._ref_failure_path:
+            threshold = rt_f.t_expected
+            for i, rt in enumerate(runtimes):
+                if rt.completed or self._m_released[i]:
+                    continue
+                if rt.t_expected > threshold:
+                    return False
+            return True
+        buf = self._m_scratch
+        np.greater(self._m_texp, rt_f.t_expected, out=buf)
+        buf &= self._m_live
+        return not bool(buf.any())
 
     def _failure_snapshot(
         self,
@@ -422,14 +568,31 @@ class Simulator:
         runtimes: List[TaskRuntime],
         finish: Dict[int, float],
     ) -> None:
-        """Record the Fig. 9 series after a handled failure."""
-        projected = [
-            rt.completion_time if rt.completed else finish[rt.index]
-            for rt in runtimes
-        ]
-        sigmas = [rt.sigma for rt in runtimes if not rt.completed]
-        sigma_std = float(np.std(sigmas)) if sigmas else 0.0
-        self._recorder.failure_snapshot(t, float(max(projected)), sigma_std)
+        """Record the Fig. 9 series after a handled failure.
+
+        Both series come straight from the mirrors: a completed task's
+        queue entry still holds its completion event time (projections
+        are only rewritten for live tasks), so the projected-makespan
+        series is the max of the finish mirror; and the sigma mirror
+        holds exact small integers, so its float64 std matches the
+        seed's int-list std bit for bit.
+        """
+        if self._ref_failure_path:
+            projected = [
+                rt.completion_time if rt.completed else finish[rt.index]
+                for rt in runtimes
+            ]
+            sigmas = [rt.sigma for rt in runtimes if not rt.completed]
+            sigma_std = float(np.std(sigmas)) if sigmas else 0.0
+            self._recorder.failure_snapshot(t, float(max(projected)), sigma_std)
+            return
+        makespan = float(self._m_finish.max())
+        active = ~self._m_done
+        if bool(active.any()):
+            sigma_std = float(np.std(self._m_sigma[active]))
+        else:
+            sigma_std = 0.0
+        self._recorder.failure_snapshot(t, makespan, sigma_std)
 
 
 def simulate(

@@ -151,7 +151,10 @@ class TestWorkerServe:
             broker.fetch_result("t1")
         )
         assert list(results) == [execute_request(r) for r in requests]
-        assert len(decisions) == 3
+        # One delta per process decision counter (kernels.py:
+        # rows_patched, rows_reused, scratch_allocations,
+        # profile_env_reused, profile_tau_patched).
+        assert len(decisions) == 5
         assert engine == (0,)
 
     def test_error_payload_carries_the_traceback(self, tmp_path):

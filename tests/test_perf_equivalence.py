@@ -31,7 +31,7 @@ from repro.experiments import (
     run_figure,
     run_scenario,
 )
-from repro.resilience import ExpectedTimeModel
+from repro.resilience import NUMBA_AVAILABLE, ExpectedTimeModel
 from repro.simulation import Simulator
 from repro.tasks import uniform_pack
 
@@ -261,15 +261,24 @@ class TestEngineEquivalence:
         assert stats.workloads_reused >= built_after_first
 
 
-#: decision-kernel x decision-state x event-queue combinations pinned
-#: against the (array, incremental, heap) default on full figure series.
+#: decision-kernel x decision-state x event-queue x profile-backend
+#: combinations pinned against the (array, incremental, heap, fused)
+#: default on full figure series.  The all-reference row is the PR-6-era
+#: substrate end to end; the numba leg joins whenever the soft
+#: dependency is installed.
 KERNEL_MODE_OPTIONS = (
     {"decision_kernel": "scalar"},
     {"decision_kernel": "scalar", "event_queue": "scan"},
     {"event_queue": "scan"},
     {"decision_state": "rebuild"},
     {"decision_state": "rebuild", "event_queue": "scan"},
-)
+    {"profile_backend": "reference"},
+    {
+        "profile_backend": "reference",
+        "decision_state": "rebuild",
+        "event_queue": "scan",
+    },
+) + (({"profile_backend": "numba"},) if NUMBA_AVAILABLE else ())
 
 
 class TestDecisionKernelFigures:
