@@ -24,6 +24,13 @@ seed, same sites) and the resilience counters, plus the derived
 ``chaos_overhead`` (chaotic seconds over fault-free queue seconds) for
 visibility — overhead is expected and unbounded by design (recovery
 costs heartbeat horizons), so only the identity gate is enforced.
+
+A second leg (``run_http_soak``) drives the same sweep through the
+remote transport: an :class:`~repro.engine.HTTPBroker` submitter whose
+wire rides a seeded :class:`~repro.engine.ChaosHTTPTransport` (resets,
+5xx, timeouts, truncated bodies) against an in-process broker server —
+the partition-tolerance soak for ``python -m
+repro.engine.broker_server`` fleets.
 ``REPRO_BENCH_SCALE`` (``tiny``/``small``) sizes the sweep's scenarios;
 ``REPRO_CHAOS_SEED`` picks the plan seed (default 2026).
 """
@@ -38,7 +45,7 @@ import time
 from pathlib import Path
 from typing import Dict, Optional, Sequence
 
-from repro.engine import FaultPlan, QueueExecutor, create_executor
+from repro.engine import FaultPlan, QueueExecutor, connect_broker, create_executor
 from repro.experiments import FAULT_SERIES, run_scenario
 from repro.experiments.config import ScenarioConfig, get_scale
 
@@ -72,6 +79,17 @@ SOAK_PLAN = FaultPlan(
     runner_fault=0.2,
     stall_duration=0.6,
     slow_delay=0.01,
+)
+
+#: The HTTP-transport leg's plan: wire faults only, injected under the
+#: submitter's HTTPBroker while a clean in-process worker serves the
+#: same broker server (a partition soak, not a worker-crash soak).
+WIRE_PLAN = FaultPlan(
+    seed=CHAOS_SEED,
+    wire_reset=0.3,
+    wire_5xx=0.3,
+    wire_timeout=0.15,
+    wire_truncate=0.25,
 )
 
 
@@ -151,6 +169,71 @@ def run_soak(plan: FaultPlan = SOAK_PLAN) -> Dict[str, object]:
     }
 
 
+def run_http_soak(plan: FaultPlan = WIRE_PLAN) -> Dict[str, object]:
+    """One sweep over the HTTP broker transport under seeded wire chaos.
+
+    The submitter's :class:`~repro.engine.HTTPBroker` rides a
+    :class:`~repro.engine.ChaosHTTPTransport` (seeded resets, 5xx,
+    timeouts, truncated bodies) against an in-process broker server; a
+    clean worker thread serves the same server.  The gate is the same
+    as the spool soak's: the series must equal the fault-free serial
+    reference byte-for-byte, and the plan must actually have fired.
+    """
+    import threading
+
+    from repro.engine.broker import FileBroker
+    from repro.engine.broker_server import BrokerServer
+    from repro.engine.cache import shared_cache
+    from repro.engine.worker import serve
+
+    shared_cache.clear()
+    with create_executor("serial") as executor:
+        reference = _sweep_digest(executor)
+
+    shared_cache.clear()
+    import tempfile
+
+    spool = tempfile.mkdtemp(prefix="bench-http-chaos-")
+    server = BrokerServer(FileBroker(spool), token="bench-chaos")
+    url = server.start()
+    broker = connect_broker(url, token="bench-chaos", chaos_plan=plan)
+    worker = threading.Thread(
+        target=serve,
+        args=(connect_broker(url, token="bench-chaos"),),
+        kwargs={"poll_interval": 0.01, "max_idle": 60.0},
+        daemon=True,
+    )
+    worker.start()
+    start = time.perf_counter()
+    try:
+        with QueueExecutor(
+            workers=WORKERS,
+            poll_interval=0.01,
+            heartbeat_timeout=10.0,
+            broker=broker,
+        ) as executor:
+            digest = _sweep_digest(executor)
+            stats = executor.stats().cache_info()
+    finally:
+        broker.request_stop()
+        worker.join(timeout=30.0)
+        server.shutdown()
+        import shutil
+
+        shutil.rmtree(spool, ignore_errors=True)
+    injected = dict(broker.transport.injected)
+    assert digest == reference, (
+        f"HTTP-transport series (wire plan seed {plan.seed}) diverged "
+        "from the serial reference"
+    )
+    return {
+        "seconds": time.perf_counter() - start,
+        "digest": digest,
+        "stats": stats,
+        "injected": injected,
+    }
+
+
 def chaos_overhead(results: Dict[str, object]) -> float:
     """Chaotic sweep seconds over fault-free queue sweep seconds."""
     return results["chaotic"]["seconds"] / results["quiet"]["seconds"]
@@ -169,15 +252,18 @@ def faults_fired(results: Dict[str, object]) -> bool:
     return bool(chaotic["injected"]) or resilience > 0
 
 
-def payload_from(results: Dict[str, object]) -> Dict[str, object]:
-    return {
-        "schema": 1,
+def payload_from(
+    results: Dict[str, object], http: Optional[Dict[str, object]] = None
+) -> Dict[str, object]:
+    payload = {
+        "schema": 2,
         "scale": BENCH_SCALE,
         "workers": WORKERS,
         "chaos_seed": CHAOS_SEED,
         "python": platform.python_version(),
         "machine": platform.machine(),
         "plan": results["plan"],
+        "wire_plan": WIRE_PLAN.describe(),
         "points": results["points"],
         "benchmarks": {
             run: {
@@ -189,11 +275,18 @@ def payload_from(results: Dict[str, object]) -> Dict[str, object]:
         },
         "derived": {"chaos_overhead": chaos_overhead(results)},
     }
+    if http is not None:
+        payload["benchmarks"]["http_chaotic"] = {
+            "seconds": http["seconds"],
+            "stats": http["stats"],
+            "injected": http["injected"],
+        }
+    return payload
 
 
 def write_baseline(path: Path = DEFAULT_BASELINE) -> Dict[str, object]:
     """Measure everything and record the committed baseline JSON."""
-    payload = payload_from(run_soak())
+    payload = payload_from(run_soak(), http=run_http_soak())
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     return payload
 
@@ -208,6 +301,16 @@ def test_chaotic_sweep_is_byte_identical_and_non_vacuous():
         "the soak plan injected nothing — raise its rates or check the "
         "chaos wiring"
     )
+
+
+def test_http_transport_chaos_is_byte_identical_and_non_vacuous():
+    """Acceptance gate for the wire: partitions stall, never corrupt."""
+    results = run_http_soak()
+    assert results["injected"], (
+        "the wire plan injected nothing — raise its rates or check the "
+        "ChaosHTTPTransport wiring"
+    )
+    assert results["stats"]["wire_retries"] > 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -231,7 +334,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.write:
         payload = write_baseline(args.output)
     else:
-        payload = payload_from(run_soak())
+        payload = payload_from(run_soak(), http=run_http_soak())
     print(json.dumps(payload, indent=2, sort_keys=True))
     return 0
 

@@ -26,7 +26,13 @@ replicate progress (``Executor.map_stream``) on stderr while a sweep
 executes.  The ``queue`` engine self-hosts a local broker spool plus
 ``--workers`` worker subprocesses (``python -m repro.engine.worker``);
 its statistics — profile-cache and decision-state counters included —
-travel back across the queue boundary like any other engine's.  Two
+travel back across the queue boundary like any other engine's.
+``--broker URL|DIR`` points that engine at an *externally served*
+broker instead — an ``http(s)://`` URL of a running
+``python -m repro.engine.broker_server`` (``--broker-token`` or
+``$REPRO_BROKER_TOKEN`` authenticates) or a shared spool directory —
+and an elastic fleet of ``python -m repro.engine.worker`` processes,
+joining and draining at will, executes the campaign.  Two
 resilience knobs ride along (``docs/RESILIENCE.md``): ``--journal
 DIR`` records finished chunks so a re-run of the same campaign resumes
 instead of recomputing, and ``--chaos PLAN`` arms deterministic fault
@@ -39,6 +45,7 @@ dead-letter / journal digest).  The benchmark suite under
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -46,6 +53,7 @@ from . import __version__
 from .cluster import Cluster
 from .core.policy import PAPER_POLICY_LABELS, POLICIES
 from .engine import ENGINES, create_executor, resolve_engine
+from .exceptions import ConfigurationError
 from .experiments import (
     FIGURES,
     SCALES,
@@ -130,6 +138,27 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
             "(results stay byte-identical; for testing the fabric)"
         ),
     )
+    parser.add_argument(
+        "--broker",
+        default=None,
+        metavar="URL|DIR",
+        help=(
+            "dispatch through an externally served broker (implies "
+            "--engine queue): an http(s):// URL of a running "
+            "`python -m repro.engine.broker_server`, or a FileBroker "
+            "spool directory; workers join with "
+            "`python -m repro.engine.worker --broker ...`"
+        ),
+    )
+    parser.add_argument(
+        "--broker-token",
+        default=None,
+        metavar="TOKEN",
+        help=(
+            "bearer token for an http(s) --broker "
+            "(default: $REPRO_BROKER_TOKEN)"
+        ),
+    )
 
 
 def _make_executor(args: argparse.Namespace, *, sweep: bool = False):
@@ -137,8 +166,31 @@ def _make_executor(args: argparse.Namespace, *, sweep: bool = False):
 
     ``sweep`` commands (many dispatches against one executor) default to
     the persistent pool when ``--workers`` > 1 so pool start-up is paid
-    once, not once per sweep point.
+    once, not once per sweep point.  ``--broker`` routes dispatch
+    through an externally served broker (a remote HTTP broker server or
+    a shared spool directory) instead of a self-hosted fleet — the
+    queue engine, with workers joining from wherever they like.
     """
+    spec = getattr(args, "broker", None)
+    if spec is not None:
+        if args.engine not in (None, "queue"):
+            raise ConfigurationError(
+                f"--broker dispatches through the queue engine; "
+                f"it cannot be combined with --engine {args.engine}"
+            )
+        from .engine import FaultPlan, connect_broker
+        from .engine.queue_exec import QueueExecutor
+
+        token = getattr(args, "broker_token", None)
+        if token is None:
+            token = os.environ.get("REPRO_BROKER_TOKEN")
+        plan = FaultPlan.from_spec(getattr(args, "chaos", None))
+        return QueueExecutor(
+            workers=args.workers,
+            broker=connect_broker(spec, token=token, chaos_plan=plan),
+            chaos_plan=plan,
+            journal=getattr(args, "journal", None),
+        )
     engine = resolve_engine(
         args.engine,
         args.workers,
@@ -173,6 +225,8 @@ def _report_engine(
                 print(f"decisions: {stats.describe_decisions()}")
         if stats.any_resilience_events():
             print(f"resilience: {stats.describe_resilience()}")
+        if stats.any_fleet_events():
+            print(f"fleet: {stats.describe_fleet()}")
 
 
 def build_parser() -> argparse.ArgumentParser:

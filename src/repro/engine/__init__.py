@@ -19,7 +19,9 @@ pieces:
   :class:`QueueExecutor` (chunks serialised through a pluggable
   :class:`Broker` to workers that may live outside this process tree —
   or this host; ``python -m repro.engine.worker`` is the worker-side
-  entrypoint).
+  entrypoint, ``python -m repro.engine.broker_server`` serves a spool
+  over token-authenticated HTTP and :class:`HTTPBroker` /
+  :func:`connect_broker` are the client side).
 
 The RunRequest determinism contract
 -----------------------------------
@@ -63,7 +65,7 @@ from __future__ import annotations
 from .async_exec import AsyncExecutor
 from .broker import Broker, FileBroker, worker_identity
 from .cache import WorkloadCache, shared_cache
-from .chaos import ChaosBroker, ChaosCrash, FaultPlan
+from .chaos import ChaosBroker, ChaosCrash, ChaosHTTPTransport, FaultPlan
 from .executors import (
     ENGINES,
     EngineStats,
@@ -76,6 +78,7 @@ from .executors import (
     ensure_executor,
     resolve_engine,
 )
+from .http_broker import HTTPBroker, connect_broker
 from .journal import ResultJournal, ensure_journal
 from .queue_exec import QueueExecutor
 from .request import RunRequest, execute_request
@@ -88,10 +91,12 @@ __all__ = [
     "Broker",
     "ChaosBroker",
     "ChaosCrash",
+    "ChaosHTTPTransport",
     "EngineStats",
     "Executor",
     "FaultPlan",
     "FileBroker",
+    "HTTPBroker",
     "PersistentPoolExecutor",
     "PoolExecutor",
     "QueueExecutor",
@@ -100,6 +105,7 @@ __all__ = [
     "RunRequest",
     "SerialExecutor",
     "WorkloadCache",
+    "connect_broker",
     "create_executor",
     "default_chunk_size",
     "ensure_executor",

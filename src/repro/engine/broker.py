@@ -36,8 +36,10 @@ Concretely a broker must guarantee:
   budget is quarantined with its payload and remote traceback instead
   of wedging the campaign (see :mod:`repro.engine.retry` and the
   runbook in ``docs/RESILIENCE.md``);
-* :meth:`~Broker.heartbeat` / :meth:`~Broker.live_workers` — workers
-  advertise liveness; the submitter uses it for timeout decisions;
+* :meth:`~Broker.heartbeat` / :meth:`~Broker.live_workers` /
+  :meth:`~Broker.deregister` — workers advertise liveness (and say
+  goodbye when they drain); the submitter uses it for timeout
+  decisions;
 * :meth:`~Broker.request_stop` / :meth:`~Broker.stop_requested` — a
   cooperative shutdown flag workers poll between tasks.
 """
@@ -131,6 +133,10 @@ class Broker(Protocol):
         """Workers whose last heartbeat is younger than ``horizon`` s."""
         ...
 
+    def deregister(self, worker_id: str) -> None:
+        """Forget a worker's liveness record (a graceful drain/leave)."""
+        ...
+
     def stale_claims(self, horizon: float) -> List[str]:
         """Task ids claimed by workers silent for over ``horizon`` s."""
         ...
@@ -156,11 +162,13 @@ class FileBroker:
         dead/<task>.task       quarantined (dead-lettered) payloads
         dead/<task>.info       the quarantined task's failure report
         workers/<worker>.beat  heartbeat files (mtime = last beat)
-        tmp/                   staging for atomic writes
         stop                   cooperative-shutdown sentinel
 
-    Every visible file appears via ``os.replace`` of a staged ``tmp/``
-    file, so readers never observe partial payloads, and a claim *is*
+    Every visible file appears via ``os.replace`` of a fsynced staging
+    file written *in the target's own directory* (dot-prefixed, so no
+    glob sees it; same-directory so the rename never crosses a device
+    on spools that mount subdirectories separately), so readers never
+    observe partial payloads — even across a crash mid-write — and a claim *is*
     one ``os.replace`` from ``queue/`` to ``claimed/`` — the filesystem
     arbitrates racing workers (the losers get ``FileNotFoundError`` and
     move on).  This works unchanged across processes of one host and
@@ -171,13 +179,22 @@ class FileBroker:
 
     def __init__(self, root: os.PathLike | str):
         self.root = Path(root)
-        for sub in ("queue", "claimed", "results", "dead", "workers", "tmp"):
+        for sub in ("queue", "claimed", "results", "dead", "workers"):
             (self.root / sub).mkdir(parents=True, exist_ok=True)
 
     # -- internals ---------------------------------------------------------
     def _write_atomic(self, target: Path, payload: bytes) -> None:
-        staged = self.root / "tmp" / f"{uuid.uuid4().hex}.staging"
-        staged.write_bytes(payload)
+        # Stage in the *target's* directory: os.replace cannot cross
+        # filesystems, and a shared spool may mount subdirectories on
+        # different devices.  The leading dot keeps staging files out of
+        # every ``*.task`` / ``*.result`` / ``*.beat`` glob; the fsync
+        # before the rename means a crash (broker-server power loss
+        # included) can never publish a torn payload under a final name.
+        staged = target.parent / f".{uuid.uuid4().hex}.staging"
+        with open(staged, "wb") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(staged, target)
 
     def _queue_path(self, task_id: str) -> Path:
@@ -241,6 +258,19 @@ class FileBroker:
         except FileNotFoundError:  # pragma: no cover - racing fetchers
             pass
         return payload
+
+    def peek_result(self, task_id: str) -> Optional[bytes]:
+        """Read a result *without* consuming it (``None`` if not landed).
+
+        The broker server's two-phase result fetch is built on this:
+        the remote client peeks, decodes, and only then acks the
+        consumption — so a response lost on the wire never destroys
+        the sole copy of a result.
+        """
+        try:
+            return (self.root / "results" / f"{task_id}.result").read_bytes()
+        except FileNotFoundError:
+            return None
 
     def requeue(self, task_id: str) -> bool:
         """Move a claimed task back to ``queue/`` (e.g. dead claimant)."""
@@ -329,6 +359,19 @@ class FileBroker:
             except FileNotFoundError:  # pragma: no cover - races with rm
                 continue
         return alive
+
+    def deregister(self, worker_id: str) -> None:
+        """Remove the worker's beat file (a drained worker's goodbye).
+
+        A deregistered worker drops out of :meth:`live_workers`
+        immediately instead of lingering until its last beat ages past
+        the horizon — so the submitter's inline fallback and requeue
+        decisions see fleet departures promptly.
+        """
+        try:
+            os.remove(self.root / "workers" / f"{worker_id}.beat")
+        except FileNotFoundError:
+            pass
 
     def stale_claims(self, horizon: float) -> List[str]:
         """Claimed task ids whose owner has been silent > ``horizon`` s.

@@ -4,8 +4,10 @@ The paper's whole subject is computing through failures; this module
 turns the same discipline on our own execution engine.  A
 :class:`FaultPlan` is a seed-driven schedule of injected faults —
 worker crashes before/after claiming, stalled heartbeats, transient
-``OSError`` on spool I/O, truncated result payloads, slow workers and
-transient runner errors — that wraps any
+``OSError`` on spool I/O, truncated result payloads, slow workers,
+transient runner errors, and (for the remote fabric) wire-level HTTP
+faults: connection resets, injected 5xx, timeouts and truncated
+response bodies (:class:`ChaosHTTPTransport`) — that wraps any
 :class:`~repro.engine.broker.Broker` (:class:`ChaosBroker`) and the
 worker entrypoint (``python -m repro.engine.worker --chaos PLAN``), so
 every supervision path in the fabric — retry/backoff, heartbeat
@@ -38,14 +40,21 @@ take.
 from __future__ import annotations
 
 import json
+import socket
 import time
 from dataclasses import dataclass, fields, replace
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Set, Tuple, Union
 
 from ..exceptions import ConfigurationError, TransientEngineError
 from ..rng import derive_rng
 
-__all__ = ["FaultPlan", "ChaosBroker", "ChaosCrash", "stable_task_key"]
+__all__ = [
+    "FaultPlan",
+    "ChaosBroker",
+    "ChaosCrash",
+    "ChaosHTTPTransport",
+    "stable_task_key",
+]
 
 Key = Union[int, str]
 
@@ -73,6 +82,14 @@ class ChaosCrash(SystemExit):
     """
 
 
+#: FaultPlan fields that are *wire*-level rates (the HTTP transport).
+_WIRE_RATE_FIELDS = (
+    "wire_reset",
+    "wire_5xx",
+    "wire_timeout",
+    "wire_truncate",
+)
+
 #: FaultPlan fields that are injection *rates* (probabilities in [0, 1]).
 _RATE_FIELDS = (
     "crash_before_claim",
@@ -82,7 +99,7 @@ _RATE_FIELDS = (
     "corrupt_result",
     "slow_worker",
     "runner_fault",
-)
+) + _WIRE_RATE_FIELDS
 
 
 @dataclass(frozen=True)
@@ -122,6 +139,15 @@ class FaultPlan:
         A request raises :class:`~repro.exceptions.TransientEngineError`
         on its first attempt (keyed by the request seed — exercises the
         in-place retry layer of *every* executor).
+    wire_reset, wire_5xx, wire_timeout, wire_truncate:
+        HTTP wire faults, armed by wrapping an
+        :class:`~repro.engine.http_broker.HTTPTransport` in
+        :class:`ChaosHTTPTransport`: a connection reset *after* the
+        server processed the request (the response is lost — the hard
+        idempotency case), an injected 503, a socket timeout before
+        the request is sent, and a response body cut in half.  At most
+        one fires per logical operation; the retry always sees a clean
+        wire.
     stall_duration, slow_delay:
         Durations for the stall / slow injections.
     """
@@ -134,6 +160,10 @@ class FaultPlan:
     corrupt_result: float = 0.0
     slow_worker: float = 0.0
     runner_fault: float = 0.0
+    wire_reset: float = 0.0
+    wire_5xx: float = 0.0
+    wire_timeout: float = 0.0
+    wire_truncate: float = 0.0
     stall_duration: float = 0.3
     slow_delay: float = 0.02
 
@@ -173,6 +203,10 @@ class FaultPlan:
     def any_faults(self) -> bool:
         """Whether any injection rate is non-zero."""
         return any(getattr(self, name) > 0.0 for name in _RATE_FIELDS)
+
+    def any_wire_faults(self) -> bool:
+        """Whether any HTTP wire-level injection rate is non-zero."""
+        return any(getattr(self, name) > 0.0 for name in _WIRE_RATE_FIELDS)
 
     # -- wire format -------------------------------------------------------
     def to_json(self) -> str:
@@ -321,6 +355,15 @@ class ChaosBroker:
     def heartbeat(self, worker_id: str) -> None:
         self.broker.heartbeat(worker_id)
 
+    def deregister(self, worker_id: str) -> None:
+        deregister = getattr(self.broker, "deregister", None)
+        if deregister is not None:
+            deregister(worker_id)
+
+    def engine_counters(self) -> Dict[str, int]:
+        getter = getattr(self.broker, "engine_counters", None)
+        return {} if getter is None else getter()
+
     def live_workers(self, horizon: float) -> List[str]:
         return self.broker.live_workers(horizon)
 
@@ -335,6 +378,75 @@ class ChaosBroker:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ChaosBroker({self.broker!r}, {self.plan.describe()})"
+
+
+class ChaosHTTPTransport:
+    """An HTTP transport wrapper that perturbs the wire deterministically.
+
+    Wraps anything with ``send(op, body, *, key) -> (status, bytes)``
+    (:class:`~repro.engine.http_broker.HTTPTransport`) and injects the
+    four classic wide-area faults.  Each decision is keyed on the
+    *logical operation identity* — the ``key`` the client holds
+    constant across its wire retries — via :func:`stable_task_key`
+    (task-carrying keys decide identically across executor nonces), and
+    at most one fault fires per logical operation, so the retry that
+    follows always sees a clean wire and recovery is guaranteed even at
+    rate 1.0:
+
+    * ``wire_timeout`` — ``socket.timeout`` *before* sending (the
+      request never reached the server);
+    * ``wire_reset`` — the request *is* forwarded and processed, then
+      ``ConnectionResetError`` (the response is lost — the hard case
+      that exercises idempotent claims and two-phase result fetch);
+    * ``wire_5xx`` — an injected 503 response;
+    * ``wire_truncate`` — the response body arrives cut in half.
+
+    ``injected`` counts fired faults by site, like
+    :class:`ChaosBroker.injected`.
+    """
+
+    def __init__(self, transport, plan: FaultPlan):
+        self.transport = transport
+        self.plan = plan
+        self.url = getattr(transport, "url", "")
+        self.injected: Dict[str, int] = {}
+        self._seen: Set[Tuple[str, str]] = set()
+
+    def _fire(self, site: str) -> None:
+        self.injected[site] = self.injected.get(site, 0) + 1
+
+    def send(self, op: str, body: bytes, *, key: str) -> Tuple[int, bytes]:
+        """Forward through the wrapped transport, perhaps perturbed once."""
+        plan = self.plan
+        site_key = (op, key)
+        if site_key not in self._seen:
+            self._seen.add(site_key)
+            chaos_key = stable_task_key(key)
+            if plan.decide(plan.wire_timeout, f"wire-timeout-{op}", chaos_key):
+                self._fire("wire-timeout")
+                raise socket.timeout(
+                    f"chaos: injected timeout on {op} ({key!r})"
+                )
+            if plan.decide(plan.wire_reset, f"wire-reset-{op}", chaos_key):
+                self._fire("wire-reset")
+                self.transport.send(op, body, key=key)  # the server DID act
+                raise ConnectionResetError(
+                    f"chaos: response lost for {op} ({key!r}); "
+                    "the server processed the request"
+                )
+            if plan.decide(plan.wire_5xx, f"wire-5xx-{op}", chaos_key):
+                self._fire("wire-5xx")
+                return 503, b'{"error": "chaos: injected 503"}'
+            if plan.decide(
+                plan.wire_truncate, f"wire-truncate-{op}", chaos_key
+            ):
+                self._fire("wire-truncate")
+                status, response = self.transport.send(op, body, key=key)
+                return status, response[: len(response) // 2]
+        return self.transport.send(op, body, key=key)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ChaosHTTPTransport({self.transport!r}, {self.plan.describe()})"
 
 
 def sleep_for(duration: float) -> None:

@@ -110,6 +110,10 @@ class EngineStats:
     requeues: int = 0           #: stale claims pushed back onto the queue
     dead_lettered: int = 0      #: chunks quarantined after exhausting retries
     duplicate_results: int = 0  #: redundant completions absorbed (first wins)
+    wire_retries: int = 0       #: HTTP-broker requests retried on the wire
+    lease_expiries: int = 0     #: server-side claim leases judged expired
+    worker_joins: int = 0       #: workers first seen by the broker server
+    worker_leaves: int = 0      #: workers that deregistered (graceful drain)
     journal_hits: int = 0       #: chunks served from the result journal
     journal_misses: int = 0     #: chunks the journal had not seen yet
 
@@ -133,6 +137,10 @@ class EngineStats:
             "requeues": self.requeues,
             "dead_lettered": self.dead_lettered,
             "duplicate_results": self.duplicate_results,
+            "wire_retries": self.wire_retries,
+            "lease_expiries": self.lease_expiries,
+            "worker_joins": self.worker_joins,
+            "worker_leaves": self.worker_leaves,
             "journal_hits": self.journal_hits,
             "journal_misses": self.journal_misses,
         }
@@ -144,8 +152,28 @@ class EngineStats:
             or self.requeues
             or self.dead_lettered
             or self.duplicate_results
+            or self.wire_retries
+            or self.lease_expiries
             or self.journal_hits
             or self.journal_misses
+        )
+
+    def any_fleet_events(self) -> bool:
+        """Whether any remote-broker/fleet counter is non-zero."""
+        return bool(
+            self.wire_retries
+            or self.lease_expiries
+            or self.worker_joins
+            or self.worker_leaves
+        )
+
+    def describe_fleet(self) -> str:
+        """One-line remote-broker fleet digest for ``--verbose``."""
+        return (
+            f"worker joins: {self.worker_joins} "
+            f"leaves: {self.worker_leaves} / "
+            f"lease expiries: {self.lease_expiries} "
+            f"wire retries: {self.wire_retries}"
         )
 
     def describe_resilience(self) -> str:

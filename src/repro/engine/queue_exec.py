@@ -194,6 +194,7 @@ class QueueExecutor(_PooledExecutor):
         self.shutdown_timeout = float(shutdown_timeout)
         self._submitter = f"submitter-{worker_identity()}"
         self._nonce = uuid.uuid4().hex[:8]
+        self._counter_base: Dict[str, int] = {}
 
     # -- fabric lifecycle --------------------------------------------------
     def _ensure_fabric(self) -> Broker:
@@ -324,6 +325,36 @@ class QueueExecutor(_PooledExecutor):
             return fn(*args)
 
         return execute_with_retry(attempt, seed=seed, policy=self.retry_policy)
+
+    def _sync_broker_counters(self, broker: Broker) -> None:
+        """Fold the broker's fabric counters into :class:`EngineStats`.
+
+        Remote brokers (:class:`~repro.engine.http_broker.HTTPBroker`)
+        expose cumulative wire/fleet counters via ``engine_counters()``;
+        brokers without that surface contribute nothing.  Counters are
+        cumulative per broker lifetime, so only the delta since the last
+        sync is added — and a counter that *shrank* means the broker
+        server restarted (fresh counters on the same spool), in which
+        case the whole reported value is new events.
+        """
+        getter = getattr(broker, "engine_counters", None)
+        if getter is None:
+            return
+        try:
+            totals = getter()
+        except (TransientEngineError, PermanentEngineError, OSError):
+            return  # stats folding is best-effort, never fails a dispatch
+        for name, total in totals.items():
+            if not hasattr(self._stats, name):
+                continue
+            base = self._counter_base.get(name, 0)
+            if total < base:
+                base = 0
+            if total > base:
+                setattr(
+                    self._stats, name, getattr(self._stats, name) + total - base
+                )
+            self._counter_base[name] = total
 
     def _dispatch(
         self, chunks: List[Tuple[RunRequest, ...]]
@@ -483,6 +514,7 @@ class QueueExecutor(_PooledExecutor):
             for task_id in pending:
                 broker.discard(task_id)
             absorb_duplicates()
+            self._sync_broker_counters(broker)
         if dead and self.on_poison == "raise":
             lines = [
                 f"queue executor: {len(dead)} chunk(s) quarantined in the "

@@ -3,26 +3,35 @@
 ::
 
     python -m repro.engine.worker --broker /path/to/spool
+    python -m repro.engine.worker --broker http://host:8642 --broker-token T
 
-runs one worker process against a :class:`~repro.engine.broker.FileBroker`
-spool: claim a task, unpickle its tuple of
-:class:`~repro.engine.request.RunRequest`, execute it exactly like an
-in-process chunk (same code path as every other engine, so results are
-byte-identical by construction), and publish a result payload that
-carries the chunk results *plus* the worker-side cache-counter deltas —
-workload cache, profile cache, decision state — so the submitting
-:class:`~repro.engine.queue_exec.QueueExecutor` can fold them into its
-:class:`~repro.engine.executors.EngineStats` just as a process pool
-would.  Failures inside a chunk are published as error payloads (the
-traceback travels back to the submitter and is re-raised there);
-the worker itself keeps serving.
+runs one worker process against a broker — a local
+:class:`~repro.engine.broker.FileBroker` spool directory, or (the
+elastic-fleet shape) an ``http(s)://`` URL of a running
+``python -m repro.engine.broker_server`` — claim a task, unpickle its
+tuple of :class:`~repro.engine.request.RunRequest`, execute it exactly
+like an in-process chunk (same code path as every other engine, so
+results are byte-identical by construction), and publish a result
+payload that carries the chunk results *plus* the worker-side
+cache-counter deltas — workload cache, profile cache, decision state —
+so the submitting :class:`~repro.engine.queue_exec.QueueExecutor` can
+fold them into its :class:`~repro.engine.executors.EngineStats` just as
+a process pool would.  Failures inside a chunk are published as error
+payloads (the traceback travels back to the submitter and is re-raised
+there); the worker itself keeps serving.
 
-Liveness: the worker heartbeats through the broker on every loop
-iteration, and exits when the broker's cooperative stop flag is raised
-(once the queue is drained), when ``--max-idle`` seconds pass without
-work, or after ``--max-tasks`` tasks (testing hook).  Workers can join
-from any host that shares the spool; start several to scale a campaign
-out (see ``examples/remote_campaign.py``).
+Liveness and elasticity: the worker heartbeats through the broker (a
+daemon thread beats in parallel with chunk execution, and *backs off
+and retries* when a beat fails — a broker hiccup must not silently
+kill liveness), and exits when the broker's cooperative stop flag is
+raised, when ``--max-idle`` seconds pass without work, or after
+``--max-tasks`` tasks (testing hook).  Workers may join a campaign at
+any time from any host that reaches the broker, and leave gracefully:
+``SIGTERM`` requests a *drain* — the claimed chunk is finished and its
+result published, the lease released, the worker deregistered — so
+shrinking a fleet never loses or duplicates work.  Transient broker
+failures (a partition, a restarting broker server) stall the loop with
+exponential backoff instead of killing the process.
 
 Chaos: ``--chaos PLAN`` (a :class:`~repro.engine.chaos.FaultPlan` as
 JSON) arms deterministic worker-side fault injection — crash on
@@ -37,11 +46,17 @@ reproducible (see :mod:`repro.engine.chaos`).
 from __future__ import annotations
 
 import argparse
+import os
+import signal
+import sys
+import threading
 import time
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Tuple
 
-from .broker import Broker, FileBroker, worker_identity
+from ..exceptions import TransientEngineError
+from .broker import Broker, worker_identity
 from .chaos import ChaosCrash, FaultPlan, sleep_for, stable_task_key
+from .http_broker import connect_broker
 from .payloads import (  # noqa: F401 - re-exported wire-format codecs
     PAYLOAD_VERSION,
     decode_result,
@@ -62,6 +77,9 @@ __all__ = [
     "main",
 ]
 
+#: Ceiling on the transient-failure backoff of the serve loop (seconds).
+_MAX_BACKOFF = 2.0
+
 
 def serve(
     broker: Broker,
@@ -74,19 +92,30 @@ def serve(
     chaos: Optional[FaultPlan] = None,
     chaos_index: int = 0,
     retry_policy=DEFAULT_RETRY_POLICY,
+    drain: Optional[threading.Event] = None,
 ) -> int:
     """Serve the broker until stopped; returns tasks executed.
 
-    One iteration = heartbeat, claim, execute+complete (or idle-sleep).
-    Exits when the broker's stop flag is up and no task was claimable,
-    after ``max_idle`` seconds without work, or after ``max_tasks``
-    tasks.
+    One iteration = publish any pending result, heartbeat, claim,
+    execute (or idle-sleep).  Exits when the broker's stop flag is up
+    and no task was claimable, after ``max_idle`` seconds without work,
+    after ``max_tasks`` tasks, or — the graceful-drain path — when
+    ``drain`` is set *and* the claimed chunk has been finished and
+    published (``main`` sets it from ``SIGTERM``).  On every exit path
+    the worker deregisters from the broker, releasing its liveness
+    record immediately.
 
     A daemon thread heartbeats every ``heartbeat_interval`` seconds *in
     parallel with chunk execution*, so a worker deep inside a long
     chunk still advertises liveness — without it, any chunk outlasting
     the submitter's ``heartbeat_timeout`` would be judged dead,
-    requeued and executed twice (harmless but wasteful).
+    requeued and executed twice (harmless but wasteful).  A beat that
+    fails backs off exponentially and keeps retrying: transient broker
+    trouble must never silently kill liveness.  The claim/complete loop
+    is hardened the same way — a transient broker failure (partition,
+    broker-server restart) stalls the worker, it does not kill it, and
+    an executed chunk's result is held and re-published until the
+    broker accepts it (at-least-once, never lost).
 
     ``chaos`` arms worker-side fault injection (see the module
     docstring); ``chaos_index`` keys the start-up crash decision so a
@@ -95,20 +124,25 @@ def serve(
     chunk — the same layer every in-process executor applies — so a
     transient fault recovers *here* instead of costing a round trip.
     """
-    import threading
-
     worker_id = worker_id or worker_identity()
     stop_beating = threading.Event()
     beats_suspended = threading.Event()
 
+    def _log(message: str) -> None:
+        print(f"worker[{worker_id}]: {message}", file=sys.stderr, flush=True)
+
     def _beat() -> None:
-        while not stop_beating.wait(heartbeat_interval):
+        delay = heartbeat_interval
+        while not stop_beating.wait(delay):
             if beats_suspended.is_set():
                 continue
             try:
                 broker.heartbeat(worker_id)
-            except OSError:  # pragma: no cover - spool torn down
-                return
+            except (TransientEngineError, OSError) as exc:
+                delay = min(delay * 2.0, max(heartbeat_interval, 30.0))
+                _log(f"heartbeat failed ({exc}); next beat in {delay:.1f}s")
+            else:
+                delay = heartbeat_interval
 
     if chaos is not None and chaos.decide(
         chaos.crash_before_claim, "crash-before", chaos_index
@@ -120,11 +154,48 @@ def serve(
     executed = 0
     idle_since = time.monotonic()
     chaos_seen = set()
+    unpublished: Optional[Tuple[str, bytes]] = None
+    backoff = poll_interval
     try:
         while True:
+            if unpublished is not None:
+                # An executed chunk's result outranks everything: hold
+                # it and retry until the broker accepts it (a drain-safe
+                # worker may not exit with a claimed chunk unpublished).
+                task_id, result = unpublished
+                try:
+                    broker.complete(task_id, result)
+                except (TransientEngineError, OSError) as exc:
+                    _log(
+                        f"publishing {task_id} failed ({exc}); "
+                        f"retrying in {backoff:.2f}s"
+                    )
+                    time.sleep(backoff)
+                    backoff = min(backoff * 2.0, _MAX_BACKOFF)
+                    continue
+                unpublished = None
+                backoff = poll_interval
+                executed += 1
+                idle_since = time.monotonic()
+                if max_tasks is not None and executed >= max_tasks:
+                    return executed
+                continue
+            if drain is not None and drain.is_set():
+                _log(f"drained after {executed} task(s)")
+                return executed
             if not beats_suspended.is_set():
-                broker.heartbeat(worker_id)
-            task = broker.claim(worker_id)
+                try:
+                    broker.heartbeat(worker_id)
+                except (TransientEngineError, OSError):
+                    pass  # the beater thread owns beat retries
+            try:
+                task = broker.claim(worker_id)
+            except (TransientEngineError, OSError) as exc:
+                _log(f"claim failed ({exc}); backing off {backoff:.2f}s")
+                time.sleep(backoff)
+                backoff = min(backoff * 2.0, _MAX_BACKOFF)
+                continue
+            backoff = poll_interval
             if task is not None:
                 task_id, payload = task
                 if chaos is not None and task_id not in chaos_seen:
@@ -142,17 +213,16 @@ def serve(
                         beats_suspended.set()
                         sleep_for(chaos.stall_duration)
                         beats_suspended.clear()
-                broker.complete(
+                unpublished = (
                     task_id,
                     execute_payload(payload, policy=retry_policy, plan=chaos),
                 )
-                executed += 1
-                idle_since = time.monotonic()
-                if max_tasks is not None and executed >= max_tasks:
-                    return executed
                 continue
-            if broker.stop_requested():
-                return executed
+            try:
+                if broker.stop_requested():
+                    return executed
+            except (TransientEngineError, OSError):
+                pass  # an unreachable stop flag reads as "keep going"
             if (
                 max_idle is not None
                 and time.monotonic() - idle_since > max_idle
@@ -162,23 +232,40 @@ def serve(
     finally:
         stop_beating.set()
         beater.join(timeout=heartbeat_interval + 1.0)
+        deregister = getattr(broker, "deregister", None)
+        if deregister is not None:
+            try:
+                deregister(worker_id)
+            except (TransientEngineError, OSError):
+                pass  # best-effort goodbye; staleness ages us out anyway
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI entrypoint: ``python -m repro.engine.worker --broker DIR``."""
+    """CLI entrypoint: ``python -m repro.engine.worker --broker URL|DIR``."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.engine.worker",
         description=(
-            "Serve a repro.engine queue-executor spool: claim RunRequest "
+            "Serve a repro.engine queue-executor broker: claim RunRequest "
             "chunks, execute them, publish results (with cache-counter "
-            "deltas) back through the broker."
+            "deltas) back through the broker.  SIGTERM drains: the "
+            "claimed chunk is finished and published before exit."
         ),
     )
     parser.add_argument(
         "--broker",
         required=True,
-        metavar="DIR",
-        help="FileBroker spool directory shared with the submitter",
+        metavar="URL|DIR",
+        help=(
+            "broker to serve: an http(s):// URL of a "
+            "`python -m repro.engine.broker_server`, or a FileBroker "
+            "spool directory shared with the submitter"
+        ),
+    )
+    parser.add_argument(
+        "--broker-token",
+        default=None,
+        metavar="TOKEN",
+        help="bearer token for http(s) brokers (default: $REPRO_BROKER_TOKEN)",
     )
     parser.add_argument(
         "--poll-interval",
@@ -222,17 +309,31 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="this worker's index in the fleet (keys start-up crashes)",
     )
     args = parser.parse_args(argv)
+    token = (
+        args.broker_token
+        if args.broker_token is not None
+        else os.environ.get("REPRO_BROKER_TOKEN")
+    )
+    plan = None if args.chaos is None else FaultPlan.from_json(args.chaos)
+    broker = connect_broker(args.broker, token=token, chaos_plan=plan)
+    drain = threading.Event()
+    try:
+        signal.signal(signal.SIGTERM, lambda signum, frame: drain.set())
+    except ValueError:  # pragma: no cover - not the main thread
+        pass
     executed = serve(
-        FileBroker(args.broker),
+        broker,
         worker_id=args.worker_id,
         poll_interval=args.poll_interval,
         max_idle=args.max_idle,
         max_tasks=args.max_tasks,
         heartbeat_interval=args.heartbeat_interval,
-        chaos=None if args.chaos is None else FaultPlan.from_json(args.chaos),
+        chaos=plan,
         chaos_index=args.chaos_index,
+        drain=drain,
     )
-    print(f"worker exit: {executed} task(s) executed")
+    state = "drained" if drain.is_set() else "exit"
+    print(f"worker {state}: {executed} task(s) executed")
     return 0
 
 

@@ -39,6 +39,7 @@ DOCUMENTED_CLASSES = (
     engine.QueueExecutor,
     engine.Broker,
     engine.FileBroker,
+    engine.HTTPBroker,
     engine.RunRequest,
     engine.WorkloadCache,
 )
@@ -50,8 +51,10 @@ class TestEngineDocCoverage:
     def test_engine_module_docstrings(self):
         import repro.engine.async_exec
         import repro.engine.broker
+        import repro.engine.broker_server
         import repro.engine.cache
         import repro.engine.executors
+        import repro.engine.http_broker
         import repro.engine.queue_exec
         import repro.engine.request
         import repro.engine.worker
@@ -60,8 +63,10 @@ class TestEngineDocCoverage:
             engine,
             repro.engine.async_exec,
             repro.engine.broker,
+            repro.engine.broker_server,
             repro.engine.cache,
             repro.engine.executors,
+            repro.engine.http_broker,
             repro.engine.queue_exec,
             repro.engine.request,
             repro.engine.worker,

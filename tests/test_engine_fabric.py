@@ -204,6 +204,95 @@ class TestWorkerServe:
         assert list(results) == [execute_request(r) for r in _requests(3)]
 
 
+class _FlakyHeartbeatBroker:
+    """Delegates to a real broker; the first ``failures`` beats fail."""
+
+    def __init__(self, broker, failures):
+        self._broker = broker
+        self.failures = failures
+        self.beats = 0
+
+    def heartbeat(self, worker_id):
+        self.beats += 1
+        if self.beats <= self.failures:
+            raise OSError("injected beat failure")
+        self._broker.heartbeat(worker_id)
+
+    def __getattr__(self, name):
+        return getattr(self._broker, name)
+
+
+_DRAIN = None  # set by test_drain_finishes_the_claimed_chunk
+
+
+def _set_drain_flag(base, *, seed):
+    """Module-level runner that requests a drain from inside a chunk."""
+    _DRAIN.set()
+    return base + seed * seed
+
+
+class TestWorkerResilience:
+    def test_heartbeat_failures_do_not_kill_the_worker(self, tmp_path):
+        """A broker that rejects beats must not cost liveness or work."""
+        broker = _FlakyHeartbeatBroker(FileBroker(tmp_path), failures=1000)
+        broker.submit("t1", encode_task(_requests(2)))
+        assert serve(broker, max_tasks=1, heartbeat_interval=0.005) == 1
+        assert broker.fetch_result("t1") is not None
+
+    def test_beater_backs_off_and_recovers(self, tmp_path):
+        """The beat thread retries past failures instead of giving up."""
+        broker = _FlakyHeartbeatBroker(FileBroker(tmp_path), failures=2)
+        assert (
+            serve(
+                broker,
+                heartbeat_interval=0.005,
+                poll_interval=0.005,
+                max_idle=0.25,
+            )
+            == 0
+        )
+        # it kept beating after (and despite) the injected failures
+        assert broker.beats > broker.failures
+
+    def test_serve_deregisters_on_exit(self, tmp_path):
+        broker = FileBroker(tmp_path)
+        broker.request_stop()
+        serve(broker, worker_id="w-gone")
+        assert broker.live_workers(60.0) == []
+
+    def test_drain_finishes_the_claimed_chunk(self, tmp_path):
+        """SIGTERM semantics: publish the claimed chunk, then leave."""
+        import threading
+
+        global _DRAIN
+        _DRAIN = threading.Event()
+        broker = FileBroker(tmp_path)
+        requests = [
+            RunRequest(fn=_set_drain_flag, payload=(7,), seed=s)
+            for s in range(2)
+        ]
+        broker.submit("t1", encode_task(tuple(requests)))
+        broker.submit("t2", encode_task(tuple(requests)))
+        executed = serve(broker, drain=_DRAIN, poll_interval=0.005)
+        # the drain arrived mid-chunk: that chunk was finished and
+        # published, the untouched one stayed queued for the fleet
+        assert executed == 1
+        results, *_ = decode_result(broker.fetch_result("t1"))
+        assert list(results) == [execute_request(r) for r in requests]
+        assert broker.claim("survivor") == ("t2", encode_task(tuple(requests)))
+        assert broker.live_workers(60.0) == []
+
+    def test_preset_drain_exits_before_claiming(self, tmp_path):
+        import threading
+
+        drain = threading.Event()
+        drain.set()
+        broker = FileBroker(tmp_path)
+        broker.submit("t1", encode_task(_requests(1)))
+        assert serve(broker, drain=drain) == 0
+        assert broker.claim("survivor") is not None  # nothing was taken
+
+
 class TestQueueExecutor:
     def test_external_broker_with_manual_worker(self, tmp_path):
         """The shared-broker shape: submitter and fleet are decoupled."""
