@@ -1,22 +1,29 @@
 #!/usr/bin/env python3
-"""Sharded campaign over the remote HTTP broker, with an elastic fleet.
+"""A sharded broker fabric that survives losing a whole broker mid-run.
 
-The partition-tolerant shape of the execution fabric, end to end:
+The shard-router shape of the execution fabric, end to end:
 
-1. serve a broker spool over token-authenticated HTTP with the stock
-   ``python -m repro.engine.broker_server`` machinery (here in-process;
-   on a cluster it is one long-lived daemon near the shared disk),
-2. start **two worker processes** with ``python -m repro.engine.worker
-   --broker http://...`` — exactly what you would run on other hosts;
-   they authenticate with the bearer token and heartbeat over the wire,
-3. dispatch a campaign split into **shards** (one per scenario) through
-   one :class:`~repro.engine.HTTPBroker` submitter,
-4. *shrink and regrow the fleet mid-campaign*: after the first shard,
-   one worker is sent ``SIGTERM`` — it finishes its claimed chunk,
-   publishes the result, deregisters and exits 0 (a graceful drain) —
-   and a replacement joins for the remaining shard,
-5. verify every shard is byte-identical to an in-process serial run and
-   show the fleet counters the engine kept while the fleet churned.
+1. serve **three** broker spools over token-authenticated HTTP (here
+   in-process; on a cluster each is one ``python -m
+   repro.engine.broker_server`` daemon on its own host),
+2. start two worker processes with ``python -m repro.engine.worker
+   --broker http://a,http://b,http://c`` — the comma-separated spec
+   makes each worker serve the whole fabric through a
+   :class:`~repro.engine.ShardRouter`, migrating off any shard whose
+   health probe fails,
+3. dispatch two campaign scenarios through a submitter-side router:
+   chunks are hash-assigned to a *home shard* (a pure function of the
+   router seed and the task key, so every router agrees),
+4. **kill shard 0 mid-scenario**: its breaker opens after consecutive
+   transport failures, the chunks stranded there are resubmitted to the
+   survivors (safe — requests are pure functions of their seeds, first
+   result wins), and the campaign never stalls,
+5. restart shard 0 on the same spool + port: the router's half-open
+   health probe compares ``schema_version`` (skew would exclude it
+   permanently) and ``boot_monotonic`` (a move counts a *restart*) and
+   welcomes it back,
+6. verify both scenarios are byte-identical to in-process serial runs
+   and show the failover counters the engine kept.
 
 Run:  PYTHONPATH=src python examples/sharded_campaign.py
 """
@@ -24,17 +31,25 @@ Run:  PYTHONPATH=src python examples/sharded_campaign.py
 from __future__ import annotations
 
 import os
-import signal
 import subprocess
 import sys
 import tempfile
+import threading
+import time
+from pathlib import Path
 
-from repro.engine import HTTPBroker, QueueExecutor
+from repro.engine import (
+    HTTPBroker,
+    QueueExecutor,
+    RetryPolicy,
+    ShardRouter,
+)
+from repro.engine.broker import FileBroker
 from repro.engine.broker_server import BrokerServer
 from repro.experiments import FAULT_SERIES, ScenarioConfig, run_scenario
 
-# -- 1. the campaign: two shards (scenarios), paired replicates ----------
-SHARDS = [
+# -- 1. the campaign: two scenarios, paired replicates -------------------
+SCENARIOS = [
     ScenarioConfig(
         n=6, p=16, m_inf=150.0, m_sup=260.0, mtbf_years=0.002, replicates=6
     ),
@@ -44,71 +59,130 @@ SHARDS = [
 ]
 SEED = 11
 TOKEN = "sharded-campaign-demo"
+#: Fail fast against a dead shard: the router can route around it, so
+#: per-shard wire patience buys nothing (cf. SHARD_WIRE_POLICY).
+FAST_WIRE = RetryPolicy(
+    max_attempts=2, backoff_base=0.05, backoff_factor=2.0,
+    backoff_max=0.2, jitter=0.25,
+)
 
-# -- 2. a broker server + an HTTP worker fleet ---------------------------
-spool = tempfile.mkdtemp(prefix="repro-sharded-")
-server = BrokerServer(spool, token=TOKEN)
-url = server.start()
-print(f"broker server: {url} (spool {spool}, bearer-token auth)")
+# -- 2. three broker shards + a fleet that serves all of them ------------
+root = Path(tempfile.mkdtemp(prefix="repro-sharded-"))
+spools = [root / f"shard-{i}" for i in range(3)]
+servers = [BrokerServer(FileBroker(s), token=TOKEN) for s in spools]
+urls = [server.start() for server in servers]
+ports = [server.port for server in servers]
+print("broker shards:")
+for index, (url, spool) in enumerate(zip(urls, spools)):
+    print(f"  shard[{index}] {url} (spool {spool})")
 
 env = dict(os.environ)
 env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
 worker_cmd = [
     sys.executable, "-m", "repro.engine.worker",
-    "--broker", url, "--broker-token", TOKEN, "--poll-interval", "0.01",
+    "--broker", ",".join(urls),          # the sharded multi-spec form
+    "--broker-token", TOKEN, "--poll-interval", "0.01",
 ]
-
-
-def hire() -> subprocess.Popen:
-    return subprocess.Popen(worker_cmd, env=env)
-
-
-fleet = [hire(), hire()]
-print(f"fleet: 2 x `python -m repro.engine.worker --broker {url}` "
+fleet = [subprocess.Popen(worker_cmd, env=env) for _ in range(2)]
+print(f"fleet: 2 x `python -m repro.engine.worker "
+      f"--broker {','.join(urls)}` "
       f"(pids {', '.join(str(w.pid) for w in fleet)})\n")
 
-broker = HTTPBroker(url, token=TOKEN)
+# -- 3. the submitter-side router (snappy failover knobs for a demo) -----
+router = ShardRouter(
+    [HTTPBroker(u, token=TOKEN, retry_policy=FAST_WIRE, timeout=5.0)
+     for u in urls],
+    failure_threshold=2,
+    reopen_after=0.75,
+)
+
+killed = threading.Event()
+
+
+def assassinate_shard_zero() -> None:
+    """Take shard 0 down as soon as campaign work lands on it."""
+    deadline = time.monotonic() + 60.0
+    while time.monotonic() < deadline:
+        if any((spools[0] / "queue").glob("*.task")) or any(
+            (spools[0] / "claimed").glob("*.task")
+        ):
+            servers[0].shutdown()
+            killed.set()
+            print("!! shard[0] is gone (broker down, chunks stranded)")
+            return
+        time.sleep(0.005)
+
+
 try:
-    # -- 3..4. dispatch shard by shard, churning the fleet between -------
     outcomes = []
-    with QueueExecutor(workers=2, broker=broker, poll_interval=0.01) as ex:
+    with QueueExecutor(workers=2, broker=router, poll_interval=0.01) as ex:
+        # -- a healthy fabric first ----------------------------------
         outcomes.append(
-            run_scenario(SHARDS[0], FAULT_SERIES, seed=SEED, executor=ex)
+            run_scenario(SCENARIOS[0], FAULT_SERIES, seed=SEED, executor=ex)
         )
-        print(f"shard 1/{len(SHARDS)} done; draining worker "
-              f"{fleet[0].pid} (SIGTERM) and hiring a replacement")
-        fleet[0].send_signal(signal.SIGTERM)
-        drained = fleet[0].wait(timeout=60)
-        print(f"worker {fleet[0].pid} drained (exit code {drained})")
-        fleet.append(hire())
+        print(f"scenario 1/2 done on a healthy fabric\n"
+              f"  {router.describe_fleet()}\n")
+
+        # -- 4. lose a whole broker mid-scenario ---------------------
+        assassin = threading.Thread(target=assassinate_shard_zero)
+        assassin.start()
         outcomes.append(
-            run_scenario(SHARDS[1], FAULT_SERIES, seed=SEED, executor=ex)
+            run_scenario(SCENARIOS[1], FAULT_SERIES, seed=SEED, executor=ex)
         )
+        assassin.join()
+        assert killed.is_set(), "scenario 2 never reached shard 0"
+        print(f"scenario 2/2 done *without* shard 0\n"
+              f"  {router.describe_fleet()}\n")
         stats = ex.stats()
 
-    # -- 5. every shard must match its in-process serial run -------------
-    for config, outcome in zip(SHARDS, outcomes):
+        # -- 5. restart shard 0; the health probe re-admits it -------
+        reborn = BrokerServer(
+            FileBroker(spools[0]), token=TOKEN, port=ports[0]
+        )
+        reborn.start()
+        servers[0] = reborn
+        print(f"shard[0] restarted on port {ports[0]} (same spool)")
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            router.supervise()   # drives the half-open probes
+            if router.shard_states() == ["closed"] * 3:
+                break
+            time.sleep(0.05)
+        assert router.shard_states() == ["closed"] * 3
+        assert router.counters["shard_restarts"] >= 1
+        print(f"shard[0] re-admitted by its health probe "
+              f"(boot stamp moved: a restart, not protocol skew)\n"
+              f"  {router.describe_fleet()}\n")
+
+    # -- 6. every scenario must match its in-process serial run ----------
+    for config, outcome in zip(SCENARIOS, outcomes):
         reference = run_scenario(config, FAULT_SERIES, seed=SEED)
         for key in reference.makespans:
             assert (outcome.makespans[key] == reference.makespans[key]).all()
 
-    print(f"\ncampaign complete: {len(SHARDS)} shards byte-identical "
-          f"across the drained-and-regrown HTTP fleet\n")
+    assert stats.shard_failovers >= 1
+    assert stats.breaker_opens >= 1
+    print("campaign complete: both scenarios byte-identical across the "
+          "shard loss\n")
     for index, outcome in enumerate(outcomes, start=1):
-        print(f"shard {index} normalised makespans:")
+        print(f"scenario {index} normalised makespans:")
         for key, value in outcome.normalized_row().items():
             print(f"  {key:8s} {value:.4f}")
     print(f"\nengine statistics:")
     print(f"  {stats.describe()}")
     print(f"  fleet: {stats.describe_fleet()}")
 finally:
-    broker.request_stop()          # survivors drain the queue, then exit
+    try:
+        router.request_stop()      # survivors drain the queue, then exit
+    except Exception:
+        pass
     for worker in fleet:
         try:
             worker.wait(timeout=60)
         except subprocess.TimeoutExpired:
             worker.kill()
-    server.shutdown()
+    for server in servers:
+        server.shutdown()
     import shutil
 
-    shutil.rmtree(spool, ignore_errors=True)
+    shutil.rmtree(root, ignore_errors=True)

@@ -65,7 +65,13 @@ from __future__ import annotations
 from .async_exec import AsyncExecutor
 from .broker import Broker, FileBroker, worker_identity
 from .cache import WorkloadCache, shared_cache
-from .chaos import ChaosBroker, ChaosCrash, ChaosHTTPTransport, FaultPlan
+from .chaos import (
+    ChaosBroker,
+    ChaosCrash,
+    ChaosHTTPTransport,
+    ChaosShardBroker,
+    FaultPlan,
+)
 from .executors import (
     ENGINES,
     EngineStats,
@@ -83,6 +89,7 @@ from .journal import ResultJournal, ensure_journal
 from .queue_exec import QueueExecutor
 from .request import RunRequest, execute_request
 from .retry import DEFAULT_RETRY_POLICY, RetryPolicy
+from .shard_router import ShardRouter
 
 __all__ = [
     "ENGINES",
@@ -92,6 +99,7 @@ __all__ = [
     "ChaosBroker",
     "ChaosCrash",
     "ChaosHTTPTransport",
+    "ChaosShardBroker",
     "EngineStats",
     "Executor",
     "FaultPlan",
@@ -104,6 +112,7 @@ __all__ = [
     "RetryPolicy",
     "RunRequest",
     "SerialExecutor",
+    "ShardRouter",
     "WorkloadCache",
     "connect_broker",
     "create_executor",

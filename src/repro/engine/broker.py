@@ -410,5 +410,22 @@ class FileBroker:
         """Queued (unclaimed) task count — monitoring helper."""
         return sum(1 for _ in self.root.joinpath("queue").glob("*.task"))
 
+    def probe(self) -> Dict[str, object]:
+        """Health probe for the shard router's circuit breaker.
+
+        A missing spool must *fail* the probe, not read as an empty
+        queue (``glob`` over an absent directory is silently empty), so
+        the structure is checked explicitly before the depth counts.
+        """
+        for sub in ("queue", "claimed", "results"):
+            if not (self.root / sub).is_dir():
+                raise OSError(
+                    f"spool {self.root} is missing its {sub}/ directory"
+                )
+        return {
+            "queued": self.pending_tasks(),
+            "stop": self.stop_requested(),
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"FileBroker({str(self.root)!r})"

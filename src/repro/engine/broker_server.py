@@ -49,7 +49,13 @@ from typing import Dict, Optional, Sequence, Set, Tuple
 
 from .broker import FileBroker
 
-__all__ = ["BrokerService", "BrokerServer", "main"]
+__all__ = ["SCHEMA_VERSION", "BrokerService", "BrokerServer", "main"]
+
+#: Version of the wire operation set + status document.  Bump it when
+#: an operation's semantics change incompatibly; shard-router health
+#: probes compare it to tell protocol skew (permanent exclusion) from
+#: a mere restart (``boot_monotonic`` moved — transient, re-admitted).
+SCHEMA_VERSION = 2
 
 #: Hard cap on request bodies (a chunk payload is typically ~KBs).
 MAX_BODY_BYTES = 256 * 1024 * 1024
@@ -269,6 +275,12 @@ class BrokerService:
         with self._lock:
             status: Dict[str, object] = {
                 "spool": str(self.spool.root),
+                # schema_version vs boot_monotonic is how a shard
+                # router's health probe tells a *restarted* server
+                # (boot stamp moved, welcome it back) from *protocol
+                # skew* (schema changed, exclude it permanently).
+                "schema_version": SCHEMA_VERSION,
+                "boot_monotonic": self._started,
                 "uptime": self._clock() - self._started,
                 "queued": self.spool.pending_tasks(),
                 "claimed": sum(

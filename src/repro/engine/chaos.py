@@ -53,6 +53,7 @@ __all__ = [
     "ChaosBroker",
     "ChaosCrash",
     "ChaosHTTPTransport",
+    "ChaosShardBroker",
     "stable_task_key",
 ]
 
@@ -90,6 +91,12 @@ _WIRE_RATE_FIELDS = (
     "wire_truncate",
 )
 
+#: FaultPlan fields that are *shard*-level rates (the shard router).
+_SHARD_RATE_FIELDS = (
+    "shard_down",
+    "shard_flap",
+)
+
 #: FaultPlan fields that are injection *rates* (probabilities in [0, 1]).
 _RATE_FIELDS = (
     "crash_before_claim",
@@ -99,7 +106,7 @@ _RATE_FIELDS = (
     "corrupt_result",
     "slow_worker",
     "runner_fault",
-) + _WIRE_RATE_FIELDS
+) + _WIRE_RATE_FIELDS + _SHARD_RATE_FIELDS
 
 
 @dataclass(frozen=True)
@@ -148,8 +155,17 @@ class FaultPlan:
         the request is sent, and a response body cut in half.  At most
         one fires per logical operation; the retry always sees a clean
         wire.
-    stall_duration, slow_delay:
-        Durations for the stall / slow injections.
+    shard_down, shard_flap:
+        Shard-router faults, armed by wrapping each shard broker of a
+        multi-spec ``connect_broker`` in a :class:`ChaosShardBroker`
+        (keyed by shard index): a blackholed shard transport starting
+        ``shard_down_delay`` seconds after the shard's first operation
+        — *mid-campaign*, with work in flight — lasting forever
+        (``shard_down``, exercising breaker-open failover) or
+        ``shard_flap_duration`` seconds (``shard_flap``, exercising
+        half-open probe re-admission).
+    stall_duration, slow_delay, shard_down_delay, shard_flap_duration:
+        Durations for the stall / slow / shard injections.
     """
 
     seed: int = 0
@@ -164,8 +180,12 @@ class FaultPlan:
     wire_5xx: float = 0.0
     wire_timeout: float = 0.0
     wire_truncate: float = 0.0
+    shard_down: float = 0.0
+    shard_flap: float = 0.0
     stall_duration: float = 0.3
     slow_delay: float = 0.02
+    shard_down_delay: float = 0.25
+    shard_flap_duration: float = 1.0
 
     def __post_init__(self) -> None:
         for name in _RATE_FIELDS:
@@ -174,7 +194,13 @@ class FaultPlan:
                 raise ConfigurationError(
                     f"FaultPlan.{name} must be in [0, 1], got {rate}"
                 )
-        if self.stall_duration < 0 or self.slow_delay < 0:
+        durations = (
+            self.stall_duration,
+            self.slow_delay,
+            self.shard_down_delay,
+            self.shard_flap_duration,
+        )
+        if any(duration < 0 for duration in durations):
             raise ConfigurationError("chaos durations must be >= 0")
 
     # -- decisions ---------------------------------------------------------
@@ -207,6 +233,10 @@ class FaultPlan:
     def any_wire_faults(self) -> bool:
         """Whether any HTTP wire-level injection rate is non-zero."""
         return any(getattr(self, name) > 0.0 for name in _WIRE_RATE_FIELDS)
+
+    def any_shard_faults(self) -> bool:
+        """Whether any shard-router injection rate is non-zero."""
+        return any(getattr(self, name) > 0.0 for name in _SHARD_RATE_FIELDS)
 
     # -- wire format -------------------------------------------------------
     def to_json(self) -> str:
@@ -364,6 +394,13 @@ class ChaosBroker:
         getter = getattr(self.broker, "engine_counters", None)
         return {} if getter is None else getter()
 
+    def supervise(self) -> None:
+        # A wrapped ShardRouter still needs its idle supervision pass
+        # (half-open probes, stranded-chunk migration).
+        supervise = getattr(self.broker, "supervise", None)
+        if supervise is not None:
+            supervise()
+
     def live_workers(self, horizon: float) -> List[str]:
         return self.broker.live_workers(horizon)
 
@@ -378,6 +415,148 @@ class ChaosBroker:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ChaosBroker({self.broker!r}, {self.plan.describe()})"
+
+
+class ChaosShardBroker:
+    """Blackhole one shard of a router's transport, deterministically.
+
+    Wraps one shard broker of a
+    :class:`~repro.engine.shard_router.ShardRouter` (a multi-spec
+    ``connect_broker`` arms one wrapper per shard, keyed by index).
+    Whether *this* shard goes dark is a pure function of
+    ``(plan.seed, site, shard_index)``; the outage begins
+    ``plan.shard_down_delay`` seconds after the wrapper's first
+    operation — mid-campaign, so chunks are in flight when the shard
+    vanishes — and lasts forever (``shard_down``) or
+    ``plan.shard_flap_duration`` seconds (``shard_flap``; the recovered
+    shard must then pass the router's half-open probe to be
+    re-admitted).  During the outage every operation — the health probe
+    included — raises :class:`~repro.exceptions.TransientEngineError`,
+    exactly what a killed server looks like through a fail-fast wire
+    policy.
+    """
+
+    def __init__(
+        self,
+        broker,
+        plan: FaultPlan,
+        shard_index: int,
+        *,
+        clock=time.monotonic,
+    ):
+        self.broker = broker
+        self.plan = plan
+        self.shard_index = int(shard_index)
+        self._clock = clock
+        self._first_op: Optional[float] = None
+        down = plan.decide(plan.shard_down, "shard-down", self.shard_index)
+        flap = plan.decide(plan.shard_flap, "shard-flap", self.shard_index)
+        self._mode = "down" if down else ("flap" if flap else None)
+        self.injected: Dict[str, int] = {}
+
+    def _gate(self, op: str) -> None:
+        """Raise if this shard is inside its scheduled blackout."""
+        if self._mode is None:
+            return
+        now = self._clock()
+        if self._first_op is None:
+            self._first_op = now
+        start = self._first_op + self.plan.shard_down_delay
+        if now < start:
+            return
+        if (
+            self._mode == "flap"
+            and now >= start + self.plan.shard_flap_duration
+        ):
+            return
+        site = f"shard-{self._mode}"
+        self.injected[site] = self.injected.get(site, 0) + 1
+        raise TransientEngineError(
+            f"chaos: shard {self.shard_index} blackholed ({op})"
+        )
+
+    # -- Broker protocol (every op gated) ----------------------------------
+    def submit(self, task_id: str, payload: bytes) -> None:
+        self._gate("submit")
+        self.broker.submit(task_id, payload)
+
+    def claim(self, worker_id: str) -> Optional[Tuple[str, bytes]]:
+        self._gate("claim")
+        return self.broker.claim(worker_id)
+
+    def complete(self, task_id: str, payload: bytes) -> None:
+        self._gate("complete")
+        self.broker.complete(task_id, payload)
+
+    def fetch_result(self, task_id: str) -> Optional[bytes]:
+        self._gate("fetch_result")
+        return self.broker.fetch_result(task_id)
+
+    def requeue(self, task_id: str) -> bool:
+        self._gate("requeue")
+        return self.broker.requeue(task_id)
+
+    def discard(self, task_id: str) -> bool:
+        self._gate("discard")
+        return self.broker.discard(task_id)
+
+    def dead_letter(self, task_id: str, payload: bytes, info: bytes) -> None:
+        self._gate("dead_letter")
+        self.broker.dead_letter(task_id, payload, info)
+
+    def dead_letters(self) -> List[str]:
+        self._gate("dead_letters")
+        return self.broker.dead_letters()
+
+    def fetch_dead_letter(
+        self, task_id: str
+    ) -> Optional[Tuple[bytes, bytes]]:
+        self._gate("fetch_dead_letter")
+        return self.broker.fetch_dead_letter(task_id)
+
+    def heartbeat(self, worker_id: str) -> None:
+        self._gate("heartbeat")
+        self.broker.heartbeat(worker_id)
+
+    def deregister(self, worker_id: str) -> None:
+        self._gate("deregister")
+        self.broker.deregister(worker_id)
+
+    def live_workers(self, horizon: float) -> List[str]:
+        self._gate("live_workers")
+        return self.broker.live_workers(horizon)
+
+    def stale_claims(self, horizon: float) -> List[str]:
+        self._gate("stale_claims")
+        return self.broker.stale_claims(horizon)
+
+    def request_stop(self) -> None:
+        self._gate("request_stop")
+        self.broker.request_stop()
+
+    def stop_requested(self) -> bool:
+        self._gate("stop_requested")
+        return self.broker.stop_requested()
+
+    def probe(self) -> Dict[str, object]:
+        # Gated too: a blackholed shard must fail its health probe, or
+        # the router would re-admit a shard whose transport is dark.
+        self._gate("probe")
+        probe = getattr(self.broker, "probe", None)
+        if probe is None:
+            return {"stop": self.broker.stop_requested()}
+        return probe()
+
+    def __getattr__(self, name: str):
+        # Observability extras (pending_tasks, engine_counters, ...)
+        # pass through ungated.
+        return getattr(self.broker, name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ChaosShardBroker({self.broker!r}, index={self.shard_index}, "
+            f"mode={self._mode})"
+        )
 
 
 class ChaosHTTPTransport:

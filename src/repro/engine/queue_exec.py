@@ -227,6 +227,16 @@ class QueueExecutor(_PooledExecutor):
             return self._chaos
         return self._broker
 
+    @property
+    def broker(self) -> Optional[Broker]:
+        """The attached broker (``None`` for a not-yet-started spool).
+
+        Exposed so callers can reach transport observability — e.g. a
+        :class:`~repro.engine.shard_router.ShardRouter`'s per-shard
+        ``describe_fleet()`` breakdown under CLI ``--verbose``.
+        """
+        return self._broker
+
     def _spawn_fleet(self) -> None:
         """Launch ``workers`` local worker subprocesses on the spool."""
         command = [
@@ -402,8 +412,8 @@ class QueueExecutor(_PooledExecutor):
             text = str(exc)
             try:
                 broker.dead_letter(task_id, payloads[task_id], text.encode())
-            except OSError:  # pragma: no cover - quarantine is best-effort
-                pass
+            except (TransientEngineError, OSError):
+                pass  # quarantine is best-effort (e.g. every shard down)
             self._stats.dead_lettered += 1
             dead.append((task_id, attempts[task_id], text))
             pending.pop(task_id, None)
@@ -490,18 +500,31 @@ class QueueExecutor(_PooledExecutor):
                         ):
                             requeued.add(task_id)
                             self._stats.requeues += 1
+                supervise = getattr(broker, "supervise", None)
+                if supervise is not None:
+                    # Shard-aware brokers use the idle beat to run
+                    # half-open health probes and migrate chunks off
+                    # shards whose breaker opened (see ShardRouter).
+                    supervise()
                 if self._should_execute_inline(broker, idle_since):
-                    claimed = broker.claim(self._submitter)
+                    try:
+                        claimed = broker.claim(self._submitter)
+                    except (TransientEngineError, OSError):
+                        claimed = None  # total outage: keep polling
                     if claimed is not None:
                         task_id, payload = claimed
-                        broker.complete(
-                            task_id,
-                            execute_payload(
-                                payload,
-                                policy=self.retry_policy,
-                                plan=self.chaos_plan,
-                            ),
+                        result = execute_payload(
+                            payload,
+                            policy=self.retry_policy,
+                            plan=self.chaos_plan,
                         )
+                        try:
+                            broker.complete(task_id, result)
+                        except (TransientEngineError, OSError):
+                            # The claim's lease goes stale and the
+                            # chunk requeues; purity makes the re-run
+                            # byte-identical.
+                            pass
                         continue
                 time.sleep(self.poll_interval)
         finally:

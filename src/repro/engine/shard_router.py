@@ -1,0 +1,770 @@
+"""Sharded broker fabric: one ``Broker`` over N brokers, with failover.
+
+:class:`ShardRouter` implements the full
+:class:`~repro.engine.broker.Broker` protocol over a list of underlying
+brokers — any mix of :class:`~repro.engine.broker.FileBroker` spools and
+:class:`~repro.engine.http_broker.HTTPBroker` servers (CLI form:
+``--broker SPEC,SPEC,...`` through
+:func:`~repro.engine.http_broker.connect_broker`).  A campaign keeps its
+figure series byte-identical while a whole broker shard is killed and
+later restarted; the router degrades, reroutes and re-admits instead of
+stalling.
+
+Three mechanisms carry that guarantee:
+
+* **Deterministic seed-keyed assignment.**  A chunk's *home shard* is
+  ``crc32(f"{seed}:{stable_task_key(task_id)}") % N`` — a pure function
+  of the router seed and the task's nonce-free key, so every submitter
+  and worker router over the same shard list agrees on placement, across
+  fresh executors and process restarts alike.
+* **Health-probed circuit breaker.**  Each shard runs a
+  closed → open → half-open breaker: ``failure_threshold`` consecutive
+  transport failures open it (the shard stops taking operations);
+  after ``reopen_after`` seconds the next touch runs a single unretried
+  health probe (:meth:`HTTPBroker.probe
+  <repro.engine.http_broker.HTTPBroker.probe>` /
+  :meth:`FileBroker.probe <repro.engine.broker.FileBroker.probe>`), and
+  only a successful probe re-admits the shard.  The probe compares the
+  server's ``schema_version`` (a mismatch is protocol skew — the shard
+  is excluded permanently) and ``boot_monotonic`` (a change is a
+  restart — counted, then welcomed back).
+* **Failover by resubmission.**  The submitter-side router remembers
+  every submitted payload until its result is collected; when a shard's
+  breaker opens, chunks currently placed there are resubmitted to the
+  next surviving shard in the rotation.  This is safe because
+  ``RunRequest``s are pure functions of their seed — a duplicate
+  execution produces byte-identical bytes and the executor's
+  first-result-wins absorption handles any copy that the dead shard
+  still delivers after recovery.
+
+Degraded-mode semantics (what each operation does while shards are
+down) are deliberately asymmetric, matching how the queue executor and
+``worker.serve`` consume them:
+
+* ``submit``/``claim`` raise
+  :class:`~repro.exceptions.TransientEngineError` only on *total*
+  outage (no reachable shard) — a worker then backs off instead of
+  idle-exiting, and the executor's retry layer rides it out;
+* ``fetch_result`` returns ``None`` when unroutable — a total outage
+  *stalls* a campaign, never kills it;
+* ``complete`` prefers the shard the chunk was claimed from but fails
+  over to any reachable shard (results are keyed by task id and
+  byte-identical wherever they land; the submitter's fetch sweep checks
+  fallback shards for exactly this case);
+* liveness/stop operations (``heartbeat``, ``live_workers``,
+  ``stale_claims``, ``request_stop``, ``stop_requested``,
+  ``dead_letters``) are unions / broadcasts over the reachable shards.
+
+Global claim order is **per-shard FIFO**, not global FIFO: chunks are
+hash-partitioned, so the lexicographic claim order a single
+``FileBroker`` guarantees holds within each shard only.  The queue
+executor reassembles by task id and never relies on claim order.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import zlib
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from ..exceptions import PermanentEngineError, TransientEngineError
+from .broker import Broker
+from .chaos import stable_task_key
+
+__all__ = ["ShardRouter", "SHARD_WIRE_POLICY"]
+
+# A router can fail over, so per-shard patience is worth less than with
+# a single broker: fail fast, let the routing layer route around.
+# connect_broker substitutes this for DEFAULT_WIRE_POLICY when building
+# the sub-brokers of a multi-spec (sharded) connection.
+from .retry import RetryPolicy
+
+SHARD_WIRE_POLICY = RetryPolicy(
+    max_attempts=3,
+    backoff_base=0.05,
+    backoff_factor=2.0,
+    backoff_max=0.25,
+    jitter=0.25,
+)
+
+#: Breaker states (kept as strings: they read well in describe output).
+_CLOSED = "closed"
+_OPEN = "open"
+_HALF_OPEN = "half-open"
+
+#: Every Nth consecutive fetch miss for a task widens the result sweep
+#: to all reachable shards — closes the asymmetric-partition window
+#: where a worker failed over its ``complete`` to a shard the submitter
+#: never knew to poll.
+_FULL_SWEEP_EVERY = 8
+
+#: Completed-task registry entries kept before the oldest are trimmed
+#: (worker-side routers complete tasks they will never fetch).
+_DONE_CAP = 4096
+
+
+class _Shard:
+    """Per-shard breaker state (mutated only under the router's lock)."""
+
+    __slots__ = (
+        "index",
+        "broker",
+        "name",
+        "state",
+        "failures",
+        "opened_at",
+        "probed",
+        "last_boot",
+        "skewed",
+        "last_counters",
+    )
+
+    def __init__(self, index: int, broker: Broker):
+        self.index = index
+        self.broker = broker
+        self.name = (
+            getattr(broker, "url", None)
+            or str(getattr(broker, "root", None) or repr(broker))
+        )
+        self.state = _CLOSED
+        self.failures = 0
+        self.opened_at = 0.0
+        self.probed = False  # one eager probe on first touch
+        self.last_boot: Optional[float] = None
+        self.skewed = False
+        self.last_counters: Dict[str, int] = {}
+
+
+class ShardRouter:
+    """The full :class:`~repro.engine.broker.Broker` over N shards.
+
+    Parameters
+    ----------
+    brokers:
+        The underlying brokers, in shard-index order.  The *order is
+        part of the routing key*: every router over the same campaign
+        must list the same shards in the same order.
+    seed:
+        Keys the chunk→shard assignment (with
+        :func:`~repro.engine.chaos.stable_task_key`, so assignment is
+        independent of the executor nonce).
+    failure_threshold:
+        Consecutive transport failures that open a shard's breaker.
+    reopen_after:
+        Seconds an open breaker waits before the next touch runs the
+        half-open health probe.
+    clock:
+        Injectable monotonic clock (tests).
+    """
+
+    def __init__(
+        self,
+        brokers: Sequence[Broker],
+        *,
+        seed: int = 0,
+        failure_threshold: int = 3,
+        reopen_after: float = 5.0,
+        clock=time.monotonic,
+    ):
+        if not brokers:
+            raise ValueError("ShardRouter needs at least one broker")
+        self.seed = int(seed)
+        self.failure_threshold = max(1, int(failure_threshold))
+        self.reopen_after = float(reopen_after)
+        self._clock = clock
+        self._lock = threading.RLock()
+        self._shards = [_Shard(i, b) for i, b in enumerate(brokers)]
+        self._cursor = 0
+        # Submitter-side memory that makes failover possible: where each
+        # task currently lives (last entry = current shard) and the
+        # payload to resubmit it with.
+        self._history: Dict[str, List[int]] = {}
+        self._payloads: Dict[str, bytes] = {}
+        self._misses: Dict[str, int] = {}
+        self._done: Deque[str] = deque()
+        self.counters: Dict[str, int] = {
+            "shard_failovers": 0,
+            "breaker_opens": 0,
+            "chunks_migrated": 0,
+            "shard_restarts": 0,
+        }
+
+    # -- assignment --------------------------------------------------------
+    def _home_shard(self, task_id: str) -> int:
+        key = f"{self.seed}:{stable_task_key(task_id)}"
+        return zlib.crc32(key.encode("utf-8")) % len(self._shards)
+
+    def _rotation(self, start: int) -> List[_Shard]:
+        n = len(self._shards)
+        return [self._shards[(start + step) % n] for step in range(n)]
+
+    # -- breaker -----------------------------------------------------------
+    def _available(self, shard: _Shard) -> bool:
+        """Gate one shard; may run the (first-touch or half-open) probe."""
+        with self._lock:
+            if shard.skewed:
+                return False
+            if shard.state == _CLOSED:
+                if shard.probed:
+                    return True
+                shard.probed = True  # eager first-touch probe below
+            elif shard.state == _OPEN:
+                if self._clock() - shard.opened_at < self.reopen_after:
+                    return False
+                shard.state = _HALF_OPEN
+            # _HALF_OPEN (here or from a concurrent thread): probe.
+        return self._probe(shard)
+
+    def _probe(self, shard: _Shard) -> bool:
+        """One unretried health check; decides (re-)admission."""
+        probe = getattr(shard.broker, "probe", None)
+        try:
+            status = (
+                probe()
+                if probe is not None
+                else {"stop": shard.broker.stop_requested()}
+            )
+        except PermanentEngineError:
+            # Bad token / unknown operation: retrying cannot fix it.
+            with self._lock:
+                shard.skewed = True
+            return False
+        except (TransientEngineError, OSError):
+            with self._lock:
+                if shard.state != _OPEN:
+                    self.counters["breaker_opens"] += 1
+                shard.state = _OPEN
+                shard.opened_at = self._clock()
+            return False
+        if not isinstance(status, dict):
+            status = {}
+        schema = status.get("schema_version")
+        if schema is not None:
+            from .broker_server import SCHEMA_VERSION
+
+            if int(schema) != SCHEMA_VERSION:
+                with self._lock:
+                    shard.skewed = True
+                return False
+        with self._lock:
+            boot = status.get("boot_monotonic")
+            if boot is not None:
+                if shard.last_boot is not None and boot != shard.last_boot:
+                    self.counters["shard_restarts"] += 1
+                shard.last_boot = boot
+            shard.state = _CLOSED
+            shard.failures = 0
+        return True
+
+    def _note_failure(self, shard: _Shard) -> None:
+        opened = False
+        with self._lock:
+            shard.failures += 1
+            if (
+                shard.state == _CLOSED
+                and shard.failures >= self.failure_threshold
+            ) or shard.state == _HALF_OPEN:
+                shard.state = _OPEN
+                shard.opened_at = self._clock()
+                self.counters["breaker_opens"] += 1
+                opened = True
+        if opened:
+            self._failover(shard)
+
+    def _note_success(self, shard: _Shard) -> None:
+        with self._lock:
+            shard.failures = 0
+            if shard.state != _CLOSED and not shard.skewed:
+                shard.state = _CLOSED
+
+    # -- failover ----------------------------------------------------------
+    def _failover(self, shard: _Shard) -> None:
+        """A breaker just opened: move its unacked chunks to survivors."""
+        with self._lock:
+            self.counters["shard_failovers"] += 1
+            stranded = [
+                task_id
+                for task_id, history in self._history.items()
+                if history and history[-1] == shard.index
+                and task_id in self._payloads
+            ]
+        for task_id in stranded:
+            self._migrate(task_id)
+
+    def _migrate(self, task_id: str) -> Optional[int]:
+        """Resubmit a stranded chunk to a reachable shard; its index."""
+        with self._lock:
+            payload = self._payloads.get(task_id)
+            history = self._history.get(task_id)
+            if payload is None or not history:
+                return None
+            current = history[-1]
+        for shard in self._rotation(self._home_shard(task_id)):
+            if shard.index == current or not self._available(shard):
+                continue
+            try:
+                shard.broker.submit(task_id, payload)
+            except (TransientEngineError, OSError):
+                self._note_failure(shard)
+                continue
+            self._note_success(shard)
+            with self._lock:
+                history = self._history.setdefault(task_id, [current])
+                if not history or history[-1] != shard.index:
+                    history.append(shard.index)
+                self.counters["chunks_migrated"] += 1
+            return shard.index
+        return None
+
+    def _record_placement(self, task_id: str, index: int) -> None:
+        with self._lock:
+            history = self._history.setdefault(task_id, [])
+            if not history or history[-1] != index:
+                history.append(index)
+
+    def _forget(self, task_id: str, *, keep: Optional[int] = None) -> None:
+        """Drop the task's registry entries + stray cross-shard copies."""
+        with self._lock:
+            history = self._history.pop(task_id, [])
+            self._payloads.pop(task_id, None)
+            self._misses.pop(task_id, None)
+        indices = list(dict.fromkeys(history))
+        if indices in ([], [keep]):
+            return  # never migrated: no stray copies to chase
+        # A migrated task may have left queue copies anywhere it touched
+        # — including the shard the result came from (the migration
+        # resubmitted there but a *different* shard's copy completed
+        # first).  Discard everywhere; the fetched result is already
+        # consumed, so this only withdraws unclaimed duplicates.
+        for index in indices:
+            shard = self._shards[index]
+            if not self._available(shard):
+                continue
+            try:
+                shard.broker.discard(task_id)
+            except (TransientEngineError, OSError):
+                self._note_failure(shard)
+
+    def _trim_done(self, task_id: str) -> None:
+        """Bound worker-side registry growth for completed tasks."""
+        with self._lock:
+            self._done.append(task_id)
+            while len(self._done) > _DONE_CAP:
+                old = self._done.popleft()
+                self._history.pop(old, None)
+                self._payloads.pop(old, None)
+                self._misses.pop(old, None)
+
+    # -- Broker protocol ---------------------------------------------------
+    def submit(self, task_id: str, payload: bytes) -> None:
+        """Enqueue on the home shard, failing over along the rotation."""
+        with self._lock:
+            history = self._history.get(task_id)
+            current = history[-1] if history else None
+        order = self._rotation(self._home_shard(task_id))
+        if current is not None:
+            # Resubmissions (executor backoff) stick to the shard the
+            # chunk currently lives on, so its claimed/queued copies
+            # stay in one place while that shard is healthy.
+            order.sort(key=lambda shard: shard.index != current)
+        last_error: Optional[BaseException] = None
+        for shard in order:
+            if not self._available(shard):
+                continue
+            try:
+                shard.broker.submit(task_id, payload)
+            except (TransientEngineError, OSError) as exc:
+                last_error = exc
+                self._note_failure(shard)
+                continue
+            self._note_success(shard)
+            with self._lock:
+                self._payloads[task_id] = payload
+            self._record_placement(task_id, shard.index)
+            return
+        raise TransientEngineError(
+            f"shard router: no reachable shard (of {len(self._shards)}) "
+            f"accepted submit of {task_id!r}"
+            + (f" (last: {last_error})" if last_error else "")
+        )
+
+    def claim(self, worker_id: str) -> Optional[Tuple[str, bytes]]:
+        """Take one queued task from any reachable shard (rotating).
+
+        Raises :class:`~repro.exceptions.TransientEngineError` when *no*
+        shard is reachable — callers (``worker.serve``) back off instead
+        of reading a total outage as an idle, drained queue.
+        """
+        with self._lock:
+            start = self._cursor
+            self._cursor = (self._cursor + 1) % len(self._shards)
+        reachable = False
+        for shard in self._rotation(start):
+            if not self._available(shard):
+                continue
+            try:
+                claimed = shard.broker.claim(worker_id)
+            except (TransientEngineError, OSError):
+                self._note_failure(shard)
+                continue
+            reachable = True
+            self._note_success(shard)
+            if claimed is not None:
+                self._record_placement(claimed[0], shard.index)
+                return claimed
+        if not reachable:
+            raise TransientEngineError(
+                f"shard router: all {len(self._shards)} shards unavailable"
+            )
+        return None
+
+    def complete(self, task_id: str, payload: bytes) -> None:
+        """Publish a result — to the claim shard, else any survivor.
+
+        Results are keyed by task id and byte-identical wherever they
+        are computed, so landing one on a fallback shard is safe; the
+        submitter's fetch sweep widens to other shards when the chunk's
+        recorded shard keeps missing.
+        """
+        with self._lock:
+            history = self._history.get(task_id)
+            current = history[-1] if history else None
+        order = self._rotation(
+            current if current is not None else self._home_shard(task_id)
+        )
+        last_error: Optional[BaseException] = None
+        for shard in order:
+            if not self._available(shard):
+                continue
+            try:
+                shard.broker.complete(task_id, payload)
+            except (TransientEngineError, OSError) as exc:
+                last_error = exc
+                self._note_failure(shard)
+                continue
+            self._note_success(shard)
+            self._record_placement(task_id, shard.index)
+            self._trim_done(task_id)
+            return
+        raise TransientEngineError(
+            f"shard router: complete({task_id!r}) found no reachable shard"
+            + (f" (last: {last_error})" if last_error else "")
+        )
+
+    def fetch_result(self, task_id: str) -> Optional[bytes]:
+        """Collect a result: current shard first, history, then sweep.
+
+        Unroutable (total outage) returns ``None`` — the campaign stalls
+        and resumes, it never dies on a fetch.  If the chunk's current
+        shard is down it is migrated (resubmitted to a survivor) before
+        the fetch, so a single dead shard delays a result by at most one
+        poll interval plus a re-execution.
+        """
+        with self._lock:
+            history = list(self._history.get(task_id, ()))
+        if not history:
+            history = [self._home_shard(task_id)]
+        current = self._shards[history[-1]]
+        if not self._available(current):
+            migrated = self._migrate(task_id)
+            if migrated is not None:
+                history.append(migrated)
+        sweep = list(dict.fromkeys(reversed(history)))
+        with self._lock:
+            misses = self._misses.get(task_id, 0)
+        if (misses + 1) % _FULL_SWEEP_EVERY == 0:
+            sweep += [
+                shard.index
+                for shard in self._shards
+                if shard.index not in sweep
+            ]
+        for index in sweep:
+            shard = self._shards[index]
+            if not self._available(shard):
+                continue
+            try:
+                payload = shard.broker.fetch_result(task_id)
+            except (TransientEngineError, OSError):
+                self._note_failure(shard)
+                continue
+            self._note_success(shard)
+            if payload is not None:
+                self._forget(task_id, keep=index)
+                return payload
+        with self._lock:
+            if task_id in self._history:  # unknown ids stay untracked
+                self._misses[task_id] = misses + 1
+        return None
+
+    def requeue(self, task_id: str) -> bool:
+        """Requeue on the shard currently holding the claim."""
+        with self._lock:
+            history = self._history.get(task_id)
+        index = history[-1] if history else self._home_shard(task_id)
+        shard = self._shards[index]
+        if not self._available(shard):
+            return False
+        try:
+            requeued = shard.broker.requeue(task_id)
+        except (TransientEngineError, OSError):
+            self._note_failure(shard)
+            return False
+        self._note_success(shard)
+        return requeued
+
+    def discard(self, task_id: str) -> bool:
+        """Withdraw the task from every shard it has touched."""
+        with self._lock:
+            history = list(self._history.get(task_id, ()))
+        if not history:
+            history = [self._home_shard(task_id)]
+        removed = False
+        for index in dict.fromkeys(history):
+            shard = self._shards[index]
+            if not self._available(shard):
+                continue
+            try:
+                removed = shard.broker.discard(task_id) or removed
+            except (TransientEngineError, OSError):
+                self._note_failure(shard)
+                continue
+            self._note_success(shard)
+        with self._lock:
+            self._history.pop(task_id, None)
+            self._payloads.pop(task_id, None)
+            self._misses.pop(task_id, None)
+        return removed
+
+    def dead_letter(self, task_id: str, payload: bytes, info: bytes) -> None:
+        """Quarantine on the current shard, else any reachable shard."""
+        with self._lock:
+            history = self._history.get(task_id)
+            current = history[-1] if history else None
+        order = self._rotation(
+            current if current is not None else self._home_shard(task_id)
+        )
+        for shard in order:
+            if not self._available(shard):
+                continue
+            try:
+                shard.broker.dead_letter(task_id, payload, info)
+            except (TransientEngineError, OSError):
+                self._note_failure(shard)
+                continue
+            self._note_success(shard)
+            self._forget(task_id, keep=shard.index)
+            return
+        raise TransientEngineError(
+            f"shard router: dead_letter({task_id!r}) found no reachable shard"
+        )
+
+    def dead_letters(self) -> List[str]:
+        """Union of every reachable shard's quarantine (sorted)."""
+        found = set()
+        for shard in self._shards:
+            if not self._available(shard):
+                continue
+            try:
+                found.update(shard.broker.dead_letters())
+            except (TransientEngineError, OSError):
+                self._note_failure(shard)
+                continue
+            self._note_success(shard)
+        return sorted(found)
+
+    def fetch_dead_letter(
+        self, task_id: str
+    ) -> Optional[Tuple[bytes, bytes]]:
+        """First reachable shard that holds the quarantined task wins."""
+        for shard in self._shards:
+            if not self._available(shard):
+                continue
+            try:
+                entry = shard.broker.fetch_dead_letter(task_id)
+            except (TransientEngineError, OSError):
+                self._note_failure(shard)
+                continue
+            self._note_success(shard)
+            if entry is not None:
+                return entry
+        return None
+
+    def heartbeat(self, worker_id: str) -> None:
+        """Advertise liveness on every reachable shard (best-effort)."""
+        for shard in self._shards:
+            if not self._available(shard):
+                continue
+            try:
+                shard.broker.heartbeat(worker_id)
+            except (TransientEngineError, OSError):
+                self._note_failure(shard)
+                continue
+            self._note_success(shard)
+
+    def live_workers(self, horizon: float) -> List[str]:
+        """Union of worker ids any reachable shard heard recently."""
+        alive = set()
+        for shard in self._shards:
+            if not self._available(shard):
+                continue
+            try:
+                alive.update(shard.broker.live_workers(horizon))
+            except (TransientEngineError, OSError):
+                self._note_failure(shard)
+                continue
+            self._note_success(shard)
+        return sorted(alive)
+
+    def deregister(self, worker_id: str) -> None:
+        """Drop liveness state on every reachable shard (best-effort)."""
+        for shard in self._shards:
+            if not self._available(shard):
+                continue
+            try:
+                shard.broker.deregister(worker_id)
+            except (TransientEngineError, OSError):
+                self._note_failure(shard)
+                continue
+            self._note_success(shard)
+
+    def stale_claims(self, horizon: float) -> List[str]:
+        """Union of expired claims across the reachable shards."""
+        stale = set()
+        for shard in self._shards:
+            if not self._available(shard):
+                continue
+            try:
+                stale.update(shard.broker.stale_claims(horizon))
+            except (TransientEngineError, OSError):
+                self._note_failure(shard)
+                continue
+            self._note_success(shard)
+        return sorted(stale)
+
+    def request_stop(self) -> None:
+        """Raise the shutdown flag on every reachable shard."""
+        for shard in self._shards:
+            if not self._available(shard):
+                continue
+            try:
+                shard.broker.request_stop()
+            except (TransientEngineError, OSError):
+                self._note_failure(shard)
+                continue
+            self._note_success(shard)
+
+    def stop_requested(self) -> bool:
+        """Whether any reachable shard has the shutdown flag raised."""
+        for shard in self._shards:
+            if not self._available(shard):
+                continue
+            try:
+                stop = shard.broker.stop_requested()
+            except (TransientEngineError, OSError):
+                self._note_failure(shard)
+                continue
+            self._note_success(shard)
+            if stop:
+                return True
+        return False
+
+    # -- supervision + observability ---------------------------------------
+    def supervise(self) -> None:
+        """One supervision pass (the executor calls this while idle).
+
+        Drives open breakers through their half-open probes when due,
+        and migrates any chunk stranded on an unavailable shard (the
+        eager sweep at breaker-open time can miss chunks whose failover
+        target was itself down at that moment).
+        """
+        for shard in self._shards:
+            self._available(shard)
+        with self._lock:
+            stranded = [
+                task_id
+                for task_id, history in self._history.items()
+                if history
+                and task_id in self._payloads
+                and self._shards[history[-1]].state != _CLOSED
+            ]
+        for task_id in stranded:
+            self._migrate(task_id)
+
+    def pending_tasks(self) -> int:
+        """Queued task count summed over reachable shards (monitoring)."""
+        total = 0
+        for shard in self._shards:
+            counter = getattr(shard.broker, "pending_tasks", None)
+            if counter is None or not self._available(shard):
+                continue
+            try:
+                total += counter()
+            except (TransientEngineError, OSError):
+                self._note_failure(shard)
+        return total
+
+    def engine_counters(self) -> Dict[str, int]:
+        """Router failover counters + summed sub-broker counters.
+
+        Open/skewed shards reuse their last fetched counters instead of
+        paying a doomed round trip — a dead shard can never stall the
+        executor's end-of-dispatch stats sync.
+        """
+        with self._lock:
+            totals = dict(self.counters)
+        for shard in self._shards:
+            getter = getattr(shard.broker, "engine_counters", None)
+            if getter is None:
+                continue
+            with self._lock:
+                reachable = shard.state == _CLOSED and not shard.skewed
+            if reachable:
+                try:
+                    counters = getter()
+                except (TransientEngineError, OSError):
+                    self._note_failure(shard)
+                    counters = dict(shard.last_counters)
+                else:
+                    with self._lock:
+                        shard.last_counters = dict(counters)
+            else:
+                counters = dict(shard.last_counters)
+            for name, value in counters.items():
+                totals[name] = totals.get(name, 0) + int(value)
+        return totals
+
+    def describe_fleet(self) -> str:
+        """Per-shard breakdown for ``--verbose`` output and examples."""
+        with self._lock:
+            counters = dict(self.counters)
+            lines = [
+                f"shard[{shard.index}] {shard.name}: "
+                + ("schema-skew" if shard.skewed else shard.state)
+                + (
+                    f" (failures={shard.failures})"
+                    if shard.failures
+                    else ""
+                )
+                for shard in self._shards
+            ]
+        head = (
+            f"shards: {len(self._shards)} / "
+            f"failovers: {counters['shard_failovers']} "
+            f"breaker opens: {counters['breaker_opens']} "
+            f"migrated: {counters['chunks_migrated']} "
+            f"restarts: {counters['shard_restarts']}"
+        )
+        return head + "".join(f"\n  {line}" for line in lines)
+
+    def shard_states(self) -> List[str]:
+        """Current breaker state per shard (``closed``/``open``/...)."""
+        with self._lock:
+            return [
+                "schema-skew" if shard.skewed else shard.state
+                for shard in self._shards
+            ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ShardRouter({[shard.name for shard in self._shards]!r})"

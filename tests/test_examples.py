@@ -28,7 +28,7 @@ EXPECTED_OUTPUT = {
     "batch_campaign.py": "reading:",
     "phase_diagram.py": "per-cell paired comparisons",
     "remote_campaign.py": "byte-identical to the serial run",
-    "sharded_campaign.py": "shards byte-identical",
+    "sharded_campaign.py": "byte-identical across the shard loss",
 }
 
 

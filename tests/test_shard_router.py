@@ -1,0 +1,621 @@
+"""The sharded broker fabric: lose a whole broker, keep every byte.
+
+The tentpole pins of :class:`repro.engine.shard_router.ShardRouter`:
+
+* chunk→shard assignment is a pure function of the router seed and the
+  task's nonce-free key — every submitter and worker over the same
+  shard list agrees on placement, across processes and restarts;
+* each shard runs a health-probed closed/open/half-open circuit
+  breaker: consecutive transport failures open it, a successful probe
+  re-admits it, a ``schema_version`` mismatch excludes it permanently
+  and a moved ``boot_monotonic`` counts a restart;
+* when a breaker opens, the unacked chunks placed on that shard are
+  resubmitted to survivors (safe: requests are pure functions of their
+  seeds, first result wins);
+* the acceptance drill — fig7/fig10 stay **byte-identical** on a
+  three-shard campaign with one broker server ``SIGKILL``-ed mid-run
+  and restarted later, with zero lost or double-counted chunks — and
+  the same campaign soaked under seeded ``shard_down`` chaos.
+"""
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro.engine import (
+    ChaosShardBroker,
+    FaultPlan,
+    HTTPBroker,
+    QueueExecutor,
+    RetryPolicy,
+    ShardRouter,
+    connect_broker,
+)
+from repro.engine.broker import Broker, FileBroker
+from repro.engine.broker_server import (
+    SCHEMA_VERSION,
+    BrokerServer,
+    BrokerService,
+)
+from repro.engine.shard_router import SHARD_WIRE_POLICY
+from repro.engine.worker import serve
+from repro.exceptions import PermanentEngineError, TransientEngineError
+from repro.experiments import run_figure
+
+TOKEN = "shard-test-token"
+CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "2026"))
+
+#: Drill-speed wire policy: a dead server must cost ~0.1s per op, not
+#: the multi-second patience of the single-broker default.
+FAST_WIRE = RetryPolicy(
+    max_attempts=2,
+    backoff_base=0.05,
+    backoff_factor=2.0,
+    backoff_max=0.2,
+    jitter=0.25,
+)
+
+
+class FakeClock:
+    """An injectable monotonic clock for breaker/chaos timing tests."""
+
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class StubShard:
+    """A FileBroker whose transport can be switched off, probe included.
+
+    ``down`` makes every broker operation (and the probe) raise
+    :class:`TransientEngineError` — what a killed server looks like.
+    ``fail_probe`` fails only the probe (a half-open check against a
+    still-sick shard), and ``probe_status`` is the status document the
+    probe returns while healthy (``schema_version`` / ``boot_monotonic``
+    skew and restart detection).
+    """
+
+    def __init__(self, root):
+        self.inner = FileBroker(root)
+        self.down = False
+        self.fail_probe = False
+        self.probe_calls = 0
+        self.probe_status = {}
+
+    def probe(self):
+        self.probe_calls += 1
+        if self.down or self.fail_probe:
+            raise TransientEngineError("stub: probe refused")
+        return dict(self.probe_status)
+
+    def __getattr__(self, name):
+        attr = getattr(self.inner, name)
+        if not callable(attr):
+            return attr
+
+        def gated(*args, **kwargs):
+            if self.down:
+                raise TransientEngineError(f"stub: shard down ({name})")
+            return attr(*args, **kwargs)
+
+        return gated
+
+
+def _router(tmp_path, count=3, **kwargs):
+    shards = [StubShard(tmp_path / f"shard-{i}") for i in range(count)]
+    return shards, ShardRouter(shards, **kwargs)
+
+
+def _task_ids(count, nonce="n1"):
+    return [f"{nonce}-d00000-c{i:06d}" for i in range(count)]
+
+
+class TestAssignment:
+    def test_home_shard_is_deterministic_and_nonce_free(self, tmp_path):
+        _, first = _router(tmp_path / "a", seed=7)
+        _, second = _router(tmp_path / "b", seed=7)
+        for left, right in zip(_task_ids(32, "aaa"), _task_ids(32, "zzz")):
+            # same nonce-free key => same shard, on any router instance
+            assert first._home_shard(left) == second._home_shard(right)
+
+    def test_seed_changes_the_assignment(self, tmp_path):
+        _, first = _router(tmp_path / "a", seed=1)
+        _, second = _router(tmp_path / "b", seed=2)
+        homes = [
+            (first._home_shard(t), second._home_shard(t))
+            for t in _task_ids(64)
+        ]
+        assert any(a != b for a, b in homes)
+
+    def test_submissions_spread_across_all_shards(self, tmp_path):
+        shards, router = _router(tmp_path)
+        for task_id in _task_ids(48):
+            router.submit(task_id, b"payload")
+        per_shard = [s.inner.pending_tasks() for s in shards]
+        assert sum(per_shard) == 48
+        assert all(count > 0 for count in per_shard)
+
+    def test_router_satisfies_the_broker_protocol(self, tmp_path):
+        _, router = _router(tmp_path)
+        assert isinstance(router, Broker)
+
+
+class TestBreaker:
+    def test_threshold_failures_open_migrate_and_probe_readmits(
+        self, tmp_path
+    ):
+        clock = FakeClock()
+        shards, router = _router(
+            tmp_path, 2, failure_threshold=2, reopen_after=5.0, clock=clock
+        )
+        router.submit("t-0001", b"payload")
+        home = router._home_shard("t-0001")
+        dead, alive = shards[home], shards[1 - home]
+        dead.down = True
+
+        # first failure: breaker stays closed
+        assert router.fetch_result("t-0001") is None
+        assert router.shard_states()[home] == "closed"
+        # second consecutive failure: open + failover of the chunk
+        assert router.fetch_result("t-0001") is None
+        assert router.shard_states()[home] == "open"
+        assert router.counters["breaker_opens"] == 1
+        assert router.counters["shard_failovers"] == 1
+        assert router.counters["chunks_migrated"] == 1
+        assert alive.inner.pending_tasks() == 1
+
+        # an open breaker is not probed before reopen_after elapses
+        probes = dead.probe_calls
+        clock.advance(4.9)
+        router.supervise()
+        assert dead.probe_calls == probes
+        assert router.shard_states()[home] == "open"
+
+        # ... after which one successful probe re-admits the shard
+        dead.down = False
+        clock.advance(0.2)
+        router.supervise()
+        assert dead.probe_calls == probes + 1
+        assert router.shard_states() == ["closed", "closed"]
+
+    def test_failed_half_open_probe_reopens(self, tmp_path):
+        clock = FakeClock()
+        shards, router = _router(
+            tmp_path, 2, failure_threshold=1, reopen_after=2.0, clock=clock
+        )
+        shard = shards[0]
+        router.heartbeat("w1")  # first-touch probes both shards
+        shard.down = True
+        router.heartbeat("w1")  # one failure opens (threshold 1)
+        assert router.shard_states()[0] == "open"
+        opens = router.counters["breaker_opens"]
+
+        shard.down = False
+        shard.fail_probe = True  # transport is back, health is not
+        clock.advance(2.1)
+        probes = shard.probe_calls
+        router.supervise()
+        assert shard.probe_calls == probes + 1
+        assert router.shard_states()[0] == "open"
+        assert router.counters["breaker_opens"] == opens + 1
+        # the fresh open stamp restarts the reopen timer: no probe yet
+        router.supervise()
+        assert shard.probe_calls == probes + 1
+
+        shard.fail_probe = False
+        clock.advance(2.1)
+        router.supervise()
+        assert router.shard_states()[0] == "closed"
+
+    def test_schema_skew_is_a_permanent_exclusion(self, tmp_path):
+        clock = FakeClock()
+        shards, router = _router(tmp_path, 2, clock=clock)
+        shards[0].probe_status = {"schema_version": SCHEMA_VERSION + 1}
+        router.heartbeat("w1")  # the eager first-touch probe sees the skew
+        assert router.shard_states()[0] == "schema-skew"
+        clock.advance(1e6)
+        router.supervise()
+        assert router.shard_states()[0] == "schema-skew"
+        # the surviving shard carries the fabric
+        for task_id in _task_ids(8):
+            router.submit(task_id, b"x")
+        assert shards[1].inner.pending_tasks() == 8
+        assert shards[0].inner.pending_tasks() == 0
+        assert "schema-skew" in router.describe_fleet()
+
+    def test_moved_boot_stamp_counts_a_restart(self, tmp_path):
+        clock = FakeClock()
+        shards, router = _router(
+            tmp_path, 2, failure_threshold=1, reopen_after=1.0, clock=clock
+        )
+        shard = shards[0]
+        shard.probe_status = {"boot_monotonic": 111.0}
+        router.heartbeat("w1")  # records the boot stamp
+        shard.down = True
+        router.heartbeat("w1")
+        assert router.shard_states()[0] == "open"
+
+        shard.down = False
+        shard.probe_status = {"boot_monotonic": 222.0}  # rebooted server
+        clock.advance(1.1)
+        router.supervise()
+        assert router.shard_states()[0] == "closed"
+        assert router.counters["shard_restarts"] == 1
+
+
+class TestFailover:
+    def test_failed_over_completion_is_found_and_strays_withdrawn(
+        self, tmp_path
+    ):
+        shards, router = _router(tmp_path, 2, failure_threshold=1)
+        router.submit("t-0001", b"payload")
+        home = router._home_shard("t-0001")
+        dead, alive = shards[home], shards[1 - home]
+        assert router.claim("w1") == ("t-0001", b"payload")
+
+        # the claim shard dies before the worker can publish: complete
+        # fails over to the survivor
+        dead.down = True
+        router.complete("t-0001", b"result")
+        assert alive.inner.peek_result("t-0001") == b"result"
+
+        # the fetch finds it there — and withdraws the duplicate queue
+        # copy the failover resubmission left behind
+        assert router.fetch_result("t-0001") == b"result"
+        assert alive.inner.pending_tasks() == 0
+        assert router.counters["shard_failovers"] >= 1
+        assert router.counters["chunks_migrated"] >= 1
+
+    def test_total_outage_stalls_fetch_and_raises_on_claim_submit(
+        self, tmp_path
+    ):
+        shards, router = _router(tmp_path, 2, failure_threshold=1)
+        router.submit("t-0001", b"payload")
+        for shard in shards:
+            shard.down = True
+        # fetch stalls (None), it never kills the campaign
+        assert router.fetch_result("t-0001") is None
+        # claim/submit raise so workers back off instead of idle-exiting
+        with pytest.raises(TransientEngineError):
+            router.claim("w1")
+        with pytest.raises(TransientEngineError):
+            router.submit("t-0002", b"y")
+
+    def test_supervise_migrates_chunks_stranded_on_an_open_shard(
+        self, tmp_path
+    ):
+        clock = FakeClock()
+        shards, router = _router(
+            tmp_path, 3, failure_threshold=1, reopen_after=60.0, clock=clock
+        )
+        task_id = "t-0001"
+        router.submit(task_id, b"payload")
+        home = router._home_shard(task_id)
+        survivors = [s for i, s in enumerate(shards) if i != home]
+
+        # every shard dies; the breaker-open failover finds no target
+        for shard in shards:
+            shard.down = True
+        with pytest.raises(TransientEngineError):
+            router.claim("w1")
+        assert router.counters["chunks_migrated"] == 0
+
+        # two shards come back before reopen_after: supervise must not
+        # wait for the dead home shard — it re-homes the chunk now
+        clock.advance(61.0)
+        for shard in survivors:
+            shard.down = False
+        router.supervise()
+        assert router.counters["chunks_migrated"] == 1
+        assert sum(s.inner.pending_tasks() for s in survivors) == 1
+
+
+class TestConnectBroker:
+    def test_unknown_scheme_is_permanent_and_names_the_supported(self):
+        with pytest.raises(PermanentEngineError) as err:
+            connect_broker("redis://localhost:6379/0")
+        message = str(err.value)
+        assert "redis" in message
+        assert "http://" in message and "https://" in message
+        with pytest.raises(PermanentEngineError):
+            connect_broker("ftp://example.com/spool")
+
+    def test_single_specs_still_connect(self, tmp_path):
+        assert isinstance(connect_broker(str(tmp_path / "spool")), FileBroker)
+        remote = connect_broker("http://127.0.0.1:1", token="t")
+        assert isinstance(remote, HTTPBroker)  # lazy: no server contact
+
+    def test_multi_spec_builds_a_router_with_fail_fast_shards(
+        self, tmp_path
+    ):
+        spec = f" {tmp_path / 'a'} , http://127.0.0.1:1 "
+        router = connect_broker(spec, token="t")
+        assert isinstance(router, ShardRouter)
+        assert len(router._shards) == 2
+        assert isinstance(router._shards[0].broker, FileBroker)
+        remote = router._shards[1].broker
+        assert isinstance(remote, HTTPBroker)
+        # sharded sub-brokers trade per-shard patience for failover speed
+        assert remote.retry_policy is SHARD_WIRE_POLICY
+
+    def test_shard_chaos_plan_wraps_each_shard_by_index(self, tmp_path):
+        plan = FaultPlan(seed=CHAOS_SEED, shard_down=0.5)
+        spec = ",".join(str(tmp_path / f"s{i}") for i in range(3))
+        router = connect_broker(spec, chaos_plan=plan)
+        wrappers = [shard.broker for shard in router._shards]
+        assert all(isinstance(w, ChaosShardBroker) for w in wrappers)
+        assert [w.shard_index for w in wrappers] == [0, 1, 2]
+        # the schedule is a pure function of (seed, index): rebuilding
+        # the fabric reproduces it exactly
+        rebuilt = connect_broker(spec, chaos_plan=plan)
+        assert [w._mode for w in wrappers] == [
+            shard.broker._mode for shard in rebuilt._shards
+        ]
+
+
+class TestStatusDocument:
+    def test_status_carries_schema_version_and_boot_stamp(self, tmp_path):
+        service = BrokerService(tmp_path / "spool", clock=FakeClock(5.0))
+        status = service.handle("status", {})
+        assert status["schema_version"] == SCHEMA_VERSION
+        assert status["boot_monotonic"] == 5.0
+        # a restarted service on the same spool moves the boot stamp —
+        # the router's probe tells this restart from protocol skew
+        reborn = BrokerService(tmp_path / "spool", clock=FakeClock(9.0))
+        assert reborn.handle("status", {})["boot_monotonic"] == 9.0
+
+    def test_get_status_and_probe_see_the_same_document(self, tmp_path):
+        server = BrokerServer(FileBroker(tmp_path / "spool"), token=TOKEN)
+        url = server.start()
+        try:
+            request = urllib.request.Request(
+                f"{url}/status",
+                headers={"Authorization": f"Bearer {TOKEN}"},
+            )
+            with urllib.request.urlopen(request, timeout=5.0) as response:
+                document = json.loads(response.read())
+            assert document["schema_version"] == SCHEMA_VERSION
+            assert "boot_monotonic" in document
+            probed = HTTPBroker(url, token=TOKEN).probe()
+            assert probed["schema_version"] == SCHEMA_VERSION
+            assert probed["boot_monotonic"] == document["boot_monotonic"]
+        finally:
+            server.shutdown()
+
+
+class TestChaosShardBroker:
+    def test_flap_blackholes_after_the_delay_then_recovers(self, tmp_path):
+        clock = FakeClock(0.0)
+        plan = FaultPlan(
+            seed=1,
+            shard_flap=1.0,
+            shard_down_delay=0.5,
+            shard_flap_duration=2.0,
+        )
+        wrapper = ChaosShardBroker(
+            FileBroker(tmp_path / "s"), plan, 0, clock=clock
+        )
+        wrapper.submit("t-0001", b"x")  # first op arms the schedule
+        clock.advance(0.4)
+        assert wrapper.stop_requested() is False  # before the delay
+        clock.advance(0.2)  # inside the blackout
+        with pytest.raises(TransientEngineError):
+            wrapper.claim("w1")
+        with pytest.raises(TransientEngineError):
+            wrapper.probe()  # the health probe must fail too
+        assert wrapper.injected["shard-flap"] == 2
+        clock.advance(2.0)  # the flap is over
+        assert wrapper.claim("w1") == ("t-0001", b"x")
+
+
+def _spawn_server(spool, *, port=0):
+    """A broker server subprocess (SIGKILL-able); (proc, url, port)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = ":".join(sys.path)
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-u",
+            "-m",
+            "repro.engine.broker_server",
+            "--spool",
+            str(spool),
+            "--port",
+            str(port),
+            "--token",
+            TOKEN,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    line = proc.stdout.readline()
+    match = re.search(r"on (http://\S+)", line)
+    if match is None:
+        proc.kill()
+        raise RuntimeError(f"broker server failed to start: {line!r}")
+    url = match.group(1)
+    return proc, url, int(url.rsplit(":", 1)[1])
+
+
+def _single_down_plan(shard_count=3, rate=0.4):
+    """The first plan at/after CHAOS_SEED downing exactly one shard."""
+    seed = CHAOS_SEED
+    while True:
+        plan = FaultPlan(seed=seed, shard_down=rate, shard_down_delay=0.3)
+        downed = [
+            index
+            for index in range(shard_count)
+            if plan.decide(plan.shard_down, "shard-down", index)
+        ]
+        if len(downed) == 1:
+            return plan, downed[0]
+        seed += 1
+
+
+class TestShardLoss:
+    @pytest.mark.parametrize("figure", ["fig7", "fig10"])
+    def test_figures_survive_sigkill_of_a_whole_shard(
+        self, tmp_path, figure
+    ):
+        """The acceptance drill: 3 shards, one SIGKILLed mid-campaign.
+
+        Shard 0 is a real broker-server subprocess.  As soon as work
+        lands on its spool it is SIGKILLed, stays dark through the
+        failover window, and is restarted on the same port + spool.
+        The figure must match the serial reference byte for byte, the
+        stats must show the failover, and the restarted shard must be
+        re-admitted (and counted as a restart) by the health probe.
+        """
+        reference = run_figure(figure, scale="tiny", seed=1, engine="serial")
+        spools = [tmp_path / f"shard-{i}" for i in range(3)]
+        victim_proc, victim_url, victim_port = _spawn_server(spools[0])
+        servers = [BrokerServer(FileBroker(s), token=TOKEN) for s in spools[1:]]
+        urls = [victim_url] + [server.start() for server in servers]
+
+        def make_router():
+            return ShardRouter(
+                [
+                    HTTPBroker(
+                        url, token=TOKEN, retry_policy=FAST_WIRE, timeout=5.0
+                    )
+                    for url in urls
+                ],
+                failure_threshold=2,
+                reopen_after=0.75,
+            )
+
+        submitter = make_router()
+        workers = [
+            threading.Thread(
+                target=serve,
+                args=(make_router(),),
+                kwargs=dict(poll_interval=0.01, max_idle=30.0),
+                daemon=True,
+            )
+            for _ in range(2)
+        ]
+        for worker in workers:
+            worker.start()
+
+        killed = threading.Event()
+        restarted = []
+
+        def kill_and_restart():
+            spool = spools[0]
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                busy = any((spool / "queue").glob("*.task")) or any(
+                    (spool / "claimed").glob("*.task")
+                )
+                if busy:
+                    victim_proc.send_signal(signal.SIGKILL)
+                    victim_proc.wait(timeout=10.0)
+                    killed.set()
+                    break
+                time.sleep(0.005)
+            if not killed.is_set():
+                return
+            time.sleep(1.2)  # the shard stays dark while failover runs
+            reborn = BrokerServer(
+                FileBroker(spool), token=TOKEN, port=victim_port
+            )
+            reborn.start()
+            restarted.append(reborn)
+
+        assassin = threading.Thread(target=kill_and_restart, daemon=True)
+        assassin.start()
+        try:
+            with QueueExecutor(
+                workers=2, broker=submitter, heartbeat_timeout=10.0
+            ) as executor:
+                sharded = run_figure(
+                    figure, scale="tiny", seed=1, executor=executor
+                )
+                stats = executor.stats()
+            assert killed.is_set(), "the campaign never reached shard 0"
+            assert sharded.x_values == reference.x_values
+            assert sharded.normalized == reference.normalized
+            assert sharded.means == reference.means
+            assert stats.shard_failovers > 0
+            assert stats.breaker_opens > 0
+            assert stats.dead_lettered == 0
+            assassin.join(timeout=30.0)
+            # the restarted shard passes its half-open probe and is
+            # welcomed back — recognised as a *restart*, not skew
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                submitter.supervise()
+                if submitter.shard_states() == ["closed"] * 3:
+                    break
+                time.sleep(0.05)
+            assert submitter.shard_states() == ["closed"] * 3
+            assert submitter.counters["shard_restarts"] >= 1
+        finally:
+            try:
+                submitter.request_stop()
+            except TransientEngineError:  # pragma: no cover - total loss
+                pass
+            for worker in workers:
+                worker.join(timeout=20.0)
+            if victim_proc.poll() is None:  # pragma: no cover - cleanup
+                victim_proc.kill()
+            victim_proc.stdout.close()
+            for server in servers + restarted:
+                server.shutdown()
+
+    def test_seeded_shard_down_chaos_holds_fig7(self, tmp_path):
+        """The soak leg: one of three shards blackholed by FaultPlan."""
+        reference = run_figure("fig7", scale="tiny", seed=1, engine="serial")
+        plan, victim = _single_down_plan()
+        spec = ",".join(str(tmp_path / f"shard-{i}") for i in range(3))
+        submitter = connect_broker(spec, chaos_plan=plan)
+        assert isinstance(submitter, ShardRouter)
+        workers = [
+            threading.Thread(
+                target=serve,
+                args=(connect_broker(spec, chaos_plan=plan),),
+                kwargs=dict(poll_interval=0.01, max_idle=30.0),
+                daemon=True,
+            )
+            for _ in range(2)
+        ]
+        for worker in workers:
+            worker.start()
+        try:
+            with QueueExecutor(
+                workers=2, broker=submitter, heartbeat_timeout=2.0
+            ) as executor:
+                chaotic = run_figure(
+                    "fig7", scale="tiny", seed=1, executor=executor
+                )
+                stats = executor.stats()
+            assert chaotic.x_values == reference.x_values
+            assert chaotic.normalized == reference.normalized
+            assert chaotic.means == reference.means
+            assert stats.breaker_opens >= 1
+            assert stats.shard_failovers >= 1
+            # non-vacuity: the victim's blackhole actually fired
+            wrapper = submitter._shards[victim].broker
+            assert wrapper.injected.get("shard-down", 0) >= 1
+        finally:
+            try:
+                submitter.request_stop()
+            except TransientEngineError:  # pragma: no cover - total loss
+                pass
+            for worker in workers:
+                worker.join(timeout=20.0)
