@@ -15,6 +15,10 @@ state over the per-decision fresh build on the same run
 core over the ``profile_backend="reference"`` substrate
 (``--min-failure-heavy-speedup``, default 2x at small/paper scale and
 1.25x on the tiny CI leg — the ISSUE 7 target is an at-scale claim).
+The scheduling service rides the same gate
+(:mod:`benchmarks.bench_service` vs ``BENCH_service.json``): the
+arrival replay must stay byte-identical and its p99 re-pack latency
+under ``--max-decision-latency`` (default 0.25 s).
 
 Usage (from the repo root)::
 
@@ -49,6 +53,13 @@ try:
         sim_kernel_speedup,
         sim_state_speedup,
     )
+    from .bench_service import (
+        BENCH_SCALE as SERVICE_SCALE,
+        DEFAULT_BASELINE as SERVICE_BASELINE,
+        MAX_DECISION_LATENCY,
+        decision_latency_p99,
+        run_bench as run_service,
+    )
 except ImportError:  # pytest / sys.path import (benchmarks/ on the path)
     from bench_hotpath import DEFAULT_BASELINE, batch_speedup, run_all
     from bench_decisions import (
@@ -59,6 +70,13 @@ except ImportError:  # pytest / sys.path import (benchmarks/ on the path)
         sim_failure_heavy_speedup,
         sim_kernel_speedup,
         sim_state_speedup,
+    )
+    from bench_service import (
+        BENCH_SCALE as SERVICE_SCALE,
+        DEFAULT_BASELINE as SERVICE_BASELINE,
+        MAX_DECISION_LATENCY,
+        decision_latency_p99,
+        run_bench as run_service,
     )
 
 #: Per-benchmark slowdown tolerated before the gate fails.
@@ -189,6 +207,52 @@ def check_decisions(
     )
 
 
+def check_service(
+    baseline_path: Path = SERVICE_BASELINE,
+    max_decision_latency: float = MAX_DECISION_LATENCY,
+) -> tuple[bool, str]:
+    """Service gate: fresh replay vs ``BENCH_service.json``.
+
+    The replay itself asserts the byte-identity and lost-job invariants
+    (it raises on violation — a hard failure, not a report line); this
+    gate adds the ``service_decision_latency`` sanity ceiling: the p99
+    re-pack latency through the live service stack must stay under
+    ``max_decision_latency`` seconds on any host.  Absolute seconds are
+    only compared on the recording host, like the other gates.
+    """
+    payload = json.loads(baseline_path.read_text())
+    fresh = run_service()
+    p99 = decision_latency_p99(fresh)
+    recorded_scale = payload.get("scale")
+    recorded = (payload.get("machine"), payload.get("python"))
+    comparable = recorded_scale == SERVICE_SCALE and recorded == _host()
+    lines = []
+    ok = True
+    if comparable:
+        ref = payload["benchmarks"]["service_replay"]["seconds"]
+        now = fresh["service"]["seconds"]
+        ratio = now / ref
+        flag = "ok" if ratio <= 2.0 else "REGRESSION"
+        ok &= ratio <= 2.0
+        lines.append(
+            f"service_replay baseline={ref * 1e6:10.1f}us "
+            f"now={now * 1e6:10.1f}us ratio={ratio:5.2f}x {flag}"
+        )
+    else:
+        lines.append(
+            f"warning: service baseline recorded at scale={recorded_scale} "
+            f"machine={recorded[0]} python={recorded[1]}; skipping "
+            "absolute-seconds comparison"
+        )
+    flag = "ok" if p99 <= max_decision_latency else "REGRESSION"
+    ok &= p99 <= max_decision_latency
+    lines.append(
+        f"service_decision_latency p99={p99 * 1e3:.3f}ms "
+        f"(ceiling {max_decision_latency * 1e3:g}ms) {flag}"
+    )
+    return ok, "\n".join(lines)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description=(
@@ -232,10 +296,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"REPRO_BENCH_SCALE={DECISIONS_SCALE})"
         ),
     )
+    parser.add_argument(
+        "--service-baseline", type=Path, default=SERVICE_BASELINE,
+        help="recorded service replay baseline JSON",
+    )
+    parser.add_argument(
+        "--max-decision-latency", type=float, default=MAX_DECISION_LATENCY,
+        help=(
+            "max tolerated p99 service re-pack latency in seconds "
+            f"(default {MAX_DECISION_LATENCY:g})"
+        ),
+    )
     args = parser.parse_args(argv)
     for path, module in (
         (args.baseline, "bench_hotpath"),
         (args.decisions_baseline, "bench_decisions"),
+        (args.service_baseline, "bench_service"),
     ):
         if not path.exists():
             print(
@@ -252,6 +328,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     print(dec_report)
     ok &= dec_ok
+    svc_ok, svc_report = check_service(
+        args.service_baseline, args.max_decision_latency
+    )
+    print(svc_report)
+    ok &= svc_ok
     print("PASS" if ok else "FAIL")
     return 0 if ok else 1
 

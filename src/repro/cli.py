@@ -12,6 +12,7 @@
     repro-cosched batch --n 10 --p 12          # online batch campaign
     repro-cosched validate --n 4 --p 16        # check Eq. (4) vs Monte-Carlo
     repro-cosched ratios --n 8 --p 24          # competitive ratios
+    repro-cosched serve --port 8643            # online scheduling daemon
 
 The same entry point is reachable as ``python -m repro.cli``.
 
@@ -355,6 +356,17 @@ def build_parser() -> argparse.ArgumentParser:
         "ratios", help="competitive ratios against certified lower bounds"
     )
     _add_workload_arguments(ratios, n=8, p=24, mtbf_years=0.1)
+
+    serve = commands.add_parser(
+        "serve",
+        help=(
+            "run the rolling-horizon scheduling daemon "
+            "(token-authenticated HTTP/JSON; SIGTERM drains gracefully)"
+        ),
+    )
+    from .service.server import add_service_arguments
+
+    add_service_arguments(serve)
 
     compare = commands.add_parser(
         "compare",
@@ -706,6 +718,10 @@ def _dispatch(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
         return _cmd_validate(args)
     if args.command == "ratios":
         return _cmd_ratios(args)
+    if args.command == "serve":
+        from .service.server import run_service
+
+        return run_service(args)
     if args.command == "compare":
         return _cmd_compare(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover

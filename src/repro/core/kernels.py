@@ -513,6 +513,31 @@ class DecisionCache:
         """Record the live free-processor count ahead of a decision."""
         self.budget = int(free)
 
+    def reset(self) -> None:
+        """Return the cache to its just-constructed validity state.
+
+        The rolling-horizon service (:mod:`repro.service`) keeps one
+        cache per model and re-injects it into every segment whose pack
+        shares that model.  Between segments all runtimes are rebuilt,
+        so every mirror is stale — but the persistent rows and scratch
+        blocks are gated behind the validity bits, so clearing the bits
+        (and the mirrors they guard) restores the exact
+        post-construction state with zero reallocation.  The cumulative
+        patch/reuse counters survive: they feed the service telemetry.
+        """
+        self._sigma.fill(-1)
+        self._rc_sigma.fill(-2)
+        self._stall.fill(0.0)
+        self._row_t.fill(np.nan)
+        self._row_stall.fill(0.0)
+        self._dirty.fill(True)
+        self._keep_valid.fill(False)
+        self._pending.fill(False)
+        self._env_key.fill(-1)
+        self._prof_pos.fill(-1)
+        self._nff_valid.fill(False)
+        self.budget = None
+
     # -- internal patching -------------------------------------------------
     def _refresh(self, rt: TaskRuntime) -> None:
         """Resync one dirty task's mirrors from its live runtime."""

@@ -35,6 +35,7 @@ def optimal_schedule(
     indices: Optional[Sequence[int]] = None,
     alpha: float = 1.0,
     kernel: str = "array",
+    alphas: Optional[Sequence[float]] = None,
 ) -> Dict[int, int]:
     """Algorithm 1: optimal no-redistribution allocation.
 
@@ -52,6 +53,14 @@ def optimal_schedule(
         ``"array"`` (default) runs the growth loop as index arithmetic
         over the batched envelope block; ``"scalar"`` keeps the
         per-probe model calls.  Both produce identical allocations.
+    alphas:
+        Per-task remaining fractions, one per entry of ``indices``
+        (overrides ``alpha``).  This is the rolling-horizon form: the
+        online service re-packs *residual* workloads, so each task is
+        scored at its own remaining fraction.  The growth loop is
+        unchanged — only the envelope rows differ (one
+        :meth:`~repro.resilience.expected_time.ExpectedTimeModel.
+        profile_matrix` evaluation instead of ``profile_batch``).
 
     Returns
     -------
@@ -72,6 +81,10 @@ def optimal_schedule(
             f"Algorithm 1 needs p >= 2n: p={p}, n={n} "
             "(each task requires one buddy pair)"
         )
+    if alphas is not None and len(alphas) != n:
+        raise CapacityError(
+            f"alphas must match indices: {len(alphas)} != {n}"
+        )
     sigma: Dict[int, int] = {i: 2 for i in indices}
     available = p - 2 * n
 
@@ -79,21 +92,29 @@ def optimal_schedule(
     # One batched profile evaluation scores every task at j=2 (slot 0); the
     # array kernel keeps reading the block, the scalar kernel re-reads the
     # (now warm) profile cache through the scalar accessors.
-    block = model.profile_batch(indices, alpha)
+    if alphas is None:
+        block = model.profile_batch(indices, alpha)
+    else:
+        block = model.profile_matrix(indices, alphas)
     heap = [(-float(block[pos, 0]), i) for pos, i in enumerate(indices)]
     heapq.heapify(heap)
 
     if kernel == "scalar":
+        alpha_of = (
+            {i: alpha for i in indices}
+            if alphas is None
+            else {i: float(alphas[pos]) for pos, i in enumerate(indices)}
+        )
         while available >= 2 and heap:
             neg_current, i = heapq.heappop(heap)
             current = -neg_current
             p_max = sigma[i] + available
             # Line 9: can the longest task still be improved at all?
-            if current > model.expected_time(i, p_max, alpha):
+            if current > model.expected_time(i, p_max, alpha_of[i]):
                 sigma[i] += 2
                 available -= 2
                 heapq.heappush(
-                    heap, (-model.expected_time(i, sigma[i], alpha), i)
+                    heap, (-model.expected_time(i, sigma[i], alpha_of[i]), i)
                 )
             else:
                 # No task can improve the makespan further: keep the rest

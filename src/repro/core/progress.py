@@ -29,6 +29,7 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from .state import TaskRuntime
 
 __all__ = [
+    "Residual",
     "elapsed_work_fraction",
     "checkpointed_work_fraction",
     "projected_finish",
@@ -37,6 +38,7 @@ __all__ = [
     "remaining_after_failure_from_values",
     "remaining_at_batch",
     "remaining_from_arrays",
+    "residual_workload",
 ]
 
 
@@ -161,6 +163,69 @@ def remaining_from_arrays(
     done = np.maximum(0.0, useful / t_ff)
     done[elapsed <= 0.0] = 0.0
     return np.minimum(alpha, np.maximum(0.0, alpha - done))
+
+
+class Residual:
+    """Frozen snapshot of one live task at a re-pack probe time.
+
+    ``alpha`` is the remaining work fraction at the probe; ``stall`` the
+    blackout time still to serve (a busy task — recovering,
+    redistributing or checkpointing — cannot restart its pattern before
+    ``t + stall``); ``sigma`` the current allocation (the ``j_init`` of
+    any Eq. 4 redistribution the re-pack decides); ``t_last`` the
+    absolute pattern-restart time the task carries, so an allocation
+    left unchanged resumes bit-identically.
+    """
+
+    __slots__ = ("alpha", "stall", "sigma", "t_last")
+
+    def __init__(self, alpha: float, stall: float, sigma: int, t_last: float):
+        object.__setattr__(self, "alpha", alpha)
+        object.__setattr__(self, "stall", stall)
+        object.__setattr__(self, "sigma", sigma)
+        object.__setattr__(self, "t_last", t_last)
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("Residual is immutable")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Residual(alpha={self.alpha!r}, stall={self.stall!r}, "
+            f"sigma={self.sigma}, t_last={self.t_last!r})"
+        )
+
+
+def residual_workload(
+    model: ExpectedTimeModel,
+    runtimes: Sequence["TaskRuntime"],
+    t: float,
+) -> "dict[int, Residual]":
+    """Residual workload of every uncompleted runtime at time ``t``.
+
+    The rolling-horizon extraction: at an epoch boundary the online
+    service reads the remaining fraction of each live task off the
+    simulator state and re-co-schedules the residuals as a fresh pack.
+    A task still inside a blackout window (``t < t_last``) has already
+    banked its post-rollback ``alpha`` — it carries that fraction plus
+    the unserved stall; a running task subtracts the useful work done
+    since its pattern restart (:func:`remaining_after_elapsed`, the same
+    arithmetic as the in-run heuristics' ``alpha^t_i``).
+    """
+    residuals = {}
+    for rt in runtimes:
+        if rt.completed:
+            continue
+        i = rt.index
+        if t < rt.t_last:
+            residuals[i] = Residual(
+                rt.alpha, rt.t_last - t, rt.sigma, rt.t_last
+            )
+        else:
+            alpha_t = remaining_after_elapsed(
+                model, i, rt.sigma, rt.alpha, t, rt.t_last
+            )
+            residuals[i] = Residual(alpha_t, 0.0, rt.sigma, rt.t_last)
+    return residuals
 
 
 def remaining_after_failure(

@@ -1,0 +1,6 @@
+"""``python -m repro.service`` — the scheduling daemon entrypoint."""
+
+from .server import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -23,7 +23,7 @@ effect.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -197,14 +197,40 @@ class Simulator:
             )
         self._decision_state = decision_state
         self._cache: Optional[DecisionCache] = None
+        self._runtimes: Optional[List[TaskRuntime]] = None
 
     # ------------------------------------------------------------------
     def _make_decision_cache(self) -> DecisionCache:
         """The run's persistent decision state (overridable for tests)."""
         return DecisionCache(self.model)
 
-    def run(self) -> SimulationResult:
-        """Execute the pack to completion and return the result."""
+    def start(
+        self,
+        *,
+        t0: float = 0.0,
+        sigma0: Optional[Dict[int, int]] = None,
+        alphas: Optional[Sequence[float]] = None,
+        t_last: Optional[Sequence[float]] = None,
+        injector: Optional[FaultInjector | NullFaultInjector] = None,
+    ) -> None:
+        """Initialise the event loop without running it.
+
+        The default call (``start()``) reproduces the ``run()`` prologue
+        bit for bit.  The keyword overrides exist for the rolling-horizon
+        service (:mod:`repro.service`), which resumes residual workloads
+        mid-timeline:
+
+        * ``t0`` — the segment origin (arrivals/epochs happen at nonzero
+          times);
+        * ``sigma0`` — a pre-computed initial allocation (the online
+          re-pack decides it from residual fractions; must cover every
+          task);
+        * ``alphas`` / ``t_last`` — per-task remaining fractions and
+          pattern-restart times carried over from the previous segment
+          (defaults: full work, released at ``t0``);
+        * ``injector`` — a fault injector shared across segments so the
+          failure trace is continuous regardless of epoch boundaries.
+        """
         pack, cluster, model = self.pack, self.cluster, self.model
         n, p = len(pack), cluster.processors
 
@@ -219,7 +245,12 @@ class Simulator:
         )
 
         runtimes = [TaskRuntime(spec) for spec in pack]
-        sigma0 = optimal_schedule(model, p, kernel=self._decision_kernel)
+        if sigma0 is None:
+            sigma0 = optimal_schedule(model, p, kernel=self._decision_kernel)
+        elif set(sigma0) != set(range(n)):
+            raise SimulationError(
+                "sigma0 must assign every task exactly once"
+            )
         procs = ProcessorMap(p)
 
         # Flat ndarray mirrors of the per-task bookkeeping the
@@ -237,67 +268,192 @@ class Simulator:
         self._m_scratch = np.empty(n, dtype=bool)
 
         for i, count in sigma0.items():
-            runtimes[i].assign(count)
-            runtimes[i].t_expected = model.expected_time(i, count, 1.0)
+            rt = runtimes[i]
+            rt.assign(count)
+            if alphas is not None:
+                rt.alpha = float(alphas[i])
+            if t_last is not None:
+                rt.t_last = float(t_last[i])
+            elif t0 != 0.0:
+                rt.t_last = t0
+            rt.t_expected = rt.t_last + model.expected_time(
+                i, count, rt.alpha
+            )
             procs.acquire(i, count)
-            self._m_texp[i] = runtimes[i].t_expected
+            self._m_texp[i] = rt.t_expected
+            self._m_tlast[i] = rt.t_last
             self._sync_task_mirrors(i, count)
 
-        if self.inject_faults:
-            injector: FaultInjector | NullFaultInjector = FaultInjector(
+        if injector is not None:
+            self._injector: FaultInjector | NullFaultInjector = injector
+        elif self.inject_faults:
+            self._injector = FaultInjector(
                 p, self._distribution, derive_rng(self.seed, "faults")
             )
         else:
-            injector = NullFaultInjector()
+            self._injector = NullFaultInjector()
 
         finish = CompletionQueue(runtimes, mirror=self._m_finish)
         for i in range(n):
             finish[i] = self._projected(runtimes[i])
-        counters = {"effective": 0, "idle": 0, "masked": 0, "events": 0}
         # Completion bookkeeping is accumulated event by event instead of
         # being re-derived from the runtimes after the loop.
-        completion_times = np.full(n, math.nan)
-        makespan = 0.0
+        self._runtimes = runtimes
+        self._procs = procs
+        self._sigma0 = sigma0
+        self._finish = finish
+        self._counters = {"effective": 0, "idle": 0, "masked": 0, "events": 0}
+        self._completion_times = np.full(n, math.nan)
+        self._makespan = 0.0
+        self._remaining = n
+        self._t_now = t0
 
-        remaining = n
-        while remaining > 0:
-            if self._use_heap:
+    def _require_started(self) -> None:
+        if self._runtimes is None:
+            raise SimulationError("start() must be called before stepping")
+
+    @property
+    def runtimes(self) -> List[TaskRuntime]:
+        """The live per-task states (valid after :meth:`start`)."""
+        self._require_started()
+        return self._runtimes
+
+    @property
+    def now(self) -> float:
+        """Time of the last processed event (``t0`` before any event)."""
+        self._require_started()
+        return self._t_now
+
+    @property
+    def tasks_remaining(self) -> int:
+        """Uncompleted tasks left in the pack."""
+        self._require_started()
+        return self._remaining
+
+    def next_event_time(self) -> float:
+        """Time of the next pending event (``inf`` when none remain)."""
+        self._require_started()
+        if self._remaining <= 0:
+            return math.inf
+        if self._use_heap:
+            t_comp, _ = self._finish.peek()
+        else:
+            t_comp, _ = self._finish.scan()
+        t_fail, _ = self._injector.peek()
+        return t_comp if t_comp <= t_fail else t_fail
+
+    def step(self) -> Optional[Tuple[float, str, int]]:
+        """Process the single next event.
+
+        Returns ``(t, "completion", task)`` or ``(t, "failure", proc)``,
+        or ``None`` once the pack is complete.  The event selection and
+        bookkeeping are the exact loop body of :meth:`advance` so a
+        stepped execution is bit-identical to an advanced one.
+        """
+        self._require_started()
+        if self._remaining <= 0:
+            return None
+        finish, injector = self._finish, self._injector
+        if self._use_heap:
+            t_comp, i_comp = finish.peek()
+        else:
+            t_comp, i_comp = finish.scan()
+        t_fail, _ = injector.peek()
+        if t_comp == math.inf and t_fail == math.inf:
+            raise SimulationError("no events left but tasks remain")
+        self._counters["events"] += 1
+        if t_comp <= t_fail:
+            self._handle_completion(
+                t_comp, i_comp, self._runtimes, self._procs, finish
+            )
+            self._completion_times[i_comp] = t_comp
+            if t_comp > self._makespan:
+                self._makespan = t_comp
+            self._remaining -= 1
+            self._t_now = t_comp
+            event = (t_comp, "completion", i_comp)
+        else:
+            t_fail, proc = injector.pop()
+            self._handle_failure(
+                t_fail, proc, self._runtimes, self._procs,
+                finish, self._counters,
+            )
+            self._t_now = t_fail
+            event = (t_fail, "failure", proc)
+        if self._strict:
+            self._procs.validate()
+        return event
+
+    def advance(self, until: float = math.inf) -> int:
+        """Process events up to and including time ``until``.
+
+        Returns the number of events processed.  ``advance()`` with the
+        default horizon drains the pack to completion — together with
+        :meth:`start` and :meth:`result` it *is* ``run()``.
+        """
+        self._require_started()
+        runtimes = self._runtimes
+        procs = self._procs
+        finish = self._finish
+        injector = self._injector
+        counters = self._counters
+        completion_times = self._completion_times
+        use_heap = self._use_heap
+        strict = self._strict
+        processed = 0
+        while self._remaining > 0:
+            if use_heap:
                 t_comp, i_comp = finish.peek()
             else:
                 t_comp, i_comp = finish.scan()
             t_fail, _ = injector.peek()
             if t_comp == math.inf and t_fail == math.inf:
                 raise SimulationError("no events left but tasks remain")
+            if (t_comp if t_comp <= t_fail else t_fail) > until:
+                break
             counters["events"] += 1
 
             if t_comp <= t_fail:
                 self._handle_completion(t_comp, i_comp, runtimes, procs, finish)
                 completion_times[i_comp] = t_comp
-                if t_comp > makespan:
-                    makespan = t_comp
-                remaining -= 1
+                if t_comp > self._makespan:
+                    self._makespan = t_comp
+                self._remaining -= 1
+                self._t_now = t_comp
             else:
                 t_fail, proc = injector.pop()
                 self._handle_failure(
                     t_fail, proc, runtimes, procs, finish, counters
                 )
-            if self._strict:
+                self._t_now = t_fail
+            if strict:
                 procs.validate()
+            processed += 1
+        return processed
 
-        redistributions = sum(rt.redistributions for rt in runtimes)
+    def result(self) -> SimulationResult:
+        """Snapshot the accumulated result (complete after a full drain)."""
+        self._require_started()
+        redistributions = sum(rt.redistributions for rt in self._runtimes)
         return SimulationResult(
             policy=self.policy.name,
-            makespan=makespan,
-            completion_times=completion_times,
-            initial_sigma=sigma0,
-            failures_effective=counters["effective"],
-            failures_idle=counters["idle"],
-            failures_masked=counters["masked"],
+            makespan=self._makespan,
+            completion_times=self._completion_times,
+            initial_sigma=self._sigma0,
+            failures_effective=self._counters["effective"],
+            failures_idle=self._counters["idle"],
+            failures_masked=self._counters["masked"],
             redistributions=redistributions,
-            events=counters["events"],
+            events=self._counters["events"],
             seed=self.seed,
             trace=self._recorder.trace if self._recorder.enabled else None,
         )
+
+    def run(self) -> SimulationResult:
+        """Execute the pack to completion and return the result."""
+        self.start()
+        self.advance()
+        return self.result()
 
     # ------------------------------------------------------------------
     def _sync_task_mirrors(self, i: int, sigma: int) -> None:

@@ -4,10 +4,12 @@ from .exact import brute_force_moldable, exact_no_redistribution
 from .online import (
     CompetitiveReport,
     LowerBound,
+    arrival_aware_lower_bound,
     competitive_ratio,
     competitive_report,
     failure_aware_lower_bound,
     fault_free_lower_bound,
+    replay_competitive_ratio,
 )
 from .reduction import (
     MalleableTaskTable,
@@ -30,10 +32,12 @@ __all__ = [
     "exact_no_redistribution",
     "CompetitiveReport",
     "LowerBound",
+    "arrival_aware_lower_bound",
     "competitive_ratio",
     "competitive_report",
     "failure_aware_lower_bound",
     "fault_free_lower_bound",
+    "replay_competitive_ratio",
     "MalleableTaskTable",
     "ReducedInstance",
     "ScheduleStep",

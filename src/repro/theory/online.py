@@ -45,6 +45,8 @@ __all__ = [
     "competitive_ratio",
     "CompetitiveReport",
     "competitive_report",
+    "arrival_aware_lower_bound",
+    "replay_competitive_ratio",
 ]
 
 
@@ -218,3 +220,110 @@ def competitive_report(
         ratios[result.policy] = competitive_ratio(result, bound)
         makespans[result.policy] = result.makespan
     return CompetitiveReport(bound=bound, ratios=ratios, makespans=makespans)
+
+
+def arrival_aware_lower_bound(
+    pack: Pack,
+    arrivals: Sequence[float],
+    p: int,
+    *,
+    even_only: bool = True,
+) -> LowerBound:
+    """Lower bound on the *online* makespan under release dates.
+
+    Two classical strengthenings of the offline bounds for jobs with
+    release dates ``r_i`` (valid for any online or clairvoyant
+    scheduler, with or without redistribution — failures only add work):
+
+    * **release-path** — a job cannot finish before its own arrival plus
+      its best fault-free time: ``max_i (r_i + min_j t_{i,j})``;
+    * **suffix-area** — work released at or after time ``t`` cannot run
+      before ``t``, so for every arrival time ``t``:
+      ``t + (1/p) Σ_{r_i >= t} min_j (j t_{i,j})``.
+
+    Both collapse to the batch bounds of :func:`fault_free_lower_bound`
+    when every ``r_i == 0``.
+    """
+    arrivals = [float(r) for r in arrivals]
+    if len(arrivals) != len(pack):
+        raise ConfigurationError(
+            f"need one arrival per task: {len(arrivals)} arrivals for "
+            f"{len(pack)} tasks"
+        )
+    if any(r < 0 for r in arrivals):
+        raise ConfigurationError("arrival times must be >= 0")
+    min_work, min_time = _per_task_bounds(pack, p, even_only)
+    path = float(max(r + t for r, t in zip(arrivals, min_time)))
+    area = 0.0
+    for t in sorted(set(arrivals)):
+        suffix = float(
+            sum(w for r, w in zip(arrivals, min_work) if r >= t)
+        )
+        area = max(area, t + suffix / p)
+    return LowerBound(
+        value=max(area, path), area_bound=area, critical_path_bound=path
+    )
+
+
+def replay_competitive_ratio(
+    trace: Sequence,
+    result,
+    config,
+    *,
+    even_only: bool = True,
+) -> Dict[str, float]:
+    """Competitive-ratio report for one arrival-replay run.
+
+    ``trace`` is a list of :class:`repro.service.replay.TraceEvent`,
+    ``result`` the :class:`~repro.service.replay.ReplayResult` produced
+    by replaying it, ``config`` the matching
+    :class:`~repro.service.replay.ReplayConfig`.  Only jobs the service
+    actually *completed* enter the bound (a cancelled job constrains
+    nothing), so the bound stays valid for the measured makespan.
+    """
+    from ..tasks import TaskSpec
+
+    completed = {
+        job_id
+        for job_id, job in result.jobs.items()
+        if job.get("status") == "completed"
+    }
+    if not completed:
+        raise ConfigurationError(
+            "replay completed no jobs; the competitive ratio is undefined"
+        )
+    tasks = []
+    arrivals = []
+    for event in trace:
+        if event.kind != "submit" or event.job_id not in completed:
+            continue
+        tasks.append(
+            TaskSpec(
+                index=len(tasks),
+                size=event.size,
+                checkpoint_cost=(
+                    event.checkpoint_cost
+                    if event.checkpoint_cost is not None
+                    else event.size
+                ),
+                name=event.job_id,
+            )
+        )
+        arrivals.append(event.time)
+    pack = Pack(tasks)
+    bound = arrival_aware_lower_bound(
+        pack, arrivals, config.processors, even_only=even_only
+    )
+    if result.makespan < bound.value - 1e-6 * bound.value:
+        raise ConfigurationError(
+            f"replay makespan {result.makespan:.6g} is below the certified "
+            f"lower bound {bound.value:.6g}; trace and result do not match"
+        )
+    return {
+        "lower_bound": float(bound.value),
+        "area_bound": float(bound.area_bound),
+        "critical_path_bound": float(bound.critical_path_bound),
+        "makespan": float(result.makespan),
+        "ratio": float(result.makespan / bound.value),
+        "jobs": float(len(tasks)),
+    }

@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import time
+from typing import Callable, TypeVar
+
 import numpy as np
 import pytest
 
@@ -12,6 +15,34 @@ from repro.units import years
 
 #: Small-scale workload bounds (seconds-scale tasks, see Scale presets).
 M_INF, M_SUP = 6_000.0, 10_000.0
+
+T = TypeVar("T")
+
+
+def wait_for(
+    condition: Callable[[], T],
+    *,
+    timeout: float = 5.0,
+    interval: float = 0.005,
+    message: str = "condition",
+) -> T:
+    """Deadline-poll a predicate; return its first truthy value.
+
+    The hygiene replacement for bare ``time.sleep`` in fabric/HTTP
+    suites: a fixed sleep is either too short (flaky) or too long (slow
+    for everyone, forever); a deadline poll returns the moment the
+    condition holds and fails loudly when it never does.
+    """
+    deadline = time.monotonic() + timeout
+    while True:
+        value = condition()
+        if value:
+            return value
+        if time.monotonic() >= deadline:
+            raise AssertionError(
+                f"timed out after {timeout:g}s waiting for {message}"
+            )
+        time.sleep(interval)
 
 
 @pytest.fixture

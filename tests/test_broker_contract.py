@@ -13,7 +13,13 @@ flag — is pinned here *once* and run against every transport:
 * ``sharded`` — a :class:`repro.engine.ShardRouter` over two FileBroker
   spools (the sharded fabric must speak the same contract as any
   single transport — with one documented exception: claim order is
-  per-shard FIFO, not global FIFO).
+  per-shard FIFO, not global FIFO);
+* ``chaos`` — a :class:`repro.engine.ChaosBroker` wrapping a FileBroker
+  with an all-zero-rate :class:`repro.engine.FaultPlan`: with nothing
+  armed, the chaos wrapper must be a *true no-op pass-through* of the
+  full protocol — ``deregister``, ``stale_claims`` and the dead-letter
+  spool included — so arming a plan in production changes faults, never
+  semantics.
 
 A behaviour that holds for one transport but not the others is a bug
 in the remote/routing layer, and this suite is where it surfaces.
@@ -21,13 +27,14 @@ in the remote/routing layer, and this suite is where it surfaces.
 
 import pytest
 
+from repro.engine import ChaosBroker, FaultPlan
 from repro.engine.broker import Broker, FileBroker
 from repro.engine.broker_server import BrokerServer
 from repro.engine.http_broker import HTTPBroker
 from repro.engine.shard_router import ShardRouter
 
 
-@pytest.fixture(params=["file", "http", "sharded"])
+@pytest.fixture(params=["file", "http", "sharded", "chaos"])
 def broker(request, tmp_path):
     """The same spool semantics, reached through each transport."""
     spool = tmp_path / "spool"
@@ -38,6 +45,12 @@ def broker(request, tmp_path):
         yield ShardRouter(
             [FileBroker(tmp_path / "shard-a"), FileBroker(tmp_path / "shard-b")]
         )
+        return
+    if request.param == "chaos":
+        # every rate zero: the wrapper must never inject, only delegate
+        chaotic = ChaosBroker(FileBroker(spool), FaultPlan(seed=7))
+        yield chaotic
+        assert chaotic.injected == {}, "a zero-rate plan injected faults"
         return
     server = BrokerServer(FileBroker(spool), token="contract-secret")
     url = server.start()
@@ -136,15 +149,17 @@ class TestBrokerContract:
         broker.deregister("never-seen")
 
     def test_silent_claims_go_stale_and_beats_renew_them(self, broker):
-        import time
+        from conftest import wait_for
 
         broker.submit("t-0001", b"payload")
         broker.heartbeat("w1")
         assert broker.claim("w1") is not None
         # a fresh claim is not stale under a generous horizon
         assert broker.stale_claims(30.0) == []
-        time.sleep(0.08)
-        assert broker.stale_claims(0.01) == ["t-0001"]
+        wait_for(
+            lambda: broker.stale_claims(0.01) == ["t-0001"],
+            message="the silent claim to age past the horizon",
+        )
         # the owner speaks up again: the lease is renewed
         broker.heartbeat("w1")
         assert broker.stale_claims(0.05) == []

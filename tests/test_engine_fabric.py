@@ -91,13 +91,17 @@ class TestFileBroker:
         assert broker.live_workers(horizon=0.0) == []
 
     def test_stale_claims_follow_owner_heartbeat(self, tmp_path):
+        from conftest import wait_for
+
         broker = FileBroker(tmp_path)
         broker.submit("t1", b"p")
         broker.heartbeat("w1")
         broker.claim("w1")
         assert broker.stale_claims(horizon=30.0) == []
-        time.sleep(0.05)
-        assert broker.stale_claims(horizon=0.01) == ["t1"]
+        wait_for(
+            lambda: broker.stale_claims(horizon=0.01) == ["t1"],
+            message="the heartbeat to age past the horizon",
+        )
 
     def test_discard_withdraws_queued_and_results(self, tmp_path):
         broker = FileBroker(tmp_path)
@@ -117,7 +121,7 @@ class TestFileBroker:
         # stale to ownerless-claim aging.
         broker = FileBroker(tmp_path)
         broker.submit("t1", b"p")
-        time.sleep(0.05)
+        time.sleep(0.05)  # deliberate window: ages the submit mtime itself
         broker.heartbeat("w1")
         broker.claim("w1")
         assert broker.stale_claims(horizon=0.04) == []
@@ -352,10 +356,15 @@ class TestQueueExecutor:
 
     def test_stale_claim_is_requeued(self, tmp_path):
         """A chunk claimed by a silent worker reaches another claimant."""
+        from conftest import wait_for
+
         broker = FileBroker(tmp_path)
         broker.submit("hog", encode_task(_requests(2)))
         broker.claim("dead-worker")  # claims, then never heartbeats
-        time.sleep(0.05)
+        wait_for(
+            lambda: broker.stale_claims(horizon=0.02) == ["hog"],
+            message="the dead worker's claim to look stale",
+        )
         with QueueExecutor(
             workers=2,
             broker=broker,

@@ -29,6 +29,7 @@ EXPECTED_OUTPUT = {
     "phase_diagram.py": "per-cell paired comparisons",
     "remote_campaign.py": "byte-identical to the serial run",
     "sharded_campaign.py": "byte-identical across the shard loss",
+    "online_service.py": "certified online lower bound",
 }
 
 

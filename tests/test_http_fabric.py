@@ -150,11 +150,13 @@ class TestServerSideLeases:
         first.handle("submit", {"task_id": "t-0001", "payload": _b64(b"a")})
         first.handle("claim", {"worker_id": "w", "nonce": "n1"})
         # a fresh server on the same spool: the claim is not instantly
-        # stale (boot grace), then ages out and requeues cleanly
-        reborn = BrokerService(spool)
+        # stale (boot grace), then ages out and requeues cleanly — all
+        # on the injected server clock, no wall time involved
+        now = [100.0]
+        reborn = BrokerService(spool, clock=lambda: now[0])
         assert reborn.handle("stale_claims", {"horizon": 5.0})["task_ids"] == []
-        time.sleep(0.08)
-        assert reborn.handle("stale_claims", {"horizon": 0.01})[
+        now[0] += 6.0
+        assert reborn.handle("stale_claims", {"horizon": 5.0})[
             "task_ids"
         ] == ["t-0001"]
         assert reborn.handle("requeue", {"task_id": "t-0001"})["requeued"]
@@ -163,13 +165,19 @@ class TestServerSideLeases:
         ] == "t-0001"
 
     def test_lease_expiry_reaches_engine_stats(self, tmp_path):
+        from conftest import wait_for
+
         server, url = _start_server(tmp_path / "spool")
         try:
             broker = HTTPBroker(url, token=TOKEN)
             broker.submit("t-0001", b"payload")
             assert broker.claim("ghost-worker") is not None
-            time.sleep(0.08)
-            assert broker.stale_claims(0.01) == ["t-0001"]
+            # the server clock ages the lease; poll instead of guessing
+            # a sleep (repeat expiry checks never double-count)
+            wait_for(
+                lambda: broker.stale_claims(0.01) == ["t-0001"],
+                message="the ghost worker's lease to expire",
+            )
             assert broker.engine_counters()["lease_expiries"] == 1
         finally:
             server.shutdown()
